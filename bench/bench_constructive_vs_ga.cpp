@@ -1,0 +1,80 @@
+// Demonstrates the §3 argument at paper scale: constructive (greedy /
+// beam) search, which builds size-(k+1) haplotypes from good size-k
+// ones, misses optima that the exhaustive enumeration (sizes <= 4) and
+// the GA find — because "some very good haplotypes of size k are not
+// always composed of haplotypes of smaller size with a good score".
+#include <cstdio>
+
+#include "analysis/enumeration.hpp"
+#include "analysis/greedy_constructive.hpp"
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper section 3: constructive methods vs the GA, "
+              "51 SNPs ===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 0;
+  data_config.active_snp_count = 3;
+  Rng data_rng(2718);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  const ga::FeasibilityFilter filter;
+
+  // Greedy (beam 1) and beam search (beam 10).
+  analysis::GreedyConfig greedy_config;
+  greedy_config.min_size = 2;
+  greedy_config.max_size = 4;
+  const auto greedy = analysis::greedy_construct(evaluator, greedy_config,
+                                                 filter);
+  analysis::GreedyConfig beam_config = greedy_config;
+  beam_config.beam_width = 10;
+  const auto beam = analysis::greedy_construct(evaluator, beam_config,
+                                               filter);
+
+  // The GA (full scheme, modest budget).
+  ga::GaConfig ga_config;
+  ga_config.min_size = 2;
+  ga_config.max_size = 4;
+  ga_config.population_size = 120;
+  ga_config.stagnation_generations = 100;
+  ga_config.max_generations = 500;
+  ga_config.backend = ga::EvalBackend::ThreadPool;
+  ga_config.seed = 12;
+  const stats::HaplotypeEvaluator ga_evaluator(synthetic.dataset);
+  const auto ga_result = ga::GaEngine(ga_evaluator, ga_config).run();
+
+  // Ground truth by enumeration.
+  TextTable table({"size", "exact optimum", "greedy (beam 1)",
+                   "beam 10", "GA"});
+  for (std::uint32_t size = 2; size <= 4; ++size) {
+    const auto exact = analysis::enumerate_all(evaluator, size);
+    table.add_row({std::to_string(size),
+                   TextTable::num(exact.best.front().fitness, 3),
+                   TextTable::num(greedy.best_by_size[size - 2].fitness(), 3),
+                   TextTable::num(beam.best_by_size[size - 2].fitness(), 3),
+                   TextTable::num(ga_result.best_by_size[size - 2].fitness(),
+                                  3)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nevaluations: greedy %llu, beam-10 %llu, GA %llu "
+              "(exhaustive size-4 alone needs 249900)\n",
+              static_cast<unsigned long long>(greedy.evaluations),
+              static_cast<unsigned long long>(beam.evaluations),
+              static_cast<unsigned long long>(ga_result.evaluations));
+  std::printf(
+      "\npaper reference shape: constructive search can stall below the "
+      "exact optimum at sizes >= 3 while the GA reaches it — the "
+      "landscape's good large haplotypes need not contain good small "
+      "ones.\n");
+  return 0;
+}

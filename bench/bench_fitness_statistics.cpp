@@ -1,0 +1,91 @@
+// The paper's stated next step ("different objective functions are
+// going to be used in order to compare them and to validate their
+// biological interest"): run the same GA with each available fitness
+// statistic — CLUMP T1/T2/T3/T4 and the EH-DIALL likelihood-ratio —
+// and compare what each recovers, including overlap with the planted
+// risk SNPs.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper conclusion: comparing objective functions "
+              "===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 0;
+  data_config.active_snp_count = 3;
+  // A clearly detectable signal so the objectives can be compared on
+  // what they recover rather than on cohort noise.
+  data_config.disease.relative_risk = 9.0;
+  Rng data_rng(1618);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+
+  const std::vector<std::pair<std::string, stats::FitnessStatistic>> stats{
+      {"T1 (raw chi2, paper)", stats::FitnessStatistic::T1},
+      {"T2 (clumped chi2)", stats::FitnessStatistic::T2},
+      {"T3 (best single 2x2)", stats::FitnessStatistic::T3},
+      {"T4 (best group 2x2)", stats::FitnessStatistic::T4},
+      {"LRT (EH-DIALL)", stats::FitnessStatistic::Lrt},
+  };
+
+  TextTable table({"objective", "best size-3 haplotype", "fitness",
+                   "planted set's own fitness", "planted SNPs found",
+                   "evaluations"});
+  for (const auto& [name, statistic] : stats) {
+    stats::EvaluatorConfig eval_config;
+    eval_config.fitness_statistic = statistic;
+    const stats::HaplotypeEvaluator evaluator(synthetic.dataset,
+                                              eval_config);
+    ga::GaConfig config;
+    config.min_size = 2;
+    config.max_size = 4;
+    config.population_size = 90;
+    config.stagnation_generations = 60;
+    config.max_generations = 300;
+    config.max_evaluations = 6000;
+    config.backend = ga::EvalBackend::ThreadPool;
+    config.seed = 77;
+    const auto result = ga::GaEngine(evaluator, config).run();
+
+    const auto& best3 = result.best_by_size[1];
+    std::uint32_t found = 0;
+    for (const auto planted : synthetic.truth.snps) {
+      if (std::find(best3.snps().begin(), best3.snps().end(), planted) !=
+          best3.snps().end()) {
+        ++found;
+      }
+    }
+    const double planted_fitness =
+        evaluator.evaluate_full(synthetic.truth.snps).fitness;
+    table.add_row({name, best3.to_string(),
+                   TextTable::num(best3.fitness(), 3),
+                   TextTable::num(planted_fitness, 3),
+                   std::to_string(found) + "/" +
+                       std::to_string(synthetic.truth.snps.size()),
+                   std::to_string(result.evaluations)});
+    std::printf("finished objective: %s\n", name.c_str());
+  }
+  std::printf("\nplanted risk SNPs (1-based):");
+  for (const auto snp : synthetic.truth.snps) std::printf(" %u", snp + 1);
+  std::printf("\n\n%s", table.str().c_str());
+  std::printf(
+      "\nreading: the GA maximizes each objective faithfully — winners "
+      "score at or above the planted set under their own objective. "
+      "Which objective's winner overlaps the planted SNPs most varies "
+      "by cohort (in finite samples correlated-marker combinations can "
+      "out-score the causal set), which is exactly why the paper plans "
+      "to compare objective functions for biological validity.\n");
+  return 0;
+}

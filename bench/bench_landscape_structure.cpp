@@ -1,0 +1,73 @@
+// Regenerates the §3 landscape study at the paper's scale: exhaustive
+// enumeration of haplotype sizes 2-4 over 51 SNPs (1 275 / 20 825 /
+// 249 900 candidates), the per-size score distributions (why sizes are
+// not comparable) and the building-block containment of the optima
+// (why constructive methods fail).
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/landscape.hpp"
+#include "ga/haplotype_individual.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper section 3: landscape study, 51 SNPs, sizes 2-4 "
+              "===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 0;
+  data_config.active_snp_count = 3;
+  Rng data_rng(314);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  analysis::LandscapeConfig config;
+  config.top_n = 10;
+  config.block_quantile = 0.05;
+
+  Stopwatch watch;
+  const auto study = analysis::run_landscape_study(evaluator, 2, 4, config);
+  std::printf("enumerated sizes 2-4 in %.1f s\n\n", watch.elapsed_seconds());
+
+  TextTable summary({"size", "candidates", "mean", "stddev", "max",
+                     "best haplotype (1-based)"});
+  for (const auto& s : study.summaries) {
+    summary.add_row({std::to_string(s.haplotype_size),
+                     std::to_string(s.candidates), TextTable::num(s.mean, 2),
+                     TextTable::num(s.stddev, 2), TextTable::num(s.max, 2),
+                     ga::HaplotypeIndividual(s.top.front().snps).to_string()});
+  }
+  std::printf("%s\n", summary.str().c_str());
+
+  TextTable blocks({"size", "top-10 without a top-5% sub-haplotype",
+                    "median best-subset percentile"});
+  for (const auto& report : study.building_blocks) {
+    auto percentiles = report.best_subset_percentile;
+    std::sort(percentiles.begin(), percentiles.end());
+    const double median = percentiles[percentiles.size() / 2];
+    blocks.add_row({std::to_string(report.haplotype_size),
+                    TextTable::num(100.0 * report.fraction_without_good_blocks,
+                                   0) + "%",
+                    TextTable::num(100.0 * median, 1) + "%"});
+  }
+  std::printf("%s", blocks.str().c_str());
+
+  std::printf(
+      "\npaper reference shape: (1) score ranges grow with size, so "
+      "haplotypes of different sizes are not comparable (hence one "
+      "subpopulation per size); (2) a substantial share of the best "
+      "size-k haplotypes contain no high-ranking size-(k-1) haplotype, "
+      "so greedy construction cannot find them.\n");
+  std::printf("\nplanted risk SNPs (1-based):");
+  for (const auto snp : synthetic.truth.snps) std::printf(" %u", snp + 1);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks of the pipeline's moving parts (the DESIGN.md
+// design-choice ablation): EM haplotype estimation by size, CLUMP
+// statistics, two-locus LD, genotype-pattern enumeration, and the GA's
+// variation operators. These identify where the Figure-4 exponential
+// cost actually lives.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "ga/operators.hpp"
+#include "genomics/ld.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/clump.hpp"
+#include "stats/eh_diall.hpp"
+#include "stats/em_haplotype.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ldga;
+
+const genomics::SyntheticDataset& cohort() {
+  static const auto synthetic = [] {
+    genomics::SyntheticConfig config;
+    config.snp_count = 51;
+    config.affected_count = 53;
+    config.unaffected_count = 53;
+    config.unknown_count = 0;
+    Rng rng(99);
+    return genomics::generate_synthetic(config, rng);
+  }();
+  return synthetic;
+}
+
+std::vector<std::uint32_t> everyone() {
+  std::vector<std::uint32_t> ids(cohort().dataset.individual_count());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+void BM_GenotypePatternBuild(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size);
+  const auto snps = rng.sample_without_replacement(51, size);
+  const auto ids = everyone();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::GenotypePatternTable::build(
+        cohort().dataset.genotypes(), snps, ids));
+  }
+}
+BENCHMARK(BM_GenotypePatternBuild)->DenseRange(2, 7, 1);
+
+void BM_EmEstimation(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size * 3);
+  const auto snps = rng.sample_without_replacement(51, size);
+  const auto ids = everyone();
+  const auto table = stats::GenotypePatternTable::build(
+      cohort().dataset.genotypes(), snps, ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::estimate_haplotype_frequencies(table));
+  }
+}
+BENCHMARK(BM_EmEstimation)->DenseRange(2, 7, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_ClumpT1(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size * 7);
+  const auto snps = rng.sample_without_replacement(51, size);
+  const stats::EhDiall eh(cohort().dataset);
+  const auto table = eh.analyze(snps).to_contingency_table();
+  const stats::Clump clump;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clump.t1(table));
+  }
+}
+BENCHMARK(BM_ClumpT1)->DenseRange(2, 7, 1);
+
+void BM_ClumpFullAnalysis(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size * 11);
+  const auto snps = rng.sample_without_replacement(51, size);
+  const stats::EhDiall eh(cohort().dataset);
+  const auto table = eh.analyze(snps).to_contingency_table();
+  const stats::Clump clump;
+  for (auto _ : state) {
+    Rng mc(1);
+    benchmark::DoNotOptimize(clump.analyze(table, mc));
+  }
+}
+BENCHMARK(BM_ClumpFullAnalysis)
+    ->DenseRange(2, 6, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PairLd(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(genomics::estimate_pair_haplotypes(
+        cohort().dataset.genotypes(), 3, 27));
+  }
+}
+BENCHMARK(BM_PairLd);
+
+void BM_SnpMutationTrials(benchmark::State& state) {
+  const ga::FeasibilityFilter filter;
+  ga::OperatorConfig config;
+  config.snp_count = 51;
+  const ga::VariationOperators ops(config, filter);
+  Rng rng(1);
+  const auto parent = ga::HaplotypeIndividual::random(51, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.snp_mutation_trials(parent, rng));
+  }
+}
+BENCHMARK(BM_SnpMutationTrials);
+
+void BM_UniformCrossover(benchmark::State& state) {
+  const ga::FeasibilityFilter filter;
+  ga::OperatorConfig config;
+  config.snp_count = 51;
+  const ga::VariationOperators ops(config, filter);
+  Rng rng(2);
+  const auto pa = ga::HaplotypeIndividual::random(51, 4, rng);
+  const auto pb = ga::HaplotypeIndividual::random(51, 6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.uniform_crossover(pa, pb, rng));
+  }
+}
+BENCHMARK(BM_UniformCrossover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

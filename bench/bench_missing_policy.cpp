@@ -1,0 +1,112 @@
+// Design ablation for the EM's missing-data handling: complete-case
+// (drop any individual missing a selected locus — what our default and
+// many 2004-era tools do) vs marginalization over the missing alleles
+// (what a full EH implementation does). Compares retained sample size,
+// the planted haplotype's association score, and evaluation cost as
+// the per-cell missing rate grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/table_format.hpp"
+
+namespace {
+
+using namespace ldga;
+
+genomics::SyntheticDataset make_cohort(double missing_rate) {
+  genomics::SyntheticConfig config;
+  config.snp_count = 30;
+  config.affected_count = 53;
+  config.unaffected_count = 53;
+  config.unknown_count = 0;
+  config.active_snps = {7, 15, 23};
+  config.disease.relative_risk = 8.0;
+  config.missing_rate = missing_rate;
+  Rng rng(31415);
+  return genomics::generate_synthetic(config, rng);
+}
+
+stats::EvaluatorConfig policy_config(stats::MissingPolicy policy) {
+  stats::EvaluatorConfig config;
+  config.em.missing = policy;
+  return config;
+}
+
+void BM_EvaluatePolicy(benchmark::State& state) {
+  const double missing_rate = static_cast<double>(state.range(0)) / 100.0;
+  const auto policy = state.range(1) == 0 ? stats::MissingPolicy::CompleteCase
+                                          : stats::MissingPolicy::Marginalize;
+  static std::vector<std::pair<double, genomics::SyntheticDataset>> cache;
+  const genomics::SyntheticDataset* cohort = nullptr;
+  for (const auto& [rate, data] : cache) {
+    if (rate == missing_rate) cohort = &data;
+  }
+  if (cohort == nullptr) {
+    cache.emplace_back(missing_rate, make_cohort(missing_rate));
+    cohort = &cache.back().second;
+  }
+  const stats::HaplotypeEvaluator evaluator(cohort->dataset,
+                                            policy_config(policy));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluator.evaluate_full(cohort->truth.snps).fitness);
+  }
+  state.SetLabel(std::string(policy == stats::MissingPolicy::CompleteCase
+                                 ? "complete-case"
+                                 : "marginalize") +
+                 ", missing " + std::to_string(state.range(0)) + "%");
+}
+
+BENCHMARK(BM_EvaluatePolicy)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({15, 0})
+    ->Args({15, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ldga;
+  std::printf("=== Design ablation: EM missing-data policy ===\n\n");
+
+  TextTable table({"missing rate", "policy", "individuals used (A+U)",
+                   "planted-set chi2", "planted-set LRT"});
+  for (const double rate : {0.0, 0.05, 0.15}) {
+    const auto cohort = make_cohort(rate);
+    for (const auto policy : {stats::MissingPolicy::CompleteCase,
+                              stats::MissingPolicy::Marginalize}) {
+      const stats::EhDiall eh(cohort.dataset,
+                              policy_config(policy).em);
+      const auto eh_result = eh.analyze(cohort.truth.snps);
+      const stats::HaplotypeEvaluator evaluator(cohort.dataset,
+                                                policy_config(policy));
+      const auto full = evaluator.evaluate_full(cohort.truth.snps);
+      table.add_row(
+          {TextTable::num(100.0 * rate, 0) + "%",
+           policy == stats::MissingPolicy::CompleteCase ? "complete-case"
+                                                        : "marginalize",
+           TextTable::num(eh_result.affected_individuals +
+                              eh_result.unaffected_individuals,
+                          0),
+           TextTable::num(full.fitness, 2), TextTable::num(full.lrt, 2)});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nreading: complete-case analysis loses individuals (and power) "
+      "as missingness grows — at 15%% per cell a 3-SNP set drops ~2 in 5 "
+      "individuals; marginalization keeps the full cohort at extra "
+      "phase-expansion cost (the micro-benchmarks below).\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Regenerates the §4.5 parallel claim: the synchronous master/slave
+// evaluation farm (Figure 6) shortens the evaluation phase, which
+// dominates the GA's wall time because the fitness function is costly
+// (Figure 4).
+//
+// Two measurements:
+//   1. REAL pipeline — a generation-sized batch of size-6 evaluations
+//      across slave counts. Speedup here is bounded by the host's core
+//      count (the paper ran on a PVM cluster where every slave was its
+//      own processor; on a 1-core host this phase shows overhead, not
+//      scaling).
+//   2. SIMULATED cluster — each slave's evaluation cost is modeled as
+//      wall time (sleep of the measured mean pipeline latency), exactly
+//      the regime of the paper's networked PVM machine. This isolates
+//      the farm's scheduling behaviour from host core count and shows
+//      the near-linear phase speedup the paper's design targets.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "genomics/synthetic.hpp"
+#include "parallel/master_slave.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper section 4.5 / Figure 6: master-slave evaluation "
+              "speedup ===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 0;
+  Rng data_rng(65);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  // A generation-sized batch of costly individuals (size 6).
+  Rng rng(7);
+  std::vector<std::vector<genomics::SnpIndex>> batch;
+  for (int i = 0; i < 96; ++i) {
+    batch.push_back(rng.sample_without_replacement(51, 6));
+  }
+
+  // Worker uses the uncached pipeline so every phase pays full cost
+  // (the GA's cache would otherwise make repeats free).
+  const auto worker = [&evaluator](const std::vector<genomics::SnpIndex>& s) {
+    return evaluator.evaluate_full(s).fitness;
+  };
+
+  // Serial reference.
+  double serial_seconds = 0.0;
+  {
+    Stopwatch watch;
+    for (const auto& snps : batch) {
+      volatile double sink = worker(snps);
+      (void)sink;
+    }
+    serial_seconds = watch.elapsed_seconds();
+  }
+  const double mean_eval_ms =
+      1e3 * serial_seconds / static_cast<double>(batch.size());
+  std::printf("host cores: %u; serial phase: %.3f s for %zu evaluations "
+              "(%.2f ms/eval)\n\n",
+              parallel::default_thread_count(), serial_seconds, batch.size(),
+              mean_eval_ms);
+
+  const std::vector<std::uint32_t> slave_counts{1, 2, 4, 8};
+
+  std::printf("--- real pipeline (bounded by host core count) ---\n");
+  {
+    TextTable table({"slaves", "phase time (s)", "speedup", "efficiency"});
+    for (const std::uint32_t slaves : slave_counts) {
+      parallel::MasterSlaveFarm<std::vector<genomics::SnpIndex>, double>
+          farm(slaves, worker);
+      farm.run(batch);  // warm-up phase
+      Stopwatch watch;
+      constexpr int kPhases = 3;
+      for (int phase = 0; phase < kPhases; ++phase) farm.run(batch);
+      const double seconds = watch.elapsed_seconds() / kPhases;
+      const double speedup = serial_seconds / seconds;
+      table.add_row({std::to_string(slaves), TextTable::num(seconds, 3),
+                     TextTable::num(speedup, 2),
+                     TextTable::num(speedup / slaves, 2)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  std::printf("\n--- simulated PVM cluster (each slave = own processor; "
+              "cost modeled as %.1f ms wall time) ---\n",
+              mean_eval_ms);
+  {
+    const auto simulated_cost =
+        std::chrono::duration<double, std::milli>(mean_eval_ms);
+    const auto sleepy_worker =
+        [simulated_cost](const std::vector<genomics::SnpIndex>& s) {
+          std::this_thread::sleep_for(simulated_cost);
+          return static_cast<double>(s.size());
+        };
+    double sim_serial = 0.0;
+    {
+      Stopwatch watch;
+      for (const auto& snps : batch) {
+        volatile double sink = sleepy_worker(snps);
+        (void)sink;
+      }
+      sim_serial = watch.elapsed_seconds();
+    }
+    TextTable table({"slaves", "phase time (s)", "speedup", "efficiency"});
+    for (const std::uint32_t slaves : slave_counts) {
+      parallel::MasterSlaveFarm<std::vector<genomics::SnpIndex>, double>
+          farm(slaves, sleepy_worker);
+      Stopwatch watch;
+      farm.run(batch);
+      const double seconds = watch.elapsed_seconds();
+      const double speedup = sim_serial / seconds;
+      table.add_row({std::to_string(slaves), TextTable::num(seconds, 3),
+                     TextTable::num(speedup, 2),
+                     TextTable::num(speedup / slaves, 2)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  std::printf(
+      "\npaper reference shape: near-linear speedup of the evaluation "
+      "phase while slaves bind the data once at start-up; the master "
+      "hands one individual at a time to each free slave. On a "
+      "single-core host the real-pipeline table shows farm overhead "
+      "only; the simulated-cluster table shows the scheduling scaling "
+      "the paper exploited.\n");
+  return 0;
+}

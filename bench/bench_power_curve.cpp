@@ -1,0 +1,80 @@
+// Statistical power of the whole method (our addition, motivated by the
+// paper's biology framing): as the planted relative risk grows, how
+// often does the GA's winner at the planted size actually contain the
+// causal SNPs? This is the question a biologist asks before trusting
+// the tool on a real cohort, and it exercises the entire stack —
+// simulator, penetrance model, EH-DIALL + CLUMP pipeline, and the GA.
+#include <cstdio>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Power curve: planted-signal recovery vs relative risk "
+              "(5 cohorts per point) ===\n\n");
+
+  constexpr std::uint32_t kCohorts = 5;
+  TextTable table({"relative risk", "winners containing >=1 planted",
+                   "winners containing >=2 planted",
+                   "exact planted set found", "mean winner fitness"});
+
+  for (const double rr : {1.0, 2.0, 4.0, 8.0}) {
+    std::uint32_t at_least_one = 0, at_least_two = 0, exact = 0;
+    double fitness_sum = 0.0;
+    for (std::uint32_t cohort_id = 0; cohort_id < kCohorts; ++cohort_id) {
+      genomics::SyntheticConfig data_config;
+      data_config.snp_count = 30;
+      data_config.affected_count = 53;
+      data_config.unaffected_count = 53;
+      data_config.unknown_count = 0;
+      data_config.active_snp_count = rr > 1.0 ? 2 : 0;  // null at RR 1
+      data_config.disease.relative_risk = rr > 1.0 ? rr : 1.0;
+      Rng rng(7000 + cohort_id);
+      const auto synthetic = genomics::generate_synthetic(data_config, rng);
+      const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+      ga::GaConfig config;
+      config.min_size = 2;
+      config.max_size = 4;
+      config.population_size = 60;
+      config.min_subpopulation = 15;
+      config.stagnation_generations = 40;
+      config.max_generations = 200;
+      config.backend = ga::EvalBackend::ThreadPool;
+      config.seed = 100 + cohort_id;
+      const auto result = ga::GaEngine(evaluator, config).run();
+
+      const auto& winner = result.best_by_size[0];  // size 2, planted size
+      fitness_sum += winner.fitness();
+      if (synthetic.truth.snps.empty()) continue;  // null cohorts
+      std::uint32_t overlap = 0;
+      for (const auto planted : synthetic.truth.snps) {
+        if (winner.contains(planted)) ++overlap;
+      }
+      if (overlap >= 1) ++at_least_one;
+      if (overlap >= 2) ++at_least_two;
+      if (winner.snps() == synthetic.truth.snps) ++exact;
+    }
+    auto frac = [&](std::uint32_t n) {
+      return std::to_string(n) + "/" + std::to_string(kCohorts);
+    };
+    table.add_row({TextTable::num(rr, 1),
+                   rr > 1.0 ? frac(at_least_one) : "n/a (null)",
+                   rr > 1.0 ? frac(at_least_two) : "n/a (null)",
+                   rr > 1.0 ? frac(exact) : "n/a (null)",
+                   TextTable::num(fitness_sum / kCohorts, 2)});
+    std::printf("finished RR=%.1f\n", rr);
+  }
+  std::printf("\n%s", table.str().c_str());
+  std::printf(
+      "\nreading: at RR 1 (no signal) winner fitness reflects pure "
+      "noise; recovery of the planted pair should rise steeply with "
+      "relative risk — if it does not, either the simulator's LD "
+      "structure or the statistical pipeline is broken.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates the paper's §5.2 robustness observation: "On larger
+// problems, for example a real data set of 249 SNPs, it has shown a
+// good robustness (solutions provided are similar from one execution
+// to another)." We run the GA several times on a 249-SNP synthetic
+// cohort and report the mean pairwise Jaccard similarity of the
+// per-size winners and the fitness coefficient of variation.
+#include <cstdio>
+
+#include "analysis/robustness.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper section 5.2: robustness on 249 SNPs (4 runs) "
+              "===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 249;
+  data_config.active_snp_count = 4;
+  data_config.disease.relative_risk = 8.0;
+  Rng data_rng(424242);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  ga::GaConfig config;
+  config.population_size = 150;
+  config.stagnation_generations = 100;  // the paper's setting
+  config.max_generations = 500;
+  config.backend = ga::EvalBackend::ThreadPool;
+  config.seed = 10;
+  const ga::FeasibilityFilter filter;
+
+  const auto report = analysis::measure_robustness(evaluator, config, 4,
+                                                   filter);
+
+  TextTable table({"size", "mean pairwise Jaccard", "fitness CV",
+                   "best run fitness", "runs touching planted SNPs"});
+  for (std::size_t s = 0; s < report.mean_jaccard_by_size.size(); ++s) {
+    double best = 0.0;
+    std::uint32_t touching = 0;
+    for (const auto& run : report.runs) {
+      best = std::max(best, run.best_by_size[s].fitness());
+      bool touches = false;
+      for (const auto planted : synthetic.truth.snps) {
+        if (run.best_by_size[s].contains(planted)) touches = true;
+      }
+      if (touches) ++touching;
+    }
+    table.add_row({std::to_string(config.min_size + s),
+                   TextTable::num(report.mean_jaccard_by_size[s], 3),
+                   TextTable::num(report.fitness_cv_by_size[s], 4),
+                   TextTable::num(best, 2),
+                   std::to_string(touching) + "/" +
+                       std::to_string(report.runs.size())});
+  }
+  std::printf("%s", table.str().c_str());
+
+  std::uint64_t evaluations = 0;
+  for (const auto& run : report.runs) evaluations += run.evaluations;
+  std::printf("\ntotal evaluations across runs: %llu (shared cache makes "
+              "re-discovery free, as re-running the tool would be)\n",
+              static_cast<unsigned long long>(evaluations));
+  std::printf(
+      "\npaper reference shape: solutions are \"similar from one "
+      "execution to another\" — reproduced here primarily in quality "
+      "(fitness CV of a few percent); exact SNP-set identity varies "
+      "more, because with 106 status-known individuals over 249 SNPs "
+      "the landscape holds many near-equivalent noise optima that can "
+      "out-score the planted signal.\n");
+  return 0;
+}

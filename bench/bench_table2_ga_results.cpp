@@ -1,0 +1,148 @@
+// Regenerates paper Table 2: "Results obtained by the GA for 51 SNPs".
+//
+// Protocol (matching §5.2): 10 runs of the full scheme (adaptive
+// mutation + adaptive crossover + random immigrants) on a 51-SNP
+// cohort with the paper's parameters; for every subpopulation size we
+// report the best haplotype found over the runs, its fitness, the mean
+// best fitness over runs, the deviation from the best expected
+// haplotype, and the min / mean number of evaluations needed to reach
+// each run's final best.
+//
+// "Best expected" comes from exhaustive enumeration for sizes 2-4
+// (exactly as the paper compared against its landscape study); for
+// sizes 5-6, where enumeration is out of reach, it is the best value
+// seen across all runs (the paper's larger sizes rest on the same
+// convention: the best known solution).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/enumeration.hpp"
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/numeric.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Paper Table 2: GA results for 51 SNPs "
+              "(adaptive mutation + adaptive crossover + random immigrants, "
+              "10 runs) ===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 70;
+  data_config.active_snp_count = 3;
+  Rng data_rng(20040426);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  constexpr std::uint32_t kRuns = 10;
+  constexpr std::uint32_t kMinSize = 2, kMaxSize = 6;
+  const std::uint32_t n_sizes = kMaxSize - kMinSize + 1;
+
+  struct PerRun {
+    double best_fitness = 0.0;
+    std::string best_haplotype;
+    std::vector<genomics::SnpIndex> best_snps;
+    std::uint64_t evaluations_to_best = 0;
+  };
+  std::vector<std::vector<PerRun>> runs(n_sizes);
+
+  for (std::uint32_t run = 0; run < kRuns; ++run) {
+    ga::GaConfig config;
+    config.min_size = kMinSize;
+    config.max_size = kMaxSize;
+    config.population_size = 150;            // paper §5.2.1
+    config.mutation_global_rate = 0.9;       // paper §5.2.1
+    config.min_operator_rate = 0.01;         // paper §5.2.1 (delta)
+    config.stagnation_generations = 100;     // paper §5.2.1
+    config.random_immigrant_stagnation = 20; // paper §5.2.1
+    config.backend = ga::EvalBackend::ThreadPool;
+    config.record_history = true;
+    config.seed = 1000 + run;
+    ga::GaEngine engine(evaluator, config);
+    const ga::GaResult result = engine.run();
+
+    for (std::uint32_t s = 0; s < n_sizes; ++s) {
+      PerRun per_run;
+      per_run.best_fitness = result.best_by_size[s].fitness();
+      per_run.best_haplotype = result.best_by_size[s].to_string();
+      per_run.best_snps = result.best_by_size[s].snps();
+      // Evaluations consumed when this size's best first reached its
+      // final value (the paper's "# of evaluations" column).
+      for (const auto& info : result.history) {
+        if (info.best_by_size[s] >= per_run.best_fitness - 1e-9) {
+          per_run.evaluations_to_best = info.evaluations;
+          break;
+        }
+      }
+      runs[s].push_back(std::move(per_run));
+    }
+    std::printf("run %2u/%u: %u generations, %llu evaluations\n", run + 1,
+                kRuns, result.generations,
+                static_cast<unsigned long long>(result.evaluations));
+  }
+
+  // Best expected per size: enumeration for 2..4, best-over-runs 5..6.
+  std::vector<double> best_expected(n_sizes, 0.0);
+  for (std::uint32_t size = 2; size <= 4; ++size) {
+    const auto exact = analysis::enumerate_all(evaluator, size);
+    best_expected[size - kMinSize] = exact.best.front().fitness;
+  }
+  for (std::uint32_t s = 3; s < n_sizes; ++s) {
+    for (const auto& per_run : runs[s]) {
+      best_expected[s] = std::max(best_expected[s], per_run.best_fitness);
+    }
+  }
+
+  std::printf("\n");
+  TextTable table({"Size", "Best haplotype (1-based)", "Fitness", "Mean",
+                   "Dev", "Min #eval", "Mean #eval", "Exact opt?"});
+  for (std::uint32_t s = 0; s < n_sizes; ++s) {
+    const auto best_run = std::max_element(
+        runs[s].begin(), runs[s].end(),
+        [](const PerRun& a, const PerRun& b) {
+          return a.best_fitness < b.best_fitness;
+        });
+    RunningStats fitness_stats;
+    RunningStats eval_stats;
+    double deviation_sum = 0.0;
+    for (const auto& per_run : runs[s]) {
+      fitness_stats.add(per_run.best_fitness);
+      eval_stats.add(static_cast<double>(per_run.evaluations_to_best));
+      deviation_sum += best_expected[s] - per_run.best_fitness;
+    }
+    const std::uint32_t size = kMinSize + s;
+    table.add_row({
+        std::to_string(size),
+        best_run->best_haplotype,
+        TextTable::num(best_run->best_fitness),
+        TextTable::num(fitness_stats.mean()),
+        TextTable::num(deviation_sum / kRuns),
+        TextTable::num(eval_stats.min(), 0),
+        TextTable::num(eval_stats.mean(), 1),
+        size <= 4 ? (std::abs(best_run->best_fitness -
+                              best_expected[s]) < 1e-6
+                         ? "yes"
+                         : "NO")
+                  : "n/a",
+    });
+  }
+  std::printf("%s", table.str().c_str());
+
+  std::printf(
+      "\nplanted risk SNPs (1-based):");
+  for (const auto snp : synthetic.truth.snps) std::printf(" %u", snp + 1);
+  std::printf(
+      "\npaper reference shape: deviation 0 at every size; evaluations "
+      "grow with size (317 min at size 3 up to ~15464 mean at size 6) "
+      "while exploring a vanishing fraction of the search space "
+      "(Table 1).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Design-choice ablation for §4.3.1's SNP mutation: "we use this
+// mutation several times in parallel and keep the best individual found
+// by this mutation". How many parallel trials pay off? Every trial
+// costs an evaluation, so more trials = stronger local search per
+// application but fewer applications within a fixed evaluation budget.
+#include <cstdio>
+
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/numeric.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  std::printf("=== Design ablation: SNP-mutation parallel trials "
+              "(fixed 6000-evaluation budget, 6 runs) ===\n\n");
+
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.affected_count = 53;
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 0;
+  data_config.active_snp_count = 3;
+  Rng data_rng(5555);
+  const auto synthetic = genomics::generate_synthetic(data_config, data_rng);
+
+  TextTable table({"trials", "mean best s3", "mean best s6",
+                   "mean summed best", "mean generations"});
+  for (const std::uint32_t trials : {1u, 2u, 4u, 8u}) {
+    std::vector<RunningStats> per_size(5);
+    RunningStats summed, generations;
+    for (std::uint32_t run = 0; run < 6; ++run) {
+      const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+      ga::GaConfig config;
+      config.population_size = 150;
+      config.snp_mutation_trials = trials;
+      config.stagnation_generations = 100;
+      config.max_generations = 400;
+      config.max_evaluations = 6000;
+      config.backend = ga::EvalBackend::ThreadPool;
+      config.seed = 900 + run;
+      ga::GaEngine engine(evaluator, config);
+      const ga::GaResult result = engine.run();
+      double sum = 0.0;
+      for (std::uint32_t s = 0; s < 5; ++s) {
+        per_size[s].add(result.best_by_size[s].fitness());
+        sum += result.best_by_size[s].fitness();
+      }
+      summed.add(sum);
+      generations.add(result.generations);
+    }
+    table.add_row({std::to_string(trials),
+                   TextTable::num(per_size[1].mean(), 2),
+                   TextTable::num(per_size[4].mean(), 2),
+                   TextTable::num(summed.mean(), 2),
+                   TextTable::num(generations.mean(), 1)});
+    std::printf("finished trials=%u\n", trials);
+  }
+  std::printf("\n%s", table.str().c_str());
+  std::printf(
+      "\nreading: trials > 1 buys a stronger per-application local "
+      "search; past the sweet spot the budget drains into trial variants "
+      "instead of new applications. The paper's parallel farm makes the "
+      "extra trials nearly free in wall time (they share one evaluation "
+      "phase), which is why the operator is designed this way.\n");
+  return 0;
+}

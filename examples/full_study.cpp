@@ -1,0 +1,94 @@
+// A complete linkage-disequilibrium study, end to end — the workflow
+// the paper's §6 describes biologists running "in an extensive manner":
+//
+//   1. load (or simulate) a case/control cohort,
+//   2. search for candidate haplotypes of every size with the parallel
+//      adaptive GA,
+//   3. assess each winner with a selection-aware label-permutation test,
+//   4. adjust the p-values for multiple testing (Benjamini-Hochberg),
+//   5. report the surviving haplotypes with their internal LD structure
+//      (are the selected SNPs tagging different signals?).
+#include <cstdio>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "genomics/ld.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "stats/multiple_testing.hpp"
+#include "stats/permutation.hpp"
+#include "util/table_format.hpp"
+
+int main() {
+  using namespace ldga;
+
+  // --- 1. cohort --------------------------------------------------------
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;
+  data_config.active_snp_count = 3;
+  data_config.disease.relative_risk = 7.0;
+  Rng rng(2004);
+  const auto synthetic = genomics::generate_synthetic(data_config, rng);
+  std::printf("cohort: %u individuals x %u SNPs; planted SNPs (1-based):",
+              synthetic.dataset.individual_count(),
+              synthetic.dataset.snp_count());
+  for (const auto snp : synthetic.truth.snps) std::printf(" %u", snp + 1);
+  std::printf("\n\n");
+
+  // --- 2. search ---------------------------------------------------------
+  const stats::EvaluatorConfig eval_config;
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset, eval_config);
+  ga::GaConfig config;
+  config.population_size = 150;
+  config.stagnation_generations = 80;
+  config.max_generations = 400;
+  config.backend = ga::EvalBackend::ThreadPool;
+  config.seed = 17;
+  ga::GaEngine engine(evaluator, config);
+  const ga::GaResult result = engine.run();
+  std::printf("GA: %u generations, %llu evaluations\n\n", result.generations,
+              static_cast<unsigned long long>(result.evaluations));
+
+  // --- 3. permutation significance per winner -----------------------------
+  std::vector<double> p_values;
+  for (const auto& best : result.best_by_size) {
+    stats::PermutationConfig perm_config;
+    perm_config.permutations = 199;
+    perm_config.seed = 99;
+    perm_config.workers = 0;
+    const auto perm = stats::permutation_test(synthetic.dataset, best.snps(),
+                                              eval_config, perm_config);
+    p_values.push_back(perm.p_value);
+  }
+
+  // --- 4. multiple-testing adjustment -------------------------------------
+  const auto q_values = stats::benjamini_hochberg_adjust(p_values);
+
+  // --- 5. report -----------------------------------------------------------
+  const auto ld = genomics::LdMatrix::compute(synthetic.dataset);
+  TextTable table({"size", "haplotype (1-based)", "fitness", "perm p",
+                   "BH q", "max internal |D'|", "verdict"});
+  for (std::size_t s = 0; s < result.best_by_size.size(); ++s) {
+    const auto& best = result.best_by_size[s];
+    double max_dprime = 0.0;
+    for (std::size_t i = 0; i + 1 < best.snps().size(); ++i) {
+      for (std::size_t j = i + 1; j < best.snps().size(); ++j) {
+        max_dprime = std::max(
+            max_dprime, ld.at(best.snps()[i], best.snps()[j]).d_prime);
+      }
+    }
+    table.add_row({std::to_string(best.size()), best.to_string(),
+                   TextTable::num(best.fitness(), 2),
+                   TextTable::num(p_values[s], 3),
+                   TextTable::num(q_values[s], 3),
+                   TextTable::num(max_dprime, 2),
+                   q_values[s] <= 0.05 ? "SIGNIFICANT" : "not significant"});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nreading: permutation p-values correct for the GA's selection "
+      "bias; BH q-values correct for testing one winner per size; the "
+      "internal |D'| column flags haplotypes whose SNPs echo one signal "
+      "(the paper's T_d condition exists for exactly this reason).\n");
+  return 0;
+}

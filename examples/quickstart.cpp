@@ -1,0 +1,79 @@
+// Quickstart: the whole library in one small program.
+//
+// 1. Simulate a case/control cohort with a planted 3-SNP risk haplotype.
+// 2. Build the EH-DIALL + CLUMP evaluation pipeline (paper Figure 3).
+// 3. Run the parallel adaptive multipopulation GA (paper Figure 5).
+// 4. Report the best haplotype per size and check the planted SNPs
+//    were rediscovered.
+#include <cstdio>
+
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+
+int main() {
+  using namespace ldga;
+
+  // --- 1. data ---------------------------------------------------------
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 51;       // the paper's first study size
+  data_config.affected_count = 53;  // 53 affected / 53 healthy / 70 unknown
+  data_config.unaffected_count = 53;
+  data_config.unknown_count = 70;
+  data_config.active_snp_count = 3;  // planted risk haplotype size
+
+  Rng rng(42);
+  const genomics::SyntheticDataset synthetic =
+      genomics::generate_synthetic(data_config, rng);
+
+  std::printf("cohort: %u individuals x %u SNPs\n",
+              synthetic.dataset.individual_count(),
+              synthetic.dataset.snp_count());
+  std::printf("planted risk SNPs (1-based):");
+  for (const auto snp : synthetic.truth.snps) std::printf(" %u", snp + 1);
+  std::printf("\n\n");
+
+  // --- 2. evaluation pipeline ------------------------------------------
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  // --- 3. the GA --------------------------------------------------------
+  ga::GaConfig config;
+  config.max_size = 6;                  // paper §5.2.1
+  config.population_size = 150;         // paper §5.2.1
+  config.stagnation_generations = 100;  // stop after 100 stale generations
+  config.random_immigrant_stagnation = 20;
+  config.backend = ga::EvalBackend::ThreadPool;
+  config.seed = 7;
+
+  ga::GaEngine engine(evaluator, config);
+  const ga::GaResult result = engine.run();
+
+  // --- 4. report --------------------------------------------------------
+  std::printf("GA finished after %u generations, %llu evaluations, "
+              "%u immigrant waves\n\n",
+              result.generations,
+              static_cast<unsigned long long>(result.evaluations),
+              result.immigrant_events);
+  std::printf("%-6s %-24s %s\n", "size", "best haplotype (1-based)",
+              "fitness");
+  for (const auto& best : result.best_by_size) {
+    std::printf("%-6u %-24s %.3f\n", best.size(), best.to_string().c_str(),
+                best.fitness());
+  }
+
+  // How much of the planted haplotype do the winners recover? (With
+  // finite cohorts the chi-square optimum need not be the causal set
+  // itself, but its SNPs should recur in the winners.)
+  std::uint32_t recovered = 0;
+  for (const auto planted : synthetic.truth.snps) {
+    for (const auto& best : result.best_by_size) {
+      if (best.contains(planted)) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  std::printf("\n%u of %zu planted SNPs appear among the per-size winners\n",
+              recovered, synthetic.truth.snps.size());
+  return 0;
+}

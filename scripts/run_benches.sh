@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the full benchmark harness sequentially, appending to
+# bench_output.txt from the binary named in $1 onward (alphabetical
+# order, matching `for b in build/bench/*`). With no argument, starts
+# from the beginning and truncates the file.
+set -u
+cd "$(dirname "$0")/.."
+start="${1:-}"
+out=bench_output.txt
+[ -z "$start" ] && : > "$out"
+running=false
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  if [ -z "$start" ] || $running || [ "$name" = "$start" ]; then
+    running=true
+  else
+    continue
+  fi
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "=== $b ===" >> "$out"
+  "$b" >> "$out" 2>&1
+  echo "(exit $?)" >> "$out"
+done
+echo "bench sweep complete"

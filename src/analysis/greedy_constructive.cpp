@@ -1,0 +1,88 @@
+#include "analysis/greedy_constructive.hpp"
+
+#include <algorithm>
+
+#include "analysis/enumeration.hpp"
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+
+using genomics::SnpIndex;
+
+void GreedyConfig::validate() const {
+  if (min_size < 1 || min_size > max_size) {
+    throw ConfigError("GreedyConfig: need 1 <= min_size <= max_size");
+  }
+  if (beam_width < 1) {
+    throw ConfigError("GreedyConfig: beam_width must be >= 1");
+  }
+}
+
+GreedyResult greedy_construct(const stats::HaplotypeEvaluator& evaluator,
+                              const GreedyConfig& config,
+                              const ga::FeasibilityFilter& filter) {
+  config.validate();
+  const std::uint32_t n = evaluator.dataset().snp_count();
+  LDGA_EXPECTS(config.max_size <= n);
+
+  GreedyResult result;
+  const std::uint64_t start = evaluator.evaluation_count();
+
+  // Level min_size: exact top beam_width by enumeration.
+  EnumerationConfig enum_config;
+  enum_config.top_n = config.beam_width;
+  const auto seed = enumerate_all(evaluator, config.min_size, enum_config);
+  std::vector<ga::HaplotypeIndividual> beam;
+  for (const auto& scored : seed.best) {
+    ga::HaplotypeIndividual individual(scored.snps);
+    individual.set_fitness(scored.fitness);
+    beam.push_back(std::move(individual));
+  }
+  // enumerate_all uses the uncached pipeline (not counted by the
+  // evaluator); account for its evaluations explicitly.
+  const std::uint64_t seed_evaluations = seed.evaluated;
+  LDGA_ENSURES(!beam.empty());
+  result.best_by_size.push_back(beam.front());
+
+  // Level k -> k+1: extend each beam member by every feasible SNP.
+  for (std::uint32_t size = config.min_size; size < config.max_size;
+       ++size) {
+    std::vector<ga::HaplotypeIndividual> children;
+    for (const auto& parent : beam) {
+      for (SnpIndex snp = 0; snp < n; ++snp) {
+        if (parent.contains(snp)) continue;
+        if (!filter.addition_feasible(parent.snps(), snp)) continue;
+        std::vector<SnpIndex> snps = parent.snps();
+        snps.push_back(snp);
+        ga::HaplotypeIndividual child(std::move(snps));
+        // Skip duplicates produced by different parents.
+        const bool duplicate = std::any_of(
+            children.begin(), children.end(),
+            [&](const ga::HaplotypeIndividual& c) {
+              return c.same_snps(child);
+            });
+        if (duplicate) continue;
+        child.set_fitness(evaluator.fitness(child.snps()));
+        children.push_back(std::move(child));
+      }
+    }
+    if (children.empty()) break;  // filter exhausted the extensions
+    std::sort(children.begin(), children.end(),
+              [](const ga::HaplotypeIndividual& a,
+                 const ga::HaplotypeIndividual& b) {
+                return a.fitness() > b.fitness();
+              });
+    if (children.size() > config.beam_width) {
+      children.resize(config.beam_width);
+    }
+    beam = std::move(children);
+    result.best_by_size.push_back(beam.front());
+  }
+
+  result.final_beam = beam;
+  result.evaluations =
+      seed_evaluations + (evaluator.evaluation_count() - start);
+  return result;
+}
+
+}  // namespace ldga::analysis

@@ -1,0 +1,43 @@
+// The constructive (greedy / beam) baseline the paper argues against in
+// §3: build size-(k+1) haplotypes by extending the best size-k ones.
+// The landscape study shows good large haplotypes are often NOT
+// extensions of good smaller ones, so this method misses optima — the
+// reproduction of that argument needs the method itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/constraints.hpp"
+#include "ga/haplotype_individual.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::analysis {
+
+struct GreedyConfig {
+  std::uint32_t min_size = 2;
+  std::uint32_t max_size = 6;
+  /// Candidates kept per level. 1 = pure greedy; larger values are beam
+  /// search and approach enumeration as the beam widens.
+  std::uint32_t beam_width = 1;
+
+  void validate() const;
+};
+
+struct GreedyResult {
+  /// Best individual per size (index 0 = min_size).
+  std::vector<ga::HaplotypeIndividual> best_by_size;
+  /// The beam (best-first) at the final size.
+  std::vector<ga::HaplotypeIndividual> final_beam;
+  std::uint64_t evaluations = 0;
+};
+
+/// Seeds the beam with the exhaustively best `beam_width` haplotypes of
+/// min_size (min_size must be cheap to enumerate — 2 in practice), then
+/// repeatedly extends every beam member by every feasible SNP, keeping
+/// the `beam_width` best children per level.
+GreedyResult greedy_construct(const stats::HaplotypeEvaluator& evaluator,
+                              const GreedyConfig& config,
+                              const ga::FeasibilityFilter& filter);
+
+}  // namespace ldga::analysis

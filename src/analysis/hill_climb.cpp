@@ -1,0 +1,82 @@
+#include "analysis/hill_climb.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+
+using genomics::SnpIndex;
+
+HillClimbResult hill_climb(const stats::HaplotypeEvaluator& evaluator,
+                           const HillClimbConfig& config,
+                           const ga::FeasibilityFilter& filter) {
+  const std::uint32_t n = evaluator.dataset().snp_count();
+  LDGA_EXPECTS(config.haplotype_size >= 1 && config.haplotype_size < n);
+
+  Rng rng(config.seed);
+  HillClimbResult result;
+  const std::uint64_t start = evaluator.evaluation_count();
+  auto used = [&] { return evaluator.evaluation_count() - start; };
+
+  // The budget counts unique pipeline executions (cache misses). On a
+  // small panel the climber can exhaust the reachable candidate space
+  // before spending the budget — cap total fitness *requests* so the
+  // search terminates instead of revisiting cached sets forever.
+  const std::uint64_t request_start = evaluator.request_count();
+  const std::uint64_t max_requests = 20 * config.max_evaluations + 1000;
+  auto exhausted = [&] {
+    return evaluator.request_count() - request_start >= max_requests;
+  };
+
+  while (used() < config.max_evaluations && !exhausted()) {
+    ++result.restarts;
+    ga::HaplotypeIndividual current =
+        filter.random_feasible(n, config.haplotype_size, rng);
+    current.set_fitness(evaluator.fitness(current.snps()));
+
+    bool improved = true;
+    while (improved && used() < config.max_evaluations && !exhausted()) {
+      improved = false;
+      ga::HaplotypeIndividual best_neighbor;
+      // Neighborhood: every (position, replacement) pair.
+      for (std::size_t position = 0;
+           position < current.snps().size() &&
+           used() < config.max_evaluations && !exhausted();
+           ++position) {
+        for (SnpIndex replacement = 0;
+             replacement < n && used() < config.max_evaluations &&
+             !exhausted();
+             ++replacement) {
+          if (current.contains(replacement)) continue;
+          std::vector<SnpIndex> snps = current.snps();
+          snps[position] = replacement;
+          ga::HaplotypeIndividual neighbor((std::vector<SnpIndex>(snps)));
+          if (!filter.feasible(neighbor.snps())) continue;
+          neighbor.set_fitness(evaluator.fitness(neighbor.snps()));
+          if (neighbor.fitness() > current.fitness() &&
+              (!best_neighbor.evaluated() ||
+               neighbor.fitness() > best_neighbor.fitness())) {
+            best_neighbor = std::move(neighbor);
+            if (!config.best_improvement) break;
+          }
+        }
+        if (!config.best_improvement && best_neighbor.evaluated()) break;
+      }
+      if (best_neighbor.evaluated()) {
+        current = std::move(best_neighbor);
+        improved = true;
+      }
+    }
+    if (!improved) ++result.local_optima_found;
+
+    if (!result.best.evaluated() ||
+        current.fitness() > result.best.fitness()) {
+      result.best = std::move(current);
+    }
+  }
+  result.evaluations = used();
+  return result;
+}
+
+}  // namespace ldga::analysis

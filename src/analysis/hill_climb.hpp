@@ -1,0 +1,36 @@
+// Multi-restart hill climbing baseline within one size class. Its
+// neighborhood (replace one SNP by another) is the deterministic,
+// exhaustive version of the GA's SNP mutation, so comparing the two
+// isolates what the population + adaptive machinery adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/constraints.hpp"
+#include "ga/haplotype_individual.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::analysis {
+
+struct HillClimbConfig {
+  std::uint32_t haplotype_size = 3;
+  std::uint64_t max_evaluations = 10'000;
+  /// Steepest-ascent (true) or first-improvement (false).
+  bool best_improvement = true;
+  std::uint64_t seed = 1;
+};
+
+struct HillClimbResult {
+  ga::HaplotypeIndividual best;
+  std::uint64_t evaluations = 0;
+  std::uint32_t restarts = 0;
+  std::uint32_t local_optima_found = 0;
+};
+
+/// Restarted hill climbing until the evaluation budget is spent.
+HillClimbResult hill_climb(const stats::HaplotypeEvaluator& evaluator,
+                           const HillClimbConfig& config,
+                           const ga::FeasibilityFilter& filter);
+
+}  // namespace ldga::analysis

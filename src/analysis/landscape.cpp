@@ -1,0 +1,129 @@
+#include "analysis/landscape.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::analysis {
+
+using genomics::SnpIndex;
+
+namespace {
+
+struct SnpSetHash {
+  std::size_t operator()(const std::vector<SnpIndex>& v) const {
+    std::uint64_t state = 0x6c616e64ULL ^ (v.size() << 32);
+    std::uint64_t h = 0;
+    for (const SnpIndex s : v) {
+      state ^= s;
+      h ^= splitmix64(state);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using ScoreMap = std::unordered_map<std::vector<SnpIndex>, double, SnpSetHash>;
+
+/// Percentile of `score` within the ascending-sorted `sorted_scores`:
+/// the fraction of candidates strictly better.
+double percentile_of(const std::vector<double>& sorted_scores, double score) {
+  const auto strictly_greater = sorted_scores.end() -
+                                std::upper_bound(sorted_scores.begin(),
+                                                 sorted_scores.end(), score);
+  return static_cast<double>(strictly_greater) /
+         static_cast<double>(sorted_scores.size());
+}
+
+}  // namespace
+
+LandscapeStudy run_landscape_study(const stats::HaplotypeEvaluator& evaluator,
+                                   std::uint32_t min_size,
+                                   std::uint32_t max_size,
+                                   const LandscapeConfig& config) {
+  LDGA_EXPECTS(min_size >= 1 && min_size <= max_size);
+
+  LandscapeStudy study;
+  // Full score maps for all but the largest size (needed for subset
+  // lookups), plus sorted score vectors per size for percentiles.
+  std::unordered_map<std::uint32_t, ScoreMap> maps;
+  std::unordered_map<std::uint32_t, std::vector<double>> sorted_scores;
+
+  EnumerationConfig enum_config;
+  enum_config.top_n = config.top_n;
+  enum_config.max_candidates = config.max_candidates_per_size;
+  enum_config.workers = config.workers;
+
+  for (std::uint32_t k = min_size; k <= max_size; ++k) {
+    // Top list (parallel path) and full score sweep (serial; dominated
+    // by pipeline cost which the parallel top pass already amortized
+    // through the evaluator cache? evaluate_full is uncached, so the
+    // sweep below pays full cost — acceptable for study-sized problems).
+    RunningStats stats;
+    ScoreMap map;
+    const bool keep_map = k < max_size;
+    std::vector<double>& scores = sorted_scores[k];
+    enumerate_scores(
+        evaluator, k,
+        [&](const std::vector<SnpIndex>& snps, double fitness) {
+          stats.add(fitness);
+          scores.push_back(fitness);
+          if (keep_map) map.emplace(snps, fitness);
+        },
+        config.max_candidates_per_size);
+    std::sort(scores.begin(), scores.end());
+    if (keep_map) maps.emplace(k, std::move(map));
+
+    // Top-N via the already-computed sweep would need storing all
+    // candidates; reuse the parallel enumerator for the top list.
+    EnumerationResult top = enumerate_all(evaluator, k, enum_config);
+
+    LandscapeSizeSummary summary;
+    summary.haplotype_size = k;
+    summary.candidates = stats.count();
+    summary.mean = stats.mean();
+    summary.stddev = stats.stddev();
+    summary.min = stats.min();
+    summary.max = stats.max();
+    summary.top = std::move(top.best);
+    study.summaries.push_back(std::move(summary));
+  }
+
+  // Building-block containment: does a top size-k haplotype contain a
+  // highly ranked size-(k−1) haplotype?
+  for (std::uint32_t k = min_size + 1; k <= max_size; ++k) {
+    const auto& tops = study.summaries[k - min_size].top;
+    const auto& sub_scores = sorted_scores[k - 1];
+    const auto& sub_map = maps.at(k - 1);
+
+    BuildingBlockReport report;
+    report.haplotype_size = k;
+    std::uint32_t without_good_blocks = 0;
+    for (const auto& top : tops) {
+      double best_percentile = 1.0;
+      for (std::size_t drop = 0; drop < top.snps.size(); ++drop) {
+        std::vector<SnpIndex> subset;
+        subset.reserve(top.snps.size() - 1);
+        for (std::size_t i = 0; i < top.snps.size(); ++i) {
+          if (i != drop) subset.push_back(top.snps[i]);
+        }
+        const auto found = sub_map.find(subset);
+        LDGA_ENSURES(found != sub_map.end());
+        best_percentile = std::min(
+            best_percentile, percentile_of(sub_scores, found->second));
+      }
+      report.best_subset_percentile.push_back(best_percentile);
+      if (best_percentile > config.block_quantile) ++without_good_blocks;
+    }
+    report.fraction_without_good_blocks =
+        tops.empty() ? 0.0
+                     : static_cast<double>(without_good_blocks) /
+                           static_cast<double>(tops.size());
+    study.building_blocks.push_back(std::move(report));
+  }
+  return study;
+}
+
+}  // namespace ldga::analysis

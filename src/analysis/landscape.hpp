@@ -1,0 +1,63 @@
+// The §3 landscape study: what the fitness landscape looks like per
+// haplotype size, and whether good size-k haplotypes are built from
+// good size-(k−1) ones. The paper's two findings — (1) they often are
+// NOT, defeating constructive/greedy methods, and (2) scores grow with
+// size, defeating size-blind enumeration — are exactly what this module
+// quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/enumeration.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::analysis {
+
+struct LandscapeSizeSummary {
+  std::uint32_t haplotype_size = 0;
+  std::uint64_t candidates = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Best `top_n` haplotypes of this size, best first.
+  std::vector<ScoredHaplotype> top;
+};
+
+/// Building-block analysis for one size k (k > min studied size): for
+/// each of the top-N size-k haplotypes, the rank percentile of its best
+/// size-(k−1) sub-haplotype (0 = the best (k−1)-haplotype, 1 = the
+/// worst).
+struct BuildingBlockReport {
+  std::uint32_t haplotype_size = 0;  ///< k
+  /// Per top size-k haplotype: min percentile over its k subsets.
+  std::vector<double> best_subset_percentile;
+  /// Fraction of the top size-k haplotypes for which NO (k−1)-subset
+  /// ranks within `block_quantile` — the paper's counterexamples to
+  /// constructive methods.
+  double fraction_without_good_blocks = 0.0;
+};
+
+struct LandscapeConfig {
+  std::uint32_t top_n = 10;
+  /// A sub-haplotype is a "good block" if its percentile <= this.
+  double block_quantile = 0.05;
+  std::uint64_t max_candidates_per_size = 50'000'000;
+  std::uint32_t workers = 0;  ///< 0 = hardware concurrency
+};
+
+struct LandscapeStudy {
+  std::vector<LandscapeSizeSummary> summaries;       ///< one per size
+  std::vector<BuildingBlockReport> building_blocks;  ///< sizes > min
+};
+
+/// Enumerates every size in [min_size, max_size] and assembles the
+/// study. Cost is the full enumeration of each size; check
+/// search_space_table first.
+LandscapeStudy run_landscape_study(const stats::HaplotypeEvaluator& evaluator,
+                                   std::uint32_t min_size,
+                                   std::uint32_t max_size,
+                                   const LandscapeConfig& config = {});
+
+}  // namespace ldga::analysis

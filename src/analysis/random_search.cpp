@@ -1,0 +1,43 @@
+#include "analysis/random_search.hpp"
+
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+
+RandomSearchResult random_search(const stats::HaplotypeEvaluator& evaluator,
+                                 const RandomSearchConfig& config,
+                                 const ga::FeasibilityFilter& filter) {
+  LDGA_EXPECTS(config.min_size >= 1 && config.min_size <= config.max_size);
+  LDGA_EXPECTS(config.max_size <= evaluator.dataset().snp_count());
+
+  Rng rng(config.seed);
+  const std::uint32_t n_sizes = config.max_size - config.min_size + 1;
+  RandomSearchResult result;
+  result.best_by_size.resize(n_sizes);
+
+  // Same exhaustion guard as hill_climb: the budget counts unique
+  // pipeline executions, so cap total requests to guarantee termination
+  // when the candidate space is smaller than the budget.
+  const std::uint64_t request_start = evaluator.request_count();
+  const std::uint64_t max_requests = 20 * config.max_evaluations + 1000;
+
+  const std::uint64_t start = evaluator.evaluation_count();
+  while (evaluator.evaluation_count() - start < config.max_evaluations &&
+         evaluator.request_count() - request_start < max_requests) {
+    const auto size = static_cast<std::uint32_t>(
+        config.min_size + rng.below(n_sizes));
+    ga::HaplotypeIndividual candidate = filter.random_feasible(
+        evaluator.dataset().snp_count(), size, rng);
+    candidate.set_fitness(evaluator.fitness(candidate.snps()));
+
+    ga::HaplotypeIndividual& best =
+        result.best_by_size[size - config.min_size];
+    if (!best.evaluated() || candidate.fitness() > best.fitness()) {
+      best = std::move(candidate);
+    }
+  }
+  result.evaluations = evaluator.evaluation_count() - start;
+  return result;
+}
+
+}  // namespace ldga::analysis

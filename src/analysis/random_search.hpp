@@ -1,0 +1,35 @@
+// Pure random search baseline: same evaluation budget accounting as the
+// GA, no learning. The natural lower bar for the §5.2 "number of
+// evaluations" comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/constraints.hpp"
+#include "ga/haplotype_individual.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::analysis {
+
+struct RandomSearchConfig {
+  std::uint32_t min_size = 2;
+  std::uint32_t max_size = 6;
+  std::uint64_t max_evaluations = 10'000;
+  std::uint64_t seed = 1;
+};
+
+struct RandomSearchResult {
+  /// Best individual found per size class (index 0 = min_size).
+  std::vector<ga::HaplotypeIndividual> best_by_size;
+  std::uint64_t evaluations = 0;
+};
+
+/// Draws uniformly random feasible individuals of uniformly random size
+/// until the evaluation budget is spent (cache hits don't count, same
+/// as the GA's accounting).
+RandomSearchResult random_search(const stats::HaplotypeEvaluator& evaluator,
+                                 const RandomSearchConfig& config,
+                                 const ga::FeasibilityFilter& filter);
+
+}  // namespace ldga::analysis

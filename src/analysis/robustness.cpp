@@ -1,0 +1,67 @@
+#include "analysis/robustness.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace ldga::analysis {
+
+using genomics::SnpIndex;
+
+double jaccard_similarity(std::span<const SnpIndex> a,
+                          std::span<const SnpIndex> b) {
+  LDGA_EXPECTS(std::is_sorted(a.begin(), a.end()));
+  LDGA_EXPECTS(std::is_sorted(b.begin(), b.end()));
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+RobustnessReport measure_robustness(
+    const stats::HaplotypeEvaluator& evaluator, ga::GaConfig config,
+    std::uint32_t runs, const ga::FeasibilityFilter& filter) {
+  LDGA_EXPECTS(runs >= 2);
+
+  RobustnessReport report;
+  const std::uint64_t base_seed = config.seed;
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    config.seed = base_seed + run;
+    ga::GaEngine engine(evaluator, config, filter);
+    report.runs.push_back(engine.run());
+  }
+
+  const std::size_t n_sizes = report.runs.front().best_by_size.size();
+  for (std::size_t s = 0; s < n_sizes; ++s) {
+    RunningStats jaccard;
+    RunningStats fitness;
+    for (std::uint32_t a = 0; a < runs; ++a) {
+      fitness.add(report.runs[a].best_by_size[s].fitness());
+      for (std::uint32_t b = a + 1; b < runs; ++b) {
+        jaccard.add(jaccard_similarity(
+            report.runs[a].best_by_size[s].snps(),
+            report.runs[b].best_by_size[s].snps()));
+      }
+    }
+    report.mean_jaccard_by_size.push_back(jaccard.mean());
+    report.fitness_cv_by_size.push_back(
+        fitness.mean() > 0.0 ? fitness.stddev() / fitness.mean() : 0.0);
+  }
+  return report;
+}
+
+}  // namespace ldga::analysis

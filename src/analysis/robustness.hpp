@@ -1,0 +1,39 @@
+// Run-to-run robustness measurement (paper §5.2: on the 249-SNP data
+// the GA "has shown a good robustness (solutions provided are similar
+// from one execution to another)"). We quantify that as the mean
+// pairwise Jaccard similarity of the per-size best SNP sets across
+// independent runs, plus the coefficient of variation of their fitness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ga/constraints.hpp"
+#include "ga/engine.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::analysis {
+
+/// |A ∩ B| / |A ∪ B| of two ascending SNP lists.
+double jaccard_similarity(std::span<const genomics::SnpIndex> a,
+                          std::span<const genomics::SnpIndex> b);
+
+struct RobustnessReport {
+  /// Mean pairwise Jaccard of the best haplotypes, per size class.
+  std::vector<double> mean_jaccard_by_size;
+  /// Coefficient of variation (stddev/mean) of best fitness, per size.
+  std::vector<double> fitness_cv_by_size;
+  /// Per-run results for downstream inspection.
+  std::vector<ga::GaResult> runs;
+};
+
+/// Runs the GA `runs` times with seeds base_seed, base_seed+1, ... and
+/// aggregates similarity. All runs share the evaluator (and its cache:
+/// repeat evaluations are free, exactly as re-running the tool would
+/// be with persisted results).
+RobustnessReport measure_robustness(
+    const stats::HaplotypeEvaluator& evaluator, ga::GaConfig config,
+    std::uint32_t runs, const ga::FeasibilityFilter& filter);
+
+}  // namespace ldga::analysis

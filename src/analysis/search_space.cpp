@@ -1,0 +1,62 @@
+#include "analysis/search_space.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/combinatorics.hpp"
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+
+std::string SearchSpaceRow::formatted() const {
+  if (exact_valid) {
+    // Group digits in threes, as the paper prints ("2 349 060").
+    std::string digits = std::to_string(exact_count);
+    std::string grouped;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && (n - i) % 3 == 0) grouped += ' ';
+      grouped += digits[i];
+    }
+    return grouped;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2e", std::pow(10.0, log10_count));
+  return buffer;
+}
+
+std::vector<SearchSpaceRow> search_space_table(std::uint32_t snp_count,
+                                               std::uint32_t min_size,
+                                               std::uint32_t max_size) {
+  LDGA_EXPECTS(min_size >= 1 && min_size <= max_size);
+  std::vector<SearchSpaceRow> rows;
+  for (std::uint32_t k = min_size; k <= max_size; ++k) {
+    SearchSpaceRow row;
+    row.haplotype_size = k;
+    row.log10_count = log_choose(snp_count, k) / std::log(10.0);
+    if (!choose_overflows(snp_count, k)) {
+      row.exact_count = choose(snp_count, k);
+      row.exact_valid = true;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double log10_total_search_space(std::uint32_t snp_count,
+                                std::uint32_t min_size,
+                                std::uint32_t max_size) {
+  // Sum in linear domain via the log-sum-exp trick to stay stable.
+  double max_log = -1e300;
+  std::vector<double> logs;
+  for (std::uint32_t k = min_size; k <= max_size; ++k) {
+    const double l = log_choose(snp_count, k);
+    logs.push_back(l);
+    if (l > max_log) max_log = l;
+  }
+  double sum = 0.0;
+  for (const double l : logs) sum += std::exp(l - max_log);
+  return (max_log + std::log(sum)) / std::log(10.0);
+}
+
+}  // namespace ldga::analysis

@@ -1,0 +1,34 @@
+// Search-space accounting (paper Table 1): the number of candidate
+// haplotypes of each size for a given panel, and totals over a size
+// range — the numbers that rule out exhaustive enumeration (§3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldga::analysis {
+
+struct SearchSpaceRow {
+  std::uint32_t haplotype_size = 0;
+  /// Exact count when it fits in 64 bits.
+  std::uint64_t exact_count = 0;
+  bool exact_valid = false;
+  /// Always valid: log10 of the count.
+  double log10_count = 0.0;
+
+  /// "2 349 060" or "7.6e12"-style rendering like the paper's table.
+  std::string formatted() const;
+};
+
+/// One row per size in [min_size, max_size] for an n-SNP panel.
+std::vector<SearchSpaceRow> search_space_table(std::uint32_t snp_count,
+                                               std::uint32_t min_size,
+                                               std::uint32_t max_size);
+
+/// log10 of the total number of candidates across the size range.
+double log10_total_search_space(std::uint32_t snp_count,
+                                std::uint32_t min_size,
+                                std::uint32_t max_size);
+
+}  // namespace ldga::analysis

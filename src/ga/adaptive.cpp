@@ -1,0 +1,91 @@
+#include "ga/adaptive.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace ldga::ga {
+
+AdaptiveRateController::AdaptiveRateController(std::vector<std::string> names,
+                                               double global_rate,
+                                               double min_rate)
+    : names_(std::move(names)),
+      global_rate_(global_rate),
+      min_rate_(min_rate) {
+  const auto m = static_cast<double>(names_.size());
+  if (names_.empty()) {
+    throw ConfigError("AdaptiveRateController: need at least one operator");
+  }
+  if (global_rate <= 0.0 || global_rate > 1.0) {
+    throw ConfigError("AdaptiveRateController: global rate must be in (0,1]");
+  }
+  if (min_rate < 0.0 || m * min_rate > global_rate) {
+    throw ConfigError(
+        "AdaptiveRateController: need 0 <= m*min_rate <= global_rate");
+  }
+  rates_.assign(names_.size(), global_rate_ / m);
+  progress_sum_.assign(names_.size(), 0.0);
+  count_.assign(names_.size(), 0);
+  lifetime_count_.assign(names_.size(), 0);
+}
+
+const std::string& AdaptiveRateController::name(std::uint32_t op) const {
+  LDGA_EXPECTS(op < names_.size());
+  return names_[op];
+}
+
+double AdaptiveRateController::rate(std::uint32_t op) const {
+  LDGA_EXPECTS(op < rates_.size());
+  return rates_[op];
+}
+
+void AdaptiveRateController::record(std::uint32_t op, double progress) {
+  LDGA_EXPECTS(op < rates_.size());
+  progress_sum_[op] += progress > 0.0 ? progress : 0.0;
+  ++count_[op];
+  ++lifetime_count_[op];
+}
+
+void AdaptiveRateController::end_generation() {
+  if (!frozen_) {
+    // Mean progress per operator; operators not applied this generation
+    // contribute zero profit (no evidence of usefulness this round).
+    std::vector<double> mean(progress_sum_.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t op = 0; op < mean.size(); ++op) {
+      if (count_[op] > 0) {
+        mean[op] = progress_sum_[op] / static_cast<double>(count_[op]);
+      }
+      total += mean[op];
+    }
+    if (total > 0.0) {
+      const auto m = static_cast<double>(rates_.size());
+      const double spread = global_rate_ - m * min_rate_;
+      for (std::size_t op = 0; op < rates_.size(); ++op) {
+        rates_[op] = (mean[op] / total) * spread + min_rate_;
+      }
+    }
+    // total == 0: keep previous rates — a silent generation carries no
+    // signal to redistribute on.
+  }
+  std::fill(progress_sum_.begin(), progress_sum_.end(), 0.0);
+  std::fill(count_.begin(), count_.end(), 0);
+}
+
+std::uint32_t AdaptiveRateController::sample(double uniform01) const {
+  // Inverse CDF over rates (they sum to global_rate_).
+  double target = uniform01 * global_rate_;
+  for (std::uint32_t op = 0; op < rates_.size(); ++op) {
+    target -= rates_[op];
+    if (target < 0.0) return op;
+  }
+  return static_cast<std::uint32_t>(rates_.size() - 1);
+}
+
+std::uint64_t AdaptiveRateController::applications(std::uint32_t op) const {
+  LDGA_EXPECTS(op < lifetime_count_.size());
+  return lifetime_count_[op];
+}
+
+}  // namespace ldga::ga

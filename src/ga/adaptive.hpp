@@ -1,0 +1,69 @@
+// Adaptive operator-rate control (paper §4.3.1, after Hong, Wang & Chen
+// 2000, "Simultaneously applying multiple mutation operators").
+//
+// During a generation every application of operator i records its
+// progress prog_j(i) — a normalized-fitness improvement, clamped at 0.
+// At generation end the operator's profit is its mean progress,
+//   profit_i = (Σ_j prog_j(i) / N_i) / Σ_m (Σ_j prog_j(m) / N_m),
+// and the new rate redistributes the global rate G over the m operators
+// with a floor δ each:
+//   rate_i = profit_i · (G − m·δ) + δ,
+// so Σ rate_i = G always (the paper's invariant: "the sum of all the
+// mutation rates is equal to the global rate of mutation").
+// Operators start at G/m; a generation with zero total profit keeps the
+// previous rates (no information, no change).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ldga::ga {
+
+class AdaptiveRateController {
+ public:
+  /// `names` label the operators (for telemetry); `global_rate` is G;
+  /// `min_rate` is δ. Requires m·δ <= G.
+  AdaptiveRateController(std::vector<std::string> names, double global_rate,
+                         double min_rate);
+
+  /// Freezes adaptation: rates stay at G/m forever (the paper's
+  /// non-adaptive ablation arms).
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  std::uint32_t operator_count() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  const std::string& name(std::uint32_t op) const;
+  double global_rate() const { return global_rate_; }
+
+  double rate(std::uint32_t op) const;
+  const std::vector<double>& rates() const { return rates_; }
+
+  /// Records one application of operator `op` with the given progress
+  /// (negative values are clamped to 0).
+  void record(std::uint32_t op, double progress);
+
+  /// Recomputes rates from the generation's accumulated profits and
+  /// clears the accumulators.
+  void end_generation();
+
+  /// Draws an operator index with probability rate_i / G.
+  /// (Rates sum to G, so this is a proper distribution over operators.)
+  std::uint32_t sample(double uniform01) const;
+
+  std::uint64_t applications(std::uint32_t op) const;
+
+ private:
+  std::vector<std::string> names_;
+  double global_rate_;
+  double min_rate_;
+  bool frozen_ = false;
+  std::vector<double> rates_;
+  std::vector<double> progress_sum_;
+  std::vector<std::uint64_t> count_;
+  std::vector<std::uint64_t> lifetime_count_;
+};
+
+}  // namespace ldga::ga

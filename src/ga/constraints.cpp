@@ -1,0 +1,60 @@
+#include "ga/constraints.hpp"
+
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+FeasibilityFilter::FeasibilityFilter() = default;
+
+FeasibilityFilter::FeasibilityFilter(
+    const genomics::LdMatrix& ld, const genomics::AlleleFrequencyTable& freqs,
+    ConstraintConfig config)
+    : ld_(&ld), freqs_(&freqs), config_(config),
+      enabled_(!config.disabled()) {
+  LDGA_EXPECTS(ld.snp_count() == freqs.size());
+}
+
+bool FeasibilityFilter::pair_feasible(SnpIndex a, SnpIndex b) const {
+  if (!enabled_) return true;
+  LDGA_EXPECTS(a != b);
+  if (ld_->at(a, b).d_prime >= config_.max_pairwise_d_prime) return false;
+  if (freqs_->minor_frequency_gap(a, b) < config_.min_frequency_gap) {
+    return false;
+  }
+  return true;
+}
+
+bool FeasibilityFilter::feasible(std::span<const SnpIndex> snps) const {
+  if (!enabled_) return true;
+  for (std::size_t i = 0; i + 1 < snps.size(); ++i) {
+    for (std::size_t j = i + 1; j < snps.size(); ++j) {
+      if (!pair_feasible(snps[i], snps[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool FeasibilityFilter::addition_feasible(std::span<const SnpIndex> snps,
+                                          SnpIndex snp) const {
+  if (!enabled_) return true;
+  for (const SnpIndex existing : snps) {
+    if (existing == snp) return false;
+    if (!pair_feasible(existing, snp)) return false;
+  }
+  return true;
+}
+
+HaplotypeIndividual FeasibilityFilter::random_feasible(
+    std::uint32_t snp_count, std::uint32_t size, Rng& rng,
+    std::uint32_t max_attempts) const {
+  HaplotypeIndividual candidate =
+      HaplotypeIndividual::random(snp_count, size, rng);
+  if (!enabled_) return candidate;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (feasible(candidate.snps())) return candidate;
+    candidate = HaplotypeIndividual::random(snp_count, size, rng);
+  }
+  return candidate;  // best effort; caller may still use it
+}
+
+}  // namespace ldga::ga

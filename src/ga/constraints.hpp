@@ -1,0 +1,69 @@
+// The §2.3 feasibility conditions on haplotypes: any two SNPs in a
+// haplotype must have (a) pairwise disequilibrium below a threshold T_d
+// — they should tag *different* signals, not echo each other — and (b)
+// a minor-variant frequency gap above a threshold T_f.
+//
+// Defaults are permissive (T_d = 1, T_f = 0: everything feasible) so
+// that the filter only constrains the search when the biologist asks it
+// to, matching how the thresholds are user parameters in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "genomics/allele_freq.hpp"
+#include "genomics/ld.hpp"
+#include "ga/haplotype_individual.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::ga {
+
+struct ConstraintConfig {
+  /// Pairwise |D'| must be strictly below this (1.0 disables).
+  double max_pairwise_d_prime = 1.0;
+  /// |maf(a) − maf(b)| must be >= this (0.0 disables).
+  double min_frequency_gap = 0.0;
+
+  bool disabled() const {
+    return max_pairwise_d_prime >= 1.0 && min_frequency_gap <= 0.0;
+  }
+};
+
+class FeasibilityFilter {
+ public:
+  /// A disabled filter accepting everything (no tables needed).
+  FeasibilityFilter();
+
+  /// A filter over precomputed dataset statistics. The tables must
+  /// outlive the filter.
+  FeasibilityFilter(const genomics::LdMatrix& ld,
+                    const genomics::AlleleFrequencyTable& freqs,
+                    ConstraintConfig config);
+
+  bool pair_feasible(SnpIndex a, SnpIndex b) const;
+
+  /// Every pair within the set must be feasible.
+  bool feasible(std::span<const SnpIndex> snps) const;
+
+  /// May `snp` be added to `snps` (checks snp against each member)?
+  bool addition_feasible(std::span<const SnpIndex> snps, SnpIndex snp) const;
+
+  /// Uniformly random feasible individual of the given size; retries up
+  /// to `max_attempts` whole draws, then falls back to the best-effort
+  /// draw (returned infeasible rather than looping forever — with tight
+  /// thresholds a feasible set of that size may not exist).
+  HaplotypeIndividual random_feasible(std::uint32_t snp_count,
+                                      std::uint32_t size, Rng& rng,
+                                      std::uint32_t max_attempts = 50) const;
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  const genomics::LdMatrix* ld_ = nullptr;
+  const genomics::AlleleFrequencyTable* freqs_ = nullptr;
+  ConstraintConfig config_;
+  bool enabled_ = false;
+};
+
+}  // namespace ldga::ga

@@ -1,0 +1,45 @@
+#include "ga/haplotype_individual.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+HaplotypeIndividual::HaplotypeIndividual(std::vector<SnpIndex> snps)
+    : snps_(std::move(snps)) {
+  std::sort(snps_.begin(), snps_.end());
+  snps_.erase(std::unique(snps_.begin(), snps_.end()), snps_.end());
+}
+
+HaplotypeIndividual HaplotypeIndividual::random(std::uint32_t snp_count,
+                                                std::uint32_t size,
+                                                Rng& rng) {
+  LDGA_EXPECTS(size >= 1 && size <= snp_count);
+  return HaplotypeIndividual(rng.sample_without_replacement(snp_count, size));
+}
+
+bool HaplotypeIndividual::contains(SnpIndex snp) const {
+  return std::binary_search(snps_.begin(), snps_.end(), snp);
+}
+
+double HaplotypeIndividual::fitness() const {
+  LDGA_EXPECTS(evaluated_);
+  return fitness_;
+}
+
+void HaplotypeIndividual::set_fitness(double value) {
+  fitness_ = value;
+  evaluated_ = true;
+}
+
+std::string HaplotypeIndividual::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < snps_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(snps_[i] + 1);
+  }
+  return out;
+}
+
+}  // namespace ldga::ga

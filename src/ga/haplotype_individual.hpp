@@ -1,0 +1,61 @@
+// The GA's individual (paper §4.1): a candidate haplotype encoded as
+//   - its size (number of SNPs),
+//   - a table of SNP indices in ascending order without repetition,
+//   - a real fitness value.
+// Size is implicit in the vector; the class enforces the ordering and
+// uniqueness invariant on construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "genomics/types.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::ga {
+
+using genomics::SnpIndex;
+
+class HaplotypeIndividual {
+ public:
+  HaplotypeIndividual() = default;
+
+  /// Takes any SNP list; sorts and removes duplicates (the canonical
+  /// form §4.1 requires). Crossover relies on this normalization.
+  explicit HaplotypeIndividual(std::vector<SnpIndex> snps);
+
+  /// Uniformly random individual with `size` distinct SNPs from a panel
+  /// of `snp_count` markers.
+  static HaplotypeIndividual random(std::uint32_t snp_count,
+                                    std::uint32_t size, Rng& rng);
+
+  const std::vector<SnpIndex>& snps() const { return snps_; }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(snps_.size());
+  }
+  bool contains(SnpIndex snp) const;
+
+  bool evaluated() const { return evaluated_; }
+  double fitness() const;
+  void set_fitness(double value);
+  void invalidate_fitness() { evaluated_ = false; }
+
+  /// Same SNP set (fitness ignored) — the paper's duplicate test for
+  /// replacement.
+  bool same_snps(const HaplotypeIndividual& other) const {
+    return snps_ == other.snps_;
+  }
+
+  /// "8 12 15" — SNP indices are reported 1-based like the paper's
+  /// Table 2 rows.
+  std::string to_string() const;
+
+ private:
+  std::vector<SnpIndex> snps_;
+  double fitness_ = 0.0;
+  bool evaluated_ = false;
+};
+
+}  // namespace ldga::ga

@@ -1,0 +1,135 @@
+#include "ga/multipopulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/combinatorics.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace ldga::ga {
+
+std::vector<std::uint32_t> Multipopulation::allocate_capacities(
+    std::uint32_t snp_count, std::uint32_t min_size, std::uint32_t max_size,
+    std::uint32_t total_capacity, std::uint32_t min_subpopulation,
+    AllocationPolicy policy) {
+  LDGA_EXPECTS(min_size >= 1 && min_size <= max_size);
+  LDGA_EXPECTS(max_size <= snp_count);
+  const std::uint32_t n_sizes = max_size - min_size + 1;
+  LDGA_EXPECTS(total_capacity >= n_sizes * min_subpopulation);
+  LDGA_EXPECTS(min_subpopulation >= 1);
+
+  // Hard ceiling per size class: can't hold more distinct individuals
+  // than subsets exist.
+  std::vector<double> ceiling(n_sizes);
+  std::vector<double> weight(n_sizes);
+  for (std::uint32_t i = 0; i < n_sizes; ++i) {
+    const std::uint32_t k = min_size + i;
+    ceiling[i] = choose_overflows(snp_count, k)
+                     ? 1e18
+                     : static_cast<double>(choose(snp_count, k));
+    weight[i] = policy == AllocationPolicy::Uniform
+                    ? 1.0
+                    : std::max(log_choose(snp_count, k), 1.0);
+  }
+
+  // Proportional allocation with floors and ceilings, fixed up by
+  // largest-remainder style adjustment.
+  std::vector<std::uint32_t> capacity(n_sizes);
+  const double weight_sum =
+      std::accumulate(weight.begin(), weight.end(), 0.0);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t i = 0; i < n_sizes; ++i) {
+    double share = total_capacity * weight[i] / weight_sum;
+    share = std::max(share, static_cast<double>(min_subpopulation));
+    share = std::min(share, ceiling[i]);
+    capacity[i] = static_cast<std::uint32_t>(share);
+    assigned += capacity[i];
+  }
+  // Distribute the remainder (or claw back excess) one slot at a time,
+  // preferring larger sizes (bigger search spaces), respecting bounds.
+  while (assigned < total_capacity) {
+    bool changed = false;
+    for (std::uint32_t i = n_sizes; i > 0 && assigned < total_capacity; --i) {
+      if (static_cast<double>(capacity[i - 1]) + 1.0 <= ceiling[i - 1]) {
+        ++capacity[i - 1];
+        ++assigned;
+        changed = true;
+      }
+    }
+    if (!changed) break;  // every class is at its ceiling
+  }
+  while (assigned > total_capacity) {
+    bool changed = false;
+    for (std::uint32_t i = 0; i < n_sizes && assigned > total_capacity; ++i) {
+      if (capacity[i] > min_subpopulation) {
+        --capacity[i];
+        --assigned;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return capacity;
+}
+
+Multipopulation::Multipopulation(std::uint32_t snp_count,
+                                 std::uint32_t min_size,
+                                 std::uint32_t max_size,
+                                 std::uint32_t total_capacity,
+                                 std::uint32_t min_subpopulation,
+                                 AllocationPolicy policy)
+    : min_size_(min_size), max_size_(max_size) {
+  const auto capacities =
+      allocate_capacities(snp_count, min_size, max_size, total_capacity,
+                          min_subpopulation, policy);
+  subpopulations_.reserve(capacities.size());
+  for (std::uint32_t i = 0; i < capacities.size(); ++i) {
+    subpopulations_.emplace_back(min_size + i, capacities[i]);
+  }
+}
+
+Subpopulation& Multipopulation::by_size(std::uint32_t haplotype_size) {
+  LDGA_EXPECTS(has_size(haplotype_size));
+  return subpopulations_[haplotype_size - min_size_];
+}
+
+const Subpopulation& Multipopulation::by_size(
+    std::uint32_t haplotype_size) const {
+  LDGA_EXPECTS(has_size(haplotype_size));
+  return subpopulations_[haplotype_size - min_size_];
+}
+
+Subpopulation& Multipopulation::at(std::uint32_t index) {
+  LDGA_EXPECTS(index < subpopulations_.size());
+  return subpopulations_[index];
+}
+
+const Subpopulation& Multipopulation::at(std::uint32_t index) const {
+  LDGA_EXPECTS(index < subpopulations_.size());
+  return subpopulations_[index];
+}
+
+std::uint32_t Multipopulation::total_individuals() const {
+  std::uint32_t total = 0;
+  for (const auto& sub : subpopulations_) total += sub.size();
+  return total;
+}
+
+double Multipopulation::stagnation_signature() const {
+  KahanSum sum;
+  for (const auto& sub : subpopulations_) {
+    if (sub.size() > 0) sum.add(sub.best().fitness());
+  }
+  return sum.value();
+}
+
+std::vector<FitnessRange> Multipopulation::ranges() const {
+  std::vector<FitnessRange> out;
+  out.reserve(subpopulations_.size());
+  for (const auto& sub : subpopulations_) out.push_back(sub.fitness_range());
+  return out;
+}
+
+}  // namespace ldga::ga

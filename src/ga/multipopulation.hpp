@@ -1,0 +1,75 @@
+// The global population of the GA: one subpopulation per haplotype size
+// from min_size to max_size (paper §4.2). Subpopulation capacities are
+// unequal — they grow with the size of the per-size search space
+// C(n, k) — here proportionally to log C(n, k), which keeps the ratio
+// sensible when C explodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/subpopulation.hpp"
+
+namespace ldga::ga {
+
+/// How the global population is split across size classes. The paper's
+/// choice is search-space-proportional (§4.2); Uniform is the ablation
+/// arm for that design decision.
+enum class AllocationPolicy : std::uint8_t {
+  LogSearchSpace,  ///< proportional to log C(n, k) — the paper's rule
+  Uniform,         ///< equal shares
+};
+
+class Multipopulation {
+ public:
+  /// Computes per-size capacities for sizes [min_size, max_size] summing
+  /// to total_capacity, each at least min_subpopulation, weighted by the
+  /// policy and never exceeding C(snp_count, size) itself (a
+  /// subpopulation cannot hold more distinct individuals than the size
+  /// class has).
+  static std::vector<std::uint32_t> allocate_capacities(
+      std::uint32_t snp_count, std::uint32_t min_size,
+      std::uint32_t max_size, std::uint32_t total_capacity,
+      std::uint32_t min_subpopulation,
+      AllocationPolicy policy = AllocationPolicy::LogSearchSpace);
+
+  Multipopulation(std::uint32_t snp_count, std::uint32_t min_size,
+                  std::uint32_t max_size, std::uint32_t total_capacity,
+                  std::uint32_t min_subpopulation,
+                  AllocationPolicy policy = AllocationPolicy::LogSearchSpace);
+
+  std::uint32_t min_size() const { return min_size_; }
+  std::uint32_t max_size() const { return max_size_; }
+  std::uint32_t subpopulation_count() const {
+    return static_cast<std::uint32_t>(subpopulations_.size());
+  }
+
+  Subpopulation& by_size(std::uint32_t haplotype_size);
+  const Subpopulation& by_size(std::uint32_t haplotype_size) const;
+
+  Subpopulation& at(std::uint32_t index);
+  const Subpopulation& at(std::uint32_t index) const;
+
+  bool has_size(std::uint32_t haplotype_size) const {
+    return haplotype_size >= min_size_ && haplotype_size <= max_size_;
+  }
+
+  std::uint32_t total_individuals() const;
+
+  /// The best individual across all subpopulations — sizes are *not*
+  /// score-comparable (paper §3), so this is only used for stagnation
+  /// detection, where any strict improvement in any subpopulation
+  /// counts. Returns the sum of per-subpopulation bests, which increases
+  /// exactly when some subpopulation's best improves.
+  double stagnation_signature() const;
+
+  /// Fitness ranges of every subpopulation, indexed like at().
+  std::vector<FitnessRange> ranges() const;
+
+ private:
+  std::uint32_t min_size_;
+  std::uint32_t max_size_;
+  std::vector<Subpopulation> subpopulations_;
+};
+
+}  // namespace ldga::ga

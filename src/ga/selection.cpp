@@ -1,0 +1,65 @@
+#include "ga/selection.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+Selector::Selector(SelectionConfig config) : config_(config) {
+  LDGA_EXPECTS(config_.tournament_size >= 1);
+}
+
+std::uint32_t Selector::pick_subpopulation(const Multipopulation& population,
+                                           Rng& rng) const {
+  std::vector<double> weights(population.subpopulation_count(), 0.0);
+  bool any_pair = false;
+  for (std::uint32_t i = 0; i < weights.size(); ++i) {
+    const std::uint32_t members = population.at(i).size();
+    if (members >= 2) {
+      weights[i] = static_cast<double>(members);
+      any_pair = true;
+    }
+  }
+  if (!any_pair) {
+    for (std::uint32_t i = 0; i < weights.size(); ++i) {
+      weights[i] = static_cast<double>(population.at(i).size());
+    }
+  }
+  return static_cast<std::uint32_t>(rng.weighted_index(weights));
+}
+
+std::uint32_t Selector::pick_other_subpopulation(
+    const Multipopulation& population, std::uint32_t exclude,
+    Rng& rng) const {
+  std::vector<double> weights(population.subpopulation_count(), 0.0);
+  bool any = false;
+  for (std::uint32_t i = 0; i < weights.size(); ++i) {
+    if (i == exclude) continue;
+    const std::uint32_t members = population.at(i).size();
+    if (members >= 1) {
+      weights[i] = static_cast<double>(members);
+      any = true;
+    }
+  }
+  if (!any) return exclude;
+  return static_cast<std::uint32_t>(rng.weighted_index(weights));
+}
+
+std::uint32_t Selector::tournament(const Subpopulation& subpopulation,
+                                   Rng& rng) const {
+  LDGA_EXPECTS(subpopulation.size() >= 1);
+  std::uint32_t best =
+      static_cast<std::uint32_t>(rng.below(subpopulation.size()));
+  for (std::uint32_t round = 1; round < config_.tournament_size; ++round) {
+    const auto contender =
+        static_cast<std::uint32_t>(rng.below(subpopulation.size()));
+    if (subpopulation.member(contender).fitness() >
+        subpopulation.member(best).fitness()) {
+      best = contender;
+    }
+  }
+  return best;
+}
+
+}  // namespace ldga::ga

@@ -1,0 +1,44 @@
+// Parent selection. Within a subpopulation individuals share a size, so
+// raw fitness comparisons are valid; across subpopulations selection
+// only ever picks *which* subpopulation to draw from, weighted by its
+// member count (larger size classes host more search activity, matching
+// their larger search spaces).
+#pragma once
+
+#include <cstdint>
+
+#include "ga/multipopulation.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::ga {
+
+struct SelectionConfig {
+  /// Tournament size for parent selection (2 = binary tournament).
+  std::uint32_t tournament_size = 2;
+};
+
+class Selector {
+ public:
+  explicit Selector(SelectionConfig config = {});
+
+  /// Index of a subpopulation, weighted by current member count.
+  /// Only subpopulations with >= 2 members are eligible (crossover needs
+  /// two distinct parents); falls back to any non-empty one.
+  std::uint32_t pick_subpopulation(const Multipopulation& population,
+                                   Rng& rng) const;
+
+  /// A different subpopulation than `exclude` (for the inter-population
+  /// crossover); returns exclude itself when it is the only candidate.
+  std::uint32_t pick_other_subpopulation(const Multipopulation& population,
+                                         std::uint32_t exclude,
+                                         Rng& rng) const;
+
+  /// Tournament selection inside one subpopulation; returns an index.
+  std::uint32_t tournament(const Subpopulation& subpopulation,
+                           Rng& rng) const;
+
+ private:
+  SelectionConfig config_;
+};
+
+}  // namespace ldga::ga

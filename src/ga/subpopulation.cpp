@@ -1,0 +1,92 @@
+#include "ga/subpopulation.hpp"
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace ldga::ga {
+
+Subpopulation::Subpopulation(std::uint32_t haplotype_size,
+                             std::uint32_t capacity)
+    : haplotype_size_(haplotype_size), capacity_(capacity) {
+  LDGA_EXPECTS(haplotype_size >= 1);
+  LDGA_EXPECTS(capacity >= 1);
+  members_.reserve(capacity);
+}
+
+const HaplotypeIndividual& Subpopulation::member(std::uint32_t i) const {
+  LDGA_EXPECTS(i < members_.size());
+  return members_[i];
+}
+
+bool Subpopulation::add_initial(HaplotypeIndividual individual) {
+  LDGA_EXPECTS(!full());
+  LDGA_EXPECTS(individual.size() == haplotype_size_);
+  LDGA_EXPECTS(individual.evaluated());
+  if (contains(individual)) return false;
+  members_.push_back(std::move(individual));
+  return true;
+}
+
+bool Subpopulation::try_insert(HaplotypeIndividual individual) {
+  LDGA_EXPECTS(individual.size() == haplotype_size_);
+  LDGA_EXPECTS(individual.evaluated());
+  if (contains(individual)) return false;
+  if (!full()) {
+    members_.push_back(std::move(individual));
+    return true;
+  }
+  const std::uint32_t worst = worst_index();
+  if (individual.fitness() <= members_[worst].fitness()) return false;
+  members_[worst] = std::move(individual);
+  return true;
+}
+
+void Subpopulation::replace(std::uint32_t index,
+                            HaplotypeIndividual individual) {
+  LDGA_EXPECTS(index < members_.size());
+  LDGA_EXPECTS(individual.size() == haplotype_size_);
+  LDGA_EXPECTS(individual.evaluated());
+  members_[index] = std::move(individual);
+}
+
+bool Subpopulation::contains(const HaplotypeIndividual& individual) const {
+  for (const auto& member : members_) {
+    if (member.same_snps(individual)) return true;
+  }
+  return false;
+}
+
+std::uint32_t Subpopulation::best_index() const {
+  LDGA_EXPECTS(!members_.empty());
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < members_.size(); ++i) {
+    if (members_[i].fitness() > members_[best].fitness()) best = i;
+  }
+  return best;
+}
+
+std::uint32_t Subpopulation::worst_index() const {
+  LDGA_EXPECTS(!members_.empty());
+  std::uint32_t worst = 0;
+  for (std::uint32_t i = 1; i < members_.size(); ++i) {
+    if (members_[i].fitness() < members_[worst].fitness()) worst = i;
+  }
+  return worst;
+}
+
+double Subpopulation::mean_fitness() const {
+  if (members_.empty()) return 0.0;
+  KahanSum sum;
+  for (const auto& member : members_) sum.add(member.fitness());
+  return sum.value() / static_cast<double>(members_.size());
+}
+
+FitnessRange Subpopulation::fitness_range() const {
+  FitnessRange range;
+  if (members_.empty()) return range;
+  range.best = members_[best_index()].fitness();
+  range.worst = members_[worst_index()].fitness();
+  return range;
+}
+
+}  // namespace ldga::ga

@@ -1,0 +1,78 @@
+// One subpopulation of the multipopulation GA (paper §4.2): all its
+// individuals share the same haplotype size, so raw fitness values are
+// directly comparable inside it. It owns the replacement rule of §4.6
+// (insert iff better than the worst and not already present) and the
+// §4.3.1 fitness normalization
+//   f̃(x) = (f(x) − f(worst)) / (f(best) − f(worst))
+// that makes progress measurable across subpopulations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ga/haplotype_individual.hpp"
+
+namespace ldga::ga {
+
+/// Snapshot of a subpopulation's fitness range, used to normalize
+/// progress within one generation.
+struct FitnessRange {
+  double worst = 0.0;
+  double best = 0.0;
+
+  /// Normalized fitness in [0, 1]; when the range is degenerate
+  /// (best == worst, e.g. a fresh subpopulation) every value maps to 0
+  /// so no spurious progress is credited.
+  double normalize(double fitness) const {
+    const double span = best - worst;
+    if (span <= 0.0) return 0.0;
+    const double value = (fitness - worst) / span;
+    return value < 0.0 ? 0.0 : (value > 1.0 ? 1.0 : value);
+  }
+};
+
+class Subpopulation {
+ public:
+  /// `haplotype_size`: the size every member must have.
+  /// `capacity`: fixed member count (filled by initialization).
+  Subpopulation(std::uint32_t haplotype_size, std::uint32_t capacity);
+
+  std::uint32_t haplotype_size() const { return haplotype_size_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  bool full() const { return size() >= capacity_; }
+
+  const std::vector<HaplotypeIndividual>& members() const { return members_; }
+  const HaplotypeIndividual& member(std::uint32_t i) const;
+
+  /// Adds an individual during initialization (must be evaluated, of the
+  /// right size, not duplicate). Returns false on duplicate.
+  bool add_initial(HaplotypeIndividual individual);
+
+  /// §4.6 replacement: if not full, inserts; otherwise inserts iff
+  /// strictly better than the current worst (which is dropped) and not a
+  /// duplicate. Returns true if the individual entered the population.
+  bool try_insert(HaplotypeIndividual individual);
+
+  /// Replaces the member at `index` outright (random-immigrant step).
+  void replace(std::uint32_t index, HaplotypeIndividual individual);
+
+  bool contains(const HaplotypeIndividual& individual) const;
+
+  /// Index of the best / worst member. Requires a non-empty population.
+  std::uint32_t best_index() const;
+  std::uint32_t worst_index() const;
+  const HaplotypeIndividual& best() const { return members_[best_index()]; }
+
+  double mean_fitness() const;
+  FitnessRange fitness_range() const;
+
+ private:
+  std::uint32_t haplotype_size_;
+  std::uint32_t capacity_;
+  std::vector<HaplotypeIndividual> members_;
+};
+
+}  // namespace ldga::ga

@@ -1,0 +1,38 @@
+#include "ga/telemetry_writer.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+TelemetryCsvWriter::TelemetryCsvWriter(std::ostream& out) : out_(&out) {}
+
+void TelemetryCsvWriter::write_header(const GenerationInfo& info) {
+  *out_ << "generation";
+  for (std::size_t s = 0; s < info.best_by_size.size(); ++s) {
+    *out_ << ",best_size_" << s;
+  }
+  for (std::size_t op = 0; op < info.rates.mutation.size(); ++op) {
+    *out_ << ",mutation_rate_" << op;
+  }
+  for (std::size_t op = 0; op < info.rates.crossover.size(); ++op) {
+    *out_ << ",crossover_rate_" << op;
+  }
+  *out_ << ",evaluations,immigrants\n";
+  header_written_ = true;
+}
+
+void TelemetryCsvWriter::record(const GenerationInfo& info) {
+  if (!header_written_) write_header(info);
+  *out_ << info.generation;
+  for (const double best : info.best_by_size) *out_ << ',' << best;
+  for (const double rate : info.rates.mutation) *out_ << ',' << rate;
+  for (const double rate : info.rates.crossover) *out_ << ',' << rate;
+  *out_ << ',' << info.evaluations << ','
+        << (info.immigrants_triggered ? 1 : 0) << '\n';
+  ++rows_;
+  if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
+}
+
+}  // namespace ldga::ga

@@ -1,0 +1,39 @@
+// CSV writer for per-generation GA telemetry — the long-form record a
+// study keeps per run (operator-rate trajectories, per-size bests,
+// evaluation budget, immigrant waves). Plugs into
+// GaEngine::set_generation_callback.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+
+#include "ga/engine.hpp"
+
+namespace ldga::ga {
+
+class TelemetryCsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer. The header row is
+  /// emitted on the first record (column count depends on the number of
+  /// subpopulations and operators).
+  explicit TelemetryCsvWriter(std::ostream& out);
+
+  void record(const GenerationInfo& info);
+
+  /// Convenience adapter for GaEngine::set_generation_callback.
+  /// The writer must outlive the engine run.
+  std::function<void(const GenerationInfo&)> callback() {
+    return [this](const GenerationInfo& info) { record(info); };
+  }
+
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  void write_header(const GenerationInfo& info);
+
+  std::ostream* out_;
+  bool header_written_ = false;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace ldga::ga

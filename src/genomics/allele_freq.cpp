@@ -1,0 +1,41 @@
+#include "genomics/allele_freq.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+AlleleFrequencyTable AlleleFrequencyTable::estimate(const Dataset& dataset) {
+  const auto& matrix = dataset.genotypes();
+  std::vector<AlleleFrequency> freqs(matrix.snp_count());
+  for (SnpIndex s = 0; s < matrix.snp_count(); ++s) {
+    std::uint64_t twos = 0;
+    std::uint32_t typed = 0;
+    for (std::uint32_t i = 0; i < matrix.individual_count(); ++i) {
+      const Genotype g = matrix.at(i, s);
+      if (is_missing(g)) continue;
+      twos += static_cast<std::uint64_t>(two_count(g));
+      ++typed;
+    }
+    AlleleFrequency& f = freqs[s];
+    f.typed_individuals = typed;
+    if (typed > 0) {
+      f.freq_two = static_cast<double>(twos) / (2.0 * typed);
+      f.freq_one = 1.0 - f.freq_two;
+    }
+  }
+  return AlleleFrequencyTable(std::move(freqs));
+}
+
+const AlleleFrequency& AlleleFrequencyTable::at(SnpIndex snp) const {
+  LDGA_EXPECTS(snp < freqs_.size());
+  return freqs_[snp];
+}
+
+double AlleleFrequencyTable::minor_frequency_gap(SnpIndex a,
+                                                 SnpIndex b) const {
+  return std::abs(at(a).maf() - at(b).maf());
+}
+
+}  // namespace ldga::genomics

@@ -1,0 +1,46 @@
+// Per-SNP allele frequency estimation (the paper's second input table)
+// and the frequency-based haplotype feasibility condition of §2.3: the
+// difference between the minor-variant frequencies of two SNPs in a
+// haplotype must exceed a threshold T_f.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/types.hpp"
+
+namespace ldga::genomics {
+
+struct AlleleFrequency {
+  double freq_one = 0.0;  ///< frequency of Allele::One
+  double freq_two = 0.0;  ///< frequency of Allele::Two
+  std::uint32_t typed_individuals = 0;
+
+  /// Minor allele frequency (the smaller of the two).
+  double maf() const { return freq_one < freq_two ? freq_one : freq_two; }
+};
+
+class AlleleFrequencyTable {
+ public:
+  AlleleFrequencyTable() = default;
+  explicit AlleleFrequencyTable(std::vector<AlleleFrequency> freqs)
+      : freqs_(std::move(freqs)) {}
+
+  /// Estimates by allele counting over non-missing genotypes of all
+  /// individuals (status-blind, as the paper's input table is).
+  static AlleleFrequencyTable estimate(const Dataset& dataset);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(freqs_.size()); }
+  const AlleleFrequency& at(SnpIndex snp) const;
+
+  /// |maf(a) − maf(b)|, the §2.3 frequency-gap quantity. The paper
+  /// requires this to be *greater* than T_f for two SNPs to co-occur in
+  /// a haplotype.
+  double minor_frequency_gap(SnpIndex a, SnpIndex b) const;
+
+ private:
+  std::vector<AlleleFrequency> freqs_;
+};
+
+}  // namespace ldga::genomics

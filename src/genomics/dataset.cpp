@@ -1,0 +1,52 @@
+#include "genomics/dataset.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+Dataset::Dataset(SnpPanel panel, GenotypeMatrix genotypes,
+                 std::vector<Status> statuses)
+    : panel_(std::move(panel)),
+      genotypes_(std::move(genotypes)),
+      statuses_(std::move(statuses)) {
+  validate();
+}
+
+Status Dataset::status(std::uint32_t individual) const {
+  LDGA_EXPECTS(individual < statuses_.size());
+  return statuses_[individual];
+}
+
+std::uint32_t Dataset::count(Status s) const {
+  std::uint32_t n = 0;
+  for (const Status st : statuses_) {
+    if (st == s) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> Dataset::individuals_with(Status s) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < statuses_.size(); ++i) {
+    if (statuses_[i] == s) out.push_back(i);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  if (panel_.size() != genotypes_.snp_count()) {
+    throw DataError("Dataset: panel has " + std::to_string(panel_.size()) +
+                    " markers but matrix has " +
+                    std::to_string(genotypes_.snp_count()) + " columns");
+  }
+  if (statuses_.size() != genotypes_.individual_count()) {
+    throw DataError("Dataset: " + std::to_string(statuses_.size()) +
+                    " statuses for " +
+                    std::to_string(genotypes_.individual_count()) +
+                    " individuals");
+  }
+}
+
+}  // namespace ldga::genomics

@@ -1,0 +1,43 @@
+// Text I/O for datasets in the paper's three-table layout (§5.1):
+//
+//   1. the individuals table — status and genotype of every person at
+//      every SNP,
+//   2. the allele-frequency table — frequency of each SNP's two forms,
+//   3. the pairwise-disequilibrium table — |D'| between every SNP pair.
+//
+// Table 1 is the primary persisted artifact; tables 2 and 3 are derived
+// statistics that EH-DIALL/CLUMP-style pipelines consume, so writers and
+// readers are provided for all three.
+//
+// Individuals-table format (whitespace separated, '#' comments):
+//   snp <name> <position_kb>            (one line per marker, in order)
+//   ind <id> <A|U|?> <g g g ...>        (g in {11,12,22,00}; 00 missing)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "genomics/allele_freq.hpp"
+#include "genomics/dataset.hpp"
+#include "genomics/ld.hpp"
+
+namespace ldga::genomics {
+
+void write_dataset(std::ostream& out, const Dataset& dataset);
+Dataset read_dataset(std::istream& in);
+
+void save_dataset(const std::string& path, const Dataset& dataset);
+Dataset load_dataset(const std::string& path);
+
+/// Frequency table: "<name> <freq of 1> <freq of 2>" per line.
+void write_frequency_table(std::ostream& out, const SnpPanel& panel,
+                           const AlleleFrequencyTable& table);
+AlleleFrequencyTable read_frequency_table(std::istream& in,
+                                          const SnpPanel& panel);
+
+/// Disequilibrium table: "<name_a> <name_b> <|D'|> <r2>" per pair a<b.
+void write_ld_table(std::ostream& out, const SnpPanel& panel,
+                    const LdMatrix& matrix);
+LdMatrix read_ld_table(std::istream& in, const SnpPanel& panel);
+
+}  // namespace ldga::genomics

@@ -1,0 +1,72 @@
+#include "genomics/disease_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+void DiseaseModelConfig::validate() const {
+  if (baseline_risk <= 0.0 || baseline_risk >= 1.0) {
+    throw ConfigError("DiseaseModelConfig: baseline_risk must be in (0, 1)");
+  }
+  if (relative_risk < 1.0) {
+    throw ConfigError("DiseaseModelConfig: relative_risk must be >= 1");
+  }
+  if (partial_effect < 0.0 || partial_effect > 1.0) {
+    throw ConfigError("DiseaseModelConfig: partial_effect must be in [0, 1]");
+  }
+}
+
+DiseaseModel::DiseaseModel(RiskHaplotype risk,
+                           const DiseaseModelConfig& config)
+    : risk_(std::move(risk)), config_(config) {
+  config_.validate();
+  if (risk_.snps.empty()) {
+    throw ConfigError("DiseaseModel: risk haplotype must name active SNPs");
+  }
+  if (risk_.snps.size() != risk_.alleles.size()) {
+    throw ConfigError("DiseaseModel: snps/alleles length mismatch");
+  }
+  if (!std::is_sorted(risk_.snps.begin(), risk_.snps.end())) {
+    throw ConfigError("DiseaseModel: active SNPs must be ascending");
+  }
+}
+
+std::uint32_t DiseaseModel::matches(const Haplotype& chromosome) const {
+  std::uint32_t matched = 0;
+  for (std::size_t k = 0; k < risk_.snps.size(); ++k) {
+    LDGA_EXPECTS(risk_.snps[k] < chromosome.size());
+    if (chromosome[risk_.snps[k]] == risk_.alleles[k]) ++matched;
+  }
+  return matched;
+}
+
+double DiseaseModel::chromosome_effect(const Haplotype& chromosome) const {
+  const std::uint32_t matched = matches(chromosome);
+  const std::size_t needed = risk_.snps.size();
+  if (matched == needed) return 1.0;
+  if (needed >= 2 && matched == needed - 1) return config_.partial_effect;
+  return 0.0;
+}
+
+double DiseaseModel::disease_probability(const Haplotype& maternal,
+                                         const Haplotype& paternal) const {
+  const double effect =
+      chromosome_effect(maternal) + chromosome_effect(paternal);
+  // Multiplicative model on the risk scale: RR^effect, capped at 1.
+  double risk = config_.baseline_risk;
+  risk *= std::pow(config_.relative_risk, effect);
+  return std::min(risk, 1.0);
+}
+
+Status DiseaseModel::sample_status(const Haplotype& maternal,
+                                   const Haplotype& paternal,
+                                   Rng& rng) const {
+  return rng.bernoulli(disease_probability(maternal, paternal))
+             ? Status::Affected
+             : Status::Unaffected;
+}
+
+}  // namespace ldga::genomics

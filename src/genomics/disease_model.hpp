@@ -1,0 +1,67 @@
+// Disease (penetrance) model for the synthetic cohort.
+//
+// Mirrors the paper's genetic model (§2.1): "one allele of a SNP or
+// several alleles of different SNPs, either independently or in
+// combination, increase the risk for the disease (active SNP, SNPa)."
+// A risk haplotype is a set of active SNPs with a risk allele at each;
+// an individual's disease probability grows with the number of
+// chromosomes carrying the full risk combination, plus a weaker
+// contribution from partial matches so that association strength decays
+// smoothly around the planted optimum instead of being a needle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/haplotype_sim.hpp"
+#include "genomics/types.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::genomics {
+
+struct RiskHaplotype {
+  /// Active SNP indices (the planted SNPa set), ascending.
+  std::vector<SnpIndex> snps;
+  /// Risk allele at each active SNP (same length as `snps`).
+  std::vector<Allele> alleles;
+};
+
+struct DiseaseModelConfig {
+  /// Baseline disease probability with no risk match.
+  double baseline_risk = 0.08;
+  /// Multiplicative relative risk per chromosome carrying the full
+  /// risk combination.
+  double relative_risk = 6.0;
+  /// Fraction of the full effect contributed by a chromosome matching
+  /// all but one active SNP (models nearby/partial haplotypes scoring
+  /// well but below the optimum).
+  double partial_effect = 0.35;
+
+  void validate() const;
+};
+
+class DiseaseModel {
+ public:
+  DiseaseModel(RiskHaplotype risk, const DiseaseModelConfig& config);
+
+  const RiskHaplotype& risk() const { return risk_; }
+
+  /// Number of active-SNP matches on one chromosome.
+  std::uint32_t matches(const Haplotype& chromosome) const;
+
+  /// Disease probability for a diploid individual (capped at 1).
+  double disease_probability(const Haplotype& maternal,
+                             const Haplotype& paternal) const;
+
+  /// Samples a status (Affected / Unaffected) for the genotype.
+  Status sample_status(const Haplotype& maternal, const Haplotype& paternal,
+                       Rng& rng) const;
+
+ private:
+  double chromosome_effect(const Haplotype& chromosome) const;
+
+  RiskHaplotype risk_;
+  DiseaseModelConfig config_;
+};
+
+}  // namespace ldga::genomics

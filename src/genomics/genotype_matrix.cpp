@@ -1,0 +1,42 @@
+#include "genomics/genotype_matrix.hpp"
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+GenotypeMatrix::GenotypeMatrix(std::uint32_t individuals, std::uint32_t snps)
+    : individuals_(individuals),
+      snps_(snps),
+      cells_(static_cast<std::size_t>(individuals) * snps,
+             Genotype::Missing) {}
+
+Genotype GenotypeMatrix::at(std::uint32_t individual, SnpIndex snp) const {
+  LDGA_EXPECTS(individual < individuals_ && snp < snps_);
+  return cells_[static_cast<std::size_t>(individual) * snps_ + snp];
+}
+
+void GenotypeMatrix::set(std::uint32_t individual, SnpIndex snp,
+                         Genotype value) {
+  LDGA_EXPECTS(individual < individuals_ && snp < snps_);
+  cells_[static_cast<std::size_t>(individual) * snps_ + snp] = value;
+}
+
+std::span<const Genotype> GenotypeMatrix::row(std::uint32_t individual) const {
+  LDGA_EXPECTS(individual < individuals_);
+  return {cells_.data() + static_cast<std::size_t>(individual) * snps_,
+          snps_};
+}
+
+void GenotypeMatrix::gather(std::uint32_t individual,
+                            std::span<const SnpIndex> snps,
+                            std::vector<Genotype>& out) const {
+  const auto r = row(individual);
+  out.clear();
+  out.reserve(snps.size());
+  for (const SnpIndex s : snps) {
+    LDGA_EXPECTS(s < snps_);
+    out.push_back(r[s]);
+  }
+}
+
+}  // namespace ldga::genomics

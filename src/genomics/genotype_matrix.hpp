@@ -1,0 +1,44 @@
+// Dense individuals × SNPs genotype storage.
+//
+// Row-major layout: all evaluation pipelines iterate over individuals
+// and gather a handful of SNP columns per individual, so keeping one
+// individual's genotypes contiguous is the cache-friendly orientation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "genomics/types.hpp"
+
+namespace ldga::genomics {
+
+class GenotypeMatrix {
+ public:
+  GenotypeMatrix() = default;
+
+  /// All-missing matrix of the given shape.
+  GenotypeMatrix(std::uint32_t individuals, std::uint32_t snps);
+
+  std::uint32_t individual_count() const { return individuals_; }
+  std::uint32_t snp_count() const { return snps_; }
+
+  Genotype at(std::uint32_t individual, SnpIndex snp) const;
+  void set(std::uint32_t individual, SnpIndex snp, Genotype value);
+
+  /// One individual's full genotype row.
+  std::span<const Genotype> row(std::uint32_t individual) const;
+
+  /// Gathers the genotypes of one individual at the given SNP subset,
+  /// appending into `out` (cleared first). The subset is a candidate
+  /// haplotype in the paper's sense.
+  void gather(std::uint32_t individual, std::span<const SnpIndex> snps,
+              std::vector<Genotype>& out) const;
+
+ private:
+  std::uint32_t individuals_ = 0;
+  std::uint32_t snps_ = 0;
+  std::vector<Genotype> cells_;
+};
+
+}  // namespace ldga::genomics

@@ -1,0 +1,74 @@
+#include "genomics/haplotype_sim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+void HaplotypeSimConfig::validate() const {
+  if (founder_count < 2) {
+    throw ConfigError("HaplotypeSimConfig: founder_count must be >= 2");
+  }
+  if (!(maf_min > 0.0 && maf_min <= maf_max && maf_max <= 0.5)) {
+    throw ConfigError(
+        "HaplotypeSimConfig: need 0 < maf_min <= maf_max <= 0.5");
+  }
+  if (switch_rate_per_kb < 0.0) {
+    throw ConfigError("HaplotypeSimConfig: switch_rate_per_kb must be >= 0");
+  }
+  if (mutation_rate < 0.0 || mutation_rate > 0.5) {
+    throw ConfigError("HaplotypeSimConfig: mutation_rate must be in [0, 0.5]");
+  }
+}
+
+HaplotypeSimulator::HaplotypeSimulator(const SnpPanel& panel,
+                                       const HaplotypeSimConfig& config,
+                                       Rng& rng)
+    : panel_(&panel), config_(config) {
+  config_.validate();
+  LDGA_EXPECTS(!panel.empty());
+
+  const std::uint32_t n = panel.size();
+  site_freq_.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    // Frequency of Allele::Two; which allele is minor is decided by a
+    // fair coin so the panel is not biased toward either form.
+    const double maf = rng.uniform(config_.maf_min, config_.maf_max);
+    site_freq_[s] = rng.bernoulli(0.5) ? maf : 1.0 - maf;
+  }
+
+  founders_.resize(config_.founder_count);
+  for (auto& founder : founders_) {
+    founder.resize(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      founder[s] = rng.bernoulli(site_freq_[s]) ? Allele::Two : Allele::One;
+    }
+  }
+
+  switch_prob_.resize(n > 0 ? n - 1 : 0);
+  for (std::uint32_t s = 0; s + 1 < n; ++s) {
+    const double distance = panel.distance_kb(s, s + 1);
+    switch_prob_[s] =
+        1.0 - std::exp(-config_.switch_rate_per_kb * distance);
+  }
+}
+
+Haplotype HaplotypeSimulator::sample(Rng& rng) const {
+  const std::uint32_t n = panel_->size();
+  Haplotype result(n);
+  std::size_t founder = rng.below(founders_.size());
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (s > 0 && rng.bernoulli(switch_prob_[s - 1])) {
+      founder = rng.below(founders_.size());
+    }
+    Allele allele = founders_[founder][s];
+    if (rng.bernoulli(config_.mutation_rate)) {
+      allele = allele == Allele::One ? Allele::Two : Allele::One;
+    }
+    result[s] = allele;
+  }
+  return result;
+}
+
+}  // namespace ldga::genomics

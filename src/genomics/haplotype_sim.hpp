@@ -1,0 +1,63 @@
+// Population haplotype simulator.
+//
+// The paper's datasets are private clinical cohorts, so we substitute a
+// synthetic population with the same statistical structure (see
+// DESIGN.md §2). Haplotypes are produced by a Li–Stephens-style mosaic
+// model: a small pool of founder haplotypes is generated with per-site
+// allele frequencies, and each sampled chromosome is a mosaic of
+// founders whose switch probability grows with inter-marker distance.
+// This yields linkage disequilibrium that decays with distance — the
+// property §2.2 of the paper builds on — without needing a full
+// coalescent simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/snp_panel.hpp"
+#include "genomics/types.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::genomics {
+
+/// One chromosome: the allele carried at every marker of a panel.
+using Haplotype = std::vector<Allele>;
+
+struct HaplotypeSimConfig {
+  std::uint32_t founder_count = 12;
+  /// Minor-allele-frequency range for founder sites.
+  double maf_min = 0.10;
+  double maf_max = 0.50;
+  /// Mosaic switch rate per kb: P(switch between adjacent markers)
+  /// = 1 − exp(−switch_rate_per_kb · distance_kb). Smaller = longer
+  /// shared segments = stronger LD.
+  double switch_rate_per_kb = 0.004;
+  /// Per-site allele flip probability after mosaic copy (adds noise so
+  /// LD is not a pure block structure).
+  double mutation_rate = 0.01;
+
+  /// Throws ConfigError when a field is out of its documented domain.
+  void validate() const;
+};
+
+class HaplotypeSimulator {
+ public:
+  HaplotypeSimulator(const SnpPanel& panel, const HaplotypeSimConfig& config,
+                     Rng& rng);
+
+  /// Samples one chromosome from the mosaic model.
+  Haplotype sample(Rng& rng) const;
+
+  const std::vector<Haplotype>& founders() const { return founders_; }
+  /// Population allele-Two frequency each founder site was drawn with.
+  const std::vector<double>& site_frequencies() const { return site_freq_; }
+
+ private:
+  const SnpPanel* panel_;
+  HaplotypeSimConfig config_;
+  std::vector<Haplotype> founders_;
+  std::vector<double> site_freq_;
+  std::vector<double> switch_prob_;  ///< per gap between adjacent markers
+};
+
+}  // namespace ldga::genomics

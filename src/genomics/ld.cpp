@@ -1,0 +1,182 @@
+#include "genomics/ld.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+namespace {
+
+/// Counts the 3×3 table of joint genotypes at loci (a, b); cell [ga][gb]
+/// indexed by two-allele counts 0/1/2. Individuals missing either locus
+/// are excluded (complete-case analysis, as EH does).
+std::array<std::array<std::uint32_t, 3>, 3> joint_genotype_counts(
+    const GenotypeMatrix& genotypes, SnpIndex a, SnpIndex b) {
+  std::array<std::array<std::uint32_t, 3>, 3> counts{};
+  for (std::uint32_t i = 0; i < genotypes.individual_count(); ++i) {
+    const Genotype ga = genotypes.at(i, a);
+    const Genotype gb = genotypes.at(i, b);
+    if (is_missing(ga) || is_missing(gb)) continue;
+    counts[static_cast<std::size_t>(two_count(ga))]
+          [static_cast<std::size_t>(two_count(gb))]++;
+  }
+  return counts;
+}
+
+}  // namespace
+
+PairHaplotypeFreqs estimate_pair_haplotypes(const GenotypeMatrix& genotypes,
+                                            SnpIndex a, SnpIndex b,
+                                            double tolerance,
+                                            std::uint32_t max_iterations) {
+  const auto counts = joint_genotype_counts(genotypes, a, b);
+
+  // Haplotype indices: 0 = (1,1), 1 = (1,2), 2 = (2,1), 3 = (2,2), where
+  // each component is the allele at locus a / locus b.
+  //
+  // Every joint genotype except the double heterozygote resolves into a
+  // fixed pair of haplotypes. Genotype cell [ga][gb] contributes:
+  //   haplotype (x, y) with x in alleles(ga), y in alleles(gb).
+  // The double heterozygote (1,1) contributes either {01-type: (1,2)+(2,1)}
+  // or {cis: (1,1)+(2,2)} — the EM unknown.
+  std::uint32_t n_individuals = 0;
+  for (const auto& row : counts) {
+    for (const std::uint32_t c : row) n_individuals += c;
+  }
+  PairHaplotypeFreqs result;
+  if (n_individuals == 0) return result;
+
+  // Unambiguous haplotype counts (in units of chromosomes).
+  std::array<double, 4> base{};  // 11, 12, 21, 22
+  auto add = [&](std::size_t hap, double weight) { base[hap] += weight; };
+  for (std::size_t ga = 0; ga < 3; ++ga) {
+    for (std::size_t gb = 0; gb < 3; ++gb) {
+      const double n = counts[ga][gb];
+      if (n == 0.0 || (ga == 1 && gb == 1)) continue;
+      // First chromosome's allele pair and second chromosome's.
+      // For homozygotes the allele is fixed; for single heterozygotes
+      // the phase is irrelevant (both resolutions are identical sets).
+      const std::size_t a1 = ga == 2 ? 1 : 0;       // allele at locus a, chrom 1 (0=One,1=Two)
+      const std::size_t a2 = ga == 0 ? 0 : 1;       // chrom 2
+      const std::size_t b1 = gb == 2 ? 1 : 0;
+      const std::size_t b2 = gb == 0 ? 0 : 1;
+      add(a1 * 2 + b1, n);
+      add(a2 * 2 + b2, n);
+    }
+  }
+  const double n_double_het = counts[1][1];
+  const double total_chromosomes = 2.0 * n_individuals;
+
+  // EM over the double-heterozygote phase split.
+  std::array<double, 4> p{0.25, 0.25, 0.25, 0.25};
+  // Initialize from unambiguous counts when available.
+  {
+    const double unambiguous = base[0] + base[1] + base[2] + base[3];
+    if (unambiguous > 0) {
+      for (std::size_t h = 0; h < 4; ++h) {
+        p[h] = (base[h] + 0.5) / (unambiguous + 2.0);
+      }
+    }
+  }
+
+  std::uint32_t iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // E-step: split double heterozygotes between cis (11+22) and trans
+    // (12+21) resolutions proportionally to current frequencies.
+    const double cis = p[0] * p[3];
+    const double trans = p[1] * p[2];
+    const double denom = cis + trans;
+    const double cis_share = denom > 0.0 ? cis / denom : 0.5;
+
+    std::array<double, 4> counts_now = base;
+    counts_now[0] += n_double_het * cis_share;
+    counts_now[3] += n_double_het * cis_share;
+    counts_now[1] += n_double_het * (1.0 - cis_share);
+    counts_now[2] += n_double_het * (1.0 - cis_share);
+
+    // M-step.
+    std::array<double, 4> p_next;
+    for (std::size_t h = 0; h < 4; ++h) {
+      p_next[h] = counts_now[h] / total_chromosomes;
+    }
+    double delta = 0.0;
+    for (std::size_t h = 0; h < 4; ++h) {
+      delta = std::max(delta, std::abs(p_next[h] - p[h]));
+    }
+    p = p_next;
+    if (delta < tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  result.p11 = p[0];
+  result.p12 = p[1];
+  result.p21 = p[2];
+  result.p22 = p[3];
+  result.iterations = iter;
+  return result;
+}
+
+PairLd pair_ld_from_freqs(const PairHaplotypeFreqs& freqs) {
+  const double p_a1 = freqs.p11 + freqs.p12;  // allele One at locus a
+  const double p_b1 = freqs.p11 + freqs.p21;  // allele One at locus b
+  const double d = freqs.p11 - p_a1 * p_b1;
+
+  PairLd ld;
+  ld.d = d;
+
+  const double p_a2 = 1.0 - p_a1;
+  const double p_b2 = 1.0 - p_b1;
+  const double denom_var = p_a1 * p_a2 * p_b1 * p_b2;
+  ld.r2 = denom_var > 0.0 ? (d * d) / denom_var : 0.0;
+
+  double d_max;
+  if (d >= 0.0) {
+    d_max = std::min(p_a1 * p_b2, p_a2 * p_b1);
+  } else {
+    d_max = std::min(p_a1 * p_b1, p_a2 * p_b2);
+  }
+  ld.d_prime = d_max > 0.0 ? std::abs(d) / d_max : 0.0;
+  ld.d_prime = std::min(ld.d_prime, 1.0);
+  return ld;
+}
+
+LdMatrix::LdMatrix(std::uint32_t snp_count)
+    : snps_(snp_count),
+      pairs_(snp_count >= 2
+                 ? static_cast<std::size_t>(snp_count) * (snp_count - 1) / 2
+                 : 0) {}
+
+LdMatrix LdMatrix::compute(const Dataset& dataset) {
+  LdMatrix matrix(dataset.snp_count());
+  for (SnpIndex a = 0; a + 1 < dataset.snp_count(); ++a) {
+    for (SnpIndex b = a + 1; b < dataset.snp_count(); ++b) {
+      const auto freqs = estimate_pair_haplotypes(dataset.genotypes(), a, b);
+      matrix.set(a, b, pair_ld_from_freqs(freqs));
+    }
+  }
+  return matrix;
+}
+
+std::size_t LdMatrix::offset(SnpIndex a, SnpIndex b) const {
+  LDGA_EXPECTS(a != b && a < snps_ && b < snps_);
+  if (a > b) std::swap(a, b);
+  // Upper-triangle row-major: row a starts after sum of previous rows.
+  const std::size_t row_start =
+      static_cast<std::size_t>(a) * snps_ - static_cast<std::size_t>(a) * (a + 1) / 2;
+  return row_start + (b - a - 1);
+}
+
+const PairLd& LdMatrix::at(SnpIndex a, SnpIndex b) const {
+  return pairs_[offset(a, b)];
+}
+
+void LdMatrix::set(SnpIndex a, SnpIndex b, const PairLd& value) {
+  pairs_[offset(a, b)] = value;
+}
+
+}  // namespace ldga::genomics

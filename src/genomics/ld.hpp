@@ -1,0 +1,65 @@
+// Pairwise linkage disequilibrium between SNPs (the paper's third input
+// table and the §2.3 disequilibrium condition: two SNPs may only form a
+// haplotype if their 2-by-2 disequilibrium is below a threshold T_d).
+//
+// From unphased genotypes, two-locus haplotype frequencies are not
+// directly observable (the double heterozygote is phase-ambiguous), so
+// the classic approach — also what EH does internally for pairs — is a
+// small EM over the four haplotypes 11, 12, 21, 22. We implement that
+// dedicated fast path here; the general k-locus EM lives in ldga_stats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/types.hpp"
+
+namespace ldga::genomics {
+
+/// Two-locus LD summary for a SNP pair.
+struct PairLd {
+  double d = 0.0;        ///< raw disequilibrium D = p11 − pA·pB
+  double d_prime = 0.0;  ///< Lewontin's |D'| in [0, 1]
+  double r2 = 0.0;       ///< squared correlation in [0, 1]
+};
+
+/// Estimated two-locus haplotype frequencies (order: 11, 12, 21, 22,
+/// where the first digit is locus A's allele and the second locus B's).
+struct PairHaplotypeFreqs {
+  double p11 = 0.25, p12 = 0.25, p21 = 0.25, p22 = 0.25;
+  std::uint32_t iterations = 0;  ///< EM iterations until convergence
+};
+
+/// EM estimation of two-locus haplotype frequencies from the unphased
+/// genotypes of the given individuals (missing-at-either-locus skipped).
+PairHaplotypeFreqs estimate_pair_haplotypes(const GenotypeMatrix& genotypes,
+                                            SnpIndex a, SnpIndex b,
+                                            double tolerance = 1e-10,
+                                            std::uint32_t max_iterations = 200);
+
+/// LD coefficients from estimated pair-haplotype frequencies.
+PairLd pair_ld_from_freqs(const PairHaplotypeFreqs& freqs);
+
+/// Symmetric matrix of pairwise LD over a whole panel.
+class LdMatrix {
+ public:
+  LdMatrix() = default;
+  explicit LdMatrix(std::uint32_t snp_count);
+
+  /// Computes LD for every pair from the dataset (all individuals).
+  static LdMatrix compute(const Dataset& dataset);
+
+  std::uint32_t snp_count() const { return snps_; }
+
+  const PairLd& at(SnpIndex a, SnpIndex b) const;
+  void set(SnpIndex a, SnpIndex b, const PairLd& value);
+
+ private:
+  std::size_t offset(SnpIndex a, SnpIndex b) const;
+
+  std::uint32_t snps_ = 0;
+  std::vector<PairLd> pairs_;  ///< upper triangle, a < b
+};
+
+}  // namespace ldga::genomics

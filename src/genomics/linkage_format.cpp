@@ -1,0 +1,184 @@
+#include "genomics/linkage_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Genotype genotype_from_alleles(const std::string& a1, const std::string& a2,
+                               std::size_t line_no) {
+  if (a1 == "0" || a2 == "0") return Genotype::Missing;
+  auto parse = [line_no](const std::string& a) {
+    if (a == "1") return Allele::One;
+    if (a == "2") return Allele::Two;
+    throw DataError("ped: allele '" + a + "' at line " +
+                    std::to_string(line_no) + " (expected 0/1/2)");
+  };
+  return make_genotype(parse(a1), parse(a2));
+}
+
+Status status_from_phenotype(const std::string& code, std::size_t line_no) {
+  if (code == "2") return Status::Affected;
+  if (code == "1") return Status::Unaffected;
+  if (code == "0" || code == "-9") return Status::Unknown;
+  throw DataError("ped: phenotype '" + code + "' at line " +
+                  std::to_string(line_no) + " (expected 2/1/0/-9)");
+}
+
+}  // namespace
+
+Dataset read_linkage(std::istream& ped, std::istream& map) {
+  // MAP first: defines the marker panel.
+  std::vector<SnpInfo> markers;
+  {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(map, line)) {
+      ++line_no;
+      const auto tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      if (tokens.size() != 4) {
+        throw DataError("map: line " + std::to_string(line_no) +
+                        " has " + std::to_string(tokens.size()) +
+                        " columns, expected 4");
+      }
+      SnpInfo info;
+      info.name = tokens[1];
+      info.position_kb = std::stod(tokens[3]) / 1000.0;  // bp -> kb
+      markers.push_back(std::move(info));
+    }
+  }
+  if (markers.empty()) throw DataError("map: no markers");
+
+  std::vector<Status> statuses;
+  std::vector<std::vector<Genotype>> rows;
+  {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(ped, line)) {
+      ++line_no;
+      const auto tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      const std::size_t expected = 6 + 2 * markers.size();
+      if (tokens.size() != expected) {
+        throw DataError("ped: line " + std::to_string(line_no) + " has " +
+                        std::to_string(tokens.size()) +
+                        " columns, expected " + std::to_string(expected));
+      }
+      statuses.push_back(status_from_phenotype(tokens[5], line_no));
+      std::vector<Genotype> row;
+      row.reserve(markers.size());
+      for (std::size_t m = 0; m < markers.size(); ++m) {
+        row.push_back(genotype_from_alleles(tokens[6 + 2 * m],
+                                            tokens[7 + 2 * m], line_no));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  if (rows.empty()) throw DataError("ped: no individuals");
+
+  GenotypeMatrix matrix(static_cast<std::uint32_t>(rows.size()),
+                        static_cast<std::uint32_t>(markers.size()));
+  for (std::uint32_t i = 0; i < rows.size(); ++i) {
+    for (SnpIndex s = 0; s < markers.size(); ++s) {
+      matrix.set(i, s, rows[i][s]);
+    }
+  }
+  // PED/MAP markers may not be position-sorted; SnpPanel requires
+  // non-decreasing positions, so reorder if needed.
+  std::vector<std::size_t> order(markers.size());
+  for (std::size_t m = 0; m < markers.size(); ++m) order[m] = m;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return markers[a].position_kb < markers[b].position_kb;
+                   });
+  std::vector<SnpInfo> sorted_markers;
+  sorted_markers.reserve(markers.size());
+  GenotypeMatrix sorted_matrix(matrix.individual_count(),
+                               matrix.snp_count());
+  for (std::size_t m = 0; m < order.size(); ++m) {
+    sorted_markers.push_back(markers[order[m]]);
+    for (std::uint32_t i = 0; i < matrix.individual_count(); ++i) {
+      sorted_matrix.set(i, static_cast<SnpIndex>(m),
+                        matrix.at(i, static_cast<SnpIndex>(order[m])));
+    }
+  }
+  return Dataset(SnpPanel(std::move(sorted_markers)),
+                 std::move(sorted_matrix), std::move(statuses));
+}
+
+Dataset load_linkage(const std::string& ped_path,
+                     const std::string& map_path) {
+  std::ifstream ped(ped_path);
+  if (!ped) throw DataError("ped: cannot open '" + ped_path + "'");
+  std::ifstream map(map_path);
+  if (!map) throw DataError("map: cannot open '" + map_path + "'");
+  return read_linkage(ped, map);
+}
+
+void write_linkage(std::ostream& ped, std::ostream& map,
+                   const Dataset& dataset) {
+  for (SnpIndex s = 0; s < dataset.snp_count(); ++s) {
+    map << "1 " << dataset.panel().name(s) << " 0 "
+        << static_cast<long long>(dataset.panel().position_kb(s) * 1000.0)
+        << '\n';
+  }
+  for (std::uint32_t i = 0; i < dataset.individual_count(); ++i) {
+    const char* phenotype = "0";
+    switch (dataset.status(i)) {
+      case Status::Affected:
+        phenotype = "2";
+        break;
+      case Status::Unaffected:
+        phenotype = "1";
+        break;
+      case Status::Unknown:
+        phenotype = "0";
+        break;
+    }
+    ped << "fam" << (i + 1) << " ind" << (i + 1) << " 0 0 0 " << phenotype;
+    for (SnpIndex s = 0; s < dataset.snp_count(); ++s) {
+      switch (dataset.genotypes().at(i, s)) {
+        case Genotype::HomOne:
+          ped << " 1 1";
+          break;
+        case Genotype::Het:
+          ped << " 1 2";
+          break;
+        case Genotype::HomTwo:
+          ped << " 2 2";
+          break;
+        case Genotype::Missing:
+          ped << " 0 0";
+          break;
+      }
+    }
+    ped << '\n';
+  }
+}
+
+void save_linkage(const std::string& ped_path, const std::string& map_path,
+                  const Dataset& dataset) {
+  std::ofstream ped(ped_path);
+  if (!ped) throw DataError("ped: cannot open '" + ped_path + "'");
+  std::ofstream map(map_path);
+  if (!map) throw DataError("map: cannot open '" + map_path + "'");
+  write_linkage(ped, map, dataset);
+  if (!ped || !map) throw DataError("linkage: write failed");
+}
+
+}  // namespace ldga::genomics

@@ -1,0 +1,38 @@
+// Classic linkage-format (PED/MAP) I/O — the de-facto exchange format
+// of 2004-era genetic studies (and still accepted by PLINK). Lets a
+// downstream user run this library on existing datasets without
+// converting to our native table format.
+//
+// MAP file, one marker per line:
+//     <chromosome> <marker-name> <genetic-distance> <bp-position>
+// PED file, one individual per line:
+//     <family> <individual> <father> <mother> <sex> <phenotype> a1 a2 ...
+// with two allele columns per marker; alleles coded 1/2 (0 = missing),
+// phenotype coded 2 = affected, 1 = unaffected, 0 or -9 = unknown.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "genomics/dataset.hpp"
+
+namespace ldga::genomics {
+
+/// Parses a PED + MAP pair into a Dataset. Marker positions are taken
+/// from the MAP's bp column (converted to kb). Throws DataError on any
+/// structural problem (wrong column counts, unknown codes, PED/MAP
+/// marker count mismatch).
+Dataset read_linkage(std::istream& ped, std::istream& map);
+
+Dataset load_linkage(const std::string& ped_path,
+                     const std::string& map_path);
+
+/// Writes a dataset as a PED + MAP pair (family = individual id,
+/// parents unknown, sex coded 0).
+void write_linkage(std::ostream& ped, std::ostream& map,
+                   const Dataset& dataset);
+
+void save_linkage(const std::string& ped_path, const std::string& map_path,
+                  const Dataset& dataset);
+
+}  // namespace ldga::genomics

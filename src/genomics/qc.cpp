@@ -1,0 +1,126 @@
+#include "genomics/qc.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+HweResult hardy_weinberg_test(std::uint32_t hom_one, std::uint32_t het,
+                              std::uint32_t hom_two) {
+  HweResult result;
+  const std::uint32_t n = hom_one + het + hom_two;
+  result.typed_individuals = n;
+  if (n == 0) return result;
+
+  const double total_alleles = 2.0 * n;
+  const double q = (2.0 * hom_two + het) / total_alleles;  // allele 2
+  const double p = 1.0 - q;
+  result.freq_two = q;
+  if (p <= 0.0 || q <= 0.0) return result;  // monomorphic: HWE undefined
+
+  const double expected_hom_one = p * p * n;
+  const double expected_het = 2.0 * p * q * n;
+  const double expected_hom_two = q * q * n;
+  auto term = [](double observed, double expected) {
+    const double diff = observed - expected;
+    return diff * diff / expected;
+  };
+  result.chi_square = term(hom_one, expected_hom_one) +
+                      term(het, expected_het) +
+                      term(hom_two, expected_hom_two);
+  // 3 genotype classes − 1 (counts) − 1 (estimated allele freq) = 1 df;
+  // for 1 df the chi-square survival function is exactly erfc(sqrt(x/2))
+  // (keeps this module independent of ldga_stats, which depends on us).
+  result.p_value = std::erfc(std::sqrt(result.chi_square / 2.0));
+  return result;
+}
+
+HweResult hardy_weinberg_test(const Dataset& dataset, SnpIndex snp,
+                              bool controls_only) {
+  std::uint32_t counts[3] = {0, 0, 0};
+  for (std::uint32_t i = 0; i < dataset.individual_count(); ++i) {
+    if (controls_only && dataset.status(i) != Status::Unaffected) continue;
+    const Genotype g = dataset.genotypes().at(i, snp);
+    if (is_missing(g)) continue;
+    ++counts[two_count(g)];
+  }
+  return hardy_weinberg_test(counts[0], counts[1], counts[2]);
+}
+
+void QcThresholds::validate() const {
+  if (min_maf < 0.0 || min_maf > 0.5) {
+    throw ConfigError("QcThresholds: min_maf must be in [0, 0.5]");
+  }
+  if (max_missing_rate < 0.0 || max_missing_rate > 1.0) {
+    throw ConfigError("QcThresholds: max_missing_rate must be in [0, 1]");
+  }
+  if (min_hwe_p < 0.0 || min_hwe_p > 1.0) {
+    throw ConfigError("QcThresholds: min_hwe_p must be in [0, 1]");
+  }
+}
+
+QcReport run_marker_qc(const Dataset& dataset,
+                       const QcThresholds& thresholds) {
+  thresholds.validate();
+  QcReport report;
+  const double n = dataset.individual_count();
+  LDGA_EXPECTS(n > 0);
+
+  for (SnpIndex snp = 0; snp < dataset.snp_count(); ++snp) {
+    std::uint32_t counts[3] = {0, 0, 0};
+    std::uint32_t missing = 0;
+    for (std::uint32_t i = 0; i < dataset.individual_count(); ++i) {
+      const Genotype g = dataset.genotypes().at(i, snp);
+      if (is_missing(g)) {
+        ++missing;
+      } else {
+        ++counts[two_count(g)];
+      }
+    }
+    const double missing_rate = missing / n;
+    if (missing_rate > thresholds.max_missing_rate) {
+      ++report.dropped_missing;
+      continue;
+    }
+    const std::uint32_t typed = counts[0] + counts[1] + counts[2];
+    const double freq_two =
+        typed > 0 ? (2.0 * counts[2] + counts[1]) / (2.0 * typed) : 0.0;
+    const double maf = freq_two < 0.5 ? freq_two : 1.0 - freq_two;
+    if (maf < thresholds.min_maf) {
+      ++report.dropped_maf;
+      continue;
+    }
+    const HweResult hwe =
+        hardy_weinberg_test(dataset, snp, thresholds.hwe_controls_only);
+    if (hwe.typed_individuals > 0 && hwe.p_value < thresholds.min_hwe_p) {
+      ++report.dropped_hwe;
+      continue;
+    }
+    report.kept.push_back(snp);
+  }
+  return report;
+}
+
+Dataset subset_markers(const Dataset& dataset,
+                       const std::vector<SnpIndex>& markers) {
+  LDGA_EXPECTS(!markers.empty());
+  std::vector<SnpInfo> infos;
+  infos.reserve(markers.size());
+  for (const SnpIndex snp : markers) {
+    LDGA_EXPECTS(snp < dataset.snp_count());
+    infos.push_back(dataset.panel().info(snp));
+  }
+  GenotypeMatrix matrix(dataset.individual_count(),
+                        static_cast<std::uint32_t>(markers.size()));
+  for (std::uint32_t i = 0; i < dataset.individual_count(); ++i) {
+    for (std::uint32_t m = 0; m < markers.size(); ++m) {
+      matrix.set(i, static_cast<SnpIndex>(m),
+                 dataset.genotypes().at(i, markers[m]));
+    }
+  }
+  return Dataset(SnpPanel(std::move(infos)), std::move(matrix),
+                 dataset.statuses());
+}
+
+}  // namespace ldga::genomics

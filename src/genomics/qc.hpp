@@ -1,0 +1,60 @@
+// Marker quality control — the standard screening step before any
+// association analysis (and the kind of filtering the Lille biologists
+// would have applied before handing the paper's tables over): per-SNP
+// Hardy-Weinberg equilibrium test, minor-allele-frequency floor, and
+// missing-rate ceiling, plus a helper that materializes the filtered
+// dataset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/types.hpp"
+
+namespace ldga::genomics {
+
+/// Hardy-Weinberg equilibrium chi-square test for one SNP's genotype
+/// counts (1 df: observed hom/het/hom vs p², 2pq, q² expectations).
+struct HweResult {
+  double chi_square = 0.0;
+  double p_value = 1.0;
+  double freq_two = 0.0;           ///< estimated allele-2 frequency
+  std::uint32_t typed_individuals = 0;
+};
+
+HweResult hardy_weinberg_test(std::uint32_t hom_one, std::uint32_t het,
+                              std::uint32_t hom_two);
+
+/// HWE test for one marker of a dataset. Status-known individuals only
+/// would bias toward cases; by convention QC uses everyone (or controls
+/// only — selectable).
+HweResult hardy_weinberg_test(const Dataset& dataset, SnpIndex snp,
+                              bool controls_only = false);
+
+struct QcThresholds {
+  double min_maf = 0.01;            ///< drop monomorphic/ultra-rare SNPs
+  double max_missing_rate = 0.10;   ///< drop badly typed SNPs
+  double min_hwe_p = 1e-4;          ///< drop HWE-violating SNPs
+  bool hwe_controls_only = true;    ///< disease signal distorts HWE in cases
+
+  void validate() const;
+};
+
+struct QcReport {
+  /// Markers that survived, as indices into the original panel.
+  std::vector<SnpIndex> kept;
+  std::uint32_t dropped_maf = 0;
+  std::uint32_t dropped_missing = 0;
+  std::uint32_t dropped_hwe = 0;
+};
+
+/// Evaluates every marker against the thresholds.
+QcReport run_marker_qc(const Dataset& dataset,
+                       const QcThresholds& thresholds = {});
+
+/// New dataset containing only the listed markers (statuses unchanged).
+Dataset subset_markers(const Dataset& dataset,
+                       const std::vector<SnpIndex>& markers);
+
+}  // namespace ldga::genomics

@@ -1,0 +1,47 @@
+#include "genomics/snp_panel.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+SnpPanel::SnpPanel(std::vector<SnpInfo> snps) : snps_(std::move(snps)) {
+  for (std::size_t i = 1; i < snps_.size(); ++i) {
+    if (snps_[i].position_kb < snps_[i - 1].position_kb) {
+      throw DataError("SnpPanel: positions must be non-decreasing (marker " +
+                      snps_[i].name + ")");
+    }
+  }
+}
+
+SnpPanel SnpPanel::uniform(std::uint32_t count, double spacing_kb) {
+  LDGA_EXPECTS(spacing_kb >= 0.0);
+  std::vector<SnpInfo> snps;
+  snps.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "snp%04u", i + 1);
+    snps.push_back({name, spacing_kb * i});
+  }
+  return SnpPanel(std::move(snps));
+}
+
+const SnpInfo& SnpPanel::info(SnpIndex i) const {
+  LDGA_EXPECTS(i < snps_.size());
+  return snps_[i];
+}
+
+double SnpPanel::distance_kb(SnpIndex a, SnpIndex b) const {
+  return std::abs(position_kb(a) - position_kb(b));
+}
+
+SnpIndex SnpPanel::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < snps_.size(); ++i) {
+    if (snps_[i].name == name) return static_cast<SnpIndex>(i);
+  }
+  throw DataError("SnpPanel: unknown marker name '" + name + "'");
+}
+
+}  // namespace ldga::genomics

@@ -1,0 +1,44 @@
+// Metadata for a panel of SNP markers: names and genomic positions.
+// Positions are in kilobases (kb), the unit the paper uses for marker
+// spacing; inter-marker distance drives simulated LD decay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/types.hpp"
+
+namespace ldga::genomics {
+
+struct SnpInfo {
+  std::string name;
+  double position_kb = 0.0;
+};
+
+class SnpPanel {
+ public:
+  SnpPanel() = default;
+  explicit SnpPanel(std::vector<SnpInfo> snps);
+
+  /// Panel of `count` markers named "snp0001"… with uniform spacing.
+  static SnpPanel uniform(std::uint32_t count, double spacing_kb = 10.0);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(snps_.size()); }
+  bool empty() const { return snps_.empty(); }
+
+  const SnpInfo& info(SnpIndex i) const;
+  const std::string& name(SnpIndex i) const { return info(i).name; }
+  double position_kb(SnpIndex i) const { return info(i).position_kb; }
+
+  /// Distance between two markers in kb (non-negative).
+  double distance_kb(SnpIndex a, SnpIndex b) const;
+
+  /// Index of a marker by name; throws DataError if absent.
+  SnpIndex index_of(const std::string& name) const;
+
+ private:
+  std::vector<SnpInfo> snps_;
+};
+
+}  // namespace ldga::genomics

@@ -1,0 +1,150 @@
+#include "genomics/synthetic.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+void SyntheticConfig::validate() const {
+  if (snp_count < 2) {
+    throw ConfigError("SyntheticConfig: need at least 2 SNPs");
+  }
+  if (affected_count + unaffected_count == 0) {
+    throw ConfigError("SyntheticConfig: need status-known individuals");
+  }
+  if (!active_snps.empty()) {
+    if (!std::is_sorted(active_snps.begin(), active_snps.end())) {
+      throw ConfigError("SyntheticConfig: active_snps must be ascending");
+    }
+    if (std::adjacent_find(active_snps.begin(), active_snps.end()) !=
+        active_snps.end()) {
+      throw ConfigError("SyntheticConfig: active_snps must be distinct");
+    }
+    if (active_snps.back() >= snp_count) {
+      throw ConfigError("SyntheticConfig: active SNP index out of range");
+    }
+  } else if (active_snp_count > snp_count) {
+    throw ConfigError("SyntheticConfig: more active SNPs than markers");
+  }
+  if (missing_rate < 0.0 || missing_rate > 0.5) {
+    throw ConfigError("SyntheticConfig: missing_rate must be in [0, 0.5]");
+  }
+  haplotypes.validate();
+  disease.validate();
+}
+
+namespace {
+
+/// Chooses the planted risk haplotype: explicit indices if given, else a
+/// random ascending subset; the risk allele at each site is the *minor*
+/// founder allele, so the risk combination is present but not dominant.
+RiskHaplotype plant_risk(const SyntheticConfig& config,
+                         const HaplotypeSimulator& sim, Rng& rng) {
+  RiskHaplotype risk;
+  if (config.active_snp_count == 0 && config.active_snps.empty()) {
+    return risk;  // pure-null cohort
+  }
+  if (!config.active_snps.empty()) {
+    risk.snps = config.active_snps;
+  } else {
+    risk.snps =
+        rng.sample_without_replacement(config.snp_count,
+                                       config.active_snp_count);
+  }
+  risk.alleles.reserve(risk.snps.size());
+  for (const SnpIndex s : risk.snps) {
+    const double freq_two = sim.site_frequencies()[s];
+    risk.alleles.push_back(freq_two <= 0.5 ? Allele::Two : Allele::One);
+  }
+  return risk;
+}
+
+}  // namespace
+
+SyntheticDataset generate_synthetic(const SyntheticConfig& config, Rng& rng) {
+  config.validate();
+
+  SnpPanel panel = SnpPanel::uniform(config.snp_count,
+                                     config.marker_spacing_kb);
+  const HaplotypeSimulator sim(panel, config.haplotypes, rng);
+  RiskHaplotype risk = plant_risk(config, sim, rng);
+  const bool has_signal = !risk.snps.empty();
+
+  const std::uint32_t total = config.affected_count +
+                              config.unaffected_count + config.unknown_count;
+  GenotypeMatrix matrix(total, config.snp_count);
+  std::vector<Status> statuses(total, Status::Unknown);
+
+  auto store_individual = [&](std::uint32_t row, const Haplotype& maternal,
+                              const Haplotype& paternal) {
+    for (SnpIndex s = 0; s < config.snp_count; ++s) {
+      Genotype g = make_genotype(maternal[s], paternal[s]);
+      if (config.missing_rate > 0.0 && rng.bernoulli(config.missing_rate)) {
+        g = Genotype::Missing;
+      }
+      matrix.set(row, s, g);
+    }
+  };
+
+  // Rejection-sample the case/control groups. The model may make one
+  // status rare; cap the attempts so a mis-specified configuration fails
+  // loudly instead of looping forever.
+  std::uint32_t affected_left = config.affected_count;
+  std::uint32_t unaffected_left = config.unaffected_count;
+  std::uint32_t row = 0;
+  const std::uint64_t max_attempts =
+      2000ULL * (config.affected_count + config.unaffected_count) + 10000ULL;
+
+  DiseaseModelConfig null_disease = config.disease;
+  const DiseaseModel model(
+      has_signal ? risk
+                 : RiskHaplotype{{0}, {Allele::Two}},  // placeholder, unused
+      null_disease);
+
+  std::uint64_t attempts = 0;
+  while (affected_left + unaffected_left > 0) {
+    if (++attempts > max_attempts) {
+      throw ConfigError(
+          "generate_synthetic: could not fill case/control quotas after " +
+          std::to_string(max_attempts) +
+          " attempts; penetrance parameters are too extreme");
+    }
+    const Haplotype maternal = sim.sample(rng);
+    const Haplotype paternal = sim.sample(rng);
+    Status status;
+    if (has_signal) {
+      status = model.sample_status(maternal, paternal, rng);
+    } else {
+      status = rng.bernoulli(0.5) ? Status::Affected : Status::Unaffected;
+    }
+    if (status == Status::Affected && affected_left > 0) {
+      statuses[row] = Status::Affected;
+      store_individual(row, maternal, paternal);
+      ++row;
+      --affected_left;
+    } else if (status == Status::Unaffected && unaffected_left > 0) {
+      statuses[row] = Status::Unaffected;
+      store_individual(row, maternal, paternal);
+      ++row;
+      --unaffected_left;
+    }
+  }
+
+  for (std::uint32_t u = 0; u < config.unknown_count; ++u, ++row) {
+    const Haplotype maternal = sim.sample(rng);
+    const Haplotype paternal = sim.sample(rng);
+    statuses[row] = Status::Unknown;
+    store_individual(row, maternal, paternal);
+  }
+  LDGA_ENSURES(row == total);
+
+  SyntheticDataset result{
+      Dataset(std::move(panel), std::move(matrix), std::move(statuses)),
+      std::move(risk)};
+  if (!has_signal) result.truth = RiskHaplotype{};
+  return result;
+}
+
+}  // namespace ldga::genomics

@@ -1,0 +1,56 @@
+// Synthetic cohort generation with planted ground truth.
+//
+// Produces a dataset shaped like the paper's (§5): a default of 53
+// affected, 53 healthy and 70 unknown individuals over 51 SNPs, with a
+// planted risk haplotype whose SNPs the GA should rediscover. The
+// planted truth is returned alongside the dataset so experiments can
+// report the paper's "deviation from the best expected haplotype".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/disease_model.hpp"
+#include "genomics/haplotype_sim.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::genomics {
+
+struct SyntheticConfig {
+  std::uint32_t snp_count = 51;
+  std::uint32_t affected_count = 53;
+  std::uint32_t unaffected_count = 53;
+  std::uint32_t unknown_count = 70;
+  double marker_spacing_kb = 10.0;
+
+  HaplotypeSimConfig haplotypes;
+  DiseaseModelConfig disease;
+
+  /// Number of planted active SNPs (risk-haplotype size). 0 disables the
+  /// disease signal (pure-null cohort, used for calibration tests).
+  std::uint32_t active_snp_count = 3;
+  /// Explicit active SNP indices; when empty, `active_snp_count` markers
+  /// are drawn at random (ascending, distinct).
+  std::vector<SnpIndex> active_snps;
+
+  /// Per-cell probability of missing genotype.
+  double missing_rate = 0.0;
+
+  void validate() const;
+};
+
+struct SyntheticDataset {
+  Dataset dataset;
+  /// Planted risk haplotype; empty snps when active_snp_count was 0.
+  RiskHaplotype truth;
+};
+
+/// Generates a cohort by rejection sampling: diploid individuals are
+/// drawn from the mosaic haplotype model and assigned a status by the
+/// penetrance model until the affected and unaffected quotas are filled;
+/// `unknown_count` further individuals are drawn unconditionally and
+/// labelled Unknown.
+SyntheticDataset generate_synthetic(const SyntheticConfig& config, Rng& rng);
+
+}  // namespace ldga::genomics

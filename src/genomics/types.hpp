@@ -1,0 +1,54 @@
+// Fundamental genomic value types.
+//
+// The paper codes the two forms of a SNP as 1 and 2 (Figure 1); we keep
+// that convention: Allele::One is the wild type, Allele::Two the
+// mutation. An unphased genotype at one locus is the unordered pair of
+// alleles, stored as the count of Allele::Two copies.
+#pragma once
+
+#include <cstdint>
+
+namespace ldga::genomics {
+
+enum class Allele : std::uint8_t {
+  One = 1,  ///< wild-type form
+  Two = 2,  ///< mutated form
+};
+
+/// Unphased single-locus genotype. The numeric value of the non-missing
+/// codes equals the number of Allele::Two copies, which several
+/// estimators rely on.
+enum class Genotype : std::uint8_t {
+  HomOne = 0,   ///< 1/1
+  Het = 1,      ///< 1/2
+  HomTwo = 2,   ///< 2/2
+  Missing = 3,  ///< not typed
+};
+
+/// Disease status of an individual. The paper's cohort has affected,
+/// healthy, and unknown individuals (53/53/70); only the first two enter
+/// the association test.
+enum class Status : std::uint8_t {
+  Affected = 0,
+  Unaffected = 1,
+  Unknown = 2,
+};
+
+/// Number of Allele::Two copies in a non-missing genotype.
+constexpr int two_count(Genotype g) noexcept { return static_cast<int>(g); }
+
+constexpr bool is_missing(Genotype g) noexcept {
+  return g == Genotype::Missing;
+}
+
+/// Genotype from an unordered allele pair.
+constexpr Genotype make_genotype(Allele a, Allele b) noexcept {
+  const int twos = (a == Allele::Two ? 1 : 0) + (b == Allele::Two ? 1 : 0);
+  return static_cast<Genotype>(twos);
+}
+
+/// Index type for SNPs within a panel; a haplotype in the paper's sense
+/// is a sorted set of these.
+using SnpIndex = std::uint32_t;
+
+}  // namespace ldga::genomics

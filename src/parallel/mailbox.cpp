@@ -1,0 +1,70 @@
+#include "parallel/mailbox.hpp"
+
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+}
+
+std::optional<Message> Mailbox::take_matching(TaskId source,
+                                              std::int32_t tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message found = std::move(*it);
+      queue_.erase(it);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::receive(TaskId source, std::int32_t tag) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto found = take_matching(source, tag)) return std::move(*found);
+    if (closed_) {
+      throw ParallelError("Mailbox: receive on closed mailbox");
+    }
+    arrived_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(TaskId source, std::int32_t tag) {
+  std::lock_guard lock(mutex_);
+  return take_matching(source, tag);
+}
+
+bool Mailbox::probe(TaskId source, std::int32_t tag) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& m : queue_) {
+    if (matches(m, source, tag)) return true;
+  }
+  return false;
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  arrived_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace ldga::parallel

@@ -1,0 +1,52 @@
+// Per-task mailbox: a blocking multi-producer queue of messages with
+// PVM-style selective receive (filter by source and/or tag).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "parallel/message.hpp"
+
+namespace ldga::parallel {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called by any sender thread).
+  void deliver(Message message);
+
+  /// Blocks until a message matching (source, tag) arrives, where
+  /// kAnySource / kAnyTag match everything. Throws ParallelError if the
+  /// mailbox is closed while waiting (machine shutdown).
+  Message receive(TaskId source = kAnySource, std::int32_t tag = kAnyTag);
+
+  /// Non-blocking variant; empty when nothing matches right now.
+  std::optional<Message> try_receive(TaskId source = kAnySource,
+                                     std::int32_t tag = kAnyTag);
+
+  /// True when a matching message is queued (PVM's pvm_probe).
+  bool probe(TaskId source = kAnySource, std::int32_t tag = kAnyTag) const;
+
+  /// Wakes all blocked receivers with an error; further receives throw.
+  /// Delivery to a closed mailbox is silently dropped.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  static bool matches(const Message& m, TaskId source, std::int32_t tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+  /// Extracts the first matching message; caller holds the lock.
+  std::optional<Message> take_matching(TaskId source, std::int32_t tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ldga::parallel

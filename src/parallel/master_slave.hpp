@@ -1,0 +1,214 @@
+// Synchronous master/slave evaluation farm — the paper's §4.5 parallel
+// scheme (Figure 6): slaves are spawned once at start-up and bind to the
+// data once; during each evaluation phase the master hands one work item
+// at a time to whichever slave is free and gathers the results, so the
+// phase is a synchronization point (the GA generation cannot proceed
+// until every individual is scored).
+//
+// The farm is generic over (Task, Result); both must be round-trippable
+// through the wire format via the farm_pack / farm_unpack customization
+// points below, which keeps the discipline honest: everything that
+// crosses the master/slave boundary is serialized, exactly as it would
+// be over PVM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/virtual_machine.hpp"
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+
+// ---- wire customization points -------------------------------------
+// Overloads for the payload shapes the library needs; extend by adding
+// overloads in the payload type's namespace (found by ADL) or here.
+
+template <WireScalar T>
+void farm_pack(Packer& packer, const T& value) {
+  packer.pack(value);
+}
+template <WireScalar T>
+void farm_unpack(Unpacker& unpacker, T& value) {
+  value = unpacker.unpack<T>();
+}
+
+template <WireScalar T>
+void farm_pack(Packer& packer, const std::vector<T>& value) {
+  packer.pack_vector(value);
+}
+template <WireScalar T>
+void farm_unpack(Unpacker& unpacker, std::vector<T>& value) {
+  value = unpacker.unpack_vector<T>();
+}
+
+// ----------------------------------------------------------------------
+
+/// Message tags of the farm protocol.
+namespace farm_tag {
+inline constexpr std::int32_t kWork = 1;
+inline constexpr std::int32_t kResult = 2;
+inline constexpr std::int32_t kShutdown = 3;
+inline constexpr std::int32_t kError = 4;  ///< worker threw; body = phase + what()
+}  // namespace farm_tag
+
+struct FarmStats {
+  /// Work items completed by each slave (index = slave rank).
+  std::vector<std::uint64_t> per_slave_tasks;
+  std::uint64_t phases = 0;  ///< run() calls completed
+};
+
+template <typename Task, typename Result>
+class MasterSlaveFarm {
+ public:
+  using Worker = std::function<Result(const Task&)>;
+
+  /// Spawns `slave_count` slaves, each owning a copy of `worker` (the
+  /// "slaves access the data once at initialization" of §4.5 — the
+  /// worker closure typically captures a reference to the shared,
+  /// immutable dataset/evaluator).
+  MasterSlaveFarm(std::uint32_t slave_count, Worker worker)
+      : master_(vm_.master_context()) {
+    LDGA_EXPECTS(slave_count >= 1);
+    LDGA_EXPECTS(worker != nullptr);
+    stats_.per_slave_tasks.assign(slave_count, 0);
+    for (std::uint32_t rank = 0; rank < slave_count; ++rank) {
+      slaves_.push_back(vm_.spawn(
+          [worker](TaskContext& self) { slave_loop(self, worker); }));
+    }
+  }
+
+  ~MasterSlaveFarm() {
+    // Orderly shutdown: each slave exits its loop on kShutdown.
+    try {
+      for (const TaskId slave : slaves_) {
+        master_.send(slave, farm_tag::kShutdown, Packer{});
+      }
+    } catch (const ParallelError&) {
+      // Machine already halted; jthread join in ~VirtualMachine suffices.
+    }
+  }
+
+  MasterSlaveFarm(const MasterSlaveFarm&) = delete;
+  MasterSlaveFarm& operator=(const MasterSlaveFarm&) = delete;
+
+  std::uint32_t slave_count() const {
+    return static_cast<std::uint32_t>(slaves_.size());
+  }
+
+  /// One synchronous evaluation phase: scores every task, returning
+  /// results in task order. Dynamic (first-free-slave) scheduling.
+  /// A worker exception surfaces here as ParallelError; the farm stays
+  /// usable for further phases (stale replies from the failed phase are
+  /// identified by a phase counter and discarded).
+  std::vector<Result> run(std::span<const Task> tasks) {
+    const std::uint64_t phase = ++phase_counter_;
+    std::vector<Result> results(tasks.size());
+    if (tasks.empty()) {
+      ++stats_.phases;
+      return results;
+    }
+
+    std::size_t next = 0;
+    std::size_t outstanding = 0;
+
+    // Prime every slave with one item (or fewer if tasks < slaves).
+    for (const TaskId slave : slaves_) {
+      if (next >= tasks.size()) break;
+      send_work(slave, phase, next, tasks[next]);
+      ++next;
+      ++outstanding;
+    }
+
+    // Collect a result; refill the now-idle slave with the next item.
+    while (outstanding > 0) {
+      Message reply = master_.receive(kAnySource, kAnyTag);
+      Unpacker unpacker = reply.unpacker();
+      const auto reply_phase = unpacker.unpack<std::uint64_t>();
+      if (reply_phase != phase) continue;  // left over from a failed phase
+
+      if (reply.tag == farm_tag::kError) {
+        throw ParallelError("MasterSlaveFarm: worker failed: " +
+                            unpacker.unpack_string());
+      }
+      const auto index = unpacker.unpack<std::uint64_t>();
+      LDGA_EXPECTS(index < results.size());
+      farm_unpack(unpacker, results[index]);
+      --outstanding;
+
+      const auto rank = rank_of(reply.source);
+      ++stats_.per_slave_tasks[rank];
+
+      if (next < tasks.size()) {
+        send_work(reply.source, phase, next, tasks[next]);
+        ++next;
+        ++outstanding;
+      }
+    }
+    ++stats_.phases;
+    return results;
+  }
+
+  const FarmStats& stats() const { return stats_; }
+
+ private:
+  static void slave_loop(TaskContext& self, const Worker& worker) {
+    for (;;) {
+      Message message;
+      try {
+        message = self.receive(kMasterTask);
+      } catch (const ParallelError&) {
+        return;  // machine halted underneath us
+      }
+      if (message.tag == farm_tag::kShutdown) return;
+
+      Unpacker unpacker = message.unpacker();
+      const auto phase = unpacker.unpack<std::uint64_t>();
+      const auto index = unpacker.unpack<std::uint64_t>();
+      Task task;
+      farm_unpack(unpacker, task);
+
+      try {
+        Packer reply;
+        reply.pack(phase);
+        reply.pack(index);
+        farm_pack(reply, worker(task));
+        self.send(kMasterTask, farm_tag::kResult, std::move(reply));
+      } catch (const std::exception& error) {
+        // Report instead of letting the exception kill the process via
+        // the thread boundary; the slave stays alive for later phases.
+        Packer failure;
+        failure.pack(phase);
+        failure.pack_string(error.what());
+        self.send(kMasterTask, farm_tag::kError, std::move(failure));
+      }
+    }
+  }
+
+  void send_work(TaskId slave, std::uint64_t phase, std::size_t index,
+                 const Task& task) {
+    Packer packer;
+    packer.pack(phase);
+    packer.pack(static_cast<std::uint64_t>(index));
+    farm_pack(packer, task);
+    master_.send(slave, farm_tag::kWork, std::move(packer));
+  }
+
+  std::size_t rank_of(TaskId slave) const {
+    for (std::size_t r = 0; r < slaves_.size(); ++r) {
+      if (slaves_[r] == slave) return r;
+    }
+    throw ParallelError("MasterSlaveFarm: result from unknown task " +
+                        std::to_string(slave));
+  }
+
+  VirtualMachine vm_;
+  TaskContext master_;
+  std::vector<TaskId> slaves_;
+  FarmStats stats_;
+  std::uint64_t phase_counter_ = 0;
+};
+
+}  // namespace ldga::parallel

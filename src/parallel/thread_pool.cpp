@@ -1,0 +1,79 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+
+ThreadPool::ThreadPool(std::uint32_t thread_count) {
+  LDGA_EXPECTS(thread_count >= 1);
+  threads_.reserve(thread_count);
+  for (std::uint32_t i = 0; i < thread_count; ++i) {
+    threads_.emplace_back([this](std::stop_token) { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  // Join before any other member is destroyed: workers still drain the
+  // queue (and touch mutex_/queue_) until they observe stopping_ with
+  // an empty queue.
+  threads_.clear();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  LDGA_EXPECTS(task != nullptr);
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw ParallelError("ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the associated future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t chunks =
+      std::min<std::size_t>(threads_.size(), count);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t lo = begin + count * chunk / chunks;
+    const std::size_t hi = begin + count * (chunk + 1) / chunks;
+    futures.push_back(submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+std::uint32_t default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace ldga::parallel

@@ -1,0 +1,56 @@
+// A plain fixed-size thread pool with a parallel_for helper.
+//
+// The farm (master_slave.hpp) is the faithful reproduction of the
+// paper's PVM scheme; the pool is the pragmatic shared-memory backend
+// used where message-passing fidelity buys nothing — e.g. the SNP
+// mutation operator's parallel trials (§4.3.1: "we use this mutation
+// several times in parallel and keep the best").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldga::parallel {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::uint32_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::uint32_t thread_count() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+  /// Enqueues a task; the future reports its completion (and rethrows
+  /// any exception it raised).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  /// Static block partitioning: deterministic assignment of indices to
+  /// chunks (results must not depend on execution order anyway).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::jthread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// A sensible default worker count: hardware concurrency, at least 1.
+std::uint32_t default_thread_count();
+
+}  // namespace ldga::parallel

@@ -1,0 +1,80 @@
+#include "parallel/virtual_machine.hpp"
+
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+
+std::uint32_t TaskContext::task_count() const { return vm_->task_count(); }
+
+void TaskContext::send(TaskId destination, std::int32_t tag,
+                       Packer payload) const {
+  Message message;
+  message.source = id_;
+  message.tag = tag;
+  message.payload = std::move(payload).take();
+  vm_->mailbox_of(destination).deliver(std::move(message));
+}
+
+Message TaskContext::receive(TaskId source, std::int32_t tag) const {
+  return vm_->mailbox_of(id_).receive(source, tag);
+}
+
+std::optional<Message> TaskContext::try_receive(TaskId source,
+                                                std::int32_t tag) const {
+  return vm_->mailbox_of(id_).try_receive(source, tag);
+}
+
+bool TaskContext::probe(TaskId source, std::int32_t tag) const {
+  return vm_->mailbox_of(id_).probe(source, tag);
+}
+
+VirtualMachine::VirtualMachine() {
+  // Mailbox 0 belongs to the master thread.
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+VirtualMachine::~VirtualMachine() { halt(); }
+
+TaskId VirtualMachine::spawn(std::function<void(TaskContext&)> body) {
+  LDGA_EXPECTS(body != nullptr);
+  std::lock_guard lock(tasks_mutex_);
+  if (halted_) throw ParallelError("VirtualMachine: spawn after halt");
+  const auto id = static_cast<TaskId>(mailboxes_.size());
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+  threads_.emplace_back(
+      [this, id, body = std::move(body)](std::stop_token) {
+        TaskContext context(this, id);
+        body(context);
+      });
+  return id;
+}
+
+std::uint32_t VirtualMachine::task_count() const {
+  std::lock_guard lock(tasks_mutex_);
+  return static_cast<std::uint32_t>(mailboxes_.size());
+}
+
+Mailbox& VirtualMachine::mailbox_of(TaskId id) {
+  std::lock_guard lock(tasks_mutex_);
+  if (id < 0 || static_cast<std::size_t>(id) >= mailboxes_.size()) {
+    throw ParallelError("VirtualMachine: unknown task id " +
+                        std::to_string(id));
+  }
+  return *mailboxes_[static_cast<std::size_t>(id)];
+}
+
+void VirtualMachine::halt() {
+  std::vector<std::jthread> to_join;
+  {
+    std::lock_guard lock(tasks_mutex_);
+    if (halted_) return;
+    halted_ = true;
+    for (const auto& mailbox : mailboxes_) mailbox->close();
+    to_join.swap(threads_);
+  }
+  // jthread destructors join; run them outside the lock so tasks can
+  // still fail their final receives without deadlock.
+  to_join.clear();
+}
+
+}  // namespace ldga::parallel

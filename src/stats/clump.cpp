@@ -1,0 +1,148 @@
+#include "stats/clump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+void ClumpConfig::validate() const {
+  if (rare_expected_threshold < 0.0) {
+    throw ConfigError("ClumpConfig: rare_expected_threshold must be >= 0");
+  }
+}
+
+Clump::Clump(ClumpConfig config) : config_(config) { config_.validate(); }
+
+namespace {
+
+/// T2's table: columns whose expected count in either row falls below
+/// the threshold are clumped into one "rest" column.
+ContingencyTable clump_rare(const ContingencyTable& table, double threshold) {
+  std::vector<std::uint32_t> kept;
+  for (std::uint32_t c = 0; c < table.cols(); ++c) {
+    bool common = true;
+    for (std::uint32_t r = 0; r < table.rows(); ++r) {
+      if (table.expected(r, c) < threshold) {
+        common = false;
+        break;
+      }
+    }
+    if (common) kept.push_back(c);
+  }
+  return table.clump_columns(kept);
+}
+
+/// Statistic value of the best single-column 2×2 split (T3), also
+/// returning the winning column.
+std::pair<double, std::uint32_t> best_single_column(
+    const ContingencyTable& table) {
+  double best = 0.0;
+  std::uint32_t best_col = 0;
+  for (std::uint32_t c = 0; c < table.cols(); ++c) {
+    const auto chi = table.collapse_to_two({c}).pearson_chi_square();
+    if (chi.statistic > best) {
+      best = chi.statistic;
+      best_col = c;
+    }
+  }
+  return {best, best_col};
+}
+
+/// T4: greedy growth of a column group maximizing the 2×2 chi-square.
+std::pair<double, std::vector<std::uint32_t>> best_column_group(
+    const ContingencyTable& table) {
+  auto [best, seed] = best_single_column(table);
+  std::vector<std::uint32_t> group{seed};
+  std::vector<bool> used(table.cols(), false);
+  used[seed] = true;
+
+  bool improved = true;
+  while (improved && group.size() + 1 < table.cols()) {
+    improved = false;
+    double round_best = best;
+    std::uint32_t round_col = 0;
+    for (std::uint32_t c = 0; c < table.cols(); ++c) {
+      if (used[c]) continue;
+      group.push_back(c);
+      const auto chi = table.collapse_to_two(group).pearson_chi_square();
+      group.pop_back();
+      if (chi.statistic > round_best) {
+        round_best = chi.statistic;
+        round_col = c;
+        improved = true;
+      }
+    }
+    if (improved) {
+      best = round_best;
+      group.push_back(round_col);
+      used[round_col] = true;
+    }
+  }
+  std::sort(group.begin(), group.end());
+  return {best, group};
+}
+
+}  // namespace
+
+ChiSquare Clump::t1(const ContingencyTable& table) const {
+  return table.drop_empty_columns().pearson_chi_square();
+}
+
+ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
+  LDGA_EXPECTS(raw.rows() == 2);
+  const ContingencyTable table = raw.drop_empty_columns();
+
+  ClumpResult result;
+
+  // Observed statistics.
+  {
+    const auto chi = table.pearson_chi_square();
+    result.t1 = {chi.statistic, chi.df, chi.p_value, std::nullopt};
+  }
+  {
+    const auto chi = clump_rare(table, config_.rare_expected_threshold)
+                         .pearson_chi_square();
+    result.t2 = {chi.statistic, chi.df, chi.p_value, std::nullopt};
+  }
+  {
+    const auto [stat, col] = best_single_column(table);
+    result.t3 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
+    (void)col;
+  }
+  {
+    auto [stat, group] = best_column_group(table);
+    result.t4 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
+    result.t4_group = std::move(group);
+  }
+
+  // Monte-Carlo resampling: each replicate recomputes all four
+  // statistics on a null table with the observed marginals.
+  if (config_.monte_carlo_trials > 0) {
+    std::uint32_t ge1 = 0, ge2 = 0, ge3 = 0, ge4 = 0;
+    for (std::uint32_t trial = 0; trial < config_.monte_carlo_trials;
+         ++trial) {
+      const ContingencyTable null = table.sample_null(rng);
+      if (null.pearson_chi_square().statistic >= result.t1.statistic) ++ge1;
+      if (clump_rare(null, config_.rare_expected_threshold)
+              .pearson_chi_square()
+              .statistic >= result.t2.statistic) {
+        ++ge2;
+      }
+      if (best_single_column(null).first >= result.t3.statistic) ++ge3;
+      if (best_column_group(null).first >= result.t4.statistic) ++ge4;
+    }
+    const auto empirical = [&](std::uint32_t ge) {
+      return (1.0 + ge) / (1.0 + config_.monte_carlo_trials);
+    };
+    result.t1.p_monte_carlo = empirical(ge1);
+    result.t2.p_monte_carlo = empirical(ge2);
+    result.t3.p_monte_carlo = empirical(ge3);
+    result.t4.p_monte_carlo = empirical(ge4);
+  }
+  return result;
+}
+
+}  // namespace ldga::stats

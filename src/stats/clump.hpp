@@ -1,0 +1,76 @@
+// CLUMP (Sham & Curtis 1995): chi-square statistics for association
+// between disease status and the columns of a 2 × M contingency table,
+// designed for highly polymorphic loci where many columns are rare.
+//
+// The four published statistics:
+//   T1 — Pearson chi-square on the raw table,
+//   T2 — chi-square after clumping columns with small expected counts
+//        into a single "rest" column,
+//   T3 — the largest 2×2 chi-square obtained by testing each column
+//        against all others combined,
+//   T4 — the largest 2×2 chi-square over *groups* of columns, grown
+//        greedily (the original program hill-climbs the partition).
+// Each can be given an empirical Monte-Carlo p-value by resampling
+// tables with the same marginals under the null.
+//
+// The paper's fitness is the raw statistic ("a good haplotype ... has a
+// high value of T1").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/contingency.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::stats {
+
+struct ClumpConfig {
+  /// Monte-Carlo replicates per statistic; 0 disables resampling and
+  /// leaves only analytic p-values.
+  std::uint32_t monte_carlo_trials = 0;
+  /// Expected-count threshold below which T2 clumps a column.
+  double rare_expected_threshold = 5.0;
+
+  void validate() const;
+};
+
+struct ClumpStatistic {
+  double statistic = 0.0;
+  std::uint32_t df = 0;
+  /// Analytic chi-square p-value; for T3/T4 this is nominal (unadjusted
+  /// for selection), which is why CLUMP pairs them with Monte Carlo.
+  double p_analytic = 1.0;
+  /// Empirical p-value (1 + #null ≥ observed) / (1 + trials); empty when
+  /// Monte Carlo was disabled.
+  std::optional<double> p_monte_carlo;
+};
+
+struct ClumpResult {
+  ClumpStatistic t1;
+  ClumpStatistic t2;
+  ClumpStatistic t3;
+  ClumpStatistic t4;
+  /// Column group selected by T4's greedy search (indices into the
+  /// empty-column-pruned table).
+  std::vector<std::uint32_t> t4_group;
+};
+
+class Clump {
+ public:
+  explicit Clump(ClumpConfig config = {});
+
+  /// Analyzes a 2 × M table of (estimated) counts. Monte-Carlo draws, if
+  /// enabled, consume the provided RNG; pass a deterministically seeded
+  /// one for reproducible fitness values.
+  ClumpResult analyze(const ContingencyTable& table, Rng& rng) const;
+
+  /// T1 only — the paper's fitness path, cheaper than a full analysis.
+  ChiSquare t1(const ContingencyTable& table) const;
+
+ private:
+  ClumpConfig config_;
+};
+
+}  // namespace ldga::stats

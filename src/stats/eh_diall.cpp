@@ -1,0 +1,63 @@
+#include "stats/eh_diall.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+using genomics::SnpIndex;
+using genomics::Status;
+
+ContingencyTable EhDiallResult::to_contingency_table() const {
+  const std::size_t n_haplotypes = std::size_t{1} << locus_count;
+  ContingencyTable table(2, static_cast<std::uint32_t>(n_haplotypes));
+  for (std::size_t h = 0; h < n_haplotypes; ++h) {
+    const auto code = static_cast<HaplotypeCode>(h);
+    table.set(0, static_cast<std::uint32_t>(h),
+              affected.count(code, affected_individuals));
+    table.set(1, static_cast<std::uint32_t>(h),
+              unaffected.count(code, unaffected_individuals));
+  }
+  return table;
+}
+
+EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config)
+    : dataset_(&dataset), config_(config) {
+  config_.validate();
+  affected_ = dataset.individuals_with(Status::Affected);
+  unaffected_ = dataset.individuals_with(Status::Unaffected);
+  if (affected_.empty() || unaffected_.empty()) {
+    throw DataError(
+        "EhDiall: dataset needs at least one affected and one unaffected "
+        "individual");
+  }
+}
+
+EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
+  LDGA_EXPECTS(!snps.empty());
+
+  const auto& genotypes = dataset_->genotypes();
+  const auto table_a = GenotypePatternTable::build(genotypes, snps, affected_,
+                                                   config_.missing);
+  const auto table_u = GenotypePatternTable::build(genotypes, snps,
+                                                   unaffected_,
+                                                   config_.missing);
+  const auto table_pooled = GenotypePatternTable::merge(table_a, table_u);
+
+  EhDiallResult result;
+  result.locus_count = static_cast<std::uint32_t>(snps.size());
+  result.affected = estimate_haplotype_frequencies(table_a, config_);
+  result.unaffected = estimate_haplotype_frequencies(table_u, config_);
+  result.pooled = estimate_haplotype_frequencies(table_pooled, config_);
+  result.affected_individuals = table_a.total_individuals();
+  result.unaffected_individuals = table_u.total_individuals();
+
+  const double lrt = 2.0 * (result.affected.log_likelihood +
+                            result.unaffected.log_likelihood -
+                            result.pooled.log_likelihood);
+  result.lrt = std::max(lrt, 0.0);
+  return result;
+}
+
+}  // namespace ldga::stats

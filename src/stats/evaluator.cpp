@@ -1,0 +1,133 @@
+#include "stats/evaluator.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+using genomics::SnpIndex;
+
+void EvaluatorConfig::validate() const {
+  em.validate();
+  clump.validate();
+  if (max_loci == 0 || max_loci > kMaxEmLoci) {
+    throw ConfigError("EvaluatorConfig: max_loci must be in [1, " +
+                      std::to_string(kMaxEmLoci) + "]");
+  }
+}
+
+HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
+                                       EvaluatorConfig config)
+    : dataset_(&dataset),
+      config_(config),
+      eh_diall_(dataset, config.em),
+      clump_(config.clump) {
+  config_.validate();
+}
+
+std::size_t HaplotypeEvaluator::SnpSetHash::operator()(
+    const std::vector<SnpIndex>& v) const {
+  std::uint64_t state = 0x6c6467611d2004ULL ^ (v.size() << 32);
+  std::uint64_t h = 0;
+  for (const SnpIndex s : v) {
+    state ^= s;
+    h ^= splitmix64(state);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+EvaluationResult HaplotypeEvaluator::evaluate_full(
+    std::span<const SnpIndex> snps) const {
+  LDGA_EXPECTS(!snps.empty());
+  LDGA_EXPECTS(snps.size() <= config_.max_loci);
+
+  const EhDiallResult eh = eh_diall_.analyze(snps);
+  const ContingencyTable table =
+      eh.to_contingency_table().drop_empty_columns();
+
+  EvaluationResult result;
+  result.t1 = clump_.t1(table);
+  result.lrt = eh.lrt;
+  result.em_iterations_total = eh.affected.iterations +
+                               eh.unaffected.iterations +
+                               eh.pooled.iterations;
+  result.em_converged =
+      eh.affected.converged && eh.unaffected.converged && eh.pooled.converged;
+  result.table_columns = table.cols();
+
+  switch (config_.fitness_statistic) {
+    case FitnessStatistic::T1:
+      result.fitness = result.t1.statistic;
+      break;
+    case FitnessStatistic::Lrt:
+      result.fitness = result.lrt;
+      break;
+    case FitnessStatistic::T2:
+    case FitnessStatistic::T3:
+    case FitnessStatistic::T4: {
+      // These need the full CLUMP machinery (and its RNG for Monte
+      // Carlo); seed deterministically from the SNP set.
+      std::vector<SnpIndex> key(snps.begin(), snps.end());
+      std::uint64_t seed = config_.monte_carlo_seed;
+      for (const SnpIndex s : key) seed = splitmix64(seed) ^ s;
+      Rng rng(seed);
+      const ClumpResult clump = clump_.analyze(table, rng);
+      if (config_.fitness_statistic == FitnessStatistic::T2) {
+        result.fitness = clump.t2.statistic;
+      } else if (config_.fitness_statistic == FitnessStatistic::T3) {
+        result.fitness = clump.t3.statistic;
+      } else {
+        result.fitness = clump.t4.statistic;
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+ClumpResult HaplotypeEvaluator::clump_analysis(
+    std::span<const SnpIndex> snps) const {
+  const EhDiallResult eh = eh_diall_.analyze(snps);
+  std::uint64_t seed = config_.monte_carlo_seed;
+  for (const SnpIndex s : snps) seed = splitmix64(seed) ^ s;
+  Rng rng(seed);
+  return clump_.analyze(eh.to_contingency_table(), rng);
+}
+
+double HaplotypeEvaluator::compute_fitness(
+    std::span<const SnpIndex> snps) const {
+  return evaluate_full(snps).fitness;
+}
+
+double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<SnpIndex> key(snps.begin(), snps.end());
+  LDGA_EXPECTS(std::is_sorted(key.begin(), key.end()));
+
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto found = cache_.find(key);
+    if (found != cache_.end()) return found->second;
+  }
+
+  // Compute outside any lock: several threads may race on the same new
+  // key and each run the pipeline, but the result is deterministic so
+  // last-writer-wins is harmless; the evaluation counter reflects real
+  // pipeline executions either way.
+  const double value = compute_fitness(key);
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock lock(cache_mutex_);
+    cache_.emplace(std::move(key), value);
+  }
+  return value;
+}
+
+void HaplotypeEvaluator::reset_counters() const {
+  evaluations_.store(0, std::memory_order_relaxed);
+  requests_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ldga::stats

@@ -1,0 +1,113 @@
+// The paper's Figure-3 evaluation pipeline, end to end:
+//
+//   candidate SNP set
+//     → per-group genotype-pattern enumeration          (Enumeration)
+//     → EM haplotype frequency estimation per group     (EH-DIALL)
+//     → estimated-count contingency table               (Concatenation)
+//     → chi-square association statistic                (CLUMP)
+//     → fitness
+//
+// The evaluator is immutable after construction and safe to call from
+// many threads concurrently; the fitness cache is internally
+// synchronized. The GA's "number of evaluations" metric counts cache
+// misses only — re-requesting a known haplotype is free, matching the
+// paper's accounting where the cost lives in the statistical pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "stats/clump.hpp"
+#include "stats/eh_diall.hpp"
+
+namespace ldga::stats {
+
+/// Which statistic of the pipeline becomes the GA fitness.
+enum class FitnessStatistic : std::uint8_t {
+  T1,   ///< raw chi-square (the paper's choice)
+  T2,   ///< rare-columns-clumped chi-square
+  T3,   ///< best single-haplotype 2×2 chi-square
+  T4,   ///< best haplotype-group 2×2 chi-square
+  Lrt,  ///< EH-DIALL likelihood-ratio statistic
+};
+
+struct EvaluatorConfig {
+  EmConfig em;
+  ClumpConfig clump;
+  FitnessStatistic fitness_statistic = FitnessStatistic::T1;
+  /// Base seed for the deterministic per-haplotype Monte-Carlo streams
+  /// (only consumed when clump.monte_carlo_trials > 0).
+  std::uint64_t monte_carlo_seed = 2004;
+  /// Hard upper bound on candidate size (2^k blow-up guard).
+  std::uint32_t max_loci = 16;
+
+  void validate() const;
+};
+
+/// Everything the pipeline knows about one candidate, for reporting.
+struct EvaluationResult {
+  double fitness = 0.0;
+  ChiSquare t1;
+  double lrt = 0.0;
+  std::uint32_t em_iterations_total = 0;
+  bool em_converged = true;
+  std::uint32_t table_columns = 0;  ///< non-empty haplotype columns
+};
+
+class HaplotypeEvaluator {
+ public:
+  HaplotypeEvaluator(const genomics::Dataset& dataset,
+                     EvaluatorConfig config = {});
+
+  /// Full pipeline, never cached, never counted. For reports and tests.
+  EvaluationResult evaluate_full(
+      std::span<const genomics::SnpIndex> snps) const;
+
+  /// Complete CLUMP analysis (all four statistics + optional Monte
+  /// Carlo) of a candidate. Not cached.
+  ClumpResult clump_analysis(std::span<const genomics::SnpIndex> snps) const;
+
+  /// Cached fitness: the number the GA maximizes. Thread-safe.
+  double fitness(std::span<const genomics::SnpIndex> snps) const;
+
+  /// Pipeline executions performed (cache misses). This is the paper's
+  /// "# of evaluations" column.
+  std::uint64_t evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Total fitness requests including cache hits.
+  std::uint64_t request_count() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() const;
+
+  const genomics::Dataset& dataset() const { return *dataset_; }
+  const EvaluatorConfig& config() const { return config_; }
+
+ private:
+  double fitness_from(const EvaluationResult& result,
+                      const ClumpResult& clump) const;
+  double compute_fitness(std::span<const genomics::SnpIndex> snps) const;
+
+  const genomics::Dataset* dataset_;
+  EvaluatorConfig config_;
+  EhDiall eh_diall_;
+  Clump clump_;
+
+  struct SnpSetHash {
+    std::size_t operator()(const std::vector<genomics::SnpIndex>& v) const;
+  };
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<std::vector<genomics::SnpIndex>, double,
+                             SnpSetHash>
+      cache_;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
+  mutable std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace ldga::stats

@@ -1,0 +1,89 @@
+#include "stats/multiple_testing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+namespace {
+
+void check_inputs(std::span<const double> p_values) {
+  for (const double p : p_values) {
+    if (p < 0.0 || p > 1.0) {
+      throw ConfigError("multiple testing: p-values must lie in [0, 1]");
+    }
+  }
+}
+
+/// Indices sorted by ascending p-value (stable for ties).
+std::vector<std::size_t> ascending_order(std::span<const double> p_values) {
+  std::vector<std::size_t> order(p_values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return p_values[a] < p_values[b];
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::vector<double> bonferroni_adjust(std::span<const double> p_values) {
+  check_inputs(p_values);
+  const auto m = static_cast<double>(p_values.size());
+  std::vector<double> adjusted;
+  adjusted.reserve(p_values.size());
+  for (const double p : p_values) {
+    adjusted.push_back(std::min(1.0, p * m));
+  }
+  return adjusted;
+}
+
+std::vector<double> holm_adjust(std::span<const double> p_values) {
+  check_inputs(p_values);
+  const std::size_t m = p_values.size();
+  std::vector<double> adjusted(m, 0.0);
+  const auto order = ascending_order(p_values);
+  double running_max = 0.0;
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const double scaled =
+        p_values[order[rank]] * static_cast<double>(m - rank);
+    running_max = std::max(running_max, scaled);
+    adjusted[order[rank]] = std::min(1.0, running_max);
+  }
+  return adjusted;
+}
+
+std::vector<double> benjamini_hochberg_adjust(
+    std::span<const double> p_values) {
+  check_inputs(p_values);
+  const std::size_t m = p_values.size();
+  std::vector<double> adjusted(m, 0.0);
+  const auto order = ascending_order(p_values);
+  // Walk from the largest p downward, keeping the running minimum of
+  // p · m / rank — the standard step-up construction.
+  double running_min = 1.0;
+  for (std::size_t i = m; i > 0; --i) {
+    const std::size_t rank = i;  // 1-based
+    const double scaled = p_values[order[i - 1]] * static_cast<double>(m) /
+                          static_cast<double>(rank);
+    running_min = std::min(running_min, scaled);
+    adjusted[order[i - 1]] = std::min(1.0, running_min);
+  }
+  return adjusted;
+}
+
+std::vector<std::size_t> benjamini_hochberg_keep(
+    std::span<const double> p_values, double alpha) {
+  LDGA_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  const auto adjusted = benjamini_hochberg_adjust(p_values);
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < adjusted.size(); ++i) {
+    if (adjusted[i] <= alpha) keep.push_back(i);
+  }
+  return keep;
+}
+
+}  // namespace ldga::stats

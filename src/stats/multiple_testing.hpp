@@ -1,0 +1,31 @@
+// Multiple-testing corrections for scan results.
+//
+// A linkage-disequilibrium scan evaluates many haplotypes; the nominal
+// p-value of each winner ignores that selection. Besides the
+// permutation test (stats/permutation.hpp), standard corrections let a
+// study report adjusted significance across the whole result list:
+// Bonferroni, Holm's step-down, and Benjamini–Hochberg FDR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ldga::stats {
+
+/// min(1, p · m) for every p, with m = p_values.size().
+std::vector<double> bonferroni_adjust(std::span<const double> p_values);
+
+/// Holm step-down adjusted p-values (uniformly more powerful than
+/// Bonferroni, still controls FWER). Returned in the input order.
+std::vector<double> holm_adjust(std::span<const double> p_values);
+
+/// Benjamini–Hochberg FDR-adjusted p-values (q-values), input order.
+std::vector<double> benjamini_hochberg_adjust(
+    std::span<const double> p_values);
+
+/// Indices (input order) significant at level alpha under BH FDR.
+std::vector<std::size_t> benjamini_hochberg_keep(
+    std::span<const double> p_values, double alpha);
+
+}  // namespace ldga::stats

@@ -1,0 +1,94 @@
+#include "stats/permutation.hpp"
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace ldga::stats {
+
+using genomics::Dataset;
+using genomics::SnpIndex;
+using genomics::Status;
+
+void PermutationConfig::validate() const {
+  if (permutations == 0) {
+    throw ConfigError("PermutationConfig: permutations must be >= 1");
+  }
+}
+
+namespace {
+
+/// Dataset with the same panel/genotypes but permuted known labels.
+Dataset with_permuted_labels(const Dataset& dataset, Rng& rng) {
+  std::vector<Status> statuses = dataset.statuses();
+  std::vector<std::uint32_t> known;
+  for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i] != Status::Unknown) known.push_back(i);
+  }
+  // Collect the known labels, shuffle, reassign.
+  std::vector<Status> labels;
+  labels.reserve(known.size());
+  for (const auto i : known) labels.push_back(statuses[i]);
+  rng.shuffle(std::span<Status>(labels));
+  for (std::size_t j = 0; j < known.size(); ++j) {
+    statuses[known[j]] = labels[j];
+  }
+  return Dataset(dataset.panel(), dataset.genotypes(), std::move(statuses));
+}
+
+}  // namespace
+
+PermutationResult permutation_test(const Dataset& dataset,
+                                   std::span<const SnpIndex> snps,
+                                   const EvaluatorConfig& evaluator_config,
+                                   const PermutationConfig& config) {
+  config.validate();
+  LDGA_EXPECTS(!snps.empty());
+
+  PermutationResult result;
+  {
+    const HaplotypeEvaluator evaluator(dataset, evaluator_config);
+    result.observed = evaluator.evaluate_full(snps).fitness;
+  }
+
+  // Pre-draw the permuted datasets from one master stream so results do
+  // not depend on the worker count.
+  Rng master(config.seed);
+  std::vector<Dataset> permuted;
+  permuted.reserve(config.permutations);
+  for (std::uint32_t p = 0; p < config.permutations; ++p) {
+    permuted.push_back(with_permuted_labels(dataset, master));
+  }
+
+  std::vector<double> statistics(config.permutations);
+  const std::vector<SnpIndex> key(snps.begin(), snps.end());
+  auto evaluate_one = [&](std::size_t p) {
+    const HaplotypeEvaluator evaluator(permuted[p], evaluator_config);
+    statistics[p] = evaluator.evaluate_full(key).fitness;
+  };
+
+  const std::uint32_t workers = config.workers > 0
+                                    ? config.workers
+                                    : parallel::default_thread_count();
+  if (workers <= 1) {
+    for (std::size_t p = 0; p < statistics.size(); ++p) evaluate_one(p);
+  } else {
+    parallel::ThreadPool pool(workers);
+    pool.parallel_for(0, statistics.size(), evaluate_one);
+  }
+
+  KahanSum sum;
+  for (const double s : statistics) {
+    if (s >= result.observed) ++result.ge_count;
+    sum.add(s);
+    result.permutation_max = std::max(result.permutation_max, s);
+  }
+  result.permutation_mean =
+      sum.value() / static_cast<double>(config.permutations);
+  result.p_value = (1.0 + result.ge_count) / (1.0 + config.permutations);
+  return result;
+}
+
+}  // namespace ldga::stats

@@ -1,0 +1,61 @@
+#include "stats/phase_reconstruction.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+using genomics::SnpIndex;
+
+std::vector<PhasedIndividual> reconstruct_phases(
+    const genomics::GenotypeMatrix& genotypes,
+    std::span<const SnpIndex> snps,
+    std::span<const std::uint32_t> individuals,
+    std::span<const double> frequencies) {
+  LDGA_EXPECTS(!snps.empty() && snps.size() <= kMaxEmLoci);
+  LDGA_EXPECTS(frequencies.size() == (std::size_t{1} << snps.size()));
+
+  std::vector<PhasedIndividual> phased;
+  phased.reserve(individuals.size());
+  for (const std::uint32_t individual : individuals) {
+    const GenotypePattern pattern = pattern_of(genotypes, snps, individual);
+
+    PhasedIndividual best;
+    best.individual = individual;
+    double best_weight = -1.0;
+    double total_weight = 0.0;
+    std::uint32_t resolutions = 0;
+    for_each_compatible_pair(
+        pattern, [&](HaplotypeCode h1, HaplotypeCode h2, double mult) {
+          const double weight = mult * frequencies[h1] * frequencies[h2];
+          total_weight += weight;
+          ++resolutions;
+          if (weight > best_weight) {
+            best_weight = weight;
+            best.first = h1;
+            best.second = h2;
+          }
+        });
+    best.ambiguous = resolutions > 1;
+    // All-zero weights (every compatible haplotype has frequency 0 under
+    // the supplied model): fall back to a uniform posterior.
+    best.posterior = total_weight > 0.0
+                         ? best_weight / total_weight
+                         : 1.0 / static_cast<double>(resolutions);
+    phased.push_back(best);
+  }
+  return phased;
+}
+
+std::uint32_t count_carried(std::span<const PhasedIndividual> phased,
+                            HaplotypeCode target) {
+  std::uint32_t count = 0;
+  for (const auto& p : phased) {
+    if (p.first == target) ++count;
+    if (p.second == target) ++count;
+  }
+  return count;
+}
+
+}  // namespace ldga::stats

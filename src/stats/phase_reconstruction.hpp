@@ -1,0 +1,43 @@
+// Best-guess phase reconstruction from EM haplotype frequencies — the
+// other half of what EH-style programs output: for each individual,
+// the most probable ordered pair of haplotypes compatible with its
+// genotype, with its posterior probability. Downstream analyses (e.g.
+// counting risk-haplotype carriers) need phased data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "genomics/genotype_matrix.hpp"
+#include "stats/em_haplotype.hpp"
+
+namespace ldga::stats {
+
+struct PhasedIndividual {
+  std::uint32_t individual = 0;  ///< row in the genotype matrix
+  HaplotypeCode first = 0;       ///< maternal/paternal order is arbitrary
+  HaplotypeCode second = 0;
+  /// Posterior probability of this resolution among all compatible
+  /// ones under the supplied haplotype frequencies.
+  double posterior = 1.0;
+  bool ambiguous = false;  ///< more than one compatible resolution
+};
+
+/// Reconstructs the most probable phase for each listed individual at
+/// the selected loci, under `frequencies` (size 2^k, typically an
+/// EmResult). Individuals missing a selected locus are phased over the
+/// marginalized resolutions (their missing alleles imputed to the most
+/// probable assignment). Returned in the order of `individuals`.
+std::vector<PhasedIndividual> reconstruct_phases(
+    const genomics::GenotypeMatrix& genotypes,
+    std::span<const genomics::SnpIndex> snps,
+    std::span<const std::uint32_t> individuals,
+    std::span<const double> frequencies);
+
+/// Counts chromosomes carrying the haplotype `target` among the phased
+/// results (2 per individual; best-guess counts).
+std::uint32_t count_carried(std::span<const PhasedIndividual> phased,
+                            HaplotypeCode target);
+
+}  // namespace ldga::stats

@@ -1,0 +1,96 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ldga::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Series representation of P(a, x); converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction representation of Q(a, x) (modified Lentz);
+/// converges fast for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  LDGA_EXPECTS(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double gamma_q(double a, double x) {
+  LDGA_EXPECTS(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double chi_square_sf(double x, double df) {
+  LDGA_EXPECTS(df > 0.0);
+  if (x <= 0.0) return 1.0;
+  return gamma_q(df / 2.0, x / 2.0);
+}
+
+double chi_square_isf(double p, double df) {
+  LDGA_EXPECTS(p > 0.0 && p <= 1.0 && df > 0.0);
+  if (p == 1.0) return 0.0;
+  // Bracket the root, then bisect. sf is strictly decreasing in x.
+  double lo = 0.0;
+  double hi = df + 10.0;
+  while (chi_square_sf(hi, df) > p) {
+    hi *= 2.0;
+    if (hi > 1e9) return hi;  // p is astronomically small
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chi_square_sf(mid, df) > p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ldga::stats

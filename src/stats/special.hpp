@@ -1,0 +1,27 @@
+// Special functions needed by the statistical tests: the regularized
+// incomplete gamma function and the chi-square survival function built
+// on it. Implementations follow the classic series / continued-fraction
+// split (Abramowitz & Stegun 6.5, as popularized by Numerical Recipes),
+// which is accurate to ~1e-14 over the ranges the tests use.
+#pragma once
+
+#include <cstdint>
+
+namespace ldga::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a).
+/// Domain: a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+double gamma_q(double a, double x);
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: P(X >= x). This is the p-value of a chi-square statistic.
+double chi_square_sf(double x, double df);
+
+/// Quantile (inverse survival) of the chi-square distribution: smallest
+/// x with sf(x, df) <= p. Used by tests; bisection on the sf.
+double chi_square_isf(double p, double df);
+
+}  // namespace ldga::stats

@@ -1,0 +1,70 @@
+#include "util/combinatorics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ldga {
+
+std::uint64_t choose(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint32_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    // result * factor / i is always exact because result holds C(m, i-1)
+    // for m = n-k+i-1; divide via gcd-free trick: multiply in 128 bits.
+    const __uint128_t wide = static_cast<__uint128_t>(result) * factor;
+    const __uint128_t divided = wide / i;
+    if (divided > std::numeric_limits<std::uint64_t>::max()) {
+      throw ConfigError("choose(" + std::to_string(n) + ", " +
+                        std::to_string(k) + ") overflows 64 bits");
+    }
+    result = static_cast<std::uint64_t>(divided);
+  }
+  return result;
+}
+
+double log_choose(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+bool choose_overflows(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return false;
+  // 64 * ln 2 with a small safety margin against lgamma rounding.
+  return log_choose(n, k) > 64.0 * 0.6931471805599453 - 1e-9;
+}
+
+SubsetEnumerator::SubsetEnumerator(std::uint32_t n, std::uint32_t k)
+    : n_(n), k_(k), current_(k), done_(k > n) {
+  for (std::uint32_t i = 0; i < k; ++i) current_[i] = i;
+  if (k == 0) done_ = false;  // the single empty subset is valid
+}
+
+void SubsetEnumerator::next() {
+  LDGA_EXPECTS(!done_);
+  if (k_ == 0) {
+    done_ = true;
+    return;
+  }
+  // Find the rightmost element that can still be incremented.
+  std::uint32_t i = k_;
+  while (i > 0) {
+    --i;
+    if (current_[i] != i + n_ - k_) {
+      ++current_[i];
+      for (std::uint32_t j = i + 1; j < k_; ++j) {
+        current_[j] = current_[j - 1] + 1;
+      }
+      return;
+    }
+  }
+  done_ = true;
+}
+
+}  // namespace ldga

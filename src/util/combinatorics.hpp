@@ -1,0 +1,43 @@
+// Exact and log-domain combinatorics used for search-space accounting
+// (paper Table 1) and for subpopulation sizing, which the paper makes
+// proportional to the growth of the per-size search space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ldga {
+
+/// n choose k as an exact 64-bit value.
+/// Throws ldga::ConfigError on overflow; use log_choose for large inputs.
+std::uint64_t choose(std::uint32_t n, std::uint32_t k);
+
+/// Natural log of (n choose k); exact enough for ratios and allocation
+/// weights at any problem size (uses lgamma).
+double log_choose(std::uint32_t n, std::uint32_t k);
+
+/// True when n choose k exceeds 2^64 - 1 (so choose() would throw).
+bool choose_overflows(std::uint32_t n, std::uint32_t k);
+
+/// All k-subsets of {0, ..., n-1} in lexicographic order.
+/// Intended for the landscape study's exhaustive enumeration; the caller
+/// is responsible for checking the count is tractable first.
+class SubsetEnumerator {
+ public:
+  SubsetEnumerator(std::uint32_t n, std::uint32_t k);
+
+  /// Current subset (ascending); valid while !done().
+  const std::vector<std::uint32_t>& current() const { return current_; }
+  bool done() const { return done_; }
+
+  /// Advances to the next subset in lexicographic order.
+  void next();
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t k_;
+  std::vector<std::uint32_t> current_;
+  bool done_;
+};
+
+}  // namespace ldga

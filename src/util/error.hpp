@@ -1,0 +1,67 @@
+// Error handling primitives for the ldga library.
+//
+// Policy (see DESIGN.md §5): recoverable conditions — malformed input
+// files, invalid user configuration — throw typed exceptions derived from
+// ldga::Error. Violations of internal programming contracts use
+// LDGA_EXPECTS / LDGA_ENSURES, which abort with a source location; they
+// indicate bugs, not conditions a caller is expected to handle.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace ldga {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A user-supplied configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A dataset file or in-memory dataset is structurally invalid.
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// A parallel-runtime operation was used outside its valid protocol
+/// (e.g. receiving from a task that was never spawned).
+class ParallelError : public Error {
+ public:
+  explicit ParallelError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ldga: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace ldga
+
+/// Precondition check: documents and enforces what a function requires.
+#define LDGA_EXPECTS(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ldga::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                       __LINE__);                           \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define LDGA_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ldga::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                       __LINE__);                           \
+  } while (false)

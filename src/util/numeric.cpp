@@ -1,0 +1,43 @@
+#include "util/numeric.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ldga {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double normalize_in_place(std::span<double> values) {
+  KahanSum total;
+  for (const double v : values) {
+    LDGA_EXPECTS(v >= 0.0);
+    total.add(v);
+  }
+  const double sum = total.value();
+  LDGA_EXPECTS(sum > 0.0);
+  for (double& v : values) v /= sum;
+  return sum;
+}
+
+}  // namespace ldga

@@ -1,0 +1,64 @@
+// Small numeric helpers shared across the library: compensated
+// summation, running moments, and safe normalization.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace ldga {
+
+/// Kahan–Babuska compensated accumulator. Used wherever many small
+/// probabilities or chi-square terms are summed (EM, CLUMP), where naive
+/// summation loses precision at large table sizes.
+class KahanSum {
+ public:
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double value() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Single-pass mean / variance / min / max (Welford's algorithm).
+/// Used for run statistics in the benchmark harness and GA telemetry.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Rescales values in place so they sum to 1. Values must be
+/// non-negative with a positive total. Returns the original total.
+double normalize_in_place(std::span<double> values);
+
+/// Linear interpolation clamp-free helper.
+constexpr double lerp(double a, double b, double t) noexcept {
+  return a + t * (b - a);
+}
+
+}  // namespace ldga

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ldga {
+
+double Rng::normal() noexcept {
+  // Polar (Marsaglia) method; rejection keeps tails exact.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  LDGA_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    LDGA_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  LDGA_EXPECTS(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Rounding can push target marginally past the last bucket; return the
+  // last index with nonzero weight.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  LDGA_EXPECTS(k <= n);
+  // Floyd's algorithm: for j in [n-k, n), draw t in [0, j]; insert t
+  // unless already chosen, else insert j. Yields a uniform k-subset.
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(below(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace ldga

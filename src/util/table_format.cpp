@@ -1,0 +1,54 @@
+#include "util/table_format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ldga {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LDGA_EXPECTS(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  LDGA_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::num(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace ldga

@@ -1,0 +1,30 @@
+// Minimal fixed-width ASCII table writer used by the benchmark harness
+// to print rows in the same layout as the paper's tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldga {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header rule.
+  std::string str() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double value, int decimals = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ldga

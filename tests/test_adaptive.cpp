@@ -1,0 +1,153 @@
+#include "ga/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::ga {
+namespace {
+
+AdaptiveRateController paper_mutation_controller() {
+  // The paper's setting: three mutation operators, G = 0.9, δ = 0.01.
+  return AdaptiveRateController({"snp", "reduction", "augmentation"}, 0.9,
+                                0.01);
+}
+
+double rate_sum(const AdaptiveRateController& ctrl) {
+  double sum = 0.0;
+  for (std::uint32_t op = 0; op < ctrl.operator_count(); ++op) {
+    sum += ctrl.rate(op);
+  }
+  return sum;
+}
+
+TEST(AdaptiveRates, InitialRatesAreEqualShares) {
+  const auto ctrl = paper_mutation_controller();
+  for (std::uint32_t op = 0; op < 3; ++op) {
+    EXPECT_NEAR(ctrl.rate(op), 0.3, 1e-12);
+  }
+}
+
+TEST(AdaptiveRates, Validation) {
+  EXPECT_THROW(AdaptiveRateController({}, 0.9, 0.01), ConfigError);
+  EXPECT_THROW(AdaptiveRateController({"a"}, 0.0, 0.0), ConfigError);
+  EXPECT_THROW(AdaptiveRateController({"a"}, 1.5, 0.0), ConfigError);
+  EXPECT_THROW(AdaptiveRateController({"a", "b"}, 0.1, 0.06), ConfigError);
+  EXPECT_NO_THROW(AdaptiveRateController({"a", "b"}, 0.1, 0.05));
+}
+
+TEST(AdaptiveRates, ProfitableOperatorGainsRate) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.record(0, 0.5);
+  ctrl.record(0, 0.3);
+  ctrl.record(1, 0.01);
+  ctrl.record(2, 0.0);
+  ctrl.end_generation();
+  EXPECT_GT(ctrl.rate(0), 0.5);
+  EXPECT_LT(ctrl.rate(1), 0.1);
+  EXPECT_NEAR(ctrl.rate(2), 0.01, 1e-12);  // floor δ
+}
+
+TEST(AdaptiveRates, SumInvariantHoldsUnderRandomUse) {
+  // The paper's invariant: Σ rate_i == G after every generation.
+  auto ctrl = paper_mutation_controller();
+  Rng rng(42);
+  for (int generation = 0; generation < 200; ++generation) {
+    const int applications = static_cast<int>(rng.below(20));
+    for (int a = 0; a < applications; ++a) {
+      ctrl.record(static_cast<std::uint32_t>(rng.below(3)),
+                  rng.uniform(-0.5, 1.0));
+    }
+    ctrl.end_generation();
+    EXPECT_NEAR(rate_sum(ctrl), 0.9, 1e-9) << "generation " << generation;
+    for (std::uint32_t op = 0; op < 3; ++op) {
+      EXPECT_GE(ctrl.rate(op), 0.01 - 1e-12);
+    }
+  }
+}
+
+TEST(AdaptiveRates, NegativeProgressIsClampedToZero) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.record(0, -100.0);
+  ctrl.record(1, 0.2);
+  ctrl.end_generation();
+  EXPECT_NEAR(ctrl.rate(0), 0.01, 1e-12);
+  EXPECT_NEAR(ctrl.rate(1), 0.9 - 3 * 0.01 + 0.01, 1e-12);
+}
+
+TEST(AdaptiveRates, SilentGenerationKeepsRates) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.record(0, 1.0);
+  ctrl.end_generation();
+  const double r0 = ctrl.rate(0);
+  // No applications at all.
+  ctrl.end_generation();
+  EXPECT_DOUBLE_EQ(ctrl.rate(0), r0);
+  // Applications but zero progress everywhere.
+  ctrl.record(1, 0.0);
+  ctrl.record(2, -1.0);
+  ctrl.end_generation();
+  EXPECT_DOUBLE_EQ(ctrl.rate(0), r0);
+}
+
+TEST(AdaptiveRates, ProfitIsMeanNotSumOfProgress) {
+  // Operator 0: many low-progress applications; operator 1: one high.
+  // Mean progress decides: op 1 must end with the higher rate.
+  auto ctrl = AdaptiveRateController({"a", "b"}, 0.8, 0.05);
+  for (int i = 0; i < 10; ++i) ctrl.record(0, 0.1);
+  ctrl.record(1, 0.5);
+  ctrl.end_generation();
+  EXPECT_GT(ctrl.rate(1), ctrl.rate(0));
+  // profit_a = 0.1/0.6, profit_b = 0.5/0.6; spread = 0.8 - 0.1 = 0.7.
+  EXPECT_NEAR(ctrl.rate(0), (0.1 / 0.6) * 0.7 + 0.05, 1e-9);
+  EXPECT_NEAR(ctrl.rate(1), (0.5 / 0.6) * 0.7 + 0.05, 1e-9);
+}
+
+TEST(AdaptiveRates, FrozenControllerNeverMoves) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.freeze();
+  for (int g = 0; g < 10; ++g) {
+    ctrl.record(0, 1.0);
+    ctrl.end_generation();
+  }
+  for (std::uint32_t op = 0; op < 3; ++op) {
+    EXPECT_NEAR(ctrl.rate(op), 0.3, 1e-12);
+  }
+}
+
+TEST(AdaptiveRates, SampleFollowsRates) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.record(0, 1.0);  // op 0 takes nearly everything
+  ctrl.end_generation();
+  Rng rng(7);
+  int picked0 = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (ctrl.sample(rng.uniform()) == 0) ++picked0;
+  }
+  EXPECT_NEAR(picked0 / static_cast<double>(n), ctrl.rate(0) / 0.9, 0.02);
+}
+
+TEST(AdaptiveRates, SampleBoundaryInput) {
+  const auto ctrl = paper_mutation_controller();
+  EXPECT_EQ(ctrl.sample(0.0), 0u);
+  EXPECT_EQ(ctrl.sample(0.999999), 2u);
+}
+
+TEST(AdaptiveRates, LifetimeApplicationCounts) {
+  auto ctrl = paper_mutation_controller();
+  ctrl.record(0, 0.1);
+  ctrl.record(0, 0.1);
+  ctrl.record(2, 0.1);
+  ctrl.end_generation();
+  ctrl.record(0, 0.1);
+  EXPECT_EQ(ctrl.applications(0), 3u);
+  EXPECT_EQ(ctrl.applications(1), 0u);
+  EXPECT_EQ(ctrl.applications(2), 1u);
+}
+
+}  // namespace
+}  // namespace ldga::ga

@@ -1,0 +1,77 @@
+#include "genomics/allele_freq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+Dataset dataset_with_column(const std::vector<Genotype>& column) {
+  GenotypeMatrix matrix(static_cast<std::uint32_t>(column.size()), 1);
+  for (std::uint32_t i = 0; i < column.size(); ++i) {
+    matrix.set(i, 0, column[i]);
+  }
+  return Dataset(SnpPanel::uniform(1), std::move(matrix),
+                 std::vector<Status>(column.size(), Status::Unknown));
+}
+
+TEST(AlleleFrequency, CountsAllelesByHand) {
+  // 4 individuals: 11, 12, 22, 12 -> allele Two count = 0+1+2+1 = 4 of 8.
+  const auto dataset = dataset_with_column(
+      {Genotype::HomOne, Genotype::Het, Genotype::HomTwo, Genotype::Het});
+  const auto table = AlleleFrequencyTable::estimate(dataset);
+  EXPECT_DOUBLE_EQ(table.at(0).freq_two, 0.5);
+  EXPECT_DOUBLE_EQ(table.at(0).freq_one, 0.5);
+  EXPECT_EQ(table.at(0).typed_individuals, 4u);
+}
+
+TEST(AlleleFrequency, SkipsMissing) {
+  const auto dataset = dataset_with_column(
+      {Genotype::HomTwo, Genotype::Missing, Genotype::HomTwo});
+  const auto table = AlleleFrequencyTable::estimate(dataset);
+  EXPECT_DOUBLE_EQ(table.at(0).freq_two, 1.0);
+  EXPECT_EQ(table.at(0).typed_individuals, 2u);
+}
+
+TEST(AlleleFrequency, AllMissingGivesZeroTyped) {
+  const auto dataset =
+      dataset_with_column({Genotype::Missing, Genotype::Missing});
+  const auto table = AlleleFrequencyTable::estimate(dataset);
+  EXPECT_EQ(table.at(0).typed_individuals, 0u);
+  EXPECT_DOUBLE_EQ(table.at(0).freq_two, 0.0);
+}
+
+TEST(AlleleFrequency, MafIsTheSmallerFrequency) {
+  AlleleFrequency f;
+  f.freq_one = 0.7;
+  f.freq_two = 0.3;
+  EXPECT_DOUBLE_EQ(f.maf(), 0.3);
+  f.freq_one = 0.2;
+  f.freq_two = 0.8;
+  EXPECT_DOUBLE_EQ(f.maf(), 0.2);
+}
+
+TEST(AlleleFrequency, MinorFrequencyGap) {
+  std::vector<AlleleFrequency> freqs(2);
+  freqs[0].freq_one = 0.9;
+  freqs[0].freq_two = 0.1;  // maf 0.1
+  freqs[1].freq_one = 0.6;
+  freqs[1].freq_two = 0.4;  // maf 0.4
+  const AlleleFrequencyTable table(std::move(freqs));
+  EXPECT_NEAR(table.minor_frequency_gap(0, 1), 0.3, 1e-12);
+  EXPECT_NEAR(table.minor_frequency_gap(1, 0), 0.3, 1e-12);
+}
+
+TEST(AlleleFrequency, FrequenciesSumToOneOnSynthetic) {
+  const auto synthetic = ldga::testing::small_synthetic();
+  const auto table = AlleleFrequencyTable::estimate(synthetic.dataset);
+  for (SnpIndex s = 0; s < synthetic.dataset.snp_count(); ++s) {
+    EXPECT_NEAR(table.at(s).freq_one + table.at(s).freq_two, 1.0, 1e-12);
+    EXPECT_GE(table.at(s).maf(), 0.0);
+    EXPECT_LE(table.at(s).maf(), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "analysis/hill_climb.hpp"
+#include "analysis/random_search.hpp"
+#include "test_support.hpp"
+
+namespace ldga::analysis {
+namespace {
+
+const stats::HaplotypeEvaluator& shared_evaluator() {
+  static const auto synthetic = ldga::testing::small_synthetic(10, 2, 61);
+  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  return evaluator;
+}
+
+TEST(RandomSearch, RespectsEvaluationBudget) {
+  RandomSearchConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.max_evaluations = 100;
+  const ga::FeasibilityFilter filter;
+  const auto result = random_search(shared_evaluator(), config, filter);
+  // The budget is a stop condition checked per draw: allow a tiny
+  // overshoot of one evaluation at most.
+  EXPECT_GE(result.evaluations, 100u);
+  EXPECT_LE(result.evaluations, 101u);
+}
+
+TEST(RandomSearch, FillsEverySizeClassEventually) {
+  RandomSearchConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.max_evaluations = 150;
+  config.seed = 2;
+  const ga::FeasibilityFilter filter;
+  const auto result = random_search(shared_evaluator(), config, filter);
+  ASSERT_EQ(result.best_by_size.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(result.best_by_size[i].evaluated());
+    EXPECT_EQ(result.best_by_size[i].size(), 2u + i);
+  }
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  RandomSearchConfig config;
+  config.max_size = 3;
+  config.max_evaluations = 60;
+  config.seed = 9;
+  const ga::FeasibilityFilter filter;
+  // Use two fresh evaluators so the shared cache can't couple the runs.
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 61);
+  const stats::HaplotypeEvaluator ev1(synthetic.dataset);
+  const stats::HaplotypeEvaluator ev2(synthetic.dataset);
+  const auto a = random_search(ev1, config, filter);
+  const auto b = random_search(ev2, config, filter);
+  for (std::size_t i = 0; i < a.best_by_size.size(); ++i) {
+    EXPECT_TRUE(a.best_by_size[i].same_snps(b.best_by_size[i]));
+  }
+}
+
+TEST(HillClimb, FindsTheExactOptimumOfItsNeighborhoodOnTinyProblems) {
+  // With a generous budget on a small panel, restarted steepest-ascent
+  // must reach the global optimum of size 2 (found by enumeration).
+  HillClimbConfig config;
+  config.haplotype_size = 2;
+  config.max_evaluations = 2'000;
+  const ga::FeasibilityFilter filter;
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 61);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  const auto result = hill_climb(evaluator, config, filter);
+
+  double best = -1.0;
+  for (genomics::SnpIndex a = 0; a < 10; ++a) {
+    for (genomics::SnpIndex b = a + 1; b < 10; ++b) {
+      best = std::max(
+          best, evaluator.evaluate_full(std::vector<genomics::SnpIndex>{a, b})
+                    .fitness);
+    }
+  }
+  EXPECT_NEAR(result.best.fitness(), best, 1e-9);
+}
+
+TEST(HillClimb, TracksRestartsAndOptima) {
+  HillClimbConfig config;
+  config.haplotype_size = 3;
+  config.max_evaluations = 500;
+  const ga::FeasibilityFilter filter;
+  const auto result = hill_climb(shared_evaluator(), config, filter);
+  EXPECT_GE(result.restarts, 1u);
+  EXPECT_TRUE(result.best.evaluated());
+  EXPECT_EQ(result.best.size(), 3u);
+}
+
+TEST(HillClimb, FirstImprovementAlsoClimbs) {
+  HillClimbConfig config;
+  config.haplotype_size = 2;
+  config.best_improvement = false;
+  config.max_evaluations = 300;
+  config.seed = 5;
+  const ga::FeasibilityFilter filter;
+  const auto result = hill_climb(shared_evaluator(), config, filter);
+  EXPECT_TRUE(result.best.evaluated());
+}
+
+TEST(HillClimb, BudgetIsRespected) {
+  HillClimbConfig config;
+  config.haplotype_size = 2;
+  config.max_evaluations = 50;
+  const ga::FeasibilityFilter filter;
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 61);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  const auto result = hill_climb(evaluator, config, filter);
+  EXPECT_LE(result.evaluations, 51u);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

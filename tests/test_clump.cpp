@@ -1,0 +1,167 @@
+#include "stats/clump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace ldga::stats {
+namespace {
+
+/// A 2x4 table with one strongly associated column (0) and rare
+/// columns (2, 3).
+ContingencyTable example_table() {
+  ContingencyTable t(2, 4);
+  t.set(0, 0, 30);
+  t.set(0, 1, 15);
+  t.set(0, 2, 3);
+  t.set(0, 3, 2);
+  t.set(1, 0, 10);
+  t.set(1, 1, 33);
+  t.set(1, 2, 4);
+  t.set(1, 3, 3);
+  return t;
+}
+
+TEST(Clump, T1MatchesPearsonOnFullTable) {
+  const Clump clump;
+  const auto t = example_table();
+  Rng rng(1);
+  const auto result = clump.analyze(t, rng);
+  const auto direct = t.pearson_chi_square();
+  EXPECT_NEAR(result.t1.statistic, direct.statistic, 1e-9);
+  EXPECT_EQ(result.t1.df, direct.df);
+  EXPECT_FALSE(result.t1.p_monte_carlo.has_value());
+}
+
+TEST(Clump, T2ClumpsRareColumns) {
+  ClumpConfig config;
+  config.rare_expected_threshold = 5.0;
+  const Clump clump(config);
+  Rng rng(2);
+  const auto result = clump.analyze(example_table(), rng);
+  // Columns 2 and 3 have expected counts < 5 and get clumped: the T2
+  // table is 2x3 -> df 2.
+  EXPECT_EQ(result.t2.df, 2u);
+  EXPECT_GT(result.t2.statistic, 0.0);
+}
+
+TEST(Clump, T3IsTheBestSingleColumnSplit) {
+  const Clump clump;
+  const auto t = example_table();
+  Rng rng(3);
+  const auto result = clump.analyze(t, rng);
+  // T3 must equal the max over explicit 2x2 collapses.
+  double best = 0.0;
+  for (std::uint32_t c = 0; c < t.cols(); ++c) {
+    best = std::max(best,
+                    t.collapse_to_two({c}).pearson_chi_square().statistic);
+  }
+  EXPECT_NEAR(result.t3.statistic, best, 1e-9);
+  EXPECT_EQ(result.t3.df, 1u);
+}
+
+TEST(Clump, T4AtLeastT3) {
+  const Clump clump;
+  Rng rng(4);
+  const auto result = clump.analyze(example_table(), rng);
+  EXPECT_GE(result.t4.statistic, result.t3.statistic - 1e-12);
+  EXPECT_FALSE(result.t4_group.empty());
+}
+
+TEST(Clump, T4GroupReproducesStatistic) {
+  const Clump clump;
+  const auto t = example_table();
+  Rng rng(5);
+  const auto result = clump.analyze(t, rng);
+  // Recompute the 2x2 statistic from the reported group (indices refer
+  // to the empty-column-pruned table, which here equals the original).
+  const auto chi =
+      t.collapse_to_two(result.t4_group).pearson_chi_square();
+  EXPECT_NEAR(chi.statistic, result.t4.statistic, 1e-9);
+}
+
+TEST(Clump, MonteCarloPValuesPresentAndValid) {
+  ClumpConfig config;
+  config.monte_carlo_trials = 200;
+  const Clump clump(config);
+  Rng rng(6);
+  const auto result = clump.analyze(example_table(), rng);
+  for (const auto* stat : {&result.t1, &result.t2, &result.t3, &result.t4}) {
+    ASSERT_TRUE(stat->p_monte_carlo.has_value());
+    EXPECT_GT(*stat->p_monte_carlo, 0.0);
+    EXPECT_LE(*stat->p_monte_carlo, 1.0);
+  }
+}
+
+TEST(Clump, MonteCarloIsDeterministicGivenSeed) {
+  ClumpConfig config;
+  config.monte_carlo_trials = 100;
+  const Clump clump(config);
+  Rng rng1(77), rng2(77);
+  const auto a = clump.analyze(example_table(), rng1);
+  const auto b = clump.analyze(example_table(), rng2);
+  EXPECT_EQ(*a.t1.p_monte_carlo, *b.t1.p_monte_carlo);
+  EXPECT_EQ(*a.t4.p_monte_carlo, *b.t4.p_monte_carlo);
+}
+
+TEST(Clump, MonteCarloAgreesWithAnalyticOnLargeCounts) {
+  // For a well-populated table the empirical T1 p-value should be in
+  // the same ballpark as the analytic chi-square p-value.
+  ContingencyTable t(2, 3);
+  t.set(0, 0, 50);
+  t.set(0, 1, 30);
+  t.set(0, 2, 20);
+  t.set(1, 0, 35);
+  t.set(1, 1, 38);
+  t.set(1, 2, 27);
+  ClumpConfig config;
+  config.monte_carlo_trials = 2000;
+  const Clump clump(config);
+  Rng rng(8);
+  const auto result = clump.analyze(t, rng);
+  EXPECT_NEAR(*result.t1.p_monte_carlo, result.t1.p_analytic, 0.05);
+}
+
+TEST(Clump, StrongAssociationGetsSmallMonteCarloP) {
+  ContingencyTable t(2, 2);
+  t.set(0, 0, 45);
+  t.set(0, 1, 5);
+  t.set(1, 0, 5);
+  t.set(1, 1, 45);
+  ClumpConfig config;
+  config.monte_carlo_trials = 500;
+  const Clump clump(config);
+  Rng rng(9);
+  const auto result = clump.analyze(t, rng);
+  EXPECT_LE(*result.t1.p_monte_carlo, 2.0 / 501.0 + 1e-12);
+}
+
+TEST(Clump, NullTableScoresLow) {
+  ContingencyTable t(2, 2);
+  t.set(0, 0, 25);
+  t.set(0, 1, 25);
+  t.set(1, 0, 25);
+  t.set(1, 1, 25);
+  const Clump clump;
+  Rng rng(10);
+  const auto result = clump.analyze(t, rng);
+  EXPECT_NEAR(result.t1.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(result.t1.p_analytic, 1.0, 1e-9);
+}
+
+TEST(Clump, ConfigValidation) {
+  ClumpConfig config;
+  config.rare_expected_threshold = -1.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(Clump, RequiresTwoRows) {
+  const Clump clump;
+  ContingencyTable t(3, 2);
+  Rng rng(11);
+  EXPECT_DEATH(clump.analyze(t, rng), "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::stats

@@ -1,0 +1,137 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ldga {
+namespace {
+
+TEST(Choose, BaseCases) {
+  EXPECT_EQ(choose(0, 0), 1u);
+  EXPECT_EQ(choose(5, 0), 1u);
+  EXPECT_EQ(choose(5, 5), 1u);
+  EXPECT_EQ(choose(5, 1), 5u);
+  EXPECT_EQ(choose(5, 6), 0u);
+}
+
+TEST(Choose, PaperTable1Values) {
+  // These are exactly the rows of the paper's Table 1.
+  EXPECT_EQ(choose(51, 2), 1'275u);
+  EXPECT_EQ(choose(51, 3), 20'825u);
+  EXPECT_EQ(choose(51, 4), 249'900u);
+  EXPECT_EQ(choose(51, 5), 2'349'060u);
+  EXPECT_EQ(choose(51, 6), 18'009'460u);
+  EXPECT_EQ(choose(150, 2), 11'175u);
+  EXPECT_EQ(choose(150, 3), 551'300u);
+  EXPECT_EQ(choose(150, 4), 20'260'275u);
+  EXPECT_EQ(choose(150, 5), 591'600'030u);
+  EXPECT_EQ(choose(249, 2), 30'876u);
+  EXPECT_EQ(choose(249, 3), 2'542'124u);
+  EXPECT_EQ(choose(249, 4), 156'340'626u);
+}
+
+TEST(Choose, SymmetryProperty) {
+  for (std::uint32_t n = 1; n <= 40; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(choose(n, k), choose(n, n - k)) << n << " " << k;
+    }
+  }
+}
+
+TEST(Choose, PascalIdentityProperty) {
+  for (std::uint32_t n = 2; n <= 50; ++n) {
+    for (std::uint32_t k = 1; k < n; ++k) {
+      EXPECT_EQ(choose(n, k), choose(n - 1, k - 1) + choose(n - 1, k));
+    }
+  }
+}
+
+TEST(Choose, LargeValueStillExact) {
+  EXPECT_EQ(choose(62, 31), 465428353255261088ULL);
+  EXPECT_EQ(choose(60, 30), 118264581564861424ULL);
+}
+
+TEST(Choose, OverflowThrows) {
+  EXPECT_THROW(choose(70, 35), ConfigError);
+  EXPECT_THROW(choose(249, 30), ConfigError);
+}
+
+TEST(ChooseOverflows, AgreesWithChoose) {
+  EXPECT_FALSE(choose_overflows(62, 31));
+  EXPECT_TRUE(choose_overflows(70, 35));
+  EXPECT_FALSE(choose_overflows(249, 4));
+  EXPECT_TRUE(choose_overflows(249, 30));
+  EXPECT_FALSE(choose_overflows(10, 20));  // k > n: count is 0
+}
+
+TEST(LogChoose, MatchesExactForSmall) {
+  for (std::uint32_t n = 1; n <= 30; ++n) {
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_choose(n, k),
+                  std::log(static_cast<double>(choose(n, k))), 1e-9);
+    }
+  }
+}
+
+TEST(LogChoose, KGreaterThanNIsMinusInfinity) {
+  EXPECT_EQ(log_choose(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+// --- SubsetEnumerator --------------------------------------------------
+
+struct EnumCase {
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class SubsetEnumeration : public ::testing::TestWithParam<EnumCase> {};
+
+TEST_P(SubsetEnumeration, VisitsExactlyAllSubsetsInLexOrder) {
+  const auto [n, k] = GetParam();
+  SubsetEnumerator it(n, k);
+  std::set<std::vector<std::uint32_t>> seen;
+  std::vector<std::uint32_t> previous;
+  std::uint64_t count = 0;
+  while (!it.done()) {
+    const auto& current = it.current();
+    ASSERT_EQ(current.size(), k);
+    EXPECT_TRUE(std::is_sorted(current.begin(), current.end()));
+    for (const auto v : current) EXPECT_LT(v, n);
+    if (count > 0) {
+      EXPECT_LT(previous, current);  // strict lex order
+    }
+    seen.insert(current);
+    previous = current;
+    ++count;
+    it.next();
+  }
+  EXPECT_EQ(count, choose(n, k));
+  EXPECT_EQ(seen.size(), count);  // all distinct
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsetEnumeration,
+                         ::testing::Values(EnumCase{1, 1}, EnumCase{4, 0},
+                                           EnumCase{4, 4}, EnumCase{6, 2},
+                                           EnumCase{8, 3}, EnumCase{10, 5},
+                                           EnumCase{12, 1}));
+
+TEST(SubsetEnumeration, KGreaterThanNIsImmediatelyDone) {
+  SubsetEnumerator it(3, 5);
+  EXPECT_TRUE(it.done());
+}
+
+TEST(SubsetEnumeration, EmptySubsetEnumeratedOnce) {
+  SubsetEnumerator it(5, 0);
+  ASSERT_FALSE(it.done());
+  EXPECT_TRUE(it.current().empty());
+  it.next();
+  EXPECT_TRUE(it.done());
+}
+
+}  // namespace
+}  // namespace ldga

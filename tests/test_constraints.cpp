@@ -1,0 +1,115 @@
+#include "ga/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ldga::ga {
+namespace {
+
+/// Builds LD and frequency tables from the tiny dataset.
+struct Tables {
+  genomics::Dataset dataset = ldga::testing::tiny_dataset();
+  genomics::LdMatrix ld = genomics::LdMatrix::compute(dataset);
+  genomics::AlleleFrequencyTable freqs =
+      genomics::AlleleFrequencyTable::estimate(dataset);
+};
+
+TEST(FeasibilityFilter, DefaultAcceptsEverything) {
+  const FeasibilityFilter filter;
+  EXPECT_FALSE(filter.enabled());
+  EXPECT_TRUE(filter.pair_feasible(0, 1));
+  EXPECT_TRUE(filter.feasible(std::vector<SnpIndex>{0, 1, 2}));
+  EXPECT_TRUE(filter.addition_feasible(std::vector<SnpIndex>{0}, 1));
+}
+
+TEST(FeasibilityFilter, PermissiveConfigIsDisabled) {
+  const Tables tables;
+  ConstraintConfig config;  // defaults: T_d = 1, T_f = 0
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  EXPECT_FALSE(filter.enabled());
+}
+
+TEST(FeasibilityFilter, DPrimeThresholdFiltersTightPairs) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.max_pairwise_d_prime = 0.0;  // nothing passes unless D' == 0
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  EXPECT_TRUE(filter.enabled());
+  bool any_rejected = false;
+  for (SnpIndex a = 0; a < 4; ++a) {
+    for (SnpIndex b = a + 1; b < 4; ++b) {
+      if (!filter.pair_feasible(a, b)) any_rejected = true;
+    }
+  }
+  EXPECT_TRUE(any_rejected);
+}
+
+TEST(FeasibilityFilter, FrequencyGapThreshold) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.min_frequency_gap = 2.0;  // impossible: gap <= 0.5
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  for (SnpIndex a = 0; a < 4; ++a) {
+    for (SnpIndex b = a + 1; b < 4; ++b) {
+      EXPECT_FALSE(filter.pair_feasible(a, b));
+    }
+  }
+}
+
+TEST(FeasibilityFilter, SetFeasibilityRequiresAllPairs) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.max_pairwise_d_prime = 0.999;
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  // Find an infeasible pair, then check any superset is infeasible.
+  for (SnpIndex a = 0; a < 4; ++a) {
+    for (SnpIndex b = a + 1; b < 4; ++b) {
+      if (!filter.pair_feasible(a, b)) {
+        for (SnpIndex c = 0; c < 4; ++c) {
+          if (c == a || c == b) continue;
+          EXPECT_FALSE(filter.feasible(
+              HaplotypeIndividual({a, b, c}).snps()));
+        }
+      }
+    }
+  }
+}
+
+TEST(FeasibilityFilter, AdditionRejectsDuplicates) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.max_pairwise_d_prime = 0.9999;
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  EXPECT_FALSE(filter.addition_feasible(std::vector<SnpIndex>{1, 2}, 2));
+}
+
+TEST(FeasibilityFilter, RandomFeasibleSatisfiesFilterWhenPossible) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.max_pairwise_d_prime = 0.95;
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  Rng rng(3);
+  int feasible = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto individual = filter.random_feasible(4, 2, rng);
+    EXPECT_EQ(individual.size(), 2u);
+    if (filter.feasible(individual.snps())) ++feasible;
+  }
+  // With only C(4,2)=6 pairs some may be infeasible, but feasible draws
+  // must dominate when feasible pairs exist.
+  EXPECT_GT(feasible, 15);
+}
+
+TEST(FeasibilityFilter, RandomFeasibleFallsBackWhenImpossible) {
+  const Tables tables;
+  ConstraintConfig config;
+  config.min_frequency_gap = 2.0;  // nothing is feasible
+  const FeasibilityFilter filter(tables.ld, tables.freqs, config);
+  Rng rng(4);
+  const auto individual = filter.random_feasible(4, 2, rng, 10);
+  EXPECT_EQ(individual.size(), 2u);  // best-effort result, not a hang
+}
+
+}  // namespace
+}  // namespace ldga::ga

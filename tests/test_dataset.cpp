@@ -1,0 +1,53 @@
+#include "genomics/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(Dataset, TinyDatasetShape) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  EXPECT_EQ(dataset.individual_count(), 8u);
+  EXPECT_EQ(dataset.snp_count(), 4u);
+}
+
+TEST(Dataset, StatusCounts) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  EXPECT_EQ(dataset.count(Status::Affected), 4u);
+  EXPECT_EQ(dataset.count(Status::Unaffected), 4u);
+  EXPECT_EQ(dataset.count(Status::Unknown), 0u);
+}
+
+TEST(Dataset, IndividualsWithPreservesOrder) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  const auto affected = dataset.individuals_with(Status::Affected);
+  ASSERT_EQ(affected.size(), 4u);
+  EXPECT_EQ(affected, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  const auto unaffected = dataset.individuals_with(Status::Unaffected);
+  EXPECT_EQ(unaffected, (std::vector<std::uint32_t>{4, 5, 6, 7}));
+}
+
+TEST(Dataset, MismatchedPanelThrows) {
+  GenotypeMatrix matrix(2, 3);
+  EXPECT_THROW(Dataset(SnpPanel::uniform(4), std::move(matrix),
+                       std::vector<Status>(2, Status::Unknown)),
+               DataError);
+}
+
+TEST(Dataset, MismatchedStatusCountThrows) {
+  GenotypeMatrix matrix(2, 3);
+  EXPECT_THROW(Dataset(SnpPanel::uniform(3), std::move(matrix),
+                       std::vector<Status>(5, Status::Unknown)),
+               DataError);
+}
+
+TEST(Dataset, StatusOutOfRangeDies) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  EXPECT_DEATH(dataset.status(8), "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::genomics

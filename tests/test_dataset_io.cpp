@@ -1,0 +1,132 @@
+#include "genomics/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+Dataset round_trip(const Dataset& dataset) {
+  std::stringstream stream;
+  write_dataset(stream, dataset);
+  return read_dataset(stream);
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const Dataset original = ldga::testing::tiny_dataset();
+  const Dataset copy = round_trip(original);
+  ASSERT_EQ(copy.individual_count(), original.individual_count());
+  ASSERT_EQ(copy.snp_count(), original.snp_count());
+  for (std::uint32_t i = 0; i < original.individual_count(); ++i) {
+    EXPECT_EQ(copy.status(i), original.status(i));
+    for (SnpIndex s = 0; s < original.snp_count(); ++s) {
+      EXPECT_EQ(copy.genotypes().at(i, s), original.genotypes().at(i, s));
+    }
+  }
+  for (SnpIndex s = 0; s < original.snp_count(); ++s) {
+    EXPECT_EQ(copy.panel().name(s), original.panel().name(s));
+    EXPECT_DOUBLE_EQ(copy.panel().position_kb(s),
+                     original.panel().position_kb(s));
+  }
+}
+
+TEST(DatasetIo, RoundTripWithMissingAndUnknown) {
+  auto synthetic = ldga::testing::small_synthetic();
+  const Dataset copy = round_trip(synthetic.dataset);
+  EXPECT_EQ(copy.count(Status::Affected),
+            synthetic.dataset.count(Status::Affected));
+}
+
+TEST(DatasetIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "snp rs1 0.0\n"
+      "snp rs2 12.5  # trailing comment\n"
+      "ind i1 A 11 12\n"
+      "ind i2 U 22 00\n");
+  const Dataset dataset = read_dataset(in);
+  EXPECT_EQ(dataset.snp_count(), 2u);
+  EXPECT_EQ(dataset.individual_count(), 2u);
+  EXPECT_EQ(dataset.genotypes().at(0, 1), Genotype::Het);
+  EXPECT_EQ(dataset.genotypes().at(1, 1), Genotype::Missing);
+  EXPECT_DOUBLE_EQ(dataset.panel().position_kb(1), 12.5);
+}
+
+TEST(DatasetIo, Accepts21AsHet) {
+  std::istringstream in("snp rs1 0\nind i1 A 21\n");
+  EXPECT_EQ(read_dataset(in).genotypes().at(0, 0), Genotype::Het);
+}
+
+TEST(DatasetIo, RejectsBadStatus) {
+  std::istringstream in("snp rs1 0\nind i1 X 11\n");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, RejectsBadGenotype) {
+  std::istringstream in("snp rs1 0\nind i1 A 13\n");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, RejectsWrongGenotypeCount) {
+  std::istringstream in("snp rs1 0\nsnp rs2 1\nind i1 A 11\n");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, RejectsSnpAfterIndividuals) {
+  std::istringstream in("snp rs1 0\nind i1 A 11\nsnp rs2 1\n");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, RejectsUnknownRecord) {
+  std::istringstream in("marker rs1 0\n");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(read_dataset(in), DataError);
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/path/file.txt"), DataError);
+}
+
+TEST(FrequencyTableIo, RoundTrip) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  const auto table = AlleleFrequencyTable::estimate(dataset);
+  std::stringstream stream;
+  write_frequency_table(stream, dataset.panel(), table);
+  const auto reloaded = read_frequency_table(stream, dataset.panel());
+  for (SnpIndex s = 0; s < dataset.snp_count(); ++s) {
+    EXPECT_NEAR(reloaded.at(s).freq_one, table.at(s).freq_one, 1e-9);
+    EXPECT_NEAR(reloaded.at(s).freq_two, table.at(s).freq_two, 1e-9);
+  }
+}
+
+TEST(FrequencyTableIo, MissingMarkerThrows) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  std::istringstream in("snp0001 0.5 0.5\n");  // others missing
+  EXPECT_THROW(read_frequency_table(in, dataset.panel()), DataError);
+}
+
+TEST(LdTableIo, RoundTrip) {
+  const Dataset dataset = ldga::testing::tiny_dataset();
+  const auto matrix = LdMatrix::compute(dataset);
+  std::stringstream stream;
+  write_ld_table(stream, dataset.panel(), matrix);
+  const auto reloaded = read_ld_table(stream, dataset.panel());
+  for (SnpIndex a = 0; a + 1 < dataset.snp_count(); ++a) {
+    for (SnpIndex b = a + 1; b < dataset.snp_count(); ++b) {
+      EXPECT_NEAR(reloaded.at(a, b).d_prime, matrix.at(a, b).d_prime, 1e-9);
+      EXPECT_NEAR(reloaded.at(a, b).r2, matrix.at(a, b).r2, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,128 @@
+#include "genomics/disease_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+RiskHaplotype simple_risk() {
+  return RiskHaplotype{{1, 3}, {Allele::Two, Allele::Two}};
+}
+
+Haplotype haplotype_from(const std::string& pattern) {
+  Haplotype h;
+  for (const char c : pattern) {
+    h.push_back(c == '2' ? Allele::Two : Allele::One);
+  }
+  return h;
+}
+
+TEST(DiseaseModelConfig, Validation) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.baseline_risk = 1.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.relative_risk = 0.5;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.partial_effect = 1.5;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(DiseaseModel, RejectsMalformedRisk) {
+  DiseaseModelConfig config;
+  EXPECT_THROW(DiseaseModel(RiskHaplotype{}, config), ConfigError);
+  EXPECT_THROW(DiseaseModel(RiskHaplotype{{0, 1}, {Allele::Two}}, config),
+               ConfigError);
+  EXPECT_THROW(
+      DiseaseModel(RiskHaplotype{{3, 1}, {Allele::Two, Allele::Two}}, config),
+      ConfigError);
+}
+
+TEST(DiseaseModel, CountsMatches) {
+  const DiseaseModel model(simple_risk(), {});
+  EXPECT_EQ(model.matches(haplotype_from("12121")), 2u);
+  EXPECT_EQ(model.matches(haplotype_from("12111")), 1u);
+  EXPECT_EQ(model.matches(haplotype_from("11111")), 0u);
+}
+
+TEST(DiseaseModel, BaselineWithoutMatches) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.05;
+  const DiseaseModel model(simple_risk(), config);
+  EXPECT_DOUBLE_EQ(
+      model.disease_probability(haplotype_from("11111"),
+                                haplotype_from("11111")),
+      0.05);
+}
+
+TEST(DiseaseModel, FullMatchMultipliesRisk) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.05;
+  config.relative_risk = 4.0;
+  config.partial_effect = 0.0;
+  const DiseaseModel model(simple_risk(), config);
+  // One matching chromosome: 0.05 * 4 = 0.2; two: 0.05 * 16 = 0.8.
+  EXPECT_NEAR(model.disease_probability(haplotype_from("12121"),
+                                        haplotype_from("11111")),
+              0.2, 1e-12);
+  EXPECT_NEAR(model.disease_probability(haplotype_from("12121"),
+                                        haplotype_from("12121")),
+              0.8, 1e-12);
+}
+
+TEST(DiseaseModel, PartialMatchHasIntermediateEffect) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.05;
+  config.relative_risk = 4.0;
+  config.partial_effect = 0.5;
+  const DiseaseModel model(simple_risk(), config);
+  const double partial = model.disease_probability(
+      haplotype_from("12111"), haplotype_from("11111"));
+  EXPECT_NEAR(partial, 0.05 * std::pow(4.0, 0.5), 1e-12);
+  const double full = model.disease_probability(haplotype_from("12121"),
+                                                haplotype_from("11111"));
+  EXPECT_GT(full, partial);
+  EXPECT_GT(partial, 0.05);
+}
+
+TEST(DiseaseModel, ProbabilityCappedAtOne) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.5;
+  config.relative_risk = 100.0;
+  const DiseaseModel model(simple_risk(), config);
+  EXPECT_DOUBLE_EQ(model.disease_probability(haplotype_from("12121"),
+                                             haplotype_from("12121")),
+                   1.0);
+}
+
+TEST(DiseaseModel, SampleStatusFollowsProbability) {
+  DiseaseModelConfig config;
+  config.baseline_risk = 0.05;
+  config.relative_risk = 16.0;
+  config.partial_effect = 0.0;
+  const DiseaseModel model(simple_risk(), config);
+  Rng rng(17);
+  int affected = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample_status(haplotype_from("12121"), haplotype_from("11111"),
+                            rng) == Status::Affected) {
+      ++affected;
+    }
+  }
+  EXPECT_NEAR(affected / static_cast<double>(n), 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

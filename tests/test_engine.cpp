@@ -1,0 +1,302 @@
+#include "ga/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+namespace {
+
+/// A small, fast configuration used across the engine tests.
+GaConfig fast_config() {
+  GaConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.population_size = 30;
+  config.min_subpopulation = 5;
+  config.crossovers_per_generation = 6;
+  config.mutations_per_generation = 10;
+  config.stagnation_generations = 15;
+  config.random_immigrant_stagnation = 6;
+  config.max_generations = 60;
+  config.seed = 5;
+  return config;
+}
+
+const stats::HaplotypeEvaluator& shared_evaluator() {
+  static const auto synthetic = ldga::testing::small_synthetic(12, 2, 321);
+  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  return evaluator;
+}
+
+TEST(GaConfigValidation, CatchesBadSettings) {
+  GaConfig config = fast_config();
+  config.min_size = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = fast_config();
+  config.population_size = 5;  // < 3 sizes * 5 minimum
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = fast_config();
+  config.mutation_global_rate = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = fast_config();
+  config.min_operator_rate = 0.5;  // 3 * 0.5 > 0.9
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = fast_config();
+  config.crossovers_per_generation = 0;
+  config.mutations_per_generation = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = fast_config();
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(GaEngine, RejectsMaxSizeBeyondEvaluator) {
+  stats::EvaluatorConfig eval_config;
+  eval_config.max_loci = 3;
+  const auto synthetic = ldga::testing::small_synthetic(12, 2, 1);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset, eval_config);
+  GaConfig config = fast_config();  // max_size = 4 > 3
+  EXPECT_THROW(GaEngine(evaluator, config), ConfigError);
+}
+
+TEST(GaEngine, RejectsPanelWithNoSpareSnps) {
+  const auto synthetic = ldga::testing::small_synthetic(4, 0, 2);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  GaConfig config = fast_config();  // max_size = 4 == panel size
+  EXPECT_THROW(GaEngine(evaluator, config), ConfigError);
+}
+
+TEST(GaEngine, RunProducesBestPerSize) {
+  GaEngine engine(shared_evaluator(), fast_config());
+  const GaResult result = engine.run();
+  ASSERT_EQ(result.best_by_size.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto& best = result.best_by_size[i];
+    EXPECT_EQ(best.size(), 2u + i);
+    EXPECT_TRUE(best.evaluated());
+    EXPECT_GE(best.fitness(), 0.0);
+  }
+  EXPECT_GT(result.generations, 0u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(GaEngine, DeterministicForFixedSeed) {
+  GaEngine engine1(shared_evaluator(), fast_config());
+  GaEngine engine2(shared_evaluator(), fast_config());
+  const GaResult r1 = engine1.run();
+  const GaResult r2 = engine2.run();
+  ASSERT_EQ(r1.best_by_size.size(), r2.best_by_size.size());
+  for (std::size_t i = 0; i < r1.best_by_size.size(); ++i) {
+    EXPECT_TRUE(r1.best_by_size[i].same_snps(r2.best_by_size[i]));
+    EXPECT_DOUBLE_EQ(r1.best_by_size[i].fitness(),
+                     r2.best_by_size[i].fitness());
+  }
+  EXPECT_EQ(r1.generations, r2.generations);
+}
+
+TEST(GaEngine, BackendsProduceIdenticalSearch) {
+  // The synchronous evaluation phase returns results in task order, so
+  // serial, pool and farm runs must walk the identical trajectory.
+  GaConfig serial = fast_config();
+  serial.backend = EvalBackend::Serial;
+  GaConfig pooled = fast_config();
+  pooled.backend = EvalBackend::ThreadPool;
+  pooled.workers = 3;
+  GaConfig farmed = fast_config();
+  farmed.backend = EvalBackend::Farm;
+  farmed.workers = 2;
+
+  const GaResult rs = GaEngine(shared_evaluator(), serial).run();
+  const GaResult rp = GaEngine(shared_evaluator(), pooled).run();
+  const GaResult rf = GaEngine(shared_evaluator(), farmed).run();
+
+  ASSERT_EQ(rs.best_by_size.size(), rp.best_by_size.size());
+  for (std::size_t i = 0; i < rs.best_by_size.size(); ++i) {
+    EXPECT_TRUE(rs.best_by_size[i].same_snps(rp.best_by_size[i]));
+    EXPECT_TRUE(rs.best_by_size[i].same_snps(rf.best_by_size[i]));
+  }
+  EXPECT_EQ(rs.generations, rp.generations);
+  EXPECT_EQ(rs.generations, rf.generations);
+}
+
+TEST(GaEngine, StagnationTerminatesTheRun) {
+  GaConfig config = fast_config();
+  config.stagnation_generations = 5;
+  config.max_generations = 1000;
+  config.schemes.random_immigrants = false;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  EXPECT_TRUE(result.terminated_by_stagnation);
+  EXPECT_LT(result.generations, 1000u);
+}
+
+TEST(GaEngine, MaxGenerationsCapsTheRun) {
+  GaConfig config = fast_config();
+  config.stagnation_generations = 100000;
+  config.max_generations = 7;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  EXPECT_EQ(result.generations, 7u);
+  EXPECT_FALSE(result.terminated_by_stagnation);
+}
+
+TEST(GaEngine, MaxEvaluationsStopsEarly) {
+  GaConfig config = fast_config();
+  config.stagnation_generations = 100000;
+  config.max_generations = 100000;
+  config.max_evaluations = 200;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  // Stops at the first generation boundary past the budget.
+  EXPECT_LT(result.evaluations, 600u);
+}
+
+TEST(GaEngine, RandomImmigrantsFireUnderStagnation) {
+  GaConfig config = fast_config();
+  config.random_immigrant_stagnation = 3;
+  config.stagnation_generations = 20;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  EXPECT_GT(result.immigrant_events, 0u);
+}
+
+TEST(GaEngine, SchemesDisableMechanisms) {
+  GaConfig config = fast_config();
+  config.schemes = GaSchemes::baseline();
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  EXPECT_EQ(result.immigrant_events, 0u);
+  // Baseline still produces valid per-size results.
+  EXPECT_EQ(result.best_by_size.size(), 3u);
+}
+
+TEST(GaEngine, HistoryAndCallback) {
+  GaConfig config = fast_config();
+  config.record_history = true;
+  GaEngine engine(shared_evaluator(), config);
+  std::uint32_t callbacks = 0;
+  engine.set_generation_callback(
+      [&callbacks](const GenerationInfo& info) {
+        ++callbacks;
+        EXPECT_EQ(info.best_by_size.size(), 3u);
+        EXPECT_EQ(info.rates.mutation.size(), 3u);
+        EXPECT_EQ(info.rates.crossover.size(), 2u);
+        double mutation_sum = 0.0;
+        for (const double r : info.rates.mutation) mutation_sum += r;
+        EXPECT_NEAR(mutation_sum, 0.9, 1e-9);
+      });
+  const GaResult result = engine.run();
+  EXPECT_EQ(callbacks, result.generations);
+  EXPECT_EQ(result.history.size(), result.generations);
+  // Evaluations are cumulative in history.
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i].evaluations,
+              result.history[i - 1].evaluations);
+  }
+}
+
+TEST(GaEngine, DisabledSizeMutationsKeepSingleOperator) {
+  GaConfig config = fast_config();
+  config.schemes.size_mutations = false;
+  config.record_history = true;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.history.front().rates.mutation.size(), 1u);
+}
+
+TEST(GaEngine, DisabledInterCrossoverKeepsSingleOperator) {
+  GaConfig config = fast_config();
+  config.schemes.inter_population_crossover = false;
+  config.record_history = true;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.history.front().rates.crossover.size(), 1u);
+}
+
+TEST(GaEngine, WarmStartsEnterThePopulation) {
+  // Seed the known best size-2 set; the GA's size-2 winner can then
+  // never be worse than it.
+  GaConfig config = fast_config();
+  config.warm_starts = {{0, 1}, {2, 5, 9}};
+  config.max_generations = 5;
+  config.stagnation_generations = 5;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  const double seeded_fitness =
+      shared_evaluator().evaluate_full(std::vector<SnpIndex>{0, 1}).fitness;
+  EXPECT_GE(result.best_by_size[0].fitness(), seeded_fitness - 1e-9);
+}
+
+TEST(GaEngine, WarmStartOutsideSizeRangeIsRejected) {
+  GaConfig config = fast_config();  // sizes 2..4
+  config.warm_starts = {{0, 1, 2, 3, 4}};
+  EXPECT_THROW(GaEngine(shared_evaluator(), config), ConfigError);
+}
+
+TEST(GaEngine, DuplicateWarmStartsAreDeduplicated) {
+  GaConfig config = fast_config();
+  config.warm_starts = {{0, 1}, {1, 0}, {0, 1}};
+  config.max_generations = 3;
+  config.stagnation_generations = 3;
+  GaEngine engine(shared_evaluator(), config);
+  EXPECT_NO_THROW(engine.run());
+}
+
+TEST(GaEngine, UniformAllocationAlsoRuns) {
+  GaConfig config = fast_config();
+  config.allocation = AllocationPolicy::Uniform;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  EXPECT_EQ(result.best_by_size.size(), 3u);
+  for (const auto& best : result.best_by_size) {
+    EXPECT_TRUE(best.evaluated());
+  }
+}
+
+TEST(GaEngine, RespectsFeasibilityFilterInWinners) {
+  // With an enabled filter and a panel with plenty of feasible pairs,
+  // the per-size winners must satisfy the §2.3 conditions.
+  static const auto synthetic = ldga::testing::small_synthetic(12, 2, 808);
+  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  static const auto ld = genomics::LdMatrix::compute(synthetic.dataset);
+  static const auto freqs =
+      genomics::AlleleFrequencyTable::estimate(synthetic.dataset);
+  ConstraintConfig constraint_config;
+  constraint_config.max_pairwise_d_prime = 0.995;
+  const FeasibilityFilter filter(ld, freqs, constraint_config);
+  ASSERT_TRUE(filter.enabled());
+
+  GaConfig config = fast_config();
+  config.max_generations = 40;
+  GaEngine engine(evaluator, config, filter);
+  const GaResult result = engine.run();
+  for (const auto& best : result.best_by_size) {
+    EXPECT_TRUE(filter.feasible(best.snps()))
+        << "winner " << best.to_string() << " violates constraints";
+  }
+}
+
+TEST(GaEngine, BestFitnessNeverDecreasesOverGenerations) {
+  GaConfig config = fast_config();
+  config.record_history = true;
+  GaEngine engine(shared_evaluator(), config);
+  const GaResult result = engine.run();
+  for (std::size_t s = 0; s < 3; ++s) {
+    double previous = 0.0;
+    for (const auto& info : result.history) {
+      EXPECT_GE(info.best_by_size[s], previous - 1e-9);
+      previous = info.best_by_size[s];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldga::ga

@@ -1,0 +1,115 @@
+#include "analysis/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.hpp"
+#include "util/combinatorics.hpp"
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+namespace {
+
+using genomics::SnpIndex;
+
+const stats::HaplotypeEvaluator& shared_evaluator() {
+  static const auto synthetic = ldga::testing::small_synthetic(9, 2, 17);
+  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  return evaluator;
+}
+
+TEST(Enumeration, CountsEveryCandidate) {
+  EnumerationConfig config;
+  config.workers = 1;
+  const auto result = enumerate_all(shared_evaluator(), 2, config);
+  EXPECT_EQ(result.evaluated, choose(9, 2));
+  EXPECT_EQ(result.haplotype_size, 2u);
+}
+
+TEST(Enumeration, TopListIsSortedBestFirst) {
+  EnumerationConfig config;
+  config.top_n = 5;
+  const auto result = enumerate_all(shared_evaluator(), 2, config);
+  ASSERT_EQ(result.best.size(), 5u);
+  for (std::size_t i = 1; i < result.best.size(); ++i) {
+    EXPECT_GE(result.best[i - 1].fitness, result.best[i].fitness);
+  }
+}
+
+TEST(Enumeration, TopMatchesSerialSweep) {
+  // The parallel top-N must equal the best found by a serial full sweep.
+  double best_fitness = -1.0;
+  std::vector<SnpIndex> best_snps;
+  enumerate_scores(shared_evaluator(), 2,
+                   [&](const std::vector<SnpIndex>& snps, double fitness) {
+                     if (fitness > best_fitness) {
+                       best_fitness = fitness;
+                       best_snps = snps;
+                     }
+                   });
+  const auto result = enumerate_all(shared_evaluator(), 2);
+  ASSERT_FALSE(result.best.empty());
+  EXPECT_NEAR(result.best.front().fitness, best_fitness, 1e-9);
+  EXPECT_EQ(result.best.front().snps, best_snps);
+}
+
+class EnumerationWorkers : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EnumerationWorkers, WorkerCountDoesNotChangeResults) {
+  EnumerationConfig config;
+  config.workers = GetParam();
+  config.top_n = 4;
+  const auto result = enumerate_all(shared_evaluator(), 3, config);
+
+  EnumerationConfig serial;
+  serial.workers = 1;
+  serial.top_n = 4;
+  const auto reference = enumerate_all(shared_evaluator(), 3, serial);
+
+  EXPECT_EQ(result.evaluated, reference.evaluated);
+  ASSERT_EQ(result.best.size(), reference.best.size());
+  for (std::size_t i = 0; i < result.best.size(); ++i) {
+    EXPECT_EQ(result.best[i].snps, reference.best[i].snps);
+    EXPECT_DOUBLE_EQ(result.best[i].fitness, reference.best[i].fitness);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnumerationWorkers,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Enumeration, ScoresVisitLexicographicOrder) {
+  std::vector<std::vector<SnpIndex>> order;
+  enumerate_scores(shared_evaluator(), 2,
+                   [&](const std::vector<SnpIndex>& snps, double) {
+                     order.push_back(snps);
+                   });
+  ASSERT_EQ(order.size(), choose(9, 2));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+TEST(Enumeration, SizeOneWorks) {
+  const auto result = enumerate_all(shared_evaluator(), 1);
+  EXPECT_EQ(result.evaluated, 9u);
+}
+
+TEST(Enumeration, FullPanelSizeWorks) {
+  const auto result = enumerate_all(shared_evaluator(), 9);
+  EXPECT_EQ(result.evaluated, 1u);
+  EXPECT_EQ(result.best.front().snps.size(), 9u);
+}
+
+TEST(Enumeration, RefusesIntractableRequests) {
+  EnumerationConfig config;
+  config.max_candidates = 10;
+  EXPECT_THROW(enumerate_all(shared_evaluator(), 3, config), ConfigError);
+  EXPECT_THROW(enumerate_scores(
+                   shared_evaluator(), 3,
+                   [](const std::vector<SnpIndex>&, double) {}, 10),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

@@ -1,0 +1,170 @@
+#include "stats/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::stats {
+namespace {
+
+using genomics::SnpIndex;
+
+TEST(Evaluator, ConfigValidation) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  EvaluatorConfig config;
+  config.max_loci = 0;
+  EXPECT_THROW(HaplotypeEvaluator(dataset, config), ConfigError);
+  config = {};
+  config.max_loci = kMaxEmLoci + 1;
+  EXPECT_THROW(HaplotypeEvaluator(dataset, config), ConfigError);
+}
+
+TEST(Evaluator, FitnessIsDeterministic) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator ev1(dataset);
+  const HaplotypeEvaluator ev2(dataset);
+  const std::vector<SnpIndex> snps{0, 2};
+  EXPECT_DOUBLE_EQ(ev1.fitness(snps), ev2.fitness(snps));
+}
+
+TEST(Evaluator, CacheCountsMissesOnly) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator evaluator(dataset);
+  const std::vector<SnpIndex> a{0, 1};
+  const std::vector<SnpIndex> b{0, 2};
+
+  evaluator.fitness(a);
+  evaluator.fitness(a);
+  evaluator.fitness(b);
+  evaluator.fitness(a);
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+  EXPECT_EQ(evaluator.request_count(), 4u);
+
+  evaluator.reset_counters();
+  EXPECT_EQ(evaluator.evaluation_count(), 0u);
+  // Cache survives counter reset: no new evaluation for a known key.
+  evaluator.fitness(a);
+  EXPECT_EQ(evaluator.evaluation_count(), 0u);
+  EXPECT_EQ(evaluator.request_count(), 1u);
+}
+
+TEST(Evaluator, CachedAndUncachedAgree) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator evaluator(dataset);
+  const std::vector<SnpIndex> snps{0, 1, 3};
+  EXPECT_DOUBLE_EQ(evaluator.fitness(snps),
+                   evaluator.evaluate_full(snps).fitness);
+}
+
+TEST(Evaluator, UnsortedInputDies) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator evaluator(dataset);
+  EXPECT_DEATH(evaluator.fitness(std::vector<SnpIndex>{2, 0}),
+               "precondition");
+}
+
+TEST(Evaluator, PerfectSeparatorOutscoresNoise) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator evaluator(dataset);
+  const double strong = evaluator.fitness(std::vector<SnpIndex>{0});
+  const double weak = evaluator.fitness(std::vector<SnpIndex>{2});
+  EXPECT_GT(strong, weak);
+}
+
+TEST(Evaluator, FitnessGrowsWithHaplotypeSize) {
+  // The paper's §3 observation: larger haplotypes produce larger
+  // statistics (more table columns), so sizes are not comparable.
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 11);
+  const HaplotypeEvaluator evaluator(synthetic.dataset);
+  double mean2 = 0.0, mean4 = 0.0;
+  int n = 0;
+  for (SnpIndex a = 0; a + 3 < 10; a += 2) {
+    mean2 += evaluator
+                 .evaluate_full(std::vector<SnpIndex>{a, static_cast<SnpIndex>(a + 1)})
+                 .fitness;
+    mean4 += evaluator
+                 .evaluate_full(std::vector<SnpIndex>{
+                     a, static_cast<SnpIndex>(a + 1),
+                     static_cast<SnpIndex>(a + 2), static_cast<SnpIndex>(a + 3)})
+                 .fitness;
+    ++n;
+  }
+  EXPECT_GT(mean4 / n, mean2 / n);
+}
+
+TEST(Evaluator, ConcurrentRequestsAreConsistent) {
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 13);
+  const HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  // Serial reference values.
+  std::vector<std::vector<SnpIndex>> keys;
+  for (SnpIndex a = 0; a + 1 < 10; ++a) {
+    for (SnpIndex b = a + 1; b < 10; ++b) {
+      keys.push_back({a, b});
+    }
+  }
+  std::vector<double> reference(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    reference[i] = evaluator.evaluate_full(keys[i]).fitness;
+  }
+
+  std::vector<double> results(keys.size(), -1.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < keys.size();
+           i += 4) {
+        results[i] = evaluator.fitness(keys[i]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], reference[i]);
+  }
+}
+
+TEST(Evaluator, AlternativeFitnessStatistics) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const std::vector<SnpIndex> snps{0, 1};
+
+  EvaluatorConfig lrt_config;
+  lrt_config.fitness_statistic = FitnessStatistic::Lrt;
+  const HaplotypeEvaluator lrt_eval(dataset, lrt_config);
+  const auto full = lrt_eval.evaluate_full(snps);
+  EXPECT_DOUBLE_EQ(full.fitness, full.lrt);
+
+  EvaluatorConfig t3_config;
+  t3_config.fitness_statistic = FitnessStatistic::T3;
+  const HaplotypeEvaluator t3_eval(dataset, t3_config);
+  const auto t3_full = t3_eval.evaluate_full(snps);
+  const auto clump = t3_eval.clump_analysis(snps);
+  EXPECT_NEAR(t3_full.fitness, clump.t3.statistic, 1e-9);
+}
+
+TEST(Evaluator, ReportsEmDiagnostics) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const HaplotypeEvaluator evaluator(dataset);
+  const auto result = evaluator.evaluate_full(std::vector<SnpIndex>{0, 1});
+  EXPECT_TRUE(result.em_converged);
+  EXPECT_GT(result.em_iterations_total, 0u);
+  EXPECT_GE(result.table_columns, 1u);
+  EXPECT_LE(result.table_columns, 4u);
+}
+
+TEST(Evaluator, TooManyLociDies) {
+  const auto synthetic = ldga::testing::small_synthetic(20, 0, 3);
+  EvaluatorConfig config;
+  config.max_loci = 3;
+  const HaplotypeEvaluator evaluator(synthetic.dataset, config);
+  EXPECT_DEATH(
+      evaluator.evaluate_full(std::vector<SnpIndex>{0, 1, 2, 3}),
+      "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::stats

@@ -1,0 +1,82 @@
+#include "genomics/genotype_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldga::genomics {
+namespace {
+
+TEST(GenotypeMatrix, StartsAllMissing) {
+  const GenotypeMatrix matrix(3, 4);
+  EXPECT_EQ(matrix.individual_count(), 3u);
+  EXPECT_EQ(matrix.snp_count(), 4u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(matrix.at(i, s), Genotype::Missing);
+    }
+  }
+}
+
+TEST(GenotypeMatrix, SetAndGetRoundTrip) {
+  GenotypeMatrix matrix(2, 2);
+  matrix.set(0, 1, Genotype::Het);
+  matrix.set(1, 0, Genotype::HomTwo);
+  EXPECT_EQ(matrix.at(0, 1), Genotype::Het);
+  EXPECT_EQ(matrix.at(1, 0), Genotype::HomTwo);
+  EXPECT_EQ(matrix.at(0, 0), Genotype::Missing);
+}
+
+TEST(GenotypeMatrix, RowSpansAreContiguousPerIndividual) {
+  GenotypeMatrix matrix(2, 3);
+  matrix.set(1, 0, Genotype::HomOne);
+  matrix.set(1, 2, Genotype::HomTwo);
+  const auto row = matrix.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], Genotype::HomOne);
+  EXPECT_EQ(row[1], Genotype::Missing);
+  EXPECT_EQ(row[2], Genotype::HomTwo);
+}
+
+TEST(GenotypeMatrix, GatherSelectsSubset) {
+  GenotypeMatrix matrix(1, 5);
+  for (SnpIndex s = 0; s < 5; ++s) {
+    matrix.set(0, s, static_cast<Genotype>(s % 3));
+  }
+  const std::vector<SnpIndex> subset{4, 0, 2};
+  std::vector<Genotype> out;
+  matrix.gather(0, subset, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], static_cast<Genotype>(1));  // snp 4
+  EXPECT_EQ(out[1], static_cast<Genotype>(0));  // snp 0
+  EXPECT_EQ(out[2], static_cast<Genotype>(2));  // snp 2
+}
+
+TEST(GenotypeMatrix, GatherClearsOutput) {
+  GenotypeMatrix matrix(1, 2);
+  std::vector<Genotype> out{Genotype::HomTwo, Genotype::HomTwo,
+                            Genotype::HomTwo};
+  const std::vector<SnpIndex> subset{0};
+  matrix.gather(0, subset, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(GenotypeMatrix, OutOfRangeAccessDies) {
+  const GenotypeMatrix matrix(2, 2);
+  EXPECT_DEATH(matrix.at(2, 0), "precondition");
+  EXPECT_DEATH(matrix.at(0, 2), "precondition");
+}
+
+TEST(GenotypeTypes, TwoCountMatchesCode) {
+  EXPECT_EQ(two_count(Genotype::HomOne), 0);
+  EXPECT_EQ(two_count(Genotype::Het), 1);
+  EXPECT_EQ(two_count(Genotype::HomTwo), 2);
+}
+
+TEST(GenotypeTypes, MakeGenotypeIsUnordered) {
+  EXPECT_EQ(make_genotype(Allele::One, Allele::Two),
+            make_genotype(Allele::Two, Allele::One));
+  EXPECT_EQ(make_genotype(Allele::One, Allele::One), Genotype::HomOne);
+  EXPECT_EQ(make_genotype(Allele::Two, Allele::Two), Genotype::HomTwo);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,87 @@
+#include "ga/haplotype_individual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ldga::ga {
+namespace {
+
+TEST(HaplotypeIndividual, CanonicalizesOnConstruction) {
+  const HaplotypeIndividual individual({9, 2, 5, 2, 9});
+  EXPECT_EQ(individual.snps(), (std::vector<SnpIndex>{2, 5, 9}));
+  EXPECT_EQ(individual.size(), 3u);
+}
+
+TEST(HaplotypeIndividual, DefaultIsEmptyAndUnevaluated) {
+  const HaplotypeIndividual individual;
+  EXPECT_EQ(individual.size(), 0u);
+  EXPECT_FALSE(individual.evaluated());
+}
+
+TEST(HaplotypeIndividual, FitnessLifecycle) {
+  HaplotypeIndividual individual({1, 2});
+  EXPECT_FALSE(individual.evaluated());
+  individual.set_fitness(12.5);
+  EXPECT_TRUE(individual.evaluated());
+  EXPECT_DOUBLE_EQ(individual.fitness(), 12.5);
+  individual.invalidate_fitness();
+  EXPECT_FALSE(individual.evaluated());
+}
+
+TEST(HaplotypeIndividual, ReadingUnevaluatedFitnessDies) {
+  const HaplotypeIndividual individual({1});
+  EXPECT_DEATH(individual.fitness(), "precondition");
+}
+
+TEST(HaplotypeIndividual, Contains) {
+  const HaplotypeIndividual individual({3, 8, 20});
+  EXPECT_TRUE(individual.contains(8));
+  EXPECT_FALSE(individual.contains(9));
+}
+
+TEST(HaplotypeIndividual, SameSnpsIgnoresFitness) {
+  HaplotypeIndividual a({1, 2});
+  HaplotypeIndividual b({2, 1});
+  a.set_fitness(1.0);
+  b.set_fitness(2.0);
+  EXPECT_TRUE(a.same_snps(b));
+  const HaplotypeIndividual c({1, 3});
+  EXPECT_FALSE(a.same_snps(c));
+}
+
+TEST(HaplotypeIndividual, ToStringIsOneBasedLikeThePaper) {
+  // The paper's Table 2 lists haplotypes like "8 12 15".
+  const HaplotypeIndividual individual({7, 11, 14});
+  EXPECT_EQ(individual.to_string(), "8 12 15");
+}
+
+TEST(HaplotypeIndividual, RandomHasRequestedSizeAndRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto individual = HaplotypeIndividual::random(30, 6, rng);
+    EXPECT_EQ(individual.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(individual.snps().begin(),
+                               individual.snps().end()));
+    for (const auto snp : individual.snps()) EXPECT_LT(snp, 30u);
+  }
+}
+
+TEST(HaplotypeIndividual, RandomCoversTheWholePanel) {
+  Rng rng(6);
+  std::set<SnpIndex> seen;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto individual = HaplotypeIndividual::random(10, 3, rng);
+    seen.insert(individual.snps().begin(), individual.snps().end());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(HaplotypeIndividual, RandomSizeEqualsPanel) {
+  Rng rng(7);
+  const auto individual = HaplotypeIndividual::random(5, 5, rng);
+  EXPECT_EQ(individual.snps(), (std::vector<SnpIndex>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ldga::ga

@@ -1,0 +1,129 @@
+#include "genomics/haplotype_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(HaplotypeSimConfig, ValidatesFields) {
+  HaplotypeSimConfig config;
+  config.founder_count = 1;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.maf_min = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.maf_min = 0.4;
+  config.maf_max = 0.2;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.maf_max = 0.7;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.switch_rate_per_kb = -0.1;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.mutation_rate = 0.6;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(HaplotypeSimulator, SamplesHaveFullLength) {
+  const SnpPanel panel = SnpPanel::uniform(17);
+  Rng rng(1);
+  const HaplotypeSimulator simulator(panel, {}, rng);
+  const Haplotype h = simulator.sample(rng);
+  EXPECT_EQ(h.size(), 17u);
+  for (const Allele a : h) {
+    EXPECT_TRUE(a == Allele::One || a == Allele::Two);
+  }
+}
+
+TEST(HaplotypeSimulator, DeterministicForFixedSeed) {
+  const SnpPanel panel = SnpPanel::uniform(20);
+  Rng rng1(9), rng2(9);
+  const HaplotypeSimulator sim1(panel, {}, rng1);
+  const HaplotypeSimulator sim2(panel, {}, rng2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sim1.sample(rng1), sim2.sample(rng2));
+  }
+}
+
+TEST(HaplotypeSimulator, FounderPoolHasConfiguredSize) {
+  const SnpPanel panel = SnpPanel::uniform(5);
+  HaplotypeSimConfig config;
+  config.founder_count = 7;
+  Rng rng(2);
+  const HaplotypeSimulator simulator(panel, config, rng);
+  EXPECT_EQ(simulator.founders().size(), 7u);
+  EXPECT_EQ(simulator.site_frequencies().size(), 5u);
+}
+
+TEST(HaplotypeSimulator, SiteFrequenciesRespectMafRange) {
+  const SnpPanel panel = SnpPanel::uniform(200);
+  HaplotypeSimConfig config;
+  config.maf_min = 0.2;
+  config.maf_max = 0.4;
+  Rng rng(3);
+  const HaplotypeSimulator simulator(panel, config, rng);
+  for (const double f : simulator.site_frequencies()) {
+    const double maf = f < 0.5 ? f : 1.0 - f;
+    EXPECT_GE(maf, 0.2 - 1e-12);
+    EXPECT_LE(maf, 0.4 + 1e-12);
+  }
+}
+
+TEST(HaplotypeSimulator, ZeroSwitchRateCopiesWholeFounders) {
+  // With no recombination and no mutation every sampled haplotype must
+  // be one of the founders verbatim.
+  const SnpPanel panel = SnpPanel::uniform(30);
+  HaplotypeSimConfig config;
+  config.switch_rate_per_kb = 0.0;
+  config.mutation_rate = 0.0;
+  Rng rng(4);
+  const HaplotypeSimulator simulator(panel, config, rng);
+  for (int i = 0; i < 20; ++i) {
+    const Haplotype h = simulator.sample(rng);
+    bool is_founder = false;
+    for (const auto& founder : simulator.founders()) {
+      if (founder == h) {
+        is_founder = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_founder);
+  }
+}
+
+TEST(HaplotypeSimulator, HighSwitchRateBreaksUpFounders) {
+  // With a very high switch rate most samples should match no founder.
+  const SnpPanel panel = SnpPanel::uniform(30, 100.0);
+  HaplotypeSimConfig config;
+  config.switch_rate_per_kb = 1.0;  // switch virtually every marker
+  config.mutation_rate = 0.0;
+  Rng rng(5);
+  const HaplotypeSimulator simulator(panel, config, rng);
+  int founder_copies = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Haplotype h = simulator.sample(rng);
+    for (const auto& founder : simulator.founders()) {
+      if (founder == h) {
+        ++founder_copies;
+        break;
+      }
+    }
+  }
+  EXPECT_LT(founder_copies, 10);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

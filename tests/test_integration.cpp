@@ -1,0 +1,188 @@
+// Cross-module integration tests: the full paper pipeline end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/enumeration.hpp"
+#include "analysis/random_search.hpp"
+#include "ga/engine.hpp"
+#include "genomics/dataset_io.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "test_support.hpp"
+
+namespace ldga {
+namespace {
+
+using genomics::SnpIndex;
+
+/// One shared mid-size instance: 14 SNPs, strong planted pair.
+struct Instance {
+  genomics::SyntheticDataset synthetic;
+  stats::HaplotypeEvaluator evaluator;
+
+  Instance()
+      : synthetic(make()),
+        evaluator(synthetic.dataset) {}
+
+  static genomics::SyntheticDataset make() {
+    genomics::SyntheticConfig config;
+    config.snp_count = 14;
+    config.affected_count = 50;
+    config.unaffected_count = 50;
+    config.unknown_count = 10;
+    config.active_snps = {4, 9};
+    config.disease.relative_risk = 8.0;
+    Rng rng(7777);
+    return genomics::generate_synthetic(config, rng);
+  }
+};
+
+const Instance& instance() {
+  static const Instance shared;
+  return shared;
+}
+
+TEST(Integration, GaFindsTheEnumeratedOptimumForSmallSizes) {
+  // The core Table-2 property: the GA's per-size best equals the exact
+  // optimum found by exhaustive enumeration (deviation = 0).
+  const auto& inst = instance();
+
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 3;
+  config.population_size = 40;
+  config.min_subpopulation = 10;
+  config.crossovers_per_generation = 8;
+  config.mutations_per_generation = 16;
+  config.stagnation_generations = 30;
+  config.max_generations = 200;
+  config.seed = 99;
+  ga::GaEngine engine(inst.evaluator, config);
+  const ga::GaResult result = engine.run();
+
+  for (std::uint32_t size = 2; size <= 3; ++size) {
+    const auto exact = analysis::enumerate_all(inst.evaluator, size);
+    const auto& ga_best = result.best_by_size[size - 2];
+    EXPECT_NEAR(ga_best.fitness(), exact.best.front().fitness, 1e-9)
+        << "size " << size;
+    EXPECT_EQ(ga_best.snps(), exact.best.front().snps) << "size " << size;
+  }
+}
+
+TEST(Integration, GaUsesFarFewerEvaluationsThanEnumeration) {
+  const auto& inst = instance();
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.population_size = 40;
+  config.min_subpopulation = 10;
+  config.stagnation_generations = 20;
+  config.max_generations = 120;
+  config.seed = 5;
+  const stats::HaplotypeEvaluator fresh(inst.synthetic.dataset);
+  ga::GaEngine engine(fresh, config);
+  const ga::GaResult result = engine.run();
+  // Whole search space for sizes 2..4 of 14 SNPs = 91+364+1001 = 1456;
+  // the GA should explore well under it thanks to caching by SNP set.
+  EXPECT_LT(result.evaluations, 1456u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(Integration, PlantedPairIsTheSize2Optimum) {
+  // Sanity of the whole simulated-data + statistics chain: with a
+  // strong relative risk the planted pair must be the enumerated
+  // optimum at its own size.
+  const auto& inst = instance();
+  const auto exact = analysis::enumerate_all(inst.evaluator, 2);
+  EXPECT_EQ(exact.best.front().snps, inst.synthetic.truth.snps);
+}
+
+TEST(Integration, DatasetRoundTripPreservesFitness) {
+  // Save + reload the cohort, rebuild the pipeline: fitness values must
+  // be bit-identical (the evaluation is a pure function of the data).
+  const auto& inst = instance();
+  std::stringstream stream;
+  genomics::write_dataset(stream, inst.synthetic.dataset);
+  const genomics::Dataset reloaded = genomics::read_dataset(stream);
+  const stats::HaplotypeEvaluator evaluator2(reloaded);
+
+  const std::vector<SnpIndex> probe{2, 5, 11};
+  EXPECT_DOUBLE_EQ(inst.evaluator.evaluate_full(probe).fitness,
+                   evaluator2.evaluate_full(probe).fitness);
+}
+
+TEST(Integration, AdaptiveSchemeBeatsRandomSearchOnEvaluations) {
+  // The §5.2 qualitative claim, scaled down: at an equal evaluation
+  // budget the GA's per-size bests dominate random search overall.
+  const auto& inst = instance();
+
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.population_size = 40;
+  config.min_subpopulation = 10;
+  config.stagnation_generations = 25;
+  config.max_generations = 150;
+  config.seed = 31;
+  const stats::HaplotypeEvaluator ga_eval(inst.synthetic.dataset);
+  const ga::GaResult ga_result = ga::GaEngine(ga_eval, config).run();
+
+  analysis::RandomSearchConfig rs_config;
+  rs_config.min_size = 2;
+  rs_config.max_size = 4;
+  rs_config.max_evaluations = ga_result.evaluations;
+  rs_config.seed = 32;
+  const stats::HaplotypeEvaluator rs_eval(inst.synthetic.dataset);
+  const ga::FeasibilityFilter filter;
+  const auto rs_result = analysis::random_search(rs_eval, rs_config, filter);
+
+  int ga_wins = 0, rs_wins = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (!rs_result.best_by_size[i].evaluated()) {
+      ++ga_wins;
+      continue;
+    }
+    const double ga_fit = ga_result.best_by_size[i].fitness();
+    const double rs_fit = rs_result.best_by_size[i].fitness();
+    if (ga_fit >= rs_fit) {
+      ++ga_wins;
+    } else {
+      ++rs_wins;
+    }
+  }
+  EXPECT_GE(ga_wins, rs_wins);
+}
+
+TEST(Integration, ConstraintsRestrictTheGaSearch) {
+  // With a feasibility filter every individual the GA reports must obey
+  // the §2.3 conditions (best-effort generation can produce infeasible
+  // starts, but selection pressure + feasible operators keep the final
+  // bests feasible on a panel with plenty of feasible pairs).
+  const auto& inst = instance();
+  const auto ld = genomics::LdMatrix::compute(inst.synthetic.dataset);
+  const auto freqs =
+      genomics::AlleleFrequencyTable::estimate(inst.synthetic.dataset);
+  ga::ConstraintConfig constraint_config;
+  constraint_config.max_pairwise_d_prime = 0.98;
+  const ga::FeasibilityFilter filter(ld, freqs, constraint_config);
+
+  // Verify the filter is actually active on this panel.
+  ASSERT_TRUE(filter.enabled());
+
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 3;
+  config.population_size = 30;
+  config.min_subpopulation = 10;
+  config.stagnation_generations = 15;
+  config.max_generations = 60;
+  config.seed = 17;
+  const stats::HaplotypeEvaluator fresh(inst.synthetic.dataset);
+  ga::GaEngine engine(fresh, config, filter);
+  const ga::GaResult result = engine.run();
+  EXPECT_EQ(result.best_by_size.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ldga

@@ -1,0 +1,86 @@
+#include "analysis/landscape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ldga::analysis {
+namespace {
+
+const stats::HaplotypeEvaluator& shared_evaluator() {
+  static const auto synthetic = ldga::testing::small_synthetic(8, 2, 41);
+  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  return evaluator;
+}
+
+LandscapeStudy shared_study() {
+  LandscapeConfig config;
+  config.top_n = 5;
+  config.workers = 2;
+  return run_landscape_study(shared_evaluator(), 2, 4, config);
+}
+
+TEST(Landscape, SummariesCoverRequestedSizes) {
+  const auto study = shared_study();
+  ASSERT_EQ(study.summaries.size(), 3u);
+  EXPECT_EQ(study.summaries[0].haplotype_size, 2u);
+  EXPECT_EQ(study.summaries[2].haplotype_size, 4u);
+}
+
+TEST(Landscape, CandidateCountsMatchCombinatorics) {
+  const auto study = shared_study();
+  EXPECT_EQ(study.summaries[0].candidates, choose(8, 2));
+  EXPECT_EQ(study.summaries[1].candidates, choose(8, 3));
+  EXPECT_EQ(study.summaries[2].candidates, choose(8, 4));
+}
+
+TEST(Landscape, SummaryStatisticsAreCoherent) {
+  const auto study = shared_study();
+  for (const auto& summary : study.summaries) {
+    EXPECT_LE(summary.min, summary.mean);
+    EXPECT_LE(summary.mean, summary.max);
+    EXPECT_GE(summary.stddev, 0.0);
+    ASSERT_FALSE(summary.top.empty());
+    EXPECT_NEAR(summary.top.front().fitness, summary.max, 1e-9);
+  }
+}
+
+TEST(Landscape, ScoresGrowWithSize) {
+  // The paper's observation that sizes are not comparable: mean score
+  // increases with haplotype size.
+  const auto study = shared_study();
+  EXPECT_GT(study.summaries[1].mean, study.summaries[0].mean);
+  EXPECT_GT(study.summaries[2].mean, study.summaries[1].mean);
+}
+
+TEST(Landscape, BuildingBlockReportsHaveValidPercentiles) {
+  const auto study = shared_study();
+  ASSERT_EQ(study.building_blocks.size(), 2u);  // sizes 3 and 4
+  for (const auto& report : study.building_blocks) {
+    EXPECT_EQ(report.best_subset_percentile.size(), 5u);  // top_n
+    for (const double p : report.best_subset_percentile) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    EXPECT_GE(report.fraction_without_good_blocks, 0.0);
+    EXPECT_LE(report.fraction_without_good_blocks, 1.0);
+  }
+}
+
+TEST(Landscape, FractionConsistentWithPercentiles) {
+  LandscapeConfig config;
+  config.top_n = 5;
+  config.block_quantile = 0.10;
+  const auto study = run_landscape_study(shared_evaluator(), 2, 3, config);
+  ASSERT_EQ(study.building_blocks.size(), 1u);
+  const auto& report = study.building_blocks[0];
+  int without = 0;
+  for (const double p : report.best_subset_percentile) {
+    if (p > config.block_quantile) ++without;
+  }
+  EXPECT_NEAR(report.fraction_without_good_blocks, without / 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

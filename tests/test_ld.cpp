@@ -1,0 +1,178 @@
+#include "genomics/ld.hpp"
+
+#include <gtest/gtest.h>
+
+#include "genomics/haplotype_sim.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+/// Builds a 2-SNP genotype matrix from explicit haplotype pairs, so the
+/// true haplotype frequencies are known.
+GenotypeMatrix from_haplotypes(
+    const std::vector<std::pair<std::array<Allele, 2>,
+                                std::array<Allele, 2>>>& individuals) {
+  GenotypeMatrix matrix(static_cast<std::uint32_t>(individuals.size()), 2);
+  for (std::uint32_t i = 0; i < individuals.size(); ++i) {
+    const auto& [maternal, paternal] = individuals[i];
+    matrix.set(i, 0, make_genotype(maternal[0], paternal[0]));
+    matrix.set(i, 1, make_genotype(maternal[1], paternal[1]));
+  }
+  return matrix;
+}
+
+TEST(PairEm, PerfectPositiveLd) {
+  // Only haplotypes 11 and 22 exist, equally frequent.
+  const std::array<Allele, 2> h11{Allele::One, Allele::One};
+  const std::array<Allele, 2> h22{Allele::Two, Allele::Two};
+  std::vector<std::pair<std::array<Allele, 2>, std::array<Allele, 2>>> people;
+  for (int i = 0; i < 10; ++i) {
+    people.push_back({h11, h11});
+    people.push_back({h22, h22});
+    people.push_back({h11, h22});
+  }
+  const auto matrix = from_haplotypes(people);
+  const auto freqs = estimate_pair_haplotypes(matrix, 0, 1);
+  EXPECT_NEAR(freqs.p11, 0.5, 1e-6);
+  EXPECT_NEAR(freqs.p22, 0.5, 1e-6);
+  EXPECT_NEAR(freqs.p12, 0.0, 1e-6);
+  EXPECT_NEAR(freqs.p21, 0.0, 1e-6);
+
+  const PairLd ld = pair_ld_from_freqs(freqs);
+  EXPECT_NEAR(ld.d_prime, 1.0, 1e-6);
+  EXPECT_NEAR(ld.r2, 1.0, 1e-6);
+  EXPECT_NEAR(ld.d, 0.25, 1e-6);
+}
+
+TEST(PairEm, LinkageEquilibrium) {
+  // All four haplotypes equally frequent: D = 0.
+  const std::array<std::array<Allele, 2>, 4> haplotypes{{
+      {Allele::One, Allele::One},
+      {Allele::One, Allele::Two},
+      {Allele::Two, Allele::One},
+      {Allele::Two, Allele::Two},
+  }};
+  std::vector<std::pair<std::array<Allele, 2>, std::array<Allele, 2>>> people;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      people.push_back({haplotypes[a], haplotypes[b]});
+    }
+  }
+  const auto matrix = from_haplotypes(people);
+  const auto freqs = estimate_pair_haplotypes(matrix, 0, 1);
+  const PairLd ld = pair_ld_from_freqs(freqs);
+  EXPECT_NEAR(ld.d, 0.0, 1e-6);
+  EXPECT_NEAR(ld.r2, 0.0, 1e-6);
+}
+
+TEST(PairEm, UnambiguousCountsNeedNoIterationToBeExact) {
+  // Without double heterozygotes, EM must reproduce direct counting:
+  // 6 chromosomes: 4x haplotype 12, 2x haplotype 21.
+  std::vector<std::pair<std::array<Allele, 2>, std::array<Allele, 2>>> people{
+      {{Allele::One, Allele::Two}, {Allele::One, Allele::Two}},
+      {{Allele::One, Allele::Two}, {Allele::One, Allele::Two}},
+      {{Allele::Two, Allele::One}, {Allele::Two, Allele::One}},
+  };
+  const auto matrix = from_haplotypes(people);
+  const auto freqs = estimate_pair_haplotypes(matrix, 0, 1);
+  EXPECT_NEAR(freqs.p12, 4.0 / 6.0, 1e-8);
+  EXPECT_NEAR(freqs.p21, 2.0 / 6.0, 1e-8);
+  EXPECT_NEAR(freqs.p11, 0.0, 1e-8);
+  EXPECT_NEAR(freqs.p22, 0.0, 1e-8);
+}
+
+TEST(PairEm, FrequenciesAlwaysSumToOne) {
+  const auto synthetic = ldga::testing::small_synthetic(8, 2, 77);
+  const auto& matrix = synthetic.dataset.genotypes();
+  for (SnpIndex a = 0; a + 1 < matrix.snp_count(); ++a) {
+    for (SnpIndex b = a + 1; b < matrix.snp_count(); ++b) {
+      const auto freqs = estimate_pair_haplotypes(matrix, a, b);
+      EXPECT_NEAR(freqs.p11 + freqs.p12 + freqs.p21 + freqs.p22, 1.0, 1e-8);
+    }
+  }
+}
+
+TEST(PairEm, EmptyDataReturnsUniform) {
+  const GenotypeMatrix matrix(0, 2);
+  const auto freqs = estimate_pair_haplotypes(matrix, 0, 1);
+  EXPECT_DOUBLE_EQ(freqs.p11, 0.25);
+}
+
+TEST(PairLd, DPrimeIsScaleInvariantUpperBound) {
+  // D' must be in [0, 1] and r2 <= 1 for arbitrary frequencies.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    PairHaplotypeFreqs freqs;
+    double total = 0.0;
+    double draws[4];
+    for (double& d : draws) {
+      d = rng.uniform() + 1e-3;
+      total += d;
+    }
+    freqs.p11 = draws[0] / total;
+    freqs.p12 = draws[1] / total;
+    freqs.p21 = draws[2] / total;
+    freqs.p22 = draws[3] / total;
+    const PairLd ld = pair_ld_from_freqs(freqs);
+    EXPECT_GE(ld.d_prime, 0.0);
+    EXPECT_LE(ld.d_prime, 1.0);
+    EXPECT_GE(ld.r2, 0.0);
+    EXPECT_LE(ld.r2, 1.0 + 1e-9);
+  }
+}
+
+TEST(LdMatrix, SymmetricAccess) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const auto matrix = LdMatrix::compute(dataset);
+  for (SnpIndex a = 0; a + 1 < dataset.snp_count(); ++a) {
+    for (SnpIndex b = a + 1; b < dataset.snp_count(); ++b) {
+      EXPECT_DOUBLE_EQ(matrix.at(a, b).d_prime, matrix.at(b, a).d_prime);
+    }
+  }
+}
+
+TEST(LdMatrix, DiagonalAccessDies) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  const auto matrix = LdMatrix::compute(dataset);
+  EXPECT_DEATH(matrix.at(1, 1), "precondition");
+}
+
+TEST(LdMatrix, LdDecaysWithDistanceInSimulatedData) {
+  // The mosaic simulator must produce stronger LD for adjacent markers
+  // than for distant ones — the property §2.2 of the paper relies on.
+  const SnpPanel panel = SnpPanel::uniform(40, 10.0);
+  HaplotypeSimConfig config;
+  config.switch_rate_per_kb = 0.004;
+  Rng rng(123);
+  const HaplotypeSimulator simulator(panel, config, rng);
+
+  GenotypeMatrix matrix(300, panel.size());
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const auto m = simulator.sample(rng);
+    const auto p = simulator.sample(rng);
+    for (SnpIndex s = 0; s < panel.size(); ++s) {
+      matrix.set(i, s, make_genotype(m[s], p[s]));
+    }
+  }
+  double near = 0.0, far = 0.0;
+  int near_n = 0, far_n = 0;
+  for (SnpIndex a = 0; a + 1 < panel.size(); ++a) {
+    for (SnpIndex b = a + 1; b < panel.size(); ++b) {
+      const auto ld =
+          pair_ld_from_freqs(estimate_pair_haplotypes(matrix, a, b));
+      if (b - a == 1) {
+        near += ld.r2;
+        ++near_n;
+      } else if (b - a >= 20) {
+        far += ld.r2;
+        ++far_n;
+      }
+    }
+  }
+  EXPECT_GT(near / near_n, 2.0 * far / far_n);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

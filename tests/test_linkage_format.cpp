@@ -1,0 +1,120 @@
+#include "genomics/linkage_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(LinkageFormat, ParsesMinimalPair) {
+  std::istringstream map(
+      "1 rs1 0 1000\n"
+      "1 rs2 0 25000\n");
+  std::istringstream ped(
+      "fam1 ind1 0 0 1 2 1 1 1 2\n"
+      "fam2 ind2 0 0 2 1 2 2 0 0\n"
+      "fam3 ind3 0 0 0 0 1 2 2 2\n");
+  const Dataset dataset = read_linkage(ped, map);
+  EXPECT_EQ(dataset.snp_count(), 2u);
+  EXPECT_EQ(dataset.individual_count(), 3u);
+  EXPECT_EQ(dataset.panel().name(0), "rs1");
+  EXPECT_DOUBLE_EQ(dataset.panel().position_kb(0), 1.0);
+  EXPECT_DOUBLE_EQ(dataset.panel().position_kb(1), 25.0);
+
+  EXPECT_EQ(dataset.status(0), Status::Affected);
+  EXPECT_EQ(dataset.status(1), Status::Unaffected);
+  EXPECT_EQ(dataset.status(2), Status::Unknown);
+
+  EXPECT_EQ(dataset.genotypes().at(0, 0), Genotype::HomOne);
+  EXPECT_EQ(dataset.genotypes().at(0, 1), Genotype::Het);
+  EXPECT_EQ(dataset.genotypes().at(1, 0), Genotype::HomTwo);
+  EXPECT_EQ(dataset.genotypes().at(1, 1), Genotype::Missing);
+  EXPECT_EQ(dataset.genotypes().at(2, 1), Genotype::HomTwo);
+}
+
+TEST(LinkageFormat, AcceptsMinusNinePhenotype) {
+  std::istringstream map("1 rs1 0 100\n");
+  std::istringstream ped("f i 0 0 1 -9 1 1\n");
+  EXPECT_EQ(read_linkage(ped, map).status(0), Status::Unknown);
+}
+
+TEST(LinkageFormat, SortsMarkersByPosition) {
+  std::istringstream map(
+      "1 late 0 90000\n"
+      "1 early 0 1000\n");
+  std::istringstream ped("f i 0 0 1 2 2 2 1 1\n");
+  const Dataset dataset = read_linkage(ped, map);
+  EXPECT_EQ(dataset.panel().name(0), "early");
+  EXPECT_EQ(dataset.panel().name(1), "late");
+  // Genotype columns must follow the markers: 'late' was 2 2.
+  EXPECT_EQ(dataset.genotypes().at(0, 1), Genotype::HomTwo);
+  EXPECT_EQ(dataset.genotypes().at(0, 0), Genotype::HomOne);
+}
+
+TEST(LinkageFormat, RoundTripsASyntheticCohort) {
+  const auto synthetic = ldga::testing::small_synthetic(9, 2, 2222);
+  std::stringstream ped, map;
+  write_linkage(ped, map, synthetic.dataset);
+  const Dataset reloaded = read_linkage(ped, map);
+  ASSERT_EQ(reloaded.snp_count(), synthetic.dataset.snp_count());
+  ASSERT_EQ(reloaded.individual_count(),
+            synthetic.dataset.individual_count());
+  for (std::uint32_t i = 0; i < reloaded.individual_count(); ++i) {
+    EXPECT_EQ(reloaded.status(i), synthetic.dataset.status(i));
+    for (SnpIndex s = 0; s < reloaded.snp_count(); ++s) {
+      EXPECT_EQ(reloaded.genotypes().at(i, s),
+                synthetic.dataset.genotypes().at(i, s));
+    }
+  }
+}
+
+TEST(LinkageFormat, RejectsMalformedInput) {
+  {
+    std::istringstream map("1 rs1 0\n");  // 3 columns
+    std::istringstream ped("f i 0 0 1 2 1 1\n");
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+  {
+    std::istringstream map("1 rs1 0 100\n");
+    std::istringstream ped("f i 0 0 1 2 1\n");  // odd allele column
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+  {
+    std::istringstream map("1 rs1 0 100\n");
+    std::istringstream ped("f i 0 0 1 7 1 1\n");  // bad phenotype
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+  {
+    std::istringstream map("1 rs1 0 100\n");
+    std::istringstream ped("f i 0 0 1 2 3 1\n");  // bad allele
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+  {
+    std::istringstream map("");
+    std::istringstream ped("f i 0 0 1 2 1 1\n");
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+  {
+    std::istringstream map("1 rs1 0 100\n");
+    std::istringstream ped("");
+    EXPECT_THROW(read_linkage(ped, map), DataError);
+  }
+}
+
+TEST(LinkageFormat, MissingFilesThrow) {
+  EXPECT_THROW(load_linkage("/no/such.ped", "/no/such.map"), DataError);
+}
+
+TEST(LinkageFormat, HalfMissingGenotypeIsMissing) {
+  std::istringstream map("1 rs1 0 100\n");
+  std::istringstream ped("f i 0 0 1 2 1 0\n");
+  EXPECT_EQ(read_linkage(ped, map).genotypes().at(0, 0),
+            Genotype::Missing);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,116 @@
+#include "parallel/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+namespace {
+
+Message make_message(TaskId source, std::int32_t tag) {
+  Message m;
+  m.source = source;
+  m.tag = tag;
+  return m;
+}
+
+TEST(Mailbox, FifoWithinMatchingMessages) {
+  Mailbox box;
+  Message first = make_message(1, 5);
+  first.payload = {1};
+  Message second = make_message(1, 5);
+  second.payload = {2};
+  box.deliver(std::move(first));
+  box.deliver(std::move(second));
+  EXPECT_EQ(box.receive().payload[0], 1);
+  EXPECT_EQ(box.receive().payload[0], 2);
+}
+
+TEST(Mailbox, SelectiveReceiveByTag) {
+  Mailbox box;
+  box.deliver(make_message(1, 10));
+  box.deliver(make_message(1, 20));
+  const Message m = box.receive(kAnySource, 20);
+  EXPECT_EQ(m.tag, 20);
+  EXPECT_EQ(box.pending(), 1u);
+  EXPECT_EQ(box.receive().tag, 10);
+}
+
+TEST(Mailbox, SelectiveReceiveBySource) {
+  Mailbox box;
+  box.deliver(make_message(3, 1));
+  box.deliver(make_message(7, 1));
+  EXPECT_EQ(box.receive(7).source, 7);
+  EXPECT_EQ(box.receive(3).source, 3);
+}
+
+TEST(Mailbox, TryReceiveDoesNotBlock) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_receive().has_value());
+  box.deliver(make_message(1, 2));
+  const auto m = box.try_receive(kAnySource, 2);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 2);
+  EXPECT_FALSE(box.try_receive().has_value());
+}
+
+TEST(Mailbox, TryReceiveLeavesNonMatching) {
+  Mailbox box;
+  box.deliver(make_message(1, 2));
+  EXPECT_FALSE(box.try_receive(kAnySource, 3).has_value());
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, ProbeSeesWithoutConsuming) {
+  Mailbox box;
+  EXPECT_FALSE(box.probe());
+  box.deliver(make_message(2, 9));
+  EXPECT_TRUE(box.probe());
+  EXPECT_TRUE(box.probe(2, 9));
+  EXPECT_FALSE(box.probe(3));
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.deliver(make_message(4, 44));
+  });
+  const Message m = box.receive(4, 44);
+  EXPECT_EQ(m.tag, 44);
+  producer.join();
+}
+
+TEST(Mailbox, CloseUnblocksReceiverWithError) {
+  Mailbox box;
+  std::thread closer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+  });
+  EXPECT_THROW(box.receive(), ParallelError);
+  closer.join();
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, DeliveryAfterCloseIsDropped) {
+  Mailbox box;
+  box.close();
+  box.deliver(make_message(1, 1));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, DrainsQueuedBeforeCloseError) {
+  // receive() must fail once closed, even if the queue still matches
+  // nothing; but queued matching messages are still deliverable.
+  Mailbox box;
+  box.deliver(make_message(1, 1));
+  box.close();
+  EXPECT_EQ(box.receive().tag, 1);
+  EXPECT_THROW(box.receive(), ParallelError);
+}
+
+}  // namespace
+}  // namespace ldga::parallel

@@ -1,0 +1,152 @@
+#include "parallel/master_slave.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+namespace ldga::parallel {
+namespace {
+
+TEST(MasterSlaveFarm, ComputesResultsInTaskOrder) {
+  MasterSlaveFarm<double, double> farm(3, [](const double& x) {
+    return x * x;
+  });
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto results = farm.run(tasks);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] * tasks[i]);
+  }
+}
+
+TEST(MasterSlaveFarm, VectorPayloads) {
+  MasterSlaveFarm<std::vector<std::uint32_t>, double> farm(
+      2, [](const std::vector<std::uint32_t>& v) {
+        double sum = 0.0;
+        for (const auto x : v) sum += x;
+        return sum;
+      });
+  const std::vector<std::vector<std::uint32_t>> tasks{
+      {1, 2, 3}, {}, {10}, {4, 4}};
+  const auto results = farm.run(tasks);
+  EXPECT_DOUBLE_EQ(results[0], 6.0);
+  EXPECT_DOUBLE_EQ(results[1], 0.0);
+  EXPECT_DOUBLE_EQ(results[2], 10.0);
+  EXPECT_DOUBLE_EQ(results[3], 8.0);
+}
+
+TEST(MasterSlaveFarm, EmptyBatch) {
+  MasterSlaveFarm<double, double> farm(2, [](const double& x) { return x; });
+  EXPECT_TRUE(farm.run(std::vector<double>{}).empty());
+  EXPECT_EQ(farm.stats().phases, 1u);
+}
+
+TEST(MasterSlaveFarm, FewerTasksThanSlaves) {
+  MasterSlaveFarm<double, double> farm(8, [](const double& x) {
+    return -x;
+  });
+  const std::vector<double> tasks{1.0, 2.0};
+  const auto results = farm.run(tasks);
+  EXPECT_DOUBLE_EQ(results[0], -1.0);
+  EXPECT_DOUBLE_EQ(results[1], -2.0);
+}
+
+TEST(MasterSlaveFarm, MultiplePhasesReuseSlaves) {
+  std::atomic<int> calls{0};
+  MasterSlaveFarm<double, double> farm(2, [&calls](const double& x) {
+    ++calls;
+    return x + 1.0;
+  });
+  for (int phase = 0; phase < 5; ++phase) {
+    const std::vector<double> tasks{0.0, 1.0, 2.0};
+    const auto results = farm.run(tasks);
+    EXPECT_DOUBLE_EQ(results[2], 3.0);
+  }
+  EXPECT_EQ(calls.load(), 15);
+  EXPECT_EQ(farm.stats().phases, 5u);
+}
+
+TEST(MasterSlaveFarm, StatsAccountForEveryTask) {
+  MasterSlaveFarm<double, double> farm(4, [](const double& x) { return x; });
+  std::vector<double> tasks(100);
+  std::iota(tasks.begin(), tasks.end(), 0.0);
+  farm.run(tasks);
+  const auto& stats = farm.stats();
+  const std::uint64_t total = std::accumulate(
+      stats.per_slave_tasks.begin(), stats.per_slave_tasks.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(MasterSlaveFarm, LoadIsSharedUnderSlowTasks) {
+  // With a deliberately uneven workload, dynamic scheduling should give
+  // every slave at least one task.
+  MasterSlaveFarm<double, double> farm(4, [](const double& x) {
+    if (x < 2.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+    return x;
+  });
+  std::vector<double> tasks(40);
+  std::iota(tasks.begin(), tasks.end(), 0.0);
+  farm.run(tasks);
+  for (const auto n : farm.stats().per_slave_tasks) {
+    EXPECT_GE(n, 1u);
+  }
+}
+
+TEST(MasterSlaveFarm, WorkerExceptionSurfacesAsParallelError) {
+  MasterSlaveFarm<double, double> farm(2, [](const double& x) {
+    if (x == 3.0) throw std::runtime_error("bad input 3");
+    return x;
+  });
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(farm.run(tasks), ParallelError);
+}
+
+TEST(MasterSlaveFarm, SurvivesAFailedPhase) {
+  // After a phase aborts on a worker error, the next phase must not be
+  // corrupted by stale replies from the aborted one.
+  MasterSlaveFarm<double, double> farm(3, [](const double& x) {
+    if (x < 0.0) throw std::runtime_error("negative");
+    return x * 10.0;
+  });
+  EXPECT_THROW(farm.run(std::vector<double>{1.0, -1.0, 2.0, 3.0, 4.0}),
+               ParallelError);
+  const std::vector<double> good{5.0, 6.0, 7.0};
+  const auto results = farm.run(good);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0], 50.0);
+  EXPECT_DOUBLE_EQ(results[1], 60.0);
+  EXPECT_DOUBLE_EQ(results[2], 70.0);
+}
+
+class FarmSlaveCount : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FarmSlaveCount, ResultsIndependentOfSlaveCount) {
+  // The GA relies on this: identical results for any worker count.
+  MasterSlaveFarm<std::vector<std::uint32_t>, double> farm(
+      GetParam(), [](const std::vector<std::uint32_t>& v) {
+        double product = 1.0;
+        for (const auto x : v) product *= (x + 0.5);
+        return product;
+      });
+  std::vector<std::vector<std::uint32_t>> tasks;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    tasks.push_back({i, i + 1, (i * 7) % 13});
+  }
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    double expected = 1.0;
+    for (const auto x : tasks[i]) expected *= (x + 0.5);
+    EXPECT_DOUBLE_EQ(results[i], expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FarmSlaveCount,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace ldga::parallel

@@ -1,0 +1,100 @@
+#include "stats/multiple_testing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::stats {
+namespace {
+
+TEST(Bonferroni, ScalesByCount) {
+  const std::vector<double> p{0.01, 0.2, 0.5};
+  const auto adjusted = bonferroni_adjust(p);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.6);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0);  // capped
+}
+
+TEST(Bonferroni, EmptyAndSingle) {
+  EXPECT_TRUE(bonferroni_adjust(std::vector<double>{}).empty());
+  const auto one = bonferroni_adjust(std::vector<double>{0.04});
+  EXPECT_DOUBLE_EQ(one[0], 0.04);
+}
+
+TEST(Holm, KnownExample) {
+  // Classic textbook case: p = {0.01, 0.04, 0.03, 0.005}.
+  const std::vector<double> p{0.01, 0.04, 0.03, 0.005};
+  const auto adjusted = holm_adjust(p);
+  // Sorted: 0.005*4=0.02, 0.01*3=0.03, 0.03*2=0.06, 0.04*1=0.04->max 0.06
+  EXPECT_DOUBLE_EQ(adjusted[3], 0.02);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.06);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.06);
+}
+
+TEST(Holm, NeverLessPowerfulThanBonferroni) {
+  Rng rng(5);
+  std::vector<double> p;
+  for (int i = 0; i < 30; ++i) p.push_back(rng.uniform());
+  const auto holm = holm_adjust(p);
+  const auto bonf = bonferroni_adjust(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_LE(holm[i], bonf[i] + 1e-12);
+    EXPECT_GE(holm[i], p[i] - 1e-12);  // adjustment never decreases p
+  }
+}
+
+TEST(BenjaminiHochberg, KnownExample) {
+  // p = {0.01, 0.02, 0.03, 0.04}: q_i = p_i * 4 / rank, then step-up min.
+  const std::vector<double> p{0.01, 0.02, 0.03, 0.04};
+  const auto q = benjamini_hochberg_adjust(p);
+  EXPECT_DOUBLE_EQ(q[0], 0.04);
+  EXPECT_DOUBLE_EQ(q[1], 0.04);
+  EXPECT_DOUBLE_EQ(q[2], 0.04);
+  EXPECT_DOUBLE_EQ(q[3], 0.04);
+}
+
+TEST(BenjaminiHochberg, MonotoneInRank) {
+  Rng rng(9);
+  std::vector<double> p;
+  for (int i = 0; i < 50; ++i) p.push_back(rng.uniform());
+  const auto q = benjamini_hochberg_adjust(p);
+  // Sorted by p, adjusted values must be non-decreasing.
+  std::vector<std::size_t> order(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return p[a] < p[b]; });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(q[order[i]], q[order[i - 1]] - 1e-12);
+  }
+  // FDR adjustment is sandwiched between raw p and Bonferroni.
+  const auto bonf = bonferroni_adjust(p);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(q[i], p[i] - 1e-12);
+    EXPECT_LE(q[i], bonf[i] + 1e-12);
+  }
+}
+
+TEST(BenjaminiHochberg, KeepSelectsSignificant) {
+  const std::vector<double> p{0.001, 0.8, 0.002, 0.9};
+  const auto keep = benjamini_hochberg_keep(p, 0.05);
+  EXPECT_EQ(keep, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(MultipleTesting, RejectsInvalidP) {
+  EXPECT_THROW(bonferroni_adjust(std::vector<double>{-0.1}), ConfigError);
+  EXPECT_THROW(holm_adjust(std::vector<double>{1.2}), ConfigError);
+  EXPECT_THROW(benjamini_hochberg_adjust(std::vector<double>{2.0}),
+               ConfigError);
+}
+
+TEST(MultipleTesting, KeepRejectsBadAlpha) {
+  const std::vector<double> p{0.5};
+  EXPECT_DEATH(benjamini_hochberg_keep(p, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::stats

@@ -1,0 +1,131 @@
+#include "ga/multipopulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/combinatorics.hpp"
+
+namespace ldga::ga {
+namespace {
+
+TEST(Allocation, SumsToTotal) {
+  const auto caps = Multipopulation::allocate_capacities(51, 2, 6, 150, 10);
+  EXPECT_EQ(std::accumulate(caps.begin(), caps.end(), 0u), 150u);
+  EXPECT_EQ(caps.size(), 5u);
+}
+
+TEST(Allocation, RespectsMinimum) {
+  const auto caps = Multipopulation::allocate_capacities(51, 2, 6, 150, 10);
+  for (const auto c : caps) EXPECT_GE(c, 10u);
+}
+
+TEST(Allocation, GrowsWithHaplotypeSize) {
+  // Paper §4.2: subpopulation sizes increase with the haplotype size,
+  // following the growth of the search space.
+  const auto caps = Multipopulation::allocate_capacities(51, 2, 6, 150, 10);
+  for (std::size_t i = 1; i < caps.size(); ++i) {
+    EXPECT_GE(caps[i], caps[i - 1]);
+  }
+  EXPECT_GT(caps.back(), caps.front());
+}
+
+TEST(Allocation, NeverExceedsSearchSpaceSize) {
+  // Tiny panel: C(6,2)=15 < a naive share of 60.
+  const auto caps = Multipopulation::allocate_capacities(6, 2, 4, 40, 2);
+  EXPECT_LE(caps[0], choose(6, 2));
+  EXPECT_LE(caps[1], choose(6, 3));
+  EXPECT_LE(caps[2], choose(6, 4));
+}
+
+TEST(Allocation, SingleSizeClassTakesEverything) {
+  const auto caps = Multipopulation::allocate_capacities(51, 3, 3, 50, 10);
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_EQ(caps[0], 50u);
+}
+
+TEST(Multipopulation, BySizeMapping) {
+  Multipopulation population(51, 2, 6, 150, 10);
+  EXPECT_EQ(population.subpopulation_count(), 5u);
+  for (std::uint32_t size = 2; size <= 6; ++size) {
+    EXPECT_EQ(population.by_size(size).haplotype_size(), size);
+  }
+  EXPECT_TRUE(population.has_size(4));
+  EXPECT_FALSE(population.has_size(1));
+  EXPECT_FALSE(population.has_size(7));
+}
+
+TEST(Multipopulation, BySizeOutOfRangeDies) {
+  Multipopulation population(51, 2, 6, 150, 10);
+  EXPECT_DEATH(population.by_size(7), "precondition");
+}
+
+TEST(Multipopulation, StagnationSignatureTracksBestImprovements) {
+  Multipopulation population(20, 2, 3, 20, 5);
+  auto scored = [](std::vector<SnpIndex> snps, double f) {
+    HaplotypeIndividual ind(std::move(snps));
+    ind.set_fitness(f);
+    return ind;
+  };
+  population.by_size(2).add_initial(scored({0, 1}, 2.0));
+  population.by_size(3).add_initial(scored({0, 1, 2}, 5.0));
+  const double before = population.stagnation_signature();
+  EXPECT_DOUBLE_EQ(before, 7.0);
+
+  // Inserting a non-best individual must not change the signature.
+  population.by_size(2).add_initial(scored({0, 2}, 1.0));
+  EXPECT_DOUBLE_EQ(population.stagnation_signature(), 7.0);
+
+  // Improving one subpopulation's best raises it.
+  population.by_size(2).add_initial(scored({1, 2}, 4.0));
+  EXPECT_DOUBLE_EQ(population.stagnation_signature(), 9.0);
+}
+
+TEST(Multipopulation, TotalIndividualsAndRanges) {
+  Multipopulation population(20, 2, 3, 20, 5);
+  EXPECT_EQ(population.total_individuals(), 0u);
+  auto scored = [](std::vector<SnpIndex> snps, double f) {
+    HaplotypeIndividual ind(std::move(snps));
+    ind.set_fitness(f);
+    return ind;
+  };
+  population.by_size(2).add_initial(scored({0, 1}, 2.0));
+  population.by_size(2).add_initial(scored({0, 2}, 6.0));
+  EXPECT_EQ(population.total_individuals(), 2u);
+  const auto ranges = population.ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranges[0].worst, 2.0);
+  EXPECT_DOUBLE_EQ(ranges[0].best, 6.0);
+}
+
+TEST(Allocation, UniformPolicyGivesEqualShares) {
+  const auto caps = Multipopulation::allocate_capacities(
+      51, 2, 6, 150, 10, AllocationPolicy::Uniform);
+  EXPECT_EQ(std::accumulate(caps.begin(), caps.end(), 0u), 150u);
+  // Equal weights: every class within one slot of 150/5.
+  for (const auto c : caps) {
+    EXPECT_GE(c, 29u);
+    EXPECT_LE(c, 31u);
+  }
+}
+
+TEST(Allocation, PoliciesDifferOnWideRanges) {
+  const auto log_caps = Multipopulation::allocate_capacities(
+      51, 2, 6, 150, 10, AllocationPolicy::LogSearchSpace);
+  const auto uniform_caps = Multipopulation::allocate_capacities(
+      51, 2, 6, 150, 10, AllocationPolicy::Uniform);
+  EXPECT_NE(log_caps, uniform_caps);
+  EXPECT_GT(log_caps.back(), uniform_caps.back());
+}
+
+TEST(Allocation, InvalidArgumentsDie) {
+  EXPECT_DEATH(Multipopulation::allocate_capacities(51, 3, 2, 100, 10),
+               "precondition");
+  EXPECT_DEATH(Multipopulation::allocate_capacities(51, 2, 6, 10, 10),
+               "precondition");
+  EXPECT_DEATH(Multipopulation::allocate_capacities(4, 2, 6, 100, 10),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::ga

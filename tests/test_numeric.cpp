@@ -1,0 +1,108 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ldga {
+namespace {
+
+TEST(KahanSum, ExactForSmallIntegers) {
+  KahanSum sum;
+  for (int i = 1; i <= 100; ++i) sum.add(i);
+  EXPECT_DOUBLE_EQ(sum.value(), 5050.0);
+}
+
+TEST(KahanSum, RecoversCancellationNaiveSumLoses) {
+  // 1 + 1e-16 added 10^6 times: naive double accumulation drops the
+  // small terms entirely; compensated summation keeps them.
+  KahanSum sum;
+  double naive = 0.0;
+  sum.add(1.0);
+  naive += 1.0;
+  const double tiny = 1e-16;
+  const int n = 1'000'000;
+  for (int i = 0; i < n; ++i) {
+    sum.add(tiny);
+    naive += tiny;
+  }
+  const double expected = 1.0 + n * tiny;
+  EXPECT_NEAR(sum.value(), expected, 1e-12);
+  EXPECT_LT(std::abs(naive - expected),
+            std::abs(sum.value() - expected) + 1e-9);
+}
+
+TEST(KahanSum, HandlesAlternatingSigns) {
+  KahanSum sum;
+  for (int i = 0; i < 10'000; ++i) {
+    sum.add(1e10);
+    sum.add(-1e10);
+    sum.add(1.0);
+  }
+  EXPECT_NEAR(sum.value(), 10'000.0, 1e-6);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 4.5);
+  EXPECT_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, StableForLargeOffset) {
+  // Welford should not lose precision with a large common offset.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.add(1e9 + (i % 2));
+  EXPECT_NEAR(stats.variance(), 0.25025, 1e-3);
+}
+
+TEST(NormalizeInPlace, ScalesToUnitSum) {
+  std::vector<double> values{1.0, 3.0, 4.0};
+  const double total = normalize_in_place(values);
+  EXPECT_DOUBLE_EQ(total, 8.0);
+  EXPECT_DOUBLE_EQ(values[0], 0.125);
+  EXPECT_DOUBLE_EQ(values[1], 0.375);
+  EXPECT_DOUBLE_EQ(values[2], 0.5);
+}
+
+TEST(NormalizeInPlace, ZeroTotalDies) {
+  std::vector<double> values{0.0, 0.0};
+  EXPECT_DEATH(normalize_in_place(values), "precondition");
+}
+
+TEST(NormalizeInPlace, NegativeValueDies) {
+  std::vector<double> values{1.0, -0.5};
+  EXPECT_DEATH(normalize_in_place(values), "precondition");
+}
+
+TEST(Lerp, Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 10.0, 0.5), 6.0);
+}
+
+}  // namespace
+}  // namespace ldga

@@ -1,0 +1,271 @@
+#include "ga/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "genomics/allele_freq.hpp"
+#include "genomics/ld.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+namespace {
+
+VariationOperators make_operators(std::uint32_t snp_count = 20,
+                                  std::uint32_t min_size = 2,
+                                  std::uint32_t max_size = 6,
+                                  std::uint32_t trials = 4) {
+  static const FeasibilityFilter no_filter;
+  OperatorConfig config;
+  config.snp_count = snp_count;
+  config.min_size = min_size;
+  config.max_size = max_size;
+  config.snp_mutation_trials = trials;
+  return VariationOperators(config, no_filter);
+}
+
+std::uint32_t symmetric_difference_size(const std::vector<SnpIndex>& a,
+                                        const std::vector<SnpIndex>& b) {
+  std::vector<SnpIndex> diff;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(diff));
+  return static_cast<std::uint32_t>(diff.size());
+}
+
+TEST(OperatorConfig, Validation) {
+  OperatorConfig config;
+  config.snp_count = 1;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.snp_count = 20;
+  config.min_size = 5;
+  config.max_size = 3;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.snp_count = 5;
+  config.max_size = 9;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config = {};
+  config.snp_count = 20;
+  config.snp_mutation_trials = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(SnpMutation, ProducesRequestedTrialCount) {
+  const auto ops = make_operators(20, 2, 6, 5);
+  const HaplotypeIndividual parent({2, 7, 11});
+  Rng rng(1);
+  const auto trials = ops.snp_mutation_trials(parent, rng);
+  EXPECT_EQ(trials.size(), 5u);
+}
+
+TEST(SnpMutation, TrialsPreserveSizeAndChangeOneSnp) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual parent({2, 7, 11, 15});
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    for (const auto& trial : ops.snp_mutation_trials(parent, rng)) {
+      EXPECT_EQ(trial.size(), parent.size());
+      // Replacing one SNP: symmetric difference of exactly 2 (or 0 if
+      // the draw failed feasibility retries — never with no filter).
+      EXPECT_EQ(symmetric_difference_size(trial.snps(), parent.snps()), 2u);
+      for (const auto snp : trial.snps()) EXPECT_LT(snp, 20u);
+    }
+  }
+}
+
+TEST(SnpMutation, ExploresManyNeighbors) {
+  const auto ops = make_operators(15, 2, 6, 4);
+  const HaplotypeIndividual parent({0, 1});
+  Rng rng(3);
+  std::set<std::vector<SnpIndex>> seen;
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& trial : ops.snp_mutation_trials(parent, rng)) {
+      seen.insert(trial.snps());
+    }
+  }
+  // Neighborhood size is 2 * 13 = 26; most should be hit.
+  EXPECT_GT(seen.size(), 20u);
+}
+
+TEST(Reduction, RemovesExactlyOneSnp) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual parent({2, 7, 11});
+  Rng rng(4);
+  const auto child = ops.reduction(parent, rng);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->size(), 2u);
+  // Child is a strict subset of the parent.
+  EXPECT_TRUE(std::includes(parent.snps().begin(), parent.snps().end(),
+                            child->snps().begin(), child->snps().end()));
+}
+
+TEST(Reduction, InapplicableAtMinSize) {
+  const auto ops = make_operators(20, 2, 6);
+  const HaplotypeIndividual parent({2, 7});
+  Rng rng(5);
+  EXPECT_FALSE(ops.reduction(parent, rng).has_value());
+}
+
+TEST(Reduction, EveryPositionCanBeRemoved) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual parent({1, 2, 3});
+  Rng rng(6);
+  std::set<std::vector<SnpIndex>> children;
+  for (int i = 0; i < 100; ++i) {
+    children.insert(ops.reduction(parent, rng)->snps());
+  }
+  EXPECT_EQ(children.size(), 3u);
+}
+
+TEST(Augmentation, AddsExactlyOneSnp) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual parent({2, 7, 11});
+  Rng rng(7);
+  const auto child = ops.augmentation(parent, rng);
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->size(), 4u);
+  EXPECT_TRUE(std::includes(child->snps().begin(), child->snps().end(),
+                            parent.snps().begin(), parent.snps().end()));
+}
+
+TEST(Augmentation, InapplicableAtMaxSize) {
+  const auto ops = make_operators(20, 2, 3);
+  const HaplotypeIndividual parent({2, 7, 11});
+  Rng rng(8);
+  EXPECT_FALSE(ops.augmentation(parent, rng).has_value());
+}
+
+// --- crossover property sweep ------------------------------------------
+
+struct CrossCase {
+  std::uint32_t size_a;
+  std::uint32_t size_b;
+};
+
+class UniformCrossover : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(UniformCrossover, ChildrenHaveParentSizes) {
+  const auto [size_a, size_b] = GetParam();
+  const auto ops = make_operators(30, 2, 8);
+  Rng rng(100 + size_a * 10 + size_b);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pa = HaplotypeIndividual::random(30, size_a, rng);
+    const auto pb = HaplotypeIndividual::random(30, size_b, rng);
+    const auto [ca, cb] = ops.uniform_crossover(pa, pb, rng);
+    EXPECT_EQ(ca.size(), size_a);
+    EXPECT_EQ(cb.size(), size_b);
+    EXPECT_TRUE(std::is_sorted(ca.snps().begin(), ca.snps().end()));
+    EXPECT_TRUE(
+        std::adjacent_find(ca.snps().begin(), ca.snps().end()) ==
+        ca.snps().end());
+  }
+}
+
+TEST_P(UniformCrossover, ChildrenMostlyInheritParentMaterial) {
+  const auto [size_a, size_b] = GetParam();
+  const auto ops = make_operators(30, 2, 8);
+  Rng rng(200 + size_a * 10 + size_b);
+  int inherited = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pa = HaplotypeIndividual::random(30, size_a, rng);
+    const auto pb = HaplotypeIndividual::random(30, size_b, rng);
+    std::set<SnpIndex> pool(pa.snps().begin(), pa.snps().end());
+    pool.insert(pb.snps().begin(), pb.snps().end());
+    const auto [ca, cb] = ops.uniform_crossover(pa, pb, rng);
+    for (const auto snp : ca.snps()) {
+      ++total;
+      if (pool.count(snp)) ++inherited;
+    }
+    for (const auto snp : cb.snps()) {
+      ++total;
+      if (pool.count(snp)) ++inherited;
+    }
+  }
+  // Panel top-up only happens when the union is exhausted; inherited
+  // material must dominate overwhelmingly.
+  EXPECT_GT(inherited, total * 95 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformCrossover,
+                         ::testing::Values(CrossCase{2, 2}, CrossCase{3, 3},
+                                           CrossCase{6, 6}, CrossCase{2, 6},
+                                           CrossCase{3, 5}, CrossCase{4, 2},
+                                           CrossCase{8, 3}));
+
+TEST(UniformCrossoverBasics, IdenticalParentsYieldIdenticalChildren) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual parent({3, 9, 14});
+  Rng rng(9);
+  const auto [c1, c2] = ops.uniform_crossover(parent, parent, rng);
+  EXPECT_TRUE(c1.same_snps(parent));
+  EXPECT_TRUE(c2.same_snps(parent));
+}
+
+TEST(UniformCrossoverBasics, MixesMaterialFromBothParents) {
+  const auto ops = make_operators(30, 2, 8);
+  const HaplotypeIndividual pa({0, 1, 2, 3});
+  const HaplotypeIndividual pb({20, 21, 22, 23});
+  Rng rng(10);
+  bool mixed = false;
+  for (int trial = 0; trial < 50 && !mixed; ++trial) {
+    const auto [ca, cb] = ops.uniform_crossover(pa, pb, rng);
+    const bool has_low =
+        std::any_of(ca.snps().begin(), ca.snps().end(),
+                    [](SnpIndex s) { return s < 10; });
+    const bool has_high =
+        std::any_of(ca.snps().begin(), ca.snps().end(),
+                    [](SnpIndex s) { return s >= 20; });
+    mixed = has_low && has_high;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(OperatorsWithFilter, AugmentationAvoidsInfeasibleAdditions) {
+  // Build a filter from a panel where some pairs are infeasible, then
+  // check augmentation's additions respect it whenever possible.
+  const auto dataset = ldga::testing::tiny_dataset();
+  const auto ld = genomics::LdMatrix::compute(dataset);
+  const auto freqs = genomics::AlleleFrequencyTable::estimate(dataset);
+  ConstraintConfig constraint_config;
+  constraint_config.max_pairwise_d_prime = 0.99;
+  const FeasibilityFilter filter(ld, freqs, constraint_config);
+  if (!filter.enabled()) GTEST_SKIP();
+
+  OperatorConfig config;
+  config.snp_count = 4;
+  config.min_size = 1;
+  config.max_size = 3;
+  const VariationOperators ops(config, filter);
+  Rng rng(21);
+  int feasible_additions = 0, total = 0;
+  for (SnpIndex start = 0; start < 4; ++start) {
+    const HaplotypeIndividual parent({start});
+    for (int trial = 0; trial < 25; ++trial) {
+      const auto child = ops.augmentation(parent, rng);
+      if (!child) continue;
+      ++total;
+      if (filter.feasible(child->snps())) ++feasible_additions;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Best-effort retries make feasible additions dominate when any
+  // feasible partner exists for the start SNP.
+  EXPECT_GT(feasible_additions, total * 3 / 4);
+}
+
+TEST(UniformCrossoverBasics, DeterministicForSeed) {
+  const auto ops = make_operators();
+  const HaplotypeIndividual pa({1, 5, 9});
+  const HaplotypeIndividual pb({2, 6, 10});
+  Rng rng1(77), rng2(77);
+  const auto [a1, b1] = ops.uniform_crossover(pa, pb, rng1);
+  const auto [a2, b2] = ops.uniform_crossover(pa, pb, rng2);
+  EXPECT_TRUE(a1.same_snps(a2));
+  EXPECT_TRUE(b1.same_snps(b2));
+}
+
+}  // namespace
+}  // namespace ldga::ga

@@ -1,0 +1,150 @@
+#include "genomics/qc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "genomics/synthetic.hpp"
+#include "stats/special.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(HardyWeinberg, PerfectEquilibriumScoresZero) {
+  // p = q = 0.5, n = 100: expected 25/50/25.
+  const auto result = hardy_weinberg_test(25, 50, 25);
+  EXPECT_NEAR(result.chi_square, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.freq_two, 0.5);
+}
+
+TEST(HardyWeinberg, KnownDeviationByHand) {
+  // 10/20/10 het-deficient case: q=0.5, expected 10/20/10 for n=40...
+  // Use a real deviation: 30/0/30 (no hets at all, q = 0.5, n = 60):
+  // expected 15/30/15 -> chi2 = 15 + 30 + 15 = 60.
+  const auto result = hardy_weinberg_test(30, 0, 30);
+  EXPECT_NEAR(result.chi_square, 60.0, 1e-9);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(HardyWeinberg, MatchesChiSquareSf) {
+  // 1-df p-value via erfc must agree with the generic sf.
+  const auto result = hardy_weinberg_test(40, 40, 20);
+  EXPECT_NEAR(result.p_value,
+              stats::chi_square_sf(result.chi_square, 1.0), 1e-10);
+}
+
+TEST(HardyWeinberg, MonomorphicIsUndefinedButSafe) {
+  const auto result = hardy_weinberg_test(50, 0, 0);
+  EXPECT_DOUBLE_EQ(result.chi_square, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(HardyWeinberg, EmptyCounts) {
+  const auto result = hardy_weinberg_test(0, 0, 0);
+  EXPECT_EQ(result.typed_individuals, 0u);
+}
+
+TEST(HardyWeinberg, SimulatedCohortMostlyPasses) {
+  // The mosaic simulator mates chromosomes at random, so HWE should
+  // hold for the bulk of markers in a status-blind population.
+  const auto synthetic = ldga::testing::small_synthetic(30, 0, 12);
+  int fails = 0;
+  for (SnpIndex s = 0; s < 30; ++s) {
+    if (hardy_weinberg_test(synthetic.dataset, s).p_value < 0.01) ++fails;
+  }
+  EXPECT_LE(fails, 3);
+}
+
+TEST(MarkerQc, ThresholdValidation) {
+  QcThresholds thresholds;
+  thresholds.min_maf = 0.6;
+  EXPECT_THROW(thresholds.validate(), ConfigError);
+  thresholds = {};
+  thresholds.max_missing_rate = 1.5;
+  EXPECT_THROW(thresholds.validate(), ConfigError);
+  thresholds = {};
+  thresholds.min_hwe_p = -0.1;
+  EXPECT_THROW(thresholds.validate(), ConfigError);
+}
+
+TEST(MarkerQc, PermissiveThresholdsKeepEverything) {
+  const auto synthetic = ldga::testing::small_synthetic(15, 2, 77);
+  QcThresholds thresholds;
+  thresholds.min_maf = 0.0;
+  thresholds.max_missing_rate = 1.0;
+  thresholds.min_hwe_p = 0.0;
+  const auto report = run_marker_qc(synthetic.dataset, thresholds);
+  EXPECT_EQ(report.kept.size(), 15u);
+  EXPECT_EQ(report.dropped_maf + report.dropped_missing + report.dropped_hwe,
+            0u);
+}
+
+TEST(MarkerQc, MissingnessFilterDrops) {
+  // Build a dataset with one all-missing marker.
+  genomics::GenotypeMatrix matrix(10, 2);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    matrix.set(i, 0, i % 2 == 0 ? Genotype::Het : Genotype::HomOne);
+    // marker 1 stays Missing everywhere
+  }
+  const Dataset dataset(SnpPanel::uniform(2), std::move(matrix),
+                        std::vector<Status>(10, Status::Unknown));
+  QcThresholds thresholds;
+  thresholds.min_hwe_p = 0.0;
+  const auto report = run_marker_qc(dataset, thresholds);
+  EXPECT_EQ(report.kept, (std::vector<SnpIndex>{0}));
+  EXPECT_EQ(report.dropped_missing, 1u);
+}
+
+TEST(MarkerQc, MafFilterDropsRareMarkers) {
+  genomics::GenotypeMatrix matrix(50, 2);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    matrix.set(i, 0, i < 25 ? Genotype::HomOne : Genotype::HomTwo);
+    matrix.set(i, 1, Genotype::HomOne);  // monomorphic: MAF 0
+  }
+  const Dataset dataset(SnpPanel::uniform(2), std::move(matrix),
+                        std::vector<Status>(50, Status::Unknown));
+  QcThresholds thresholds;
+  thresholds.min_hwe_p = 0.0;  // marker 0 (30/0/30-like) must not be
+                               // dropped for HWE in this test
+  const auto report = run_marker_qc(dataset, thresholds);
+  EXPECT_EQ(report.kept, (std::vector<SnpIndex>{0}));
+  EXPECT_EQ(report.dropped_maf, 1u);
+}
+
+TEST(SubsetMarkers, KeepsSelectedColumnsAndStatuses) {
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 33);
+  const std::vector<SnpIndex> keep{1, 4, 8};
+  const Dataset subset = subset_markers(synthetic.dataset, keep);
+  EXPECT_EQ(subset.snp_count(), 3u);
+  EXPECT_EQ(subset.individual_count(),
+            synthetic.dataset.individual_count());
+  for (std::uint32_t i = 0; i < subset.individual_count(); ++i) {
+    EXPECT_EQ(subset.status(i), synthetic.dataset.status(i));
+    for (std::uint32_t m = 0; m < keep.size(); ++m) {
+      EXPECT_EQ(subset.genotypes().at(i, static_cast<SnpIndex>(m)),
+                synthetic.dataset.genotypes().at(i, keep[m]));
+    }
+  }
+  EXPECT_EQ(subset.panel().name(1), synthetic.dataset.panel().name(4));
+}
+
+TEST(MarkerQc, EndToEndWithGa) {
+  // QC then search: the standard pipeline shape.
+  genomics::SyntheticConfig config;
+  config.snp_count = 20;
+  config.active_snps = {3, 11};
+  config.affected_count = 40;
+  config.unaffected_count = 40;
+  config.unknown_count = 0;
+  config.missing_rate = 0.02;
+  Rng rng(55);
+  const auto synthetic = generate_synthetic(config, rng);
+  const auto report = run_marker_qc(synthetic.dataset);
+  ASSERT_GE(report.kept.size(), 10u);
+  const Dataset clean = subset_markers(synthetic.dataset, report.kept);
+  EXPECT_EQ(clean.snp_count(), report.kept.size());
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,212 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace ldga {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NearbySeedsAreWellMixed) {
+  // splitmix64 seeding should decorrelate consecutive seeds.
+  Rng a(100), b(101);
+  const std::uint64_t xa = a(), xb = b();
+  EXPECT_NE(xa, xb);
+  // Crude bit-difference check: roughly half the bits should differ.
+  const int bits = __builtin_popcountll(xa ^ xb);
+  EXPECT_GT(bits, 10);
+  EXPECT_LT(bits, 54);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1(), child2());
+  // Parent advanced identically.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(parent1(), parent2());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 8> counts{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 8, 5 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnit) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeMeanIsCentered) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexSingleBucket) {
+  Rng rng(41);
+  const std::vector<double> weights{2.5};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(43);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> original = values;
+  rng.shuffle(std::span<int>(values));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(47);
+  std::vector<int> values(50);
+  for (std::size_t i = 0; i < 50; ++i) values[i] = static_cast<int>(i);
+  const std::vector<int> original = values;
+  rng.shuffle(std::span<int>(values));
+  EXPECT_NE(values, original);  // astronomically unlikely to be identity
+}
+
+// --- sample_without_replacement property sweep ------------------------
+
+struct SampleCase {
+  std::uint32_t n;
+  std::uint32_t k;
+};
+
+class SampleWithoutReplacement
+    : public ::testing::TestWithParam<SampleCase> {};
+
+TEST_P(SampleWithoutReplacement, ProducesSortedDistinctInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(1000 + n * 31 + k);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(n, k);
+    ASSERT_EQ(sample.size(), k);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+                sample.end());
+    for (const auto v : sample) EXPECT_LT(v, n);
+  }
+}
+
+TEST_P(SampleWithoutReplacement, IsUniformOverElements) {
+  const auto [n, k] = GetParam();
+  if (k == 0) GTEST_SKIP();
+  Rng rng(2000 + n * 31 + k);
+  std::vector<int> counts(n, 0);
+  const int trials = 20'000;
+  for (int trial = 0; trial < trials; ++trial) {
+    for (const auto v : rng.sample_without_replacement(n, k)) ++counts[v];
+  }
+  const double expected = trials * static_cast<double>(k) / n;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 6 * std::sqrt(expected) + 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacement,
+    ::testing::Values(SampleCase{1, 1}, SampleCase{5, 0}, SampleCase{5, 5},
+                      SampleCase{10, 3}, SampleCase{51, 6},
+                      SampleCase{100, 2}, SampleCase{7, 6}));
+
+}  // namespace
+}  // namespace ldga

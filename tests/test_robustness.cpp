@@ -1,0 +1,103 @@
+#include "analysis/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ldga::analysis {
+namespace {
+
+using genomics::SnpIndex;
+
+TEST(Jaccard, IdenticalSetsAreOne) {
+  const std::vector<SnpIndex> a{1, 5, 9};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero) {
+  const std::vector<SnpIndex> a{1, 2};
+  const std::vector<SnpIndex> b{3, 4};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<SnpIndex> a{1, 2, 3};
+  const std::vector<SnpIndex> b{2, 3, 4, 5};
+  // Intersection 2, union 5.
+  EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.4);
+}
+
+TEST(Jaccard, EmptySets) {
+  const std::vector<SnpIndex> empty;
+  const std::vector<SnpIndex> a{1};
+  EXPECT_DOUBLE_EQ(jaccard_similarity(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_similarity(empty, a), 0.0);
+}
+
+TEST(Jaccard, SymmetricProperty) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = rng.sample_without_replacement(20, 4);
+    const auto b = rng.sample_without_replacement(20, 6);
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), jaccard_similarity(b, a));
+    const double j = jaccard_similarity(a, b);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+  }
+}
+
+TEST(Robustness, ReportShapeAndBounds) {
+  const auto synthetic = ldga::testing::small_synthetic(12, 2, 2025);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 3;
+  config.population_size = 20;
+  config.min_subpopulation = 8;
+  config.crossovers_per_generation = 4;
+  config.mutations_per_generation = 8;
+  config.stagnation_generations = 10;
+  config.max_generations = 30;
+  config.seed = 1;
+  const ga::FeasibilityFilter filter;
+  const auto report = measure_robustness(evaluator, config, 3, filter);
+  ASSERT_EQ(report.runs.size(), 3u);
+  ASSERT_EQ(report.mean_jaccard_by_size.size(), 2u);
+  ASSERT_EQ(report.fitness_cv_by_size.size(), 2u);
+  for (const double j : report.mean_jaccard_by_size) {
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+  }
+  for (const double cv : report.fitness_cv_by_size) EXPECT_GE(cv, 0.0);
+}
+
+TEST(Robustness, StrongSignalMakesRunsAgree) {
+  // With a strong planted pair on a small panel the size-2 winner is
+  // the same across runs: Jaccard 1 and CV 0.
+  genomics::SyntheticConfig data_config;
+  data_config.snp_count = 10;
+  data_config.affected_count = 60;
+  data_config.unaffected_count = 60;
+  data_config.unknown_count = 0;
+  data_config.active_snps = {2, 7};
+  data_config.disease.relative_risk = 10.0;
+  Rng rng(77);
+  const auto synthetic = genomics::generate_synthetic(data_config, rng);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 3;
+  config.population_size = 24;
+  config.min_subpopulation = 10;
+  config.stagnation_generations = 20;
+  config.max_generations = 100;
+  config.seed = 5;
+  const ga::FeasibilityFilter filter;
+  const auto report = measure_robustness(evaluator, config, 3, filter);
+  EXPECT_DOUBLE_EQ(report.mean_jaccard_by_size[0], 1.0);
+  EXPECT_NEAR(report.fitness_cv_by_size[0], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

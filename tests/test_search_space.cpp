@@ -1,0 +1,69 @@
+#include "analysis/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ldga::analysis {
+namespace {
+
+TEST(SearchSpace, ReproducesPaperTable1) {
+  // 51 SNPs column.
+  const auto rows51 = search_space_table(51, 2, 6);
+  ASSERT_EQ(rows51.size(), 5u);
+  EXPECT_EQ(rows51[0].exact_count, 1'275u);
+  EXPECT_EQ(rows51[1].exact_count, 20'825u);
+  EXPECT_EQ(rows51[2].exact_count, 249'900u);
+  EXPECT_EQ(rows51[3].exact_count, 2'349'060u);
+  EXPECT_EQ(rows51[4].exact_count, 18'009'460u);
+
+  // 150 SNPs column.
+  const auto rows150 = search_space_table(150, 2, 6);
+  EXPECT_EQ(rows150[0].exact_count, 11'175u);
+  EXPECT_EQ(rows150[1].exact_count, 551'300u);
+  EXPECT_EQ(rows150[2].exact_count, 20'260'275u);
+  EXPECT_EQ(rows150[3].exact_count, 591'600'030u);
+  // Paper prints 14.3e9 for size 6.
+  EXPECT_NEAR(static_cast<double>(rows150[4].exact_count), 14.3e9, 0.1e9);
+
+  // 249 SNPs column.
+  const auto rows249 = search_space_table(249, 2, 6);
+  EXPECT_EQ(rows249[0].exact_count, 30'876u);
+  EXPECT_EQ(rows249[1].exact_count, 2'542'124u);
+  EXPECT_EQ(rows249[2].exact_count, 156'340'626u);
+  // Paper prints 7.6e9 for size 5 and 3.11e11 for size 6 (actually
+  // 7.66e9 and 3.11e11).
+  EXPECT_NEAR(static_cast<double>(rows249[3].exact_count), 7.66e9, 0.1e9);
+  EXPECT_NEAR(static_cast<double>(rows249[4].exact_count), 3.11e11,
+              0.05e11);
+}
+
+TEST(SearchSpace, EveryRowHasConsistentLog) {
+  for (const auto& row : search_space_table(51, 2, 6)) {
+    ASSERT_TRUE(row.exact_valid);
+    EXPECT_NEAR(row.log10_count,
+                std::log10(static_cast<double>(row.exact_count)), 1e-9);
+  }
+}
+
+TEST(SearchSpace, HugeCountsFallBackToLog) {
+  const auto rows = search_space_table(500, 30, 30);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_FALSE(rows[0].exact_valid);
+  EXPECT_GT(rows[0].log10_count, 19.0);
+  EXPECT_NE(rows[0].formatted().find('e'), std::string::npos);
+}
+
+TEST(SearchSpace, FormattedGroupsDigits) {
+  const auto rows = search_space_table(51, 5, 5);
+  EXPECT_EQ(rows[0].formatted(), "2 349 060");
+}
+
+TEST(SearchSpace, TotalLogSum) {
+  // Total over sizes 2..3 for 51 SNPs: 1275 + 20825 = 22100.
+  EXPECT_NEAR(log10_total_search_space(51, 2, 3), std::log10(22100.0),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

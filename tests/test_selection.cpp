@@ -1,0 +1,118 @@
+#include "ga/selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldga::ga {
+namespace {
+
+HaplotypeIndividual scored(std::vector<SnpIndex> snps, double fitness) {
+  HaplotypeIndividual individual(std::move(snps));
+  individual.set_fitness(fitness);
+  return individual;
+}
+
+TEST(Selector, TournamentPrefersFitter) {
+  Subpopulation sub(2, 3);
+  sub.add_initial(scored({0, 1}, 1.0));
+  sub.add_initial(scored({0, 2}, 10.0));
+  sub.add_initial(scored({1, 2}, 5.0));
+
+  Selector selector;
+  Rng rng(1);
+  int best_picked = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    if (selector.tournament(sub, rng) == 1) ++best_picked;
+  }
+  // Binary tournament picks the best with prob 1 - (2/3)^2 = 5/9.
+  EXPECT_NEAR(best_picked / static_cast<double>(n), 5.0 / 9.0, 0.02);
+}
+
+TEST(Selector, LargerTournamentIsGreedier) {
+  Subpopulation sub(2, 4);
+  sub.add_initial(scored({0, 1}, 1.0));
+  sub.add_initial(scored({0, 2}, 2.0));
+  sub.add_initial(scored({0, 3}, 3.0));
+  sub.add_initial(scored({1, 2}, 4.0));
+
+  SelectionConfig greedy;
+  greedy.tournament_size = 4;
+  const Selector selector(greedy);
+  Rng rng(2);
+  int best_picked = 0;
+  const int n = 5'000;
+  for (int i = 0; i < n; ++i) {
+    if (selector.tournament(sub, rng) == 3) ++best_picked;
+  }
+  // 1 - (3/4)^4 ≈ 0.684
+  EXPECT_NEAR(best_picked / static_cast<double>(n), 0.684, 0.03);
+}
+
+TEST(Selector, TournamentSingleMember) {
+  Subpopulation sub(2, 2);
+  sub.add_initial(scored({0, 1}, 1.0));
+  Selector selector;
+  Rng rng(3);
+  EXPECT_EQ(selector.tournament(sub, rng), 0u);
+}
+
+TEST(Selector, PickSubpopulationWeightsByMemberCount) {
+  Multipopulation population(20, 2, 3, 30, 5);
+  // Fill size-2 with 5 members, size-3 with 15.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    population.by_size(2).add_initial(scored({i, i + 6}, 1.0));
+  }
+  for (std::uint32_t i = 0; i < 15; ++i) {
+    population.by_size(3).add_initial(scored({i, i + 1, i + 2}, 1.0));
+  }
+  Selector selector;
+  Rng rng(4);
+  int size3 = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    if (selector.pick_subpopulation(population, rng) == 1) ++size3;
+  }
+  EXPECT_NEAR(size3 / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(Selector, PickSubpopulationSkipsSingletonsWhenPossible) {
+  Multipopulation population(20, 2, 3, 30, 5);
+  population.by_size(2).add_initial(scored({0, 1}, 1.0));  // 1 member
+  population.by_size(3).add_initial(scored({0, 1, 2}, 1.0));
+  population.by_size(3).add_initial(scored({0, 1, 3}, 1.0));
+  Selector selector;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(selector.pick_subpopulation(population, rng), 1u);
+  }
+}
+
+TEST(Selector, PickOtherExcludesGivenSubpopulation) {
+  Multipopulation population(20, 2, 4, 30, 5);
+  auto fill = [&](std::uint32_t size, std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::vector<SnpIndex> snps;
+      for (std::uint32_t j = 0; j < size; ++j) snps.push_back(i + j * 7);
+      population.by_size(size).add_initial(scored(std::move(snps), 1.0));
+    }
+  };
+  fill(2, 3);
+  fill(3, 3);
+  fill(4, 3);
+  Selector selector;
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(selector.pick_other_subpopulation(population, 1, rng), 1u);
+  }
+}
+
+TEST(Selector, PickOtherReturnsExcludeWhenAlone) {
+  Multipopulation population(20, 2, 3, 30, 5);
+  population.by_size(2).add_initial(scored({0, 1}, 1.0));
+  Selector selector;
+  Rng rng(7);
+  EXPECT_EQ(selector.pick_other_subpopulation(population, 0, rng), 0u);
+}
+
+}  // namespace
+}  // namespace ldga::ga

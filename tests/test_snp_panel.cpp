@@ -1,0 +1,55 @@
+#include "genomics/snp_panel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(SnpPanel, UniformPanelNamesAndPositions) {
+  const SnpPanel panel = SnpPanel::uniform(3, 5.0);
+  ASSERT_EQ(panel.size(), 3u);
+  EXPECT_EQ(panel.name(0), "snp0001");
+  EXPECT_EQ(panel.name(2), "snp0003");
+  EXPECT_DOUBLE_EQ(panel.position_kb(0), 0.0);
+  EXPECT_DOUBLE_EQ(panel.position_kb(2), 10.0);
+}
+
+TEST(SnpPanel, DistanceIsSymmetricAndNonNegative) {
+  const SnpPanel panel = SnpPanel::uniform(5, 2.5);
+  EXPECT_DOUBLE_EQ(panel.distance_kb(1, 4), 7.5);
+  EXPECT_DOUBLE_EQ(panel.distance_kb(4, 1), 7.5);
+  EXPECT_DOUBLE_EQ(panel.distance_kb(2, 2), 0.0);
+}
+
+TEST(SnpPanel, IndexOfFindsMarkers) {
+  const SnpPanel panel = SnpPanel::uniform(4);
+  EXPECT_EQ(panel.index_of("snp0002"), 1u);
+  EXPECT_THROW(panel.index_of("nope"), DataError);
+}
+
+TEST(SnpPanel, RejectsDecreasingPositions) {
+  std::vector<SnpInfo> snps{{"a", 10.0}, {"b", 5.0}};
+  EXPECT_THROW(SnpPanel{std::move(snps)}, DataError);
+}
+
+TEST(SnpPanel, AcceptsEqualPositions) {
+  std::vector<SnpInfo> snps{{"a", 10.0}, {"b", 10.0}};
+  const SnpPanel panel(std::move(snps));
+  EXPECT_DOUBLE_EQ(panel.distance_kb(0, 1), 0.0);
+}
+
+TEST(SnpPanel, EmptyPanel) {
+  const SnpPanel panel;
+  EXPECT_TRUE(panel.empty());
+  EXPECT_EQ(panel.size(), 0u);
+}
+
+TEST(SnpPanel, OutOfRangeInfoDies) {
+  const SnpPanel panel = SnpPanel::uniform(2);
+  EXPECT_DEATH(panel.info(2), "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::genomics

@@ -1,0 +1,85 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ldga::stats {
+namespace {
+
+TEST(GammaFunctions, PAndQSumToOne) {
+  for (const double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (const double x : {0.0, 0.1, 1.0, 5.0, 25.0, 100.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaFunctions, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+  // P(a, 0) = 0, Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gamma_q(3.0, 0.0), 1.0);
+}
+
+TEST(GammaFunctions, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double p = gamma_p(3.5, x);
+    EXPECT_GT(p, previous - 1e-15);
+    previous = p;
+  }
+}
+
+TEST(ChiSquareSf, TextbookCriticalValues) {
+  // Classic 5% critical values.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(5.991, 2.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(7.815, 3.0), 0.05, 2e-4);
+  EXPECT_NEAR(chi_square_sf(11.070, 5.0), 0.05, 2e-4);
+  // 1% critical values.
+  EXPECT_NEAR(chi_square_sf(6.635, 1.0), 0.01, 1e-4);
+  EXPECT_NEAR(chi_square_sf(15.086, 5.0), 0.01, 1e-4);
+}
+
+TEST(ChiSquareSf, DfTwoIsExponential) {
+  // For df = 2 the chi-square sf is exactly exp(-x/2).
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(chi_square_sf(x, 2.0), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquareSf, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 3.0), 1.0);
+  EXPECT_LT(chi_square_sf(1000.0, 3.0), 1e-100);
+}
+
+// --- inverse survival function property sweep ---------------------------
+
+class ChiSquareInverse : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChiSquareInverse, RoundTripsWithSf) {
+  const double df = GetParam();
+  for (const double p : {0.9, 0.5, 0.1, 0.05, 0.01, 0.001}) {
+    const double x = chi_square_isf(p, df);
+    EXPECT_NEAR(chi_square_sf(x, df), p, 1e-8)
+        << "df=" << df << " p=" << p;
+  }
+}
+
+TEST_P(ChiSquareInverse, MonotoneInP) {
+  const double df = GetParam();
+  EXPECT_GT(chi_square_isf(0.01, df), chi_square_isf(0.05, df));
+  EXPECT_GT(chi_square_isf(0.05, df), chi_square_isf(0.5, df));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dfs, ChiSquareInverse,
+                         ::testing::Values(1.0, 2.0, 3.0, 7.0, 15.0, 63.0));
+
+}  // namespace
+}  // namespace ldga::stats

@@ -1,0 +1,123 @@
+#include "ga/subpopulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ldga::ga {
+namespace {
+
+HaplotypeIndividual scored(std::vector<SnpIndex> snps, double fitness) {
+  HaplotypeIndividual individual(std::move(snps));
+  individual.set_fitness(fitness);
+  return individual;
+}
+
+TEST(Subpopulation, AddInitialFillsToCapacity) {
+  Subpopulation sub(2, 3);
+  EXPECT_TRUE(sub.add_initial(scored({0, 1}, 1.0)));
+  EXPECT_TRUE(sub.add_initial(scored({0, 2}, 2.0)));
+  EXPECT_FALSE(sub.full());
+  EXPECT_TRUE(sub.add_initial(scored({1, 2}, 3.0)));
+  EXPECT_TRUE(sub.full());
+}
+
+TEST(Subpopulation, AddInitialRejectsDuplicates) {
+  Subpopulation sub(2, 3);
+  EXPECT_TRUE(sub.add_initial(scored({0, 1}, 1.0)));
+  EXPECT_FALSE(sub.add_initial(scored({0, 1}, 9.0)));
+  EXPECT_EQ(sub.size(), 1u);
+}
+
+TEST(Subpopulation, InsertWhenNotFullAlwaysAccepts) {
+  Subpopulation sub(2, 2);
+  EXPECT_TRUE(sub.try_insert(scored({0, 1}, -5.0)));
+  EXPECT_EQ(sub.size(), 1u);
+}
+
+TEST(Subpopulation, InsertReplacesWorstWhenBetter) {
+  Subpopulation sub(2, 2);
+  sub.try_insert(scored({0, 1}, 1.0));
+  sub.try_insert(scored({0, 2}, 2.0));
+  // Better than worst (1.0): replaces it.
+  EXPECT_TRUE(sub.try_insert(scored({1, 2}, 1.5)));
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_FALSE(sub.contains(scored({0, 1}, 0.0)));
+  EXPECT_TRUE(sub.contains(scored({1, 2}, 0.0)));
+}
+
+TEST(Subpopulation, InsertRejectsWorseOrEqualWhenFull) {
+  Subpopulation sub(2, 2);
+  sub.try_insert(scored({0, 1}, 1.0));
+  sub.try_insert(scored({0, 2}, 2.0));
+  EXPECT_FALSE(sub.try_insert(scored({1, 2}, 1.0)));  // equal to worst
+  EXPECT_FALSE(sub.try_insert(scored({1, 3}, 0.5)));  // worse
+  EXPECT_TRUE(sub.contains(scored({0, 1}, 0.0)));
+}
+
+TEST(Subpopulation, InsertRejectsDuplicateEvenIfBetter) {
+  // The paper's rule: "...and if it is not already in the population".
+  Subpopulation sub(2, 2);
+  sub.try_insert(scored({0, 1}, 1.0));
+  sub.try_insert(scored({0, 2}, 2.0));
+  EXPECT_FALSE(sub.try_insert(scored({0, 2}, 99.0)));
+}
+
+TEST(Subpopulation, WrongSizeDies) {
+  Subpopulation sub(2, 2);
+  EXPECT_DEATH(sub.try_insert(scored({0, 1, 2}, 1.0)), "precondition");
+}
+
+TEST(Subpopulation, UnevaluatedInsertDies) {
+  Subpopulation sub(2, 2);
+  HaplotypeIndividual unevaluated({0, 1});
+  EXPECT_DEATH(sub.try_insert(std::move(unevaluated)), "precondition");
+}
+
+TEST(Subpopulation, BestWorstMean) {
+  Subpopulation sub(2, 3);
+  sub.add_initial(scored({0, 1}, 1.0));
+  sub.add_initial(scored({0, 2}, 5.0));
+  sub.add_initial(scored({1, 2}, 3.0));
+  EXPECT_DOUBLE_EQ(sub.best().fitness(), 5.0);
+  EXPECT_DOUBLE_EQ(sub.member(sub.worst_index()).fitness(), 1.0);
+  EXPECT_DOUBLE_EQ(sub.mean_fitness(), 3.0);
+}
+
+TEST(Subpopulation, ReplaceOverwritesSlot) {
+  Subpopulation sub(2, 2);
+  sub.add_initial(scored({0, 1}, 1.0));
+  sub.replace(0, scored({2, 3}, 7.0));
+  EXPECT_DOUBLE_EQ(sub.member(0).fitness(), 7.0);
+  EXPECT_EQ(sub.size(), 1u);
+}
+
+TEST(FitnessRange, NormalizesToUnitInterval) {
+  const FitnessRange range{10.0, 30.0};
+  EXPECT_DOUBLE_EQ(range.normalize(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(range.normalize(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(range.normalize(20.0), 0.5);
+}
+
+TEST(FitnessRange, ClampsOutOfSnapshotValues) {
+  // Offspring can beat the snapshot best (or undercut the worst).
+  const FitnessRange range{10.0, 30.0};
+  EXPECT_DOUBLE_EQ(range.normalize(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(range.normalize(0.0), 0.0);
+}
+
+TEST(FitnessRange, DegenerateRangeMapsToZero) {
+  const FitnessRange range{5.0, 5.0};
+  EXPECT_DOUBLE_EQ(range.normalize(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(range.normalize(99.0), 0.0);
+}
+
+TEST(Subpopulation, FitnessRangeSnapshot) {
+  Subpopulation sub(2, 3);
+  sub.add_initial(scored({0, 1}, 2.0));
+  sub.add_initial(scored({0, 2}, 8.0));
+  const FitnessRange range = sub.fitness_range();
+  EXPECT_DOUBLE_EQ(range.worst, 2.0);
+  EXPECT_DOUBLE_EQ(range.best, 8.0);
+}
+
+}  // namespace
+}  // namespace ldga::ga

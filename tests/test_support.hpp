@@ -1,0 +1,53 @@
+// Shared fixtures for the test suite: small, fully deterministic
+// datasets with known structure.
+#pragma once
+
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::testing {
+
+/// A hand-built dataset with 8 individuals and 4 SNPs where SNP 0
+/// perfectly separates affected from unaffected, SNP 1 is anti-
+/// correlated with status, and SNPs 2-3 are noise.
+inline genomics::Dataset tiny_dataset() {
+  using genomics::Genotype;
+  using genomics::Status;
+  const std::vector<Status> statuses{
+      Status::Affected,   Status::Affected,   Status::Affected,
+      Status::Affected,   Status::Unaffected, Status::Unaffected,
+      Status::Unaffected, Status::Unaffected};
+  // Rows: individuals, columns: SNPs.
+  const Genotype H1 = Genotype::HomOne, HT = Genotype::Het,
+                 H2 = Genotype::HomTwo;
+  const std::vector<std::vector<Genotype>> rows{
+      {H2, H1, HT, H1}, {H2, H1, H1, HT}, {H2, HT, H2, H1},
+      {HT, H1, HT, H2}, {H1, H2, H1, H1}, {H1, H2, HT, HT},
+      {H1, HT, H2, H1}, {H1, H2, H1, H2},
+  };
+  genomics::GenotypeMatrix matrix(8, 4);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t s = 0; s < 4; ++s) matrix.set(i, s, rows[i][s]);
+  }
+  return genomics::Dataset(genomics::SnpPanel::uniform(4), std::move(matrix),
+                           statuses);
+}
+
+/// A small synthetic cohort with a planted 2-SNP signal; deterministic.
+inline genomics::SyntheticDataset small_synthetic(
+    std::uint32_t snp_count = 12, std::uint32_t active = 2,
+    std::uint64_t seed = 1234) {
+  genomics::SyntheticConfig config;
+  config.snp_count = snp_count;
+  config.affected_count = 40;
+  config.unaffected_count = 40;
+  config.unknown_count = 0;
+  config.active_snp_count = active;
+  Rng rng(seed);
+  return genomics::generate_synthetic(config, rng);
+}
+
+}  // namespace ldga::testing

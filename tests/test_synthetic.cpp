@@ -1,0 +1,173 @@
+#include "genomics/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/evaluator.hpp"
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+namespace {
+
+TEST(SyntheticConfig, Validation) {
+  SyntheticConfig config;
+  config.snp_count = 1;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.affected_count = 0;
+  config.unaffected_count = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.active_snps = {5, 3};  // not ascending
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.active_snps = {3, 3};  // duplicate
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.active_snps = {60};  // out of range for 51 SNPs
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.active_snp_count = 99;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  config.missing_rate = 0.9;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config = {};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Synthetic, ProducesRequestedCohortShape) {
+  SyntheticConfig config;
+  config.snp_count = 20;
+  config.affected_count = 13;
+  config.unaffected_count = 17;
+  config.unknown_count = 5;
+  Rng rng(1);
+  const auto result = generate_synthetic(config, rng);
+  EXPECT_EQ(result.dataset.snp_count(), 20u);
+  EXPECT_EQ(result.dataset.individual_count(), 35u);
+  EXPECT_EQ(result.dataset.count(Status::Affected), 13u);
+  EXPECT_EQ(result.dataset.count(Status::Unaffected), 17u);
+  EXPECT_EQ(result.dataset.count(Status::Unknown), 5u);
+}
+
+TEST(Synthetic, PlantedTruthIsWellFormed) {
+  SyntheticConfig config;
+  config.snp_count = 30;
+  config.active_snp_count = 4;
+  Rng rng(2);
+  const auto result = generate_synthetic(config, rng);
+  ASSERT_EQ(result.truth.snps.size(), 4u);
+  ASSERT_EQ(result.truth.alleles.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(result.truth.snps.begin(),
+                             result.truth.snps.end()));
+  for (const auto snp : result.truth.snps) EXPECT_LT(snp, 30u);
+}
+
+TEST(Synthetic, ExplicitActiveSnpsAreUsed) {
+  SyntheticConfig config;
+  config.snp_count = 15;
+  config.active_snps = {2, 7, 11};
+  Rng rng(3);
+  const auto result = generate_synthetic(config, rng);
+  EXPECT_EQ(result.truth.snps, (std::vector<SnpIndex>{2, 7, 11}));
+}
+
+TEST(Synthetic, NullCohortHasNoTruth) {
+  SyntheticConfig config;
+  config.snp_count = 10;
+  config.active_snp_count = 0;
+  Rng rng(4);
+  const auto result = generate_synthetic(config, rng);
+  EXPECT_TRUE(result.truth.snps.empty());
+  EXPECT_EQ(result.dataset.count(Status::Affected),
+            config.affected_count);
+}
+
+TEST(Synthetic, DeterministicForFixedSeed) {
+  SyntheticConfig config;
+  config.snp_count = 12;
+  Rng rng1(5), rng2(5);
+  const auto a = generate_synthetic(config, rng1);
+  const auto b = generate_synthetic(config, rng2);
+  EXPECT_EQ(a.truth.snps, b.truth.snps);
+  for (std::uint32_t i = 0; i < a.dataset.individual_count(); ++i) {
+    for (SnpIndex s = 0; s < a.dataset.snp_count(); ++s) {
+      EXPECT_EQ(a.dataset.genotypes().at(i, s),
+                b.dataset.genotypes().at(i, s));
+    }
+  }
+}
+
+TEST(Synthetic, MissingRateProducesMissingCells) {
+  SyntheticConfig config;
+  config.snp_count = 20;
+  config.missing_rate = 0.2;
+  Rng rng(6);
+  const auto result = generate_synthetic(config, rng);
+  std::uint32_t missing = 0, total = 0;
+  for (std::uint32_t i = 0; i < result.dataset.individual_count(); ++i) {
+    for (SnpIndex s = 0; s < result.dataset.snp_count(); ++s) {
+      ++total;
+      if (is_missing(result.dataset.genotypes().at(i, s))) ++missing;
+    }
+  }
+  EXPECT_NEAR(missing / static_cast<double>(total), 0.2, 0.03);
+}
+
+TEST(Synthetic, PlantedSignalIsDetectableByThePipeline) {
+  // The association score of the planted SNP set must dominate the
+  // average random set of the same size — otherwise the generator does
+  // not produce the structure the paper's data had.
+  SyntheticConfig config;
+  config.snp_count = 20;
+  config.affected_count = 60;
+  config.unaffected_count = 60;
+  config.unknown_count = 0;
+  config.active_snps = {3, 9};
+  Rng rng(7);
+  const auto result = generate_synthetic(config, rng);
+  const stats::HaplotypeEvaluator evaluator(result.dataset);
+
+  const double planted =
+      evaluator.evaluate_full(std::vector<SnpIndex>{3, 9}).fitness;
+  double random_mean = 0.0;
+  int n = 0;
+  for (SnpIndex a = 0; a < 20; ++a) {
+    for (SnpIndex b = a + 1; b < 20; ++b) {
+      if (a == 3 && b == 9) continue;
+      random_mean +=
+          evaluator.evaluate_full(std::vector<SnpIndex>{a, b}).fitness;
+      ++n;
+    }
+  }
+  random_mean /= n;
+  EXPECT_GT(planted, 2.0 * random_mean);
+}
+
+TEST(Synthetic, ImpossibleQuotasFailLoudly) {
+  SyntheticConfig config;
+  config.snp_count = 10;
+  config.active_snp_count = 0;
+  config.affected_count = 3;
+  config.unaffected_count = 3;
+  // Null cohort fills quotas by coin flip — that always works; instead
+  // make affected nearly impossible via a signal model with tiny
+  // baseline and no planted effect reachable.
+  config.active_snp_count = 1;
+  config.disease.baseline_risk = 1e-9;
+  config.disease.relative_risk = 1.0;
+  Rng rng(8);
+  EXPECT_THROW(generate_synthetic(config, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace ldga::genomics

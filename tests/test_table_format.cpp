@@ -1,0 +1,53 @@
+#include "util/table_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ldga {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+  // header + rule + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable table({"x"});
+  table.add_row({"longercell"});
+  table.add_row({"y"});
+  const std::string out = table.str();
+  // Every line has the same length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, NumFormatsDecimals) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::num(-1.5, 3), "-1.500");
+}
+
+TEST(TextTable, WrongCellCountDies) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "precondition");
+}
+
+TEST(TextTable, EmptyHeaderDies) {
+  EXPECT_DEATH(TextTable(std::vector<std::string>{}), "precondition");
+}
+
+}  // namespace
+}  // namespace ldga

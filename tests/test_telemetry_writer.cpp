@@ -1,0 +1,80 @@
+#include "ga/telemetry_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "test_support.hpp"
+
+namespace ldga::ga {
+namespace {
+
+GenerationInfo sample_info(std::uint32_t generation) {
+  GenerationInfo info;
+  info.generation = generation;
+  info.best_by_size = {1.5, 2.5};
+  info.rates.mutation = {0.5, 0.2, 0.2};
+  info.rates.crossover = {0.6, 0.3};
+  info.evaluations = 100 * generation;
+  info.immigrants_triggered = generation % 2 == 0;
+  return info;
+}
+
+TEST(TelemetryWriter, HeaderMatchesShape) {
+  std::ostringstream out;
+  TelemetryCsvWriter writer(out);
+  writer.record(sample_info(1));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("generation,best_size_0,best_size_1,"
+                      "mutation_rate_0,mutation_rate_1,mutation_rate_2,"
+                      "crossover_rate_0,crossover_rate_1,"
+                      "evaluations,immigrants"),
+            std::string::npos);
+}
+
+TEST(TelemetryWriter, OneRowPerRecord) {
+  std::ostringstream out;
+  TelemetryCsvWriter writer(out);
+  for (std::uint32_t g = 1; g <= 5; ++g) writer.record(sample_info(g));
+  EXPECT_EQ(writer.rows_written(), 5u);
+  // header + 5 rows
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(TelemetryWriter, RowValuesRoundTrip) {
+  std::ostringstream out;
+  TelemetryCsvWriter writer(out);
+  writer.record(sample_info(3));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0"),
+            std::string::npos);
+  writer.record(sample_info(4));
+  EXPECT_NE(out.str().find("4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1"),
+            std::string::npos);
+}
+
+TEST(TelemetryWriter, IntegratesWithEngine) {
+  const auto synthetic = ldga::testing::small_synthetic(10, 2, 31337);
+  const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  GaConfig config;
+  config.min_size = 2;
+  config.max_size = 3;
+  config.population_size = 16;
+  config.min_subpopulation = 6;
+  config.crossovers_per_generation = 3;
+  config.mutations_per_generation = 6;
+  config.stagnation_generations = 8;
+  config.max_generations = 20;
+  config.seed = 2;
+  GaEngine engine(evaluator, config);
+  std::ostringstream out;
+  TelemetryCsvWriter writer(out);
+  engine.set_generation_callback(writer.callback());
+  const GaResult result = engine.run();
+  EXPECT_EQ(writer.rows_written(), result.generations);
+}
+
+}  // namespace
+}  // namespace ldga::ga
