@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constructive_vs_ga.dir/bench_constructive_vs_ga.cpp.o"
+  "CMakeFiles/bench_constructive_vs_ga.dir/bench_constructive_vs_ga.cpp.o.d"
+  "bench_constructive_vs_ga"
+  "bench_constructive_vs_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constructive_vs_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

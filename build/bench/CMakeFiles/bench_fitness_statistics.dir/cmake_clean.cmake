@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fitness_statistics.dir/bench_fitness_statistics.cpp.o"
+  "CMakeFiles/bench_fitness_statistics.dir/bench_fitness_statistics.cpp.o.d"
+  "bench_fitness_statistics"
+  "bench_fitness_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fitness_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_landscape_structure.dir/bench_landscape_structure.cpp.o"
+  "CMakeFiles/bench_landscape_structure.dir/bench_landscape_structure.cpp.o.d"
+  "bench_landscape_structure"
+  "bench_landscape_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_landscape_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

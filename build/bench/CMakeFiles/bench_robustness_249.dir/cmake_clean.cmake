@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_249.dir/bench_robustness_249.cpp.o"
+  "CMakeFiles/bench_robustness_249.dir/bench_robustness_249.cpp.o.d"
+  "bench_robustness_249"
+  "bench_robustness_249.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_249.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

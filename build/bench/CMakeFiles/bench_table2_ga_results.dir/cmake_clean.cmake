@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ga_results.dir/bench_table2_ga_results.cpp.o"
+  "CMakeFiles/bench_table2_ga_results.dir/bench_table2_ga_results.cpp.o.d"
+  "bench_table2_ga_results"
+  "bench_table2_ga_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ga_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trials_ablation.dir/bench_trials_ablation.cpp.o"
+  "CMakeFiles/bench_trials_ablation.dir/bench_trials_ablation.cpp.o.d"
+  "bench_trials_ablation"
+  "bench_trials_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trials_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_dynamics.dir/adaptive_dynamics.cpp.o"
+  "CMakeFiles/adaptive_dynamics.dir/adaptive_dynamics.cpp.o.d"
+  "adaptive_dynamics"
+  "adaptive_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_scan.dir/genome_scan.cpp.o"
+  "CMakeFiles/genome_scan.dir/genome_scan.cpp.o.d"
+  "genome_scan"
+  "genome_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

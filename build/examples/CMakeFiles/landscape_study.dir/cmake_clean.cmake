@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape_study.dir/landscape_study.cpp.o"
+  "CMakeFiles/landscape_study.dir/landscape_study.cpp.o.d"
+  "landscape_study"
+  "landscape_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_ga.dir/run_ga.cpp.o"
+  "CMakeFiles/run_ga.dir/run_ga.cpp.o.d"
+  "run_ga"
+  "run_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[smoke_run_ga]=] "/root/repo/build/examples/run_ga" "--snps" "15" "--active" "2" "--max-size" "4" "--population" "40" "--stagnation" "8" "--seed" "3" "--backend" "serial")
+set_tests_properties([=[smoke_run_ga]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_run_ga_save_load]=] "/root/repo/build/examples/run_ga" "--snps" "12" "--active" "2" "--max-size" "3" "--population" "30" "--stagnation" "5" "--seed" "4" "--save" "smoke_cohort.txt")
+set_tests_properties([=[smoke_run_ga_save_load]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_run_ga_reload]=] "/root/repo/build/examples/run_ga" "--dataset" "smoke_cohort.txt" "--max-size" "3" "--population" "30" "--stagnation" "5" "--seed" "5")
+set_tests_properties([=[smoke_run_ga_reload]=] PROPERTIES  DEPENDS "smoke_run_ga_save_load" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_dataset_tool]=] "/root/repo/build/examples/dataset_tool" "smoke_demo")
+set_tests_properties([=[smoke_dataset_tool]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_run_ga_qc]=] "/root/repo/build/examples/run_ga" "--snps" "15" "--active" "2" "--max-size" "3" "--population" "30" "--stagnation" "5" "--seed" "6" "--qc" "--backend" "serial")
+set_tests_properties([=[smoke_run_ga_qc]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[smoke_run_ga_bad_flag_fails]=] "/root/repo/build/examples/run_ga" "--backend" "bogus")
+set_tests_properties([=[smoke_run_ga_bad_flag_fails]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/enumeration.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/enumeration.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/enumeration.cpp.o.d"
+  "/root/repo/src/analysis/greedy_constructive.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/greedy_constructive.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/greedy_constructive.cpp.o.d"
+  "/root/repo/src/analysis/hill_climb.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/hill_climb.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/hill_climb.cpp.o.d"
+  "/root/repo/src/analysis/landscape.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/landscape.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/landscape.cpp.o.d"
+  "/root/repo/src/analysis/random_search.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/random_search.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/random_search.cpp.o.d"
+  "/root/repo/src/analysis/robustness.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/robustness.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/robustness.cpp.o.d"
+  "/root/repo/src/analysis/search_space.cpp" "src/analysis/CMakeFiles/ldga_analysis.dir/search_space.cpp.o" "gcc" "src/analysis/CMakeFiles/ldga_analysis.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ga/CMakeFiles/ldga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldga_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/ldga_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ldga_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

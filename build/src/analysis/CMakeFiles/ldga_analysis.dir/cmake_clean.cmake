@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_analysis.dir/enumeration.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/enumeration.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/greedy_constructive.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/greedy_constructive.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/hill_climb.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/hill_climb.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/landscape.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/landscape.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/random_search.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/random_search.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/robustness.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/robustness.cpp.o.d"
+  "CMakeFiles/ldga_analysis.dir/search_space.cpp.o"
+  "CMakeFiles/ldga_analysis.dir/search_space.cpp.o.d"
+  "libldga_analysis.a"
+  "libldga_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/adaptive.cpp" "src/ga/CMakeFiles/ldga_core.dir/adaptive.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/ga/constraints.cpp" "src/ga/CMakeFiles/ldga_core.dir/constraints.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/constraints.cpp.o.d"
+  "/root/repo/src/ga/engine.cpp" "src/ga/CMakeFiles/ldga_core.dir/engine.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/engine.cpp.o.d"
+  "/root/repo/src/ga/haplotype_individual.cpp" "src/ga/CMakeFiles/ldga_core.dir/haplotype_individual.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/haplotype_individual.cpp.o.d"
+  "/root/repo/src/ga/multipopulation.cpp" "src/ga/CMakeFiles/ldga_core.dir/multipopulation.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/multipopulation.cpp.o.d"
+  "/root/repo/src/ga/operators.cpp" "src/ga/CMakeFiles/ldga_core.dir/operators.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/operators.cpp.o.d"
+  "/root/repo/src/ga/selection.cpp" "src/ga/CMakeFiles/ldga_core.dir/selection.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/selection.cpp.o.d"
+  "/root/repo/src/ga/subpopulation.cpp" "src/ga/CMakeFiles/ldga_core.dir/subpopulation.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/subpopulation.cpp.o.d"
+  "/root/repo/src/ga/telemetry_writer.cpp" "src/ga/CMakeFiles/ldga_core.dir/telemetry_writer.cpp.o" "gcc" "src/ga/CMakeFiles/ldga_core.dir/telemetry_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ldga_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/ldga_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ldga_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_core.dir/adaptive.cpp.o"
+  "CMakeFiles/ldga_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/constraints.cpp.o"
+  "CMakeFiles/ldga_core.dir/constraints.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/engine.cpp.o"
+  "CMakeFiles/ldga_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/haplotype_individual.cpp.o"
+  "CMakeFiles/ldga_core.dir/haplotype_individual.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/multipopulation.cpp.o"
+  "CMakeFiles/ldga_core.dir/multipopulation.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/operators.cpp.o"
+  "CMakeFiles/ldga_core.dir/operators.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/selection.cpp.o"
+  "CMakeFiles/ldga_core.dir/selection.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/subpopulation.cpp.o"
+  "CMakeFiles/ldga_core.dir/subpopulation.cpp.o.d"
+  "CMakeFiles/ldga_core.dir/telemetry_writer.cpp.o"
+  "CMakeFiles/ldga_core.dir/telemetry_writer.cpp.o.d"
+  "libldga_core.a"
+  "libldga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/allele_freq.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/allele_freq.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/allele_freq.cpp.o.d"
+  "/root/repo/src/genomics/dataset.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/dataset.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/dataset.cpp.o.d"
+  "/root/repo/src/genomics/dataset_io.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/dataset_io.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/genomics/disease_model.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/disease_model.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/disease_model.cpp.o.d"
+  "/root/repo/src/genomics/genotype_matrix.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/genotype_matrix.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/genotype_matrix.cpp.o.d"
+  "/root/repo/src/genomics/haplotype_sim.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/haplotype_sim.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/haplotype_sim.cpp.o.d"
+  "/root/repo/src/genomics/ld.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/ld.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/ld.cpp.o.d"
+  "/root/repo/src/genomics/linkage_format.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/linkage_format.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/linkage_format.cpp.o.d"
+  "/root/repo/src/genomics/qc.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/qc.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/qc.cpp.o.d"
+  "/root/repo/src/genomics/snp_panel.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/snp_panel.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/snp_panel.cpp.o.d"
+  "/root/repo/src/genomics/synthetic.cpp" "src/genomics/CMakeFiles/ldga_genomics.dir/synthetic.cpp.o" "gcc" "src/genomics/CMakeFiles/ldga_genomics.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_genomics.dir/allele_freq.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/allele_freq.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/dataset.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/dataset.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/dataset_io.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/disease_model.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/disease_model.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/genotype_matrix.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/genotype_matrix.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/haplotype_sim.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/haplotype_sim.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/ld.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/ld.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/linkage_format.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/linkage_format.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/qc.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/qc.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/snp_panel.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/snp_panel.cpp.o.d"
+  "CMakeFiles/ldga_genomics.dir/synthetic.cpp.o"
+  "CMakeFiles/ldga_genomics.dir/synthetic.cpp.o.d"
+  "libldga_genomics.a"
+  "libldga_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ldga_genomics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_parallel.dir/mailbox.cpp.o"
+  "CMakeFiles/ldga_parallel.dir/mailbox.cpp.o.d"
+  "CMakeFiles/ldga_parallel.dir/message.cpp.o"
+  "CMakeFiles/ldga_parallel.dir/message.cpp.o.d"
+  "CMakeFiles/ldga_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/ldga_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/ldga_parallel.dir/virtual_machine.cpp.o"
+  "CMakeFiles/ldga_parallel.dir/virtual_machine.cpp.o.d"
+  "libldga_parallel.a"
+  "libldga_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/clump.cpp" "src/stats/CMakeFiles/ldga_stats.dir/clump.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/clump.cpp.o.d"
+  "/root/repo/src/stats/contingency.cpp" "src/stats/CMakeFiles/ldga_stats.dir/contingency.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/contingency.cpp.o.d"
+  "/root/repo/src/stats/eh_diall.cpp" "src/stats/CMakeFiles/ldga_stats.dir/eh_diall.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/eh_diall.cpp.o.d"
+  "/root/repo/src/stats/em_haplotype.cpp" "src/stats/CMakeFiles/ldga_stats.dir/em_haplotype.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/em_haplotype.cpp.o.d"
+  "/root/repo/src/stats/evaluator.cpp" "src/stats/CMakeFiles/ldga_stats.dir/evaluator.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/evaluator.cpp.o.d"
+  "/root/repo/src/stats/multiple_testing.cpp" "src/stats/CMakeFiles/ldga_stats.dir/multiple_testing.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/multiple_testing.cpp.o.d"
+  "/root/repo/src/stats/permutation.cpp" "src/stats/CMakeFiles/ldga_stats.dir/permutation.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/permutation.cpp.o.d"
+  "/root/repo/src/stats/phase_reconstruction.cpp" "src/stats/CMakeFiles/ldga_stats.dir/phase_reconstruction.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/phase_reconstruction.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/ldga_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/ldga_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/genomics/CMakeFiles/ldga_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ldga_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

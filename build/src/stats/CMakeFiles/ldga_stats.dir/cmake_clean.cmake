@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_stats.dir/clump.cpp.o"
+  "CMakeFiles/ldga_stats.dir/clump.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/contingency.cpp.o"
+  "CMakeFiles/ldga_stats.dir/contingency.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/eh_diall.cpp.o"
+  "CMakeFiles/ldga_stats.dir/eh_diall.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/em_haplotype.cpp.o"
+  "CMakeFiles/ldga_stats.dir/em_haplotype.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/evaluator.cpp.o"
+  "CMakeFiles/ldga_stats.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/multiple_testing.cpp.o"
+  "CMakeFiles/ldga_stats.dir/multiple_testing.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/permutation.cpp.o"
+  "CMakeFiles/ldga_stats.dir/permutation.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/phase_reconstruction.cpp.o"
+  "CMakeFiles/ldga_stats.dir/phase_reconstruction.cpp.o.d"
+  "CMakeFiles/ldga_stats.dir/special.cpp.o"
+  "CMakeFiles/ldga_stats.dir/special.cpp.o.d"
+  "libldga_stats.a"
+  "libldga_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldga_util.dir/cli.cpp.o"
+  "CMakeFiles/ldga_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ldga_util.dir/combinatorics.cpp.o"
+  "CMakeFiles/ldga_util.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/ldga_util.dir/numeric.cpp.o"
+  "CMakeFiles/ldga_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/ldga_util.dir/rng.cpp.o"
+  "CMakeFiles/ldga_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ldga_util.dir/table_format.cpp.o"
+  "CMakeFiles/ldga_util.dir/table_format.cpp.o.d"
+  "libldga_util.a"
+  "libldga_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldga_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldga_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allele_freq.dir/test_allele_freq.cpp.o"
+  "CMakeFiles/test_allele_freq.dir/test_allele_freq.cpp.o.d"
+  "test_allele_freq"
+  "test_allele_freq.pdb"
+  "test_allele_freq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allele_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

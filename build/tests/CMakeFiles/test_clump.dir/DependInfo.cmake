@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_clump.cpp" "tests/CMakeFiles/test_clump.dir/test_clump.cpp.o" "gcc" "tests/CMakeFiles/test_clump.dir/test_clump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ldga_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/ldga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ldga_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/genomics/CMakeFiles/ldga_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ldga_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clump.dir/test_clump.cpp.o"
+  "CMakeFiles/test_clump.dir/test_clump.cpp.o.d"
+  "test_clump"
+  "test_clump.pdb"
+  "test_clump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_clump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disease_model.dir/test_disease_model.cpp.o"
+  "CMakeFiles/test_disease_model.dir/test_disease_model.cpp.o.d"
+  "test_disease_model"
+  "test_disease_model.pdb"
+  "test_disease_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disease_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eh_diall.dir/test_eh_diall.cpp.o"
+  "CMakeFiles/test_eh_diall.dir/test_eh_diall.cpp.o.d"
+  "test_eh_diall"
+  "test_eh_diall.pdb"
+  "test_eh_diall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eh_diall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em_haplotype.dir/test_em_haplotype.cpp.o"
+  "CMakeFiles/test_em_haplotype.dir/test_em_haplotype.cpp.o.d"
+  "test_em_haplotype"
+  "test_em_haplotype.pdb"
+  "test_em_haplotype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em_haplotype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genotype_matrix.dir/test_genotype_matrix.cpp.o"
+  "CMakeFiles/test_genotype_matrix.dir/test_genotype_matrix.cpp.o.d"
+  "test_genotype_matrix"
+  "test_genotype_matrix.pdb"
+  "test_genotype_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genotype_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

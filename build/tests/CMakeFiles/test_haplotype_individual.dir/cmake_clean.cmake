@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_haplotype_individual.dir/test_haplotype_individual.cpp.o"
+  "CMakeFiles/test_haplotype_individual.dir/test_haplotype_individual.cpp.o.d"
+  "test_haplotype_individual"
+  "test_haplotype_individual.pdb"
+  "test_haplotype_individual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_haplotype_individual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

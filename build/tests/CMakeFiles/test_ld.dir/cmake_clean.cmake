@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ld.dir/test_ld.cpp.o"
+  "CMakeFiles/test_ld.dir/test_ld.cpp.o.d"
+  "test_ld"
+  "test_ld.pdb"
+  "test_ld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_master_slave.dir/test_master_slave.cpp.o"
+  "CMakeFiles/test_master_slave.dir/test_master_slave.cpp.o.d"
+  "test_master_slave"
+  "test_master_slave.pdb"
+  "test_master_slave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_master_slave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiple_testing.dir/test_multiple_testing.cpp.o"
+  "CMakeFiles/test_multiple_testing.dir/test_multiple_testing.cpp.o.d"
+  "test_multiple_testing"
+  "test_multiple_testing.pdb"
+  "test_multiple_testing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiple_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

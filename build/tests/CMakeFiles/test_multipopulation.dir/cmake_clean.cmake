@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipopulation.dir/test_multipopulation.cpp.o"
+  "CMakeFiles/test_multipopulation.dir/test_multipopulation.cpp.o.d"
+  "test_multipopulation"
+  "test_multipopulation.pdb"
+  "test_multipopulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipopulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

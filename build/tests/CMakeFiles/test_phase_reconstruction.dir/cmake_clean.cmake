@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_reconstruction.dir/test_phase_reconstruction.cpp.o"
+  "CMakeFiles/test_phase_reconstruction.dir/test_phase_reconstruction.cpp.o.d"
+  "test_phase_reconstruction"
+  "test_phase_reconstruction.pdb"
+  "test_phase_reconstruction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

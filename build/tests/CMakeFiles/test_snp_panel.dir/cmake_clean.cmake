@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snp_panel.dir/test_snp_panel.cpp.o"
+  "CMakeFiles/test_snp_panel.dir/test_snp_panel.cpp.o.d"
+  "test_snp_panel"
+  "test_snp_panel.pdb"
+  "test_snp_panel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snp_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

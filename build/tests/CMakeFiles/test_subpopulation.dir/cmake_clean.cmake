@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subpopulation.dir/test_subpopulation.cpp.o"
+  "CMakeFiles/test_subpopulation.dir/test_subpopulation.cpp.o.d"
+  "test_subpopulation"
+  "test_subpopulation.pdb"
+  "test_subpopulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subpopulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

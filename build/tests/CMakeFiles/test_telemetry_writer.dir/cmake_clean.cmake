@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_writer.dir/test_telemetry_writer.cpp.o"
+  "CMakeFiles/test_telemetry_writer.dir/test_telemetry_writer.cpp.o.d"
+  "test_telemetry_writer"
+  "test_telemetry_writer.pdb"
+  "test_telemetry_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

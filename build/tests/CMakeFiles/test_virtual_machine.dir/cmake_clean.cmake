@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_machine.dir/test_virtual_machine.cpp.o"
+  "CMakeFiles/test_virtual_machine.dir/test_virtual_machine.cpp.o.d"
+  "test_virtual_machine"
+  "test_virtual_machine.pdb"
+  "test_virtual_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
