@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
     for (const auto& snps : sets) evaluator.evaluate_full(snps);
     Stopwatch watch;
     for (const auto& snps : sets) evaluator.evaluate_full(snps);
-    const double mean_us = watch.elapsed_us() / sets.size();
+    const double mean_us =
+        watch.elapsed_us() / static_cast<double>(sets.size());
     std::printf("  size %u: %9.1f us/eval%s\n", size, mean_us,
                 previous > 0.0
                     ? ("  (x" + std::to_string(mean_us / previous)

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build and test — optionally under a
+# sanitizer.
+#
+#   scripts/check.sh                # plain Release build + ctest
+#   scripts/check.sh address        # ASan + UBSan build + ctest
+#   scripts/check.sh thread         # TSan build + ctest (parallel tests)
+#   scripts/check.sh all            # plain, then address, then thread
+#
+# Each mode uses its own build directory (build/, build-asan/, build-tsan/)
+# so the presets can coexist.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_mode() {
+  local mode="$1" dir sanitize
+  case "${mode}" in
+    plain)   dir=build       sanitize="" ;;
+    address) dir=build-asan  sanitize=address ;;
+    thread)  dir=build-tsan  sanitize=thread ;;
+    *) echo "unknown mode '${mode}' (expected plain|address|thread|all)" >&2
+       exit 2 ;;
+  esac
+  echo "== ${mode}: configuring ${dir}"
+  cmake -B "${dir}" -S . -DLDGA_SANITIZE="${sanitize}" \
+    -DLDGA_WARNINGS_AS_ERRORS=ON > /dev/null
+  echo "== ${mode}: building"
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "== ${mode}: testing"
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+case "${1:-plain}" in
+  all)
+    run_mode plain
+    run_mode address
+    run_mode thread
+    ;;
+  *)
+    run_mode "${1:-plain}"
+    ;;
+esac
+echo "== all checks passed"

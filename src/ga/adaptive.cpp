@@ -1,6 +1,7 @@
 #include "ga/adaptive.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
 #include "util/numeric.hpp"
@@ -86,6 +87,30 @@ std::uint32_t AdaptiveRateController::sample(double uniform01) const {
 std::uint64_t AdaptiveRateController::applications(std::uint32_t op) const {
   LDGA_EXPECTS(op < lifetime_count_.size());
   return lifetime_count_[op];
+}
+
+void AdaptiveRateController::restore(
+    const std::vector<double>& rates,
+    const std::vector<std::uint64_t>& lifetime_counts) {
+  if (rates.size() != rates_.size() ||
+      lifetime_counts.size() != lifetime_count_.size()) {
+    throw ConfigError(
+        "AdaptiveRateController: restore with mismatched operator count");
+  }
+  double sum = 0.0;
+  for (const double rate : rates) {
+    if (rate < 0.0) {
+      throw ConfigError("AdaptiveRateController: restore with negative rate");
+    }
+    sum += rate;
+  }
+  if (std::abs(sum - global_rate_) > 1e-6) {
+    throw ConfigError(
+        "AdaptiveRateController: restored rates do not sum to the global "
+        "rate");
+  }
+  rates_ = rates;
+  lifetime_count_ = lifetime_counts;
 }
 
 }  // namespace ldga::ga

@@ -55,6 +55,19 @@ class AdaptiveRateController {
 
   std::uint64_t applications(std::uint32_t op) const;
 
+  /// Lifetime application counts for all operators (telemetry and
+  /// checkpointing), indexed like rates().
+  std::vector<std::uint64_t> lifetime_applications() const {
+    return lifetime_count_;
+  }
+
+  /// Restores rates and lifetime counts captured at a generation
+  /// boundary (checkpoint/restart; in-generation accumulators are empty
+  /// there by construction). Throws ConfigError on a size mismatch or
+  /// rates that violate the Σ = G invariant.
+  void restore(const std::vector<double>& rates,
+               const std::vector<std::uint64_t>& lifetime_counts);
+
  private:
   std::vector<std::string> names_;
   double global_rate_;

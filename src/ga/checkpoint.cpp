@@ -1,0 +1,183 @@
+#include "ga/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ga/engine.hpp"
+#include "parallel/message.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::ga {
+
+namespace {
+
+using parallel::Packer;
+using parallel::Unpacker;
+
+/// "LDGACKP" + format generation, as a little-endian magic word.
+constexpr std::uint64_t kMagic = 0x4c444741434b5031ULL;
+
+std::uint64_t mix(std::uint64_t& state, std::uint64_t value) {
+  state ^= value + 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+void pack_rates(Packer& packer, const std::vector<double>& rates,
+                const std::vector<std::uint64_t>& applications) {
+  packer.pack_vector(rates);
+  packer.pack_vector(applications);
+}
+
+}  // namespace
+
+void CheckpointPolicy::validate() const {
+  if (enabled() && every < 1) {
+    throw ConfigError("CheckpointPolicy: every must be >= 1");
+  }
+  if (resume && !enabled()) {
+    throw ConfigError("CheckpointPolicy: resume requires a path");
+  }
+}
+
+std::uint64_t checkpoint_fingerprint(const GaConfig& config,
+                                     std::uint32_t snp_count) {
+  std::uint64_t state = GaCheckpoint::kVersion;
+  mix(state, snp_count);
+  mix(state, config.min_size);
+  mix(state, config.max_size);
+  mix(state, config.population_size);
+  mix(state, config.min_subpopulation);
+  mix(state, static_cast<std::uint64_t>(config.allocation));
+  mix(state, config.crossovers_per_generation);
+  mix(state, config.mutations_per_generation);
+  mix(state, static_cast<std::uint64_t>(config.crossover_global_rate * 1e12));
+  mix(state, static_cast<std::uint64_t>(config.mutation_global_rate * 1e12));
+  mix(state, static_cast<std::uint64_t>(config.min_operator_rate * 1e12));
+  mix(state, config.snp_mutation_trials);
+  mix(state, config.stagnation_generations);
+  mix(state, config.random_immigrant_stagnation);
+  mix(state, config.selection.tournament_size);
+  mix(state, static_cast<std::uint64_t>(config.schemes.adaptive_mutation));
+  mix(state, static_cast<std::uint64_t>(config.schemes.adaptive_crossover));
+  mix(state, static_cast<std::uint64_t>(config.schemes.size_mutations));
+  mix(state, static_cast<std::uint64_t>(
+                 config.schemes.inter_population_crossover));
+  mix(state, static_cast<std::uint64_t>(config.schemes.random_immigrants));
+  return mix(state, config.seed);
+}
+
+void save_checkpoint(const std::string& path,
+                     const GaCheckpoint& checkpoint) {
+  Packer packer;
+  packer.pack(kMagic);
+  packer.pack(GaCheckpoint::kVersion);
+  packer.pack(checkpoint.fingerprint);
+  packer.pack(checkpoint.generation);
+  packer.pack(checkpoint.evaluations);
+  packer.pack(checkpoint.immigrant_events);
+  packer.pack(checkpoint.best_signature);
+  packer.pack(checkpoint.since_improvement);
+  packer.pack(checkpoint.since_immigrants);
+  for (const std::uint64_t word : checkpoint.rng_state) packer.pack(word);
+  pack_rates(packer, checkpoint.mutation_rates,
+             checkpoint.mutation_applications);
+  pack_rates(packer, checkpoint.crossover_rates,
+             checkpoint.crossover_applications);
+  packer.pack(static_cast<std::uint32_t>(checkpoint.members.size()));
+  for (const auto& subpopulation : checkpoint.members) {
+    packer.pack(static_cast<std::uint32_t>(subpopulation.size()));
+    for (const auto& member : subpopulation) {
+      packer.pack_vector(member.snps());
+      packer.pack(member.fitness());
+    }
+  }
+  const std::vector<std::uint8_t> bytes = std::move(packer).take();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("checkpoint: cannot write " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.flush()) {
+      throw CheckpointError("checkpoint: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: cannot rename " + tmp + " to " +
+                          path + ": " + ec.message());
+  }
+}
+
+GaCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  try {
+    Unpacker unpacker{bytes};
+    if (unpacker.unpack<std::uint64_t>() != kMagic) {
+      throw CheckpointError(path + " is not a ldga checkpoint file");
+    }
+    const auto version = unpacker.unpack<std::uint32_t>();
+    if (version != GaCheckpoint::kVersion) {
+      throw CheckpointError("checkpoint format v" + std::to_string(version) +
+                            " is not supported (expected v" +
+                            std::to_string(GaCheckpoint::kVersion) + ")");
+    }
+
+    GaCheckpoint checkpoint;
+    checkpoint.fingerprint = unpacker.unpack<std::uint64_t>();
+    checkpoint.generation = unpacker.unpack<std::uint32_t>();
+    checkpoint.evaluations = unpacker.unpack<std::uint64_t>();
+    checkpoint.immigrant_events = unpacker.unpack<std::uint32_t>();
+    checkpoint.best_signature = unpacker.unpack<double>();
+    checkpoint.since_improvement = unpacker.unpack<std::uint32_t>();
+    checkpoint.since_immigrants = unpacker.unpack<std::uint32_t>();
+    for (std::uint64_t& word : checkpoint.rng_state) {
+      word = unpacker.unpack<std::uint64_t>();
+    }
+    checkpoint.mutation_rates = unpacker.unpack_vector<double>();
+    checkpoint.mutation_applications =
+        unpacker.unpack_vector<std::uint64_t>();
+    checkpoint.crossover_rates = unpacker.unpack_vector<double>();
+    checkpoint.crossover_applications =
+        unpacker.unpack_vector<std::uint64_t>();
+    const auto subpopulations = unpacker.unpack<std::uint32_t>();
+    checkpoint.members.resize(subpopulations);
+    for (auto& subpopulation : checkpoint.members) {
+      const auto count = unpacker.unpack<std::uint32_t>();
+      subpopulation.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        HaplotypeIndividual member{
+            unpacker.unpack_vector<genomics::SnpIndex>()};
+        member.set_fitness(unpacker.unpack<double>());
+        subpopulation.push_back(std::move(member));
+      }
+    }
+    if (!unpacker.exhausted()) {
+      throw CheckpointError("checkpoint: trailing bytes in " + path);
+    }
+    return checkpoint;
+  } catch (const ParallelError& error) {
+    // Wire-format violations (truncation, corruption) surface here.
+    throw CheckpointError("checkpoint: corrupt file " + path + ": " +
+                          error.what());
+  }
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+}  // namespace ldga::ga

@@ -1,0 +1,86 @@
+// GA checkpoint/restart (fault tolerance for long runs).
+//
+// A checkpoint captures the complete inter-generation state of a
+// GaEngine run — generation counter, every subpopulation's membership,
+// adaptive operator rates, stagnation bookkeeping, and the RNG stream —
+// so a run killed mid-way resumes from its last snapshot and walks a
+// bit-identical trajectory to the uninterrupted run (the evolution loop
+// is a deterministic function of exactly this state).
+//
+// The on-disk format is a versioned binary file built from the same
+// Packer/Unpacker wire format the PVM-style farm uses, guarded by a
+// magic number, a format version, and a config fingerprint that refuses
+// resuming under an incompatible configuration. Writes go to a
+// temporary sibling file and are renamed into place, so a crash during
+// checkpointing never corrupts the previous snapshot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ga/haplotype_individual.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+struct GaConfig;  // engine.hpp; only the fingerprint needs it
+
+/// A checkpoint file is missing, unreadable, or incompatible.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// When and where GaEngine snapshots its state.
+struct CheckpointPolicy {
+  std::string path;          ///< checkpoint file; empty disables
+  std::uint32_t every = 10;  ///< snapshot cadence in generations
+  /// Restore from `path` before running (if the file exists; a missing
+  /// file starts a fresh run, so restarted jobs need no special-casing).
+  bool resume = false;
+
+  bool enabled() const { return !path.empty(); }
+  void validate() const;
+};
+
+/// The serialized inter-generation state. Field-for-field what
+/// GaEngine::run holds between two generations.
+struct GaCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t fingerprint = 0;  ///< config/dataset compatibility stamp
+  std::uint32_t generation = 0;   ///< completed generations
+  std::uint64_t evaluations = 0;  ///< pipeline executions so far
+  std::uint32_t immigrant_events = 0;
+  double best_signature = 0.0;
+  std::uint32_t since_improvement = 0;
+  std::uint32_t since_immigrants = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<double> mutation_rates;
+  std::vector<std::uint64_t> mutation_applications;
+  std::vector<double> crossover_rates;
+  std::vector<std::uint64_t> crossover_applications;
+  /// Per subpopulation (ascending size), members in exact order.
+  std::vector<std::vector<HaplotypeIndividual>> members;
+};
+
+/// Compatibility stamp over every config field that shapes the
+/// evolution trajectory (sizes, rates, schemes, seed, panel width).
+/// Run-length limits (max_generations, max_evaluations) are excluded on
+/// purpose: resuming with a different budget is the normal use.
+std::uint64_t checkpoint_fingerprint(const GaConfig& config,
+                                     std::uint32_t snp_count);
+
+/// Atomically writes `checkpoint` to `path` (tmp file + rename).
+void save_checkpoint(const std::string& path,
+                     const GaCheckpoint& checkpoint);
+
+/// Loads and validates a checkpoint file (magic, version, payload
+/// shape). The caller checks the fingerprint against its own config.
+GaCheckpoint load_checkpoint(const std::string& path);
+
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace ldga::ga

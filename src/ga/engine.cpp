@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "parallel/fault_injection.hpp"
 #include "parallel/master_slave.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
@@ -21,7 +22,9 @@ constexpr double kImprovementEpsilon = 1e-9;
 class EvaluationPhase {
  public:
   EvaluationPhase(const stats::HaplotypeEvaluator& evaluator,
-                  EvalBackend backend, std::uint32_t workers)
+                  EvalBackend backend, std::uint32_t workers,
+                  const parallel::FarmPolicy& policy,
+                  std::shared_ptr<parallel::FaultInjector> injector)
       : evaluator_(&evaluator) {
     const std::uint32_t n =
         workers > 0 ? workers : parallel::default_thread_count();
@@ -34,9 +37,11 @@ class EvaluationPhase {
       case EvalBackend::Farm:
         farm_ = std::make_unique<
             parallel::MasterSlaveFarm<std::vector<SnpIndex>, double>>(
-            n, [ev = evaluator_](const std::vector<SnpIndex>& snps) {
+            n,
+            [ev = evaluator_](const std::vector<SnpIndex>& snps) {
               return ev->fitness(snps);
-            });
+            },
+            policy, std::move(injector));
         break;
     }
   }
@@ -54,6 +59,11 @@ class EvaluationPhase {
       }
     }
     return results;
+  }
+
+  /// Health counters (all-zero for the Serial/ThreadPool backends).
+  parallel::FarmStats stats() const {
+    return farm_ ? farm_->stats() : parallel::FarmStats{};
   }
 
  private:
@@ -95,6 +105,8 @@ void GaConfig::validate() const {
   if (stagnation_generations < 1 || max_generations < 1) {
     throw ConfigError("GaConfig: generation limits must be >= 1");
   }
+  farm_policy.validate();
+  checkpoint.validate();
   for (const auto& snps : warm_starts) {
     const ga::HaplotypeIndividual canonical{
         std::vector<genomics::SnpIndex>(snps)};
@@ -180,18 +192,57 @@ GaResult GaEngine::run() {
   if (!config_.schemes.adaptive_crossover) crossover_rates.freeze();
 
   const Selector selector(config_.selection);
-  EvaluationPhase phase(*evaluator_, config_.backend, config_.workers);
+  EvaluationPhase phase(*evaluator_, config_.backend, config_.workers,
+                        config_.farm_policy, injector_);
 
+  // A resumed run starts with a cold fitness cache, so its own pipeline
+  // counter restarts at zero; `evaluations_base` carries the work the
+  // checkpointed run had already paid for.
+  std::uint64_t evaluations_base = 0;
   const std::uint64_t evaluations_at_start = evaluator_->evaluation_count();
   auto evaluations_used = [&] {
-    return evaluator_->evaluation_count() - evaluations_at_start;
+    return evaluations_base + evaluator_->evaluation_count() -
+           evaluations_at_start;
   };
 
-  // --- population initialization -------------------------------------
+  // --- population initialization / checkpoint resume ------------------
   Multipopulation population(snp_count, config_.min_size, config_.max_size,
                              config_.population_size,
                              config_.min_subpopulation, config_.allocation);
-  {
+  GaResult result;
+  double best_signature = 0.0;
+  std::uint32_t since_improvement = 0;
+  std::uint32_t since_immigrants = 0;
+  std::uint32_t start_generation = 1;
+  const std::uint64_t fingerprint =
+      config_.checkpoint.enabled() ? checkpoint_fingerprint(config_, snp_count)
+                                   : 0;
+
+  if (config_.checkpoint.resume &&
+      checkpoint_exists(config_.checkpoint.path)) {
+    const GaCheckpoint cp = load_checkpoint(config_.checkpoint.path);
+    if (cp.fingerprint != fingerprint) {
+      throw CheckpointError("checkpoint: " + config_.checkpoint.path +
+                            " was written under an incompatible "
+                            "configuration or dataset");
+    }
+    if (cp.members.size() != population.subpopulation_count()) {
+      throw CheckpointError("checkpoint: subpopulation count mismatch in " +
+                            config_.checkpoint.path);
+    }
+    population.restore_members(cp.members);
+    mutation_rates.restore(cp.mutation_rates, cp.mutation_applications);
+    crossover_rates.restore(cp.crossover_rates, cp.crossover_applications);
+    rng.set_state(cp.rng_state);
+    best_signature = cp.best_signature;
+    since_improvement = cp.since_improvement;
+    since_immigrants = cp.since_immigrants;
+    evaluations_base = cp.evaluations;
+    result.immigrant_events = cp.immigrant_events;
+    result.generations = cp.generation;
+    result.resumed_from_generation = cp.generation;
+    start_generation = cp.generation + 1;
+  } else {
     std::vector<HaplotypeIndividual> fresh;
     std::vector<std::uint32_t> destination;
     // Warm starts first (deduplicated, capacity permitting).
@@ -242,21 +293,17 @@ GaResult GaEngine::run() {
       fresh[i].set_fitness(scores[i]);
       population.at(destination[i]).add_initial(std::move(fresh[i]));
     }
+    best_signature = population.stagnation_signature();
   }
 
   // --- main loop ------------------------------------------------------
-  GaResult result;
-  double best_signature = population.stagnation_signature();
-  std::uint32_t since_improvement = 0;
-  std::uint32_t since_immigrants = 0;
-
   auto norm_of = [&](const std::vector<FitnessRange>& ranges,
                      std::uint32_t size, double fitness) {
     return ranges[size - config_.min_size].normalize(fitness);
   };
 
-  for (std::uint32_t generation = 1; generation <= config_.max_generations;
-       ++generation) {
+  for (std::uint32_t generation = start_generation;
+       generation <= config_.max_generations; ++generation) {
     const std::vector<FitnessRange> ranges = population.ranges();
     std::vector<Pending> pending;
     std::uint32_t next_group = 0;
@@ -527,12 +574,36 @@ GaResult GaEngine::run() {
         evaluations_used() >= config_.max_evaluations) {
       break;
     }
+
+    // -- periodic checkpoint --------------------------------------------
+    // After the termination tests: a run that just finished keeps its
+    // previous snapshot, so resuming it replays the tail and terminates
+    // at the same generation instead of running one generation further.
+    if (config_.checkpoint.enabled() &&
+        generation % config_.checkpoint.every == 0) {
+      GaCheckpoint cp;
+      cp.fingerprint = fingerprint;
+      cp.generation = generation;
+      cp.evaluations = evaluations_used();
+      cp.immigrant_events = result.immigrant_events;
+      cp.best_signature = best_signature;
+      cp.since_improvement = since_improvement;
+      cp.since_immigrants = since_immigrants;
+      cp.rng_state = rng.state();
+      cp.mutation_rates = mutation_rates.rates();
+      cp.mutation_applications = mutation_rates.lifetime_applications();
+      cp.crossover_rates = crossover_rates.rates();
+      cp.crossover_applications = crossover_rates.lifetime_applications();
+      cp.members = population.snapshot_members();
+      save_checkpoint(config_.checkpoint.path, cp);
+    }
   }
 
   for (std::uint32_t s = 0; s < population.subpopulation_count(); ++s) {
     result.best_by_size.push_back(population.at(s).best());
   }
   result.evaluations = evaluations_used();
+  result.farm_stats = phase.stats();
   return result;
 }
 

@@ -25,12 +25,18 @@
 #include <vector>
 
 #include "ga/adaptive.hpp"
+#include "ga/checkpoint.hpp"
 #include "ga/constraints.hpp"
 #include "ga/multipopulation.hpp"
 #include "ga/operators.hpp"
 #include "ga/selection.hpp"
+#include "parallel/farm_policy.hpp"
 #include "stats/evaluator.hpp"
 #include "util/rng.hpp"
+
+namespace ldga::parallel {
+class FaultInjector;
+}
 
 namespace ldga::ga {
 
@@ -78,6 +84,10 @@ struct GaConfig {
   GaSchemes schemes;
   EvalBackend backend = EvalBackend::Serial;
   std::uint32_t workers = 0;                 ///< 0 → hardware concurrency
+  /// Retry/quarantine/respawn ladder for the Farm backend.
+  parallel::FarmPolicy farm_policy;
+  /// Periodic state snapshots and resume-from-snapshot (any backend).
+  CheckpointPolicy checkpoint;
   std::uint64_t seed = 1;
   bool record_history = false;
   /// Known candidate haplotypes inserted into the initial population
@@ -111,6 +121,10 @@ struct GaResult {
   std::uint64_t evaluations = 0;  ///< pipeline executions during the run
   bool terminated_by_stagnation = false;
   std::uint32_t immigrant_events = 0;
+  /// Generation the run was restored from (0 = started fresh).
+  std::uint32_t resumed_from_generation = 0;
+  /// Farm health counters (meaningful for the Farm backend only).
+  parallel::FarmStats farm_stats;
   std::vector<GenerationInfo> history;  ///< when record_history is set
 };
 
@@ -132,6 +146,13 @@ class GaEngine {
     callback_ = std::move(cb);
   }
 
+  /// Attaches a deterministic fault injector to the Farm backend's
+  /// slaves (fault-tolerance testing; ignored by other backends).
+  void set_fault_injector(
+      std::shared_ptr<parallel::FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+
   const GaConfig& config() const { return config_; }
 
  private:
@@ -145,6 +166,7 @@ class GaEngine {
   FeasibilityFilter own_filter_;  ///< used by the convenience constructor
   const FeasibilityFilter* filter_;
   std::function<void(const GenerationInfo&)> callback_;
+  std::shared_ptr<parallel::FaultInjector> injector_;
 };
 
 }  // namespace ldga::ga

@@ -125,6 +125,22 @@ double Multipopulation::stagnation_signature() const {
   return sum.value();
 }
 
+std::vector<std::vector<HaplotypeIndividual>>
+Multipopulation::snapshot_members() const {
+  std::vector<std::vector<HaplotypeIndividual>> out;
+  out.reserve(subpopulations_.size());
+  for (const auto& sub : subpopulations_) out.push_back(sub.members());
+  return out;
+}
+
+void Multipopulation::restore_members(
+    std::vector<std::vector<HaplotypeIndividual>> members) {
+  LDGA_EXPECTS(members.size() == subpopulations_.size());
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    subpopulations_[s].restore_members(std::move(members[s]));
+  }
+}
+
 std::vector<FitnessRange> Multipopulation::ranges() const {
   std::vector<FitnessRange> out;
   out.reserve(subpopulations_.size());

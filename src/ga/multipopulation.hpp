@@ -66,6 +66,16 @@ class Multipopulation {
   /// Fitness ranges of every subpopulation, indexed like at().
   std::vector<FitnessRange> ranges() const;
 
+  /// Copy of every subpopulation's membership, indexed like at(), in
+  /// exact member order — the checkpoint payload.
+  std::vector<std::vector<HaplotypeIndividual>> snapshot_members() const;
+
+  /// Restores a membership snapshot (checkpoint resume). The outer
+  /// vector must match subpopulation_count(); per-subpopulation
+  /// validation is in Subpopulation::restore_members.
+  void restore_members(
+      std::vector<std::vector<HaplotypeIndividual>> members);
+
  private:
   std::uint32_t min_size_;
   std::uint32_t max_size_;

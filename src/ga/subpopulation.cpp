@@ -49,6 +49,16 @@ void Subpopulation::replace(std::uint32_t index,
   members_[index] = std::move(individual);
 }
 
+void Subpopulation::restore_members(
+    std::vector<HaplotypeIndividual> members) {
+  LDGA_EXPECTS(members.size() <= capacity_);
+  for (const auto& member : members) {
+    LDGA_EXPECTS(member.size() == haplotype_size_);
+    LDGA_EXPECTS(member.evaluated());
+  }
+  members_ = std::move(members);
+}
+
 bool Subpopulation::contains(const HaplotypeIndividual& individual) const {
   for (const auto& member : members_) {
     if (member.same_snps(individual)) return true;

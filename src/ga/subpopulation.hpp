@@ -59,6 +59,12 @@ class Subpopulation {
   /// Replaces the member at `index` outright (random-immigrant step).
   void replace(std::uint32_t index, HaplotypeIndividual individual);
 
+  /// Replaces the entire membership in one step (checkpoint restore).
+  /// Every individual must be evaluated and of this subpopulation's
+  /// size; the count must not exceed capacity. Member order is
+  /// preserved exactly, which checkpoint bit-reproducibility relies on.
+  void restore_members(std::vector<HaplotypeIndividual> members);
+
   bool contains(const HaplotypeIndividual& individual) const;
 
   /// Index of the best / worst member. Requires a non-empty population.

@@ -1,0 +1,90 @@
+// Fault-tolerance policy and diagnostics for the master/slave farm.
+//
+// Kept separate from master_slave.hpp so that configuration-level code
+// (GaConfig, CLI front-ends) can name the policy and read the stats
+// without pulling in the whole virtual-machine template machinery.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+
+/// How MasterSlaveFarm::run reacts to failing evaluations and slaves.
+///
+/// The escalation ladder is: retry the task on a different slave (up to
+/// max_task_retries reassignments), quarantine a slave after
+/// quarantine_after consecutive failures (respawning a replacement when
+/// respawn_quarantined is set), and abort the phase with FarmPhaseError
+/// only when a task exhausts its retries, no healthy slave remains, or
+/// the optional phase deadline expires.
+struct FarmPolicy {
+  /// Reassignments allowed per task after its first failure. 0 restores
+  /// the fail-fast behaviour of the original §4.5 farm.
+  std::uint32_t max_task_retries = 2;
+  /// Consecutive failures after which a slave is quarantined.
+  std::uint32_t quarantine_after = 3;
+  /// Replace a quarantined slave with a fresh one (same rank).
+  bool respawn_quarantined = true;
+  /// Wall-clock budget for one run() call; zero means unlimited.
+  std::chrono::milliseconds phase_deadline{0};
+
+  void validate() const {
+    if (quarantine_after < 1) {
+      throw ConfigError("FarmPolicy: quarantine_after must be >= 1");
+    }
+    if (phase_deadline.count() < 0) {
+      throw ConfigError("FarmPolicy: phase_deadline must be >= 0");
+    }
+  }
+};
+
+/// One failed execution of a task, for post-mortem reporting.
+struct TaskAttempt {
+  std::uint32_t slave_rank = 0;  ///< rank that ran the attempt
+  std::string message;           ///< worker exception what()
+};
+
+/// A farm phase that could not be completed under the active policy.
+/// Carries the failing task index (when one task is to blame) and the
+/// full attempt history so the caller can tell a poisoned input apart
+/// from collapsing infrastructure.
+class FarmPhaseError : public ParallelError {
+ public:
+  FarmPhaseError(const std::string& what, std::uint64_t phase,
+                 std::optional<std::size_t> task_index,
+                 std::vector<TaskAttempt> attempts)
+      : ParallelError(what),
+        phase_(phase),
+        task_index_(task_index),
+        attempts_(std::move(attempts)) {}
+
+  std::uint64_t phase() const { return phase_; }
+  std::optional<std::size_t> task_index() const { return task_index_; }
+  const std::vector<TaskAttempt>& attempts() const { return attempts_; }
+
+ private:
+  std::uint64_t phase_;
+  std::optional<std::size_t> task_index_;
+  std::vector<TaskAttempt> attempts_;
+};
+
+/// Farm health and throughput counters, cumulative across phases.
+struct FarmStats {
+  /// Work items completed by each slave (index = slave *rank*; a rank
+  /// keeps its row across quarantine respawns).
+  std::vector<std::uint64_t> per_slave_tasks;
+  std::uint64_t phases = 0;           ///< run() calls completed
+  std::uint64_t failures = 0;         ///< error replies received
+  std::uint64_t retries = 0;          ///< task reassignments dispatched
+  std::uint64_t quarantines = 0;      ///< slaves taken out of rotation
+  std::uint64_t respawns = 0;         ///< replacement slaves spawned
+  std::uint64_t stale_discarded = 0;  ///< replies from other phases dropped
+};
+
+}  // namespace ldga::parallel

@@ -1,0 +1,107 @@
+// Deterministic, seedable fault injection for the evaluation farm.
+//
+// The injector decides, per (phase, task index, attempt), whether a
+// slave should throw, stall, or emit a wrong-phase stale reply before
+// doing its real work. Decisions are a pure function of the seed and
+// those coordinates, so a test run injects the same fault set on every
+// execution regardless of thread interleaving — the farm's retry,
+// quarantine, and stale-discard paths become reproducibly testable.
+//
+// Two ways to use it:
+//   - hand a shared_ptr to MasterSlaveFarm: the slave loop consults
+//     decide() with the true task coordinates (enables stale replies);
+//   - wrap() any plain worker callable: exceptions and delays only,
+//     indexed by a global call counter (for thread-pool backends).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ldga::parallel {
+
+/// What a slave is instructed to do before executing one task attempt.
+struct FaultDecision {
+  enum class Kind : std::uint8_t {
+    kNone,        ///< proceed normally
+    kThrow,       ///< raise FaultInjected instead of computing
+    kDelay,       ///< sleep, then compute normally
+    kStaleReply,  ///< send a wrong-phase duplicate, then reply normally
+  };
+  Kind kind = Kind::kNone;
+  std::chrono::milliseconds delay{0};
+};
+
+/// The exception surfaced by injected throws; derives from
+/// std::runtime_error so it crosses the farm's kError path like any
+/// real worker failure.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Per-attempt probabilities, each decided independently and
+    /// deterministically from (seed, phase, index, attempt).
+    double throw_probability = 0.0;
+    double delay_probability = 0.0;
+    double stale_probability = 0.0;
+    std::chrono::milliseconds delay{1};
+    /// Explicit schedules: fault the *first attempt* of these task
+    /// indices (every phase), so a retry always recovers.
+    std::vector<std::uint64_t> throw_on_tasks;
+    std::vector<std::uint64_t> stale_on_tasks;
+
+    void validate() const;
+  };
+
+  explicit FaultInjector(Config config);
+
+  /// Deterministic decision for one attempt at (phase, index).
+  /// Thread-safe; attempt numbers are tracked internally.
+  FaultDecision decide(std::uint64_t phase, std::uint64_t task_index);
+
+  /// Wraps a plain worker callable: injected throws and delays apply by
+  /// global call order (phase 0, index = call counter). Stale replies
+  /// need farm cooperation and are not produced here.
+  template <typename Worker>
+  auto wrap(Worker worker) {
+    return [this, worker = std::move(worker)](const auto& task) {
+      const std::uint64_t call = calls_.fetch_add(1);
+      const FaultDecision fault = decide(0, call);
+      apply_before_work(fault);
+      return worker(task);
+    };
+  }
+
+  /// Executes the throw/delay part of a decision (used by wrap and by
+  /// the farm's slave loop). Throws FaultInjected for kThrow.
+  static void apply_before_work(const FaultDecision& decision);
+
+  const Config& config() const { return config_; }
+
+  std::uint64_t injected_throws() const { return throws_.load(); }
+  std::uint64_t injected_delays() const { return delays_.load(); }
+  std::uint64_t injected_stales() const { return stales_.load(); }
+
+ private:
+  Config config_;
+  std::mutex mutex_;
+  /// Attempt counter per (phase, index) coordinate.
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> throws_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> stales_{0};
+};
+
+}  // namespace ldga::parallel

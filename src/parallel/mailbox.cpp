@@ -41,6 +41,22 @@ std::optional<Message> Mailbox::try_receive(TaskId source, std::int32_t tag) {
   return take_matching(source, tag);
 }
 
+std::optional<Message> Mailbox::receive_for(std::chrono::milliseconds timeout,
+                                            TaskId source, std::int32_t tag) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (auto found = take_matching(source, tag)) return found;
+    if (closed_) {
+      throw ParallelError("Mailbox: receive on closed mailbox");
+    }
+    if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: a message may have arrived with the timeout.
+      return take_matching(source, tag);
+    }
+  }
+}
+
 bool Mailbox::probe(TaskId source, std::int32_t tag) const {
   std::lock_guard lock(mutex_);
   for (const auto& m : queue_) {

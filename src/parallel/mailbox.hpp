@@ -2,6 +2,7 @@
 // PVM-style selective receive (filter by source and/or tag).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -23,6 +24,13 @@ class Mailbox {
 
   /// Non-blocking variant; empty when nothing matches right now.
   std::optional<Message> try_receive(TaskId source = kAnySource,
+                                     std::int32_t tag = kAnyTag);
+
+  /// Blocks up to `timeout` for a matching message; empty on timeout.
+  /// Throws ParallelError if the mailbox closes while waiting. Used by
+  /// the farm's phase-deadline policy.
+  std::optional<Message> receive_for(std::chrono::milliseconds timeout,
+                                     TaskId source = kAnySource,
                                      std::int32_t tag = kAnyTag);
 
   /// True when a matching message is queued (PVM's pvm_probe).

@@ -10,13 +10,28 @@
 // points below, which keeps the discipline honest: everything that
 // crosses the master/slave boundary is serialized, exactly as it would
 // be over PVM.
+//
+// Fault tolerance (FarmPolicy): a failed evaluation is retried on a
+// different slave; a slave that fails repeatedly is quarantined and
+// optionally respawned; the phase aborts with FarmPhaseError — carrying
+// the failing task index and its attempt history — only when a task
+// exhausts its retries, no healthy slave remains, or the optional phase
+// deadline expires. A deterministic FaultInjector can be attached to
+// drive every one of those paths in tests.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "parallel/farm_policy.hpp"
+#include "parallel/fault_injection.hpp"
 #include "parallel/virtual_machine.hpp"
 #include "util/error.hpp"
 
@@ -51,14 +66,8 @@ namespace farm_tag {
 inline constexpr std::int32_t kWork = 1;
 inline constexpr std::int32_t kResult = 2;
 inline constexpr std::int32_t kShutdown = 3;
-inline constexpr std::int32_t kError = 4;  ///< worker threw; body = phase + what()
+inline constexpr std::int32_t kError = 4;  ///< body = phase + index + what()
 }  // namespace farm_tag
-
-struct FarmStats {
-  /// Work items completed by each slave (index = slave rank).
-  std::vector<std::uint64_t> per_slave_tasks;
-  std::uint64_t phases = 0;  ///< run() calls completed
-};
 
 template <typename Task, typename Result>
 class MasterSlaveFarm {
@@ -68,23 +77,37 @@ class MasterSlaveFarm {
   /// Spawns `slave_count` slaves, each owning a copy of `worker` (the
   /// "slaves access the data once at initialization" of §4.5 — the
   /// worker closure typically captures a reference to the shared,
-  /// immutable dataset/evaluator).
-  MasterSlaveFarm(std::uint32_t slave_count, Worker worker)
-      : master_(vm_.master_context()) {
+  /// immutable dataset/evaluator). `injector`, when set, is consulted
+  /// by every slave before every task attempt (test fault injection).
+  MasterSlaveFarm(std::uint32_t slave_count, Worker worker,
+                  FarmPolicy policy = {},
+                  std::shared_ptr<FaultInjector> injector = nullptr)
+      : master_(vm_.master_context()),
+        worker_(std::move(worker)),
+        policy_(policy),
+        injector_(std::move(injector)) {
     LDGA_EXPECTS(slave_count >= 1);
-    LDGA_EXPECTS(worker != nullptr);
+    LDGA_EXPECTS(worker_ != nullptr);
+    policy_.validate();
     stats_.per_slave_tasks.assign(slave_count, 0);
+    consecutive_failures_.assign(slave_count, 0);
+    quarantined_.assign(slave_count, 0);
+    healthy_ = slave_count;
     for (std::uint32_t rank = 0; rank < slave_count; ++rank) {
-      slaves_.push_back(vm_.spawn(
-          [worker](TaskContext& self) { slave_loop(self, worker); }));
+      const TaskId id = spawn_slave();
+      slaves_.push_back(id);
+      rank_by_task_.emplace(id, rank);
     }
   }
 
   ~MasterSlaveFarm() {
-    // Orderly shutdown: each slave exits its loop on kShutdown.
+    // Orderly shutdown: each live slave exits its loop on kShutdown
+    // (quarantined, non-respawned slaves were already retired).
     try {
-      for (const TaskId slave : slaves_) {
-        master_.send(slave, farm_tag::kShutdown, Packer{});
+      for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
+        if (!quarantined_[rank]) {
+          master_.send(slaves_[rank], farm_tag::kShutdown, Packer{});
+        }
       }
     } catch (const ParallelError&) {
       // Machine already halted; jthread join in ~VirtualMachine suffices.
@@ -97,12 +120,15 @@ class MasterSlaveFarm {
   std::uint32_t slave_count() const {
     return static_cast<std::uint32_t>(slaves_.size());
   }
+  std::uint32_t healthy_slave_count() const { return healthy_; }
 
   /// One synchronous evaluation phase: scores every task, returning
-  /// results in task order. Dynamic (first-free-slave) scheduling.
-  /// A worker exception surfaces here as ParallelError; the farm stays
-  /// usable for further phases (stale replies from the failed phase are
-  /// identified by a phase counter and discarded).
+  /// results in task order. Dynamic (first-free-slave) scheduling with
+  /// the FarmPolicy retry/quarantine ladder on top; the phase completes
+  /// as long as any healthy slave remains and no task exhausts its
+  /// retries. On FarmPhaseError the farm stays usable for further
+  /// phases (stale replies from the failed phase are identified by a
+  /// phase counter and discarded).
   std::vector<Result> run(std::span<const Task> tasks) {
     const std::uint64_t phase = ++phase_counter_;
     std::vector<Result> results(tasks.size());
@@ -110,51 +136,138 @@ class MasterSlaveFarm {
       ++stats_.phases;
       return results;
     }
-
-    std::size_t next = 0;
-    std::size_t outstanding = 0;
-
-    // Prime every slave with one item (or fewer if tasks < slaves).
-    for (const TaskId slave : slaves_) {
-      if (next >= tasks.size()) break;
-      send_work(slave, phase, next, tasks[next]);
-      ++next;
-      ++outstanding;
+    if (healthy_ == 0) {
+      throw FarmPhaseError("MasterSlaveFarm: no healthy slaves", phase,
+                           std::nullopt, {});
     }
 
-    // Collect a result; refill the now-idle slave with the next item.
-    while (outstanding > 0) {
-      Message reply = master_.receive(kAnySource, kAnyTag);
-      Unpacker unpacker = reply.unpacker();
-      const auto reply_phase = unpacker.unpack<std::uint64_t>();
-      if (reply_phase != phase) continue;  // left over from a failed phase
+    const bool timed = policy_.phase_deadline.count() > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + policy_.phase_deadline;
 
-      if (reply.tag == farm_tag::kError) {
-        throw ParallelError("MasterSlaveFarm: worker failed: " +
-                            unpacker.unpack_string());
+    // Per-phase scheduling state.
+    std::vector<std::vector<TaskAttempt>> attempts(tasks.size());
+    struct RetryItem {
+      std::size_t index;
+      std::uint32_t last_rank;  ///< rank of the slave that just failed it
+    };
+    std::deque<RetryItem> retry;
+    std::vector<std::uint32_t> idle;
+    for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
+      if (!quarantined_[rank]) idle.push_back(rank);
+    }
+    std::size_t next = 0;
+    std::size_t outstanding = 0;
+    std::size_t completed = 0;
+
+    // Hands work to every idle healthy slave: queued retries first
+    // (preferring a slave other than the one that just failed the
+    // task), then fresh tasks.
+    auto dispatch = [&] {
+      for (auto item = retry.begin(); item != retry.end();) {
+        if (idle.empty()) break;
+        auto slot = std::find_if(
+            idle.begin(), idle.end(),
+            [&](std::uint32_t rank) { return rank != item->last_rank; });
+        if (slot == idle.end()) {
+          // Only the failing slave is free. If others are busy, wait
+          // for one of them; if it is the last slave standing, it must
+          // retry its own failure.
+          if (outstanding > 0) {
+            ++item;
+            continue;
+          }
+          slot = idle.begin();
+        }
+        send_work(slaves_[*slot], phase, item->index, tasks[item->index]);
+        ++stats_.retries;
+        ++outstanding;
+        idle.erase(slot);
+        item = retry.erase(item);
       }
-      const auto index = unpacker.unpack<std::uint64_t>();
-      LDGA_EXPECTS(index < results.size());
-      farm_unpack(unpacker, results[index]);
-      --outstanding;
-
-      const auto rank = rank_of(reply.source);
-      ++stats_.per_slave_tasks[rank];
-
-      if (next < tasks.size()) {
-        send_work(reply.source, phase, next, tasks[next]);
+      while (!idle.empty() && next < tasks.size()) {
+        const std::uint32_t rank = idle.back();
+        idle.pop_back();
+        send_work(slaves_[rank], phase, next, tasks[next]);
         ++next;
         ++outstanding;
       }
+    };
+
+    dispatch();
+    while (completed < tasks.size()) {
+      if (outstanding == 0) {
+        // Work remains but nothing is in flight and dispatch() could
+        // not place it: every slave is quarantined.
+        throw FarmPhaseError("MasterSlaveFarm: no healthy slaves", phase,
+                             std::nullopt, {});
+      }
+
+      Message reply;
+      if (timed) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+        auto received = master_.receive_for(
+            std::max(remaining, std::chrono::milliseconds(0)));
+        if (!received) {
+          throw FarmPhaseError("MasterSlaveFarm: phase deadline exceeded",
+                               phase, std::nullopt, {});
+        }
+        reply = std::move(*received);
+      } else {
+        reply = master_.receive(kAnySource, kAnyTag);
+      }
+
+      Unpacker unpacker = reply.unpacker();
+      const auto reply_phase = unpacker.unpack<std::uint64_t>();
+      if (reply_phase != phase) {
+        ++stats_.stale_discarded;  // left over from an aborted phase
+        continue;
+      }
+      const auto index =
+          static_cast<std::size_t>(unpacker.unpack<std::uint64_t>());
+      LDGA_EXPECTS(index < results.size());
+      const std::uint32_t rank = rank_of(reply.source);
+
+      if (reply.tag == farm_tag::kError) {
+        ++stats_.failures;
+        --outstanding;
+        attempts[index].push_back({rank, unpacker.unpack_string()});
+        if (attempts[index].size() >
+            static_cast<std::size_t>(policy_.max_task_retries)) {
+          // Build the message before moving the attempt history: the
+          // constructor's by-value parameter may otherwise be
+          // materialized first, leaving back() dangling.
+          std::string what =
+              "MasterSlaveFarm: task " + std::to_string(index) +
+              " failed on " + std::to_string(attempts[index].size()) +
+              " slave(s): " + attempts[index].back().message;
+          throw FarmPhaseError(std::move(what), phase, index,
+                               std::move(attempts[index]));
+        }
+        retry.push_back({index, rank});
+        handle_slave_failure(rank, idle);
+      } else {
+        farm_unpack(unpacker, results[index]);
+        --outstanding;
+        ++completed;
+        ++stats_.per_slave_tasks[rank];
+        consecutive_failures_[rank] = 0;
+        idle.push_back(rank);
+      }
+      dispatch();
     }
     ++stats_.phases;
     return results;
   }
 
   const FarmStats& stats() const { return stats_; }
+  const FarmPolicy& policy() const { return policy_; }
 
  private:
-  static void slave_loop(TaskContext& self, const Worker& worker) {
+  static void slave_loop(TaskContext& self, const Worker& worker,
+                         FaultInjector* injector) {
     for (;;) {
       Message message;
       try {
@@ -171,6 +284,19 @@ class MasterSlaveFarm {
       farm_unpack(unpacker, task);
 
       try {
+        FaultDecision fault;
+        if (injector != nullptr) fault = injector->decide(phase, index);
+        if (fault.kind == FaultDecision::Kind::kStaleReply) {
+          // A wrong-phase duplicate first — the master must discard it
+          // by the phase counter — then the genuine reply below.
+          Packer stale;
+          stale.pack(phase - 1);
+          stale.pack(index);
+          farm_pack(stale, worker(task));
+          self.send(kMasterTask, farm_tag::kResult, std::move(stale));
+        }
+        FaultInjector::apply_before_work(fault);
+
         Packer reply;
         reply.pack(phase);
         reply.pack(index);
@@ -181,9 +307,41 @@ class MasterSlaveFarm {
         // the thread boundary; the slave stays alive for later phases.
         Packer failure;
         failure.pack(phase);
+        failure.pack(index);
         failure.pack_string(error.what());
         self.send(kMasterTask, farm_tag::kError, std::move(failure));
       }
+    }
+  }
+
+  TaskId spawn_slave() {
+    return vm_.spawn([worker = worker_, injector = injector_](
+                         TaskContext& self) {
+      slave_loop(self, worker, injector.get());
+    });
+  }
+
+  /// Failure bookkeeping for one error reply from `rank`: count it,
+  /// quarantine (and optionally respawn) the slave when it crosses the
+  /// policy threshold, otherwise return it to the idle pool.
+  void handle_slave_failure(std::uint32_t rank,
+                            std::vector<std::uint32_t>& idle) {
+    if (++consecutive_failures_[rank] >= policy_.quarantine_after) {
+      ++stats_.quarantines;
+      rank_by_task_.erase(slaves_[rank]);
+      master_.send(slaves_[rank], farm_tag::kShutdown, Packer{});
+      consecutive_failures_[rank] = 0;
+      if (policy_.respawn_quarantined) {
+        slaves_[rank] = spawn_slave();
+        rank_by_task_.emplace(slaves_[rank], rank);
+        ++stats_.respawns;
+        idle.push_back(rank);
+      } else {
+        quarantined_[rank] = 1;
+        --healthy_;
+      }
+    } else {
+      idle.push_back(rank);
     }
   }
 
@@ -196,17 +354,25 @@ class MasterSlaveFarm {
     master_.send(slave, farm_tag::kWork, std::move(packer));
   }
 
-  std::size_t rank_of(TaskId slave) const {
-    for (std::size_t r = 0; r < slaves_.size(); ++r) {
-      if (slaves_[r] == slave) return r;
+  std::uint32_t rank_of(TaskId slave) const {
+    const auto found = rank_by_task_.find(slave);
+    if (found == rank_by_task_.end()) {
+      throw ParallelError("MasterSlaveFarm: result from unknown task " +
+                          std::to_string(slave));
     }
-    throw ParallelError("MasterSlaveFarm: result from unknown task " +
-                        std::to_string(slave));
+    return found->second;
   }
 
   VirtualMachine vm_;
   TaskContext master_;
-  std::vector<TaskId> slaves_;
+  Worker worker_;
+  FarmPolicy policy_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::vector<TaskId> slaves_;  ///< index = rank; updated on respawn
+  std::unordered_map<TaskId, std::uint32_t> rank_by_task_;
+  std::vector<std::uint32_t> consecutive_failures_;  ///< per rank
+  std::vector<std::uint8_t> quarantined_;            ///< per rank
+  std::uint32_t healthy_ = 0;
   FarmStats stats_;
   std::uint64_t phase_counter_ = 0;
 };

@@ -24,6 +24,12 @@ std::optional<Message> TaskContext::try_receive(TaskId source,
   return vm_->mailbox_of(id_).try_receive(source, tag);
 }
 
+std::optional<Message> TaskContext::receive_for(
+    std::chrono::milliseconds timeout, TaskId source,
+    std::int32_t tag) const {
+  return vm_->mailbox_of(id_).receive_for(timeout, source, tag);
+}
+
 bool TaskContext::probe(TaskId source, std::int32_t tag) const {
   return vm_->mailbox_of(id_).probe(source, tag);
 }

@@ -33,6 +33,9 @@ class TaskContext {
                   std::int32_t tag = kAnyTag) const;
   std::optional<Message> try_receive(TaskId source = kAnySource,
                                      std::int32_t tag = kAnyTag) const;
+  std::optional<Message> receive_for(std::chrono::milliseconds timeout,
+                                     TaskId source = kAnySource,
+                                     std::int32_t tag = kAnyTag) const;
   bool probe(TaskId source = kAnySource, std::int32_t tag = kAnyTag) const;
 
  private:
@@ -52,9 +55,10 @@ class VirtualMachine {
   VirtualMachine& operator=(const VirtualMachine&) = delete;
 
   /// Starts a task running `body`; returns its TaskId (>= 1).
-  /// All spawning must happen before concurrent use from other tasks
-  /// (the paper's farm spawns all slaves up front, "initiated at the
-  /// beginning").
+  /// The paper's farm spawns all slaves up front ("initiated at the
+  /// beginning"), but spawn is internally synchronized so the master
+  /// may also spawn replacement tasks later (quarantine respawn);
+  /// existing TaskIds and in-flight messages are unaffected.
   TaskId spawn(std::function<void(TaskContext&)> body);
 
   /// Context for the constructing (master) thread.

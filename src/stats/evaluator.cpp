@@ -1,6 +1,7 @@
 #include "stats/evaluator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 
 #include "util/error.hpp"
@@ -15,6 +16,9 @@ void EvaluatorConfig::validate() const {
   if (max_loci == 0 || max_loci > kMaxEmLoci) {
     throw ConfigError("EvaluatorConfig: max_loci must be in [1, " +
                       std::to_string(kMaxEmLoci) + "]");
+  }
+  if (!std::isfinite(penalty_fitness)) {
+    throw ConfigError("EvaluatorConfig: penalty_fitness must be finite");
   }
 }
 
@@ -98,7 +102,47 @@ ClumpResult HaplotypeEvaluator::clump_analysis(
 
 double HaplotypeEvaluator::compute_fitness(
     std::span<const SnpIndex> snps) const {
-  return evaluate_full(snps).fitness;
+  // Graceful degradation (DESIGN.md §5): a failed pipeline run must not
+  // poison a whole parallel evaluation phase, so failures are detected
+  // here, recorded in telemetry, and either mapped to the penalty
+  // fitness or surfaced as a typed EvaluationError per the policy.
+  auto reason = EvaluationError::Reason::kPipeline;
+  std::string detail;
+  try {
+    const EvaluationResult result = evaluate_full(snps);
+    if (config_.require_em_convergence && !result.em_converged) {
+      reason = EvaluationError::Reason::kEmNotConverged;
+      detail = "EM did not converge";
+    } else if (!std::isfinite(result.fitness)) {
+      reason = EvaluationError::Reason::kNonFinite;
+      detail = "non-finite statistic";
+    } else {
+      return result.fitness;
+    }
+  } catch (const Error& error) {
+    reason = EvaluationError::Reason::kPipeline;
+    detail = error.what();
+  }
+
+  failed_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  std::string what = "evaluation failed for {";
+  for (std::size_t i = 0; i < snps.size(); ++i) {
+    what += (i ? " " : "") + std::to_string(snps[i] + 1);
+  }
+  what += "}: " + detail;
+  {
+    std::lock_guard lock(failure_mutex_);
+    last_failure_ = what;
+  }
+  if (config_.failure_policy == EvaluationFailurePolicy::kPropagate) {
+    throw EvaluationError(reason, what);
+  }
+  return config_.penalty_fitness;
+}
+
+std::string HaplotypeEvaluator::last_failure() const {
+  std::lock_guard lock(failure_mutex_);
+  return last_failure_;
 }
 
 double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
@@ -128,6 +172,7 @@ double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
 void HaplotypeEvaluator::reset_counters() const {
   evaluations_.store(0, std::memory_order_relaxed);
   requests_.store(0, std::memory_order_relaxed);
+  failed_evaluations_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ldga::stats

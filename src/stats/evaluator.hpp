@@ -16,8 +16,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,34 @@ enum class FitnessStatistic : std::uint8_t {
   Lrt,  ///< EH-DIALL likelihood-ratio statistic
 };
 
+/// A statistical pipeline run produced no usable fitness.
+class EvaluationError : public Error {
+ public:
+  enum class Reason : std::uint8_t {
+    kNonFinite,       ///< statistic was NaN or infinite
+    kEmNotConverged,  ///< EM hit its iteration cap (strict mode only)
+    kPipeline,        ///< a pipeline stage threw
+  };
+
+  EvaluationError(Reason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// What fitness() does when the pipeline fails for a candidate.
+enum class EvaluationFailurePolicy : std::uint8_t {
+  /// Degrade gracefully: the candidate scores penalty_fitness, the
+  /// failure is counted in telemetry, and the (parallel) evaluation
+  /// phase proceeds. The GA then selects the candidate away naturally.
+  kPenalize,
+  /// Strict: throw a typed EvaluationError (farm slaves report it and
+  /// the retry/quarantine policy takes over).
+  kPropagate,
+};
+
 struct EvaluatorConfig {
   EmConfig em;
   ClumpConfig clump;
@@ -45,6 +75,16 @@ struct EvaluatorConfig {
   std::uint64_t monte_carlo_seed = 2004;
   /// Hard upper bound on candidate size (2^k blow-up guard).
   std::uint32_t max_loci = 16;
+  /// Reaction to a failed pipeline run (non-finite statistic, strict EM
+  /// non-convergence, or a throwing stage).
+  EvaluationFailurePolicy failure_policy = EvaluationFailurePolicy::kPenalize;
+  /// Fitness assigned to failed candidates under kPenalize. The GA
+  /// maximizes a chi-square (>= 0), so 0 is the natural floor.
+  double penalty_fitness = 0.0;
+  /// Treat EM non-convergence as a failure. Off by default: a capped EM
+  /// still yields a usable (slightly conservative) statistic, matching
+  /// the original EH behaviour.
+  bool require_em_convergence = false;
 
   void validate() const;
 };
@@ -84,6 +124,13 @@ class HaplotypeEvaluator {
   std::uint64_t request_count() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Pipeline runs that failed (and were penalized or propagated per
+  /// the failure policy). Degradation telemetry.
+  std::uint64_t failed_evaluation_count() const {
+    return failed_evaluations_.load(std::memory_order_relaxed);
+  }
+  /// Description of the most recent failure ("" when none occurred).
+  std::string last_failure() const;
   void reset_counters() const;
 
   const genomics::Dataset& dataset() const { return *dataset_; }
@@ -108,6 +155,9 @@ class HaplotypeEvaluator {
       cache_;
   mutable std::atomic<std::uint64_t> evaluations_{0};
   mutable std::atomic<std::uint64_t> requests_{0};
+  mutable std::atomic<std::uint64_t> failed_evaluations_{0};
+  mutable std::mutex failure_mutex_;
+  mutable std::string last_failure_;
 };
 
 }  // namespace ldga::stats

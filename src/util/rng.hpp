@@ -12,6 +12,7 @@
 // matters for test reproducibility.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -59,6 +60,20 @@ class Rng {
   /// Derives an independent child stream; the parent advances one step.
   /// Used to hand deterministic sub-streams to parallel workers.
   Rng split() noexcept { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Raw generator state, for checkpoint/restart. Restoring the state
+  /// resumes the stream bit-identically from where it was captured.
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores a state captured by state(). The all-zero state is
+  /// invalid for xoshiro256** (it is a fixed point of the transition).
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    LDGA_EXPECTS(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                 state[3] != 0);
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
   /// Uniform integer in [0, bound). Requires bound > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).

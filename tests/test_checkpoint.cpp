@@ -1,0 +1,201 @@
+#include "ga/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "parallel/message.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+namespace {
+
+using genomics::SnpIndex;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "ldga_" + name;
+}
+
+GaCheckpoint sample_checkpoint() {
+  GaCheckpoint cp;
+  cp.fingerprint = 0xfeedULL;
+  cp.generation = 17;
+  cp.evaluations = 4242;
+  cp.immigrant_events = 3;
+  cp.best_signature = 12.75;
+  cp.since_improvement = 5;
+  cp.since_immigrants = 2;
+  cp.rng_state = {1, 2, 3, 4};
+  cp.mutation_rates = {0.5, 0.3, 0.1};
+  cp.mutation_applications = {10, 20, 30};
+  cp.crossover_rates = {0.6, 0.3};
+  cp.crossover_applications = {7, 8};
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    std::vector<HaplotypeIndividual> sub;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      HaplotypeIndividual member{
+          std::vector<SnpIndex>{i, static_cast<SnpIndex>(i + s + 1)}};
+      member.set_fitness(1.5 * i + s);
+      sub.push_back(std::move(member));
+    }
+    cp.members.push_back(std::move(sub));
+  }
+  return cp;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {(std::istreambuf_iterator<char>(in)),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checkpoint, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  const GaCheckpoint original = sample_checkpoint();
+  save_checkpoint(path, original);
+  ASSERT_TRUE(checkpoint_exists(path));
+
+  const GaCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.fingerprint, original.fingerprint);
+  EXPECT_EQ(loaded.generation, original.generation);
+  EXPECT_EQ(loaded.evaluations, original.evaluations);
+  EXPECT_EQ(loaded.immigrant_events, original.immigrant_events);
+  EXPECT_DOUBLE_EQ(loaded.best_signature, original.best_signature);
+  EXPECT_EQ(loaded.since_improvement, original.since_improvement);
+  EXPECT_EQ(loaded.since_immigrants, original.since_immigrants);
+  EXPECT_EQ(loaded.rng_state, original.rng_state);
+  EXPECT_EQ(loaded.mutation_rates, original.mutation_rates);
+  EXPECT_EQ(loaded.mutation_applications, original.mutation_applications);
+  EXPECT_EQ(loaded.crossover_rates, original.crossover_rates);
+  EXPECT_EQ(loaded.crossover_applications, original.crossover_applications);
+  ASSERT_EQ(loaded.members.size(), original.members.size());
+  for (std::size_t s = 0; s < original.members.size(); ++s) {
+    ASSERT_EQ(loaded.members[s].size(), original.members[s].size());
+    for (std::size_t i = 0; i < original.members[s].size(); ++i) {
+      EXPECT_TRUE(loaded.members[s][i].same_snps(original.members[s][i]));
+      EXPECT_DOUBLE_EQ(loaded.members[s][i].fitness(),
+                       original.members[s][i].fitness());
+    }
+  }
+}
+
+TEST(Checkpoint, OverwriteKeepsLatestSnapshot) {
+  const std::string path = temp_path("overwrite.ckpt");
+  GaCheckpoint cp = sample_checkpoint();
+  save_checkpoint(path, cp);
+  cp.generation = 99;
+  save_checkpoint(path, cp);
+  EXPECT_EQ(load_checkpoint(path).generation, 99u);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_FALSE(checkpoint_exists(temp_path("nope.ckpt")));
+  EXPECT_THROW(load_checkpoint(temp_path("nope.ckpt")), CheckpointError);
+}
+
+TEST(Checkpoint, WrongMagicIsRejected) {
+  const std::string path = temp_path("magic.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  auto bytes = read_bytes(path);
+  bytes[0] ^= 0xff;
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+TEST(Checkpoint, UnsupportedVersionIsRejected) {
+  const std::string path = temp_path("version.ckpt");
+  // A well-formed prefix with a future format version.
+  parallel::Packer packer;
+  packer.pack(std::uint64_t{0x4c444741434b5031ULL});  // the magic word
+  packer.pack(std::uint32_t{GaCheckpoint::kVersion + 1});
+  write_bytes(path, std::move(packer).take());
+  try {
+    load_checkpoint(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("not supported"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  const std::string path = temp_path("truncated.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  auto bytes = read_bytes(path);
+  bytes.resize(bytes.size() / 2);
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+TEST(Checkpoint, TrailingGarbageIsRejected) {
+  const std::string path = temp_path("trailing.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  auto bytes = read_bytes(path);
+  bytes.push_back(0xab);
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+TEST(Checkpoint, PolicyValidation) {
+  CheckpointPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  EXPECT_NO_THROW(policy.validate());
+
+  policy.path = temp_path("policy.ckpt");
+  policy.every = 0;
+  EXPECT_THROW(policy.validate(), ConfigError);
+
+  policy.every = 5;
+  EXPECT_NO_THROW(policy.validate());
+
+  policy.path.clear();
+  policy.resume = true;  // resume without a path is meaningless
+  EXPECT_THROW(policy.validate(), ConfigError);
+}
+
+TEST(Checkpoint, FingerprintSeparatesTrajectoryShapingSettings) {
+  GaConfig config;
+  const std::uint64_t base = checkpoint_fingerprint(config, 100);
+
+  EXPECT_EQ(checkpoint_fingerprint(config, 100), base);
+  EXPECT_NE(checkpoint_fingerprint(config, 101), base);
+
+  GaConfig reseeded = config;
+  reseeded.seed = config.seed + 1;
+  EXPECT_NE(checkpoint_fingerprint(reseeded, 100), base);
+
+  GaConfig resized = config;
+  resized.population_size += 10;
+  EXPECT_NE(checkpoint_fingerprint(resized, 100), base);
+
+  GaConfig rescheme = config;
+  rescheme.schemes.random_immigrants = false;
+  EXPECT_NE(checkpoint_fingerprint(rescheme, 100), base);
+
+  // Run-length budgets are deliberately not part of the fingerprint:
+  // resuming with a larger budget is the normal use of a checkpoint.
+  GaConfig longer = config;
+  longer.max_generations += 500;
+  longer.max_evaluations = 123456;
+  EXPECT_EQ(checkpoint_fingerprint(longer, 100), base);
+
+  // Nor are execution-backend settings: the trajectory is
+  // backend-independent by design.
+  GaConfig pooled = config;
+  pooled.backend = EvalBackend::ThreadPool;
+  pooled.workers = 7;
+  EXPECT_EQ(checkpoint_fingerprint(pooled, 100), base);
+}
+
+}  // namespace
+}  // namespace ldga::ga

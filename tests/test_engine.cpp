@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
+
+#include "parallel/fault_injection.hpp"
 #include "test_support.hpp"
 #include "util/error.hpp"
 
@@ -282,6 +286,130 @@ TEST(GaEngine, RespectsFeasibilityFilterInWinners) {
     EXPECT_TRUE(filter.feasible(best.snps()))
         << "winner " << best.to_string() << " violates constraints";
   }
+}
+
+TEST(GaEngineFaultTolerance, FarmWithInjectedFaultsMatchesSerialRun) {
+  // Acceptance: with a deterministic 20% injected failure rate on every
+  // evaluation attempt, a full farm run must complete every phase and
+  // still walk the exact serial trajectory (faults are retried, never
+  // change results).
+  GaConfig serial = fast_config();
+  serial.max_generations = 15;
+  GaConfig farmed = serial;
+  farmed.backend = EvalBackend::Farm;
+  farmed.workers = 3;
+  // 20% per attempt exhausts the default 2 retries once in ~125 tasks;
+  // give the policy enough headroom that exhaustion never happens.
+  farmed.farm_policy.max_task_retries = 8;
+
+  parallel::FaultInjector::Config faults;
+  faults.seed = 99;
+  faults.throw_probability = 0.2;
+  auto injector = std::make_shared<parallel::FaultInjector>(faults);
+
+  const GaResult rs = GaEngine(shared_evaluator(), serial).run();
+  GaEngine noisy(shared_evaluator(), farmed);
+  noisy.set_fault_injector(injector);
+  const GaResult rf = noisy.run();
+
+  ASSERT_EQ(rf.best_by_size.size(), rs.best_by_size.size());
+  for (std::size_t i = 0; i < rs.best_by_size.size(); ++i) {
+    EXPECT_TRUE(rf.best_by_size[i].same_snps(rs.best_by_size[i]));
+    EXPECT_DOUBLE_EQ(rf.best_by_size[i].fitness(),
+                     rs.best_by_size[i].fitness());
+  }
+  EXPECT_EQ(rf.generations, rs.generations);
+  EXPECT_GT(injector->injected_throws(), 0u);
+  EXPECT_GT(rf.farm_stats.retries, 0u);
+  EXPECT_EQ(rf.farm_stats.retries, rf.farm_stats.failures);
+  // The serial run has no farm, hence no farm activity to report.
+  EXPECT_EQ(rs.farm_stats.phases, 0u);
+}
+
+class GaEngineCheckpoint : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "ldga_engine.ckpt";
+
+  void SetUp() override { std::remove(path_.c_str()); }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(GaEngineCheckpoint, KilledRunResumesToIdenticalResult) {
+  // Acceptance: run A executes uninterrupted; run B is "killed" after
+  // 11 generations (last snapshot at 8) and then resumed. Both must
+  // reach the identical final best-per-size haplotypes and stop at the
+  // same generation, because resume restores the complete
+  // inter-generation state (population, rates, RNG stream, stagnation
+  // counters).
+  GaConfig base = fast_config();
+  base.max_generations = 30;
+  const GaResult full = GaEngine(shared_evaluator(), base).run();
+
+  GaConfig interrupted = base;
+  interrupted.checkpoint.path = path_;
+  interrupted.checkpoint.every = 4;
+  interrupted.max_generations = 11;  // the "kill"
+  const GaResult partial = GaEngine(shared_evaluator(), interrupted).run();
+  ASSERT_EQ(partial.generations, 11u);
+  ASSERT_TRUE(checkpoint_exists(path_));
+
+  GaConfig resumed_config = base;
+  resumed_config.checkpoint.path = path_;
+  resumed_config.checkpoint.every = 4;
+  resumed_config.checkpoint.resume = true;
+  const GaResult resumed =
+      GaEngine(shared_evaluator(), resumed_config).run();
+
+  EXPECT_EQ(resumed.resumed_from_generation, 8u);
+  EXPECT_EQ(resumed.generations, full.generations);
+  EXPECT_EQ(resumed.immigrant_events, full.immigrant_events);
+  EXPECT_EQ(resumed.terminated_by_stagnation,
+            full.terminated_by_stagnation);
+  ASSERT_EQ(resumed.best_by_size.size(), full.best_by_size.size());
+  for (std::size_t i = 0; i < full.best_by_size.size(); ++i) {
+    EXPECT_TRUE(resumed.best_by_size[i].same_snps(full.best_by_size[i]));
+    EXPECT_DOUBLE_EQ(resumed.best_by_size[i].fitness(),
+                     full.best_by_size[i].fitness());
+  }
+}
+
+TEST_F(GaEngineCheckpoint, ResumeRejectsIncompatibleConfig) {
+  GaConfig writer = fast_config();
+  writer.checkpoint.path = path_;
+  writer.checkpoint.every = 3;
+  writer.max_generations = 6;
+  GaEngine(shared_evaluator(), writer).run();
+  ASSERT_TRUE(checkpoint_exists(path_));
+
+  GaConfig reader = writer;
+  reader.checkpoint.resume = true;
+  reader.seed = writer.seed + 1;  // different trajectory → incompatible
+  EXPECT_THROW(GaEngine(shared_evaluator(), reader).run(),
+               CheckpointError);
+}
+
+TEST_F(GaEngineCheckpoint, ResumeWithoutFileStartsFresh) {
+  GaConfig config = fast_config();
+  config.checkpoint.path = path_;
+  config.checkpoint.every = 5;
+  config.checkpoint.resume = true;  // nothing on disk yet
+  config.max_generations = 5;
+  const GaResult result = GaEngine(shared_evaluator(), config).run();
+  EXPECT_EQ(result.resumed_from_generation, 0u);
+  EXPECT_EQ(result.generations, 5u);
+  EXPECT_TRUE(checkpoint_exists(path_));  // gen 5 was snapshotted
+}
+
+TEST_F(GaEngineCheckpoint, ResumeWithoutPathIsRejected) {
+  GaConfig config = fast_config();
+  config.checkpoint.resume = true;  // no path
+  EXPECT_THROW(GaEngine(shared_evaluator(), config), ConfigError);
+}
+
+TEST(GaEngineValidation, FarmPolicyIsValidated) {
+  GaConfig config = fast_config();
+  config.farm_policy.quarantine_after = 0;
+  EXPECT_THROW(GaEngine(shared_evaluator(), config), ConfigError);
 }
 
 TEST(GaEngine, BestFitnessNeverDecreasesOverGenerations) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -154,6 +155,71 @@ TEST(Evaluator, ReportsEmDiagnostics) {
   EXPECT_GT(result.em_iterations_total, 0u);
   EXPECT_GE(result.table_columns, 1u);
   EXPECT_LE(result.table_columns, 4u);
+}
+
+TEST(EvaluatorDegradation, StrictEmFailureMapsToPenalty) {
+  // max_iterations = 1 with an unreachable tolerance cannot converge;
+  // in strict mode with the penalize policy, the candidate scores the
+  // penalty instead of poisoning the evaluation phase.
+  const auto dataset = ldga::testing::tiny_dataset();
+  EvaluatorConfig config;
+  config.em.max_iterations = 1;
+  config.em.tolerance = 1e-300;
+  config.require_em_convergence = true;
+  config.penalty_fitness = -1.0;
+  const HaplotypeEvaluator evaluator(dataset, config);
+  const std::vector<SnpIndex> snps{0, 1};
+  ASSERT_FALSE(evaluator.evaluate_full(snps).em_converged);
+
+  EXPECT_DOUBLE_EQ(evaluator.fitness(snps), -1.0);
+  EXPECT_EQ(evaluator.failed_evaluation_count(), 1u);
+  EXPECT_NE(evaluator.last_failure().find("EM did not converge"),
+            std::string::npos);
+  // The SNP set is reported 1-based, matching every other report.
+  EXPECT_NE(evaluator.last_failure().find("{1 2}"), std::string::npos);
+
+  // The penalty is cached like any fitness: no second pipeline run.
+  evaluator.fitness(snps);
+  EXPECT_EQ(evaluator.failed_evaluation_count(), 1u);
+}
+
+TEST(EvaluatorDegradation, PropagatePolicyThrowsTypedError) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  EvaluatorConfig config;
+  config.em.max_iterations = 1;
+  config.em.tolerance = 1e-300;
+  config.require_em_convergence = true;
+  config.failure_policy = EvaluationFailurePolicy::kPropagate;
+  const HaplotypeEvaluator evaluator(dataset, config);
+  try {
+    evaluator.fitness(std::vector<SnpIndex>{0, 1});
+    FAIL() << "expected EvaluationError";
+  } catch (const EvaluationError& error) {
+    EXPECT_EQ(error.reason(), EvaluationError::Reason::kEmNotConverged);
+  }
+  EXPECT_EQ(evaluator.failed_evaluation_count(), 1u);
+}
+
+TEST(EvaluatorDegradation, LenientModeKeepsUnconvergedStatistic) {
+  // Default policy: a capped EM still yields the statistic (original EH
+  // behaviour), so nothing is penalized.
+  const auto dataset = ldga::testing::tiny_dataset();
+  EvaluatorConfig config;
+  config.em.max_iterations = 1;
+  config.em.tolerance = 1e-300;
+  const HaplotypeEvaluator evaluator(dataset, config);
+  const std::vector<SnpIndex> snps{0, 1};
+  EXPECT_DOUBLE_EQ(evaluator.fitness(snps),
+                   evaluator.evaluate_full(snps).fitness);
+  EXPECT_EQ(evaluator.failed_evaluation_count(), 0u);
+  EXPECT_TRUE(evaluator.last_failure().empty());
+}
+
+TEST(EvaluatorDegradation, NonFinitePenaltyIsRejected) {
+  const auto dataset = ldga::testing::tiny_dataset();
+  EvaluatorConfig config;
+  config.penalty_fitness = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(HaplotypeEvaluator(dataset, config), ConfigError);
 }
 
 TEST(Evaluator, TooManyLociDies) {

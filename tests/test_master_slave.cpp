@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <numeric>
+
+#include "parallel/fault_injection.hpp"
 
 namespace ldga::parallel {
 namespace {
@@ -147,6 +150,263 @@ TEST_P(FarmSlaveCount, ResultsIndependentOfSlaveCount) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FarmSlaveCount,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ---- fault tolerance (FarmPolicy + FaultInjector) --------------------
+
+TEST(FaultInjector, DecisionsAreDeterministicAcrossInstances) {
+  FaultInjector::Config config;
+  config.seed = 42;
+  config.throw_probability = 0.3;
+  config.stale_probability = 0.2;
+  config.delay_probability = 0.1;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  for (std::uint64_t phase = 1; phase <= 3; ++phase) {
+    for (std::uint64_t index = 0; index < 25; ++index) {
+      // Two decides per coordinate: the second sees attempt 1, and both
+      // injectors must agree on every attempt.
+      EXPECT_EQ(a.decide(phase, index).kind, b.decide(phase, index).kind);
+      EXPECT_EQ(a.decide(phase, index).kind, b.decide(phase, index).kind);
+    }
+  }
+}
+
+TEST(FaultInjector, ScheduledFaultsHitFirstAttemptOnly) {
+  FaultInjector::Config config;
+  config.throw_on_tasks = {4};
+  FaultInjector injector(config);
+  EXPECT_EQ(injector.decide(1, 4).kind, FaultDecision::Kind::kThrow);
+  // The retry (attempt 1) of the same coordinates must recover.
+  EXPECT_EQ(injector.decide(1, 4).kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(injector.decide(1, 5).kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(injector.injected_throws(), 1u);
+}
+
+TEST(FaultInjector, WrapInjectsIntoPlainWorkers) {
+  FaultInjector::Config config;
+  config.throw_on_tasks = {0};
+  FaultInjector injector(config);
+  auto worker = injector.wrap([](const double& x) { return x * 3.0; });
+  EXPECT_THROW(worker(1.0), FaultInjected);
+  EXPECT_DOUBLE_EQ(worker(2.0), 6.0);
+  EXPECT_EQ(injector.injected_throws(), 1u);
+}
+
+TEST(FaultInjector, RejectsBadConfig) {
+  FaultInjector::Config config;
+  config.throw_probability = 1.5;
+  EXPECT_THROW(FaultInjector{config}, ConfigError);
+}
+
+TEST(FarmFaultTolerance, RetryOnAnotherSlaveRecoversScheduledFaults) {
+  FaultInjector::Config config;
+  config.throw_on_tasks = {0, 3};
+  auto injector = std::make_shared<FaultInjector>(config);
+  MasterSlaveFarm<double, double> farm(
+      3, [](const double& x) { return x * 2.0; }, FarmPolicy{}, injector);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] * 2.0);
+  }
+  EXPECT_EQ(farm.stats().failures, 2u);
+  EXPECT_EQ(farm.stats().retries, 2u);
+  EXPECT_EQ(injector->injected_throws(), 2u);
+}
+
+TEST(FarmFaultTolerance, ExhaustedRetriesCarryTaskIndexAndHistory) {
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double&) -> double {
+        throw std::runtime_error("always broken");
+      });
+  try {
+    farm.run(std::vector<double>{7.0});
+    FAIL() << "expected FarmPhaseError";
+  } catch (const FarmPhaseError& error) {
+    ASSERT_TRUE(error.task_index().has_value());
+    EXPECT_EQ(*error.task_index(), 0u);
+    // First attempt + default max_task_retries (2) reassignments.
+    EXPECT_EQ(error.attempts().size(), 3u);
+    for (const auto& attempt : error.attempts()) {
+      EXPECT_NE(attempt.message.find("always broken"), std::string::npos);
+    }
+    const std::string what = error.what();
+    EXPECT_NE(what.find("task 0"), std::string::npos);
+    EXPECT_NE(what.find("always broken"), std::string::npos);
+  }
+}
+
+TEST(FarmFaultTolerance, FewerTasksThanSlavesUnderFaults) {
+  FaultInjector::Config config;
+  config.throw_on_tasks = {1};
+  auto injector = std::make_shared<FaultInjector>(config);
+  MasterSlaveFarm<double, double> farm(
+      8, [](const double& x) { return -x; }, FarmPolicy{}, injector);
+  const auto results = farm.run(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(results[0], -1.0);
+  EXPECT_DOUBLE_EQ(results[1], -2.0);
+  EXPECT_EQ(farm.stats().retries, 1u);
+}
+
+TEST(FarmFaultTolerance, EmptyBatchAfterFailedPhase) {
+  FarmPolicy fail_fast;
+  fail_fast.max_task_retries = 0;
+  MasterSlaveFarm<double, double> farm(
+      2,
+      [](const double& x) {
+        if (x < 0.0) throw std::runtime_error("negative");
+        return x * 10.0;
+      },
+      fail_fast);
+  EXPECT_THROW(farm.run(std::vector<double>{1.0, -1.0}), FarmPhaseError);
+  // An empty phase right after the abort must not touch the (possibly
+  // still queued) replies of the failed one...
+  EXPECT_TRUE(farm.run(std::vector<double>{}).empty());
+  // ...and a real phase discards them by phase stamp.
+  const auto results = farm.run(std::vector<double>{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(results[0], 20.0);
+  EXPECT_DOUBLE_EQ(results[1], 30.0);
+}
+
+TEST(FarmFaultTolerance, StaleRepliesAreCountedAndDiscarded) {
+  FaultInjector::Config config;
+  config.stale_on_tasks = {0, 2};
+  auto injector = std::make_shared<FaultInjector>(config);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x + 1.0; }, FarmPolicy{}, injector);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] + 1.0);
+  }
+  EXPECT_EQ(injector->injected_stales(), 2u);
+  EXPECT_EQ(farm.stats().stale_discarded, 2u);
+  EXPECT_EQ(farm.stats().failures, 0u);
+}
+
+TEST(FarmFaultTolerance, QuarantineThenRespawnRecovers) {
+  // Both slaves fail their very first call; with quarantine_after = 1
+  // each is taken out and replaced, and the replacements finish the
+  // phase.
+  std::atomic<int> remaining_failures{2};
+  FarmPolicy policy;
+  policy.max_task_retries = 10;
+  policy.quarantine_after = 1;
+  policy.respawn_quarantined = true;
+  MasterSlaveFarm<double, double> farm(
+      2,
+      [&remaining_failures](const double& x) {
+        if (remaining_failures.fetch_sub(1) > 0) {
+          throw std::runtime_error("flaky start");
+        }
+        return x + 0.5;
+      },
+      policy);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] + 0.5);
+  }
+  EXPECT_EQ(farm.stats().quarantines, 2u);
+  EXPECT_EQ(farm.stats().respawns, 2u);
+  EXPECT_EQ(farm.healthy_slave_count(), 2u);
+  // A later phase runs on the respawned slaves.
+  EXPECT_DOUBLE_EQ(farm.run(std::vector<double>{9.0})[0], 9.5);
+}
+
+TEST(FarmFaultTolerance, QuarantineWithoutRespawnDegrades) {
+  std::atomic<int> remaining_failures{1};
+  FarmPolicy policy;
+  policy.max_task_retries = 5;
+  policy.quarantine_after = 1;
+  policy.respawn_quarantined = false;
+  MasterSlaveFarm<double, double> farm(
+      3,
+      [&remaining_failures](const double& x) {
+        if (remaining_failures.fetch_sub(1) > 0) {
+          throw std::runtime_error("one bad call");
+        }
+        return x;
+      },
+      policy);
+  std::vector<double> tasks(9);
+  std::iota(tasks.begin(), tasks.end(), 0.0);
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i]);
+  }
+  EXPECT_EQ(farm.stats().quarantines, 1u);
+  EXPECT_EQ(farm.stats().respawns, 0u);
+  EXPECT_EQ(farm.healthy_slave_count(), 2u);
+}
+
+TEST(FarmFaultTolerance, AllSlavesQuarantinedFailsThePhase) {
+  FarmPolicy policy;
+  policy.max_task_retries = 50;  // retries never exhaust first
+  policy.quarantine_after = 1;
+  policy.respawn_quarantined = false;
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double&) -> double { throw std::runtime_error("dead"); },
+      policy);
+  EXPECT_THROW(farm.run(std::vector<double>{1.0, 2.0}), FarmPhaseError);
+  EXPECT_EQ(farm.healthy_slave_count(), 0u);
+  // With nobody left, later phases fail immediately.
+  EXPECT_THROW(farm.run(std::vector<double>{3.0}), FarmPhaseError);
+}
+
+TEST(FarmFaultTolerance, PhaseDeadlineAborts) {
+  FarmPolicy policy;
+  policy.phase_deadline = std::chrono::milliseconds(30);
+  MasterSlaveFarm<double, double> farm(
+      2,
+      [](const double& x) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return x;
+      },
+      policy);
+  try {
+    farm.run(std::vector<double>{1.0, 2.0});
+    FAIL() << "expected FarmPhaseError";
+  } catch (const FarmPhaseError& error) {
+    EXPECT_NE(std::string(error.what()).find("deadline"),
+              std::string::npos);
+    EXPECT_FALSE(error.task_index().has_value());
+  }
+}
+
+TEST(FarmFaultTolerance, GenerousDeadlineDoesNotInterfere) {
+  FarmPolicy policy;
+  policy.phase_deadline = std::chrono::seconds(30);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x * x; }, policy);
+  const auto results = farm.run(std::vector<double>{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(results[0], 9.0);
+  EXPECT_DOUBLE_EQ(results[1], 16.0);
+}
+
+TEST(FarmFaultTolerance, ProbabilisticFaultsStillCompletePhases) {
+  // A noisy farm (deterministic 20% injected failure rate) must finish
+  // every phase with correct results as long as retries are allowed.
+  FaultInjector::Config config;
+  config.seed = 2004;
+  config.throw_probability = 0.2;
+  auto injector = std::make_shared<FaultInjector>(config);
+  FarmPolicy policy;
+  policy.max_task_retries = 8;
+  MasterSlaveFarm<double, double> farm(
+      3, [](const double& x) { return x - 1.0; }, policy, injector);
+  for (int phase = 0; phase < 5; ++phase) {
+    std::vector<double> tasks(20);
+    std::iota(tasks.begin(), tasks.end(), static_cast<double>(phase));
+    const auto results = farm.run(tasks);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_DOUBLE_EQ(results[i], tasks[i] - 1.0);
+    }
+  }
+  EXPECT_GT(injector->injected_throws(), 0u);
+  EXPECT_EQ(farm.stats().retries, farm.stats().failures);
+  EXPECT_GE(farm.stats().retries, injector->injected_throws());
+}
 
 }  // namespace
 }  // namespace ldga::parallel
