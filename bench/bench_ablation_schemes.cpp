@@ -93,9 +93,9 @@ int main() {
       config.max_evaluations = kBudget;
       config.schemes = arm.schemes;
       config.allocation = arm.allocation;
-      config.backend = ga::EvalBackend::ThreadPool;
       config.seed = 4000 + run;
-      ga::GaEngine engine(fresh, config);
+      ga::GaEngine engine(fresh, config,
+                          stats::make_thread_pool_backend(fresh));
       const ga::GaResult result = engine.run();
       double sum = 0.0;
       for (std::uint32_t s = 0; s < 5; ++s) {

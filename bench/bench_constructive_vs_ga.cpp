@@ -48,10 +48,12 @@ int main() {
   ga_config.population_size = 120;
   ga_config.stagnation_generations = 100;
   ga_config.max_generations = 500;
-  ga_config.backend = ga::EvalBackend::ThreadPool;
   ga_config.seed = 12;
   const stats::HaplotypeEvaluator ga_evaluator(synthetic.dataset);
-  const auto ga_result = ga::GaEngine(ga_evaluator, ga_config).run();
+  const auto ga_result =
+      ga::GaEngine(ga_evaluator, ga_config,
+                   stats::make_thread_pool_backend(ga_evaluator))
+          .run();
 
   // Ground truth by enumeration.
   TextTable table({"size", "exact optimum", "greedy (beam 1)",

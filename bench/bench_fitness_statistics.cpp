@@ -55,9 +55,11 @@ int main() {
     config.stagnation_generations = 60;
     config.max_generations = 300;
     config.max_evaluations = 6000;
-    config.backend = ga::EvalBackend::ThreadPool;
     config.seed = 77;
-    const auto result = ga::GaEngine(evaluator, config).run();
+    const auto result =
+        ga::GaEngine(evaluator, config,
+                     stats::make_thread_pool_backend(evaluator))
+            .run();
 
     const auto& best3 = result.best_by_size[1];
     std::uint32_t found = 0;

@@ -45,9 +45,11 @@ int main() {
       config.min_subpopulation = 15;
       config.stagnation_generations = 40;
       config.max_generations = 200;
-      config.backend = ga::EvalBackend::ThreadPool;
       config.seed = 100 + cohort_id;
-      const auto result = ga::GaEngine(evaluator, config).run();
+      const auto result =
+          ga::GaEngine(evaluator, config,
+                       stats::make_thread_pool_backend(evaluator))
+              .run();
 
       const auto& winner = result.best_by_size[0];  // size 2, planted size
       fitness_sum += winner.fitness();

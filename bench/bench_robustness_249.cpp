@@ -29,12 +29,12 @@ int main() {
   config.population_size = 150;
   config.stagnation_generations = 100;  // the paper's setting
   config.max_generations = 500;
-  config.backend = ga::EvalBackend::ThreadPool;
   config.seed = 10;
   const ga::FeasibilityFilter filter;
 
-  const auto report = analysis::measure_robustness(evaluator, config, 4,
-                                                   filter);
+  const auto report = analysis::measure_robustness(
+      evaluator, config, 4, filter,
+      stats::make_thread_pool_backend(evaluator));
 
   TextTable table({"size", "mean pairwise Jaccard", "fitness CV",
                    "best run fitness", "runs touching planted SNPs"});

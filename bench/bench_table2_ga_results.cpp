@@ -63,10 +63,10 @@ int main() {
     config.min_operator_rate = 0.01;         // paper §5.2.1 (delta)
     config.stagnation_generations = 100;     // paper §5.2.1
     config.random_immigrant_stagnation = 20; // paper §5.2.1
-    config.backend = ga::EvalBackend::ThreadPool;
     config.record_history = true;
     config.seed = 1000 + run;
-    ga::GaEngine engine(evaluator, config);
+    ga::GaEngine engine(evaluator, config,
+                        stats::make_thread_pool_backend(evaluator));
     const ga::GaResult result = engine.run();
 
     for (std::uint32_t s = 0; s < n_sizes; ++s) {

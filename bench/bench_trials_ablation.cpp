@@ -39,9 +39,9 @@ int main() {
       config.stagnation_generations = 100;
       config.max_generations = 400;
       config.max_evaluations = 6000;
-      config.backend = ga::EvalBackend::ThreadPool;
       config.seed = 900 + run;
-      ga::GaEngine engine(evaluator, config);
+      ga::GaEngine engine(evaluator, config,
+                          stats::make_thread_pool_backend(evaluator));
       const ga::GaResult result = engine.run();
       double sum = 0.0;
       for (std::uint32_t s = 0; s < 5; ++s) {

@@ -5,6 +5,7 @@
 
 #include "ga/engine.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 
 int main() {
@@ -20,10 +21,10 @@ int main() {
   ga::GaConfig config;
   config.stagnation_generations = 60;
   config.max_generations = 250;
-  config.backend = ga::EvalBackend::ThreadPool;
   config.seed = 23;
 
-  ga::GaEngine engine(evaluator, config);
+  ga::GaEngine engine(evaluator, config,
+                      stats::make_thread_pool_backend(evaluator));
   std::printf("generation,mut_snp,mut_reduction,mut_augmentation,"
               "xover_intra,xover_inter,best_s2,best_s3,best_s4,best_s5,"
               "best_s6,immigrants\n");

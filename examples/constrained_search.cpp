@@ -13,6 +13,7 @@
 #include "genomics/allele_freq.hpp"
 #include "genomics/ld.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 
 int main() {
@@ -58,12 +59,12 @@ int main() {
     config.population_size = 100;
     config.stagnation_generations = 50;
     config.max_generations = 250;
-    config.backend = ga::EvalBackend::ThreadPool;
     config.seed = 8;
 
     const ga::FeasibilityFilter no_filter;
     const stats::HaplotypeEvaluator fresh(dataset);
-    ga::GaEngine engine(fresh, config, constrained ? filter : no_filter);
+    ga::GaEngine engine(fresh, config, constrained ? filter : no_filter,
+                        stats::make_thread_pool_backend(fresh));
     const ga::GaResult result = engine.run();
 
     std::printf("%s search (%llu evaluations):\n",

@@ -14,6 +14,7 @@
 #include "ga/engine.hpp"
 #include "genomics/ld.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 #include "stats/multiple_testing.hpp"
 #include "stats/permutation.hpp"
@@ -42,9 +43,9 @@ int main() {
   config.population_size = 150;
   config.stagnation_generations = 80;
   config.max_generations = 400;
-  config.backend = ga::EvalBackend::ThreadPool;
   config.seed = 17;
-  ga::GaEngine engine(evaluator, config);
+  ga::GaEngine engine(evaluator, config,
+                      stats::make_thread_pool_backend(evaluator));
   const ga::GaResult result = engine.run();
   std::printf("GA: %u generations, %llu evaluations\n\n", result.generations,
               static_cast<unsigned long long>(result.evaluations));

@@ -7,6 +7,7 @@
 #include "analysis/random_search.hpp"
 #include "ga/engine.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 #include "util/stopwatch.hpp"
 
@@ -31,11 +32,12 @@ int main() {
   config.population_size = 150;
   config.stagnation_generations = 60;  // trimmed for an example run
   config.max_generations = 400;
-  config.backend = ga::EvalBackend::Farm;  // the paper's §4.5 scheme
   config.seed = 3;
 
   Stopwatch watch;
-  ga::GaEngine engine(evaluator, config);
+  // The paper's §4.5 master/slave farm scheme.
+  ga::GaEngine engine(evaluator, config,
+                      stats::make_farm_backend(evaluator));
   const ga::GaResult result = engine.run();
   const double ga_seconds = watch.elapsed_seconds();
 

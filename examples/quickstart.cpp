@@ -9,6 +9,7 @@
 
 #include "ga/engine.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 
 int main() {
@@ -42,10 +43,10 @@ int main() {
   config.population_size = 150;         // paper §5.2.1
   config.stagnation_generations = 100;  // stop after 100 stale generations
   config.random_immigrant_stagnation = 20;
-  config.backend = ga::EvalBackend::ThreadPool;
   config.seed = 7;
 
-  ga::GaEngine engine(evaluator, config);
+  ga::GaEngine engine(evaluator, config,
+                      stats::make_thread_pool_backend(evaluator));
   const ga::GaResult result = engine.run();
 
   // --- 4. report --------------------------------------------------------

@@ -32,6 +32,7 @@
 #include "genomics/linkage_format.hpp"
 #include "genomics/qc.hpp"
 #include "genomics/synthetic.hpp"
+#include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 #include "stats/permutation.hpp"
 #include "util/cli.hpp"
@@ -39,10 +40,21 @@
 
 namespace {
 
-ldga::ga::EvalBackend parse_backend(const std::string& name) {
-  if (name == "serial") return ldga::ga::EvalBackend::Serial;
-  if (name == "pool") return ldga::ga::EvalBackend::ThreadPool;
-  if (name == "farm") return ldga::ga::EvalBackend::Farm;
+std::shared_ptr<ldga::stats::EvaluationBackend> make_backend(
+    const std::string& name,
+    const ldga::stats::HaplotypeEvaluator& evaluator,
+    std::uint32_t workers) {
+  ldga::stats::BackendOptions options;
+  options.workers = workers;
+  if (name == "serial") {
+    return ldga::stats::make_serial_backend(evaluator, options);
+  }
+  if (name == "pool") {
+    return ldga::stats::make_thread_pool_backend(evaluator, options);
+  }
+  if (name == "farm") {
+    return ldga::stats::make_farm_backend(evaluator, options);
+  }
   throw ldga::ConfigError("--backend must be serial|pool|farm, got '" +
                           name + "'");
 }
@@ -129,8 +141,11 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_int("stagnation", 100));
     config.random_immigrant_stagnation =
         static_cast<std::uint32_t>(args.get_int("immigrants", 20));
-    config.backend = parse_backend(args.get("backend", "pool"));
-    config.workers = static_cast<std::uint32_t>(args.get_int("workers", 0));
+    // One backend for all runs: pool threads / farm slaves spawn once
+    // and the evaluator's cache is shared across the whole series.
+    const auto backend = make_backend(
+        args.get("backend", "pool"), evaluator,
+        static_cast<std::uint32_t>(args.get_int("workers", 0)));
     const bool trace = args.get_bool("trace");
     const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
     const auto base_seed =
@@ -146,7 +161,7 @@ int main(int argc, char** argv) {
     // --- runs ------------------------------------------------------------
     for (std::uint32_t run = 0; run < runs; ++run) {
       config.seed = base_seed + run;
-      ga::GaEngine engine(evaluator, config);
+      ga::GaEngine engine(evaluator, config, backend);
       if (trace) {
         engine.set_generation_callback([](const ga::GenerationInfo& info) {
           std::fprintf(stderr, "%u", info.generation);

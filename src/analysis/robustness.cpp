@@ -34,14 +34,15 @@ double jaccard_similarity(std::span<const SnpIndex> a,
 
 RobustnessReport measure_robustness(
     const stats::HaplotypeEvaluator& evaluator, ga::GaConfig config,
-    std::uint32_t runs, const ga::FeasibilityFilter& filter) {
+    std::uint32_t runs, const ga::FeasibilityFilter& filter,
+    std::shared_ptr<stats::EvaluationBackend> backend) {
   LDGA_EXPECTS(runs >= 2);
 
   RobustnessReport report;
   const std::uint64_t base_seed = config.seed;
   for (std::uint32_t run = 0; run < runs; ++run) {
     config.seed = base_seed + run;
-    ga::GaEngine engine(evaluator, config, filter);
+    ga::GaEngine engine(evaluator, config, filter, backend);
     report.runs.push_back(engine.run());
   }
 

@@ -31,9 +31,12 @@ struct RobustnessReport {
 /// Runs the GA `runs` times with seeds base_seed, base_seed+1, ... and
 /// aggregates similarity. All runs share the evaluator (and its cache:
 /// repeat evaluations are free, exactly as re-running the tool would
-/// be with persisted results).
+/// be with persisted results) and, when given, one evaluation backend —
+/// a farm keeps its slaves alive across the whole series. Null backend
+/// = serial.
 RobustnessReport measure_robustness(
     const stats::HaplotypeEvaluator& evaluator, ga::GaConfig config,
-    std::uint32_t runs, const ga::FeasibilityFilter& filter);
+    std::uint32_t runs, const ga::FeasibilityFilter& filter,
+    std::shared_ptr<stats::EvaluationBackend> backend = nullptr);
 
 }  // namespace ldga::analysis

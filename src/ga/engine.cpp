@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <optional>
 #include <string>
+#include <utility>
 
-#include "parallel/fault_injection.hpp"
-#include "parallel/master_slave.hpp"
-#include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace ldga::ga {
@@ -15,63 +13,6 @@ namespace {
 
 /// Strict-improvement tolerance for stagnation detection.
 constexpr double kImprovementEpsilon = 1e-9;
-
-/// Executes one synchronous evaluation phase on the chosen backend.
-/// Results are returned in task order, so GA behaviour is identical
-/// across backends and worker counts.
-class EvaluationPhase {
- public:
-  EvaluationPhase(const stats::HaplotypeEvaluator& evaluator,
-                  EvalBackend backend, std::uint32_t workers,
-                  const parallel::FarmPolicy& policy,
-                  std::shared_ptr<parallel::FaultInjector> injector)
-      : evaluator_(&evaluator) {
-    const std::uint32_t n =
-        workers > 0 ? workers : parallel::default_thread_count();
-    switch (backend) {
-      case EvalBackend::Serial:
-        break;
-      case EvalBackend::ThreadPool:
-        pool_ = std::make_unique<parallel::ThreadPool>(n);
-        break;
-      case EvalBackend::Farm:
-        farm_ = std::make_unique<
-            parallel::MasterSlaveFarm<std::vector<SnpIndex>, double>>(
-            n,
-            [ev = evaluator_](const std::vector<SnpIndex>& snps) {
-              return ev->fitness(snps);
-            },
-            policy, std::move(injector));
-        break;
-    }
-  }
-
-  std::vector<double> run(const std::vector<std::vector<SnpIndex>>& tasks) {
-    if (farm_) return farm_->run(tasks);
-    std::vector<double> results(tasks.size());
-    if (pool_) {
-      pool_->parallel_for(0, tasks.size(), [&](std::size_t i) {
-        results[i] = evaluator_->fitness(tasks[i]);
-      });
-    } else {
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        results[i] = evaluator_->fitness(tasks[i]);
-      }
-    }
-    return results;
-  }
-
-  /// Health counters (all-zero for the Serial/ThreadPool backends).
-  parallel::FarmStats stats() const {
-    return farm_ ? farm_->stats() : parallel::FarmStats{};
-  }
-
- private:
-  const stats::HaplotypeEvaluator* evaluator_;
-  std::unique_ptr<parallel::ThreadPool> pool_;
-  std::unique_ptr<parallel::MasterSlaveFarm<std::vector<SnpIndex>, double>>
-      farm_;
-};
 
 }  // namespace
 
@@ -105,7 +46,14 @@ void GaConfig::validate() const {
   if (stagnation_generations < 1 || max_generations < 1) {
     throw ConfigError("GaConfig: generation limits must be >= 1");
   }
-  farm_policy.validate();
+  if (max_evaluations > 0 && max_evaluations < population_size) {
+    throw ConfigError(
+        "GaConfig: max_evaluations (" + std::to_string(max_evaluations) +
+        ") is smaller than population_size (" +
+        std::to_string(population_size) +
+        "); the budget would be exhausted by initialization — raise it or "
+        "set 0 for unlimited");
+  }
   checkpoint.validate();
   for (const auto& snps : warm_starts) {
     const ga::HaplotypeIndividual canonical{
@@ -115,6 +63,11 @@ void GaConfig::validate() const {
                         "' is outside the size range");
     }
   }
+}
+
+GaConfig GaConfig::validated() const {
+  validate();
+  return *this;
 }
 
 struct GaEngine::Pending {
@@ -139,23 +92,39 @@ void GaEngine::check_compatible(const stats::HaplotypeEvaluator& evaluator,
                                 const GaConfig& config) {
   config.validate();
   if (config.max_size > evaluator.config().max_loci) {
-    throw ConfigError("GaEngine: max_size exceeds evaluator max_loci");
+    throw ConfigError(
+        "GaEngine: max_size (" + std::to_string(config.max_size) +
+        ") exceeds the evaluator's max_loci (" +
+        std::to_string(evaluator.config().max_loci) +
+        "); raise EvaluatorConfig::max_loci or shrink the size range");
   }
   if (config.max_size >= evaluator.dataset().snp_count()) {
-    throw ConfigError("GaEngine: max_size must leave spare SNPs for "
-                      "mutation (panel too small)");
+    throw ConfigError(
+        "GaEngine: max_size (" + std::to_string(config.max_size) +
+        ") must leave spare SNPs for mutation, but the panel has only " +
+        std::to_string(evaluator.dataset().snp_count()) + " SNPs");
   }
 }
 
 GaEngine::GaEngine(const stats::HaplotypeEvaluator& evaluator,
-                   GaConfig config, const FeasibilityFilter& filter)
-    : evaluator_(&evaluator), config_(config), filter_(&filter) {
+                   GaConfig config, const FeasibilityFilter& filter,
+                   std::shared_ptr<stats::EvaluationBackend> backend)
+    : evaluator_(&evaluator),
+      config_(std::move(config)),
+      filter_(&filter),
+      backend_(backend ? std::move(backend)
+                       : stats::make_serial_backend(evaluator)) {
   check_compatible(evaluator, config_);
 }
 
 GaEngine::GaEngine(const stats::HaplotypeEvaluator& evaluator,
-                   GaConfig config)
-    : evaluator_(&evaluator), config_(config), filter_(&own_filter_) {
+                   GaConfig config,
+                   std::shared_ptr<stats::EvaluationBackend> backend)
+    : evaluator_(&evaluator),
+      config_(std::move(config)),
+      filter_(&own_filter_),
+      backend_(backend ? std::move(backend)
+                       : stats::make_serial_backend(evaluator)) {
   check_compatible(evaluator, config_);
 }
 
@@ -192,8 +161,9 @@ GaResult GaEngine::run() {
   if (!config_.schemes.adaptive_crossover) crossover_rates.freeze();
 
   const Selector selector(config_.selection);
-  EvaluationPhase phase(*evaluator_, config_.backend, config_.workers,
-                        config_.farm_policy, injector_);
+  // One synchronous batch per evaluation phase: the service collapses
+  // cache hits and in-batch duplicates, the backend scores the rest.
+  stats::EvaluationService service(*evaluator_, backend_);
 
   // A resumed run starts with a cold fitness cache, so its own pipeline
   // counter restarts at zero; `evaluations_base` carries the work the
@@ -285,10 +255,10 @@ GaResult GaEngine::run() {
         destination.push_back(s);
       }
     }
-    std::vector<std::vector<SnpIndex>> tasks;
+    std::vector<stats::Candidate> tasks;
     tasks.reserve(fresh.size());
     for (const auto& individual : fresh) tasks.push_back(individual.snps());
-    const std::vector<double> scores = phase.run(tasks);
+    const std::vector<double> scores = service.evaluate(tasks);
     for (std::size_t i = 0; i < fresh.size(); ++i) {
       fresh[i].set_fitness(scores[i]);
       population.at(destination[i]).add_initial(std::move(fresh[i]));
@@ -408,12 +378,12 @@ GaResult GaEngine::run() {
 
     // -- synchronous parallel evaluation phase ------------------------
     {
-      std::vector<std::vector<SnpIndex>> tasks;
+      std::vector<stats::Candidate> tasks;
       tasks.reserve(pending.size());
       for (const auto& entry : pending) {
         tasks.push_back(entry.individual.snps());
       }
-      const std::vector<double> scores = phase.run(tasks);
+      const std::vector<double> scores = service.evaluate(tasks);
       for (std::size_t i = 0; i < pending.size(); ++i) {
         pending[i].individual.set_fitness(scores[i]);
       }
@@ -527,12 +497,12 @@ GaResult GaEngine::run() {
           immigrants.push_back(std::move(entry));
         }
       }
-      std::vector<std::vector<SnpIndex>> tasks;
+      std::vector<stats::Candidate> tasks;
       tasks.reserve(immigrants.size());
       for (const auto& entry : immigrants) {
         tasks.push_back(entry.individual.snps());
       }
-      const std::vector<double> scores = phase.run(tasks);
+      const std::vector<double> scores = service.evaluate(tasks);
       for (std::size_t i = 0; i < immigrants.size(); ++i) {
         immigrants[i].individual.set_fitness(scores[i]);
         population.at(immigrants[i].target_subpop)
@@ -561,6 +531,10 @@ GaResult GaEngine::run() {
       }
       info.rates.mutation = mutation_rates.rates();
       info.rates.crossover = crossover_rates.rates();
+      const stats::FitnessCacheStats cache = evaluator_->cache_stats();
+      info.cache_hits = cache.hits;
+      info.cache_misses = cache.misses;
+      info.cache_evictions = cache.evictions;
       if (callback_) callback_(info);
       if (config_.record_history) result.history.push_back(std::move(info));
     }
@@ -603,7 +577,9 @@ GaResult GaEngine::run() {
     result.best_by_size.push_back(population.at(s).best());
   }
   result.evaluations = evaluations_used();
-  result.farm_stats = phase.stats();
+  result.farm_stats = backend_->farm_stats();
+  result.eval_stats = service.stats();
+  result.cache_stats = evaluator_->cache_stats();
   return result;
 }
 

@@ -31,12 +31,9 @@
 #include "ga/operators.hpp"
 #include "ga/selection.hpp"
 #include "parallel/farm_policy.hpp"
+#include "stats/evaluation_service.hpp"
 #include "stats/evaluator.hpp"
 #include "util/rng.hpp"
-
-namespace ldga::parallel {
-class FaultInjector;
-}
 
 namespace ldga::ga {
 
@@ -54,13 +51,6 @@ struct GaSchemes {
   static GaSchemes baseline() {
     return {false, false, false, false, false};
   }
-};
-
-/// How the synchronous evaluation phase is executed.
-enum class EvalBackend : std::uint8_t {
-  Serial,      ///< master evaluates everything itself
-  ThreadPool,  ///< shared-memory pool
-  Farm,        ///< PVM-style master/slave message-passing farm (§4.5)
 };
 
 struct GaConfig {
@@ -82,10 +72,6 @@ struct GaConfig {
   std::uint64_t max_evaluations = 0;         ///< 0 = unlimited
   SelectionConfig selection;
   GaSchemes schemes;
-  EvalBackend backend = EvalBackend::Serial;
-  std::uint32_t workers = 0;                 ///< 0 → hardware concurrency
-  /// Retry/quarantine/respawn ladder for the Farm backend.
-  parallel::FarmPolicy farm_policy;
   /// Periodic state snapshots and resume-from-snapshot (any backend).
   CheckpointPolicy checkpoint;
   std::uint64_t seed = 1;
@@ -96,6 +82,10 @@ struct GaConfig {
   std::vector<std::vector<genomics::SnpIndex>> warm_starts;
 
   void validate() const;
+  /// Validating factory: returns a copy after rejecting inconsistent
+  /// settings with actionable messages. Prefer this at call sites so a
+  /// bad config fails before any backend or dataset work starts.
+  GaConfig validated() const;
 };
 
 /// Per-generation operator rates, for telemetry and the rate-dynamics
@@ -111,6 +101,10 @@ struct GenerationInfo {
   std::uint64_t evaluations = 0;     ///< cumulative pipeline executions
   bool immigrants_triggered = false;
   OperatorRates rates;
+  /// Cumulative fitness-cache traffic (cross-generation cache).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 struct GaResult {
@@ -123,19 +117,30 @@ struct GaResult {
   std::uint32_t immigrant_events = 0;
   /// Generation the run was restored from (0 = started fresh).
   std::uint32_t resumed_from_generation = 0;
-  /// Farm health counters (meaningful for the Farm backend only).
+  /// Backend health counters: retry/failure totals for every backend,
+  /// plus the quarantine/respawn ladder for the farm.
   parallel::FarmStats farm_stats;
+  /// Batching effectiveness: hits, in-batch duplicates, dispatches.
+  stats::EvaluationServiceStats eval_stats;
+  /// Cross-generation fitness-cache counters at the end of the run.
+  stats::FitnessCacheStats cache_stats;
   std::vector<GenerationInfo> history;  ///< when record_history is set
 };
 
 class GaEngine {
  public:
-  /// The evaluator and filter must outlive the engine.
+  /// The evaluator and filter must outlive the engine. `backend` is how
+  /// evaluation phases execute — build one with make_serial_backend /
+  /// make_thread_pool_backend / make_farm_backend over the *same*
+  /// evaluator; nullptr defaults to a serial backend. The engine never
+  /// branches on what kind of backend it holds.
   GaEngine(const stats::HaplotypeEvaluator& evaluator, GaConfig config,
-           const FeasibilityFilter& filter);
+           const FeasibilityFilter& filter,
+           std::shared_ptr<stats::EvaluationBackend> backend = nullptr);
 
   /// Convenience constructor with a permissive (disabled) filter.
-  GaEngine(const stats::HaplotypeEvaluator& evaluator, GaConfig config);
+  GaEngine(const stats::HaplotypeEvaluator& evaluator, GaConfig config,
+           std::shared_ptr<stats::EvaluationBackend> backend = nullptr);
 
   /// Runs the GA to termination. Deterministic for a fixed config.seed,
   /// regardless of backend or worker count.
@@ -146,14 +151,8 @@ class GaEngine {
     callback_ = std::move(cb);
   }
 
-  /// Attaches a deterministic fault injector to the Farm backend's
-  /// slaves (fault-tolerance testing; ignored by other backends).
-  void set_fault_injector(
-      std::shared_ptr<parallel::FaultInjector> injector) {
-    injector_ = std::move(injector);
-  }
-
   const GaConfig& config() const { return config_; }
+  const stats::EvaluationBackend& backend() const { return *backend_; }
 
  private:
   struct Pending;  // offspring awaiting evaluation (defined in .cpp)
@@ -165,8 +164,8 @@ class GaEngine {
   GaConfig config_;
   FeasibilityFilter own_filter_;  ///< used by the convenience constructor
   const FeasibilityFilter* filter_;
+  std::shared_ptr<stats::EvaluationBackend> backend_;
   std::function<void(const GenerationInfo&)> callback_;
-  std::shared_ptr<parallel::FaultInjector> injector_;
 };
 
 }  // namespace ldga::ga

@@ -19,7 +19,8 @@ void TelemetryCsvWriter::write_header(const GenerationInfo& info) {
   for (std::size_t op = 0; op < info.rates.crossover.size(); ++op) {
     *out_ << ",crossover_rate_" << op;
   }
-  *out_ << ",evaluations,immigrants\n";
+  *out_ << ",evaluations,immigrants,cache_hits,cache_misses,"
+           "cache_evictions\n";
   header_written_ = true;
 }
 
@@ -30,7 +31,8 @@ void TelemetryCsvWriter::record(const GenerationInfo& info) {
   for (const double rate : info.rates.mutation) *out_ << ',' << rate;
   for (const double rate : info.rates.crossover) *out_ << ',' << rate;
   *out_ << ',' << info.evaluations << ','
-        << (info.immigrants_triggered ? 1 : 0) << '\n';
+        << (info.immigrants_triggered ? 1 : 0) << ',' << info.cache_hits
+        << ',' << info.cache_misses << ',' << info.cache_evictions << '\n';
   ++rows_;
   if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
 }

@@ -1,0 +1,172 @@
+#include "genomics/packed_genotype.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace ldga::genomics {
+
+namespace {
+
+std::uint32_t words_for(std::uint32_t individuals) {
+  return (individuals + 63) / 64;
+}
+
+std::uint32_t popcount_words(const std::uint64_t* words,
+                             std::uint32_t count) {
+  std::uint32_t total = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    total += static_cast<std::uint32_t>(std::popcount(words[i]));
+  }
+  return total;
+}
+
+}  // namespace
+
+PackedGenotypeMatrix::PackedGenotypeMatrix(const GenotypeMatrix& matrix)
+    : individuals_(matrix.individual_count()),
+      snps_(matrix.snp_count()),
+      words_(words_for(individuals_)),
+      low_(static_cast<std::size_t>(snps_) * words_, 0),
+      high_(static_cast<std::size_t>(snps_) * words_, 0) {
+  for (std::uint32_t i = 0; i < individuals_; ++i) {
+    const auto row = matrix.row(i);
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    const std::uint32_t word = i / 64;
+    for (SnpIndex s = 0; s < snps_; ++s) {
+      const auto code = static_cast<std::uint32_t>(row[s]);
+      const std::size_t at = static_cast<std::size_t>(s) * words_ + word;
+      if (code & 1u) low_[at] |= bit;
+      if (code & 2u) high_[at] |= bit;
+    }
+  }
+}
+
+PackedGenotypeMatrix::PackedGenotypeMatrix(
+    const GenotypeMatrix& matrix,
+    std::span<const std::uint32_t> individuals)
+    : individuals_(static_cast<std::uint32_t>(individuals.size())),
+      snps_(matrix.snp_count()),
+      words_(words_for(individuals_)),
+      low_(static_cast<std::size_t>(snps_) * words_, 0),
+      high_(static_cast<std::size_t>(snps_) * words_, 0) {
+  for (std::uint32_t i = 0; i < individuals_; ++i) {
+    LDGA_EXPECTS(individuals[i] < matrix.individual_count());
+    const auto row = matrix.row(individuals[i]);
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    const std::uint32_t word = i / 64;
+    for (SnpIndex s = 0; s < snps_; ++s) {
+      const auto code = static_cast<std::uint32_t>(row[s]);
+      const std::size_t at = static_cast<std::size_t>(s) * words_ + word;
+      if (code & 1u) low_[at] |= bit;
+      if (code & 2u) high_[at] |= bit;
+    }
+  }
+}
+
+Genotype PackedGenotypeMatrix::at(std::uint32_t individual,
+                                  SnpIndex snp) const {
+  LDGA_EXPECTS(individual < individuals_ && snp < snps_);
+  const std::uint32_t word = individual / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (individual % 64);
+  const std::uint32_t lo = (low_words(snp)[word] & bit) ? 1u : 0u;
+  const std::uint32_t hi = (high_words(snp)[word] & bit) ? 2u : 0u;
+  return static_cast<Genotype>(lo | hi);
+}
+
+std::span<const std::uint64_t> PackedGenotypeMatrix::low_plane(
+    SnpIndex snp) const {
+  LDGA_EXPECTS(snp < snps_);
+  return {low_words(snp), words_};
+}
+
+std::span<const std::uint64_t> PackedGenotypeMatrix::high_plane(
+    SnpIndex snp) const {
+  LDGA_EXPECTS(snp < snps_);
+  return {high_words(snp), words_};
+}
+
+LocusCounts PackedGenotypeMatrix::locus_counts(SnpIndex snp) const {
+  LDGA_EXPECTS(snp < snps_);
+  const std::uint64_t* lo = low_words(snp);
+  const std::uint64_t* hi = high_words(snp);
+  LocusCounts counts;
+  for (std::uint32_t w = 0; w < words_; ++w) {
+    counts.het += static_cast<std::uint32_t>(std::popcount(lo[w] & ~hi[w]));
+    counts.hom_two +=
+        static_cast<std::uint32_t>(std::popcount(hi[w] & ~lo[w]));
+    counts.missing +=
+        static_cast<std::uint32_t>(std::popcount(lo[w] & hi[w]));
+  }
+  counts.hom_one =
+      individuals_ - counts.het - counts.hom_two - counts.missing;
+  return counts;
+}
+
+void PackedGenotypeMatrix::for_each_pattern(
+    std::span<const SnpIndex> snps, const PatternVisitor& visit) const {
+  const auto k = static_cast<std::uint32_t>(snps.size());
+  LDGA_EXPECTS(k >= 1 && k <= kMaxPatternLoci);
+  for (const SnpIndex s : snps) LDGA_EXPECTS(s < snps_);
+  if (individuals_ == 0) return;
+
+  // Depth-first over genotype codes, one word row per level; a child
+  // row is the parent intersected with the code's plane combination,
+  // and empty intersections prune the whole subtree. Level 0 holds the
+  // everyone-mask, so the complements in the HomOne branch can never
+  // leak padding bits into the counts.
+  std::vector<std::uint64_t> rows(
+      static_cast<std::size_t>(k + 1) * words_, ~std::uint64_t{0});
+  if (const std::uint32_t tail = individuals_ % 64; tail != 0) {
+    rows[words_ - 1] = (std::uint64_t{1} << tail) - 1;
+  }
+
+  const auto descend = [&](auto&& self, std::uint32_t level,
+                           std::uint32_t hom_two_mask,
+                           std::uint32_t het_mask,
+                           std::uint32_t missing_mask) -> void {
+    const std::uint64_t* parent = rows.data() + level * words_;
+    if (level == k) {
+      visit(hom_two_mask, het_mask, missing_mask,
+            popcount_words(parent, words_));
+      return;
+    }
+    std::uint64_t* child = rows.data() + (level + 1) * words_;
+    const std::uint64_t* lo = low_words(snps[level]);
+    const std::uint64_t* hi = high_words(snps[level]);
+    const std::uint32_t bit = 1u << level;
+
+    std::uint64_t any = 0;
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      any |= child[w] = parent[w] & ~lo[w] & ~hi[w];  // HomOne
+    }
+    if (any) self(self, level + 1, hom_two_mask, het_mask, missing_mask);
+
+    any = 0;
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      any |= child[w] = parent[w] & lo[w] & ~hi[w];  // Het
+    }
+    if (any) {
+      self(self, level + 1, hom_two_mask, het_mask | bit, missing_mask);
+    }
+
+    any = 0;
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      any |= child[w] = parent[w] & hi[w] & ~lo[w];  // HomTwo
+    }
+    if (any) {
+      self(self, level + 1, hom_two_mask | bit, het_mask, missing_mask);
+    }
+
+    any = 0;
+    for (std::uint32_t w = 0; w < words_; ++w) {
+      any |= child[w] = parent[w] & lo[w] & hi[w];  // Missing
+    }
+    if (any) {
+      self(self, level + 1, hom_two_mask, het_mask, missing_mask | bit);
+    }
+  };
+  descend(descend, 0, 0, 0, 0);
+}
+
+}  // namespace ldga::genomics

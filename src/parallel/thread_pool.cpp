@@ -69,7 +69,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  // Drain every chunk before surfacing a failure: the tasks reference
+  // the caller's stack (fn and its captures), so returning — even by
+  // exception — while a chunk is still running would be a use-after-
+  // free. The first exception wins; later ones are dropped.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 std::uint32_t default_thread_count() {

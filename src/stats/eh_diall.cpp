@@ -22,8 +22,9 @@ ContingencyTable EhDiallResult::to_contingency_table() const {
   return table;
 }
 
-EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config)
-    : dataset_(&dataset), config_(config) {
+EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
+                 bool packed_kernel)
+    : dataset_(&dataset), config_(config), packed_kernel_(packed_kernel) {
   config_.validate();
   affected_ = dataset.individuals_with(Status::Affected);
   unaffected_ = dataset.individuals_with(Status::Unaffected);
@@ -32,17 +33,30 @@ EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config)
         "EhDiall: dataset needs at least one affected and one unaffected "
         "individual");
   }
+  if (packed_kernel_) {
+    packed_affected_ =
+        genomics::PackedGenotypeMatrix(dataset.genotypes(), affected_);
+    packed_unaffected_ =
+        genomics::PackedGenotypeMatrix(dataset.genotypes(), unaffected_);
+  }
 }
 
 EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
   LDGA_EXPECTS(!snps.empty());
 
   const auto& genotypes = dataset_->genotypes();
-  const auto table_a = GenotypePatternTable::build(genotypes, snps, affected_,
-                                                   config_.missing);
-  const auto table_u = GenotypePatternTable::build(genotypes, snps,
-                                                   unaffected_,
-                                                   config_.missing);
+  const auto table_a =
+      packed_kernel_
+          ? GenotypePatternTable::build_packed(packed_affected_, snps,
+                                               config_.missing)
+          : GenotypePatternTable::build(genotypes, snps, affected_,
+                                        config_.missing);
+  const auto table_u =
+      packed_kernel_
+          ? GenotypePatternTable::build_packed(packed_unaffected_, snps,
+                                               config_.missing)
+          : GenotypePatternTable::build(genotypes, snps, unaffected_,
+                                        config_.missing);
   const auto table_pooled = GenotypePatternTable::merge(table_a, table_u);
 
   EhDiallResult result;

@@ -39,7 +39,12 @@ class EhDiall {
  public:
   /// Captures the affected/unaffected individual lists of the dataset;
   /// individuals with Unknown status are ignored (as in the paper).
-  explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {});
+  /// With `packed_kernel` (the default) each group is bit-packed once
+  /// here — a per-group column slice — and every analyze() call counts
+  /// genotype patterns with word-level popcounts; the tables, and hence
+  /// all statistics, are bit-for-bit identical to the byte path.
+  explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {},
+                   bool packed_kernel = true);
 
   /// Full three-way analysis of a candidate SNP set (ascending order not
   /// required here, but indices must be distinct and in range).
@@ -57,6 +62,9 @@ class EhDiall {
   EmConfig config_;
   std::vector<std::uint32_t> affected_;
   std::vector<std::uint32_t> unaffected_;
+  bool packed_kernel_ = true;
+  genomics::PackedGenotypeMatrix packed_affected_;
+  genomics::PackedGenotypeMatrix packed_unaffected_;
 };
 
 }  // namespace ldga::stats

@@ -98,6 +98,36 @@ GenotypePatternTable GenotypePatternTable::build(
   return table;
 }
 
+GenotypePatternTable GenotypePatternTable::build_packed(
+    const genomics::PackedGenotypeMatrix& group,
+    std::span<const SnpIndex> snps, MissingPolicy missing) {
+  LDGA_EXPECTS(!snps.empty());
+  LDGA_EXPECTS(snps.size() <= kMaxEmLoci);
+
+  GenotypePatternTable table;
+  table.locus_count_ = static_cast<std::uint32_t>(snps.size());
+
+  // The packed kernel already delivers distinct patterns with carrier
+  // counts; no per-individual hashing round is needed.
+  group.for_each_pattern(
+      snps, [&](std::uint32_t hom_two, std::uint32_t het,
+                std::uint32_t missing_mask, std::uint32_t count) {
+        if (missing_mask != 0 && missing == MissingPolicy::CompleteCase) {
+          table.excluded_ += count;
+          return;
+        }
+        GenotypePattern p;
+        p.hom_two_mask = hom_two;
+        p.het_mask = het;
+        p.missing_mask = missing_mask;
+        p.count = static_cast<double>(count);
+        table.patterns_.push_back(p);
+        table.total_ += static_cast<double>(count);
+      });
+  std::sort(table.patterns_.begin(), table.patterns_.end(), pattern_less);
+  return table;
+}
+
 GenotypePatternTable GenotypePatternTable::merge(
     const GenotypePatternTable& a, const GenotypePatternTable& b) {
   LDGA_EXPECTS(a.locus_count_ == b.locus_count_);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "genomics/genotype_matrix.hpp"
+#include "genomics/packed_genotype.hpp"
 #include "genomics/types.hpp"
 
 namespace ldga::stats {
@@ -67,6 +68,16 @@ class GenotypePatternTable {
       const genomics::GenotypeMatrix& genotypes,
       std::span<const genomics::SnpIndex> snps,
       std::span<const std::uint32_t> individuals,
+      MissingPolicy missing = MissingPolicy::CompleteCase);
+
+  /// Same table from a bit-packed column slice (the slice *is* the
+  /// individual group). Word-level popcount counting instead of a byte
+  /// load per genotype; the resulting table is identical to build()'s
+  /// — same patterns, counts, exclusions and ordering — so every
+  /// downstream statistic is bit-for-bit unchanged.
+  static GenotypePatternTable build_packed(
+      const genomics::PackedGenotypeMatrix& group,
+      std::span<const genomics::SnpIndex> snps,
       MissingPolicy missing = MissingPolicy::CompleteCase);
 
   /// Merges another table over the same loci (used for the pooled-group

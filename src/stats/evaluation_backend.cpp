@@ -1,0 +1,171 @@
+#include "stats/evaluation_backend.hpp"
+
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "parallel/master_slave.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace ldga::stats {
+
+namespace {
+
+std::uint32_t resolve_workers(std::uint32_t requested) {
+  return requested > 0 ? requested : parallel::default_thread_count();
+}
+
+/// Shared retry ladder for the in-process backends, mirroring the farm:
+/// consult the injector once per attempt at the true (phase, index)
+/// coordinates, retry a failing evaluation up to max_task_retries
+/// times, and surface exhaustion as FarmPhaseError with the attempt
+/// history. Stale-reply decisions are wire-level faults and degrade to
+/// no-ops in process.
+class InProcessBackend : public EvaluationBackend {
+ public:
+  InProcessBackend(const HaplotypeEvaluator& evaluator,
+                   BackendOptions options)
+      : evaluator_(&evaluator),
+        policy_(options.farm_policy),
+        injector_(std::move(options.fault_injector)) {
+    policy_.validate();
+  }
+
+  parallel::FarmStats farm_stats() const final {
+    parallel::FarmStats stats;
+    stats.phases = phases_.load(std::memory_order_relaxed);
+    stats.failures = failures_.load(std::memory_order_relaxed);
+    stats.retries = retries_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ protected:
+  double evaluate_with_retry(const Candidate& candidate, std::uint64_t phase,
+                             std::uint64_t index) const {
+    std::vector<parallel::TaskAttempt> attempts;
+    for (;;) {
+      try {
+        if (injector_ != nullptr) {
+          parallel::FaultInjector::apply_before_work(
+              injector_->decide(phase, index));
+        }
+        return evaluator_->fitness_and_cache(candidate);
+      } catch (const std::exception& error) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        attempts.push_back({0, error.what()});
+        if (attempts.size() >
+            static_cast<std::size_t>(policy_.max_task_retries)) {
+          std::string what =
+              std::string(name()) + " backend: task " + std::to_string(index) +
+              " failed " + std::to_string(attempts.size()) +
+              " time(s): " + attempts.back().message;
+          throw parallel::FarmPhaseError(std::move(what), phase, index,
+                                         std::move(attempts));
+        }
+        retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::uint64_t begin_phase() const {
+    return phase_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void end_phase() const { phases_.fetch_add(1, std::memory_order_relaxed); }
+
+  const HaplotypeEvaluator* evaluator_;
+  parallel::FarmPolicy policy_;
+  std::shared_ptr<parallel::FaultInjector> injector_;
+
+ private:
+  mutable std::atomic<std::uint64_t> phase_counter_{0};
+  mutable std::atomic<std::uint64_t> phases_{0};
+  mutable std::atomic<std::uint64_t> failures_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+};
+
+class SerialBackend final : public InProcessBackend {
+ public:
+  using InProcessBackend::InProcessBackend;
+
+  std::vector<double> evaluate_batch(
+      std::span<const Candidate> batch) override {
+    const std::uint64_t phase = begin_phase();
+    std::vector<double> results(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      results[i] = evaluate_with_retry(batch[i], phase, i);
+    }
+    end_phase();
+    return results;
+  }
+
+  std::string_view name() const override { return "serial"; }
+  std::uint32_t worker_count() const override { return 1; }
+};
+
+class ThreadPoolBackend final : public InProcessBackend {
+ public:
+  ThreadPoolBackend(const HaplotypeEvaluator& evaluator,
+                    BackendOptions options)
+      : InProcessBackend(evaluator, options),
+        pool_(resolve_workers(options.workers)) {}
+
+  std::vector<double> evaluate_batch(
+      std::span<const Candidate> batch) override {
+    const std::uint64_t phase = begin_phase();
+    std::vector<double> results(batch.size());
+    pool_.parallel_for(0, batch.size(), [&](std::size_t i) {
+      results[i] = evaluate_with_retry(batch[i], phase, i);
+    });
+    end_phase();
+    return results;
+  }
+
+  std::string_view name() const override { return "thread_pool"; }
+  std::uint32_t worker_count() const override {
+    return pool_.thread_count();
+  }
+
+ private:
+  parallel::ThreadPool pool_;
+};
+
+class FarmBackend final : public EvaluationBackend {
+ public:
+  FarmBackend(const HaplotypeEvaluator& evaluator, BackendOptions options)
+      : farm_(resolve_workers(options.workers),
+              [ev = &evaluator](const Candidate& candidate) {
+                return ev->fitness_and_cache(candidate);
+              },
+              options.farm_policy, std::move(options.fault_injector)) {}
+
+  std::vector<double> evaluate_batch(
+      std::span<const Candidate> batch) override {
+    return farm_.run(batch);
+  }
+
+  std::string_view name() const override { return "farm"; }
+  std::uint32_t worker_count() const override { return farm_.slave_count(); }
+  parallel::FarmStats farm_stats() const override { return farm_.stats(); }
+
+ private:
+  parallel::MasterSlaveFarm<Candidate, double> farm_;
+};
+
+}  // namespace
+
+std::shared_ptr<EvaluationBackend> make_serial_backend(
+    const HaplotypeEvaluator& evaluator, BackendOptions options) {
+  return std::make_shared<SerialBackend>(evaluator, std::move(options));
+}
+
+std::shared_ptr<EvaluationBackend> make_thread_pool_backend(
+    const HaplotypeEvaluator& evaluator, BackendOptions options) {
+  return std::make_shared<ThreadPoolBackend>(evaluator, std::move(options));
+}
+
+std::shared_ptr<EvaluationBackend> make_farm_backend(
+    const HaplotypeEvaluator& evaluator, BackendOptions options) {
+  return std::make_shared<FarmBackend>(evaluator, std::move(options));
+}
+
+}  // namespace ldga::stats

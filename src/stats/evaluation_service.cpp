@@ -1,0 +1,82 @@
+#include "stats/evaluation_service.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::stats {
+
+namespace {
+
+struct CandidateHash {
+  std::size_t operator()(const Candidate& v) const {
+    std::uint64_t state = 0x6c6467611d2004ULL ^ (v.size() << 32);
+    std::uint64_t h = 0;
+    for (const genomics::SnpIndex s : v) {
+      state ^= s;
+      h ^= splitmix64(state);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+EvaluationService::EvaluationService(
+    const HaplotypeEvaluator& evaluator,
+    std::shared_ptr<EvaluationBackend> backend)
+    : evaluator_(&evaluator), backend_(std::move(backend)) {
+  LDGA_EXPECTS(backend_ != nullptr);
+}
+
+std::vector<double> EvaluationService::evaluate(
+    std::span<const Candidate> batch) {
+  ++stats_.batches;
+  stats_.candidates += batch.size();
+
+  constexpr std::size_t kUnresolved = static_cast<std::size_t>(-1);
+  std::vector<double> results(batch.size());
+  /// First batch position of each distinct candidate.
+  std::unordered_map<Candidate, std::size_t, CandidateHash> first_seen;
+  first_seen.reserve(batch.size());
+  /// Duplicates copy their result from the first occurrence afterwards.
+  std::vector<std::size_t> copy_from(batch.size(), kUnresolved);
+  /// First occurrences that missed the cache: position in `unique`.
+  std::vector<std::size_t> dispatch_slot(batch.size(), kUnresolved);
+  std::vector<Candidate> unique;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto [seen, fresh] = first_seen.emplace(batch[i], i);
+    if (!fresh) {
+      ++stats_.duplicates;
+      copy_from[i] = seen->second;
+      continue;
+    }
+    if (const auto cached = evaluator_->cached_fitness(batch[i])) {
+      ++stats_.cache_hits;
+      results[i] = *cached;
+      continue;
+    }
+    dispatch_slot[i] = unique.size();
+    unique.push_back(batch[i]);
+  }
+
+  if (!unique.empty()) {
+    stats_.dispatched += unique.size();
+    const std::vector<double> computed = backend_->evaluate_batch(unique);
+    LDGA_EXPECTS(computed.size() == unique.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (dispatch_slot[i] != kUnresolved) {
+        results[i] = computed[dispatch_slot[i]];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (copy_from[i] != kUnresolved) results[i] = results[copy_from[i]];
+  }
+  return results;
+}
+
+}  // namespace ldga::stats

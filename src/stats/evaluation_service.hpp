@@ -1,0 +1,53 @@
+// Generation-batched evaluation front door.
+//
+// The GA collects a whole generation's offspring and hands them here in
+// one call. The service resolves what it can without running the
+// statistical pipeline — cross-generation cache hits and in-batch
+// duplicates (SNP-mutation trials and crossover children frequently
+// collide on small panels) — then dispatches only the unique misses to
+// the configured EvaluationBackend and scatters the results back into
+// task order. Backend workers insert what they compute into the
+// evaluator's shared cache, so the probe-once / compute-once accounting
+// holds across serial, thread-pool, and farm execution alike.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stats/evaluation_backend.hpp"
+
+namespace ldga::stats {
+
+/// Batching effectiveness counters, cumulative across calls.
+struct EvaluationServiceStats {
+  std::uint64_t batches = 0;     ///< evaluate() calls
+  std::uint64_t candidates = 0;  ///< total results delivered
+  std::uint64_t cache_hits = 0;  ///< answered from the fitness cache
+  std::uint64_t duplicates = 0;  ///< collapsed within a batch
+  std::uint64_t dispatched = 0;  ///< sent to the backend (unique misses)
+};
+
+class EvaluationService {
+ public:
+  /// The evaluator must outlive the service and be the same instance the
+  /// backend evaluates with — the service probes the cache the backend's
+  /// workers fill.
+  EvaluationService(const HaplotypeEvaluator& evaluator,
+                    std::shared_ptr<EvaluationBackend> backend);
+
+  /// Scores the batch, in task order. Each distinct candidate costs at
+  /// most one cache probe and one pipeline run per call.
+  std::vector<double> evaluate(std::span<const Candidate> batch);
+
+  const EvaluationServiceStats& stats() const { return stats_; }
+  const EvaluationBackend& backend() const { return *backend_; }
+
+ private:
+  const HaplotypeEvaluator* evaluator_;
+  std::shared_ptr<EvaluationBackend> backend_;
+  EvaluationServiceStats stats_;
+};
+
+}  // namespace ldga::stats

@@ -15,32 +15,31 @@ void EvaluatorConfig::validate() const {
   clump.validate();
   if (max_loci == 0 || max_loci > kMaxEmLoci) {
     throw ConfigError("EvaluatorConfig: max_loci must be in [1, " +
-                      std::to_string(kMaxEmLoci) + "]");
+                      std::to_string(kMaxEmLoci) + "]; got " +
+                      std::to_string(max_loci));
   }
   if (!std::isfinite(penalty_fitness)) {
     throw ConfigError("EvaluatorConfig: penalty_fitness must be finite");
   }
+  if (cache_shards == 0) {
+    throw ConfigError(
+        "EvaluatorConfig: cache_shards must be >= 1 (use cache_capacity = 0 "
+        "to disable the bound, not shards = 0)");
+  }
+}
+
+EvaluatorConfig EvaluatorConfig::validated() const {
+  validate();
+  return *this;
 }
 
 HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
                                        EvaluatorConfig config)
     : dataset_(&dataset),
-      config_(config),
-      eh_diall_(dataset, config.em),
-      clump_(config.clump) {
-  config_.validate();
-}
-
-std::size_t HaplotypeEvaluator::SnpSetHash::operator()(
-    const std::vector<SnpIndex>& v) const {
-  std::uint64_t state = 0x6c6467611d2004ULL ^ (v.size() << 32);
-  std::uint64_t h = 0;
-  for (const SnpIndex s : v) {
-    state ^= s;
-    h ^= splitmix64(state);
-  }
-  return static_cast<std::size_t>(h);
-}
+      config_(config.validated()),
+      eh_diall_(dataset, config.em, config.packed_kernel),
+      clump_(config.clump),
+      cache_(config.cache_capacity, config.cache_shards) {}
 
 EvaluationResult HaplotypeEvaluator::evaluate_full(
     std::span<const SnpIndex> snps) const {
@@ -145,28 +144,29 @@ std::string HaplotypeEvaluator::last_failure() const {
   return last_failure_;
 }
 
-double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
+std::optional<double> HaplotypeEvaluator::cached_fitness(
+    std::span<const SnpIndex> snps) const {
   requests_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<SnpIndex> key(snps.begin(), snps.end());
-  LDGA_EXPECTS(std::is_sorted(key.begin(), key.end()));
+  LDGA_EXPECTS(std::is_sorted(snps.begin(), snps.end()));
+  return cache_.find(snps);
+}
 
-  {
-    std::shared_lock lock(cache_mutex_);
-    const auto found = cache_.find(key);
-    if (found != cache_.end()) return found->second;
-  }
-
-  // Compute outside any lock: several threads may race on the same new
-  // key and each run the pipeline, but the result is deterministic so
-  // last-writer-wins is harmless; the evaluation counter reflects real
-  // pipeline executions either way.
-  const double value = compute_fitness(key);
+double HaplotypeEvaluator::fitness_and_cache(
+    std::span<const SnpIndex> snps) const {
+  LDGA_EXPECTS(std::is_sorted(snps.begin(), snps.end()));
+  // Several threads may race on the same new key and each run the
+  // pipeline, but the result is deterministic so last-writer-wins is
+  // harmless; the evaluation counter reflects real pipeline executions
+  // either way.
+  const double value = compute_fitness(snps);
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::unique_lock lock(cache_mutex_);
-    cache_.emplace(std::move(key), value);
-  }
+  cache_.insert(snps, value);
   return value;
+}
+
+double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
+  if (const auto cached = cached_fitness(snps)) return *cached;
+  return fitness_and_cache(snps);
 }
 
 void HaplotypeEvaluator::reset_counters() const {

@@ -17,15 +17,15 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
-#include <shared_mutex>
+#include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "genomics/dataset.hpp"
 #include "stats/clump.hpp"
 #include "stats/eh_diall.hpp"
+#include "stats/fitness_cache.hpp"
 
 namespace ldga::stats {
 
@@ -85,8 +85,24 @@ struct EvaluatorConfig {
   /// still yields a usable (slightly conservative) statistic, matching
   /// the original EH behaviour.
   bool require_em_convergence = false;
+  /// Bound on the cross-generation fitness cache (entries, not bytes);
+  /// 0 disables the bound. A cached double + key is ~100 bytes, so the
+  /// default (~1M entries) stays well under typical workstation memory
+  /// even on genome-scale runs.
+  std::uint64_t cache_capacity = std::uint64_t{1} << 20;
+  /// Lock shards of the fitness cache (>= 1). More shards = less
+  /// contention when many backend workers insert at once.
+  std::uint32_t cache_shards = 16;
+  /// Count genotype patterns with the 2-bit packed popcount kernel
+  /// (bit-for-bit identical statistics; the byte path remains as a
+  /// reference implementation).
+  bool packed_kernel = true;
 
   void validate() const;
+  /// Validating factory: returns a copy after rejecting inconsistent
+  /// settings with actionable messages. Prefer this at call sites so a
+  /// bad config fails at construction, not mid-run.
+  EvaluatorConfig validated() const;
 };
 
 /// Everything the pipeline knows about one candidate, for reporting.
@@ -113,7 +129,21 @@ class HaplotypeEvaluator {
   ClumpResult clump_analysis(std::span<const genomics::SnpIndex> snps) const;
 
   /// Cached fitness: the number the GA maximizes. Thread-safe.
+  /// Equivalent to cached_fitness() followed by fitness_and_cache() on
+  /// a miss.
   double fitness(std::span<const genomics::SnpIndex> snps) const;
+
+  /// Cache probe only — no pipeline run. Counts a request and a cache
+  /// hit or miss. The batched EvaluationService uses this so each
+  /// candidate is probed exactly once per generation.
+  std::optional<double> cached_fitness(
+      std::span<const genomics::SnpIndex> snps) const;
+
+  /// Run the pipeline unconditionally and store the result. Does NOT
+  /// probe the cache first (the caller already did), so stats are not
+  /// double counted. Counts one evaluation. Thread-safe; this is what
+  /// backend workers call.
+  double fitness_and_cache(std::span<const genomics::SnpIndex> snps) const;
 
   /// Pipeline executions performed (cache misses). This is the paper's
   /// "# of evaluations" column.
@@ -133,6 +163,9 @@ class HaplotypeEvaluator {
   std::string last_failure() const;
   void reset_counters() const;
 
+  /// Hit/miss/eviction counters of the cross-generation fitness cache.
+  FitnessCacheStats cache_stats() const { return cache_.stats(); }
+
   const genomics::Dataset& dataset() const { return *dataset_; }
   const EvaluatorConfig& config() const { return config_; }
 
@@ -146,13 +179,7 @@ class HaplotypeEvaluator {
   EhDiall eh_diall_;
   Clump clump_;
 
-  struct SnpSetHash {
-    std::size_t operator()(const std::vector<genomics::SnpIndex>& v) const;
-  };
-  mutable std::shared_mutex cache_mutex_;
-  mutable std::unordered_map<std::vector<genomics::SnpIndex>, double,
-                             SnpSetHash>
-      cache_;
+  mutable FitnessCache cache_;
   mutable std::atomic<std::uint64_t> evaluations_{0};
   mutable std::atomic<std::uint64_t> requests_{0};
   mutable std::atomic<std::uint64_t> failed_evaluations_{0};

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace ldga::stats {
 
@@ -24,7 +25,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 /// Continued-fraction representation of Q(a, x) (modified Lentz);
@@ -46,7 +47,7 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/numeric.hpp"
 
 namespace ldga {
 
@@ -29,9 +30,9 @@ std::uint64_t choose(std::uint32_t n, std::uint32_t k) {
 
 double log_choose(std::uint32_t n, std::uint32_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
 }
 
 bool choose_overflows(std::uint32_t n, std::uint32_t k) {

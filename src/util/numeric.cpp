@@ -5,7 +5,15 @@
 
 #include "util/error.hpp"
 
+// Strict -std=c++20 hides the POSIX declaration in <cmath>.
+extern "C" double lgamma_r(double, int*);
+
 namespace ldga {
+
+double log_gamma(double x) noexcept {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
 
 void RunningStats::add(double value) noexcept {
   if (count_ == 0) {

@@ -61,4 +61,9 @@ constexpr double lerp(double a, double b, double t) noexcept {
   return a + t * (b - a);
 }
 
+/// ln Γ(x), thread-safe. std::lgamma writes the process-global signgam
+/// on glibc — a data race when evaluation runs on several threads — so
+/// this wraps the reentrant lgamma_r instead.
+double log_gamma(double x) noexcept;
+
 }  // namespace ldga

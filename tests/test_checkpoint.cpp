@@ -189,12 +189,9 @@ TEST(Checkpoint, FingerprintSeparatesTrajectoryShapingSettings) {
   longer.max_evaluations = 123456;
   EXPECT_EQ(checkpoint_fingerprint(longer, 100), base);
 
-  // Nor are execution-backend settings: the trajectory is
-  // backend-independent by design.
-  GaConfig pooled = config;
-  pooled.backend = EvalBackend::ThreadPool;
-  pooled.workers = 7;
-  EXPECT_EQ(checkpoint_fingerprint(pooled, 100), base);
+  // Execution-backend choice lives outside GaConfig entirely (the
+  // engine takes an EvaluationBackend), so the trajectory — and hence
+  // the fingerprint — is backend-independent by construction.
 }
 
 }  // namespace

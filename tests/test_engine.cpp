@@ -28,9 +28,13 @@ GaConfig fast_config() {
   return config;
 }
 
-const stats::HaplotypeEvaluator& shared_evaluator() {
+const genomics::Dataset& shared_dataset() {
   static const auto synthetic = ldga::testing::small_synthetic(12, 2, 321);
-  static const stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+  return synthetic.dataset;
+}
+
+const stats::HaplotypeEvaluator& shared_evaluator() {
+  static const stats::HaplotypeEvaluator evaluator(shared_dataset());
   return evaluator;
 }
 
@@ -105,20 +109,31 @@ TEST(GaEngine, DeterministicForFixedSeed) {
 }
 
 TEST(GaEngine, BackendsProduceIdenticalSearch) {
-  // The synchronous evaluation phase returns results in task order, so
+  // The batched evaluation service scatters results in task order, so
   // serial, pool and farm runs must walk the identical trajectory.
-  GaConfig serial = fast_config();
-  serial.backend = EvalBackend::Serial;
-  GaConfig pooled = fast_config();
-  pooled.backend = EvalBackend::ThreadPool;
-  pooled.workers = 3;
-  GaConfig farmed = fast_config();
-  farmed.backend = EvalBackend::Farm;
-  farmed.workers = 2;
+  // Each run gets a fresh evaluator (cold cache) so every backend does
+  // its own full share of pipeline work.
+  const stats::HaplotypeEvaluator serial_eval(shared_dataset());
+  const GaResult rs =
+      GaEngine(serial_eval, fast_config(),
+               stats::make_serial_backend(serial_eval))
+          .run();
 
-  const GaResult rs = GaEngine(shared_evaluator(), serial).run();
-  const GaResult rp = GaEngine(shared_evaluator(), pooled).run();
-  const GaResult rf = GaEngine(shared_evaluator(), farmed).run();
+  stats::BackendOptions pool_options;
+  pool_options.workers = 3;
+  const stats::HaplotypeEvaluator pool_eval(shared_dataset());
+  const GaResult rp =
+      GaEngine(pool_eval, fast_config(),
+               stats::make_thread_pool_backend(pool_eval, pool_options))
+          .run();
+
+  stats::BackendOptions farm_options;
+  farm_options.workers = 2;
+  const stats::HaplotypeEvaluator farm_eval(shared_dataset());
+  const GaResult rf =
+      GaEngine(farm_eval, fast_config(),
+               stats::make_farm_backend(farm_eval, farm_options))
+          .run();
 
   ASSERT_EQ(rs.best_by_size.size(), rp.best_by_size.size());
   for (std::size_t i = 0; i < rs.best_by_size.size(); ++i) {
@@ -127,6 +142,9 @@ TEST(GaEngine, BackendsProduceIdenticalSearch) {
   }
   EXPECT_EQ(rs.generations, rp.generations);
   EXPECT_EQ(rs.generations, rf.generations);
+  // Identical trajectories must also cost identical pipeline work.
+  EXPECT_EQ(serial_eval.evaluation_count(), pool_eval.evaluation_count());
+  EXPECT_EQ(serial_eval.evaluation_count(), farm_eval.evaluation_count());
 }
 
 TEST(GaEngine, StagnationTerminatesTheRun) {
@@ -293,23 +311,26 @@ TEST(GaEngineFaultTolerance, FarmWithInjectedFaultsMatchesSerialRun) {
   // evaluation attempt, a full farm run must complete every phase and
   // still walk the exact serial trajectory (faults are retried, never
   // change results).
-  GaConfig serial = fast_config();
-  serial.max_generations = 15;
-  GaConfig farmed = serial;
-  farmed.backend = EvalBackend::Farm;
-  farmed.workers = 3;
-  // 20% per attempt exhausts the default 2 retries once in ~125 tasks;
-  // give the policy enough headroom that exhaustion never happens.
-  farmed.farm_policy.max_task_retries = 8;
+  GaConfig config = fast_config();
+  config.max_generations = 15;
+
+  const stats::HaplotypeEvaluator serial_eval(shared_dataset());
+  const GaResult rs = GaEngine(serial_eval, config).run();
 
   parallel::FaultInjector::Config faults;
   faults.seed = 99;
   faults.throw_probability = 0.2;
   auto injector = std::make_shared<parallel::FaultInjector>(faults);
 
-  const GaResult rs = GaEngine(shared_evaluator(), serial).run();
-  GaEngine noisy(shared_evaluator(), farmed);
-  noisy.set_fault_injector(injector);
+  stats::BackendOptions options;
+  options.workers = 3;
+  // 20% per attempt exhausts the default 2 retries once in ~125 tasks;
+  // give the policy enough headroom that exhaustion never happens.
+  options.farm_policy.max_task_retries = 8;
+  options.fault_injector = injector;
+  const stats::HaplotypeEvaluator farm_eval(shared_dataset());
+  GaEngine noisy(farm_eval, config,
+                 stats::make_farm_backend(farm_eval, options));
   const GaResult rf = noisy.run();
 
   ASSERT_EQ(rf.best_by_size.size(), rs.best_by_size.size());
@@ -322,8 +343,9 @@ TEST(GaEngineFaultTolerance, FarmWithInjectedFaultsMatchesSerialRun) {
   EXPECT_GT(injector->injected_throws(), 0u);
   EXPECT_GT(rf.farm_stats.retries, 0u);
   EXPECT_EQ(rf.farm_stats.retries, rf.farm_stats.failures);
-  // The serial run has no farm, hence no farm activity to report.
-  EXPECT_EQ(rs.farm_stats.phases, 0u);
+  // The fault-free serial run reports phases but no failures.
+  EXPECT_GT(rs.farm_stats.phases, 0u);
+  EXPECT_EQ(rs.farm_stats.failures, 0u);
 }
 
 class GaEngineCheckpoint : public ::testing::Test {
@@ -407,9 +429,23 @@ TEST_F(GaEngineCheckpoint, ResumeWithoutPathIsRejected) {
 }
 
 TEST(GaEngineValidation, FarmPolicyIsValidated) {
+  // The policy moved into BackendOptions; every factory validates it.
+  stats::BackendOptions options;
+  options.farm_policy.quarantine_after = 0;
+  EXPECT_THROW(stats::make_serial_backend(shared_evaluator(), options),
+               ConfigError);
+  EXPECT_THROW(stats::make_thread_pool_backend(shared_evaluator(), options),
+               ConfigError);
+  EXPECT_THROW(stats::make_farm_backend(shared_evaluator(), options),
+               ConfigError);
+}
+
+TEST(GaEngineValidation, MaxEvaluationsBelowPopulationIsRejected) {
   GaConfig config = fast_config();
-  config.farm_policy.quarantine_after = 0;
-  EXPECT_THROW(GaEngine(shared_evaluator(), config), ConfigError);
+  config.max_evaluations = config.population_size - 1;
+  EXPECT_THROW(config.validated(), ConfigError);
+  config.max_evaluations = config.population_size;
+  EXPECT_NO_THROW(config.validated());
 }
 
 TEST(GaEngine, BestFitnessNeverDecreasesOverGenerations) {

@@ -1,0 +1,151 @@
+#include "stats/fitness_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ldga::stats {
+namespace {
+
+using genomics::SnpIndex;
+
+std::vector<SnpIndex> key(std::initializer_list<SnpIndex> snps) {
+  return snps;
+}
+
+TEST(FitnessCache, FindAfterInsertAndMissBefore) {
+  FitnessCache cache(64, 4);
+  EXPECT_FALSE(cache.find(key({1, 2, 3})).has_value());
+  cache.insert(key({1, 2, 3}), 7.5);
+  const auto hit = cache.find(key({1, 2, 3}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 7.5);
+  // A different key with shared prefix stays distinct.
+  EXPECT_FALSE(cache.find(key({1, 2})).has_value());
+  EXPECT_FALSE(cache.find(key({1, 2, 4})).has_value());
+}
+
+TEST(FitnessCache, InsertUpdatesInPlace) {
+  FitnessCache cache(8, 1);
+  cache.insert(key({5}), 1.0);
+  cache.insert(key({5}), 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(*cache.find(key({5})), 2.0);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(FitnessCache, CapacityBoundIsHonored) {
+  const std::uint64_t capacity = 24;
+  FitnessCache cache(capacity, 4);
+  for (SnpIndex i = 0; i < 500; ++i) {
+    cache.insert(key({i}), static_cast<double>(i));
+    EXPECT_LE(cache.size(), capacity);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 500u);
+  EXPECT_EQ(stats.evictions, 500u - stats.entries);
+  EXPECT_LE(stats.entries, capacity);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(FitnessCache, EvictionIsFifoWithinShard) {
+  // One shard makes the FIFO order directly observable.
+  FitnessCache cache(3, 1);
+  cache.insert(key({0}), 0.0);
+  cache.insert(key({1}), 1.0);
+  cache.insert(key({2}), 2.0);
+  cache.insert(key({3}), 3.0);  // evicts {0}, the oldest
+  EXPECT_FALSE(cache.find(key({0})).has_value());
+  EXPECT_TRUE(cache.find(key({1})).has_value());
+  EXPECT_TRUE(cache.find(key({2})).has_value());
+  EXPECT_TRUE(cache.find(key({3})).has_value());
+  cache.insert(key({4}), 4.0);  // evicts {1}
+  EXPECT_FALSE(cache.find(key({1})).has_value());
+  EXPECT_TRUE(cache.find(key({2})).has_value());
+}
+
+TEST(FitnessCache, UnboundedCacheNeverEvicts) {
+  FitnessCache cache(0, 8);
+  for (SnpIndex i = 0; i < 1000; ++i) {
+    cache.insert(key({i, static_cast<SnpIndex>(i + 1)}),
+                 static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (SnpIndex i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(
+        cache.find(key({i, static_cast<SnpIndex>(i + 1)})).has_value());
+  }
+}
+
+TEST(FitnessCache, StatsCountHitsAndMisses) {
+  FitnessCache cache(16, 2);
+  cache.insert(key({1}), 1.0);
+  (void)cache.find(key({1}));  // hit
+  (void)cache.find(key({1}));  // hit
+  (void)cache.find(key({2}));  // miss
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 16u);
+  EXPECT_EQ(stats.shards, 2u);
+}
+
+TEST(FitnessCache, ShardCountIsClampedToCapacity) {
+  // Fewer entries than shards: shards are clamped so every shard can
+  // hold at least one entry and the total never exceeds the bound.
+  FitnessCache cache(3, 16);
+  EXPECT_LE(cache.shard_count(), 3u);
+  for (SnpIndex i = 0; i < 100; ++i) {
+    cache.insert(key({i}), static_cast<double>(i));
+    EXPECT_LE(cache.size(), 3u);
+  }
+}
+
+TEST(FitnessCache, ClearEmptiesAllShards) {
+  FitnessCache cache(0, 4);
+  for (SnpIndex i = 0; i < 50; ++i) cache.insert(key({i}), 1.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.find(key({7})).has_value());
+}
+
+TEST(FitnessCache, ConcurrentInsertAndFindStayConsistent) {
+  FitnessCache cache(256, 8);
+  constexpr std::uint32_t kThreads = 8;
+  constexpr SnpIndex kKeys = 64;
+  // Every thread inserts the same key->value mapping while reading
+  // randomly; any hit must return the one true value for its key.
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint32_t round = 0; round < 200; ++round) {
+        const SnpIndex k =
+            static_cast<SnpIndex>((t * 131 + round * 17) % kKeys);
+        cache.insert(key({k, static_cast<SnpIndex>(k + 1)}),
+                     static_cast<double>(k) * 0.5);
+        const SnpIndex probe =
+            static_cast<SnpIndex>((t + round * 31) % kKeys);
+        const auto found =
+            cache.find(key({probe, static_cast<SnpIndex>(probe + 1)}));
+        if (found.has_value()) {
+          EXPECT_DOUBLE_EQ(*found, static_cast<double>(probe) * 0.5);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * 200u);
+  // Insertions count new entries only; every one of the kKeys distinct
+  // keys lands exactly once, later writes update in place.
+  EXPECT_EQ(stats.insertions, static_cast<std::uint64_t>(kKeys));
+  EXPECT_LE(stats.entries, 256u);
+}
+
+}  // namespace
+}  // namespace ldga::stats

@@ -18,6 +18,9 @@ GenerationInfo sample_info(std::uint32_t generation) {
   info.rates.crossover = {0.6, 0.3};
   info.evaluations = 100 * generation;
   info.immigrants_triggered = generation % 2 == 0;
+  info.cache_hits = 10 * generation;
+  info.cache_misses = generation;
+  info.cache_evictions = 0;
   return info;
 }
 
@@ -29,7 +32,8 @@ TEST(TelemetryWriter, HeaderMatchesShape) {
   EXPECT_NE(text.find("generation,best_size_0,best_size_1,"
                       "mutation_rate_0,mutation_rate_1,mutation_rate_2,"
                       "crossover_rate_0,crossover_rate_1,"
-                      "evaluations,immigrants"),
+                      "evaluations,immigrants,"
+                      "cache_hits,cache_misses,cache_evictions"),
             std::string::npos);
 }
 
@@ -48,10 +52,10 @@ TEST(TelemetryWriter, RowValuesRoundTrip) {
   TelemetryCsvWriter writer(out);
   writer.record(sample_info(3));
   const std::string text = out.str();
-  EXPECT_NE(text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0"),
+  EXPECT_NE(text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0"),
             std::string::npos);
   writer.record(sample_info(4));
-  EXPECT_NE(out.str().find("4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1"),
+  EXPECT_NE(out.str().find("4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0"),
             std::string::npos);
 }
 
