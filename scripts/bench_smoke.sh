@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build and run the EM-kernel benchmark, leaving BENCH_em_kernel.json at
+# the repo root. Used to record the perf acceptance numbers for the
+# compiled-EM PR (3x end-to-end floor); cheap enough for a smoke run.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" --target bench_em_kernel -j "$(nproc)"
+
+cd "$root"
+"$build/bench/bench_em_kernel"
+echo "BENCH_em_kernel.json written to $root"

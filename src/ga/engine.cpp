@@ -535,6 +535,7 @@ GaResult GaEngine::run() {
       info.cache_hits = cache.hits;
       info.cache_misses = cache.misses;
       info.cache_evictions = cache.evictions;
+      info.stage_timings = evaluator_->stage_timings();
       if (callback_) callback_(info);
       if (config_.record_history) result.history.push_back(std::move(info));
     }
@@ -580,6 +581,7 @@ GaResult GaEngine::run() {
   result.farm_stats = backend_->farm_stats();
   result.eval_stats = service.stats();
   result.cache_stats = evaluator_->cache_stats();
+  result.stage_timings = evaluator_->stage_timings();
   return result;
 }
 

@@ -105,6 +105,9 @@ struct GenerationInfo {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Cumulative per-stage pipeline wall time (pattern build / EM /
+  /// CLUMP) from the evaluator's stage clocks.
+  stats::StageTimings stage_timings;
 };
 
 struct GaResult {
@@ -124,6 +127,9 @@ struct GaResult {
   stats::EvaluationServiceStats eval_stats;
   /// Cross-generation fitness-cache counters at the end of the run.
   stats::FitnessCacheStats cache_stats;
+  /// Cumulative per-stage pipeline wall time at the end of the run
+  /// (pattern build / EM / CLUMP — the Figure-3 cost profile).
+  stats::StageTimings stage_timings;
   std::vector<GenerationInfo> history;  ///< when record_history is set
 };
 

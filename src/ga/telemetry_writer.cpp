@@ -20,7 +20,8 @@ void TelemetryCsvWriter::write_header(const GenerationInfo& info) {
     *out_ << ",crossover_rate_" << op;
   }
   *out_ << ",evaluations,immigrants,cache_hits,cache_misses,"
-           "cache_evictions\n";
+           "cache_evictions,pattern_build_seconds,em_seconds,"
+           "clump_seconds\n";
   header_written_ = true;
 }
 
@@ -32,7 +33,10 @@ void TelemetryCsvWriter::record(const GenerationInfo& info) {
   for (const double rate : info.rates.crossover) *out_ << ',' << rate;
   *out_ << ',' << info.evaluations << ','
         << (info.immigrants_triggered ? 1 : 0) << ',' << info.cache_hits
-        << ',' << info.cache_misses << ',' << info.cache_evictions << '\n';
+        << ',' << info.cache_misses << ',' << info.cache_evictions << ','
+        << info.stage_timings.pattern_build_seconds << ','
+        << info.stage_timings.em_seconds << ','
+        << info.stage_timings.clump_seconds << '\n';
   ++rows_;
   if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
 }

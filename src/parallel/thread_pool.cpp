@@ -58,11 +58,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
+  // The caller is a worker too: it runs chunk 0 inline while the pool
+  // takes chunks 1..n−1, so one extra chunk's worth of parallelism is
+  // free and the caller never idles in future::get while work remains
+  // (with a 1-thread pool this makes parallel_for genuinely 2-wide).
   const std::size_t chunks =
-      std::min<std::size_t>(threads_.size(), count);
+      std::min<std::size_t>(threads_.size() + 1, count);
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+  futures.reserve(chunks - 1);
+  for (std::size_t chunk = 1; chunk < chunks; ++chunk) {
     const std::size_t lo = begin + count * chunk / chunks;
     const std::size_t hi = begin + count * (chunk + 1) / chunks;
     futures.push_back(submit([lo, hi, &fn] {
@@ -74,6 +78,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // exception — while a chunk is still running would be a use-after-
   // free. The first exception wins; later ones are dropped.
   std::exception_ptr first_error;
+  {
+    const std::size_t hi = begin + count / chunks;
+    try {
+      for (std::size_t i = begin; i < hi; ++i) fn(i);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  }
   for (auto& future : futures) {
     try {
       future.get();

@@ -14,7 +14,17 @@ void ClumpConfig::validate() const {
   }
 }
 
-Clump::Clump(ClumpConfig config) : config_(config) { config_.validate(); }
+Clump::Clump(ClumpConfig config) : config_(config) {
+  config_.validate();
+  if (config_.monte_carlo_trials > 0 && config_.monte_carlo_workers != 1) {
+    const std::uint32_t workers = config_.monte_carlo_workers == 0
+                                      ? parallel::default_thread_count()
+                                      : config_.monte_carlo_workers;
+    if (workers > 1) {
+      pool_ = std::make_shared<parallel::ThreadPool>(workers);
+    }
+  }
+}
 
 namespace {
 
@@ -35,16 +45,60 @@ ContingencyTable clump_rare(const ContingencyTable& table, double threshold) {
   return table.clump_columns(kept);
 }
 
+/// Cached marginals for the T3/T4 scans. A candidate column group's
+/// 2×2 split [a, R0−a; b, R1−b] is determined by its two row sums
+/// (a, b) alone, so the chi-square follows in O(1) from the closed
+/// form N(ad−bc)² / (R0 R1 C0 C1) — no per-candidate collapse_to_two
+/// table materialization. A zero marginal leaves fewer than two live
+/// rows or columns, which pearson_chi_square scores as 0.
+class TwoByTwoScanner {
+ public:
+  explicit TwoByTwoScanner(const ContingencyTable& table)
+      : row0_(table.row_total(0)), row1_(table.row_total(1)) {
+    grand_ = row0_ + row1_;
+    top_.reserve(table.cols());
+    bottom_.reserve(table.cols());
+    for (std::uint32_t c = 0; c < table.cols(); ++c) {
+      top_.push_back(table.at(0, c));
+      bottom_.push_back(table.at(1, c));
+    }
+  }
+
+  std::uint32_t cols() const {
+    return static_cast<std::uint32_t>(top_.size());
+  }
+  double top(std::uint32_t c) const { return top_[c]; }
+  double bottom(std::uint32_t c) const { return bottom_[c]; }
+
+  /// Chi-square of the split whose first column has cells (a, b).
+  double chi(double a, double b) const {
+    const double col0 = a + b;
+    const double col1 = grand_ - col0;
+    if (row0_ <= 0.0 || row1_ <= 0.0 || col0 <= 0.0 || col1 <= 0.0) {
+      return 0.0;
+    }
+    const double cross = a * (row1_ - b) - b * (row0_ - a);
+    return grand_ * cross * cross / (row0_ * row1_ * col0 * col1);
+  }
+
+ private:
+  double row0_ = 0.0;
+  double row1_ = 0.0;
+  double grand_ = 0.0;
+  std::vector<double> top_;
+  std::vector<double> bottom_;
+};
+
 /// Statistic value of the best single-column 2×2 split (T3), also
 /// returning the winning column.
 std::pair<double, std::uint32_t> best_single_column(
-    const ContingencyTable& table) {
+    const TwoByTwoScanner& scan) {
   double best = 0.0;
   std::uint32_t best_col = 0;
-  for (std::uint32_t c = 0; c < table.cols(); ++c) {
-    const auto chi = table.collapse_to_two({c}).pearson_chi_square();
-    if (chi.statistic > best) {
-      best = chi.statistic;
+  for (std::uint32_t c = 0; c < scan.cols(); ++c) {
+    const double chi = scan.chi(scan.top(c), scan.bottom(c));
+    if (chi > best) {
+      best = chi;
       best_col = c;
     }
   }
@@ -52,25 +106,27 @@ std::pair<double, std::uint32_t> best_single_column(
 }
 
 /// T4: greedy growth of a column group maximizing the 2×2 chi-square.
+/// The group's running row sums make each candidate extension O(1).
 std::pair<double, std::vector<std::uint32_t>> best_column_group(
-    const ContingencyTable& table) {
-  auto [best, seed] = best_single_column(table);
+    const TwoByTwoScanner& scan) {
+  auto [best, seed] = best_single_column(scan);
   std::vector<std::uint32_t> group{seed};
-  std::vector<bool> used(table.cols(), false);
+  std::vector<bool> used(scan.cols(), false);
   used[seed] = true;
+  double group_top = scan.top(seed);
+  double group_bottom = scan.bottom(seed);
 
   bool improved = true;
-  while (improved && group.size() + 1 < table.cols()) {
+  while (improved && group.size() + 1 < scan.cols()) {
     improved = false;
     double round_best = best;
     std::uint32_t round_col = 0;
-    for (std::uint32_t c = 0; c < table.cols(); ++c) {
+    for (std::uint32_t c = 0; c < scan.cols(); ++c) {
       if (used[c]) continue;
-      group.push_back(c);
-      const auto chi = table.collapse_to_two(group).pearson_chi_square();
-      group.pop_back();
-      if (chi.statistic > round_best) {
-        round_best = chi.statistic;
+      const double chi =
+          scan.chi(group_top + scan.top(c), group_bottom + scan.bottom(c));
+      if (chi > round_best) {
+        round_best = chi;
         round_col = c;
         improved = true;
       }
@@ -79,6 +135,8 @@ std::pair<double, std::vector<std::uint32_t>> best_column_group(
       best = round_best;
       group.push_back(round_col);
       used[round_col] = true;
+      group_top += scan.top(round_col);
+      group_bottom += scan.bottom(round_col);
     }
   }
   std::sort(group.begin(), group.end());
@@ -108,31 +166,69 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
     result.t2 = {chi.statistic, chi.df, chi.p_value, std::nullopt};
   }
   {
-    const auto [stat, col] = best_single_column(table);
-    result.t3 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
-    (void)col;
-  }
-  {
-    auto [stat, group] = best_column_group(table);
-    result.t4 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
-    result.t4_group = std::move(group);
+    const TwoByTwoScanner scan(table);
+    {
+      const auto [stat, col] = best_single_column(scan);
+      result.t3 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
+      (void)col;
+    }
+    {
+      auto [stat, group] = best_column_group(scan);
+      result.t4 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
+      result.t4_group = std::move(group);
+    }
   }
 
   // Monte-Carlo resampling: each replicate recomputes all four
-  // statistics on a null table with the observed marginals.
+  // statistics on a null table with the observed marginals. The
+  // caller's RNG is consumed only to seed one child stream per trial —
+  // sequentially, before any replicate runs — so the result is a pure
+  // function of (seed, trial count) whatever the worker count. The
+  // per-trial outcome bytes (one "null >= observed" bit per statistic)
+  // are deliberately NOT a vector<bool>: distinct bytes keep parallel
+  // writers off each other's memory.
   if (config_.monte_carlo_trials > 0) {
-    std::uint32_t ge1 = 0, ge2 = 0, ge3 = 0, ge4 = 0;
-    for (std::uint32_t trial = 0; trial < config_.monte_carlo_trials;
-         ++trial) {
-      const ContingencyTable null = table.sample_null(rng);
-      if (null.pearson_chi_square().statistic >= result.t1.statistic) ++ge1;
+    const std::uint32_t trials = config_.monte_carlo_trials;
+    std::vector<std::uint64_t> seeds(trials);
+    for (auto& seed : seeds) seed = rng();
+    std::vector<std::uint8_t> outcomes(trials, 0);
+
+    const auto run_trial = [&](std::size_t trial) {
+      Rng trial_rng(seeds[trial]);
+      const ContingencyTable null = table.sample_null(trial_rng);
+      std::uint8_t hits = 0;
+      if (null.pearson_chi_square().statistic >= result.t1.statistic) {
+        hits |= 1u;
+      }
       if (clump_rare(null, config_.rare_expected_threshold)
               .pearson_chi_square()
               .statistic >= result.t2.statistic) {
-        ++ge2;
+        hits |= 2u;
       }
-      if (best_single_column(null).first >= result.t3.statistic) ++ge3;
-      if (best_column_group(null).first >= result.t4.statistic) ++ge4;
+      const TwoByTwoScanner null_scan(null);
+      if (best_single_column(null_scan).first >= result.t3.statistic) {
+        hits |= 4u;
+      }
+      if (best_column_group(null_scan).first >= result.t4.statistic) {
+        hits |= 8u;
+      }
+      outcomes[trial] = hits;
+    };
+
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, trials, run_trial);
+    } else {
+      for (std::uint32_t trial = 0; trial < trials; ++trial) {
+        run_trial(trial);
+      }
+    }
+
+    std::uint32_t ge1 = 0, ge2 = 0, ge3 = 0, ge4 = 0;
+    for (const std::uint8_t hits : outcomes) {
+      ge1 += hits & 1u;
+      ge2 += (hits >> 1) & 1u;
+      ge3 += (hits >> 2) & 1u;
+      ge4 += (hits >> 3) & 1u;
     }
     const auto empirical = [&](std::uint32_t ge) {
       return (1.0 + ge) / (1.0 + config_.monte_carlo_trials);

@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "stats/contingency.hpp"
 #include "util/rng.hpp"
 
@@ -32,6 +34,12 @@ struct ClumpConfig {
   std::uint32_t monte_carlo_trials = 0;
   /// Expected-count threshold below which T2 clumps a column.
   double rare_expected_threshold = 5.0;
+  /// Threads for the Monte-Carlo replicates (Sham & Curtis's sampling
+  /// is embarrassingly parallel): 1 runs inline on the caller, 0 means
+  /// hardware concurrency. Every replicate draws from its own child
+  /// stream seeded sequentially off the caller's RNG, so the p-values
+  /// depend on seed and trial count only — never on the worker count.
+  std::uint32_t monte_carlo_workers = 1;
 
   void validate() const;
 };
@@ -71,6 +79,12 @@ class Clump {
 
  private:
   ClumpConfig config_;
+  /// Lazily absent: created only when Monte Carlo is enabled with more
+  /// than one worker. Shared so Clump stays copyable (copies reuse the
+  /// pool; analyze() may be called from several threads at once — the
+  /// pool's queue is internally synchronized and each call drains only
+  /// its own futures).
+  std::shared_ptr<parallel::ThreadPool> pool_;
 };
 
 }  // namespace ldga::stats

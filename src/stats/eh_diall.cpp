@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "stats/em_kernel.hpp"
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace ldga::stats {
 
@@ -23,8 +25,13 @@ ContingencyTable EhDiallResult::to_contingency_table() const {
 }
 
 EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
-                 bool packed_kernel)
-    : dataset_(&dataset), config_(config), packed_kernel_(packed_kernel) {
+                 bool packed_kernel, bool compiled_em,
+                 bool warm_start_pooled)
+    : dataset_(&dataset),
+      config_(config),
+      packed_kernel_(packed_kernel),
+      compiled_em_(compiled_em),
+      warm_start_pooled_(warm_start_pooled) {
   config_.validate();
   affected_ = dataset.individuals_with(Status::Affected);
   unaffected_ = dataset.individuals_with(Status::Unaffected);
@@ -41,9 +48,46 @@ EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
   }
 }
 
+namespace {
+
+/// Chromosome-weighted blend of the case/control solutions over the
+/// pooled support (which is exactly the union of the group supports):
+/// warm[h] = (2 N_A f_A(h) + 2 N_U f_U(h)) / (2 N_A + 2 N_U), clamped
+/// strictly positive because converged group solutions routinely carry
+/// exact zeros and the pooled maximum may sit elsewhere.
+std::vector<double> blend_warm_start(const EmProgram& pooled,
+                                     const EmProgram& prog_a,
+                                     const EmSupportResult& sol_a,
+                                     const EmProgram& prog_u,
+                                     const EmSupportResult& sol_u) {
+  const double chrom_a = 2.0 * prog_a.total_individuals;
+  const double chrom_u = 2.0 * prog_u.total_individuals;
+  const double chromosomes = chrom_a + chrom_u;
+  std::vector<double> warm(pooled.support.size());
+  std::size_t ia = 0;
+  std::size_t iu = 0;
+  for (std::size_t i = 0; i < pooled.support.size(); ++i) {
+    const HaplotypeCode code = pooled.support[i];
+    double mass = 0.0;
+    while (ia < prog_a.support.size() && prog_a.support[ia] < code) ++ia;
+    if (ia < prog_a.support.size() && prog_a.support[ia] == code) {
+      mass += chrom_a * sol_a.frequencies[ia];
+    }
+    while (iu < prog_u.support.size() && prog_u.support[iu] < code) ++iu;
+    if (iu < prog_u.support.size() && prog_u.support[iu] == code) {
+      mass += chrom_u * sol_u.frequencies[iu];
+    }
+    warm[i] = std::max(mass / chromosomes, 1e-12);
+  }
+  return warm;
+}
+
+}  // namespace
+
 EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
   LDGA_EXPECTS(!snps.empty());
 
+  Stopwatch watch;
   const auto& genotypes = dataset_->genotypes();
   const auto table_a =
       packed_kernel_
@@ -61,11 +105,40 @@ EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
 
   EhDiallResult result;
   result.locus_count = static_cast<std::uint32_t>(snps.size());
-  result.affected = estimate_haplotype_frequencies(table_a, config_);
-  result.unaffected = estimate_haplotype_frequencies(table_u, config_);
-  result.pooled = estimate_haplotype_frequencies(table_pooled, config_);
   result.affected_individuals = table_a.total_individuals();
   result.unaffected_individuals = table_u.total_individuals();
+  result.pattern_build_seconds = watch.elapsed_seconds();
+
+  watch.reset();
+  if (compiled_em_) {
+    const EmProgram prog_a = EmProgram::compile(table_a);
+    const EmProgram prog_u = EmProgram::compile(table_u);
+    const EmProgram prog_p = EmProgram::compile(table_pooled);
+    EmKernelScratch scratch;
+    const EmSupportResult sol_a = run_em_program(prog_a, config_, scratch);
+    const EmSupportResult sol_u = run_em_program(prog_u, config_, scratch);
+    EmSupportResult sol_p;
+    bool warm_converged = false;
+    if (warm_start_pooled_ && prog_p.total_individuals > 0.0) {
+      const std::vector<double> warm =
+          blend_warm_start(prog_p, prog_a, sol_a, prog_u, sol_u);
+      sol_p = run_em_program(prog_p, config_, scratch, warm);
+      warm_converged = sol_p.converged;
+    }
+    if (!warm_converged) {
+      // Cold equilibrium start — exactly the reference result.
+      sol_p = run_em_program(prog_p, config_, scratch);
+    }
+    result.pooled_warm_started = warm_converged;
+    result.affected = expand_em_result(prog_a, sol_a);
+    result.unaffected = expand_em_result(prog_u, sol_u);
+    result.pooled = expand_em_result(prog_p, sol_p);
+  } else {
+    result.affected = estimate_haplotype_frequencies(table_a, config_);
+    result.unaffected = estimate_haplotype_frequencies(table_u, config_);
+    result.pooled = estimate_haplotype_frequencies(table_pooled, config_);
+  }
+  result.em_seconds = watch.elapsed_seconds();
 
   const double lrt = 2.0 * (result.affected.log_likelihood +
                             result.unaffected.log_likelihood -

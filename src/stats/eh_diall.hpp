@@ -28,6 +28,14 @@ struct EhDiallResult {
   /// 2 (ll_A + ll_U − ll_pooled); clamped at 0.
   double lrt = 0.0;
   std::uint32_t locus_count = 0;
+  /// Wall time spent grouping genotype patterns (incl. the pooled
+  /// merge) and running the three EM estimations, for the per-stage
+  /// telemetry (EvaluationResult::timings).
+  double pattern_build_seconds = 0.0;
+  double em_seconds = 0.0;
+  /// True when the pooled run used (and converged from) the blended
+  /// case/control warm start rather than the equilibrium start.
+  bool pooled_warm_started = false;
 
   /// The haplotype × status table CLUMP consumes: row 0 = affected,
   /// row 1 = unaffected; one column per haplotype code; cells are
@@ -43,8 +51,16 @@ class EhDiall {
   /// here — a per-group column slice — and every analyze() call counts
   /// genotype patterns with word-level popcounts; the tables, and hence
   /// all statistics, are bit-for-bit identical to the byte path.
+  /// With `compiled_em` (the default) each table is compiled to a phase
+  /// program (em_kernel.hpp) and EM runs over the support set only —
+  /// again bit-for-bit identical to the visitor-based reference.
+  /// `warm_start_pooled` additionally seeds the pooled run from the
+  /// chromosome-weighted blend of the case/control solutions (compiled
+  /// path only; falls back to the equilibrium start, and therefore to
+  /// the exact cold-start result, when the warm run does not converge).
   explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {},
-                   bool packed_kernel = true);
+                   bool packed_kernel = true, bool compiled_em = true,
+                   bool warm_start_pooled = false);
 
   /// Full three-way analysis of a candidate SNP set (ascending order not
   /// required here, but indices must be distinct and in range).
@@ -63,6 +79,8 @@ class EhDiall {
   std::vector<std::uint32_t> affected_;
   std::vector<std::uint32_t> unaffected_;
   bool packed_kernel_ = true;
+  bool compiled_em_ = true;
+  bool warm_start_pooled_ = false;
   genomics::PackedGenotypeMatrix packed_affected_;
   genomics::PackedGenotypeMatrix packed_unaffected_;
 };

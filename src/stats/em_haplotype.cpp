@@ -136,22 +136,27 @@ GenotypePatternTable GenotypePatternTable::merge(
   out.total_ = a.total_ + b.total_;
   out.excluded_ = a.excluded_ + b.excluded_;
 
-  std::unordered_map<std::uint64_t, double> grouped;
-  auto fold = [&grouped](const GenotypePatternTable& t) {
-    for (const auto& p : t.patterns_) {
-      grouped[pattern_key(p.hom_two_mask, p.het_mask, p.missing_mask)] +=
-          p.count;
+  // Both inputs are already sorted by pattern_less (build and
+  // build_packed end on that sort), so a two-pointer merge yields the
+  // sorted union directly — no hashing and no re-sort.
+  out.patterns_.reserve(a.patterns_.size() + b.patterns_.size());
+  auto ia = a.patterns_.begin();
+  auto ib = b.patterns_.begin();
+  const auto ea = a.patterns_.end();
+  const auto eb = b.patterns_.end();
+  while (ia != ea && ib != eb) {
+    if (pattern_less(*ia, *ib)) {
+      out.patterns_.push_back(*ia++);
+    } else if (pattern_less(*ib, *ia)) {
+      out.patterns_.push_back(*ib++);
+    } else {
+      GenotypePattern p = *ia++;
+      p.count += ib++->count;
+      out.patterns_.push_back(p);
     }
-  };
-  fold(a);
-  fold(b);
-  for (const auto& [key, count] : grouped) {
-    GenotypePattern p;
-    unpack_pattern_key(key, p);
-    p.count = count;
-    out.patterns_.push_back(p);
   }
-  std::sort(out.patterns_.begin(), out.patterns_.end(), pattern_less);
+  out.patterns_.insert(out.patterns_.end(), ia, ea);
+  out.patterns_.insert(out.patterns_.end(), ib, eb);
   return out;
 }
 
@@ -214,6 +219,26 @@ void for_each_phase(const GenotypePattern& p, Visitor&& visit) {
 /// observed (non-missing) chromosomes at each locus.
 std::vector<double> equilibrium_start(const GenotypePatternTable& table) {
   const std::uint32_t k = table.locus_count();
+  const std::vector<double> freq_two =
+      equilibrium_allele_two_frequencies(table);
+
+  const std::size_t n_haplotypes = std::size_t{1} << k;
+  std::vector<double> p(n_haplotypes, 0.0);
+  for (std::size_t h = 0; h < n_haplotypes; ++h) {
+    double prob = 1.0;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      prob *= (h >> j) & 1u ? freq_two[j] : 1.0 - freq_two[j];
+    }
+    p[h] = prob;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> equilibrium_allele_two_frequencies(
+    const GenotypePatternTable& table) {
+  const std::uint32_t k = table.locus_count();
   std::vector<double> freq_two(k, 0.0);
   std::vector<double> observed(k, 0.0);
   for (const auto& p : table.patterns()) {
@@ -234,20 +259,8 @@ std::vector<double> equilibrium_start(const GenotypePatternTable& table) {
     // Keep strictly inside (0,1) so no compatible pair starts at zero.
     f = std::clamp(f, 1e-6, 1.0 - 1e-6);
   }
-
-  const std::size_t n_haplotypes = std::size_t{1} << k;
-  std::vector<double> p(n_haplotypes, 0.0);
-  for (std::size_t h = 0; h < n_haplotypes; ++h) {
-    double prob = 1.0;
-    for (std::uint32_t j = 0; j < k; ++j) {
-      prob *= (h >> j) & 1u ? freq_two[j] : 1.0 - freq_two[j];
-    }
-    p[h] = prob;
-  }
-  return p;
+  return freq_two;
 }
-
-}  // namespace
 
 double genotype_log_likelihood(const GenotypePatternTable& table,
                                std::span<const double> frequencies) {

@@ -124,6 +124,15 @@ struct EmResult {
 EmResult estimate_haplotype_frequencies(const GenotypePatternTable& table,
                                         const EmConfig& config = {});
 
+/// The per-locus Allele::Two frequencies behind the equilibrium start:
+/// allele counting over the observed (non-missing) chromosomes, clamped
+/// to [1e-6, 1 − 1e-6] so no compatible pair starts at zero. The start
+/// itself is the per-haplotype product of these factors; exposed so the
+/// compiled kernel (em_kernel.hpp) reproduces the reference initializer
+/// bit-for-bit.
+std::vector<double> equilibrium_allele_two_frequencies(
+    const GenotypePatternTable& table);
+
 /// Log-likelihood of the patterns under the given haplotype frequencies
 /// (sum over patterns of count · log P(genotype)).
 double genotype_log_likelihood(const GenotypePatternTable& table,

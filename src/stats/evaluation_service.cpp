@@ -5,6 +5,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace ldga::stats {
 
@@ -33,6 +34,7 @@ EvaluationService::EvaluationService(
 
 std::vector<double> EvaluationService::evaluate(
     std::span<const Candidate> batch) {
+  const Stopwatch watch;
   ++stats_.batches;
   stats_.candidates += batch.size();
 
@@ -76,6 +78,7 @@ std::vector<double> EvaluationService::evaluate(
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (copy_from[i] != kUnresolved) results[i] = results[copy_from[i]];
   }
+  stats_.batch_seconds += watch.elapsed_seconds();
   return results;
 }
 

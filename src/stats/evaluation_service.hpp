@@ -27,6 +27,10 @@ struct EvaluationServiceStats {
   std::uint64_t cache_hits = 0;  ///< answered from the fitness cache
   std::uint64_t duplicates = 0;  ///< collapsed within a batch
   std::uint64_t dispatched = 0;  ///< sent to the backend (unique misses)
+  /// Cumulative wall time inside evaluate() — dedup, cache probes and
+  /// backend dispatch. Together with the evaluator's stage_timings()
+  /// this separates batching overhead from pipeline cost.
+  double batch_seconds = 0.0;
 };
 
 class EvaluationService {

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "util/error.hpp"
+#include "util/stopwatch.hpp"
 
 namespace ldga::stats {
 
@@ -37,7 +38,8 @@ HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
                                        EvaluatorConfig config)
     : dataset_(&dataset),
       config_(config.validated()),
-      eh_diall_(dataset, config.em, config.packed_kernel),
+      eh_diall_(dataset, config.em, config.packed_kernel, config.compiled_em,
+                config.warm_start_pooled),
       clump_(config.clump),
       cache_(config.cache_capacity, config.cache_shards) {}
 
@@ -51,6 +53,9 @@ EvaluationResult HaplotypeEvaluator::evaluate_full(
       eh.to_contingency_table().drop_empty_columns();
 
   EvaluationResult result;
+  result.timings.pattern_build_seconds = eh.pattern_build_seconds;
+  result.timings.em_seconds = eh.em_seconds;
+  Stopwatch clump_watch;
   result.t1 = clump_.t1(table);
   result.lrt = eh.lrt;
   result.em_iterations_total = eh.affected.iterations +
@@ -87,6 +92,8 @@ EvaluationResult HaplotypeEvaluator::evaluate_full(
       break;
     }
   }
+  result.timings.clump_seconds = clump_watch.elapsed_seconds();
+  accumulate_timings(result.timings);
   return result;
 }
 
@@ -96,7 +103,11 @@ ClumpResult HaplotypeEvaluator::clump_analysis(
   std::uint64_t seed = config_.monte_carlo_seed;
   for (const SnpIndex s : snps) seed = splitmix64(seed) ^ s;
   Rng rng(seed);
-  return clump_.analyze(eh.to_contingency_table(), rng);
+  Stopwatch clump_watch;
+  ClumpResult result = clump_.analyze(eh.to_contingency_table(), rng);
+  accumulate_timings({eh.pattern_build_seconds, eh.em_seconds,
+                      clump_watch.elapsed_seconds()});
+  return result;
 }
 
 double HaplotypeEvaluator::compute_fitness(
@@ -169,10 +180,37 @@ double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
   return fitness_and_cache(snps);
 }
 
+void HaplotypeEvaluator::accumulate_timings(
+    const StageTimings& timings) const {
+  const auto to_ns = [](double seconds) {
+    return static_cast<std::uint64_t>(seconds * 1e9);
+  };
+  pattern_build_ns_.fetch_add(to_ns(timings.pattern_build_seconds),
+                              std::memory_order_relaxed);
+  em_ns_.fetch_add(to_ns(timings.em_seconds), std::memory_order_relaxed);
+  clump_ns_.fetch_add(to_ns(timings.clump_seconds),
+                      std::memory_order_relaxed);
+}
+
+StageTimings HaplotypeEvaluator::stage_timings() const {
+  StageTimings timings;
+  timings.pattern_build_seconds =
+      static_cast<double>(pattern_build_ns_.load(std::memory_order_relaxed)) *
+      1e-9;
+  timings.em_seconds =
+      static_cast<double>(em_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  timings.clump_seconds =
+      static_cast<double>(clump_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return timings;
+}
+
 void HaplotypeEvaluator::reset_counters() const {
   evaluations_.store(0, std::memory_order_relaxed);
   requests_.store(0, std::memory_order_relaxed);
   failed_evaluations_.store(0, std::memory_order_relaxed);
+  pattern_build_ns_.store(0, std::memory_order_relaxed);
+  em_ns_.store(0, std::memory_order_relaxed);
+  clump_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ldga::stats

@@ -97,12 +97,34 @@ struct EvaluatorConfig {
   /// (bit-for-bit identical statistics; the byte path remains as a
   /// reference implementation).
   bool packed_kernel = true;
+  /// Run EM through the compiled phase-program kernel (em_kernel.hpp):
+  /// support-set state instead of dense 2^k vectors, bit-for-bit
+  /// identical statistics; the visitor-based path remains as a
+  /// reference implementation.
+  bool compiled_em = true;
+  /// Warm-start the pooled EM run from the blended case/control
+  /// solutions (compiled path only). Saves iterations but may change
+  /// the pooled frequencies in the last ulps, so it is off by default —
+  /// the cold default keeps the pipeline bit-for-bit reproducible
+  /// against the reference. Non-convergent warm runs fall back to the
+  /// exact cold-start result.
+  bool warm_start_pooled = false;
 
   void validate() const;
   /// Validating factory: returns a copy after rejecting inconsistent
   /// settings with actionable messages. Prefer this at call sites so a
   /// bad config fails at construction, not mid-run.
   EvaluatorConfig validated() const;
+};
+
+/// Wall time spent in each stage of the Figure-3 pipeline. Per
+/// candidate in EvaluationResult::timings; cumulative (across every
+/// pipeline run since construction/reset) in
+/// HaplotypeEvaluator::stage_timings(), GaResult and the telemetry CSV.
+struct StageTimings {
+  double pattern_build_seconds = 0.0;  ///< Enumeration (+ pooled merge)
+  double em_seconds = 0.0;             ///< three EH-DIALL EM runs
+  double clump_seconds = 0.0;          ///< CLUMP statistics (+ MC)
 };
 
 /// Everything the pipeline knows about one candidate, for reporting.
@@ -113,6 +135,7 @@ struct EvaluationResult {
   std::uint32_t em_iterations_total = 0;
   bool em_converged = true;
   std::uint32_t table_columns = 0;  ///< non-empty haplotype columns
+  StageTimings timings;
 };
 
 class HaplotypeEvaluator {
@@ -163,6 +186,12 @@ class HaplotypeEvaluator {
   std::string last_failure() const;
   void reset_counters() const;
 
+  /// Cumulative per-stage wall time over every pipeline run since
+  /// construction (or reset_counters()). Thread-safe; workers
+  /// accumulate after each run, so concurrent stage seconds add up to
+  /// more than elapsed wall time — it is a cost profile, not a clock.
+  StageTimings stage_timings() const;
+
   /// Hit/miss/eviction counters of the cross-generation fitness cache.
   FitnessCacheStats cache_stats() const { return cache_.stats(); }
 
@@ -173,6 +202,7 @@ class HaplotypeEvaluator {
   double fitness_from(const EvaluationResult& result,
                       const ClumpResult& clump) const;
   double compute_fitness(std::span<const genomics::SnpIndex> snps) const;
+  void accumulate_timings(const StageTimings& timings) const;
 
   const genomics::Dataset* dataset_;
   EvaluatorConfig config_;
@@ -183,6 +213,12 @@ class HaplotypeEvaluator {
   mutable std::atomic<std::uint64_t> evaluations_{0};
   mutable std::atomic<std::uint64_t> requests_{0};
   mutable std::atomic<std::uint64_t> failed_evaluations_{0};
+  // Stage clocks in integer nanoseconds: fetch_add on atomic<double>
+  // is not universally lock-free, and nanosecond ticks lose nothing at
+  // telemetry precision.
+  mutable std::atomic<std::uint64_t> pattern_build_ns_{0};
+  mutable std::atomic<std::uint64_t> em_ns_{0};
+  mutable std::atomic<std::uint64_t> clump_ns_{0};
   mutable std::mutex failure_mutex_;
   mutable std::string last_failure_;
 };

@@ -105,6 +105,42 @@ TEST(Clump, MonteCarloIsDeterministicGivenSeed) {
   EXPECT_EQ(*a.t4.p_monte_carlo, *b.t4.p_monte_carlo);
 }
 
+TEST(Clump, MonteCarloPValuesInvariantUnderWorkerCount) {
+  // Every replicate runs from its own child stream whose seed is drawn
+  // sequentially before any work fans out, so the p-values are a pure
+  // function of (seed, trial count) — never of the worker count.
+  ClumpConfig config;
+  config.monte_carlo_trials = 150;
+  std::vector<ClumpResult> results;
+  for (const std::uint32_t workers : {1u, 2u, 5u, 0u}) {
+    config.monte_carlo_workers = workers;
+    const Clump clump(config);
+    Rng rng(2026);
+    results.push_back(clump.analyze(example_table(), rng));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(*results[0].t1.p_monte_carlo, *results[i].t1.p_monte_carlo);
+    EXPECT_EQ(*results[0].t2.p_monte_carlo, *results[i].t2.p_monte_carlo);
+    EXPECT_EQ(*results[0].t3.p_monte_carlo, *results[i].t3.p_monte_carlo);
+    EXPECT_EQ(*results[0].t4.p_monte_carlo, *results[i].t4.p_monte_carlo);
+  }
+}
+
+TEST(Clump, MonteCarloLeavesCallerRngIndependentOfTrialWork) {
+  // The caller's RNG advances exactly `trials` draws — one seed per
+  // replicate — so downstream consumers see the same stream whatever
+  // the trial outcomes or worker count.
+  ClumpConfig config;
+  config.monte_carlo_trials = 32;
+  config.monte_carlo_workers = 3;
+  const Clump clump(config);
+  Rng rng(5);
+  clump.analyze(example_table(), rng);
+  Rng expected(5);
+  for (int i = 0; i < 32; ++i) expected();
+  EXPECT_EQ(rng(), expected());
+}
+
 TEST(Clump, MonteCarloAgreesWithAnalyticOnLargeCounts) {
   // For a well-populated table the empirical T1 p-value should be in
   // the same ballpark as the analytic chi-square p-value.

@@ -21,6 +21,9 @@ GenerationInfo sample_info(std::uint32_t generation) {
   info.cache_hits = 10 * generation;
   info.cache_misses = generation;
   info.cache_evictions = 0;
+  info.stage_timings.pattern_build_seconds = 0.125;
+  info.stage_timings.em_seconds = 0.25;
+  info.stage_timings.clump_seconds = 0.5;
   return info;
 }
 
@@ -33,7 +36,8 @@ TEST(TelemetryWriter, HeaderMatchesShape) {
                       "mutation_rate_0,mutation_rate_1,mutation_rate_2,"
                       "crossover_rate_0,crossover_rate_1,"
                       "evaluations,immigrants,"
-                      "cache_hits,cache_misses,cache_evictions"),
+                      "cache_hits,cache_misses,cache_evictions,"
+                      "pattern_build_seconds,em_seconds,clump_seconds"),
             std::string::npos);
 }
 
@@ -52,10 +56,12 @@ TEST(TelemetryWriter, RowValuesRoundTrip) {
   TelemetryCsvWriter writer(out);
   writer.record(sample_info(3));
   const std::string text = out.str();
-  EXPECT_NE(text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0"),
-            std::string::npos);
+  EXPECT_NE(
+      text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0,0.125,0.25,0.5"),
+      std::string::npos);
   writer.record(sample_info(4));
-  EXPECT_NE(out.str().find("4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0"),
+  EXPECT_NE(out.str().find(
+                "4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0,0.125,0.25,0.5"),
             std::string::npos);
 }
 
