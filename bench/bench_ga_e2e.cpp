@@ -1,0 +1,228 @@
+// End-to-end GA wall time with the incremental evaluation pipeline.
+//
+// A seed-pinned full GA run on an EM-dominated Monte-Carlo workload
+// (60 SNPs, 300+300 individuals, up to 6-locus candidates, T3 fitness
+// with CLUMP Monte-Carlo p-values), three ways:
+//   1. baseline  — pattern cache off, warm starts off, fixed-replicate
+//      Monte Carlo (the pre-PR per-candidate pipeline);
+//   2. exact     — pattern cache on, everything else off. Gate: this
+//      run must walk the bit-for-bit identical trajectory to the
+//      baseline (same individuals, same fitness doubles, same
+//      generation count) — aborts on mismatch;
+//   3. optimized — pattern cache + parent warm starts + sequential
+//      early-stopping Monte Carlo (the full PR configuration).
+//
+// Results land in BENCH_ga_e2e.json (speedup plus the cache /
+// warm-start / Monte-Carlo counters behind it). Acceptance: >= 2x
+// end-to-end, hard floor 1.5x (the CI smoke job compares against the
+// committed baseline at the floor).
+#include <cstdio>
+#include <cstdlib>
+
+#include "ga/engine.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ldga;
+
+const genomics::SyntheticDataset& cohort() {
+  static const auto synthetic = [] {
+    genomics::SyntheticConfig config;
+    config.snp_count = 60;
+    config.affected_count = 300;
+    config.unaffected_count = 300;
+    config.unknown_count = 0;
+    config.active_snp_count = 4;
+    Rng rng(2004);
+    return genomics::generate_synthetic(config, rng);
+  }();
+  return synthetic;
+}
+
+/// The Monte-Carlo budget is large enough that the Hoeffding stopper
+/// has real room (decisions at 64/128/... replicates), and the early
+/// stop threshold sits where most candidates — strongly significant
+/// ones near p ~ 0 and null ones with p spread over (0,1) — decide
+/// within the first batches.
+stats::EvaluatorConfig evaluator_config(bool pattern_cache, bool warm_starts,
+                                        bool early_stop) {
+  stats::EvaluatorConfig config;
+  config.fitness_statistic = stats::FitnessStatistic::T3;
+  config.clump.monte_carlo_trials = 1200;
+  config.clump.monte_carlo_workers = 1;
+  config.incremental.pattern_cache = pattern_cache;
+  config.incremental.warm_start_parents = warm_starts;
+  if (early_stop) {
+    config.clump.mc_early_stop = true;
+    config.clump.mc_min_batch = 64;
+    config.clump.mc_significance = 0.3;
+  }
+  return config;
+}
+
+ga::GaConfig ga_config() {
+  ga::GaConfig config;
+  config.min_size = 2;
+  config.max_size = 6;
+  config.population_size = 36;
+  config.min_subpopulation = 6;
+  config.crossovers_per_generation = 8;
+  config.mutations_per_generation = 12;
+  config.stagnation_generations = 100;  // run the full generation budget
+  config.random_immigrant_stagnation = 5;
+  config.max_generations = 10;
+  config.seed = 77;
+  return config;
+}
+
+struct TimedRun {
+  ga::GaResult result;
+  double ms = 0.0;
+};
+
+TimedRun run_ga(const stats::EvaluatorConfig& evaluator_config) {
+  const stats::HaplotypeEvaluator evaluator(cohort().dataset,
+                                            evaluator_config);
+  ga::GaEngine engine(evaluator, ga_config());
+  Stopwatch watch;
+  TimedRun timed;
+  timed.result = engine.run();
+  timed.ms = watch.elapsed_ms();
+  return timed;
+}
+
+/// The pattern cache is a construction shortcut, never a semantic
+/// change: with warm starts and early stopping off its trajectory must
+/// be bit-for-bit the baseline's. A fast wrong cache is worthless.
+void gate_equivalence(const ga::GaResult& baseline,
+                      const ga::GaResult& exact) {
+  if (baseline.generations != exact.generations ||
+      baseline.best_by_size.size() != exact.best_by_size.size()) {
+    std::fprintf(stderr, "FATAL: cached run diverged in shape\n");
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < baseline.best_by_size.size(); ++i) {
+    const auto& expect = baseline.best_by_size[i];
+    const auto& got = exact.best_by_size[i];
+    if (!expect.same_snps(got) || expect.fitness() != got.fitness()) {
+      std::fprintf(stderr,
+                   "FATAL: cached run diverged at size slot %zu: fitness "
+                   "%.17g vs %.17g\n",
+                   i, got.fitness(), expect.fitness());
+      std::exit(1);
+    }
+  }
+  std::printf("equivalence: cached GA trajectory is bit-for-bit the "
+              "baseline's (%u generations, %zu size slots)\n",
+              baseline.generations, baseline.best_by_size.size());
+}
+
+double rate(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : static_cast<double>(part) /
+                                static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== End-to-end GA: incremental evaluation pipeline ===\n\n");
+
+  const TimedRun baseline = run_ga(evaluator_config(false, false, false));
+  std::printf("baseline  (cache off, warm off, fixed MC): %.1f ms, %llu "
+              "evaluations\n",
+              baseline.ms,
+              static_cast<unsigned long long>(baseline.result.evaluations));
+
+  const TimedRun exact = run_ga(evaluator_config(true, false, false));
+  std::printf("exact     (cache on,  warm off, fixed MC): %.1f ms\n",
+              exact.ms);
+  gate_equivalence(baseline.result, exact.result);
+
+  const TimedRun optimized = run_ga(evaluator_config(true, true, true));
+  const auto& pattern = optimized.result.pattern_cache;
+  const auto& cache = optimized.result.cache_stats;
+  const std::uint64_t mc_total = optimized.result.mc_replicates_run +
+                                 optimized.result.mc_replicates_saved;
+  const double incremental_rate =
+      rate(pattern.extended + pattern.projected,
+           pattern.extended + pattern.projected + pattern.fresh);
+  const double speedup = baseline.ms / optimized.ms;
+  std::printf(
+      "optimized (cache on,  warm on,  early-stop MC): %.1f ms — %.2fx "
+      "(acceptance 2x, floor 1.5x)\n"
+      "  pattern tables: %llu extended, %llu projected, %llu fresh "
+      "(%.0f%% incremental)\n"
+      "  fitness cache: %.0f%% hit rate; warm starts kept %llu / fell "
+      "back %llu\n"
+      "  Monte Carlo: %llu of %llu replicates run (%.0f%% saved)\n",
+      optimized.ms, speedup,
+      static_cast<unsigned long long>(pattern.extended),
+      static_cast<unsigned long long>(pattern.projected),
+      static_cast<unsigned long long>(pattern.fresh),
+      100.0 * incremental_rate,
+      100.0 * rate(cache.hits, cache.hits + cache.misses),
+      static_cast<unsigned long long>(pattern.warm_starts),
+      static_cast<unsigned long long>(pattern.warm_fallbacks),
+      static_cast<unsigned long long>(optimized.result.mc_replicates_run),
+      static_cast<unsigned long long>(mc_total),
+      100.0 * rate(optimized.result.mc_replicates_saved, mc_total));
+
+  std::FILE* json = std::fopen("BENCH_ga_e2e.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_ga_e2e.json\n");
+    return 1;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"workload\": \"60 SNPs, 300+300 individuals, 10-generation GA, "
+      "T3 fitness, 1200 MC trials\",\n"
+      "  \"ga_generations\": %u,\n"
+      "  \"ga_evaluations\": %llu,\n"
+      "  \"ga_baseline_ms\": %.3f,\n"
+      "  \"ga_exact_cache_ms\": %.3f,\n"
+      "  \"ga_optimized_ms\": %.3f,\n"
+      "  \"ga_speedup\": %.3f,\n"
+      "  \"pattern_hits\": %llu,\n"
+      "  \"pattern_misses\": %llu,\n"
+      "  \"pattern_extended\": %llu,\n"
+      "  \"pattern_projected\": %llu,\n"
+      "  \"pattern_fresh\": %llu,\n"
+      "  \"pattern_incremental_rate\": %.4f,\n"
+      "  \"provenance_hints\": %llu,\n"
+      "  \"fitness_cache_hit_rate\": %.4f,\n"
+      "  \"warm_starts\": %llu,\n"
+      "  \"warm_fallbacks\": %llu,\n"
+      "  \"warm_start_rate\": %.4f,\n"
+      "  \"mc_replicates_run\": %llu,\n"
+      "  \"mc_replicates_saved\": %llu,\n"
+      "  \"mc_saved_fraction\": %.4f\n"
+      "}\n",
+      baseline.result.generations,
+      static_cast<unsigned long long>(baseline.result.evaluations),
+      baseline.ms, exact.ms, optimized.ms, speedup,
+      static_cast<unsigned long long>(pattern.hits),
+      static_cast<unsigned long long>(pattern.misses),
+      static_cast<unsigned long long>(pattern.extended),
+      static_cast<unsigned long long>(pattern.projected),
+      static_cast<unsigned long long>(pattern.fresh), incremental_rate,
+      static_cast<unsigned long long>(pattern.provenance_hints),
+      rate(cache.hits, cache.hits + cache.misses),
+      static_cast<unsigned long long>(pattern.warm_starts),
+      static_cast<unsigned long long>(pattern.warm_fallbacks),
+      rate(pattern.warm_starts,
+           pattern.warm_starts + pattern.warm_fallbacks),
+      static_cast<unsigned long long>(optimized.result.mc_replicates_run),
+      static_cast<unsigned long long>(optimized.result.mc_replicates_saved),
+      rate(optimized.result.mc_replicates_saved, mc_total));
+  std::fclose(json);
+  std::printf("\nwrote BENCH_ga_e2e.json\n");
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "WARNING: end-to-end speedup below the 1.5x floor\n");
+  }
+  return 0;
+}

@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Build and run the EM-kernel benchmark, leaving BENCH_em_kernel.json at
-# the repo root. Used to record the perf acceptance numbers for the
-# compiled-EM PR (3x end-to-end floor); cheap enough for a smoke run.
+# Build and run the perf-acceptance benchmarks, leaving BENCH_*.json at
+# the repo root:
+#   - bench_em_kernel — compiled-EM PR numbers (3x end-to-end floor);
+#   - bench_ga_e2e    — incremental-pipeline PR numbers (2x GA wall
+#     time, hard floor 1.5x), including the bit-exactness gate of the
+#     pattern cache against the baseline trajectory.
+# Cheap enough for a CI smoke run; the CI bench job compares the fresh
+# BENCH_ga_e2e.json against the committed baseline.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$root/build}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build" --target bench_em_kernel -j "$(nproc)"
+cmake --build "$build" --target bench_em_kernel --target bench_ga_e2e \
+  -j "$(nproc)"
 
 cd "$root"
 "$build/bench/bench_em_kernel"
 echo "BENCH_em_kernel.json written to $root"
+"$build/bench/bench_ga_e2e"
+echo "BENCH_ga_e2e.json written to $root"

@@ -86,6 +86,10 @@ struct GaEngine::Pending {
   std::uint32_t application = 0;   ///< crossover application id
   std::uint32_t target_subpop = 0;  ///< immigrant destination
   std::uint32_t target_slot = 0;    ///< immigrant slot
+  /// The already-scored parent the operator derived this offspring from
+  /// (crossover: the closer of the two parents) — the incremental
+  /// pipeline's provenance hint. Empty for initials and immigrants.
+  std::vector<genomics::SnpIndex> parent_snps;
 };
 
 void GaEngine::check_compatible(const stats::HaplotypeEvaluator& evaluator,
@@ -272,6 +276,11 @@ GaResult GaEngine::run() {
     return ranges[size - config_.min_size].normalize(fitness);
   };
 
+  // Counter snapshots for the per-generation telemetry deltas (the
+  // evaluator's counters are cumulative and may carry earlier traffic).
+  stats::FitnessCacheStats prev_cache = evaluator_->cache_stats();
+  stats::PatternCacheStats prev_pattern = evaluator_->incremental_stats();
+
   for (std::uint32_t generation = start_generation;
        generation <= config_.max_generations; ++generation) {
     const std::vector<FitnessRange> ranges = population.ranges();
@@ -323,6 +332,10 @@ GaResult GaEngine::run() {
       Pending second = first;
       second.individual = std::move(c2);
       second.baseline = op == CrossoverKind::kIntra ? 0.5 * (n1 + n2) : n2;
+      first.parent_snps =
+          VariationOperators::closer_parent(first.individual, p1, p2).snps();
+      second.parent_snps =
+          VariationOperators::closer_parent(second.individual, p1, p2).snps();
 
       pending.push_back(std::move(first));
       pending.push_back(std::move(second));
@@ -363,6 +376,7 @@ GaResult GaEngine::run() {
           entry.op = MutationKind::kSnp;
           entry.baseline = parent_norm;
           entry.group = static_cast<std::int32_t>(next_group);
+          entry.parent_snps = parent.snps();
           pending.push_back(std::move(entry));
         }
         ++next_group;
@@ -372,6 +386,7 @@ GaResult GaEngine::run() {
         entry.kind = Pending::Kind::Mutation;
         entry.op = op;
         entry.baseline = parent_norm;
+        entry.parent_snps = parent.snps();
         pending.push_back(std::move(entry));
       }
     }
@@ -379,11 +394,14 @@ GaResult GaEngine::run() {
     // -- synchronous parallel evaluation phase ------------------------
     {
       std::vector<stats::Candidate> tasks;
+      std::vector<stats::Candidate> parents;
       tasks.reserve(pending.size());
+      parents.reserve(pending.size());
       for (const auto& entry : pending) {
         tasks.push_back(entry.individual.snps());
+        parents.push_back(entry.parent_snps);
       }
-      const std::vector<double> scores = service.evaluate(tasks);
+      const std::vector<double> scores = service.evaluate(tasks, parents);
       for (std::size_t i = 0; i < pending.size(); ++i) {
         pending[i].individual.set_fitness(scores[i]);
       }
@@ -536,6 +554,19 @@ GaResult GaEngine::run() {
       info.cache_misses = cache.misses;
       info.cache_evictions = cache.evictions;
       info.stage_timings = evaluator_->stage_timings();
+      const stats::PatternCacheStats pattern = evaluator_->incremental_stats();
+      info.pattern_cache = pattern;
+      info.mc_replicates_run = evaluator_->mc_replicates_run();
+      info.mc_replicates_saved = evaluator_->mc_replicates_saved();
+      info.gen_cache_hits = cache.hits - prev_cache.hits;
+      info.gen_cache_misses = cache.misses - prev_cache.misses;
+      info.gen_pattern_hits = pattern.hits - prev_pattern.hits;
+      info.gen_pattern_misses = pattern.misses - prev_pattern.misses;
+      info.gen_warm_starts = pattern.warm_starts - prev_pattern.warm_starts;
+      info.gen_warm_fallbacks =
+          pattern.warm_fallbacks - prev_pattern.warm_fallbacks;
+      prev_cache = cache;
+      prev_pattern = pattern;
       if (callback_) callback_(info);
       if (config_.record_history) result.history.push_back(std::move(info));
     }
@@ -582,6 +613,9 @@ GaResult GaEngine::run() {
   result.eval_stats = service.stats();
   result.cache_stats = evaluator_->cache_stats();
   result.stage_timings = evaluator_->stage_timings();
+  result.pattern_cache = evaluator_->incremental_stats();
+  result.mc_replicates_run = evaluator_->mc_replicates_run();
+  result.mc_replicates_saved = evaluator_->mc_replicates_saved();
   return result;
 }
 

@@ -108,6 +108,21 @@ struct GenerationInfo {
   /// Cumulative per-stage pipeline wall time (pattern build / EM /
   /// CLUMP) from the evaluator's stage clocks.
   stats::StageTimings stage_timings;
+  /// Cumulative incremental-pipeline counters (all zero when the
+  /// pattern cache is off).
+  stats::PatternCacheStats pattern_cache;
+  /// Cumulative Monte-Carlo replicates executed / skipped by the
+  /// early-stopping CLUMP scheduler.
+  std::uint64_t mc_replicates_run = 0;
+  std::uint64_t mc_replicates_saved = 0;
+  /// This generation's deltas of the cumulative counters above — the
+  /// telemetry CSV derives its per-generation hit ratios from these.
+  std::uint64_t gen_cache_hits = 0;
+  std::uint64_t gen_cache_misses = 0;
+  std::uint64_t gen_pattern_hits = 0;
+  std::uint64_t gen_pattern_misses = 0;
+  std::uint64_t gen_warm_starts = 0;
+  std::uint64_t gen_warm_fallbacks = 0;
 };
 
 struct GaResult {
@@ -130,6 +145,12 @@ struct GaResult {
   /// Cumulative per-stage pipeline wall time at the end of the run
   /// (pattern build / EM / CLUMP — the Figure-3 cost profile).
   stats::StageTimings stage_timings;
+  /// Incremental-pipeline counters at the end of the run (all zero when
+  /// the pattern cache is off).
+  stats::PatternCacheStats pattern_cache;
+  /// Monte-Carlo replicates executed / skipped over the whole run.
+  std::uint64_t mc_replicates_run = 0;
+  std::uint64_t mc_replicates_saved = 0;
   std::vector<GenerationInfo> history;  ///< when record_history is set
 };
 

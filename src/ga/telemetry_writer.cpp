@@ -21,9 +21,22 @@ void TelemetryCsvWriter::write_header(const GenerationInfo& info) {
   }
   *out_ << ",evaluations,immigrants,cache_hits,cache_misses,"
            "cache_evictions,pattern_build_seconds,em_seconds,"
-           "clump_seconds\n";
+           "clump_seconds,cache_hit_ratio,pattern_hits,pattern_misses,"
+           "pattern_hit_ratio,warm_starts,warm_fallbacks,warm_hit_ratio,"
+           "mc_replicates_run,mc_replicates_saved\n";
   header_written_ = true;
 }
+
+namespace {
+
+/// This generation's hit ratio; 0 when the generation had no traffic.
+double ratio(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+}  // namespace
 
 void TelemetryCsvWriter::record(const GenerationInfo& info) {
   if (!header_written_) write_header(info);
@@ -36,7 +49,13 @@ void TelemetryCsvWriter::record(const GenerationInfo& info) {
         << ',' << info.cache_misses << ',' << info.cache_evictions << ','
         << info.stage_timings.pattern_build_seconds << ','
         << info.stage_timings.em_seconds << ','
-        << info.stage_timings.clump_seconds << '\n';
+        << info.stage_timings.clump_seconds << ','
+        << ratio(info.gen_cache_hits, info.gen_cache_misses) << ','
+        << info.gen_pattern_hits << ',' << info.gen_pattern_misses << ','
+        << ratio(info.gen_pattern_hits, info.gen_pattern_misses) << ','
+        << info.gen_warm_starts << ',' << info.gen_warm_fallbacks << ','
+        << ratio(info.gen_warm_starts, info.gen_warm_fallbacks) << ','
+        << info.mc_replicates_run << ',' << info.mc_replicates_saved << '\n';
   ++rows_;
   if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
 }

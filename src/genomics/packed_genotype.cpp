@@ -105,6 +105,16 @@ LocusCounts PackedGenotypeMatrix::locus_counts(SnpIndex snp) const {
 
 void PackedGenotypeMatrix::for_each_pattern(
     std::span<const SnpIndex> snps, const PatternVisitor& visit) const {
+  for_each_pattern_rows(
+      snps, [&](std::uint32_t hom_two_mask, std::uint32_t het_mask,
+                std::uint32_t missing_mask, std::uint32_t count,
+                std::span<const std::uint64_t>) {
+        visit(hom_two_mask, het_mask, missing_mask, count);
+      });
+}
+
+void PackedGenotypeMatrix::for_each_pattern_rows(
+    std::span<const SnpIndex> snps, const PatternRowVisitor& visit) const {
   const auto k = static_cast<std::uint32_t>(snps.size());
   LDGA_EXPECTS(k >= 1 && k <= kMaxPatternLoci);
   for (const SnpIndex s : snps) LDGA_EXPECTS(s < snps_);
@@ -128,7 +138,7 @@ void PackedGenotypeMatrix::for_each_pattern(
     const std::uint64_t* parent = rows.data() + level * words_;
     if (level == k) {
       visit(hom_two_mask, het_mask, missing_mask,
-            popcount_words(parent, words_));
+            popcount_words(parent, words_), {parent, words_});
       return;
     }
     std::uint64_t* child = rows.data() + (level + 1) * words_;

@@ -53,6 +53,14 @@ class PackedGenotypeMatrix {
   using PatternVisitor = std::function<void(
       std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t)>;
 
+  /// As PatternVisitor, plus the pattern's carrier bitset — the DFS
+  /// leaf row (words_per_snp() words, bit i = packed individual i
+  /// carries the pattern). The span aliases traversal scratch; copy it
+  /// before returning from the visitor.
+  using PatternRowVisitor = std::function<void(
+      std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t,
+      std::span<const std::uint64_t>)>;
+
   PackedGenotypeMatrix() = default;
 
   /// Packs the full matrix, individuals in dataset order.
@@ -83,6 +91,13 @@ class PackedGenotypeMatrix {
   /// deterministic (depth-first by genotype code).
   void for_each_pattern(std::span<const SnpIndex> snps,
                         const PatternVisitor& visit) const;
+
+  /// for_each_pattern, additionally handing each leaf's carrier bitset
+  /// to the visitor (same traversal, same order, same counts). The
+  /// rows let callers derive any one-locus refinement of a pattern
+  /// later without re-walking the code tree.
+  void for_each_pattern_rows(std::span<const SnpIndex> snps,
+                             const PatternRowVisitor& visit) const;
 
  private:
   const std::uint64_t* low_words(SnpIndex snp) const {

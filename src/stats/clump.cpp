@@ -12,6 +12,29 @@ void ClumpConfig::validate() const {
   if (rare_expected_threshold < 0.0) {
     throw ConfigError("ClumpConfig: rare_expected_threshold must be >= 0");
   }
+  if (mc_early_stop && monte_carlo_trials == 0) {
+    throw ConfigError(
+        "ClumpConfig: mc_early_stop needs Monte Carlo enabled — set "
+        "monte_carlo_trials > 0 (the trial count is the replicate "
+        "ceiling the stopper works under), or turn mc_early_stop off");
+  }
+  if (mc_early_stop && mc_min_batch == 0) {
+    throw ConfigError(
+        "ClumpConfig: mc_min_batch must be >= 1 (it is the first batch "
+        "of the early-stopping schedule)");
+  }
+  if (!(mc_significance > 0.0 && mc_significance < 1.0)) {
+    throw ConfigError(
+        "ClumpConfig: mc_significance must be strictly inside (0, 1); "
+        "got " +
+        std::to_string(mc_significance));
+  }
+  if (!(mc_error_rate > 0.0 && mc_error_rate < 1.0)) {
+    throw ConfigError(
+        "ClumpConfig: mc_error_rate must be strictly inside (0, 1); "
+        "got " +
+        std::to_string(mc_error_rate));
+  }
 }
 
 Clump::Clump(ClumpConfig config) : config_(config) {
@@ -182,10 +205,12 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
   // Monte-Carlo resampling: each replicate recomputes all four
   // statistics on a null table with the observed marginals. The
   // caller's RNG is consumed only to seed one child stream per trial —
-  // sequentially, before any replicate runs — so the result is a pure
-  // function of (seed, trial count) whatever the worker count. The
-  // per-trial outcome bytes (one "null >= observed" bit per statistic)
-  // are deliberately NOT a vector<bool>: distinct bytes keep parallel
+  // sequentially, before any replicate runs (and for *all* configured
+  // trials even under early stopping, so both modes sample identical
+  // null tables) — which makes the result a pure function of
+  // (seed, trial count) whatever the worker count. The per-trial
+  // outcome bytes (one "null >= observed" bit per statistic) are
+  // deliberately NOT a vector<bool>: distinct bytes keep parallel
   // writers off each other's memory.
   if (config_.monte_carlo_trials > 0) {
     const std::uint32_t trials = config_.monte_carlo_trials;
@@ -215,23 +240,78 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
       outcomes[trial] = hits;
     };
 
-    if (pool_ != nullptr) {
-      pool_->parallel_for(0, trials, run_trial);
+    const auto run_range = [&](std::uint32_t begin, std::uint32_t end) {
+      if (pool_ != nullptr) {
+        pool_->parallel_for(begin, end, run_trial);
+      } else {
+        for (std::uint32_t trial = begin; trial < end; ++trial) {
+          run_trial(trial);
+        }
+      }
+    };
+
+    std::uint32_t run = 0;
+    if (!config_.mc_early_stop) {
+      run_range(0, trials);
+      run = trials;
     } else {
-      for (std::uint32_t trial = 0; trial < trials; ++trial) {
-        run_trial(trial);
+      // Sequential test with doubling batches. The Hoeffding bound
+      // P(|q̂ − q| >= ε) <= 2 exp(−2nε²) gives, at confidence δ per
+      // (statistic, look), the halfwidth ε = sqrt(ln(2/δ) / 2n).
+      // Splitting mc_error_rate over the four statistics and every
+      // interim look (δ = error / (4 L)) union-bounds the probability
+      // that any decided call flips against the full run's exceedance
+      // rate. A call is decided once α lies outside [q̂ − ε, q̂ + ε].
+      std::uint32_t looks = 1;
+      for (std::uint64_t n = std::min(config_.mc_min_batch, trials);
+           n < trials; n *= 2) {
+        ++looks;
+      }
+      const double delta = config_.mc_error_rate / (4.0 * looks);
+      const double alpha = config_.mc_significance;
+      std::uint32_t next = std::min(config_.mc_min_batch, trials);
+      while (true) {
+        run_range(run, next);
+        run = next;
+        std::uint32_t ge[4] = {0, 0, 0, 0};
+        for (std::uint32_t t = 0; t < run; ++t) {
+          const std::uint8_t hits = outcomes[t];
+          ge[0] += hits & 1u;
+          ge[1] += (hits >> 1) & 1u;
+          ge[2] += (hits >> 2) & 1u;
+          ge[3] += (hits >> 3) & 1u;
+        }
+        const double eps =
+            std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(run)));
+        bool decided = true;
+        for (const std::uint32_t g : ge) {
+          const double q = static_cast<double>(g) / static_cast<double>(run);
+          if (q + eps >= alpha && q - eps <= alpha) {
+            decided = false;
+            break;
+          }
+        }
+        if (decided && run < trials) {
+          result.mc_early_stopped = true;
+          break;
+        }
+        if (run >= trials) break;
+        next = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(std::uint64_t{run} * 2, trials));
       }
     }
+    result.mc_replicates_run = run;
 
     std::uint32_t ge1 = 0, ge2 = 0, ge3 = 0, ge4 = 0;
-    for (const std::uint8_t hits : outcomes) {
+    for (std::uint32_t t = 0; t < run; ++t) {
+      const std::uint8_t hits = outcomes[t];
       ge1 += hits & 1u;
       ge2 += (hits >> 1) & 1u;
       ge3 += (hits >> 2) & 1u;
       ge4 += (hits >> 3) & 1u;
     }
     const auto empirical = [&](std::uint32_t ge) {
-      return (1.0 + ge) / (1.0 + config_.monte_carlo_trials);
+      return (1.0 + ge) / (1.0 + run);
     };
     result.t1.p_monte_carlo = empirical(ge1);
     result.t2.p_monte_carlo = empirical(ge2);

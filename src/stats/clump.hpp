@@ -40,6 +40,26 @@ struct ClumpConfig {
   /// stream seeded sequentially off the caller's RNG, so the p-values
   /// depend on seed and trial count only — never on the worker count.
   std::uint32_t monte_carlo_workers = 1;
+  /// Sequential early stopping: run replicates in doubling batches and
+  /// stop once every statistic's significance call at mc_significance
+  /// is decided by a Hoeffding confidence bound (total wrong-call
+  /// probability <= mc_error_rate per analysis, union-bounded over the
+  /// four statistics and all interim looks). monte_carlo_trials stays
+  /// the hard ceiling; the decided calls agree with the fixed-replicate
+  /// run within the error rate, but the empirical p-values themselves
+  /// are resolved only to batch precision. Off by default: the exact
+  /// fixed-replicate path is the reference. Both modes pre-draw every
+  /// trial seed, so a given (seed, trials) pair samples identical null
+  /// tables whatever the mode or worker count.
+  bool mc_early_stop = false;
+  /// First batch size of the early-stopping schedule (doubles each
+  /// look, capped at monte_carlo_trials).
+  std::uint32_t mc_min_batch = 64;
+  /// Significance threshold the early stopper decides against.
+  double mc_significance = 0.05;
+  /// Bound on the probability that any early-stopped significance call
+  /// disagrees with the full fixed-replicate run.
+  double mc_error_rate = 1e-3;
 
   void validate() const;
 };
@@ -63,6 +83,12 @@ struct ClumpResult {
   /// Column group selected by T4's greedy search (indices into the
   /// empty-column-pruned table).
   std::vector<std::uint32_t> t4_group;
+  /// Monte-Carlo replicates actually executed (== monte_carlo_trials
+  /// unless the early stopper fired; 0 when Monte Carlo is off).
+  std::uint32_t mc_replicates_run = 0;
+  /// True when the early stopper decided all four calls before the
+  /// replicate ceiling.
+  bool mc_early_stopped = false;
 };
 
 class Clump {

@@ -1,6 +1,9 @@
 #include "stats/eh_diall.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <optional>
+#include <utility>
 
 #include "stats/em_kernel.hpp"
 #include "util/error.hpp"
@@ -26,12 +29,16 @@ ContingencyTable EhDiallResult::to_contingency_table() const {
 
 EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
                  bool packed_kernel, bool compiled_em,
-                 bool warm_start_pooled)
+                 bool warm_start_pooled,
+                 std::shared_ptr<PatternTableCache> cache,
+                 bool warm_start_parents)
     : dataset_(&dataset),
       config_(config),
       packed_kernel_(packed_kernel),
       compiled_em_(compiled_em),
-      warm_start_pooled_(warm_start_pooled) {
+      warm_start_pooled_(warm_start_pooled),
+      warm_start_parents_(warm_start_parents),
+      cache_(packed_kernel && compiled_em ? std::move(cache) : nullptr) {
   config_.validate();
   affected_ = dataset.individuals_with(Status::Affected);
   unaffected_ = dataset.individuals_with(Status::Unaffected);
@@ -86,6 +93,13 @@ std::vector<double> blend_warm_start(const EmProgram& pooled,
 
 EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
   LDGA_EXPECTS(!snps.empty());
+  // The incremental path keys tables by sorted locus set; an unsorted
+  // candidate (legal here, the GA always canonicalizes) would alias a
+  // different bit order, so it takes the fresh path instead.
+  if (cache_ != nullptr && std::is_sorted(snps.begin(), snps.end()) &&
+      std::adjacent_find(snps.begin(), snps.end()) == snps.end()) {
+    return analyze_incremental(snps);
+  }
 
   Stopwatch watch;
   const auto& genotypes = dataset_->genotypes();
@@ -137,6 +151,284 @@ EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
     result.affected = estimate_haplotype_frequencies(table_a, config_);
     result.unaffected = estimate_haplotype_frequencies(table_u, config_);
     result.pooled = estimate_haplotype_frequencies(table_pooled, config_);
+  }
+  result.em_seconds = watch.elapsed_seconds();
+
+  const double lrt = 2.0 * (result.affected.log_likelihood +
+                            result.unaffected.log_likelihood -
+                            result.pooled.log_likelihood);
+  result.lrt = std::max(lrt, 0.0);
+  return result;
+}
+
+namespace {
+
+/// Parent EM solution transformed onto a child program's support: the
+/// warm start for the child's run. `removed_pos` is the dropped locus's
+/// sorted position in the PARENT set, `added_pos` the added locus's
+/// position in the CHILD set (either may be absent). Dropping a locus
+/// sums the parent frequencies of the two codes that project onto each
+/// child code; adding one splits each parent frequency by the child's
+/// equilibrium allele frequency at the new locus. Parent codes missing
+/// from the parent support contribute zero; everything is clamped
+/// strictly positive (converged solutions carry exact zeros, and the
+/// child's maximum may sit there).
+std::vector<double> warm_from_parent(const EmProgram& child,
+                                     const EmProgram& parent,
+                                     const EmSupportResult& parent_sol,
+                                     std::optional<std::uint32_t> removed_pos,
+                                     std::optional<std::uint32_t> added_pos) {
+  const auto parent_freq = [&](HaplotypeCode code) {
+    const auto it = std::lower_bound(parent.support.begin(),
+                                     parent.support.end(), code);
+    if (it == parent.support.end() || *it != code) return 0.0;
+    return parent_sol
+        .frequencies[static_cast<std::size_t>(it - parent.support.begin())];
+  };
+
+  std::vector<double> warm(child.support.size());
+  for (std::size_t i = 0; i < child.support.size(); ++i) {
+    const HaplotypeCode code = child.support[i];
+    double scale = 1.0;
+    HaplotypeCode mid = code;
+    if (added_pos) {
+      const double qa = child.locus_freq_two[*added_pos];
+      scale = (code >> *added_pos) & 1u ? qa : 1.0 - qa;
+      mid = compact_mask_bit(code, *added_pos);
+    }
+    double mass;
+    if (removed_pos) {
+      const HaplotypeCode lo = expand_mask_bit(mid, *removed_pos);
+      mass = parent_freq(lo) + parent_freq(lo | (1u << *removed_pos));
+    } else {
+      mass = parent_freq(mid);
+    }
+    warm[i] = std::max(mass * scale, 1e-12);
+  }
+  return warm;
+}
+
+/// Sorted set difference a ∖ b.
+std::vector<SnpIndex> difference(const std::vector<SnpIndex>& a,
+                                 const std::vector<SnpIndex>& b) {
+  std::vector<SnpIndex> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<CandidateTables> EhDiall::build_tables(
+    const std::vector<SnpIndex>& key,
+    const std::shared_ptr<const CandidateTables>& parent) const {
+  auto entry = std::make_shared<CandidateTables>();
+  entry->key = key;
+
+  bool built = false;
+  if (parent != nullptr) {
+    const std::vector<SnpIndex> removed = difference(parent->key, key);
+    const std::vector<SnpIndex> added = difference(key, parent->key);
+    // Routes cheaper than a fresh build exist for one-locus edits only
+    // (the GA's reduction / augmentation / SNP replacement); anything
+    // further away re-enumerates.
+    if (removed.size() <= 1 && added.size() <= 1 &&
+        removed.size() + added.size() >= 1) {
+      std::vector<SnpIndex> mid = parent->key;
+      const GroupPatterns* base_a = &parent->affected;
+      const GroupPatterns* base_u = &parent->unaffected;
+      GroupPatterns proj_a;
+      GroupPatterns proj_u;
+      bool ok = true;
+      if (removed.size() == 1) {
+        auto pa = project_group_patterns(parent->affected, parent->key,
+                                         removed[0], config_.missing);
+        auto pu = pa ? project_group_patterns(parent->unaffected,
+                                              parent->key, removed[0],
+                                              config_.missing)
+                     : std::nullopt;
+        if (pa && pu) {
+          proj_a = std::move(*pa);
+          proj_u = std::move(*pu);
+          base_a = &proj_a;
+          base_u = &proj_u;
+          mid.erase(std::find(mid.begin(), mid.end(), removed[0]));
+          cache_->count_projected();
+        } else {
+          ok = false;
+        }
+      }
+      if (ok && added.size() == 1) {
+        entry->affected = extend_group_patterns(
+            *base_a, mid, packed_affected_, added[0], config_.missing);
+        entry->unaffected = extend_group_patterns(
+            *base_u, mid, packed_unaffected_, added[0], config_.missing);
+        cache_->count_extended();
+        built = true;
+      } else if (ok) {
+        entry->affected = std::move(proj_a);
+        entry->unaffected = std::move(proj_u);
+        built = true;
+      }
+    }
+  }
+  if (!built) {
+    entry->affected =
+        build_group_patterns(packed_affected_, key, config_.missing);
+    entry->unaffected =
+        build_group_patterns(packed_unaffected_, key, config_.missing);
+    cache_->count_fresh();
+  }
+  entry->pooled = GenotypePatternTable::merge(entry->affected.table,
+                                              entry->unaffected.table);
+  entry->prog_affected = EmProgram::compile(entry->affected.table);
+  entry->prog_unaffected = EmProgram::compile(entry->unaffected.table);
+  entry->prog_pooled = EmProgram::compile(entry->pooled);
+  return entry;
+}
+
+EhDiallResult EhDiall::analyze_incremental(
+    std::span<const SnpIndex> snps) const {
+  Stopwatch watch;
+  const std::vector<SnpIndex> key(snps.begin(), snps.end());
+
+  std::shared_ptr<const CandidateTables> cached = cache_->find(key);
+  std::shared_ptr<CandidateTables> entry;
+  std::shared_ptr<const CandidateTables> parent;
+  std::optional<std::uint32_t> removed_pos;  // in the parent's sorted set
+  std::optional<std::uint32_t> added_pos;    // in the child's sorted set
+
+  if (cached == nullptr) {
+    // Route a miss through the cheapest cached ancestor: first the
+    // provenance hint the GA registered, then any (k−1)-subset (the
+    // extension route covers augmentation and most crossover children).
+    const std::vector<SnpIndex> hint = cache_->hint_for(key);
+    if (!hint.empty()) parent = cache_->peek(hint);
+    if (parent == nullptr && key.size() >= 2) {
+      std::vector<SnpIndex> sub(key.size() - 1);
+      for (std::size_t drop = 0; drop < key.size() && parent == nullptr;
+           ++drop) {
+        std::size_t w = 0;
+        for (std::size_t j = 0; j < key.size(); ++j) {
+          if (j != drop) sub[w++] = key[j];
+        }
+        parent = cache_->peek(sub);
+      }
+    }
+    entry = build_tables(key, parent);
+    if (parent != nullptr && warm_start_parents_) {
+      const std::vector<SnpIndex> removed = difference(parent->key, key);
+      const std::vector<SnpIndex> added = difference(key, parent->key);
+      if (removed.size() <= 1 && added.size() <= 1) {
+        if (removed.size() == 1) {
+          removed_pos = static_cast<std::uint32_t>(
+              std::lower_bound(parent->key.begin(), parent->key.end(),
+                               removed[0]) -
+              parent->key.begin());
+        }
+        if (added.size() == 1) {
+          added_pos = static_cast<std::uint32_t>(
+              std::lower_bound(key.begin(), key.end(), added[0]) -
+              key.begin());
+        }
+      } else {
+        parent = nullptr;  // too far for a meaningful warm start
+      }
+    }
+  }
+  const CandidateTables& tables = cached ? *cached : *entry;
+
+  EhDiallResult result;
+  result.locus_count = static_cast<std::uint32_t>(key.size());
+  result.affected_individuals = tables.affected.table.total_individuals();
+  result.unaffected_individuals =
+      tables.unaffected.table.total_individuals();
+  result.pattern_build_seconds = watch.elapsed_seconds();
+
+  watch.reset();
+  if (cached != nullptr) {
+    // Full reuse: the stored solutions are exactly what this analysis
+    // would recompute.
+    result.pooled_warm_started = cached->pooled_warm_started;
+    result.affected =
+        expand_em_result(cached->prog_affected, cached->sol_affected);
+    result.unaffected =
+        expand_em_result(cached->prog_unaffected, cached->sol_unaffected);
+    result.pooled = expand_em_result(cached->prog_pooled, cached->sol_pooled);
+  } else {
+    EmKernelScratch scratch;
+    const bool warm_parents = warm_start_parents_ && parent != nullptr &&
+                              (removed_pos || added_pos);
+    // Warm runs that fail to converge fall back to the equilibrium
+    // start — the exact cold result — so warm starting can shorten a
+    // run but never change whether it succeeds.
+    const auto run_group = [&](const EmProgram& prog,
+                               const EmProgram& parent_prog,
+                               const EmSupportResult& parent_sol) {
+      if (warm_parents && prog.total_individuals > 0.0) {
+        const std::vector<double> warm = warm_from_parent(
+            prog, parent_prog, parent_sol, removed_pos, added_pos);
+        EmSupportResult sol = run_em_program(prog, config_, scratch, warm);
+        if (sol.converged) {
+          cache_->count_warm_start();
+          return sol;
+        }
+        cache_->count_warm_fallback();
+      }
+      return run_em_program(prog, config_, scratch);
+    };
+    entry->sol_affected = run_group(entry->prog_affected,
+                                    parent ? parent->prog_affected
+                                           : entry->prog_affected,
+                                    parent ? parent->sol_affected
+                                           : entry->sol_affected);
+    entry->sol_unaffected = run_group(entry->prog_unaffected,
+                                      parent ? parent->prog_unaffected
+                                             : entry->prog_unaffected,
+                                      parent ? parent->sol_unaffected
+                                             : entry->sol_unaffected);
+
+    bool pooled_done = false;
+    if (warm_parents && entry->prog_pooled.total_individuals > 0.0) {
+      const std::vector<double> warm =
+          warm_from_parent(entry->prog_pooled, parent->prog_pooled,
+                           parent->sol_pooled, removed_pos, added_pos);
+      EmSupportResult sol =
+          run_em_program(entry->prog_pooled, config_, scratch, warm);
+      if (sol.converged) {
+        cache_->count_warm_start();
+        entry->sol_pooled = std::move(sol);
+        entry->pooled_warm_started = true;
+        pooled_done = true;
+      } else {
+        cache_->count_warm_fallback();
+      }
+    }
+    if (!pooled_done && warm_start_pooled_ &&
+        entry->prog_pooled.total_individuals > 0.0) {
+      const std::vector<double> warm = blend_warm_start(
+          entry->prog_pooled, entry->prog_affected, entry->sol_affected,
+          entry->prog_unaffected, entry->sol_unaffected);
+      EmSupportResult sol =
+          run_em_program(entry->prog_pooled, config_, scratch, warm);
+      if (sol.converged) {
+        entry->sol_pooled = std::move(sol);
+        entry->pooled_warm_started = true;
+        pooled_done = true;
+      }
+    }
+    if (!pooled_done) {
+      entry->sol_pooled = run_em_program(entry->prog_pooled, config_, scratch);
+      entry->pooled_warm_started = false;
+    }
+
+    result.pooled_warm_started = entry->pooled_warm_started;
+    result.affected =
+        expand_em_result(entry->prog_affected, entry->sol_affected);
+    result.unaffected =
+        expand_em_result(entry->prog_unaffected, entry->sol_unaffected);
+    result.pooled = expand_em_result(entry->prog_pooled, entry->sol_pooled);
+    cache_->insert(entry);
   }
   result.em_seconds = watch.elapsed_seconds();
 

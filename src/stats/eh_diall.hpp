@@ -10,12 +10,14 @@
 // different objective functions).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "genomics/dataset.hpp"
 #include "stats/contingency.hpp"
 #include "stats/em_haplotype.hpp"
+#include "stats/pattern_cache.hpp"
 
 namespace ldga::stats {
 
@@ -58,9 +60,20 @@ class EhDiall {
   /// chromosome-weighted blend of the case/control solutions (compiled
   /// path only; falls back to the equilibrium start, and therefore to
   /// the exact cold-start result, when the warm run does not converge).
+  /// A non-null `cache` activates the incremental pipeline for sorted
+  /// candidates (packed + compiled only): tables, phase programs and EM
+  /// solutions are memoized per locus set and children of cached
+  /// parents are constructed by exact extension/projection instead of
+  /// the full code-tree walk — every statistic stays bit-for-bit
+  /// identical to the fresh path. `warm_start_parents` additionally
+  /// seeds each EM run from the cached parent solution transformed onto
+  /// the child support (ulp-level differences possible; non-convergent
+  /// warm runs fall back to the exact cold result).
   explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {},
                    bool packed_kernel = true, bool compiled_em = true,
-                   bool warm_start_pooled = false);
+                   bool warm_start_pooled = false,
+                   std::shared_ptr<PatternTableCache> cache = nullptr,
+                   bool warm_start_parents = false);
 
   /// Full three-way analysis of a candidate SNP set (ascending order not
   /// required here, but indices must be distinct and in range).
@@ -73,7 +86,18 @@ class EhDiall {
     return static_cast<std::uint32_t>(unaffected_.size());
   }
 
+  /// The shared pattern/program cache (nullptr when inactive).
+  const std::shared_ptr<PatternTableCache>& pattern_cache() const {
+    return cache_;
+  }
+
  private:
+  EhDiallResult analyze_incremental(
+      std::span<const genomics::SnpIndex> snps) const;
+  std::shared_ptr<CandidateTables> build_tables(
+      const std::vector<genomics::SnpIndex>& key,
+      const std::shared_ptr<const CandidateTables>& parent) const;
+
   const genomics::Dataset* dataset_;
   EmConfig config_;
   std::vector<std::uint32_t> affected_;
@@ -81,8 +105,12 @@ class EhDiall {
   bool packed_kernel_ = true;
   bool compiled_em_ = true;
   bool warm_start_pooled_ = false;
+  bool warm_start_parents_ = false;
   genomics::PackedGenotypeMatrix packed_affected_;
   genomics::PackedGenotypeMatrix packed_unaffected_;
+  /// Shared (EhDiall stays copyable, like Clump's pool); nullptr when
+  /// the incremental pipeline is off.
+  std::shared_ptr<PatternTableCache> cache_;
 };
 
 }  // namespace ldga::stats

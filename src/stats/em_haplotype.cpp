@@ -47,6 +47,25 @@ bool pattern_less(const GenotypePattern& a, const GenotypePattern& b) {
 
 }  // namespace
 
+bool GenotypePatternTable::pattern_order(const GenotypePattern& a,
+                                         const GenotypePattern& b) {
+  return pattern_less(a, b);
+}
+
+GenotypePatternTable GenotypePatternTable::from_patterns(
+    std::uint32_t locus_count, double total, std::uint32_t excluded,
+    std::vector<GenotypePattern> patterns) {
+  LDGA_EXPECTS(locus_count >= 1 && locus_count <= kMaxEmLoci);
+  LDGA_EXPECTS(
+      std::is_sorted(patterns.begin(), patterns.end(), pattern_less));
+  GenotypePatternTable table;
+  table.locus_count_ = locus_count;
+  table.total_ = total;
+  table.excluded_ = excluded;
+  table.patterns_ = std::move(patterns);
+  return table;
+}
+
 GenotypePatternTable GenotypePatternTable::build(
     const genomics::GenotypeMatrix& genotypes,
     std::span<const SnpIndex> snps,

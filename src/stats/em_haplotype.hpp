@@ -85,6 +85,20 @@ class GenotypePatternTable {
   static GenotypePatternTable merge(const GenotypePatternTable& a,
                                     const GenotypePatternTable& b);
 
+  /// Assembles a table from already-grouped patterns — the incremental
+  /// construction routes (pattern_cache.hpp) derive a child's patterns
+  /// from a cached parent instead of re-scanning genotypes. `patterns`
+  /// must be in the canonical sorted order build()/build_packed() end
+  /// on (checked); `total` must equal the pattern count sum.
+  static GenotypePatternTable from_patterns(
+      std::uint32_t locus_count, double total, std::uint32_t excluded,
+      std::vector<GenotypePattern> patterns);
+
+  /// The canonical pattern ordering every construction path ends on
+  /// (lexicographic by hom_two, het, missing mask).
+  static bool pattern_order(const GenotypePattern& a,
+                            const GenotypePattern& b);
+
   std::uint32_t locus_count() const { return locus_count_; }
   double total_individuals() const { return total_; }
   std::uint32_t excluded_missing() const { return excluded_; }

@@ -34,6 +34,12 @@ EvaluationService::EvaluationService(
 
 std::vector<double> EvaluationService::evaluate(
     std::span<const Candidate> batch) {
+  return evaluate(batch, {});
+}
+
+std::vector<double> EvaluationService::evaluate(
+    std::span<const Candidate> batch, std::span<const Candidate> parents) {
+  LDGA_EXPECTS(parents.empty() || parents.size() == batch.size());
   const Stopwatch watch;
   ++stats_.batches;
   stats_.candidates += batch.size();
@@ -67,6 +73,20 @@ std::vector<double> EvaluationService::evaluate(
 
   if (!unique.empty()) {
     stats_.dispatched += unique.size();
+    if (!parents.empty()) {
+      // Provenance of the unique misses only — hits and duplicates
+      // never reach a worker. Registering replaces the previous
+      // batch's hints, so this runs even when every pair filters out.
+      std::vector<std::pair<Candidate, Candidate>> hints;
+      hints.reserve(unique.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (dispatch_slot[i] == kUnresolved) continue;
+        if (parents[i].empty() || parents[i] == batch[i]) continue;
+        hints.emplace_back(batch[i], parents[i]);
+      }
+      stats_.hints += hints.size();
+      evaluator_->note_provenance(hints);
+    }
     const std::vector<double> computed = backend_->evaluate_batch(unique);
     LDGA_EXPECTS(computed.size() == unique.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {

@@ -27,6 +27,7 @@ void EvaluatorConfig::validate() const {
         "EvaluatorConfig: cache_shards must be >= 1 (use cache_capacity = 0 "
         "to disable the bound, not shards = 0)");
   }
+  incremental.validate();
 }
 
 EvaluatorConfig EvaluatorConfig::validated() const {
@@ -38,8 +39,16 @@ HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
                                        EvaluatorConfig config)
     : dataset_(&dataset),
       config_(config.validated()),
+      pattern_cache_(
+          config.incremental.pattern_cache && config.packed_kernel &&
+                  config.compiled_em
+              ? std::make_shared<PatternTableCache>(
+                    config.incremental.pattern_cache_capacity,
+                    config.incremental.pattern_cache_shards)
+              : nullptr),
       eh_diall_(dataset, config.em, config.packed_kernel, config.compiled_em,
-                config.warm_start_pooled),
+                config.warm_start_pooled, pattern_cache_,
+                config.incremental.warm_start_parents),
       clump_(config.clump),
       cache_(config.cache_capacity, config.cache_shards) {}
 
@@ -82,6 +91,7 @@ EvaluationResult HaplotypeEvaluator::evaluate_full(
       for (const SnpIndex s : key) seed = splitmix64(seed) ^ s;
       Rng rng(seed);
       const ClumpResult clump = clump_.analyze(table, rng);
+      account_monte_carlo(clump);
       if (config_.fitness_statistic == FitnessStatistic::T2) {
         result.fitness = clump.t2.statistic;
       } else if (config_.fitness_statistic == FitnessStatistic::T3) {
@@ -105,9 +115,19 @@ ClumpResult HaplotypeEvaluator::clump_analysis(
   Rng rng(seed);
   Stopwatch clump_watch;
   ClumpResult result = clump_.analyze(eh.to_contingency_table(), rng);
+  account_monte_carlo(result);
   accumulate_timings({eh.pattern_build_seconds, eh.em_seconds,
                       clump_watch.elapsed_seconds()});
   return result;
+}
+
+void HaplotypeEvaluator::account_monte_carlo(const ClumpResult& clump) const {
+  if (config_.clump.monte_carlo_trials == 0) return;
+  mc_replicates_run_.fetch_add(clump.mc_replicates_run,
+                               std::memory_order_relaxed);
+  mc_replicates_saved_.fetch_add(
+      config_.clump.monte_carlo_trials - clump.mc_replicates_run,
+      std::memory_order_relaxed);
 }
 
 double HaplotypeEvaluator::compute_fitness(
@@ -211,6 +231,8 @@ void HaplotypeEvaluator::reset_counters() const {
   pattern_build_ns_.store(0, std::memory_order_relaxed);
   em_ns_.store(0, std::memory_order_relaxed);
   clump_ns_.store(0, std::memory_order_relaxed);
+  mc_replicates_run_.store(0, std::memory_order_relaxed);
+  mc_replicates_saved_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ldga::stats

@@ -16,16 +16,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "genomics/dataset.hpp"
 #include "stats/clump.hpp"
 #include "stats/eh_diall.hpp"
 #include "stats/fitness_cache.hpp"
+#include "stats/pattern_cache.hpp"
 
 namespace ldga::stats {
 
@@ -109,6 +112,9 @@ struct EvaluatorConfig {
   /// against the reference. Non-convergent warm runs fall back to the
   /// exact cold-start result.
   bool warm_start_pooled = false;
+  /// Incremental evaluation pipeline (pattern_cache.hpp): subset-reuse
+  /// pattern/program cache and EM warm-starts from parent candidates.
+  IncrementalConfig incremental;
 
   void validate() const;
   /// Validating factory: returns a copy after rejecting inconsistent
@@ -195,6 +201,33 @@ class HaplotypeEvaluator {
   /// Hit/miss/eviction counters of the cross-generation fitness cache.
   FitnessCacheStats cache_stats() const { return cache_.stats(); }
 
+  /// Registers child → parent provenance for the next evaluation batch
+  /// so cache misses can be constructed incrementally from their
+  /// parent's cached tables. No-op when the pattern cache is off.
+  /// Thread-safe; the EvaluationService calls this before dispatching.
+  void note_provenance(
+      std::span<const std::pair<std::vector<genomics::SnpIndex>,
+                                std::vector<genomics::SnpIndex>>>
+          hints) const {
+    if (pattern_cache_) pattern_cache_->note_provenance_batch(hints);
+  }
+
+  /// Counters of the incremental pipeline (all zero when inactive).
+  PatternCacheStats incremental_stats() const {
+    return pattern_cache_ ? pattern_cache_->stats() : PatternCacheStats{};
+  }
+  bool incremental_active() const { return pattern_cache_ != nullptr; }
+
+  /// Monte-Carlo replicates actually executed / skipped by the
+  /// early-stopping scheduler, cumulative since construction (or
+  /// reset_counters()). Both zero when Monte Carlo is off.
+  std::uint64_t mc_replicates_run() const {
+    return mc_replicates_run_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mc_replicates_saved() const {
+    return mc_replicates_saved_.load(std::memory_order_relaxed);
+  }
+
   const genomics::Dataset& dataset() const { return *dataset_; }
   const EvaluatorConfig& config() const { return config_; }
 
@@ -203,9 +236,13 @@ class HaplotypeEvaluator {
                       const ClumpResult& clump) const;
   double compute_fitness(std::span<const genomics::SnpIndex> snps) const;
   void accumulate_timings(const StageTimings& timings) const;
+  void account_monte_carlo(const ClumpResult& clump) const;
 
   const genomics::Dataset* dataset_;
   EvaluatorConfig config_;
+  /// Created before eh_diall_ (which shares it); nullptr when the
+  /// incremental pipeline is disabled or its kernels are off.
+  std::shared_ptr<PatternTableCache> pattern_cache_;
   EhDiall eh_diall_;
   Clump clump_;
 
@@ -219,6 +256,8 @@ class HaplotypeEvaluator {
   mutable std::atomic<std::uint64_t> pattern_build_ns_{0};
   mutable std::atomic<std::uint64_t> em_ns_{0};
   mutable std::atomic<std::uint64_t> clump_ns_{0};
+  mutable std::atomic<std::uint64_t> mc_replicates_run_{0};
+  mutable std::atomic<std::uint64_t> mc_replicates_saved_{0};
   mutable std::mutex failure_mutex_;
   mutable std::string last_failure_;
 };

@@ -1,0 +1,372 @@
+#include "stats/pattern_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::stats {
+
+using genomics::SnpIndex;
+
+void IncrementalConfig::validate() const {
+  if (pattern_cache_shards == 0) {
+    throw ConfigError(
+        "IncrementalConfig: pattern_cache_shards must be >= 1");
+  }
+}
+
+namespace {
+
+/// Packs the three 21-bit masks into one map key (kMaxEmLoci <= 20) —
+/// the same packing the byte-path grouping uses.
+constexpr std::uint64_t pattern_key(const GenotypePattern& p) {
+  return (static_cast<std::uint64_t>(p.hom_two_mask) << 42) |
+         (static_cast<std::uint64_t>(p.het_mask) << 21) | p.missing_mask;
+}
+
+/// Reorders loose (pattern, carrier-row) pairs into the canonical
+/// sorted table + row-major carrier block.
+GroupPatterns assemble_sorted(std::uint32_t locus_count, double total,
+                              std::uint32_t excluded,
+                              std::vector<GenotypePattern> patterns,
+                              const std::vector<std::uint64_t>& rows,
+                              std::uint32_t words) {
+  std::vector<std::uint32_t> perm(patterns.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return GenotypePatternTable::pattern_order(patterns[a],
+                                                         patterns[b]);
+            });
+
+  GroupPatterns out;
+  out.words = words;
+  out.carriers.resize(patterns.size() * static_cast<std::size_t>(words));
+  std::vector<GenotypePattern> sorted;
+  sorted.reserve(patterns.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    sorted.push_back(patterns[perm[i]]);
+    std::copy_n(rows.data() + static_cast<std::size_t>(perm[i]) * words,
+                words, out.carriers.data() + i * words);
+  }
+  out.table = GenotypePatternTable::from_patterns(locus_count, total,
+                                                  excluded,
+                                                  std::move(sorted));
+  return out;
+}
+
+}  // namespace
+
+GroupPatterns build_group_patterns(
+    const genomics::PackedGenotypeMatrix& group,
+    std::span<const SnpIndex> snps, MissingPolicy missing) {
+  const auto k = static_cast<std::uint32_t>(snps.size());
+  const std::uint32_t words = group.words_per_snp();
+  std::vector<GenotypePattern> patterns;
+  std::vector<std::uint64_t> rows;
+  double total = 0.0;
+  std::uint32_t excluded = 0;
+  group.for_each_pattern_rows(
+      snps, [&](std::uint32_t hom_two, std::uint32_t het,
+                std::uint32_t missing_mask, std::uint32_t count,
+                std::span<const std::uint64_t> row) {
+        if (missing_mask != 0 && missing == MissingPolicy::CompleteCase) {
+          excluded += count;
+          return;
+        }
+        GenotypePattern p;
+        p.hom_two_mask = hom_two;
+        p.het_mask = het;
+        p.missing_mask = missing_mask;
+        p.count = static_cast<double>(count);
+        patterns.push_back(p);
+        rows.insert(rows.end(), row.begin(), row.end());
+        total += static_cast<double>(count);
+      });
+  return assemble_sorted(k, total, excluded, std::move(patterns), rows,
+                         words);
+}
+
+GroupPatterns extend_group_patterns(const GroupPatterns& parent,
+                                    std::span<const SnpIndex> parent_snps,
+                                    const genomics::PackedGenotypeMatrix& group,
+                                    SnpIndex added, MissingPolicy missing) {
+  const auto pk = static_cast<std::uint32_t>(parent_snps.size());
+  LDGA_EXPECTS(pk + 1 <= kMaxEmLoci);
+  LDGA_EXPECTS(!std::binary_search(parent_snps.begin(), parent_snps.end(),
+                                   added));
+  // Sorted slot of the new locus inside the child set: every parent
+  // mask bit at or above it moves up one position.
+  const auto pa = static_cast<std::uint32_t>(
+      std::lower_bound(parent_snps.begin(), parent_snps.end(), added) -
+      parent_snps.begin());
+  const std::uint32_t bit = 1u << pa;
+
+  const std::uint32_t words = parent.words;
+  const std::uint64_t* lo = group.low_plane(added).data();
+  const std::uint64_t* hi = group.high_plane(added).data();
+  const auto& src = parent.table.patterns();
+
+  std::vector<GenotypePattern> patterns;
+  std::vector<std::uint64_t> rows;
+  patterns.reserve(src.size() * 2);
+  std::vector<std::uint64_t> child(words);
+  double total = 0.0;
+  std::uint32_t excluded = parent.table.excluded_missing();
+
+  // Refine every parent carrier set by the added locus's four plane
+  // combinations — exactly the last level of the DFS the fresh build
+  // would have run, applied to the already-grouped parent leaves.
+  const auto emit = [&](std::uint32_t hom_two, std::uint32_t het,
+                        std::uint32_t missing_mask) {
+    std::uint32_t count = 0;
+    for (std::uint32_t w = 0; w < words; ++w) {
+      count += static_cast<std::uint32_t>(std::popcount(child[w]));
+    }
+    if (count == 0) return;
+    if (missing_mask & bit) {
+      if (missing == MissingPolicy::CompleteCase) {
+        excluded += count;
+        return;
+      }
+    }
+    GenotypePattern p;
+    p.hom_two_mask = hom_two;
+    p.het_mask = het;
+    p.missing_mask = missing_mask;
+    p.count = static_cast<double>(count);
+    patterns.push_back(p);
+    rows.insert(rows.end(), child.begin(), child.end());
+    total += static_cast<double>(count);
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const GenotypePattern& p = src[i];
+    const std::uint64_t* row = parent.row(i).data();
+    const std::uint32_t hom_two = expand_mask_bit(p.hom_two_mask, pa);
+    const std::uint32_t het = expand_mask_bit(p.het_mask, pa);
+    const std::uint32_t miss = expand_mask_bit(p.missing_mask, pa);
+
+    for (std::uint32_t w = 0; w < words; ++w) {
+      child[w] = row[w] & ~lo[w] & ~hi[w];  // HomOne at `added`
+    }
+    emit(hom_two, het, miss);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      child[w] = row[w] & lo[w] & ~hi[w];  // Het
+    }
+    emit(hom_two, het | bit, miss);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      child[w] = row[w] & hi[w] & ~lo[w];  // HomTwo
+    }
+    emit(hom_two | bit, het, miss);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      child[w] = row[w] & lo[w] & hi[w];  // Missing
+    }
+    emit(hom_two, het, miss | bit);
+  }
+  return assemble_sorted(pk + 1, total, excluded, std::move(patterns),
+                         rows, words);
+}
+
+std::optional<GroupPatterns> project_group_patterns(
+    const GroupPatterns& parent, std::span<const SnpIndex> parent_snps,
+    SnpIndex dropped, MissingPolicy missing) {
+  const auto pk = static_cast<std::uint32_t>(parent_snps.size());
+  LDGA_EXPECTS(pk >= 2);
+  const auto it = std::lower_bound(parent_snps.begin(), parent_snps.end(),
+                                   dropped);
+  LDGA_EXPECTS(it != parent_snps.end() && *it == dropped);
+  if (missing == MissingPolicy::CompleteCase &&
+      parent.table.excluded_missing() > 0) {
+    // An individual the parent excluded may have been missing *only* at
+    // the dropped locus, in which case the fresh child table would
+    // include it — and the parent table no longer knows which loci it
+    // was missing at. Not reconstructible; caller builds fresh.
+    return std::nullopt;
+  }
+  const auto pa =
+      static_cast<std::uint32_t>(it - parent_snps.begin());
+
+  const std::uint32_t words = parent.words;
+  const auto& src = parent.table.patterns();
+  std::vector<GenotypePattern> patterns;
+  std::vector<std::uint64_t> rows;
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  index.reserve(src.size());
+
+  // Dropping the locus can only merge patterns; carrier sets stay
+  // disjoint across the merged groups, so counts add and rows OR.
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    GenotypePattern p;
+    p.hom_two_mask = compact_mask_bit(src[i].hom_two_mask, pa);
+    p.het_mask = compact_mask_bit(src[i].het_mask, pa);
+    p.missing_mask = compact_mask_bit(src[i].missing_mask, pa);
+    p.count = src[i].count;
+    const std::uint64_t key = pattern_key(p);
+    const std::uint64_t* row = parent.row(i).data();
+    const auto found = index.find(key);
+    if (found == index.end()) {
+      index.emplace(key, static_cast<std::uint32_t>(patterns.size()));
+      patterns.push_back(p);
+      rows.insert(rows.end(), row, row + words);
+    } else {
+      patterns[found->second].count += p.count;
+      std::uint64_t* dst =
+          rows.data() + static_cast<std::size_t>(found->second) * words;
+      for (std::uint32_t w = 0; w < words; ++w) dst[w] |= row[w];
+    }
+  }
+  return assemble_sorted(pk - 1, parent.table.total_individuals(),
+                         parent.table.excluded_missing(),
+                         std::move(patterns), rows, words);
+}
+
+// --- PatternTableCache ------------------------------------------------
+
+std::size_t PatternTableCache::KeyHash::operator()(
+    const std::vector<SnpIndex>& v) const {
+  std::uint64_t state = 0x70617474636865ULL ^ (v.size() << 32);
+  std::uint64_t h = 0;
+  for (const SnpIndex s : v) {
+    state ^= s;
+    h ^= splitmix64(state);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+PatternTableCache::PatternTableCache(std::uint64_t capacity,
+                                     std::uint32_t shards)
+    : capacity_(capacity) {
+  LDGA_EXPECTS(shards >= 1);
+  std::uint64_t n = shards;
+  if (capacity_ > 0) {
+    // Never hand a shard zero capacity; fewer, larger shards instead.
+    n = std::min<std::uint64_t>(n, capacity_);
+    shard_capacity_ = capacity_ / n;
+  }
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PatternTableCache::Shard& PatternTableCache::shard_of(
+    std::span<const SnpIndex> key) const {
+  std::uint64_t state = 0x70617474636865ULL ^ (key.size() << 32);
+  std::uint64_t h = 0;
+  for (const SnpIndex s : key) {
+    state ^= s;
+    h ^= splitmix64(state);
+  }
+  return *shards_[static_cast<std::size_t>(splitmix64(h) %
+                                           shards_.size())];
+}
+
+std::shared_ptr<const CandidateTables> PatternTableCache::find(
+    std::span<const SnpIndex> key) const {
+  if (auto entry = peek(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const CandidateTables> PatternTableCache::peek(
+    std::span<const SnpIndex> key) const {
+  Shard& shard = shard_of(key);
+  std::vector<SnpIndex> probe(key.begin(), key.end());
+  std::lock_guard lock(shard.mutex);
+  const auto found = shard.map.find(probe);
+  if (found != shard.map.end()) return found->second;
+  return nullptr;
+}
+
+void PatternTableCache::insert(
+    std::shared_ptr<const CandidateTables> entry) {
+  LDGA_EXPECTS(entry != nullptr);
+  LDGA_EXPECTS(std::is_sorted(entry->key.begin(), entry->key.end()));
+  Shard& shard = shard_of(entry->key);
+  std::vector<SnpIndex> stored = entry->key;
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto found = shard.map.find(stored);
+    if (found != shard.map.end()) {
+      found->second = std::move(entry);  // refresh, no capacity consumed
+      return;
+    }
+    while (shard_capacity_ > 0 && shard.map.size() >= shard_capacity_) {
+      shard.map.erase(shard.order.front());
+      shard.order.pop_front();
+      ++evicted;
+    }
+    shard.order.push_back(stored);
+    shard.map.emplace(std::move(stored), std::move(entry));
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void PatternTableCache::note_provenance_batch(
+    std::span<const std::pair<std::vector<SnpIndex>,
+                              std::vector<SnpIndex>>>
+        hints) {
+  std::lock_guard lock(hint_mutex_);
+  hints_.clear();
+  for (const auto& [child, parent] : hints) {
+    if (child.empty() || parent.empty()) continue;
+    hints_.emplace(child, parent);
+  }
+  hints_registered_.fetch_add(hints.size(), std::memory_order_relaxed);
+}
+
+std::vector<SnpIndex> PatternTableCache::hint_for(
+    std::span<const SnpIndex> child) const {
+  std::vector<SnpIndex> probe(child.begin(), child.end());
+  std::lock_guard lock(hint_mutex_);
+  const auto found = hints_.find(probe);
+  if (found == hints_.end()) return {};
+  return found->second;
+}
+
+PatternCacheStats PatternTableCache::stats() const {
+  PatternCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.extended = extended_.load(std::memory_order_relaxed);
+  out.projected = projected_.load(std::memory_order_relaxed);
+  out.fresh = fresh_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.entries = size();
+  out.capacity = capacity_;
+  out.provenance_hints = hints_registered_.load(std::memory_order_relaxed);
+  out.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  out.warm_fallbacks = warm_fallbacks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t PatternTableCache::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void PatternTableCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->map.clear();
+    shard->order.clear();
+  }
+  std::lock_guard lock(hint_mutex_);
+  hints_.clear();
+}
+
+}  // namespace ldga::stats

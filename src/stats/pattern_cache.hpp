@@ -1,0 +1,268 @@
+// Subset-keyed pattern-table cache: the reuse layer of the incremental
+// evaluation pipeline.
+//
+// The GA's operators (§4.3: SNP replacement, reduction, augmentation,
+// uniform crossover) produce children that share k−1 of k loci with a
+// parent the engine just scored, yet the evaluator re-enumerated every
+// child's genotype-pattern tables from scratch with the full 4^k
+// packed DFS. This cache memoizes, per sorted locus set, everything the
+// Figure-3 pipeline derives from the raw genotypes before CLUMP:
+//
+//   - the affected/unaffected GenotypePatternTable together with each
+//     pattern's *carrier bitset* (the DFS leaf row: which packed
+//     individuals carry the pattern),
+//   - the pooled merge,
+//   - the three compiled EM phase programs,
+//   - the three EM solutions (the warm-start seed for children).
+//
+// A child set is then constructed from a cached parent entry by exact
+// incremental steps instead of re-walking the code tree:
+//
+//   extension   parent ∪ {s}: intersect every parent carrier row with
+//               the four plane combinations of the new locus — one
+//               AND+popcount sweep per pattern, exact under both
+//               missing policies (individuals newly missing at s are
+//               excluded under CompleteCase, flagged under
+//               Marginalize);
+//   projection  parent ∖ {s}: compact the masks over the dropped bit
+//               and merge now-equal patterns (counts add, carrier rows
+//               OR — carrier sets are disjoint across patterns). Exact
+//               under Marginalize always; under CompleteCase exactly
+//               when the parent excluded nobody (otherwise an
+//               individual missing only at the dropped locus would
+//               have to be resurrected, and the table no longer knows
+//               it — the route reports failure and the caller builds
+//               fresh);
+//   replacement parent ∖ {a} ∪ {b}: projection then extension.
+//
+// All steps reproduce GenotypePatternTable::build_packed bit-for-bit
+// (integer counts, same pattern order), so downstream EM/CLUMP results
+// are unchanged no matter which route built the table.
+//
+// The EvaluationService registers *provenance hints* (child key →
+// parent key) learned from the GA operators before dispatching a
+// batch; workers consult them to route a miss to the cheapest
+// construction path, falling back to probing the child's (k−1)-subsets
+// and finally to a fresh build. Storage is sharded and capacity-bounded
+// with per-shard FIFO replacement, like the fitness cache one level up.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/packed_genotype.hpp"
+#include "stats/em_kernel.hpp"
+
+namespace ldga::stats {
+
+/// One group's pattern table plus per-pattern carrier bitsets (the DFS
+/// leaf rows over the group's packed column slice). Row i covers
+/// patterns()[i]; rows are disjoint and their union is the included
+/// individuals.
+struct GroupPatterns {
+  GenotypePatternTable table;
+  std::uint32_t words = 0;  ///< 64-bit words per carrier row
+  std::vector<std::uint64_t> carriers;  ///< patterns × words, row-major
+
+  std::span<const std::uint64_t> row(std::size_t pattern) const {
+    return {carriers.data() + pattern * words, words};
+  }
+};
+
+/// Everything the pipeline derives from the genotypes for one sorted
+/// locus set, short of the CLUMP statistics. Immutable once cached.
+struct CandidateTables {
+  std::vector<genomics::SnpIndex> key;  ///< sorted, distinct loci
+  GroupPatterns affected;
+  GroupPatterns unaffected;
+  GenotypePatternTable pooled;
+  EmProgram prog_affected;
+  EmProgram prog_unaffected;
+  EmProgram prog_pooled;
+  EmSupportResult sol_affected;
+  EmSupportResult sol_unaffected;
+  EmSupportResult sol_pooled;
+  /// Whether sol_pooled came from a converged warm start (reproduced in
+  /// EhDiallResult::pooled_warm_started on a cache hit).
+  bool pooled_warm_started = false;
+};
+
+/// Incremental-pipeline knobs on the evaluator.
+struct IncrementalConfig {
+  /// Subset-reuse pattern/program cache. Bit-exact (every construction
+  /// route reproduces the fresh tables identically), so it is on by
+  /// default. Requires packed_kernel + compiled_em; silently inactive
+  /// otherwise.
+  bool pattern_cache = true;
+  /// Bound on cached locus sets (entries, not bytes). An entry holds
+  /// two pattern tables with carrier rows plus three compiled programs
+  /// and solutions — tens of KB on cohort-scale data — so the default
+  /// stays in the tens of MB.
+  std::uint64_t pattern_cache_capacity = std::uint64_t{1} << 12;
+  /// Lock shards of the pattern cache (>= 1).
+  std::uint32_t pattern_cache_shards = 8;
+  /// Seed a child's EM runs from the cached parent solution,
+  /// marginalized (dropped locus) / extended (added locus) onto the
+  /// child's support. Saves iterations but may move the converged
+  /// frequencies in the last ulps, so — like warm_start_pooled — it is
+  /// off by default to keep the pipeline bit-for-bit reproducible; a
+  /// non-convergent warm run falls back to the exact cold result.
+  bool warm_start_parents = false;
+
+  void validate() const;
+};
+
+/// Counters of the incremental layers, cumulative since construction.
+struct PatternCacheStats {
+  std::uint64_t hits = 0;       ///< full entry reuse (tables + EM)
+  std::uint64_t misses = 0;     ///< entry had to be constructed
+  std::uint64_t extended = 0;   ///< group tables built by extension
+  std::uint64_t projected = 0;  ///< group tables built by projection
+  std::uint64_t fresh = 0;      ///< group tables built by the full DFS
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t provenance_hints = 0;  ///< hints registered
+  /// EM runs seeded from a parent solution that converged (kept) vs
+  /// fell back to the exact cold start.
+  std::uint64_t warm_starts = 0;
+  std::uint64_t warm_fallbacks = 0;
+};
+
+/// Sharded, capacity-bounded store of CandidateTables keyed by sorted
+/// locus set, plus the provenance hint map. Thread-safe; entries are
+/// handed out as shared_ptr<const> so eviction never invalidates a
+/// reader.
+class PatternTableCache {
+ public:
+  explicit PatternTableCache(std::uint64_t capacity = 0,
+                             std::uint32_t shards = 8);
+
+  PatternTableCache(const PatternTableCache&) = delete;
+  PatternTableCache& operator=(const PatternTableCache&) = delete;
+
+  std::shared_ptr<const CandidateTables> find(
+      std::span<const genomics::SnpIndex> key) const;
+
+  /// find() without touching the hit/miss counters — used when probing
+  /// for construction *parents*, so the stats keep measuring candidate
+  /// entry reuse, not internal ancestor probes.
+  std::shared_ptr<const CandidateTables> peek(
+      std::span<const genomics::SnpIndex> key) const;
+
+  void insert(std::shared_ptr<const CandidateTables> entry);
+
+  /// Registers child → parent construction hints for the next batch,
+  /// replacing all previous hints (the GA evaluates one synchronous
+  /// batch at a time, so stale hints never accumulate).
+  void note_provenance_batch(
+      std::span<const std::pair<std::vector<genomics::SnpIndex>,
+                                std::vector<genomics::SnpIndex>>>
+          hints);
+
+  /// The registered parent key for a child ({} when none).
+  std::vector<genomics::SnpIndex> hint_for(
+      std::span<const genomics::SnpIndex> child) const;
+
+  PatternCacheStats stats() const;
+  std::uint64_t size() const;
+  void clear();
+
+  /// Route/warm accounting, bumped by the construction code in
+  /// EhDiall so every incremental counter lives in one stats struct.
+  void count_extended() { extended_.fetch_add(1, std::memory_order_relaxed); }
+  void count_projected() {
+    projected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_fresh() { fresh_.fetch_add(1, std::memory_order_relaxed); }
+  void count_warm_start() {
+    warm_starts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_warm_fallback() {
+    warm_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<genomics::SnpIndex>& v) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::vector<genomics::SnpIndex>,
+                       std::shared_ptr<const CandidateTables>, KeyHash>
+        map;
+    std::deque<std::vector<genomics::SnpIndex>> order;  ///< FIFO of keys
+  };
+
+  Shard& shard_of(std::span<const genomics::SnpIndex> key) const;
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t shard_capacity_ = 0;  ///< 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex hint_mutex_;
+  std::unordered_map<std::vector<genomics::SnpIndex>,
+                     std::vector<genomics::SnpIndex>, KeyHash>
+      hints_;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> extended_{0};
+  std::atomic<std::uint64_t> projected_{0};
+  std::atomic<std::uint64_t> fresh_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> hints_registered_{0};
+  std::atomic<std::uint64_t> warm_starts_{0};
+  std::atomic<std::uint64_t> warm_fallbacks_{0};
+};
+
+// --- exact incremental construction steps ----------------------------
+
+/// Masks and haplotype codes index loci by *sorted position*, so adding
+/// or dropping a locus renumbers every bit at or above its slot. These
+/// two remappings are used by the table construction routes below and
+/// by the EM warm-start transform in eh_diall.cpp.
+constexpr std::uint32_t expand_mask_bit(std::uint32_t mask,
+                                        std::uint32_t pos) {
+  return ((mask >> pos) << (pos + 1)) | (mask & ((1u << pos) - 1));
+}
+constexpr std::uint32_t compact_mask_bit(std::uint32_t mask,
+                                         std::uint32_t pos) {
+  return ((mask >> (pos + 1)) << pos) | (mask & ((1u << pos) - 1));
+}
+
+/// Fresh build over the group's packed slice, capturing carrier rows
+/// alongside the table (same patterns/counts/order as
+/// GenotypePatternTable::build_packed).
+GroupPatterns build_group_patterns(const genomics::PackedGenotypeMatrix& group,
+                                   std::span<const genomics::SnpIndex> snps,
+                                   MissingPolicy missing);
+
+/// Parent (over parent_snps, sorted) extended with `added`
+/// (not a member of parent_snps). Always exact.
+GroupPatterns extend_group_patterns(
+    const GroupPatterns& parent,
+    std::span<const genomics::SnpIndex> parent_snps,
+    const genomics::PackedGenotypeMatrix& group, genomics::SnpIndex added,
+    MissingPolicy missing);
+
+/// Parent with `dropped` (a member of parent_snps) removed. Empty when
+/// the projection is not exactly reconstructible: CompleteCase with
+/// individuals excluded from the parent (their membership in the child
+/// depends on *which* loci they were missing at, which the table no
+/// longer records).
+std::optional<GroupPatterns> project_group_patterns(
+    const GroupPatterns& parent,
+    std::span<const genomics::SnpIndex> parent_snps,
+    genomics::SnpIndex dropped, MissingPolicy missing);
+
+}  // namespace ldga::stats

@@ -199,5 +199,140 @@ TEST(Clump, RequiresTwoRows) {
   EXPECT_DEATH(clump.analyze(t, rng), "precondition");
 }
 
+TEST(Clump, FixedModeReportsFullReplicateCount) {
+  ClumpConfig config;
+  config.monte_carlo_trials = 120;
+  const Clump clump(config);
+  Rng rng(12);
+  const auto result = clump.analyze(example_table(), rng);
+  EXPECT_EQ(result.mc_replicates_run, 120u);
+  EXPECT_FALSE(result.mc_early_stopped);
+
+  const Clump no_mc;
+  Rng rng2(12);
+  EXPECT_EQ(no_mc.analyze(example_table(), rng2).mc_replicates_run, 0u);
+}
+
+TEST(Clump, EarlyStopSavesReplicatesOnClearCalls) {
+  // Every example-table statistic has an MC p-value around 2e-4, so
+  // each q̂ sits essentially at zero, far below α = 0.05. Deciding
+  // q̂ + ε < α needs ε < 0.05, i.e. roughly n > ln(2/δ)/(2·0.05²)
+  // ≈ 2.2k replicates at the configured error rate; with 16k trials
+  // the doubling schedule has look points at 4096 and 8192, so the
+  // stopper must fire well short of the full budget.
+  ClumpConfig config;
+  config.monte_carlo_trials = 16000;
+  config.mc_early_stop = true;
+  config.mc_min_batch = 64;
+  const Clump clump(config);
+  Rng rng(13);
+  const auto result = clump.analyze(example_table(), rng);
+  EXPECT_TRUE(result.mc_early_stopped);
+  EXPECT_LE(result.mc_replicates_run, 8192u);
+  EXPECT_GE(result.mc_replicates_run, 64u);
+  for (const auto* stat : {&result.t1, &result.t2, &result.t3, &result.t4}) {
+    ASSERT_TRUE(stat->p_monte_carlo.has_value());
+  }
+}
+
+TEST(Clump, EarlyStopSignificanceCallsAgreeWithFixedRun) {
+  // The statistical acceptance property: on every decided statistic the
+  // early-stopped significance call (p <= α vs p > α) matches the full
+  // fixed-replicate run. Checked across several seeds and two tables —
+  // the configured error rate (1e-3 per analysis) makes a disagreement
+  // in 20 analyses essentially impossible (p < 1 - (1 - 1e-3)^20 ≈ 2%
+  // even if every bound were exactly tight, and the Hoeffding bound is
+  // conservative).
+  ContingencyTable weak(2, 3);
+  weak.set(0, 0, 30);
+  weak.set(0, 1, 28);
+  weak.set(0, 2, 22);
+  weak.set(1, 0, 25);
+  weak.set(1, 1, 27);
+  weak.set(1, 2, 28);
+
+  ClumpConfig fixed_config;
+  fixed_config.monte_carlo_trials = 3000;
+  const Clump fixed(fixed_config);
+
+  ClumpConfig early_config = fixed_config;
+  early_config.mc_early_stop = true;
+  early_config.mc_min_batch = 128;
+  const Clump early(early_config);
+
+  const double alpha = early_config.mc_significance;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    for (const ContingencyTable& table : {example_table(), weak}) {
+      Rng rng_fixed(seed), rng_early(seed);
+      const auto full = fixed.analyze(table, rng_fixed);
+      const auto stopped = early.analyze(table, rng_early);
+      const auto call = [alpha](const ClumpStatistic& s) {
+        return *s.p_monte_carlo <= alpha;
+      };
+      EXPECT_EQ(call(stopped.t1), call(full.t1)) << "seed " << seed;
+      EXPECT_EQ(call(stopped.t2), call(full.t2)) << "seed " << seed;
+      EXPECT_EQ(call(stopped.t3), call(full.t3)) << "seed " << seed;
+      EXPECT_EQ(call(stopped.t4), call(full.t4)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Clump, EarlyStopConsumesSameRngAsFixedRun) {
+  // Both modes pre-draw every configured trial seed, so the caller's
+  // stream advances identically whether or not the stopper fires — a
+  // GA run's downstream randomness cannot depend on the MC mode.
+  ClumpConfig config;
+  config.monte_carlo_trials = 256;
+  config.mc_early_stop = true;
+  const Clump early(config);
+  Rng rng(14);
+  early.analyze(example_table(), rng);
+  Rng expected(14);
+  for (int i = 0; i < 256; ++i) expected();
+  EXPECT_EQ(rng(), expected());
+}
+
+TEST(Clump, EarlyStopInvariantUnderWorkerCount) {
+  ClumpConfig config;
+  config.monte_carlo_trials = 2000;
+  config.mc_early_stop = true;
+  std::vector<ClumpResult> results;
+  for (const std::uint32_t workers : {1u, 3u, 0u}) {
+    config.monte_carlo_workers = workers;
+    const Clump clump(config);
+    Rng rng(15);
+    results.push_back(clump.analyze(example_table(), rng));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].mc_replicates_run, results[i].mc_replicates_run);
+    EXPECT_EQ(*results[0].t1.p_monte_carlo, *results[i].t1.p_monte_carlo);
+    EXPECT_EQ(*results[0].t4.p_monte_carlo, *results[i].t4.p_monte_carlo);
+  }
+}
+
+TEST(Clump, EarlyStopConfigValidation) {
+  ClumpConfig config;
+  config.mc_early_stop = true;
+  config.monte_carlo_trials = 0;  // stopping needs a replicate ceiling
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config.monte_carlo_trials = 100;
+  config.mc_min_batch = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+
+  config.mc_min_batch = 16;
+  for (const double bad : {0.0, 1.0, -0.1, 1.5}) {
+    config.mc_significance = bad;
+    EXPECT_THROW(config.validate(), ConfigError) << bad;
+  }
+  config.mc_significance = 0.05;
+  for (const double bad : {0.0, 1.0, -1e-6, 2.0}) {
+    config.mc_error_rate = bad;
+    EXPECT_THROW(config.validate(), ConfigError) << bad;
+  }
+  config.mc_error_rate = 1e-3;
+  EXPECT_NO_THROW(config.validate());
+}
+
 }  // namespace
 }  // namespace ldga::stats

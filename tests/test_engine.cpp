@@ -448,6 +448,116 @@ TEST(GaEngineValidation, MaxEvaluationsBelowPopulationIsRejected) {
   EXPECT_NO_THROW(config.validated());
 }
 
+TEST(GaEngine, IncrementalPatternCacheLeavesTrajectoryBitIdentical) {
+  // The subset-reuse pattern cache is a pure construction shortcut:
+  // extension, projection and fresh DFS all produce identical tables,
+  // so a run with the cache on must walk the exact trajectory of a
+  // run with it off — same individuals, bit-identical fitness, same
+  // generation count — while actually taking the incremental routes.
+  GaConfig config = fast_config();
+  config.record_history = true;
+
+  stats::EvaluatorConfig off_config;
+  off_config.incremental.pattern_cache = false;
+  const stats::HaplotypeEvaluator off_eval(shared_dataset(), off_config);
+  ASSERT_FALSE(off_eval.incremental_active());
+  const GaResult off = GaEngine(off_eval, config).run();
+
+  const stats::HaplotypeEvaluator on_eval(shared_dataset());
+  ASSERT_TRUE(on_eval.incremental_active());
+  const GaResult on = GaEngine(on_eval, config).run();
+
+  EXPECT_EQ(on.generations, off.generations);
+  ASSERT_EQ(on.best_by_size.size(), off.best_by_size.size());
+  for (std::size_t i = 0; i < on.best_by_size.size(); ++i) {
+    EXPECT_TRUE(on.best_by_size[i].same_snps(off.best_by_size[i]));
+    // Bit-for-bit, not just within tolerance.
+    EXPECT_EQ(on.best_by_size[i].fitness(), off.best_by_size[i].fitness());
+  }
+  ASSERT_EQ(on.history.size(), off.history.size());
+  for (std::size_t g = 0; g < on.history.size(); ++g) {
+    EXPECT_EQ(on.history[g].best_by_size, off.history[g].best_by_size)
+        << "generation " << g;
+  }
+
+  // The identical trajectory must have exercised the cache for real.
+  const auto stats = on_eval.incremental_stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.provenance_hints, 0u);
+  EXPECT_GT(stats.fresh, 0u);
+  EXPECT_GT(stats.extended + stats.projected, 0u);
+  EXPECT_EQ(on.pattern_cache.misses, stats.misses);
+  EXPECT_EQ(off.pattern_cache.hits + off.pattern_cache.misses, 0u);
+}
+
+TEST(GaEngine, CacheCountersAreExactUnderThreadPoolBackend) {
+  // GaResult's cache counters come from the evaluator's lock-free
+  // stats; under the thread-pool backend they must match the serial
+  // run exactly (identical trajectory ⇒ identical probe sequence) and
+  // balance internally: with the default unbounded fitness cache each
+  // miss is computed and inserted exactly once.
+  const GaConfig config = fast_config();
+
+  const stats::HaplotypeEvaluator serial_eval(shared_dataset());
+  const GaResult rs = GaEngine(serial_eval, config,
+                               stats::make_serial_backend(serial_eval))
+                          .run();
+
+  stats::BackendOptions pool_options;
+  pool_options.workers = 4;
+  const stats::HaplotypeEvaluator pool_eval(shared_dataset());
+  const GaResult rp =
+      GaEngine(pool_eval, config,
+               stats::make_thread_pool_backend(pool_eval, pool_options))
+          .run();
+
+  EXPECT_EQ(rp.cache_stats.hits, rs.cache_stats.hits);
+  EXPECT_EQ(rp.cache_stats.misses, rs.cache_stats.misses);
+  EXPECT_GT(rp.cache_stats.hits + rp.cache_stats.misses, 0u);
+
+  const auto pool_stats = pool_eval.cache_stats();
+  EXPECT_EQ(rp.cache_stats.hits, pool_stats.hits);
+  EXPECT_EQ(rp.cache_stats.misses, pool_stats.misses);
+  EXPECT_EQ(pool_stats.misses, pool_stats.insertions);
+  EXPECT_EQ(pool_stats.evictions, 0u);
+  EXPECT_EQ(pool_eval.evaluation_count(), serial_eval.evaluation_count());
+}
+
+TEST(GaEngine, PerGenerationTelemetryDeltasMatchCumulativeCounters) {
+  // Each GenerationInfo carries both the cumulative counters and the
+  // per-generation deltas; every delta must equal the difference of
+  // consecutive cumulative values, and the last cumulative value must
+  // equal the run total in GaResult.
+  GaConfig config = fast_config();
+  config.record_history = true;
+  const stats::HaplotypeEvaluator evaluator(shared_dataset());
+  const GaResult result = GaEngine(evaluator, config).run();
+  ASSERT_GE(result.history.size(), 2u);
+  for (std::size_t g = 1; g < result.history.size(); ++g) {
+    const auto& prev = result.history[g - 1];
+    const auto& cur = result.history[g];
+    EXPECT_EQ(cur.gen_cache_hits, cur.cache_hits - prev.cache_hits)
+        << "generation " << g;
+    EXPECT_EQ(cur.gen_cache_misses, cur.cache_misses - prev.cache_misses)
+        << "generation " << g;
+    EXPECT_EQ(cur.gen_pattern_hits,
+              cur.pattern_cache.hits - prev.pattern_cache.hits)
+        << "generation " << g;
+    EXPECT_EQ(cur.gen_pattern_misses,
+              cur.pattern_cache.misses - prev.pattern_cache.misses)
+        << "generation " << g;
+    EXPECT_EQ(cur.gen_warm_starts,
+              cur.pattern_cache.warm_starts - prev.pattern_cache.warm_starts)
+        << "generation " << g;
+  }
+  const auto& last = result.history.back();
+  EXPECT_EQ(last.cache_hits, result.cache_stats.hits);
+  EXPECT_EQ(last.cache_misses, result.cache_stats.misses);
+  EXPECT_EQ(last.pattern_cache.hits, result.pattern_cache.hits);
+  EXPECT_EQ(last.pattern_cache.misses, result.pattern_cache.misses);
+  EXPECT_EQ(last.mc_replicates_run, result.mc_replicates_run);
+}
+
 TEST(GaEngine, BestFitnessNeverDecreasesOverGenerations) {
   GaConfig config = fast_config();
   config.record_history = true;

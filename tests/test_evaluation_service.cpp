@@ -118,5 +118,56 @@ TEST_F(EvaluationServiceTest, AccountingHoldsAcrossBackends) {
   EXPECT_EQ(pooled.stats().dispatched, service_.stats().dispatched);
 }
 
+TEST_F(EvaluationServiceTest, ProvenanceHintsCountOnlyDispatchedDerivedChildren) {
+  // Warm {0,1} into the fitness cache so it resolves as a hit below.
+  service_.evaluate(std::vector<Candidate>{{0, 1}});
+
+  // Of the five tasks only {0,1,2} yields a hint: {2,3} has no known
+  // parent, the second {0,1,2} is an in-batch duplicate, {4,5} equals
+  // its parent (no derivation), and {0,1} is a cache hit that never
+  // reaches a worker.
+  const std::vector<Candidate> batch = {
+      {0, 1, 2}, {2, 3}, {0, 1, 2}, {4, 5}, {0, 1}};
+  const std::vector<Candidate> parents = {
+      {0, 1}, {}, {0, 1}, {4, 5}, {0, 1}};
+  const auto results = service_.evaluate(batch, parents);
+  ASSERT_EQ(results.size(), batch.size());
+
+  const auto& stats = service_.stats();
+  EXPECT_EQ(stats.hints, 1u);
+  EXPECT_EQ(stats.dispatched, 1u + 3u);  // {0,1}, then the three misses
+  EXPECT_EQ(evaluator_.incremental_stats().provenance_hints, 1u);
+
+  // Provenance is an optimization hint, never a semantic input: every
+  // position still matches an independent evaluator exactly.
+  const HaplotypeEvaluator reference(synthetic_.dataset);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i], reference.fitness(batch[i])) << "task " << i;
+  }
+}
+
+TEST_F(EvaluationServiceTest, ProvenanceOverloadDegradesToPlainEvaluate) {
+  // The one-argument path forwards with empty provenance — identical
+  // results, no hints registered.
+  const std::vector<Candidate> batch = {{0, 1}, {2, 3, 4}, {5, 6}};
+  const auto plain = service_.evaluate(batch);
+  EXPECT_EQ(service_.stats().hints, 0u);
+  EXPECT_EQ(evaluator_.incremental_stats().provenance_hints, 0u);
+
+  const auto sibling = ldga::testing::small_synthetic(12, 2, 4242);
+  HaplotypeEvaluator evaluator(sibling.dataset);
+  EvaluationService withParents(evaluator, make_serial_backend(evaluator));
+  std::vector<Candidate> parents = {{0, 1, 7}, {2, 4}, {5, 6, 9}};
+  const auto hinted = withParents.evaluate(batch, parents);
+  EXPECT_EQ(hinted, plain);
+  EXPECT_EQ(withParents.stats().hints, 3u);
+}
+
+TEST_F(EvaluationServiceTest, MismatchedProvenanceLengthIsAPrecondition) {
+  const std::vector<Candidate> batch = {{0, 1}, {2, 3}};
+  const std::vector<Candidate> parents = {{0, 1}};
+  EXPECT_DEATH(service_.evaluate(batch, parents), "precondition");
+}
+
 }  // namespace
 }  // namespace ldga::stats

@@ -232,5 +232,113 @@ TEST(Evaluator, TooManyLociDies) {
       "precondition");
 }
 
+TEST(Evaluator, ValidatedRejectsBadEarlyStopSettings) {
+  // Early stopping without replicates: the stopper has no ceiling to
+  // work under, so validated() must refuse rather than silently no-op.
+  EvaluatorConfig config;
+  config.clump.mc_early_stop = true;
+  config.clump.monte_carlo_trials = 0;
+  EXPECT_THROW(config.validated(), ConfigError);
+
+  config = {};
+  config.clump.monte_carlo_trials = 100;
+  config.clump.mc_early_stop = true;
+  config.clump.mc_significance = 1.0;  // must be strictly inside (0, 1)
+  EXPECT_THROW(config.validated(), ConfigError);
+  config.clump.mc_significance = 0.0;
+  EXPECT_THROW(config.validated(), ConfigError);
+  config.clump.mc_significance = 0.05;
+  config.clump.mc_error_rate = 1.0;
+  EXPECT_THROW(config.validated(), ConfigError);
+  config.clump.mc_error_rate = 1e-3;
+  EXPECT_NO_THROW(config.validated());
+
+  config = {};
+  config.incremental.pattern_cache_shards = 0;
+  EXPECT_THROW(config.validated(), ConfigError);
+}
+
+TEST(Evaluator, IncrementalCacheActiveByDefaultAndGated) {
+  const auto synthetic = ldga::testing::small_synthetic();
+  const HaplotypeEvaluator with_cache(synthetic.dataset);
+  EXPECT_TRUE(with_cache.incremental_active());
+
+  EvaluatorConfig off;
+  off.incremental.pattern_cache = false;
+  const HaplotypeEvaluator without(synthetic.dataset, off);
+  EXPECT_FALSE(without.incremental_active());
+  EXPECT_EQ(without.incremental_stats().hits, 0u);
+
+  // The incremental routes are defined on the packed/compiled kernels
+  // only; asking for the cache without them silently deactivates it.
+  EvaluatorConfig byte_path;
+  byte_path.packed_kernel = false;
+  const HaplotypeEvaluator gated(synthetic.dataset, byte_path);
+  EXPECT_FALSE(gated.incremental_active());
+}
+
+TEST(Evaluator, IncrementalCacheMatchesReferenceFitness) {
+  const auto synthetic = ldga::testing::small_synthetic(14, 2, 21);
+  EvaluatorConfig reference_config;
+  reference_config.incremental.pattern_cache = false;
+  const HaplotypeEvaluator reference(synthetic.dataset, reference_config);
+  const HaplotypeEvaluator incremental(synthetic.dataset);
+
+  // Parent, then one-locus neighbours: exercises fresh build,
+  // extension/projection and a repeat hit; fitness must be bit-equal.
+  const std::vector<std::vector<SnpIndex>> sets{
+      {1, 4, 7}, {1, 4, 7, 9}, {1, 4}, {1, 4, 7}, {2, 4, 7}};
+  for (const auto& snps : sets) {
+    EXPECT_EQ(incremental.fitness(snps), reference.fitness(snps))
+        << "set size " << snps.size();
+  }
+  EXPECT_GT(incremental.incremental_stats().misses, 0u);
+}
+
+TEST(Evaluator, MonteCarloReplicateCountersTrackClumpRuns) {
+  const auto synthetic = ldga::testing::small_synthetic();
+  EvaluatorConfig config;
+  config.fitness_statistic = FitnessStatistic::T3;
+  config.clump.monte_carlo_trials = 200;
+  const HaplotypeEvaluator evaluator(synthetic.dataset, config);
+  EXPECT_EQ(evaluator.mc_replicates_run(), 0u);
+  (void)evaluator.evaluate_full(std::vector<SnpIndex>{0, 1});
+  EXPECT_EQ(evaluator.mc_replicates_run(), 200u);
+  EXPECT_EQ(evaluator.mc_replicates_saved(), 0u);
+
+  EvaluatorConfig early = config;
+  early.clump.mc_early_stop = true;
+  early.clump.mc_min_batch = 16;
+  const HaplotypeEvaluator stopper(synthetic.dataset, early);
+  (void)stopper.evaluate_full(std::vector<SnpIndex>{0, 1});
+  const std::uint64_t run = stopper.mc_replicates_run();
+  EXPECT_GT(run, 0u);
+  EXPECT_EQ(stopper.mc_replicates_saved(), 200u - run);
+
+  stopper.reset_counters();
+  EXPECT_EQ(stopper.mc_replicates_run(), 0u);
+  EXPECT_EQ(stopper.mc_replicates_saved(), 0u);
+}
+
+TEST(Evaluator, EarlyStoppingNeverChangesFitness) {
+  // GA fitness for T2/T3/T4 is the statistic value, not the MC p-value,
+  // so the early stopper must leave every fitness bit-identical.
+  const auto synthetic = ldga::testing::small_synthetic(12, 2, 31);
+  for (const FitnessStatistic stat :
+       {FitnessStatistic::T2, FitnessStatistic::T3, FitnessStatistic::T4}) {
+    EvaluatorConfig fixed;
+    fixed.fitness_statistic = stat;
+    fixed.clump.monte_carlo_trials = 400;
+    EvaluatorConfig early = fixed;
+    early.clump.mc_early_stop = true;
+    const HaplotypeEvaluator a(synthetic.dataset, fixed);
+    const HaplotypeEvaluator b(synthetic.dataset, early);
+    for (const auto& snps : std::vector<std::vector<SnpIndex>>{
+             {0, 1}, {2, 5, 8}, {1, 3, 6, 9}}) {
+      EXPECT_EQ(a.fitness(snps), b.fitness(snps));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ldga::stats

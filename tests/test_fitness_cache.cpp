@@ -147,5 +147,58 @@ TEST(FitnessCache, ConcurrentInsertAndFindStayConsistent) {
   EXPECT_LE(stats.entries, 256u);
 }
 
+TEST(FitnessCache, ConcurrentMixedTrafficWithEvictionStaysConsistent) {
+  // Eviction stress: the key universe (512) is far larger than the
+  // bound (48), so shards churn constantly while other threads read
+  // and re-insert. Run under the TSan CI mode (scripts/check.sh
+  // thread) this exercises the find/insert/evict lock paths together;
+  // the invariants below must hold under any interleaving:
+  //   - a hit always returns the one true value for its key,
+  //   - the capacity bound is never exceeded,
+  //   - the counters balance exactly (finds = hits + misses,
+  //     entries = insertions - evictions).
+  FitnessCache cache(48, 4);
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint32_t kOpsPerThread = 3999;  // divisible by 3
+  constexpr SnpIndex kKeys = 512;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      // Deterministic per-thread mixed stream: 1/3 inserts (forcing
+      // evictions), 2/3 lookups over a sliding window of hot keys.
+      std::uint64_t state = 0x9e3779b97f4a7c15ULL * (t + 1);
+      for (std::uint32_t op = 0; op < kOpsPerThread; ++op) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto k = static_cast<SnpIndex>((state >> 33) % kKeys);
+        const std::vector<SnpIndex> key = {k, static_cast<SnpIndex>(k + 1)};
+        if (op % 3 == 0) {
+          cache.insert(key, static_cast<double>(k) * 0.25);
+        } else {
+          const auto found = cache.find(key);
+          if (found.has_value()) {
+            EXPECT_DOUBLE_EQ(*found, static_cast<double>(k) * 0.25);
+          }
+        }
+        EXPECT_LE(cache.size(), 48u);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  const std::uint64_t finds =
+      static_cast<std::uint64_t>(kThreads) * (kOpsPerThread - kOpsPerThread / 3);
+  EXPECT_EQ(stats.hits + stats.misses, finds);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_LE(stats.entries, 48u);
+  // The churn must not corrupt steady-state behaviour: a fresh
+  // insert-then-find on a quiet cache still round-trips.
+  cache.insert(std::vector<SnpIndex>{1000, 1001}, 7.5);
+  const auto found = cache.find(std::vector<SnpIndex>{1000, 1001});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(*found, 7.5);
+}
+
 }  // namespace
 }  // namespace ldga::stats

@@ -1,0 +1,426 @@
+// Exactness of the incremental construction routes (pattern_cache.hpp)
+// and behaviour of the subset-keyed cache itself. The load-bearing
+// property: whatever route builds a child's tables — fresh DFS,
+// one-locus extension, one-locus projection, or a full cache hit — the
+// resulting pattern tables and downstream EM/LRT results are
+// bit-for-bit identical to the reference pipeline.
+#include "stats/pattern_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/packed_genotype.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/eh_diall.hpp"
+#include "stats/em_haplotype.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ldga::stats {
+namespace {
+
+using genomics::SnpIndex;
+
+/// Deterministic cohort with missing genotypes — both missing policies
+/// must diverge for the policy-dependent routes to be exercised.
+genomics::SyntheticDataset missing_cohort(std::uint32_t snps = 24,
+                                          double missing_rate = 0.06,
+                                          std::uint64_t seed = 77) {
+  genomics::SyntheticConfig config;
+  config.snp_count = snps;
+  config.affected_count = 50;
+  config.unaffected_count = 50;
+  config.unknown_count = 0;
+  config.active_snp_count = 3;
+  config.missing_rate = missing_rate;
+  Rng rng(seed);
+  return genomics::generate_synthetic(config, rng);
+}
+
+std::vector<SnpIndex> random_sorted_set(std::uint32_t snp_count,
+                                        std::uint32_t k, Rng& rng) {
+  std::vector<SnpIndex> all(snp_count);
+  for (std::uint32_t s = 0; s < snp_count; ++s) all[s] = s;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<std::uint32_t>(rng.below(snp_count - i));
+    std::swap(all[i], all[j]);
+  }
+  std::vector<SnpIndex> set(all.begin(), all.begin() + k);
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+void expect_same_table(const GenotypePatternTable& got,
+                       const GenotypePatternTable& want) {
+  ASSERT_EQ(got.locus_count(), want.locus_count());
+  EXPECT_EQ(got.total_individuals(), want.total_individuals());
+  EXPECT_EQ(got.excluded_missing(), want.excluded_missing());
+  ASSERT_EQ(got.patterns().size(), want.patterns().size());
+  for (std::size_t i = 0; i < want.patterns().size(); ++i) {
+    const GenotypePattern& g = got.patterns()[i];
+    const GenotypePattern& w = want.patterns()[i];
+    EXPECT_EQ(g.hom_two_mask, w.hom_two_mask) << "pattern " << i;
+    EXPECT_EQ(g.het_mask, w.het_mask) << "pattern " << i;
+    EXPECT_EQ(g.missing_mask, w.missing_mask) << "pattern " << i;
+    EXPECT_EQ(g.count, w.count) << "pattern " << i;
+  }
+}
+
+void expect_same_em(const EmResult& got, const EmResult& want) {
+  ASSERT_EQ(got.frequencies.size(), want.frequencies.size());
+  for (std::size_t h = 0; h < want.frequencies.size(); ++h) {
+    EXPECT_EQ(got.frequencies[h], want.frequencies[h]) << "haplotype " << h;
+  }
+  EXPECT_EQ(got.log_likelihood, want.log_likelihood);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.converged, want.converged);
+}
+
+TEST(MaskRemap, ExpandAndCompactAreInverse) {
+  for (std::uint32_t pos = 0; pos < 8; ++pos) {
+    for (std::uint32_t mask = 0; mask < 128; ++mask) {
+      const std::uint32_t expanded = expand_mask_bit(mask, pos);
+      EXPECT_EQ(expanded & (1u << pos), 0u);
+      EXPECT_EQ(compact_mask_bit(expanded, pos), mask);
+    }
+  }
+  EXPECT_EQ(expand_mask_bit(0b1011u, 1), 0b10101u);
+  EXPECT_EQ(compact_mask_bit(0b10111u, 2), 0b1011u);
+}
+
+TEST(GroupPatterns, FreshBuildMatchesBuildPacked) {
+  const auto sim = missing_cohort();
+  const auto affected =
+      sim.dataset.individuals_with(genomics::Status::Affected);
+  const genomics::PackedGenotypeMatrix group(sim.dataset.genotypes(),
+                                             affected);
+  Rng rng(11);
+  for (const MissingPolicy policy :
+       {MissingPolicy::CompleteCase, MissingPolicy::Marginalize}) {
+    for (std::uint32_t k = 1; k <= 8; ++k) {
+      const auto snps =
+          random_sorted_set(sim.dataset.snp_count(), k, rng);
+      const GroupPatterns built = build_group_patterns(group, snps, policy);
+      expect_same_table(
+          built.table,
+          GenotypePatternTable::build_packed(group, snps, policy));
+      // Carrier rows partition the included individuals: disjoint and
+      // popcounts matching each pattern's count.
+      std::vector<std::uint64_t> seen(built.words, 0);
+      for (std::size_t p = 0; p < built.table.patterns().size(); ++p) {
+        std::uint32_t bits = 0;
+        const auto row = built.row(p);
+        for (std::uint32_t w = 0; w < built.words; ++w) {
+          EXPECT_EQ(seen[w] & row[w], 0u);
+          seen[w] |= row[w];
+          bits += static_cast<std::uint32_t>(std::popcount(row[w]));
+        }
+        EXPECT_EQ(static_cast<double>(bits), built.table.patterns()[p].count);
+      }
+    }
+  }
+}
+
+TEST(GroupPatterns, ExtensionMatchesFreshBuild) {
+  const auto sim = missing_cohort();
+  const auto unaffected =
+      sim.dataset.individuals_with(genomics::Status::Unaffected);
+  const genomics::PackedGenotypeMatrix group(sim.dataset.genotypes(),
+                                             unaffected);
+  const std::uint32_t snp_count = sim.dataset.snp_count();
+  Rng rng(22);
+  for (const MissingPolicy policy :
+       {MissingPolicy::CompleteCase, MissingPolicy::Marginalize}) {
+    for (std::uint32_t k = 1; k <= 7; ++k) {
+      auto child = random_sorted_set(snp_count, k + 1, rng);
+      // Drop one random locus to form the parent; extend it back.
+      const std::uint32_t drop = static_cast<std::uint32_t>(
+          rng.below(child.size()));
+      const SnpIndex added = child[drop];
+      std::vector<SnpIndex> parent_snps = child;
+      parent_snps.erase(parent_snps.begin() + drop);
+      const GroupPatterns parent =
+          build_group_patterns(group, parent_snps, policy);
+      const GroupPatterns extended =
+          extend_group_patterns(parent, parent_snps, group, added, policy);
+      const GroupPatterns fresh = build_group_patterns(group, child, policy);
+      expect_same_table(extended.table, fresh.table);
+      ASSERT_EQ(extended.carriers, fresh.carriers);
+    }
+  }
+}
+
+TEST(GroupPatterns, ProjectionMatchesFreshBuild) {
+  const auto sim = missing_cohort();
+  const auto affected =
+      sim.dataset.individuals_with(genomics::Status::Affected);
+  const genomics::PackedGenotypeMatrix group(sim.dataset.genotypes(),
+                                             affected);
+  const std::uint32_t snp_count = sim.dataset.snp_count();
+  Rng rng(33);
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    const auto parent_snps = random_sorted_set(snp_count, k, rng);
+    const GroupPatterns parent = build_group_patterns(
+        group, parent_snps, MissingPolicy::Marginalize);
+    for (const SnpIndex dropped : parent_snps) {
+      std::vector<SnpIndex> child = parent_snps;
+      child.erase(std::find(child.begin(), child.end(), dropped));
+      const auto projected = project_group_patterns(
+          parent, parent_snps, dropped, MissingPolicy::Marginalize);
+      ASSERT_TRUE(projected.has_value());
+      const GroupPatterns fresh =
+          build_group_patterns(group, child, MissingPolicy::Marginalize);
+      expect_same_table(projected->table, fresh.table);
+      ASSERT_EQ(projected->carriers, fresh.carriers);
+    }
+  }
+}
+
+TEST(GroupPatterns, CompleteCaseProjectionGatesOnExclusions) {
+  const auto sim = missing_cohort(16, 0.15, 5);
+  const auto affected =
+      sim.dataset.individuals_with(genomics::Status::Affected);
+  const genomics::PackedGenotypeMatrix group(sim.dataset.genotypes(),
+                                             affected);
+  Rng rng(44);
+  bool saw_refusal = false;
+  bool saw_exact = false;
+  for (std::uint32_t round = 0; round < 30; ++round) {
+    const auto parent_snps =
+        random_sorted_set(sim.dataset.snp_count(), 4, rng);
+    const GroupPatterns parent = build_group_patterns(
+        group, parent_snps, MissingPolicy::CompleteCase);
+    const SnpIndex dropped = parent_snps[rng.below(parent_snps.size())];
+    const auto projected = project_group_patterns(
+        parent, parent_snps, dropped, MissingPolicy::CompleteCase);
+    if (parent.table.excluded_missing() > 0) {
+      // Not reconstructible: the parent no longer knows which loci its
+      // excluded individuals were missing at.
+      EXPECT_FALSE(projected.has_value());
+      saw_refusal = true;
+    } else {
+      ASSERT_TRUE(projected.has_value());
+      std::vector<SnpIndex> child = parent_snps;
+      child.erase(std::find(child.begin(), child.end(), dropped));
+      expect_same_table(projected->table,
+                        build_group_patterns(group, child,
+                                             MissingPolicy::CompleteCase)
+                            .table);
+      saw_exact = true;
+    }
+  }
+  EXPECT_TRUE(saw_refusal);
+  // A heavily-missing cohort rarely yields an exclusion-free parent, so
+  // the exact branch is exercised on a fully-typed cohort instead.
+  const auto clean = missing_cohort(16, 0.0, 6);
+  const auto clean_affected =
+      clean.dataset.individuals_with(genomics::Status::Affected);
+  const genomics::PackedGenotypeMatrix clean_group(clean.dataset.genotypes(),
+                                                   clean_affected);
+  for (std::uint32_t round = 0; round < 10; ++round) {
+    const auto parent_snps =
+        random_sorted_set(clean.dataset.snp_count(), 4, rng);
+    const GroupPatterns parent = build_group_patterns(
+        clean_group, parent_snps, MissingPolicy::CompleteCase);
+    ASSERT_EQ(parent.table.excluded_missing(), 0u);
+    const SnpIndex dropped = parent_snps[rng.below(parent_snps.size())];
+    const auto projected = project_group_patterns(
+        parent, parent_snps, dropped, MissingPolicy::CompleteCase);
+    ASSERT_TRUE(projected.has_value());
+    std::vector<SnpIndex> child = parent_snps;
+    child.erase(std::find(child.begin(), child.end(), dropped));
+    expect_same_table(projected->table,
+                      build_group_patterns(clean_group, child,
+                                           MissingPolicy::CompleteCase)
+                          .table);
+    saw_exact = true;
+  }
+  EXPECT_TRUE(saw_exact);
+}
+
+TEST(PatternTableCacheTest, InsertFindPeekAndFifoEviction) {
+  PatternTableCache cache(/*capacity=*/2, /*shards=*/1);
+  const auto entry = [](std::vector<SnpIndex> key) {
+    auto tables = std::make_shared<CandidateTables>();
+    tables->key = std::move(key);
+    return tables;
+  };
+  cache.insert(entry({0, 1}));
+  cache.insert(entry({0, 2}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(std::vector<SnpIndex>{0, 1}), nullptr);
+
+  cache.insert(entry({0, 3}));  // evicts the FIFO head {0, 1}
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(std::vector<SnpIndex>{0, 1}), nullptr);
+  EXPECT_NE(cache.peek(std::vector<SnpIndex>{0, 2}), nullptr);
+  EXPECT_NE(cache.find(std::vector<SnpIndex>{0, 3}), nullptr);
+
+  const PatternCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  // peek() is invisible to the hit/miss counters.
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PatternTableCacheTest, ReinsertionRefreshesInsteadOfDuplicating) {
+  PatternTableCache cache(/*capacity=*/2, /*shards=*/1);
+  auto a = std::make_shared<CandidateTables>();
+  a->key = {1, 2};
+  cache.insert(a);
+  auto b = std::make_shared<CandidateTables>();
+  b->key = {1, 2};
+  b->pooled_warm_started = true;
+  cache.insert(b);  // same key: refresh in place, no new FIFO slot
+  EXPECT_EQ(cache.size(), 1u);
+  const auto found = cache.peek(std::vector<SnpIndex>{1, 2});
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->pooled_warm_started);
+}
+
+TEST(PatternTableCacheTest, ProvenanceHintsReplacePerBatch) {
+  PatternTableCache cache(8, 2);
+  using Hint = std::pair<std::vector<SnpIndex>, std::vector<SnpIndex>>;
+  const std::vector<Hint> first{{{1, 2, 3}, {1, 2}}, {{4, 5}, {4, 5, 6}}};
+  cache.note_provenance_batch(first);
+  EXPECT_EQ(cache.hint_for(std::vector<SnpIndex>{1, 2, 3}),
+            (std::vector<SnpIndex>{1, 2}));
+  EXPECT_EQ(cache.hint_for(std::vector<SnpIndex>{4, 5}),
+            (std::vector<SnpIndex>{4, 5, 6}));
+  EXPECT_TRUE(cache.hint_for(std::vector<SnpIndex>{7, 8}).empty());
+
+  const std::vector<Hint> second{{{7, 8}, {7}}};
+  cache.note_provenance_batch(second);
+  EXPECT_TRUE(cache.hint_for(std::vector<SnpIndex>{1, 2, 3}).empty());
+  EXPECT_EQ(cache.hint_for(std::vector<SnpIndex>{7, 8}),
+            (std::vector<SnpIndex>{7}));
+  EXPECT_EQ(cache.stats().provenance_hints, 3u);
+}
+
+TEST(IncrementalConfigTest, RejectsZeroShards) {
+  IncrementalConfig config;
+  config.pattern_cache_shards = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+/// The pipeline-level property the cache must uphold: with the cache on
+/// (and warm starts off) every EhDiall analysis — fresh, extended,
+/// projected, or a repeat hit — is bit-for-bit the reference result,
+/// across candidate sizes up to kMaxEmLoci and both missing policies.
+TEST(IncrementalPipeline, BitExactAcrossSizesAndPolicies) {
+  const auto sim = missing_cohort(kMaxEmLoci + 4, 0.02, 99);
+  for (const MissingPolicy policy :
+       {MissingPolicy::CompleteCase, MissingPolicy::Marginalize}) {
+    EmConfig em;
+    em.missing = policy;
+    // The property compares two runs of the *same* EM configuration, so
+    // a looser tolerance loses nothing — it just keeps the large-k
+    // analyses (2^k frequency expansions) affordable for a unit test.
+    em.tolerance = 1e-5;
+    em.max_iterations = 60;
+    const EhDiall reference(sim.dataset, em);
+    const auto cache = std::make_shared<PatternTableCache>(256, 4);
+    const EhDiall incremental(sim.dataset, em, true, true, false, cache);
+    ASSERT_EQ(incremental.pattern_cache(), cache);
+
+    Rng rng(1000 + static_cast<std::uint64_t>(policy));
+    for (std::uint32_t k = 2; k <= kMaxEmLoci; ++k) {
+      auto snps =
+          random_sorted_set(sim.dataset.snp_count(), k, rng);
+      // A chain of neighbours around each set exercises extension,
+      // projection and replacement against the cached ancestor. Past
+      // mid size the neighbour variants stop adding route coverage and
+      // only multiply the 2^k analysis cost, so large k keeps just the
+      // base set and its repeat (fresh build + full cache hit).
+      std::vector<std::vector<SnpIndex>> family{snps};
+      if (k > 2 && k <= 12) {
+        auto reduced = snps;
+        reduced.erase(reduced.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(reduced.size())));
+        family.push_back(std::move(reduced));
+      }
+      if (k <= 12) {
+        auto replaced = snps;
+        for (SnpIndex candidate = 0; candidate < sim.dataset.snp_count();
+             ++candidate) {
+          if (!std::binary_search(replaced.begin(), replaced.end(),
+                                  candidate)) {
+            replaced[rng.below(replaced.size())] = candidate;
+            std::sort(replaced.begin(), replaced.end());
+            family.push_back(std::move(replaced));
+            break;
+          }
+        }
+      }
+      family.push_back(snps);  // repeat: full cache hit
+
+      for (const auto& set : family) {
+        const EhDiallResult want = reference.analyze(set);
+        const EhDiallResult got = incremental.analyze(set);
+        expect_same_em(got.affected, want.affected);
+        expect_same_em(got.unaffected, want.unaffected);
+        expect_same_em(got.pooled, want.pooled);
+        EXPECT_EQ(got.lrt, want.lrt);
+        EXPECT_EQ(got.affected_individuals, want.affected_individuals);
+        EXPECT_EQ(got.unaffected_individuals, want.unaffected_individuals);
+      }
+    }
+    const PatternCacheStats stats = cache->stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.extended + stats.projected, 0u);
+    EXPECT_GT(stats.fresh, 0u);
+  }
+}
+
+/// Warm starts change ulps but must converge to a usable solution (or
+/// fall back to the exact cold run), and the counters must move.
+TEST(IncrementalPipeline, ParentWarmStartsStayCloseAndCount) {
+  const auto sim = missing_cohort();
+  EmConfig em;
+  const EhDiall reference(sim.dataset, em);
+  const auto cache = std::make_shared<PatternTableCache>(64, 2);
+  const EhDiall warm(sim.dataset, em, true, true, false, cache,
+                     /*warm_start_parents=*/true);
+
+  const std::vector<SnpIndex> parent{2, 5, 9};
+  const std::vector<SnpIndex> child{2, 5, 9, 13};
+  (void)warm.analyze(parent);
+  using Hint = std::pair<std::vector<SnpIndex>, std::vector<SnpIndex>>;
+  const std::vector<Hint> hints{{child, parent}};
+  cache->note_provenance_batch(hints);
+
+  const EhDiallResult got = warm.analyze(child);
+  const EhDiallResult want = reference.analyze(child);
+  const PatternCacheStats stats = cache->stats();
+  EXPECT_GT(stats.warm_starts + stats.warm_fallbacks, 0u);
+  EXPECT_NEAR(got.lrt, want.lrt, 1e-5);
+  ASSERT_EQ(got.pooled.frequencies.size(), want.pooled.frequencies.size());
+  for (std::size_t h = 0; h < want.pooled.frequencies.size(); ++h) {
+    EXPECT_NEAR(got.pooled.frequencies[h], want.pooled.frequencies[h], 1e-6);
+  }
+}
+
+TEST(FromPatterns, RejectsUnsortedPatterns) {
+  std::vector<GenotypePattern> unsorted{{2, 0, 0, 3.0}, {1, 0, 0, 2.0}};
+  EXPECT_TRUE(GenotypePatternTable::pattern_order(unsorted[1], unsorted[0]));
+  EXPECT_DEATH((void)GenotypePatternTable::from_patterns(
+                   2, 5.0, 0, std::move(unsorted)),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ldga::stats

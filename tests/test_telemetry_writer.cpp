@@ -24,6 +24,14 @@ GenerationInfo sample_info(std::uint32_t generation) {
   info.stage_timings.pattern_build_seconds = 0.125;
   info.stage_timings.em_seconds = 0.25;
   info.stage_timings.clump_seconds = 0.5;
+  info.gen_cache_hits = 9;
+  info.gen_cache_misses = 3;
+  info.gen_pattern_hits = 8;
+  info.gen_pattern_misses = 8;
+  info.gen_warm_starts = 4;
+  info.gen_warm_fallbacks = 0;
+  info.mc_replicates_run = 100 * generation;
+  info.mc_replicates_saved = 50 * generation;
   return info;
 }
 
@@ -37,7 +45,11 @@ TEST(TelemetryWriter, HeaderMatchesShape) {
                       "crossover_rate_0,crossover_rate_1,"
                       "evaluations,immigrants,"
                       "cache_hits,cache_misses,cache_evictions,"
-                      "pattern_build_seconds,em_seconds,clump_seconds"),
+                      "pattern_build_seconds,em_seconds,clump_seconds,"
+                      "cache_hit_ratio,pattern_hits,pattern_misses,"
+                      "pattern_hit_ratio,warm_starts,warm_fallbacks,"
+                      "warm_hit_ratio,mc_replicates_run,"
+                      "mc_replicates_saved"),
             std::string::npos);
 }
 
@@ -57,12 +69,35 @@ TEST(TelemetryWriter, RowValuesRoundTrip) {
   writer.record(sample_info(3));
   const std::string text = out.str();
   EXPECT_NE(
-      text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0,0.125,0.25,0.5"),
+      text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0,0.125,0.25,0.5,"
+                "0.75,8,8,0.5,4,0,1,300,150"),
       std::string::npos);
   writer.record(sample_info(4));
   EXPECT_NE(out.str().find(
-                "4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0,0.125,0.25,0.5"),
+                "4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0,0.125,0.25,0.5,"
+                "0.75,8,8,0.5,4,0,1,400,200"),
             std::string::npos);
+}
+
+TEST(TelemetryWriter, ZeroTrafficRatiosAreZeroNotNan) {
+  // A generation with no incremental traffic (all gen_* counters zero,
+  // e.g. the pattern cache is disabled) must report 0 ratios, never
+  // NaN from a 0/0 division.
+  auto info = sample_info(2);
+  info.gen_cache_hits = 0;
+  info.gen_cache_misses = 0;
+  info.gen_pattern_hits = 0;
+  info.gen_pattern_misses = 0;
+  info.gen_warm_starts = 0;
+  info.gen_warm_fallbacks = 0;
+  info.mc_replicates_run = 0;
+  info.mc_replicates_saved = 0;
+  std::ostringstream out;
+  TelemetryCsvWriter writer(out);
+  writer.record(info);
+  EXPECT_NE(out.str().find("0.125,0.25,0.5,0,0,0,0,0,0,0,0,0\n"),
+            std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
 }
 
 TEST(TelemetryWriter, IntegratesWithEngine) {
