@@ -1,0 +1,67 @@
+// Machine context stamped into every BENCH_*.json.
+//
+// Benchmark numbers are only comparable on the machine (and at the
+// SIMD dispatch level) that produced them, so each bench binary writes
+// a "machine" object — CPU model, core count, detected and active SIMD
+// level, compiler — next to its measurements. CI reads it back and
+// refuses to compare ratios across different ISA contexts instead of
+// failing a floor that was measured elsewhere.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "util/simd.hpp"
+
+namespace ldga::bench {
+
+/// First "model name" line of /proc/cpuinfo ("unknown" elsewhere).
+inline std::string cpu_model() {
+  std::string model = "unknown";
+  std::FILE* info = std::fopen("/proc/cpuinfo", "r");
+  if (info == nullptr) return model;
+  char line[512];
+  while (std::fgets(line, sizeof line, info) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon != nullptr) {
+      model.assign(colon + 1);
+      while (!model.empty() &&
+             (model.front() == ' ' || model.front() == '\t')) {
+        model.erase(model.begin());
+      }
+      while (!model.empty() &&
+             (model.back() == '\n' || model.back() == '\r')) {
+        model.pop_back();
+      }
+      // Keep the value safe to embed in a JSON string literal.
+      for (char& c : model) {
+        if (c == '"' || c == '\\') c = ' ';
+      }
+    }
+    break;
+  }
+  std::fclose(info);
+  return model;
+}
+
+/// Writes the shared "machine" object (with trailing comma) into an
+/// open JSON map: CPU, cores, detected vs active SIMD dispatch level
+/// (they differ when LDGA_SIMD pins a lower one), compiler.
+inline void write_machine_context(std::FILE* json) {
+  std::fprintf(json,
+               "  \"machine\": {\n"
+               "    \"cpu\": \"%s\",\n"
+               "    \"cores\": %u,\n"
+               "    \"simd_detected\": \"%s\",\n"
+               "    \"simd_active\": \"%s\",\n"
+               "    \"compiler\": \"%s\"\n"
+               "  },\n",
+               cpu_model().c_str(), std::thread::hardware_concurrency(),
+               util::simd_level_name(util::simd_detected_level()),
+               util::simd_level_name(util::simd_level()), __VERSION__);
+}
+
+}  // namespace ldga::bench

@@ -22,6 +22,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_context.hpp"
 #include "genomics/synthetic.hpp"
 #include "stats/clump.hpp"
 #include "stats/eh_diall.hpp"
@@ -330,6 +331,7 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n");
+  ldga::bench::write_machine_context(json);
   std::fprintf(
       json,
       "  \"workload\": \"60 SNPs, 300+300 individuals, 6-locus candidates\","

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Build and run the perf-acceptance benchmarks, leaving BENCH_*.json at
 # the repo root:
-#   - bench_em_kernel — compiled-EM PR numbers (3x end-to-end floor);
-#   - bench_ga_e2e    — incremental-pipeline PR numbers (2x GA wall
+#   - bench_em_kernel    — compiled-EM PR numbers (3x end-to-end floor);
+#   - bench_ga_e2e       — incremental-pipeline PR numbers (2x GA wall
 #     time, hard floor 1.5x), including the bit-exactness gate of the
-#     pattern cache against the baseline trajectory.
-# Cheap enough for a CI smoke run; the CI bench job compares the fresh
-# BENCH_ga_e2e.json against the committed baseline.
+#     pattern cache against the baseline trajectory;
+#   - bench_simd_kernels — per-dispatch-level kernel timings with
+#     inline equivalence checks (4x popcount/planes floor on vector
+#     hosts).
+# Every JSON carries the machine context (bench/bench_context.hpp); the
+# CI bench job refuses ratio comparisons when the committed baseline
+# was measured on a different ISA.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,9 +18,11 @@ build="${BUILD_DIR:-$root/build}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" --target bench_em_kernel --target bench_ga_e2e \
-  -j "$(nproc)"
+  --target bench_simd_kernels -j "$(nproc)"
 
 cd "$root"
+"$build/bench/bench_simd_kernels"
+echo "BENCH_simd_kernels.json written to $root"
 "$build/bench/bench_em_kernel"
 echo "BENCH_em_kernel.json written to $root"
 "$build/bench/bench_ga_e2e"

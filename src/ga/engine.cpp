@@ -560,8 +560,8 @@ GaResult GaEngine::run() {
       info.mc_replicates_saved = evaluator_->mc_replicates_saved();
       info.gen_cache_hits = cache.hits - prev_cache.hits;
       info.gen_cache_misses = cache.misses - prev_cache.misses;
-      info.gen_pattern_hits = pattern.hits - prev_pattern.hits;
-      info.gen_pattern_misses = pattern.misses - prev_pattern.misses;
+      info.gen_pattern_entry_reuses = pattern.entry_reuses - prev_pattern.entry_reuses;
+      info.gen_pattern_entry_builds = pattern.entry_builds - prev_pattern.entry_builds;
       info.gen_warm_starts = pattern.warm_starts - prev_pattern.warm_starts;
       info.gen_warm_fallbacks =
           pattern.warm_fallbacks - prev_pattern.warm_fallbacks;

@@ -119,8 +119,8 @@ struct GenerationInfo {
   /// telemetry CSV derives its per-generation hit ratios from these.
   std::uint64_t gen_cache_hits = 0;
   std::uint64_t gen_cache_misses = 0;
-  std::uint64_t gen_pattern_hits = 0;
-  std::uint64_t gen_pattern_misses = 0;
+  std::uint64_t gen_pattern_entry_reuses = 0;
+  std::uint64_t gen_pattern_entry_builds = 0;
   std::uint64_t gen_warm_starts = 0;
   std::uint64_t gen_warm_fallbacks = 0;
 };

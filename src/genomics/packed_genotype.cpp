@@ -1,8 +1,7 @@
 #include "genomics/packed_genotype.hpp"
 
-#include <bit>
-
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace ldga::genomics {
 
@@ -10,15 +9,6 @@ namespace {
 
 std::uint32_t words_for(std::uint32_t individuals) {
   return (individuals + 63) / 64;
-}
-
-std::uint32_t popcount_words(const std::uint64_t* words,
-                             std::uint32_t count) {
-  std::uint32_t total = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    total += static_cast<std::uint32_t>(std::popcount(words[i]));
-  }
-  return total;
 }
 
 }  // namespace
@@ -88,16 +78,13 @@ std::span<const std::uint64_t> PackedGenotypeMatrix::high_plane(
 
 LocusCounts PackedGenotypeMatrix::locus_counts(SnpIndex snp) const {
   LDGA_EXPECTS(snp < snps_);
-  const std::uint64_t* lo = low_words(snp);
-  const std::uint64_t* hi = high_words(snp);
+  std::uint64_t tallies[3];
+  util::simd().plane_counts(low_words(snp), high_words(snp), words_,
+                            tallies);
   LocusCounts counts;
-  for (std::uint32_t w = 0; w < words_; ++w) {
-    counts.het += static_cast<std::uint32_t>(std::popcount(lo[w] & ~hi[w]));
-    counts.hom_two +=
-        static_cast<std::uint32_t>(std::popcount(hi[w] & ~lo[w]));
-    counts.missing +=
-        static_cast<std::uint32_t>(std::popcount(lo[w] & hi[w]));
-  }
+  counts.het = static_cast<std::uint32_t>(tallies[0]);
+  counts.hom_two = static_cast<std::uint32_t>(tallies[1]);
+  counts.missing = static_cast<std::uint32_t>(tallies[2]);
   counts.hom_one =
       individuals_ - counts.het - counts.hom_two - counts.missing;
   return counts;
@@ -115,30 +102,46 @@ void PackedGenotypeMatrix::for_each_pattern(
 
 void PackedGenotypeMatrix::for_each_pattern_rows(
     std::span<const SnpIndex> snps, const PatternRowVisitor& visit) const {
+  std::vector<std::uint64_t> rows;
+  for_each_pattern_rows(snps, visit, rows);
+}
+
+void PackedGenotypeMatrix::for_each_pattern_rows(
+    std::span<const SnpIndex> snps, const PatternRowVisitor& visit,
+    std::vector<std::uint64_t>& scratch) const {
   const auto k = static_cast<std::uint32_t>(snps.size());
   LDGA_EXPECTS(k >= 1 && k <= kMaxPatternLoci);
   for (const SnpIndex s : snps) LDGA_EXPECTS(s < snps_);
   if (individuals_ == 0) return;
 
   // Depth-first over genotype codes, one word row per level; a child
-  // row is the parent intersected with the code's plane combination,
-  // and empty intersections prune the whole subtree. Level 0 holds the
-  // everyone-mask, so the complements in the HomOne branch can never
-  // leak padding bits into the counts.
-  std::vector<std::uint64_t> rows(
-      static_cast<std::size_t>(k + 1) * words_, ~std::uint64_t{0});
+  // row is the parent intersected with the code's plane combination
+  // (one combine_planes_count kernel call per branch — the flip masks
+  // select the four genotype classes). The fused kernel returns the
+  // child's popcount in the same pass: zero prunes the subtree, and at
+  // the last level the count is the leaf's pattern count, so leaves
+  // need no separate popcount sweep. Level 0 holds the everyone-mask,
+  // so the complements in the HomOne branch can never leak padding
+  // bits into the counts.
+  std::vector<std::uint64_t>& rows = scratch;
+  rows.assign(static_cast<std::size_t>(k + 1) * words_, ~std::uint64_t{0});
   if (const std::uint32_t tail = individuals_ % 64; tail != 0) {
     rows[words_ - 1] = (std::uint64_t{1} << tail) - 1;
   }
 
+  constexpr std::uint64_t kKeep = 0;               // plane bit must be set
+  constexpr std::uint64_t kFlip = ~std::uint64_t{0};  // must be clear
+  const util::SimdKernels& kernels = util::simd();
+
   const auto descend = [&](auto&& self, std::uint32_t level,
+                           std::uint64_t count,
                            std::uint32_t hom_two_mask,
                            std::uint32_t het_mask,
                            std::uint32_t missing_mask) -> void {
     const std::uint64_t* parent = rows.data() + level * words_;
     if (level == k) {
       visit(hom_two_mask, het_mask, missing_mask,
-            popcount_words(parent, words_), {parent, words_});
+            static_cast<std::uint32_t>(count), {parent, words_});
       return;
     }
     std::uint64_t* child = rows.data() + (level + 1) * words_;
@@ -146,37 +149,28 @@ void PackedGenotypeMatrix::for_each_pattern_rows(
     const std::uint64_t* hi = high_words(snps[level]);
     const std::uint32_t bit = 1u << level;
 
-    std::uint64_t any = 0;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      any |= child[w] = parent[w] & ~lo[w] & ~hi[w];  // HomOne
+    // HomOne: ~lo & ~hi
+    if (const std::uint64_t c = kernels.combine_planes_count(
+            parent, lo, hi, kFlip, kFlip, words_, child)) {
+      self(self, level + 1, c, hom_two_mask, het_mask, missing_mask);
     }
-    if (any) self(self, level + 1, hom_two_mask, het_mask, missing_mask);
-
-    any = 0;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      any |= child[w] = parent[w] & lo[w] & ~hi[w];  // Het
+    // Het: lo & ~hi
+    if (const std::uint64_t c = kernels.combine_planes_count(
+            parent, lo, hi, kKeep, kFlip, words_, child)) {
+      self(self, level + 1, c, hom_two_mask, het_mask | bit, missing_mask);
     }
-    if (any) {
-      self(self, level + 1, hom_two_mask, het_mask | bit, missing_mask);
+    // HomTwo: ~lo & hi
+    if (const std::uint64_t c = kernels.combine_planes_count(
+            parent, lo, hi, kFlip, kKeep, words_, child)) {
+      self(self, level + 1, c, hom_two_mask | bit, het_mask, missing_mask);
     }
-
-    any = 0;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      any |= child[w] = parent[w] & hi[w] & ~lo[w];  // HomTwo
-    }
-    if (any) {
-      self(self, level + 1, hom_two_mask | bit, het_mask, missing_mask);
-    }
-
-    any = 0;
-    for (std::uint32_t w = 0; w < words_; ++w) {
-      any |= child[w] = parent[w] & lo[w] & hi[w];  // Missing
-    }
-    if (any) {
-      self(self, level + 1, hom_two_mask, het_mask, missing_mask | bit);
+    // Missing: lo & hi
+    if (const std::uint64_t c = kernels.combine_planes_count(
+            parent, lo, hi, kKeep, kKeep, words_, child)) {
+      self(self, level + 1, c, hom_two_mask, het_mask, missing_mask | bit);
     }
   };
-  descend(descend, 0, 0, 0, 0);
+  descend(descend, 0, individuals_, 0, 0, 0);
 }
 
 }  // namespace ldga::genomics

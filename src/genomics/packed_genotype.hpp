@@ -99,6 +99,13 @@ class PackedGenotypeMatrix {
   void for_each_pattern_rows(std::span<const SnpIndex> snps,
                              const PatternRowVisitor& visit) const;
 
+  /// As above, but the DFS row buffer lives in `scratch` (resized as
+  /// needed and reused across calls) instead of a fresh allocation per
+  /// traversal — the per-candidate arena hook (stats::EvalScratch).
+  void for_each_pattern_rows(std::span<const SnpIndex> snps,
+                             const PatternRowVisitor& visit,
+                             std::vector<std::uint64_t>& scratch) const;
+
  private:
   const std::uint64_t* low_words(SnpIndex snp) const {
     return low_.data() + static_cast<std::size_t>(snp) * words_;

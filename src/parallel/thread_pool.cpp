@@ -56,6 +56,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end,
+                       [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
   // The caller is a worker too: it runs chunk 0 inline while the pool
@@ -69,8 +76,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (std::size_t chunk = 1; chunk < chunks; ++chunk) {
     const std::size_t lo = begin + count * chunk / chunks;
     const std::size_t hi = begin + count * (chunk + 1) / chunks;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    futures.push_back(submit([chunk, lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(chunk, i);
     }));
   }
   // Drain every chunk before surfacing a failure: the tasks reference
@@ -81,7 +88,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   {
     const std::size_t hi = begin + count / chunks;
     try {
-      for (std::size_t i = begin; i < hi; ++i) fn(i);
+      for (std::size_t i = begin; i < hi; ++i) fn(0, i);
     } catch (...) {
       first_error = std::current_exception();
     }

@@ -40,6 +40,14 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// parallel_for handing fn the chunk it runs in: fn(chunk, i) with
+  /// chunk in [0, thread_count() + 1). Exactly one thread executes any
+  /// given chunk (chunk 0 is the caller), so per-chunk state — e.g. a
+  /// scratch arena indexed by chunk — needs no synchronization.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 

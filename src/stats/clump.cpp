@@ -5,6 +5,7 @@
 
 #include "stats/special.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace ldga::stats {
 
@@ -92,6 +93,10 @@ class TwoByTwoScanner {
   }
   double top(std::uint32_t c) const { return top_[c]; }
   double bottom(std::uint32_t c) const { return bottom_[c]; }
+  const double* top_data() const { return top_.data(); }
+  const double* bottom_data() const { return bottom_.data(); }
+  double row0() const { return row0_; }
+  double row1() const { return row1_; }
 
   /// Chi-square of the split whose first column has cells (a, b).
   double chi(double a, double b) const {
@@ -113,11 +118,30 @@ class TwoByTwoScanner {
 };
 
 /// Statistic value of the best single-column 2×2 split (T3), also
-/// returning the winning column.
+/// returning the winning column. With `simd` the per-column chi-squares
+/// are filled by the dispatched chi_columns kernel and a scalar argmax
+/// keeps the first-maximum tie-breaking; the column values round
+/// differently from the scalar closed form in the last ulps.
 std::pair<double, std::uint32_t> best_single_column(
-    const TwoByTwoScanner& scan) {
+    const TwoByTwoScanner& scan, bool simd) {
   double best = 0.0;
   std::uint32_t best_col = 0;
+  if (simd) {
+    // Thread-local: this runs once per Monte-Carlo trial, so a heap
+    // allocation per call would dominate the kernel itself.
+    thread_local std::vector<double> chi;
+    chi.resize(scan.cols());
+    util::simd().chi_columns(scan.top_data(), scan.bottom_data(),
+                             scan.cols(), 0.0, 0.0, scan.row0(),
+                             scan.row1(), chi.data());
+    for (std::uint32_t c = 0; c < scan.cols(); ++c) {
+      if (chi[c] > best) {
+        best = chi[c];
+        best_col = c;
+      }
+    }
+    return {best, best_col};
+  }
   for (std::uint32_t c = 0; c < scan.cols(); ++c) {
     const double chi = scan.chi(scan.top(c), scan.bottom(c));
     if (chi > best) {
@@ -130,28 +154,48 @@ std::pair<double, std::uint32_t> best_single_column(
 
 /// T4: greedy growth of a column group maximizing the 2×2 chi-square.
 /// The group's running row sums make each candidate extension O(1).
+/// With `simd` every round's extension scan is one chi_columns sweep
+/// (shifted by the group's running sums); used columns are skipped in
+/// the scalar argmax, so the greedy decisions keep their order.
 std::pair<double, std::vector<std::uint32_t>> best_column_group(
-    const TwoByTwoScanner& scan) {
-  auto [best, seed] = best_single_column(scan);
+    const TwoByTwoScanner& scan, bool simd) {
+  auto [best, seed] = best_single_column(scan, simd);
   std::vector<std::uint32_t> group{seed};
   std::vector<bool> used(scan.cols(), false);
   used[seed] = true;
   double group_top = scan.top(seed);
   double group_bottom = scan.bottom(seed);
 
+  thread_local std::vector<double> chi;
+  if (simd) chi.resize(scan.cols());
+
   bool improved = true;
   while (improved && group.size() + 1 < scan.cols()) {
     improved = false;
     double round_best = best;
     std::uint32_t round_col = 0;
-    for (std::uint32_t c = 0; c < scan.cols(); ++c) {
-      if (used[c]) continue;
-      const double chi =
-          scan.chi(group_top + scan.top(c), group_bottom + scan.bottom(c));
-      if (chi > round_best) {
-        round_best = chi;
-        round_col = c;
-        improved = true;
+    if (simd) {
+      util::simd().chi_columns(scan.top_data(), scan.bottom_data(),
+                               scan.cols(), group_top, group_bottom,
+                               scan.row0(), scan.row1(), chi.data());
+      for (std::uint32_t c = 0; c < scan.cols(); ++c) {
+        if (used[c]) continue;
+        if (chi[c] > round_best) {
+          round_best = chi[c];
+          round_col = c;
+          improved = true;
+        }
+      }
+    } else {
+      for (std::uint32_t c = 0; c < scan.cols(); ++c) {
+        if (used[c]) continue;
+        const double chi_c = scan.chi(group_top + scan.top(c),
+                                      group_bottom + scan.bottom(c));
+        if (chi_c > round_best) {
+          round_best = chi_c;
+          round_col = c;
+          improved = true;
+        }
       }
     }
     if (improved) {
@@ -169,34 +213,36 @@ std::pair<double, std::vector<std::uint32_t>> best_column_group(
 }  // namespace
 
 ChiSquare Clump::t1(const ContingencyTable& table) const {
-  return table.drop_empty_columns().pearson_chi_square();
+  return table.drop_empty_columns().pearson_chi_square(
+      config_.simd_kernels);
 }
 
 ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
   LDGA_EXPECTS(raw.rows() == 2);
   const ContingencyTable table = raw.drop_empty_columns();
+  const bool simd = config_.simd_kernels;
 
   ClumpResult result;
 
   // Observed statistics.
   {
-    const auto chi = table.pearson_chi_square();
+    const auto chi = table.pearson_chi_square(simd);
     result.t1 = {chi.statistic, chi.df, chi.p_value, std::nullopt};
   }
   {
     const auto chi = clump_rare(table, config_.rare_expected_threshold)
-                         .pearson_chi_square();
+                         .pearson_chi_square(simd);
     result.t2 = {chi.statistic, chi.df, chi.p_value, std::nullopt};
   }
   {
     const TwoByTwoScanner scan(table);
     {
-      const auto [stat, col] = best_single_column(scan);
+      const auto [stat, col] = best_single_column(scan, simd);
       result.t3 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
       (void)col;
     }
     {
-      auto [stat, group] = best_column_group(scan);
+      auto [stat, group] = best_column_group(scan, simd);
       result.t4 = {stat, 1, chi_square_sf(stat, 1.0), std::nullopt};
       result.t4_group = std::move(group);
     }
@@ -222,19 +268,22 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
       Rng trial_rng(seeds[trial]);
       const ContingencyTable null = table.sample_null(trial_rng);
       std::uint8_t hits = 0;
-      if (null.pearson_chi_square().statistic >= result.t1.statistic) {
+      if (null.pearson_chi_square(simd).statistic >=
+          result.t1.statistic) {
         hits |= 1u;
       }
       if (clump_rare(null, config_.rare_expected_threshold)
-              .pearson_chi_square()
+              .pearson_chi_square(simd)
               .statistic >= result.t2.statistic) {
         hits |= 2u;
       }
       const TwoByTwoScanner null_scan(null);
-      if (best_single_column(null_scan).first >= result.t3.statistic) {
+      if (best_single_column(null_scan, simd).first >=
+          result.t3.statistic) {
         hits |= 4u;
       }
-      if (best_column_group(null_scan).first >= result.t4.statistic) {
+      if (best_column_group(null_scan, simd).first >=
+          result.t4.statistic) {
         hits |= 8u;
       }
       outcomes[trial] = hits;

@@ -60,6 +60,14 @@ struct ClumpConfig {
   /// Bound on the probability that any early-stopped significance call
   /// disagrees with the full fixed-replicate run.
   double mc_error_rate = 1e-3;
+  /// Run the 2×2 column scans (T3/T4) and Pearson accumulation through
+  /// the dispatched vector kernels (util/simd.hpp). Deterministic for
+  /// a fixed dispatch level but rounded differently from the scalar
+  /// reference in the last ulps (fixed-lane-order sums instead of
+  /// Kahan); statistics agree to ~1e-9. Off by default — the scalar
+  /// path is the bit-exact reference. EvaluatorConfig::simd_kernels
+  /// switches this on together with the EM kernels.
+  bool simd_kernels = false;
 
   void validate() const;
 };

@@ -6,6 +6,7 @@
 #include "stats/special.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
+#include "util/simd.hpp"
 
 namespace ldga::stats {
 
@@ -56,12 +57,16 @@ double ContingencyTable::expected(std::uint32_t r, std::uint32_t c) const {
   return row_total(r) * col_total(c) / total;
 }
 
-ChiSquare ContingencyTable::pearson_chi_square() const {
+ChiSquare ContingencyTable::pearson_chi_square(bool simd_kernels) const {
   const double total = grand_total();
   ChiSquare result;
   if (total <= 0.0) return result;
 
-  std::vector<double> row_sums(rows_), col_sums(cols_);
+  // Thread-local: one call per Monte-Carlo trial; every element is
+  // written below before it is read.
+  thread_local std::vector<double> row_sums, col_sums;
+  row_sums.resize(rows_);
+  col_sums.resize(cols_);
   std::uint32_t live_rows = 0, live_cols = 0;
   for (std::uint32_t r = 0; r < rows_; ++r) {
     row_sums[r] = row_total(r);
@@ -73,17 +78,32 @@ ChiSquare ContingencyTable::pearson_chi_square() const {
   }
   if (live_rows < 2 || live_cols < 2) return result;
 
-  KahanSum statistic;
-  for (std::uint32_t r = 0; r < rows_; ++r) {
-    if (row_sums[r] <= 0.0) continue;
-    for (std::uint32_t c = 0; c < cols_; ++c) {
-      if (col_sums[c] <= 0.0) continue;
-      const double e = row_sums[r] * col_sums[c] / total;
-      const double diff = at(r, c) - e;
-      statistic.add(diff * diff / e);
+  if (simd_kernels) {
+    // Cells are row-major, so each row's terms are one contiguous
+    // kernel sweep; rows combine left to right. Fixed lane order, not
+    // Kahan — see the contract in the header.
+    const util::SimdKernels& kernels = util::simd();
+    double statistic = 0.0;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      if (row_sums[r] <= 0.0) continue;
+      statistic += kernels.pearson_row_terms(
+          cells_.data() + static_cast<std::size_t>(r) * cols_,
+          col_sums.data(), cols_, row_sums[r], total);
     }
+    result.statistic = statistic;
+  } else {
+    KahanSum statistic;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      if (row_sums[r] <= 0.0) continue;
+      for (std::uint32_t c = 0; c < cols_; ++c) {
+        if (col_sums[c] <= 0.0) continue;
+        const double e = row_sums[r] * col_sums[c] / total;
+        const double diff = at(r, c) - e;
+        statistic.add(diff * diff / e);
+      }
+    }
+    result.statistic = statistic.value();
   }
-  result.statistic = statistic.value();
   result.df = (live_rows - 1) * (live_cols - 1);
   result.p_value = chi_square_sf(result.statistic,
                                  static_cast<double>(result.df));

@@ -39,7 +39,13 @@ class ContingencyTable {
   /// positive; df = (effective_rows − 1)(effective_cols − 1), where
   /// effective counts exclude all-zero rows/columns. The analytic
   /// p-value comes from the chi-square survival function.
-  ChiSquare pearson_chi_square() const;
+  ///
+  /// With `simd_kernels` the per-cell accumulation runs through the
+  /// dispatched vector kernels (util/simd.hpp) in fixed lane order
+  /// instead of the reference's Kahan sum: deterministic for a fixed
+  /// dispatch level, equal to the reference to ~1e-9 but not
+  /// bit-for-bit, which is why it defaults off.
+  ChiSquare pearson_chi_square(bool simd_kernels = false) const;
 
   /// New table keeping only the listed columns, with every other column
   /// summed into one trailing "rest" column (CLUMP's clumping step).

@@ -31,13 +31,14 @@ EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
                  bool packed_kernel, bool compiled_em,
                  bool warm_start_pooled,
                  std::shared_ptr<PatternTableCache> cache,
-                 bool warm_start_parents)
+                 bool warm_start_parents, bool simd_kernels)
     : dataset_(&dataset),
       config_(config),
       packed_kernel_(packed_kernel),
       compiled_em_(compiled_em),
       warm_start_pooled_(warm_start_pooled),
       warm_start_parents_(warm_start_parents),
+      simd_kernels_(simd_kernels && compiled_em),
       cache_(packed_kernel && compiled_em ? std::move(cache) : nullptr) {
   config_.validate();
   affected_ = dataset.individuals_with(Status::Affected);
@@ -92,13 +93,19 @@ std::vector<double> blend_warm_start(const EmProgram& pooled,
 }  // namespace
 
 EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
+  EvalScratch scratch;
+  return analyze(snps, scratch);
+}
+
+EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps,
+                               EvalScratch& scratch) const {
   LDGA_EXPECTS(!snps.empty());
   // The incremental path keys tables by sorted locus set; an unsorted
   // candidate (legal here, the GA always canonicalizes) would alias a
   // different bit order, so it takes the fresh path instead.
   if (cache_ != nullptr && std::is_sorted(snps.begin(), snps.end()) &&
       std::adjacent_find(snps.begin(), snps.end()) == snps.end()) {
-    return analyze_incremental(snps);
+    return analyze_incremental(snps, scratch);
   }
 
   Stopwatch watch;
@@ -106,13 +113,15 @@ EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
   const auto table_a =
       packed_kernel_
           ? GenotypePatternTable::build_packed(packed_affected_, snps,
-                                               config_.missing)
+                                               config_.missing,
+                                               scratch.dfs_rows)
           : GenotypePatternTable::build(genotypes, snps, affected_,
                                         config_.missing);
   const auto table_u =
       packed_kernel_
           ? GenotypePatternTable::build_packed(packed_unaffected_, snps,
-                                               config_.missing)
+                                               config_.missing,
+                                               scratch.dfs_rows)
           : GenotypePatternTable::build(genotypes, snps, unaffected_,
                                         config_.missing);
   const auto table_pooled = GenotypePatternTable::merge(table_a, table_u);
@@ -128,20 +137,22 @@ EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps) const {
     const EmProgram prog_a = EmProgram::compile(table_a);
     const EmProgram prog_u = EmProgram::compile(table_u);
     const EmProgram prog_p = EmProgram::compile(table_pooled);
-    EmKernelScratch scratch;
-    const EmSupportResult sol_a = run_em_program(prog_a, config_, scratch);
-    const EmSupportResult sol_u = run_em_program(prog_u, config_, scratch);
+    const EmSupportResult sol_a =
+        run_em_program(prog_a, config_, scratch.em, {}, simd_kernels_);
+    const EmSupportResult sol_u =
+        run_em_program(prog_u, config_, scratch.em, {}, simd_kernels_);
     EmSupportResult sol_p;
     bool warm_converged = false;
     if (warm_start_pooled_ && prog_p.total_individuals > 0.0) {
       const std::vector<double> warm =
           blend_warm_start(prog_p, prog_a, sol_a, prog_u, sol_u);
-      sol_p = run_em_program(prog_p, config_, scratch, warm);
+      sol_p = run_em_program(prog_p, config_, scratch.em, warm,
+                             simd_kernels_);
       warm_converged = sol_p.converged;
     }
     if (!warm_converged) {
       // Cold equilibrium start — exactly the reference result.
-      sol_p = run_em_program(prog_p, config_, scratch);
+      sol_p = run_em_program(prog_p, config_, scratch.em, {}, simd_kernels_);
     }
     result.pooled_warm_started = warm_converged;
     result.affected = expand_em_result(prog_a, sol_a);
@@ -221,7 +232,8 @@ std::vector<SnpIndex> difference(const std::vector<SnpIndex>& a,
 
 std::shared_ptr<CandidateTables> EhDiall::build_tables(
     const std::vector<SnpIndex>& key,
-    const std::shared_ptr<const CandidateTables>& parent) const {
+    const std::shared_ptr<const CandidateTables>& parent,
+    EvalScratch& scratch) const {
   auto entry = std::make_shared<CandidateTables>();
   entry->key = key;
 
@@ -273,10 +285,10 @@ std::shared_ptr<CandidateTables> EhDiall::build_tables(
     }
   }
   if (!built) {
-    entry->affected =
-        build_group_patterns(packed_affected_, key, config_.missing);
-    entry->unaffected =
-        build_group_patterns(packed_unaffected_, key, config_.missing);
+    entry->affected = build_group_patterns(packed_affected_, key,
+                                           config_.missing, scratch.dfs_rows);
+    entry->unaffected = build_group_patterns(
+        packed_unaffected_, key, config_.missing, scratch.dfs_rows);
     cache_->count_fresh();
   }
   entry->pooled = GenotypePatternTable::merge(entry->affected.table,
@@ -287,8 +299,8 @@ std::shared_ptr<CandidateTables> EhDiall::build_tables(
   return entry;
 }
 
-EhDiallResult EhDiall::analyze_incremental(
-    std::span<const SnpIndex> snps) const {
+EhDiallResult EhDiall::analyze_incremental(std::span<const SnpIndex> snps,
+                                           EvalScratch& scratch) const {
   Stopwatch watch;
   const std::vector<SnpIndex> key(snps.begin(), snps.end());
 
@@ -315,7 +327,7 @@ EhDiallResult EhDiall::analyze_incremental(
         parent = cache_->peek(sub);
       }
     }
-    entry = build_tables(key, parent);
+    entry = build_tables(key, parent, scratch);
     if (parent != nullptr && warm_start_parents_) {
       const std::vector<SnpIndex> removed = difference(parent->key, key);
       const std::vector<SnpIndex> added = difference(key, parent->key);
@@ -356,7 +368,6 @@ EhDiallResult EhDiall::analyze_incremental(
         expand_em_result(cached->prog_unaffected, cached->sol_unaffected);
     result.pooled = expand_em_result(cached->prog_pooled, cached->sol_pooled);
   } else {
-    EmKernelScratch scratch;
     const bool warm_parents = warm_start_parents_ && parent != nullptr &&
                               (removed_pos || added_pos);
     // Warm runs that fail to converge fall back to the equilibrium
@@ -368,14 +379,15 @@ EhDiallResult EhDiall::analyze_incremental(
       if (warm_parents && prog.total_individuals > 0.0) {
         const std::vector<double> warm = warm_from_parent(
             prog, parent_prog, parent_sol, removed_pos, added_pos);
-        EmSupportResult sol = run_em_program(prog, config_, scratch, warm);
+        EmSupportResult sol =
+            run_em_program(prog, config_, scratch.em, warm, simd_kernels_);
         if (sol.converged) {
           cache_->count_warm_start();
           return sol;
         }
         cache_->count_warm_fallback();
       }
-      return run_em_program(prog, config_, scratch);
+      return run_em_program(prog, config_, scratch.em, {}, simd_kernels_);
     };
     entry->sol_affected = run_group(entry->prog_affected,
                                     parent ? parent->prog_affected
@@ -393,8 +405,8 @@ EhDiallResult EhDiall::analyze_incremental(
       const std::vector<double> warm =
           warm_from_parent(entry->prog_pooled, parent->prog_pooled,
                            parent->sol_pooled, removed_pos, added_pos);
-      EmSupportResult sol =
-          run_em_program(entry->prog_pooled, config_, scratch, warm);
+      EmSupportResult sol = run_em_program(entry->prog_pooled, config_,
+                                           scratch.em, warm, simd_kernels_);
       if (sol.converged) {
         cache_->count_warm_start();
         entry->sol_pooled = std::move(sol);
@@ -409,8 +421,8 @@ EhDiallResult EhDiall::analyze_incremental(
       const std::vector<double> warm = blend_warm_start(
           entry->prog_pooled, entry->prog_affected, entry->sol_affected,
           entry->prog_unaffected, entry->sol_unaffected);
-      EmSupportResult sol =
-          run_em_program(entry->prog_pooled, config_, scratch, warm);
+      EmSupportResult sol = run_em_program(entry->prog_pooled, config_,
+                                           scratch.em, warm, simd_kernels_);
       if (sol.converged) {
         entry->sol_pooled = std::move(sol);
         entry->pooled_warm_started = true;
@@ -418,7 +430,8 @@ EhDiallResult EhDiall::analyze_incremental(
       }
     }
     if (!pooled_done) {
-      entry->sol_pooled = run_em_program(entry->prog_pooled, config_, scratch);
+      entry->sol_pooled = run_em_program(entry->prog_pooled, config_,
+                                         scratch.em, {}, simd_kernels_);
       entry->pooled_warm_started = false;
     }
 

@@ -17,6 +17,7 @@
 #include "genomics/dataset.hpp"
 #include "stats/contingency.hpp"
 #include "stats/em_haplotype.hpp"
+#include "stats/eval_scratch.hpp"
 #include "stats/pattern_cache.hpp"
 
 namespace ldga::stats {
@@ -69,15 +70,26 @@ class EhDiall {
   /// seeds each EM run from the cached parent solution transformed onto
   /// the child support (ulp-level differences possible; non-convergent
   /// warm runs fall back to the exact cold result).
+  /// `simd_kernels` routes the EM E-step through the dispatched vector
+  /// kernels (util/simd.hpp, compiled path only): deterministic per
+  /// dispatch level, equal to the scalar reference to ~1e-9 but not
+  /// bit-for-bit, which is why it defaults off.
   explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {},
                    bool packed_kernel = true, bool compiled_em = true,
                    bool warm_start_pooled = false,
                    std::shared_ptr<PatternTableCache> cache = nullptr,
-                   bool warm_start_parents = false);
+                   bool warm_start_parents = false,
+                   bool simd_kernels = false);
 
   /// Full three-way analysis of a candidate SNP set (ascending order not
   /// required here, but indices must be distinct and in range).
   EhDiallResult analyze(std::span<const genomics::SnpIndex> snps) const;
+
+  /// analyze() with the transient buffers (EM vectors, DFS rows)
+  /// borrowed from the caller's arena — same result, bit for bit. The
+  /// arena must not be shared across threads.
+  EhDiallResult analyze(std::span<const genomics::SnpIndex> snps,
+                        EvalScratch& scratch) const;
 
   std::uint32_t affected_count() const {
     return static_cast<std::uint32_t>(affected_.size());
@@ -92,11 +104,12 @@ class EhDiall {
   }
 
  private:
-  EhDiallResult analyze_incremental(
-      std::span<const genomics::SnpIndex> snps) const;
+  EhDiallResult analyze_incremental(std::span<const genomics::SnpIndex> snps,
+                                    EvalScratch& scratch) const;
   std::shared_ptr<CandidateTables> build_tables(
       const std::vector<genomics::SnpIndex>& key,
-      const std::shared_ptr<const CandidateTables>& parent) const;
+      const std::shared_ptr<const CandidateTables>& parent,
+      EvalScratch& scratch) const;
 
   const genomics::Dataset* dataset_;
   EmConfig config_;
@@ -106,6 +119,7 @@ class EhDiall {
   bool compiled_em_ = true;
   bool warm_start_pooled_ = false;
   bool warm_start_parents_ = false;
+  bool simd_kernels_ = false;
   genomics::PackedGenotypeMatrix packed_affected_;
   genomics::PackedGenotypeMatrix packed_unaffected_;
   /// Shared (EhDiall stays copyable, like Clump's pool); nullptr when

@@ -120,6 +120,14 @@ GenotypePatternTable GenotypePatternTable::build(
 GenotypePatternTable GenotypePatternTable::build_packed(
     const genomics::PackedGenotypeMatrix& group,
     std::span<const SnpIndex> snps, MissingPolicy missing) {
+  std::vector<std::uint64_t> dfs_scratch;
+  return build_packed(group, snps, missing, dfs_scratch);
+}
+
+GenotypePatternTable GenotypePatternTable::build_packed(
+    const genomics::PackedGenotypeMatrix& group,
+    std::span<const SnpIndex> snps, MissingPolicy missing,
+    std::vector<std::uint64_t>& dfs_scratch) {
   LDGA_EXPECTS(!snps.empty());
   LDGA_EXPECTS(snps.size() <= kMaxEmLoci);
 
@@ -128,9 +136,11 @@ GenotypePatternTable GenotypePatternTable::build_packed(
 
   // The packed kernel already delivers distinct patterns with carrier
   // counts; no per-individual hashing round is needed.
-  group.for_each_pattern(
-      snps, [&](std::uint32_t hom_two, std::uint32_t het,
-                std::uint32_t missing_mask, std::uint32_t count) {
+  group.for_each_pattern_rows(
+      snps,
+      [&](std::uint32_t hom_two, std::uint32_t het,
+          std::uint32_t missing_mask, std::uint32_t count,
+          std::span<const std::uint64_t>) {
         if (missing_mask != 0 && missing == MissingPolicy::CompleteCase) {
           table.excluded_ += count;
           return;
@@ -142,7 +152,8 @@ GenotypePatternTable GenotypePatternTable::build_packed(
         p.count = static_cast<double>(count);
         table.patterns_.push_back(p);
         table.total_ += static_cast<double>(count);
-      });
+      },
+      dfs_scratch);
   std::sort(table.patterns_.begin(), table.patterns_.end(), pattern_less);
   return table;
 }

@@ -80,6 +80,14 @@ class GenotypePatternTable {
       std::span<const genomics::SnpIndex> snps,
       MissingPolicy missing = MissingPolicy::CompleteCase);
 
+  /// build_packed with the DFS row block borrowed from an arena
+  /// (stats::EvalScratch) instead of allocated per call; same table,
+  /// bit for bit.
+  static GenotypePatternTable build_packed(
+      const genomics::PackedGenotypeMatrix& group,
+      std::span<const genomics::SnpIndex> snps, MissingPolicy missing,
+      std::vector<std::uint64_t>& dfs_scratch);
+
   /// Merges another table over the same loci (used for the pooled-group
   /// H0 estimate).
   static GenotypePatternTable merge(const GenotypePatternTable& a,

@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/numeric.hpp"
+#include "util/simd.hpp"
 
 namespace ldga::stats {
 
@@ -153,7 +154,8 @@ double max_off_support_start(const EmProgram& program) {
 EmSupportResult run_em_program(const EmProgram& program,
                                const EmConfig& config,
                                EmKernelScratch& scratch,
-                               std::span<const double> warm_start) {
+                               std::span<const double> warm_start,
+                               bool simd_kernels) {
   config.validate();
   const std::size_t support_size = program.support.size();
 
@@ -193,38 +195,96 @@ EmSupportResult run_em_program(const EmProgram& program,
   double* freq = result.frequencies.data();
   const std::size_t n_patterns = program.pattern_count.size();
 
+  const util::SimdKernels& kernels = util::simd();
+
   for (std::uint32_t iter = 1; iter <= config.max_iterations; ++iter) {
     std::fill_n(expected, support_size, 0.0);
 
-    // E-step: one contiguous sweep; the pass-1 products are cached so
-    // pass 2 only divides (identical rounding to recomputation).
-    for (std::size_t p = 0; p < n_patterns; ++p) {
-      const std::uint32_t first = program.pattern_first[p];
-      const std::uint32_t n = program.pattern_pairs[p];
-      const double count = program.pattern_count[p];
-      const double mult = program.pattern_mult[p];
-      double denom = 0.0;
-      for (std::uint32_t t = 0; t < n; ++t) {
-        const double prod =
-            mult * freq[idx1[first + t]] * freq[idx2[first + t]];
-        products[t] = prod;
-        denom += prod;
+    if (simd_kernels) {
+      // Vectorized E-step: pass 1 (gather + multiply + fixed-lane-order
+      // denominator) and the posterior scaling run through the dispatch
+      // table; the scatter stays scalar because repeated support
+      // indices within one pattern would collide in vector lanes.
+      // Rounding differs from the reference (vector lane sums; weights
+      // as products[t] * (count/denom) instead of count * (p/denom)),
+      // but deterministically so — see the contract in em_kernel.hpp.
+      // Small fans stay on the inline reference loop: below ~2 vector
+      // strides the gather setup and the indirect call cost more than
+      // they save, and most patterns of a k-locus candidate have far
+      // fewer compatible pairs than the 2^(k-1) maximum.
+      constexpr std::uint32_t kSimdMinPairs = 16;
+      for (std::size_t p = 0; p < n_patterns; ++p) {
+        const std::uint32_t first = program.pattern_first[p];
+        const std::uint32_t n = program.pattern_pairs[p];
+        const double count = program.pattern_count[p];
+        const double mult = program.pattern_mult[p];
+        double denom;
+        if (n >= kSimdMinPairs) {
+          denom = kernels.weighted_pair_products(
+              freq, idx1 + first, idx2 + first, n, mult, products);
+        } else {
+          denom = 0.0;
+          for (std::uint32_t t = 0; t < n; ++t) {
+            const double prod =
+                mult * freq[idx1[first + t]] * freq[idx2[first + t]];
+            products[t] = prod;
+            denom += prod;
+          }
+        }
+        if (denom <= 0.0) {
+          const double w = count / static_cast<double>(n);
+          for (std::uint32_t t = 0; t < n; ++t) {
+            expected[idx1[first + t]] += w;
+            expected[idx2[first + t]] += w;
+          }
+          continue;
+        }
+        if (n >= kSimdMinPairs) {
+          kernels.scale_values(products, n, count / denom);
+          for (std::uint32_t t = 0; t < n; ++t) {
+            expected[idx1[first + t]] += products[t];
+            expected[idx2[first + t]] += products[t];
+          }
+        } else {
+          const double scale = count / denom;
+          for (std::uint32_t t = 0; t < n; ++t) {
+            const double w = products[t] * scale;
+            expected[idx1[first + t]] += w;
+            expected[idx2[first + t]] += w;
+          }
+        }
       }
-      if (denom <= 0.0) {
-        // Uniform posterior over the compatible pairs (reference's
-        // zero-probability fallback).
-        const double w = count / static_cast<double>(n);
+    } else {
+      // E-step: one contiguous sweep; the pass-1 products are cached so
+      // pass 2 only divides (identical rounding to recomputation).
+      for (std::size_t p = 0; p < n_patterns; ++p) {
+        const std::uint32_t first = program.pattern_first[p];
+        const std::uint32_t n = program.pattern_pairs[p];
+        const double count = program.pattern_count[p];
+        const double mult = program.pattern_mult[p];
+        double denom = 0.0;
         for (std::uint32_t t = 0; t < n; ++t) {
+          const double prod =
+              mult * freq[idx1[first + t]] * freq[idx2[first + t]];
+          products[t] = prod;
+          denom += prod;
+        }
+        if (denom <= 0.0) {
+          // Uniform posterior over the compatible pairs (reference's
+          // zero-probability fallback).
+          const double w = count / static_cast<double>(n);
+          for (std::uint32_t t = 0; t < n; ++t) {
+            expected[idx1[first + t]] += w;
+            expected[idx2[first + t]] += w;
+          }
+          continue;
+        }
+        for (std::uint32_t t = 0; t < n; ++t) {
+          const double posterior = products[t] / denom;
+          const double w = count * posterior;
           expected[idx1[first + t]] += w;
           expected[idx2[first + t]] += w;
         }
-        continue;
-      }
-      for (std::uint32_t t = 0; t < n; ++t) {
-        const double posterior = products[t] / denom;
-        const double w = count * posterior;
-        expected[idx1[first + t]] += w;
-        expected[idx2[first + t]] += w;
       }
     }
 

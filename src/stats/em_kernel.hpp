@@ -99,10 +99,18 @@ struct EmKernelScratch {
 /// estimate_haplotype_frequencies on the same table); otherwise
 /// `warm_start` supplies one strictly positive frequency per support
 /// entry and convergence is judged over the support only.
+///
+/// With `simd_kernels` the E-step's gather/multiply sweep runs through
+/// the dispatched vector kernels (util/simd.hpp): deterministic
+/// run-to-run and across worker counts for a fixed dispatch level, but
+/// rounded differently from this scalar reference in the last ulps —
+/// results agree to ~1e-9. Default off; the scalar path is the
+/// bit-exact reference (EvaluatorConfig::simd_kernels gates it).
 EmSupportResult run_em_program(const EmProgram& program,
                                const EmConfig& config,
                                EmKernelScratch& scratch,
-                               std::span<const double> warm_start = {});
+                               std::span<const double> warm_start = {},
+                               bool simd_kernels = false);
 
 /// Expands a support solution to the dense 2^k EmResult the rest of
 /// the pipeline consumes (off-support frequencies are exactly 0.0; the

@@ -41,7 +41,8 @@ class InProcessBackend : public EvaluationBackend {
 
  protected:
   double evaluate_with_retry(const Candidate& candidate, std::uint64_t phase,
-                             std::uint64_t index) const {
+                             std::uint64_t index,
+                             EvalScratch& scratch) const {
     std::vector<parallel::TaskAttempt> attempts;
     for (;;) {
       try {
@@ -49,7 +50,7 @@ class InProcessBackend : public EvaluationBackend {
           parallel::FaultInjector::apply_before_work(
               injector_->decide(phase, index));
         }
-        return evaluator_->fitness_and_cache(candidate);
+        return evaluator_->fitness_and_cache(candidate, scratch);
       } catch (const std::exception& error) {
         failures_.fetch_add(1, std::memory_order_relaxed);
         attempts.push_back({0, error.what()});
@@ -92,7 +93,7 @@ class SerialBackend final : public InProcessBackend {
     const std::uint64_t phase = begin_phase();
     std::vector<double> results(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      results[i] = evaluate_with_retry(batch[i], phase, i);
+      results[i] = evaluate_with_retry(batch[i], phase, i, scratch_);
     }
     end_phase();
     return results;
@@ -100,6 +101,11 @@ class SerialBackend final : public InProcessBackend {
 
   std::string_view name() const override { return "serial"; }
   std::uint32_t worker_count() const override { return 1; }
+
+ private:
+  /// One arena for the whole batch loop — buffers persist across
+  /// candidates and generations at their high-water mark.
+  EvalScratch scratch_;
 };
 
 class ThreadPoolBackend final : public InProcessBackend {
@@ -107,15 +113,21 @@ class ThreadPoolBackend final : public InProcessBackend {
   ThreadPoolBackend(const HaplotypeEvaluator& evaluator,
                     BackendOptions options)
       : InProcessBackend(evaluator, options),
-        pool_(resolve_workers(options.workers)) {}
+        pool_(resolve_workers(options.workers)),
+        scratches_(pool_.thread_count() + 1) {}
 
   std::vector<double> evaluate_batch(
       std::span<const Candidate> batch) override {
     const std::uint64_t phase = begin_phase();
     std::vector<double> results(batch.size());
-    pool_.parallel_for(0, batch.size(), [&](std::size_t i) {
-      results[i] = evaluate_with_retry(batch[i], phase, i);
-    });
+    // parallel_for_chunked runs each chunk on exactly one thread
+    // (chunk 0 on the caller), so indexing the arenas by chunk gives
+    // every worker a private scratch with no locking.
+    pool_.parallel_for_chunked(
+        0, batch.size(), [&](std::size_t chunk, std::size_t i) {
+          results[i] =
+              evaluate_with_retry(batch[i], phase, i, scratches_[chunk]);
+        });
     end_phase();
     return results;
   }
@@ -127,14 +139,19 @@ class ThreadPoolBackend final : public InProcessBackend {
 
  private:
   parallel::ThreadPool pool_;
+  /// One arena per parallel_for chunk (threads + the calling thread).
+  std::vector<EvalScratch> scratches_;
 };
 
 class FarmBackend final : public EvaluationBackend {
  public:
   FarmBackend(const HaplotypeEvaluator& evaluator, BackendOptions options)
       : farm_(resolve_workers(options.workers),
-              [ev = &evaluator](const Candidate& candidate) {
-                return ev->fitness_and_cache(candidate);
+              // Each slave owns a copy of this worker (spawn_slave copies
+              // it), so the mutable by-value scratch is a per-slave arena.
+              [ev = &evaluator,
+               scratch = EvalScratch{}](const Candidate& candidate) mutable {
+                return ev->fitness_and_cache(candidate, scratch);
               },
               options.farm_policy, std::move(options.fault_injector)) {}
 

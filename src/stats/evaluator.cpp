@@ -35,6 +35,17 @@ EvaluatorConfig EvaluatorConfig::validated() const {
   return *this;
 }
 
+namespace {
+
+/// EvaluatorConfig::simd_kernels switches the CLUMP kernels on together
+/// with the EM ones.
+ClumpConfig clump_config_with_simd(ClumpConfig clump, bool simd_kernels) {
+  clump.simd_kernels = clump.simd_kernels || simd_kernels;
+  return clump;
+}
+
+}  // namespace
+
 HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
                                        EvaluatorConfig config)
     : dataset_(&dataset),
@@ -48,16 +59,22 @@ HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
               : nullptr),
       eh_diall_(dataset, config.em, config.packed_kernel, config.compiled_em,
                 config.warm_start_pooled, pattern_cache_,
-                config.incremental.warm_start_parents),
-      clump_(config.clump),
+                config.incremental.warm_start_parents, config.simd_kernels),
+      clump_(clump_config_with_simd(config.clump, config.simd_kernels)),
       cache_(config.cache_capacity, config.cache_shards) {}
 
 EvaluationResult HaplotypeEvaluator::evaluate_full(
     std::span<const SnpIndex> snps) const {
+  EvalScratch scratch;
+  return evaluate_full(snps, scratch);
+}
+
+EvaluationResult HaplotypeEvaluator::evaluate_full(
+    std::span<const SnpIndex> snps, EvalScratch& scratch) const {
   LDGA_EXPECTS(!snps.empty());
   LDGA_EXPECTS(snps.size() <= config_.max_loci);
 
-  const EhDiallResult eh = eh_diall_.analyze(snps);
+  const EhDiallResult eh = eh_diall_.analyze(snps, scratch);
   const ContingencyTable table =
       eh.to_contingency_table().drop_empty_columns();
 
@@ -130,8 +147,8 @@ void HaplotypeEvaluator::account_monte_carlo(const ClumpResult& clump) const {
       std::memory_order_relaxed);
 }
 
-double HaplotypeEvaluator::compute_fitness(
-    std::span<const SnpIndex> snps) const {
+double HaplotypeEvaluator::compute_fitness(std::span<const SnpIndex> snps,
+                                           EvalScratch& scratch) const {
   // Graceful degradation (DESIGN.md §5): a failed pipeline run must not
   // poison a whole parallel evaluation phase, so failures are detected
   // here, recorded in telemetry, and either mapped to the penalty
@@ -139,7 +156,7 @@ double HaplotypeEvaluator::compute_fitness(
   auto reason = EvaluationError::Reason::kPipeline;
   std::string detail;
   try {
-    const EvaluationResult result = evaluate_full(snps);
+    const EvaluationResult result = evaluate_full(snps, scratch);
     if (config_.require_em_convergence && !result.em_converged) {
       reason = EvaluationError::Reason::kEmNotConverged;
       detail = "EM did not converge";
@@ -184,12 +201,18 @@ std::optional<double> HaplotypeEvaluator::cached_fitness(
 
 double HaplotypeEvaluator::fitness_and_cache(
     std::span<const SnpIndex> snps) const {
+  EvalScratch scratch;
+  return fitness_and_cache(snps, scratch);
+}
+
+double HaplotypeEvaluator::fitness_and_cache(std::span<const SnpIndex> snps,
+                                             EvalScratch& scratch) const {
   LDGA_EXPECTS(std::is_sorted(snps.begin(), snps.end()));
   // Several threads may race on the same new key and each run the
   // pipeline, but the result is deterministic so last-writer-wins is
   // harmless; the evaluation counter reflects real pipeline executions
   // either way.
-  const double value = compute_fitness(snps);
+  const double value = compute_fitness(snps, scratch);
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   cache_.insert(snps, value);
   return value;

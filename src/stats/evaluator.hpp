@@ -27,6 +27,7 @@
 #include "genomics/dataset.hpp"
 #include "stats/clump.hpp"
 #include "stats/eh_diall.hpp"
+#include "stats/eval_scratch.hpp"
 #include "stats/fitness_cache.hpp"
 #include "stats/pattern_cache.hpp"
 
@@ -112,6 +113,16 @@ struct EvaluatorConfig {
   /// against the reference. Non-convergent warm runs fall back to the
   /// exact cold-start result.
   bool warm_start_pooled = false;
+  /// Route the floating-point hot loops (EM E-step, CLUMP's 2×2 scans
+  /// and Pearson accumulation) through the runtime-dispatched vector
+  /// kernels (util/simd.hpp). Deterministic for a fixed dispatch level
+  /// — pin one with LDGA_SIMD=scalar|avx2|... — and equal to the scalar
+  /// reference to ~1e-9, but not bit-for-bit (fixed-lane-order sums
+  /// instead of the reference order), so it is off by default. The
+  /// integer pattern kernels are dispatched unconditionally; they are
+  /// bit-exact at every level and need no flag. EM vectorization
+  /// applies to the compiled path only.
+  bool simd_kernels = false;
   /// Incremental evaluation pipeline (pattern_cache.hpp): subset-reuse
   /// pattern/program cache and EM warm-starts from parent candidates.
   IncrementalConfig incremental;
@@ -153,6 +164,12 @@ class HaplotypeEvaluator {
   EvaluationResult evaluate_full(
       std::span<const genomics::SnpIndex> snps) const;
 
+  /// evaluate_full() with the per-candidate buffers borrowed from the
+  /// caller's arena (eval_scratch.hpp) — same result, bit for bit. The
+  /// arena must be thread-private; backends keep one per worker.
+  EvaluationResult evaluate_full(std::span<const genomics::SnpIndex> snps,
+                                 EvalScratch& scratch) const;
+
   /// Complete CLUMP analysis (all four statistics + optional Monte
   /// Carlo) of a candidate. Not cached.
   ClumpResult clump_analysis(std::span<const genomics::SnpIndex> snps) const;
@@ -173,6 +190,10 @@ class HaplotypeEvaluator {
   /// double counted. Counts one evaluation. Thread-safe; this is what
   /// backend workers call.
   double fitness_and_cache(std::span<const genomics::SnpIndex> snps) const;
+
+  /// fitness_and_cache() with an arena (see evaluate_full overload).
+  double fitness_and_cache(std::span<const genomics::SnpIndex> snps,
+                           EvalScratch& scratch) const;
 
   /// Pipeline executions performed (cache misses). This is the paper's
   /// "# of evaluations" column.
@@ -234,7 +255,8 @@ class HaplotypeEvaluator {
  private:
   double fitness_from(const EvaluationResult& result,
                       const ClumpResult& clump) const;
-  double compute_fitness(std::span<const genomics::SnpIndex> snps) const;
+  double compute_fitness(std::span<const genomics::SnpIndex> snps,
+                         EvalScratch& scratch) const;
   void accumulate_timings(const StageTimings& timings) const;
   void account_monte_carlo(const ClumpResult& clump) const;
 

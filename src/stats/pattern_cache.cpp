@@ -6,6 +6,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace ldga::stats {
 
@@ -63,6 +64,14 @@ GroupPatterns assemble_sorted(std::uint32_t locus_count, double total,
 GroupPatterns build_group_patterns(
     const genomics::PackedGenotypeMatrix& group,
     std::span<const SnpIndex> snps, MissingPolicy missing) {
+  std::vector<std::uint64_t> dfs_scratch;
+  return build_group_patterns(group, snps, missing, dfs_scratch);
+}
+
+GroupPatterns build_group_patterns(
+    const genomics::PackedGenotypeMatrix& group,
+    std::span<const SnpIndex> snps, MissingPolicy missing,
+    std::vector<std::uint64_t>& dfs_scratch) {
   const auto k = static_cast<std::uint32_t>(snps.size());
   const std::uint32_t words = group.words_per_snp();
   std::vector<GenotypePattern> patterns;
@@ -70,9 +79,10 @@ GroupPatterns build_group_patterns(
   double total = 0.0;
   std::uint32_t excluded = 0;
   group.for_each_pattern_rows(
-      snps, [&](std::uint32_t hom_two, std::uint32_t het,
-                std::uint32_t missing_mask, std::uint32_t count,
-                std::span<const std::uint64_t> row) {
+      snps,
+      [&](std::uint32_t hom_two, std::uint32_t het,
+          std::uint32_t missing_mask, std::uint32_t count,
+          std::span<const std::uint64_t> row) {
         if (missing_mask != 0 && missing == MissingPolicy::CompleteCase) {
           excluded += count;
           return;
@@ -85,7 +95,8 @@ GroupPatterns build_group_patterns(
         patterns.push_back(p);
         rows.insert(rows.end(), row.begin(), row.end());
         total += static_cast<double>(count);
-      });
+      },
+      dfs_scratch);
   return assemble_sorted(k, total, excluded, std::move(patterns), rows,
                          words);
 }
@@ -119,13 +130,12 @@ GroupPatterns extend_group_patterns(const GroupPatterns& parent,
 
   // Refine every parent carrier set by the added locus's four plane
   // combinations — exactly the last level of the DFS the fresh build
-  // would have run, applied to the already-grouped parent leaves.
-  const auto emit = [&](std::uint32_t hom_two, std::uint32_t het,
-                        std::uint32_t missing_mask) {
-    std::uint32_t count = 0;
-    for (std::uint32_t w = 0; w < words; ++w) {
-      count += static_cast<std::uint32_t>(std::popcount(child[w]));
-    }
+  // would have run, applied to the already-grouped parent leaves. The
+  // fused kernel returns each refinement's popcount directly.
+  const util::SimdKernels& kernels = util::simd();
+  const auto emit = [&](std::uint64_t fused_count, std::uint32_t hom_two,
+                        std::uint32_t het, std::uint32_t missing_mask) {
+    const auto count = static_cast<std::uint32_t>(fused_count);
     if (count == 0) return;
     if (missing_mask & bit) {
       if (missing == MissingPolicy::CompleteCase) {
@@ -150,22 +160,24 @@ GroupPatterns extend_group_patterns(const GroupPatterns& parent,
     const std::uint32_t het = expand_mask_bit(p.het_mask, pa);
     const std::uint32_t miss = expand_mask_bit(p.missing_mask, pa);
 
-    for (std::uint32_t w = 0; w < words; ++w) {
-      child[w] = row[w] & ~lo[w] & ~hi[w];  // HomOne at `added`
-    }
-    emit(hom_two, het, miss);
-    for (std::uint32_t w = 0; w < words; ++w) {
-      child[w] = row[w] & lo[w] & ~hi[w];  // Het
-    }
-    emit(hom_two, het | bit, miss);
-    for (std::uint32_t w = 0; w < words; ++w) {
-      child[w] = row[w] & hi[w] & ~lo[w];  // HomTwo
-    }
-    emit(hom_two | bit, het, miss);
-    for (std::uint32_t w = 0; w < words; ++w) {
-      child[w] = row[w] & lo[w] & hi[w];  // Missing
-    }
-    emit(hom_two, het, miss | bit);
+    constexpr std::uint64_t kKeep = 0;
+    constexpr std::uint64_t kFlip = ~std::uint64_t{0};
+    // HomOne at `added`: ~lo & ~hi
+    emit(kernels.combine_planes_count(row, lo, hi, kFlip, kFlip, words,
+                                      child.data()),
+         hom_two, het, miss);
+    // Het: lo & ~hi
+    emit(kernels.combine_planes_count(row, lo, hi, kKeep, kFlip, words,
+                                      child.data()),
+         hom_two, het | bit, miss);
+    // HomTwo: ~lo & hi
+    emit(kernels.combine_planes_count(row, lo, hi, kFlip, kKeep, words,
+                                      child.data()),
+         hom_two | bit, het, miss);
+    // Missing: lo & hi
+    emit(kernels.combine_planes_count(row, lo, hi, kKeep, kKeep, words,
+                                      child.data()),
+         hom_two, het, miss | bit);
   }
   return assemble_sorted(pk + 1, total, excluded, std::move(patterns),
                          rows, words);
@@ -335,8 +347,8 @@ std::vector<SnpIndex> PatternTableCache::hint_for(
 
 PatternCacheStats PatternTableCache::stats() const {
   PatternCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
+  out.entry_reuses = hits_.load(std::memory_order_relaxed);
+  out.entry_builds = misses_.load(std::memory_order_relaxed);
   out.extended = extended_.load(std::memory_order_relaxed);
   out.projected = projected_.load(std::memory_order_relaxed);
   out.fresh = fresh_.load(std::memory_order_relaxed);

@@ -121,8 +121,18 @@ struct IncrementalConfig {
 
 /// Counters of the incremental layers, cumulative since construction.
 struct PatternCacheStats {
-  std::uint64_t hits = 0;       ///< full entry reuse (tables + EM)
-  std::uint64_t misses = 0;     ///< entry had to be constructed
+  /// find() served a complete entry (tables + programs + EM solutions)
+  /// for the exact locus set. Near zero in a healthy GA run — by the
+  /// time the pattern cache is consulted the candidate has already
+  /// missed the *fitness* cache, which screens out every repeated
+  /// locus set, so entry reuse only happens on races or after fitness-
+  /// cache evictions. Incremental effectiveness lives in extended /
+  /// projected vs fresh below, not here. (Formerly misnamed `hits`,
+  /// which read as the incremental reuse rate and sat at 0.)
+  std::uint64_t entry_reuses = 0;
+  /// find() missed and the entry had to be constructed (by extension,
+  /// projection or a fresh DFS — see the route counters below).
+  std::uint64_t entry_builds = 0;
   std::uint64_t extended = 0;   ///< group tables built by extension
   std::uint64_t projected = 0;  ///< group tables built by projection
   std::uint64_t fresh = 0;      ///< group tables built by the full DFS
@@ -246,6 +256,13 @@ constexpr std::uint32_t compact_mask_bit(std::uint32_t mask,
 GroupPatterns build_group_patterns(const genomics::PackedGenotypeMatrix& group,
                                    std::span<const genomics::SnpIndex> snps,
                                    MissingPolicy missing);
+
+/// As above with the DFS row block borrowed from an arena
+/// (stats::EvalScratch); same result, bit for bit.
+GroupPatterns build_group_patterns(const genomics::PackedGenotypeMatrix& group,
+                                   std::span<const genomics::SnpIndex> snps,
+                                   MissingPolicy missing,
+                                   std::vector<std::uint64_t>& dfs_scratch);
 
 /// Parent (over parent_snps, sorted) extended with `added`
 /// (not a member of parent_snps). Always exact.

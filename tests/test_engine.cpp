@@ -482,12 +482,12 @@ TEST(GaEngine, IncrementalPatternCacheLeavesTrajectoryBitIdentical) {
 
   // The identical trajectory must have exercised the cache for real.
   const auto stats = on_eval.incremental_stats();
-  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.entry_builds, 0u);
   EXPECT_GT(stats.provenance_hints, 0u);
   EXPECT_GT(stats.fresh, 0u);
   EXPECT_GT(stats.extended + stats.projected, 0u);
-  EXPECT_EQ(on.pattern_cache.misses, stats.misses);
-  EXPECT_EQ(off.pattern_cache.hits + off.pattern_cache.misses, 0u);
+  EXPECT_EQ(on.pattern_cache.entry_builds, stats.entry_builds);
+  EXPECT_EQ(off.pattern_cache.entry_reuses + off.pattern_cache.entry_builds, 0u);
 }
 
 TEST(GaEngine, CacheCountersAreExactUnderThreadPoolBackend) {
@@ -540,11 +540,11 @@ TEST(GaEngine, PerGenerationTelemetryDeltasMatchCumulativeCounters) {
         << "generation " << g;
     EXPECT_EQ(cur.gen_cache_misses, cur.cache_misses - prev.cache_misses)
         << "generation " << g;
-    EXPECT_EQ(cur.gen_pattern_hits,
-              cur.pattern_cache.hits - prev.pattern_cache.hits)
+    EXPECT_EQ(cur.gen_pattern_entry_reuses,
+              cur.pattern_cache.entry_reuses - prev.pattern_cache.entry_reuses)
         << "generation " << g;
-    EXPECT_EQ(cur.gen_pattern_misses,
-              cur.pattern_cache.misses - prev.pattern_cache.misses)
+    EXPECT_EQ(cur.gen_pattern_entry_builds,
+              cur.pattern_cache.entry_builds - prev.pattern_cache.entry_builds)
         << "generation " << g;
     EXPECT_EQ(cur.gen_warm_starts,
               cur.pattern_cache.warm_starts - prev.pattern_cache.warm_starts)
@@ -553,8 +553,8 @@ TEST(GaEngine, PerGenerationTelemetryDeltasMatchCumulativeCounters) {
   const auto& last = result.history.back();
   EXPECT_EQ(last.cache_hits, result.cache_stats.hits);
   EXPECT_EQ(last.cache_misses, result.cache_stats.misses);
-  EXPECT_EQ(last.pattern_cache.hits, result.pattern_cache.hits);
-  EXPECT_EQ(last.pattern_cache.misses, result.pattern_cache.misses);
+  EXPECT_EQ(last.pattern_cache.entry_reuses, result.pattern_cache.entry_reuses);
+  EXPECT_EQ(last.pattern_cache.entry_builds, result.pattern_cache.entry_builds);
   EXPECT_EQ(last.mc_replicates_run, result.mc_replicates_run);
 }
 

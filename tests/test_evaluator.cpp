@@ -267,7 +267,7 @@ TEST(Evaluator, IncrementalCacheActiveByDefaultAndGated) {
   off.incremental.pattern_cache = false;
   const HaplotypeEvaluator without(synthetic.dataset, off);
   EXPECT_FALSE(without.incremental_active());
-  EXPECT_EQ(without.incremental_stats().hits, 0u);
+  EXPECT_EQ(without.incremental_stats().entry_reuses, 0u);
 
   // The incremental routes are defined on the packed/compiled kernels
   // only; asking for the cache without them silently deactivates it.
@@ -292,7 +292,7 @@ TEST(Evaluator, IncrementalCacheMatchesReferenceFitness) {
     EXPECT_EQ(incremental.fitness(snps), reference.fitness(snps))
         << "set size " << snps.size();
   }
-  EXPECT_GT(incremental.incremental_stats().misses, 0u);
+  EXPECT_GT(incremental.incremental_stats().entry_builds, 0u);
 }
 
 TEST(Evaluator, MonteCarloReplicateCountersTrackClumpRuns) {

@@ -270,8 +270,8 @@ TEST(PatternTableCacheTest, InsertFindPeekAndFifoEviction) {
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.capacity, 2u);
   // peek() is invisible to the hit/miss counters.
-  EXPECT_EQ(stats.hits, 2u);
-  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entry_reuses, 2u);
+  EXPECT_EQ(stats.entry_builds, 1u);
 
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
@@ -380,7 +380,7 @@ TEST(IncrementalPipeline, BitExactAcrossSizesAndPolicies) {
       }
     }
     const PatternCacheStats stats = cache->stats();
-    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.entry_reuses, 0u);
     EXPECT_GT(stats.extended + stats.projected, 0u);
     EXPECT_GT(stats.fresh, 0u);
   }

@@ -26,8 +26,8 @@ GenerationInfo sample_info(std::uint32_t generation) {
   info.stage_timings.clump_seconds = 0.5;
   info.gen_cache_hits = 9;
   info.gen_cache_misses = 3;
-  info.gen_pattern_hits = 8;
-  info.gen_pattern_misses = 8;
+  info.gen_pattern_entry_reuses = 8;
+  info.gen_pattern_entry_builds = 8;
   info.gen_warm_starts = 4;
   info.gen_warm_fallbacks = 0;
   info.mc_replicates_run = 100 * generation;
@@ -46,8 +46,8 @@ TEST(TelemetryWriter, HeaderMatchesShape) {
                       "evaluations,immigrants,"
                       "cache_hits,cache_misses,cache_evictions,"
                       "pattern_build_seconds,em_seconds,clump_seconds,"
-                      "cache_hit_ratio,pattern_hits,pattern_misses,"
-                      "pattern_hit_ratio,warm_starts,warm_fallbacks,"
+                      "cache_hit_ratio,pattern_entry_reuses,pattern_entry_builds,"
+                      "pattern_entry_reuse_ratio,warm_starts,warm_fallbacks,"
                       "warm_hit_ratio,mc_replicates_run,"
                       "mc_replicates_saved"),
             std::string::npos);
@@ -86,8 +86,8 @@ TEST(TelemetryWriter, ZeroTrafficRatiosAreZeroNotNan) {
   auto info = sample_info(2);
   info.gen_cache_hits = 0;
   info.gen_cache_misses = 0;
-  info.gen_pattern_hits = 0;
-  info.gen_pattern_misses = 0;
+  info.gen_pattern_entry_reuses = 0;
+  info.gen_pattern_entry_builds = 0;
   info.gen_warm_starts = 0;
   info.gen_warm_fallbacks = 0;
   info.mc_replicates_run = 0;
