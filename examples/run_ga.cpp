@@ -20,6 +20,9 @@
 //   --stagnation G      termination stagnation [100]
 //   --immigrants G      random-immigrant stagnation [20]
 //   --backend serial|pool|farm   evaluation backend [pool]
+//   --transport in-process|socket-unix|socket-tcp   farm message layer
+//                       [in-process]; socket-* forks worker processes
+//                       supervised with heartbeats + respawn
 //   --workers N         worker/slave count [hardware]
 //   --stat t1|t2|t3|t4|lrt       fitness statistic [t1]
 //   --seed S            base seed [1]
@@ -41,11 +44,22 @@
 namespace {
 
 std::shared_ptr<ldga::stats::EvaluationBackend> make_backend(
-    const std::string& name,
+    const std::string& name, const std::string& transport,
     const ldga::stats::HaplotypeEvaluator& evaluator,
     std::uint32_t workers) {
   ldga::stats::BackendOptions options;
   options.workers = workers;
+  if (transport == "socket-unix" || transport == "socket-tcp") {
+    options.transport = ldga::stats::FarmTransport::kSocket;
+    options.socket.family =
+        transport == "socket-tcp"
+            ? ldga::parallel::SocketTransportConfig::Family::kTcp
+            : ldga::parallel::SocketTransportConfig::Family::kUnix;
+  } else if (transport != "in-process") {
+    throw ldga::ConfigError(
+        "--transport must be in-process|socket-unix|socket-tcp, got '" +
+        transport + "'");
+  }
   if (name == "serial") {
     return ldga::stats::make_serial_backend(evaluator, options);
   }
@@ -144,8 +158,8 @@ int main(int argc, char** argv) {
     // One backend for all runs: pool threads / farm slaves spawn once
     // and the evaluator's cache is shared across the whole series.
     const auto backend = make_backend(
-        args.get("backend", "pool"), evaluator,
-        static_cast<std::uint32_t>(args.get_int("workers", 0)));
+        args.get("backend", "pool"), args.get("transport", "in-process"),
+        evaluator, static_cast<std::uint32_t>(args.get_int("workers", 0)));
     const bool trace = args.get_bool("trace");
     const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
     const auto base_seed =

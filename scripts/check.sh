@@ -7,11 +7,34 @@
 #   scripts/check.sh thread         # TSan build + ctest (parallel tests)
 #   scripts/check.sh all            # plain, then address, then thread
 #
+# Add --transport=socket (any position) to soak the cross-process
+# transport layer instead of the whole suite: the socket/chaos tests run
+# with LDGA_CHAOS_SOAK=1, which multiplies the chaos-GA repetitions so
+# respawn, requeue, and frame-corruption recovery get exercised hard.
+#
+#   scripts/check.sh --transport=socket          # plain chaos soak
+#   scripts/check.sh thread --transport=socket   # chaos soak under TSan
+#
 # Each mode uses its own build directory (build/, build-asan/, build-tsan/)
 # so the presets can coexist.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+TRANSPORT=""
+MODE=""
+for arg in "$@"; do
+  case "${arg}" in
+    --transport=*) TRANSPORT="${arg#--transport=}" ;;
+    *) MODE="${arg}" ;;
+  esac
+done
+MODE="${MODE:-plain}"
+
+if [[ -n "${TRANSPORT}" && "${TRANSPORT}" != "socket" ]]; then
+  echo "unknown transport '${TRANSPORT}' (expected socket)" >&2
+  exit 2
+fi
 
 run_mode() {
   local mode="$1" dir sanitize
@@ -27,18 +50,25 @@ run_mode() {
     -DLDGA_WARNINGS_AS_ERRORS=ON > /dev/null
   echo "== ${mode}: building"
   cmake --build "${dir}" -j "$(nproc)"
-  echo "== ${mode}: testing"
-  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  if [[ "${TRANSPORT}" == "socket" ]]; then
+    echo "== ${mode}: chaos-soaking the socket transport"
+    LDGA_CHAOS_SOAK=1 ctest --test-dir "${dir}" --output-on-failure \
+      -j "$(nproc)" \
+      -R 'Transport|Chaos|MasterSlave|FarmFaultTolerance|BackendConformance|Mailbox|ProcessSupervisor|Socket|Crc32|SealedPayload|FrameCodec'
+  else
+    echo "== ${mode}: testing"
+    ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  fi
 }
 
-case "${1:-plain}" in
+case "${MODE}" in
   all)
     run_mode plain
     run_mode address
     run_mode thread
     ;;
   *)
-    run_mode "${1:-plain}"
+    run_mode "${MODE}"
     ;;
 esac
 echo "== all checks passed"

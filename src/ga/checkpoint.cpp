@@ -1,11 +1,17 @@
 #include "ga/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "ga/engine.hpp"
 #include "parallel/message.hpp"
+#include "util/crc32.hpp"
 #include "util/rng.hpp"
 
 namespace ldga::ga {
@@ -27,6 +33,46 @@ void pack_rates(Packer& packer, const std::vector<double>& rates,
                 const std::vector<std::uint64_t>& applications) {
   packer.pack_vector(rates);
   packer.pack_vector(applications);
+}
+
+/// Writes bytes to `tmp` and fsyncs before close, so the later rename
+/// can never publish a name pointing at unwritten data.
+void write_file_durably(const std::string& tmp,
+                        const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw CheckpointError("checkpoint: cannot write " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw CheckpointError("checkpoint: short write to " + tmp + ": " + why);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw CheckpointError("checkpoint: fsync of " + tmp + " failed: " + why);
+  }
+  ::close(fd);
+}
+
+/// Fsyncs the directory holding `path` so the rename itself is durable.
+void sync_parent_directory(const std::string& path) {
+  std::string directory =
+      std::filesystem::path(path).parent_path().string();
+  if (directory.empty()) directory = ".";
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: the file itself is already synced
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace
@@ -92,19 +138,23 @@ void save_checkpoint(const std::string& path,
       packer.pack(member.fitness());
     }
   }
-  const std::vector<std::uint8_t> bytes = std::move(packer).take();
+  std::vector<std::uint8_t> bytes = std::move(packer).take();
+
+  // CRC-32 trailer over the whole image, little-endian. Checked before
+  // any field is unpacked, so truncation (a crash mid-write on a
+  // filesystem without ordered metadata) or bit rot is detected even
+  // when the damage lands inside a value rather than the structure.
+  const std::uint32_t checksum = util::crc32(bytes);
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes.push_back(static_cast<std::uint8_t>(checksum >> shift));
+  }
 
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw CheckpointError("checkpoint: cannot write " + tmp);
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out.flush()) {
-      throw CheckpointError("checkpoint: short write to " + tmp);
-    }
+  try {
+    write_file_durably(tmp, bytes);
+  } catch (const CheckpointError&) {
+    std::remove(tmp.c_str());
+    throw;
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -113,6 +163,7 @@ void save_checkpoint(const std::string& path,
     throw CheckpointError("checkpoint: cannot rename " + tmp + " to " +
                           path + ": " + ec.message());
   }
+  sync_parent_directory(path);
 }
 
 GaCheckpoint load_checkpoint(const std::string& path) {
@@ -122,6 +173,47 @@ GaCheckpoint load_checkpoint(const std::string& path) {
   }
   std::vector<std::uint8_t> bytes(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  if (bytes.size() < 4) {
+    throw CheckpointError("checkpoint: " + path +
+                          " is too short to be a checkpoint file");
+  }
+  // Identify the file before verifying it: magic and version live at
+  // fixed offsets, and a future format may checksum differently, so a
+  // wrong-magic or wrong-version file gets its specific error rather
+  // than a generic checksum complaint.
+  // The Packer stores a 1-byte wire tag before each scalar, so the
+  // magic's 8 bytes start at offset 1 and the version's 4 at offset 10.
+  constexpr std::size_t kMagicOffset = 1;
+  constexpr std::size_t kVersionOffset =
+      kMagicOffset + sizeof(std::uint64_t) + 1;
+  if (bytes.size() >= kMagicOffset + sizeof(std::uint64_t)) {
+    std::uint64_t magic = 0;
+    std::memcpy(&magic, bytes.data() + kMagicOffset, sizeof(magic));
+    if (magic != kMagic) {
+      throw CheckpointError(path + " is not a ldga checkpoint file");
+    }
+  }
+  if (bytes.size() >= kVersionOffset + sizeof(std::uint32_t)) {
+    std::uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
+    if (version != GaCheckpoint::kVersion) {
+      throw CheckpointError("checkpoint format v" + std::to_string(version) +
+                            " is not supported (expected v" +
+                            std::to_string(GaCheckpoint::kVersion) + ")");
+    }
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
+              << (8 * i);
+  }
+  bytes.resize(bytes.size() - 4);
+  if (util::crc32(bytes) != stored) {
+    throw CheckpointError("checkpoint: " + path +
+                          " failed its checksum (truncated or corrupt); "
+                          "refusing to resume from it");
+  }
 
   try {
     Unpacker unpacker{bytes};

@@ -9,10 +9,12 @@
 //
 // The on-disk format is a versioned binary file built from the same
 // Packer/Unpacker wire format the PVM-style farm uses, guarded by a
-// magic number, a format version, and a config fingerprint that refuses
-// resuming under an incompatible configuration. Writes go to a
-// temporary sibling file and are renamed into place, so a crash during
-// checkpointing never corrupts the previous snapshot.
+// magic number, a format version, a config fingerprint that refuses
+// resuming under an incompatible configuration, and a whole-file CRC-32
+// trailer that rejects truncated or bit-flipped snapshots before any
+// field is trusted. Writes are crash-safe: temporary sibling file,
+// fsync, atomic rename, fsync of the directory — a crash at any instant
+// leaves either the previous snapshot or the new one, never a hybrid.
 #pragma once
 
 #include <array>
@@ -48,7 +50,8 @@ struct CheckpointPolicy {
 /// The serialized inter-generation state. Field-for-field what
 /// GaEngine::run holds between two generations.
 struct GaCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: appended a CRC-32 trailer over the whole serialized image.
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t fingerprint = 0;  ///< config/dataset compatibility stamp
   std::uint32_t generation = 0;   ///< completed generations
@@ -73,12 +76,15 @@ struct GaCheckpoint {
 std::uint64_t checkpoint_fingerprint(const GaConfig& config,
                                      std::uint32_t snp_count);
 
-/// Atomically writes `checkpoint` to `path` (tmp file + rename).
+/// Crash-safely writes `checkpoint` to `path` (tmp + fsync + atomic
+/// rename + directory fsync), with a CRC-32 trailer over the image.
 void save_checkpoint(const std::string& path,
                      const GaCheckpoint& checkpoint);
 
-/// Loads and validates a checkpoint file (magic, version, payload
-/// shape). The caller checks the fingerprint against its own config.
+/// Loads and validates a checkpoint file (CRC trailer, magic, version,
+/// payload shape) — a truncated or corrupted file raises
+/// CheckpointError instead of resuming from garbage. The caller checks
+/// the fingerprint against its own config.
 GaCheckpoint load_checkpoint(const std::string& path);
 
 bool checkpoint_exists(const std::string& path);

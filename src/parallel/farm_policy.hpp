@@ -33,6 +33,21 @@ struct FarmPolicy {
   bool respawn_quarantined = true;
   /// Wall-clock budget for one run() call; zero means unlimited.
   std::chrono::milliseconds phase_deadline{0};
+  /// Wall-clock budget for one dispatched task. When it expires the
+  /// worker is declared lost (hung process, dropped frame) and the task
+  /// is requeued elsewhere. Zero means unlimited — no liveness
+  /// tracking, matching the original in-process farm.
+  std::chrono::milliseconds task_deadline{0};
+  /// Delay before respawning a *crashed* worker, doubling per
+  /// consecutive loss on the same rank up to the cap — a crash-looping
+  /// rank must not busy-spin fork(). (Quarantine respawns of live
+  /// workers stay immediate.)
+  std::chrono::milliseconds respawn_backoff{10};
+  std::chrono::milliseconds respawn_backoff_cap{1000};
+  /// When no worker survives and none can be respawned, finish the
+  /// remaining tasks on the master itself instead of failing the
+  /// phase — full degradation down to serial.
+  bool degrade_to_master = false;
 
   void validate() const {
     if (quarantine_after < 1) {
@@ -40,6 +55,16 @@ struct FarmPolicy {
     }
     if (phase_deadline.count() < 0) {
       throw ConfigError("FarmPolicy: phase_deadline must be >= 0");
+    }
+    if (task_deadline.count() < 0) {
+      throw ConfigError("FarmPolicy: task_deadline must be >= 0");
+    }
+    if (respawn_backoff.count() < 0) {
+      throw ConfigError("FarmPolicy: respawn_backoff must be >= 0");
+    }
+    if (respawn_backoff_cap < respawn_backoff) {
+      throw ConfigError(
+          "FarmPolicy: respawn_backoff_cap must be >= respawn_backoff");
     }
   }
 };
@@ -49,6 +74,10 @@ struct TaskAttempt {
   std::uint32_t slave_rank = 0;  ///< rank that ran the attempt
   std::string message;           ///< worker exception what()
 };
+
+/// Rank recorded in TaskAttempt for attempts executed by the master
+/// itself under FarmPolicy::degrade_to_master.
+inline constexpr std::uint32_t kMasterRank = 0xFFFFFFFFu;
 
 /// A farm phase that could not be completed under the active policy.
 /// Carries the failing task index (when one task is to blame) and the
@@ -85,6 +114,10 @@ struct FarmStats {
   std::uint64_t quarantines = 0;      ///< slaves taken out of rotation
   std::uint64_t respawns = 0;         ///< replacement slaves spawned
   std::uint64_t stale_discarded = 0;  ///< replies from other phases dropped
+  std::uint64_t worker_losses = 0;    ///< crashes/disconnects/deadlines
+  std::uint64_t corrupt_frames = 0;   ///< replies failing their CRC
+  std::uint64_t heartbeats = 0;       ///< liveness signals received
+  std::uint64_t master_degraded_tasks = 0;  ///< tasks run on the master
 };
 
 }  // namespace ldga::parallel

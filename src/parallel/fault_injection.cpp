@@ -66,6 +66,16 @@ FaultDecision FaultInjector::decide(std::uint64_t phase,
     decision.kind = FaultDecision::Kind::kThrow;
   } else if (attempt == 0 && scheduled(config_.stale_on_tasks, task_index)) {
     decision.kind = FaultDecision::Kind::kStaleReply;
+  } else if (attempt == 0 && scheduled(config_.drop_on_tasks, task_index)) {
+    decision.kind = FaultDecision::Kind::kDropReply;
+  } else if (attempt == 0 &&
+             scheduled(config_.corrupt_on_tasks, task_index)) {
+    decision.kind = FaultDecision::Kind::kCorruptReply;
+  } else if (attempt == 0 &&
+             scheduled(config_.disconnect_on_tasks, task_index)) {
+    decision.kind = FaultDecision::Kind::kDisconnect;
+  } else if (attempt == 0 && scheduled(config_.kill_on_tasks, task_index)) {
+    decision.kind = FaultDecision::Kind::kKillWorker;
   } else {
     std::uint64_t state = mix(config_.seed, phase, task_index, attempt);
     if (draw(state) < config_.throw_probability) {
@@ -88,6 +98,18 @@ FaultDecision FaultInjector::decide(std::uint64_t phase,
     case FaultDecision::Kind::kStaleReply:
       stales_.fetch_add(1);
       break;
+    case FaultDecision::Kind::kDropReply:
+      drops_.fetch_add(1);
+      break;
+    case FaultDecision::Kind::kCorruptReply:
+      corrupts_.fetch_add(1);
+      break;
+    case FaultDecision::Kind::kDisconnect:
+      disconnects_.fetch_add(1);
+      break;
+    case FaultDecision::Kind::kKillWorker:
+      kills_.fetch_add(1);
+      break;
     case FaultDecision::Kind::kNone:
       break;
   }
@@ -103,6 +125,13 @@ void FaultInjector::apply_before_work(const FaultDecision& decision) {
       break;
     case FaultDecision::Kind::kStaleReply:
     case FaultDecision::Kind::kNone:
+    // Transport faults need a transport; on a plain callable (serial /
+    // thread-pool backends) there is no frame to drop, so they degrade
+    // to no-ops rather than faking a different failure mode.
+    case FaultDecision::Kind::kDropReply:
+    case FaultDecision::Kind::kCorruptReply:
+    case FaultDecision::Kind::kDisconnect:
+    case FaultDecision::Kind::kKillWorker:
       break;
   }
 }

@@ -8,8 +8,11 @@
 // quarantine, and stale-discard paths become reproducibly testable.
 //
 // Two ways to use it:
-//   - hand a shared_ptr to MasterSlaveFarm: the slave loop consults
-//     decide() with the true task coordinates (enables stale replies);
+//   - hand a shared_ptr to MasterSlaveFarm: the *master* consults
+//     decide() at dispatch time and ships the directive inside the work
+//     message, so attempt tracking stays global even when workers are
+//     separate processes (enables stale replies and transport faults:
+//     dropped/corrupted frames, disconnects, worker kills);
 //   - wrap() any plain worker callable: exceptions and delays only,
 //     indexed by a global call counter (for thread-pool backends).
 #pragma once
@@ -28,10 +31,16 @@ namespace ldga::parallel {
 /// What a slave is instructed to do before executing one task attempt.
 struct FaultDecision {
   enum class Kind : std::uint8_t {
-    kNone,        ///< proceed normally
-    kThrow,       ///< raise FaultInjected instead of computing
-    kDelay,       ///< sleep, then compute normally
-    kStaleReply,  ///< send a wrong-phase duplicate, then reply normally
+    kNone,         ///< proceed normally
+    kThrow,        ///< raise FaultInjected instead of computing
+    kDelay,        ///< sleep, then compute normally
+    kStaleReply,   ///< send a wrong-phase duplicate, then reply normally
+    // Transport faults (exercise the loss-detection machinery; only
+    // meaningful on a farm, where the directive reaches the worker):
+    kDropReply,    ///< compute, then never send the reply
+    kCorruptReply, ///< compute, then send a checksum-breaking reply
+    kDisconnect,   ///< drop the connection to the master and exit
+    kKillWorker,   ///< die instantly, mid-protocol (SIGKILL-equivalent)
   };
   Kind kind = Kind::kNone;
   std::chrono::milliseconds delay{0};
@@ -60,6 +69,11 @@ class FaultInjector {
     /// indices (every phase), so a retry always recovers.
     std::vector<std::uint64_t> throw_on_tasks;
     std::vector<std::uint64_t> stale_on_tasks;
+    /// Transport-fault schedules, same first-attempt semantics.
+    std::vector<std::uint64_t> drop_on_tasks;
+    std::vector<std::uint64_t> corrupt_on_tasks;
+    std::vector<std::uint64_t> disconnect_on_tasks;
+    std::vector<std::uint64_t> kill_on_tasks;
 
     void validate() const;
   };
@@ -92,6 +106,10 @@ class FaultInjector {
   std::uint64_t injected_throws() const { return throws_.load(); }
   std::uint64_t injected_delays() const { return delays_.load(); }
   std::uint64_t injected_stales() const { return stales_.load(); }
+  std::uint64_t injected_drops() const { return drops_.load(); }
+  std::uint64_t injected_corrupts() const { return corrupts_.load(); }
+  std::uint64_t injected_disconnects() const { return disconnects_.load(); }
+  std::uint64_t injected_kills() const { return kills_.load(); }
 
  private:
   Config config_;
@@ -102,6 +120,10 @@ class FaultInjector {
   std::atomic<std::uint64_t> throws_{0};
   std::atomic<std::uint64_t> delays_{0};
   std::atomic<std::uint64_t> stales_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> corrupts_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> kills_{0};
 };
 
 }  // namespace ldga::parallel

@@ -1,16 +1,17 @@
 #include "parallel/mailbox.hpp"
 
-#include "util/error.hpp"
+#include "parallel/transport_error.hpp"
 
 namespace ldga::parallel {
 
-void Mailbox::deliver(Message message) {
+bool Mailbox::deliver(Message message) {
   {
     std::lock_guard lock(mutex_);
-    if (closed_) return;
+    if (closed_) return false;
     queue_.push_back(std::move(message));
   }
   arrived_.notify_all();
+  return true;
 }
 
 std::optional<Message> Mailbox::take_matching(TaskId source,
@@ -30,7 +31,7 @@ Message Mailbox::receive(TaskId source, std::int32_t tag) {
   for (;;) {
     if (auto found = take_matching(source, tag)) return std::move(*found);
     if (closed_) {
-      throw ParallelError("Mailbox: receive on closed mailbox");
+      throw TransportClosed("Mailbox: receive on closed mailbox");
     }
     arrived_.wait(lock);
   }
@@ -48,7 +49,7 @@ std::optional<Message> Mailbox::receive_for(std::chrono::milliseconds timeout,
   for (;;) {
     if (auto found = take_matching(source, tag)) return found;
     if (closed_) {
-      throw ParallelError("Mailbox: receive on closed mailbox");
+      throw TransportClosed("Mailbox: receive on closed mailbox");
     }
     if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One last look: a message may have arrived with the timeout.

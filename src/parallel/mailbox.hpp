@@ -14,12 +14,14 @@ namespace ldga::parallel {
 
 class Mailbox {
  public:
-  /// Enqueues a message (called by any sender thread).
-  void deliver(Message message);
+  /// Enqueues a message (called by any sender thread). Returns false —
+  /// without queueing — when the mailbox is closed, so senders can
+  /// surface a typed error instead of silently losing the message.
+  [[nodiscard]] bool deliver(Message message);
 
   /// Blocks until a message matching (source, tag) arrives, where
-  /// kAnySource / kAnyTag match everything. Throws ParallelError if the
-  /// mailbox is closed while waiting (machine shutdown).
+  /// kAnySource / kAnyTag match everything. Throws TransportClosed if
+  /// the mailbox is closed while waiting (machine shutdown).
   Message receive(TaskId source = kAnySource, std::int32_t tag = kAnyTag);
 
   /// Non-blocking variant; empty when nothing matches right now.
@@ -27,8 +29,8 @@ class Mailbox {
                                      std::int32_t tag = kAnyTag);
 
   /// Blocks up to `timeout` for a matching message; empty on timeout.
-  /// Throws ParallelError if the mailbox closes while waiting. Used by
-  /// the farm's phase-deadline policy.
+  /// Throws TransportClosed if the mailbox closes while waiting. Used
+  /// by the farm's phase-deadline policy.
   std::optional<Message> receive_for(std::chrono::milliseconds timeout,
                                      TaskId source = kAnySource,
                                      std::int32_t tag = kAnyTag);
@@ -36,8 +38,8 @@ class Mailbox {
   /// True when a matching message is queued (PVM's pvm_probe).
   bool probe(TaskId source = kAnySource, std::int32_t tag = kAnyTag) const;
 
-  /// Wakes all blocked receivers with an error; further receives throw.
-  /// Delivery to a closed mailbox is silently dropped.
+  /// Wakes all blocked receivers with an error; further receives throw
+  /// and further deliveries return false.
   void close();
 
   bool closed() const;

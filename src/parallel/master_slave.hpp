@@ -9,15 +9,24 @@
 // through the wire format via the farm_pack / farm_unpack customization
 // points below, which keeps the discipline honest: everything that
 // crosses the master/slave boundary is serialized, exactly as it would
-// be over PVM.
+// be over PVM. It is also generic over the *transport* (transport.hpp):
+// the same farm logic runs over in-process mailboxes (default) or over
+// checksummed socket frames to forked worker processes.
 //
 // Fault tolerance (FarmPolicy): a failed evaluation is retried on a
 // different slave; a slave that fails repeatedly is quarantined and
-// optionally respawned; the phase aborts with FarmPhaseError — carrying
-// the failing task index and its attempt history — only when a task
-// exhausts its retries, no healthy slave remains, or the optional phase
-// deadline expires. A deterministic FaultInjector can be attached to
-// drive every one of those paths in tests.
+// optionally respawned; a worker that crashes, disconnects, corrupts a
+// frame, or blows its per-task deadline is declared lost, its in-flight
+// task requeued, and a replacement respawned after an exponential
+// backoff; when every worker is gone the farm can degrade to computing
+// on the master itself (degrade_to_master). The phase aborts with
+// FarmPhaseError — carrying the failing task index and its attempt
+// history — only when a task exhausts its retries, no healthy slave
+// remains (and degradation is off), or the optional phase deadline
+// expires. A deterministic FaultInjector can be attached to drive every
+// one of those paths in tests; its decisions are taken by the master at
+// dispatch time and shipped inside the work message, so attempt
+// tracking stays global even when workers are separate processes.
 #pragma once
 
 #include <algorithm>
@@ -26,13 +35,16 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
+#include <thread>
 #include <vector>
 
 #include "parallel/farm_policy.hpp"
 #include "parallel/fault_injection.hpp"
-#include "parallel/virtual_machine.hpp"
+#include "parallel/transport.hpp"
 #include "util/error.hpp"
 
 namespace ldga::parallel {
@@ -78,39 +90,44 @@ class MasterSlaveFarm {
   /// "slaves access the data once at initialization" of §4.5 — the
   /// worker closure typically captures a reference to the shared,
   /// immutable dataset/evaluator). `injector`, when set, is consulted
-  /// by every slave before every task attempt (test fault injection).
+  /// by the master before every dispatch (test fault injection).
+  /// `transport_factory` selects the message layer; null means
+  /// in-process threads.
   MasterSlaveFarm(std::uint32_t slave_count, Worker worker,
                   FarmPolicy policy = {},
-                  std::shared_ptr<FaultInjector> injector = nullptr)
-      : master_(vm_.master_context()),
-        worker_(std::move(worker)),
+                  std::shared_ptr<FaultInjector> injector = nullptr,
+                  TransportFactory transport_factory = nullptr)
+      : worker_(std::move(worker)),
         policy_(policy),
         injector_(std::move(injector)) {
     LDGA_EXPECTS(slave_count >= 1);
     LDGA_EXPECTS(worker_ != nullptr);
     policy_.validate();
+    Transport::WorkerBody body = [worker = worker_](WorkerChannel& channel) {
+      slave_loop(channel, worker);
+    };
+    transport_ = transport_factory != nullptr
+                     ? transport_factory(std::move(body))
+                     : make_in_process_transport(std::move(body));
     stats_.per_slave_tasks.assign(slave_count, 0);
-    consecutive_failures_.assign(slave_count, 0);
-    quarantined_.assign(slave_count, 0);
-    healthy_ = slave_count;
+    slaves_.resize(slave_count);
     for (std::uint32_t rank = 0; rank < slave_count; ++rank) {
-      const TaskId id = spawn_slave();
-      slaves_.push_back(id);
-      rank_by_task_.emplace(id, rank);
+      attach(rank, transport_->spawn_worker());
     }
+    healthy_ = slave_count;
   }
 
   ~MasterSlaveFarm() {
-    // Orderly shutdown: each live slave exits its loop on kShutdown
-    // (quarantined, non-respawned slaves were already retired).
-    try {
-      for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
-        if (!quarantined_[rank]) {
-          master_.send(slaves_[rank], farm_tag::kShutdown, Packer{});
-        }
+    // Orderly shutdown: each live slave exits its loop on kShutdown;
+    // retired/lost/quarantined workers are already gone, and the
+    // transport destructor joins or reaps whatever remains.
+    for (const auto& slave : slaves_) {
+      if (slave.quarantined || slave.lost) continue;
+      try {
+        transport_->send_to_worker(slave.id, farm_tag::kShutdown, Packer{});
+      } catch (const ParallelError&) {
+        // Worker or machine already gone; the transport cleans up.
       }
-    } catch (const ParallelError&) {
-      // Machine already halted; jthread join in ~VirtualMachine suffices.
     }
   }
 
@@ -122,31 +139,31 @@ class MasterSlaveFarm {
   }
   std::uint32_t healthy_slave_count() const { return healthy_; }
 
+  std::string_view transport_name() const { return transport_->name(); }
+
   /// One synchronous evaluation phase: scores every task, returning
   /// results in task order. Dynamic (first-free-slave) scheduling with
-  /// the FarmPolicy retry/quarantine ladder on top; the phase completes
-  /// as long as any healthy slave remains and no task exhausts its
-  /// retries. On FarmPhaseError the farm stays usable for further
-  /// phases (stale replies from the failed phase are identified by a
-  /// phase counter and discarded).
+  /// the FarmPolicy retry/quarantine/respawn ladder on top; the phase
+  /// completes as long as any healthy slave remains (or can be
+  /// respawned, or the policy allows degrading to the master) and no
+  /// task exhausts its retries. On FarmPhaseError the farm stays usable
+  /// for further phases (stale replies from the failed phase are
+  /// identified by a phase counter and discarded).
   std::vector<Result> run(std::span<const Task> tasks) {
+    using Clock = std::chrono::steady_clock;
     const std::uint64_t phase = ++phase_counter_;
     std::vector<Result> results(tasks.size());
     if (tasks.empty()) {
       ++stats_.phases;
       return results;
     }
-    if (healthy_ == 0) {
-      throw FarmPhaseError("MasterSlaveFarm: no healthy slaves", phase,
-                           std::nullopt, {});
-    }
 
     const bool timed = policy_.phase_deadline.count() > 0;
-    const auto deadline =
-        std::chrono::steady_clock::now() + policy_.phase_deadline;
+    const auto phase_deadline = Clock::now() + policy_.phase_deadline;
 
     // Per-phase scheduling state.
     std::vector<std::vector<TaskAttempt>> attempts(tasks.size());
+    std::vector<std::uint8_t> done(tasks.size(), 0);
     struct RetryItem {
       std::size_t index;
       std::uint32_t last_rank;  ///< rank of the slave that just failed it
@@ -154,11 +171,117 @@ class MasterSlaveFarm {
     std::deque<RetryItem> retry;
     std::vector<std::uint32_t> idle;
     for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
-      if (!quarantined_[rank]) idle.push_back(rank);
+      // In-flight work from an aborted earlier phase is forgotten; any
+      // late replies are discarded below by their phase stamp.
+      slaves_[rank].busy_task.reset();
+      if (!slaves_[rank].quarantined && !slaves_[rank].lost) {
+        idle.push_back(rank);
+      }
     }
     std::size_t next = 0;
     std::size_t outstanding = 0;
     std::size_t completed = 0;
+
+    // Records one failed attempt; throws FarmPhaseError when the task
+    // is out of retries, otherwise queues it for reassignment.
+    auto fail_attempt = [&](std::size_t index, std::uint32_t rank,
+                            std::string message) {
+      ++stats_.failures;
+      attempts[index].push_back({rank, std::move(message)});
+      if (attempts[index].size() >
+          static_cast<std::size_t>(policy_.max_task_retries)) {
+        // Build the message before moving the attempt history: the
+        // constructor's by-value parameter may otherwise be
+        // materialized first, leaving back() dangling.
+        std::string what =
+            "MasterSlaveFarm: task " + std::to_string(index) +
+            " failed on " + std::to_string(attempts[index].size()) +
+            " slave(s): " + attempts[index].back().message;
+        throw FarmPhaseError(std::move(what), phase, index,
+                             std::move(attempts[index]));
+      }
+      retry.push_back({index, rank});
+    };
+
+    auto schedule_respawn = [&](std::uint32_t rank, Clock::time_point now) {
+      auto& slave = slaves_[rank];
+      slave.lost = true;
+      const std::uint32_t shift = std::min(
+          slave.loss_streak > 0 ? slave.loss_streak - 1 : 0u, 10u);
+      slave.respawn_due =
+          now + std::min(policy_.respawn_backoff * (1u << shift),
+                         policy_.respawn_backoff_cap);
+    };
+
+    // A worker is gone (crash, disconnect, corrupt stream, deadline):
+    // retire it, requeue its in-flight task as a failed attempt, and
+    // run the quarantine/respawn ladder. Losses always need a respawn
+    // (unlike error replies, where the slave itself survives), so a
+    // lost rank below the quarantine threshold is respawned too — after
+    // an exponential backoff so a crash-looping rank cannot spin.
+    auto declare_lost = [&](std::uint32_t rank, const std::string& reason,
+                            Clock::time_point now) {
+      auto& slave = slaves_[rank];
+      if (slave.quarantined || slave.lost) return;
+      ++stats_.worker_losses;
+      transport_->retire_worker(slave.id);
+      rank_by_task_.erase(slave.id);
+      idle.erase(std::remove(idle.begin(), idle.end(), rank), idle.end());
+      --healthy_;
+      ++slave.loss_streak;
+      if (++slave.consecutive_failures >= policy_.quarantine_after) {
+        ++stats_.quarantines;
+        slave.consecutive_failures = 0;
+        if (policy_.respawn_quarantined) {
+          schedule_respawn(rank, now);
+        } else {
+          slave.quarantined = true;
+        }
+      } else {
+        schedule_respawn(rank, now);
+      }
+      if (slave.busy_task) {
+        const std::size_t index = *slave.busy_task;
+        slave.busy_task.reset();
+        --outstanding;
+        fail_attempt(index, rank, reason);  // may abort the phase
+      }
+    };
+
+    auto perform_due_respawns = [&](Clock::time_point now) {
+      for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
+        auto& slave = slaves_[rank];
+        if (!slave.lost || now < slave.respawn_due) continue;
+        try {
+          attach(rank, transport_->spawn_worker());
+        } catch (const SpawnError&) {
+          ++slave.loss_streak;
+          schedule_respawn(rank, now);
+          continue;
+        }
+        slave.lost = false;
+        ++healthy_;
+        ++stats_.respawns;
+        idle.push_back(rank);
+      }
+    };
+
+    // False when the chosen slave turned out to be dead at dispatch
+    // (the task is then not in flight and the slave enters the loss
+    // ladder).
+    auto send_one = [&](std::uint32_t rank, std::size_t index) -> bool {
+      try {
+        send_work(slaves_[rank].id, phase, index, tasks[index]);
+      } catch (const TransportError& error) {
+        declare_lost(rank, std::string("dispatch failed: ") + error.what(),
+                     Clock::now());
+        return false;
+      }
+      slaves_[rank].busy_task = index;
+      slaves_[rank].dispatched_at = Clock::now();
+      ++outstanding;
+      return true;
+    };
 
     // Hands work to every idle healthy slave: queued retries first
     // (preferring a slave other than the one that just failed the
@@ -179,44 +302,208 @@ class MasterSlaveFarm {
           }
           slot = idle.begin();
         }
-        send_work(slaves_[*slot], phase, item->index, tasks[item->index]);
-        ++stats_.retries;
-        ++outstanding;
+        const std::uint32_t rank = *slot;
+        const std::size_t index = item->index;
         idle.erase(slot);
         item = retry.erase(item);
+        if (send_one(rank, index)) {
+          ++stats_.retries;
+        } else {
+          // Chosen slave died at dispatch; same task, next candidate.
+          item = retry.insert(item, {index, rank});
+        }
       }
       while (!idle.empty() && next < tasks.size()) {
         const std::uint32_t rank = idle.back();
         idle.pop_back();
-        send_work(slaves_[rank], phase, next, tasks[next]);
+        if (!send_one(rank, next)) continue;
         ++next;
-        ++outstanding;
+      }
+    };
+
+    /// Failure bookkeeping for one error reply from `rank`: count it,
+    /// quarantine (and optionally respawn) the slave when it crosses
+    /// the policy threshold, otherwise return it to the idle pool.
+    auto handle_slave_failure = [&](std::uint32_t rank) {
+      auto& slave = slaves_[rank];
+      if (++slave.consecutive_failures >= policy_.quarantine_after) {
+        ++stats_.quarantines;
+        rank_by_task_.erase(slave.id);
+        transport_->retire_worker(slave.id);
+        slave.consecutive_failures = 0;
+        if (policy_.respawn_quarantined) {
+          // The old worker was merely failing, not dead: replace it
+          // immediately, no crash backoff.
+          attach(rank, transport_->spawn_worker());
+          ++stats_.respawns;
+          idle.push_back(rank);
+        } else {
+          slave.quarantined = true;
+          --healthy_;
+        }
+      } else {
+        idle.push_back(rank);
+      }
+    };
+
+    // Earliest instant any timer (phase deadline, per-task deadline,
+    // pending respawn) needs attention; none means receive can block.
+    auto compute_wake = [&]() -> std::optional<Clock::time_point> {
+      std::optional<Clock::time_point> wake;
+      auto consider = [&](Clock::time_point t) {
+        if (!wake || t < *wake) wake = t;
+      };
+      if (timed) consider(phase_deadline);
+      if (policy_.task_deadline.count() > 0) {
+        for (const auto& slave : slaves_) {
+          if (slave.busy_task) {
+            consider(slave.dispatched_at + policy_.task_deadline);
+          }
+        }
+      }
+      for (const auto& slave : slaves_) {
+        if (slave.lost) consider(slave.respawn_due);
+      }
+      return wake;
+    };
+
+    auto handle_task_deadlines = [&](Clock::time_point now) {
+      if (policy_.task_deadline.count() <= 0) return;
+      for (std::uint32_t rank = 0; rank < slaves_.size(); ++rank) {
+        if (slaves_[rank].busy_task &&
+            now - slaves_[rank].dispatched_at >= policy_.task_deadline) {
+          declare_lost(rank,
+                       "task deadline of " +
+                           std::to_string(policy_.task_deadline.count()) +
+                           " ms exceeded (worker hung or reply lost)",
+                       now);
+        }
+      }
+    };
+
+    // Full degradation: no worker left and none coming back, so the
+    // master computes the remainder itself, still under the injector's
+    // throw/delay faults and the per-task retry budget.
+    auto run_on_master = [&](std::size_t index) {
+      for (;;) {
+        FaultDecision fault;
+        if (injector_ != nullptr) fault = injector_->decide(phase, index);
+        try {
+          FaultInjector::apply_before_work(fault);
+          results[index] = worker_(tasks[index]);
+          done[index] = 1;
+          ++completed;
+          ++stats_.master_degraded_tasks;
+          return;
+        } catch (const std::exception& error) {
+          ++stats_.failures;
+          attempts[index].push_back({kMasterRank, error.what()});
+          if (attempts[index].size() >
+              static_cast<std::size_t>(policy_.max_task_retries)) {
+            std::string what =
+                "MasterSlaveFarm: task " + std::to_string(index) +
+                " failed on " + std::to_string(attempts[index].size()) +
+                " slave(s): " + attempts[index].back().message;
+            throw FarmPhaseError(std::move(what), phase, index,
+                                 std::move(attempts[index]));
+          }
+          ++stats_.retries;
+        }
+      }
+    };
+
+    auto degrade_remaining = [&] {
+      while (!retry.empty()) {
+        const std::size_t index = retry.front().index;
+        retry.pop_front();
+        run_on_master(index);
+      }
+      for (; next < tasks.size(); ++next) {
+        if (!done[next]) run_on_master(next);
       }
     };
 
     dispatch();
     while (completed < tasks.size()) {
+      auto now = Clock::now();
+      if (timed && now >= phase_deadline) {
+        throw FarmPhaseError("MasterSlaveFarm: phase deadline exceeded",
+                             phase, std::nullopt, {});
+      }
+      perform_due_respawns(now);
+      dispatch();
+
       if (outstanding == 0) {
-        // Work remains but nothing is in flight and dispatch() could
-        // not place it: every slave is quarantined.
-        throw FarmPhaseError("MasterSlaveFarm: no healthy slaves", phase,
-                             std::nullopt, {});
+        const bool respawn_pending =
+            std::any_of(slaves_.begin(), slaves_.end(),
+                        [](const Slave& slave) { return slave.lost; });
+        if (!respawn_pending) {
+          // Work remains, nothing in flight, nobody coming back.
+          if (policy_.degrade_to_master) {
+            degrade_remaining();
+            continue;
+          }
+          throw FarmPhaseError("MasterSlaveFarm: no healthy slaves", phase,
+                               std::nullopt, {});
+        }
       }
 
-      Message reply;
-      if (timed) {
-        const auto remaining =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                deadline - std::chrono::steady_clock::now());
-        auto received = master_.receive_for(
-            std::max(remaining, std::chrono::milliseconds(0)));
-        if (!received) {
-          throw FarmPhaseError("MasterSlaveFarm: phase deadline exceeded",
-                               phase, std::nullopt, {});
+      std::optional<Message> received;
+      if (const auto wake = compute_wake()) {
+        auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        *wake - now) +
+                    std::chrono::milliseconds(1);
+        if (wait < std::chrono::milliseconds(1)) {
+          wait = std::chrono::milliseconds(1);
         }
-        reply = std::move(*received);
+        received = transport_->receive_for(wait);
       } else {
-        reply = master_.receive(kAnySource, kAnyTag);
+        received = transport_->receive();
+      }
+      if (!received) {
+        handle_task_deadlines(Clock::now());
+        continue;
+      }
+      const Message reply = std::move(*received);
+      now = Clock::now();
+
+      if (reply.tag == transport_tag::kHeartbeat) {
+        ++stats_.heartbeats;
+        continue;
+      }
+
+      const auto found = rank_by_task_.find(reply.source);
+      if (found == rank_by_task_.end()) {
+        ++stats_.stale_discarded;  // late reply from a retired worker
+        continue;
+      }
+      const std::uint32_t rank = found->second;
+      auto& slave = slaves_[rank];
+
+      if (reply.tag == transport_tag::kWorkerLost) {
+        Unpacker unpacker = reply.unpacker();
+        declare_lost(rank, "worker lost: " + unpacker.unpack_string(), now);
+        continue;
+      }
+      if (reply.tag == transport_tag::kCorruptFrame) {
+        ++stats_.corrupt_frames;
+        Unpacker unpacker = reply.unpacker();
+        const std::string detail = unpacker.unpack_string();
+        if (!transport_->worker_alive(slave.id)) {
+          // Socket stream: unrecoverable; the transport's kWorkerLost
+          // follows and does the requeue/ladder work.
+          continue;
+        }
+        // In-process: only the one reply was damaged, the worker is
+        // fine — treat it like an error reply for its in-flight task.
+        if (slave.busy_task) {
+          const std::size_t index = *slave.busy_task;
+          slave.busy_task.reset();
+          --outstanding;
+          fail_attempt(index, rank, detail);
+          handle_slave_failure(rank);
+        }
+        continue;
       }
 
       Unpacker unpacker = reply.unpacker();
@@ -228,35 +515,52 @@ class MasterSlaveFarm {
       const auto index =
           static_cast<std::size_t>(unpacker.unpack<std::uint64_t>());
       LDGA_EXPECTS(index < results.size());
-      const std::uint32_t rank = rank_of(reply.source);
 
       if (reply.tag == farm_tag::kError) {
-        ++stats_.failures;
         --outstanding;
-        attempts[index].push_back({rank, unpacker.unpack_string()});
-        if (attempts[index].size() >
-            static_cast<std::size_t>(policy_.max_task_retries)) {
-          // Build the message before moving the attempt history: the
-          // constructor's by-value parameter may otherwise be
-          // materialized first, leaving back() dangling.
-          std::string what =
-              "MasterSlaveFarm: task " + std::to_string(index) +
-              " failed on " + std::to_string(attempts[index].size()) +
-              " slave(s): " + attempts[index].back().message;
-          throw FarmPhaseError(std::move(what), phase, index,
-                               std::move(attempts[index]));
+        slave.busy_task.reset();
+        fail_attempt(index, rank, unpacker.unpack_string());
+        handle_slave_failure(rank);
+      } else if (reply.tag == farm_tag::kResult) {
+        if (done[index]) {
+          // Duplicate of a task already completed elsewhere (requeued
+          // on a deadline, then the original reply straggled in).
+          ++stats_.stale_discarded;
+          if (slave.busy_task == index) {
+            slave.busy_task.reset();
+            --outstanding;
+            idle.push_back(rank);
+          }
+          continue;
         }
-        retry.push_back({index, rank});
-        handle_slave_failure(rank, idle);
-      } else {
         farm_unpack(unpacker, results[index]);
+        done[index] = 1;
         --outstanding;
         ++completed;
         ++stats_.per_slave_tasks[rank];
-        consecutive_failures_[rank] = 0;
+        slave.busy_task.reset();
+        slave.consecutive_failures = 0;
+        slave.loss_streak = 0;
         idle.push_back(rank);
       }
-      dispatch();
+    }
+
+    // End-of-phase maintenance: a fast phase can finish before a lost
+    // slave's respawn backoff elapses. Wait the (bounded) backoffs out
+    // and bring the ranks back now, so a completed phase always hands
+    // the next one a full-strength farm. One spawn attempt per rank; a
+    // failing spawn stays scheduled and the next phase keeps trying.
+    {
+      std::optional<Clock::time_point> last_due;
+      for (const auto& slave : slaves_) {
+        if (slave.lost && (!last_due || slave.respawn_due > *last_due)) {
+          last_due = slave.respawn_due;
+        }
+      }
+      if (last_due) {
+        std::this_thread::sleep_until(*last_due);
+        perform_due_respawns(Clock::now());
+      }
     }
     ++stats_.phases;
     return results;
@@ -266,112 +570,115 @@ class MasterSlaveFarm {
   const FarmPolicy& policy() const { return policy_; }
 
  private:
-  static void slave_loop(TaskContext& self, const Worker& worker,
-                         FaultInjector* injector) {
+  struct Slave {
+    TaskId id = -1;
+    bool quarantined = false;
+    bool lost = false;  ///< dead, awaiting its respawn time
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t loss_streak = 0;  ///< consecutive crashes → backoff
+    std::optional<std::size_t> busy_task;
+    std::chrono::steady_clock::time_point dispatched_at{};
+    std::chrono::steady_clock::time_point respawn_due{};
+  };
+
+  /// Runs inside each worker (thread or forked process): execute work
+  /// messages, honouring the fault directive the master packed in.
+  static void slave_loop(WorkerChannel& channel, const Worker& worker) {
+    using Kind = FaultDecision::Kind;
     for (;;) {
       Message message;
       try {
-        message = self.receive(kMasterTask);
-      } catch (const ParallelError&) {
-        return;  // machine halted underneath us
+        message = channel.receive_from_master();
+      } catch (const TransportClosed&) {
+        return;  // shutdown or lost master
       }
       if (message.tag == farm_tag::kShutdown) return;
+      if (message.tag != farm_tag::kWork) continue;
 
       Unpacker unpacker = message.unpacker();
       const auto phase = unpacker.unpack<std::uint64_t>();
       const auto index = unpacker.unpack<std::uint64_t>();
+      FaultDecision fault;
+      fault.kind = static_cast<Kind>(unpacker.unpack<std::uint32_t>());
+      fault.delay =
+          std::chrono::milliseconds(unpacker.unpack<std::int64_t>());
       Task task;
       farm_unpack(unpacker, task);
 
+      // Fatal directives happen outside the try: they must not be
+      // softened into error replies.
+      if (fault.kind == Kind::kKillWorker) {
+        channel.die("injected worker kill");
+      }
+      if (fault.kind == Kind::kDisconnect) channel.disconnect();
+
       try {
-        FaultDecision fault;
-        if (injector != nullptr) fault = injector->decide(phase, index);
-        if (fault.kind == FaultDecision::Kind::kStaleReply) {
+        if (fault.kind == Kind::kStaleReply) {
           // A wrong-phase duplicate first — the master must discard it
           // by the phase counter — then the genuine reply below.
           Packer stale;
           stale.pack(phase - 1);
           stale.pack(index);
           farm_pack(stale, worker(task));
-          self.send(kMasterTask, farm_tag::kResult, std::move(stale));
+          channel.send_to_master(farm_tag::kResult, std::move(stale));
         }
-        FaultInjector::apply_before_work(fault);
+        FaultInjector::apply_before_work(fault);  // throw / delay
 
+        FrameFault frame_fault = FrameFault::kNone;
+        if (fault.kind == Kind::kDropReply) frame_fault = FrameFault::kDrop;
+        if (fault.kind == Kind::kCorruptReply) {
+          frame_fault = FrameFault::kCorrupt;
+        }
         Packer reply;
         reply.pack(phase);
         reply.pack(index);
         farm_pack(reply, worker(task));
-        self.send(kMasterTask, farm_tag::kResult, std::move(reply));
+        channel.send_to_master(farm_tag::kResult, std::move(reply),
+                               frame_fault);
+      } catch (const TransportClosed&) {
+        return;
       } catch (const std::exception& error) {
-        // Report instead of letting the exception kill the process via
-        // the thread boundary; the slave stays alive for later phases.
+        // Report instead of letting the exception kill the worker; the
+        // slave stays alive for later phases.
         Packer failure;
         failure.pack(phase);
         failure.pack(index);
         failure.pack_string(error.what());
-        self.send(kMasterTask, farm_tag::kError, std::move(failure));
+        try {
+          channel.send_to_master(farm_tag::kError, std::move(failure));
+        } catch (const TransportClosed&) {
+          return;
+        }
       }
     }
   }
 
-  TaskId spawn_slave() {
-    return vm_.spawn([worker = worker_, injector = injector_](
-                         TaskContext& self) {
-      slave_loop(self, worker, injector.get());
-    });
+  void attach(std::uint32_t rank, TaskId id) {
+    slaves_[rank].id = id;
+    rank_by_task_.emplace(id, rank);
   }
 
-  /// Failure bookkeeping for one error reply from `rank`: count it,
-  /// quarantine (and optionally respawn) the slave when it crosses the
-  /// policy threshold, otherwise return it to the idle pool.
-  void handle_slave_failure(std::uint32_t rank,
-                            std::vector<std::uint32_t>& idle) {
-    if (++consecutive_failures_[rank] >= policy_.quarantine_after) {
-      ++stats_.quarantines;
-      rank_by_task_.erase(slaves_[rank]);
-      master_.send(slaves_[rank], farm_tag::kShutdown, Packer{});
-      consecutive_failures_[rank] = 0;
-      if (policy_.respawn_quarantined) {
-        slaves_[rank] = spawn_slave();
-        rank_by_task_.emplace(slaves_[rank], rank);
-        ++stats_.respawns;
-        idle.push_back(rank);
-      } else {
-        quarantined_[rank] = 1;
-        --healthy_;
-      }
-    } else {
-      idle.push_back(rank);
-    }
-  }
-
-  void send_work(TaskId slave, std::uint64_t phase, std::size_t index,
+  /// Packs and ships one work message. The fault directive is decided
+  /// master-side (global attempt tracking) and executed worker-side.
+  void send_work(TaskId worker, std::uint64_t phase, std::size_t index,
                  const Task& task) {
+    FaultDecision fault;
+    if (injector_ != nullptr) fault = injector_->decide(phase, index);
     Packer packer;
     packer.pack(phase);
     packer.pack(static_cast<std::uint64_t>(index));
+    packer.pack(static_cast<std::uint32_t>(fault.kind));
+    packer.pack(static_cast<std::int64_t>(fault.delay.count()));
     farm_pack(packer, task);
-    master_.send(slave, farm_tag::kWork, std::move(packer));
+    transport_->send_to_worker(worker, farm_tag::kWork, std::move(packer));
   }
 
-  std::uint32_t rank_of(TaskId slave) const {
-    const auto found = rank_by_task_.find(slave);
-    if (found == rank_by_task_.end()) {
-      throw ParallelError("MasterSlaveFarm: result from unknown task " +
-                          std::to_string(slave));
-    }
-    return found->second;
-  }
-
-  VirtualMachine vm_;
-  TaskContext master_;
   Worker worker_;
   FarmPolicy policy_;
   std::shared_ptr<FaultInjector> injector_;
-  std::vector<TaskId> slaves_;  ///< index = rank; updated on respawn
+  std::unique_ptr<Transport> transport_;
+  std::vector<Slave> slaves_;  ///< index = rank; id updated on respawn
   std::unordered_map<TaskId, std::uint32_t> rank_by_task_;
-  std::vector<std::uint32_t> consecutive_failures_;  ///< per rank
-  std::vector<std::uint8_t> quarantined_;            ///< per rank
   std::uint32_t healthy_ = 0;
   FarmStats stats_;
   std::uint64_t phase_counter_ = 0;

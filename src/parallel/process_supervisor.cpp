@@ -1,0 +1,111 @@
+#include "parallel/process_supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "parallel/transport_error.hpp"
+
+namespace ldga::parallel {
+
+namespace {
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+}  // namespace
+
+ProcessSupervisor::~ProcessSupervisor() {
+  std::lock_guard lock(mutex_);
+  for (auto& [pid, description] : children_) {
+    if (description) continue;  // already reaped
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+pid_t ProcessSupervisor::spawn(const std::function<void()>& child_main) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw SpawnError(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Never return into the parent's call stack: _exit skips
+    // atexit/static destructors, which belong to the parent image.
+    try {
+      child_main();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  std::lock_guard lock(mutex_);
+  children_.emplace(pid, std::nullopt);
+  return pid;
+}
+
+std::optional<std::string> ProcessSupervisor::poll_locked(pid_t pid) {
+  const auto found = children_.find(pid);
+  if (found == children_.end()) return "unknown child";
+  if (found->second) return found->second;
+  int status = 0;
+  const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+  if (reaped == pid) {
+    found->second = describe_status(status);
+    return found->second;
+  }
+  return std::nullopt;  // still running
+}
+
+bool ProcessSupervisor::alive(pid_t pid) {
+  std::lock_guard lock(mutex_);
+  return !poll_locked(pid).has_value();
+}
+
+std::optional<std::string> ProcessSupervisor::try_reap(pid_t pid) {
+  std::lock_guard lock(mutex_);
+  auto description = poll_locked(pid);
+  if (description) children_.erase(pid);
+  return description;
+}
+
+std::string ProcessSupervisor::reap(pid_t pid,
+                                    std::chrono::milliseconds grace) {
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  for (;;) {
+    if (auto description = try_reap(pid)) return *description;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  std::lock_guard lock(mutex_);
+  children_.erase(pid);
+  return describe_status(status) + " (after SIGKILL)";
+}
+
+void ProcessSupervisor::kill_now(pid_t pid) { ::kill(pid, SIGKILL); }
+
+std::size_t ProcessSupervisor::live_children() {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (auto& [pid, description] : children_) {
+    if (!description && !poll_locked(pid)) ++count;
+  }
+  return count;
+}
+
+}  // namespace ldga::parallel

@@ -1,0 +1,61 @@
+// Owns the worker processes of the socket transport: forks them, polls
+// their liveness, reaps them (with a grace period before escalating to
+// SIGKILL), and guarantees none outlive the supervisor — a crashed
+// master must not strand orphan evaluators on the machine.
+//
+// fork() without exec(): the child runs a closure in the copy-on-write
+// image of the parent (how the worker gets the evaluator and dataset
+// "for free", mirroring PVM slaves that load the data once). Children
+// must leave via _exit so atexit handlers, test harness state, and
+// buffered IO of the parent image never run twice.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace ldga::parallel {
+
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor() = default;
+  ~ProcessSupervisor();
+
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  /// Forks; the child runs `child_main` then _exits 0 (1 on escape by
+  /// exception). Returns the child pid. Throws SpawnError when fork
+  /// fails.
+  pid_t spawn(const std::function<void()>& child_main);
+
+  /// Non-blocking: true while the child has not terminated.
+  bool alive(pid_t pid);
+
+  /// Non-blocking reap; once the child has terminated, returns a
+  /// human-readable exit description ("exited with status 1", "killed
+  /// by signal 9") and forgets the pid.
+  std::optional<std::string> try_reap(pid_t pid);
+
+  /// Blocking reap: waits up to `grace` for the child to terminate on
+  /// its own, then SIGKILLs it. Always returns the exit description.
+  std::string reap(pid_t pid, std::chrono::milliseconds grace);
+
+  void kill_now(pid_t pid);
+
+  std::size_t live_children();
+
+ private:
+  std::optional<std::string> poll_locked(pid_t pid);
+
+  std::mutex mutex_;
+  /// value = exit description once terminated, nullopt while running.
+  std::unordered_map<pid_t, std::optional<std::string>> children_;
+};
+
+}  // namespace ldga::parallel

@@ -1,0 +1,148 @@
+// The message layer under the master/slave farm, factored out so the
+// same farm logic can run over in-process mailboxes or over sockets to
+// forked worker processes (PR 6; ROADMAP "real transport").
+//
+// The split mirrors PVM's API surface: Transport is the master's view
+// (pvm_spawn / pvm_send / pvm_recv over the whole worker set),
+// WorkerChannel is the slave's view (pvm_send / pvm_recv against the
+// master only). Both speak Message values whose payloads are plain
+// Packer bytes — sealing/framing/checksumming is the transport's
+// business, invisible above this interface.
+//
+// Fault model: a transport never throws out of receive() because a
+// *worker* misbehaved. Worker death, dropped connections, and corrupt
+// frames are turned into control messages (transport_tag below) so the
+// farm can requeue, quarantine, and respawn; exceptions out of
+// transport calls mean the transport itself is unusable.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "parallel/message.hpp"
+#include "parallel/transport_error.hpp"
+
+namespace ldga::parallel {
+
+/// Control tags synthesized by transports (and the heartbeat emitted by
+/// socket workers). Negative so they can never collide with a
+/// protocol's own tags (the farm uses small positive ones) or with the
+/// kAnyTag (-1) wildcard.
+namespace transport_tag {
+/// Periodic liveness signal from an idle socket worker; empty payload.
+inline constexpr std::int32_t kHeartbeat = -100;
+/// The worker is gone (crashed, killed, disconnected, or its body
+/// threw). Payload: one packed string describing why. Synthesized by
+/// the transport, at most once per worker incarnation.
+inline constexpr std::int32_t kWorkerLost = -101;
+/// A frame from the worker failed its integrity check. Payload: one
+/// packed string with the decoder's complaint. Over a socket the
+/// stream is unrecoverable, so kWorkerLost follows; in-process the
+/// worker is still healthy and may be sent further work.
+inline constexpr std::int32_t kCorruptFrame = -102;
+/// First frame a TCP worker sends so the master can match the inbound
+/// connection to the spawned process. Never seen above the transport.
+inline constexpr std::int32_t kHello = -103;
+}  // namespace transport_tag
+
+/// How a worker's outgoing message should be sabotaged — the hook the
+/// fault injector's transport faults ride on.
+enum class FrameFault : std::uint8_t {
+  kNone,
+  kDrop,     ///< never put the frame on the wire
+  kCorrupt,  ///< flip a payload bit after sealing, breaking the CRC
+};
+
+/// Thrown by WorkerChannel::die on thread-backed transports to unwind
+/// the worker body (process-backed channels _exit instead). Not a
+/// std::exception subclass on purpose: it must fly past the worker
+/// loop's catch-and-report-error handling.
+struct WorkerTerminated {
+  std::string reason;
+};
+
+/// A worker's endpoint: talk to the master, nothing else.
+class WorkerChannel {
+ public:
+  virtual ~WorkerChannel() = default;
+
+  virtual TaskId id() const = 0;
+
+  /// Sends one message to the master. Throws TransportClosed when the
+  /// master is gone (worker should exit quietly).
+  virtual void send_to_master(std::int32_t tag, Packer payload,
+                              FrameFault fault = FrameFault::kNone) = 0;
+
+  /// Blocks for the next message from the master. Throws
+  /// TransportClosed on shutdown or a dropped connection.
+  virtual Message receive_from_master() = 0;
+
+  /// Dies abruptly, mid-protocol, without a goodbye — the injected
+  /// "kill -9" fault. A process worker _exits; a thread worker unwinds
+  /// via WorkerTerminated. Either way the master learns of it only
+  /// through the transport's kWorkerLost.
+  [[noreturn]] virtual void die(const std::string& reason) = 0;
+
+  /// Drops the connection to the master, then dies. Distinct from die()
+  /// on sockets (FIN instead of a vanished process) but equally fatal.
+  [[noreturn]] virtual void disconnect() = 0;
+};
+
+/// The master's endpoint: spawn workers, address them by TaskId,
+/// receive from any of them.
+class Transport {
+ public:
+  /// The code a worker runs, identical across transports. In-process it
+  /// runs on a spawned thread; over sockets it runs in a forked child.
+  using WorkerBody = std::function<void(WorkerChannel&)>;
+
+  virtual ~Transport() = default;
+
+  /// Starts one worker running the body; returns its address. Throws
+  /// SpawnError when the worker cannot be started.
+  virtual TaskId spawn_worker() = 0;
+
+  /// Sends one message to a worker. Throws TransportClosed when that
+  /// worker is known to be gone or retired; the caller should treat the
+  /// worker as lost (the transport will not synthesize kWorkerLost for
+  /// a failed send — the sender already knows).
+  virtual void send_to_worker(TaskId worker, std::int32_t tag,
+                              Packer payload) = 0;
+
+  /// Blocks for the next message from any worker (results, heartbeats,
+  /// and the control tags above).
+  virtual Message receive() = 0;
+
+  /// As receive(), but gives up after `timeout`; empty on timeout.
+  virtual std::optional<Message> receive_for(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// True while the worker is believed able to accept and answer work.
+  virtual bool worker_alive(TaskId worker) const = 0;
+
+  /// Force-retires a worker: its connection/mailbox is closed, no
+  /// kWorkerLost will be synthesized for it, and sends to it fail.
+  /// Idempotent; unknown ids are ignored. Used for quarantine and for
+  /// workers declared dead by deadline.
+  virtual void retire_worker(TaskId worker) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Builds a transport given the body its workers will run; what the
+/// farm (and the evaluation backends above it) take as configuration.
+using TransportFactory =
+    std::function<std::unique_ptr<Transport>(Transport::WorkerBody)>;
+
+/// Workers are VirtualMachine threads; messages travel through sealed
+/// in-process mailboxes. The default, and the fastest.
+std::unique_ptr<Transport> make_in_process_transport(
+    Transport::WorkerBody body);
+
+TransportFactory in_process_transport_factory();
+
+}  // namespace ldga::parallel

@@ -1,33 +1,65 @@
 #include "parallel/virtual_machine.hpp"
 
+#include "parallel/frame.hpp"
+#include "parallel/transport_error.hpp"
 #include "util/error.hpp"
 
 namespace ldga::parallel {
+
+namespace {
+
+/// Verifies the seal on a just-received message and strips it,
+/// upgrading the anonymous FrameError to one naming the sender.
+Message unseal_message(Message message) {
+  try {
+    message.payload = unseal_payload(std::move(message.payload));
+  } catch (const FrameError& e) {
+    throw WireProtocolError(std::string("message from task ") +
+                                std::to_string(message.source) + ": " +
+                                e.what(),
+                            message.source, message.tag);
+  }
+  return message;
+}
+
+}  // namespace
 
 std::uint32_t TaskContext::task_count() const { return vm_->task_count(); }
 
 void TaskContext::send(TaskId destination, std::int32_t tag,
                        Packer payload) const {
+  send_raw(destination, tag, seal_payload(std::move(payload).take()));
+}
+
+void TaskContext::send_raw(TaskId destination, std::int32_t tag,
+                           std::vector<std::uint8_t> sealed) const {
   Message message;
   message.source = id_;
   message.tag = tag;
-  message.payload = std::move(payload).take();
-  vm_->mailbox_of(destination).deliver(std::move(message));
+  message.payload = std::move(sealed);
+  if (!vm_->mailbox_of(destination).deliver(std::move(message))) {
+    throw TransportClosed("send to task " + std::to_string(destination) +
+                          " failed: mailbox closed");
+  }
 }
 
 Message TaskContext::receive(TaskId source, std::int32_t tag) const {
-  return vm_->mailbox_of(id_).receive(source, tag);
+  return unseal_message(vm_->mailbox_of(id_).receive(source, tag));
 }
 
 std::optional<Message> TaskContext::try_receive(TaskId source,
                                                 std::int32_t tag) const {
-  return vm_->mailbox_of(id_).try_receive(source, tag);
+  auto message = vm_->mailbox_of(id_).try_receive(source, tag);
+  if (!message) return std::nullopt;
+  return unseal_message(std::move(*message));
 }
 
 std::optional<Message> TaskContext::receive_for(
     std::chrono::milliseconds timeout, TaskId source,
     std::int32_t tag) const {
-  return vm_->mailbox_of(id_).receive_for(timeout, source, tag);
+  auto message = vm_->mailbox_of(id_).receive_for(timeout, source, tag);
+  if (!message) return std::nullopt;
+  return unseal_message(std::move(*message));
 }
 
 bool TaskContext::probe(TaskId source, std::int32_t tag) const {
@@ -68,6 +100,8 @@ Mailbox& VirtualMachine::mailbox_of(TaskId id) {
   }
   return *mailboxes_[static_cast<std::size_t>(id)];
 }
+
+void VirtualMachine::close_mailbox(TaskId id) { mailbox_of(id).close(); }
 
 void VirtualMachine::halt() {
   std::vector<std::jthread> to_join;

@@ -23,12 +23,26 @@ class VirtualMachine;
 
 /// Handle a task uses to communicate; also usable by the master via
 /// VirtualMachine::master_context().
+///
+/// Every payload is sealed (protocol-version byte + CRC-32, frame.hpp)
+/// by send and verified by the receive family, so even the
+/// thread-mailbox path follows the same wire-integrity discipline as
+/// the socket transport: a corrupted payload surfaces as a typed
+/// WireProtocolError naming the offending peer, never a silent misread.
 class TaskContext {
  public:
   TaskId id() const { return id_; }
   std::uint32_t task_count() const;
 
+  /// Seals and delivers. Throws TransportClosed when the destination
+  /// mailbox has been closed (task retired or machine halting).
   void send(TaskId destination, std::int32_t tag, Packer payload) const;
+
+  /// Delivers pre-sealed bytes verbatim — the escape hatch the fault
+  /// injector uses to put a deliberately corrupt payload on the wire.
+  void send_raw(TaskId destination, std::int32_t tag,
+                std::vector<std::uint8_t> sealed) const;
+
   Message receive(TaskId source = kAnySource,
                   std::int32_t tag = kAnyTag) const;
   std::optional<Message> try_receive(TaskId source = kAnySource,
@@ -66,6 +80,13 @@ class VirtualMachine {
 
   /// Number of live addressable tasks including the master.
   std::uint32_t task_count() const;
+
+  /// Closes one task's mailbox: its blocked receives throw
+  /// TransportClosed and later sends to it fail. The thread itself
+  /// keeps running until it next touches its mailbox — the transport
+  /// layer uses this to retire a hung or faulty worker without waiting
+  /// for it.
+  void close_mailbox(TaskId id);
 
   /// Closes every mailbox, unblocking all receivers, and joins tasks.
   /// Idempotent; also performed by the destructor.

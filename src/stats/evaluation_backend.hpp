@@ -29,12 +29,19 @@
 
 #include "parallel/farm_policy.hpp"
 #include "parallel/fault_injection.hpp"
+#include "parallel/socket_transport.hpp"
 #include "stats/evaluator.hpp"
 
 namespace ldga::stats {
 
 /// A candidate haplotype: sorted, distinct SNP indices.
 using Candidate = std::vector<genomics::SnpIndex>;
+
+/// Message layer under the farm backend (ignored by serial / pool).
+enum class FarmTransport {
+  kInProcess,  ///< VirtualMachine threads + sealed mailboxes (default)
+  kSocket,     ///< forked worker processes + checksummed socket frames
+};
 
 /// Construction-time knobs shared by every backend factory.
 struct BackendOptions {
@@ -48,6 +55,12 @@ struct BackendOptions {
   /// Deterministic fault injection, consulted per (phase, task) attempt
   /// by every backend. Null = no faults.
   std::shared_ptr<parallel::FaultInjector> fault_injector;
+  /// Farm backend only: run the slaves in-process or as supervised
+  /// worker processes over sockets. Either way evaluate_batch returns
+  /// the identical fitness vector — the transport is invisible above
+  /// this option.
+  FarmTransport transport = FarmTransport::kInProcess;
+  parallel::SocketTransportConfig socket;
 };
 
 class EvaluationBackend {

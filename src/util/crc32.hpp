@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+// spans. Used as the integrity check on everything that crosses a
+// process boundary or survives a crash: socket frames, sealed
+// in-process message payloads, and checkpoint files. Software
+// table-driven implementation — the payloads are small relative to the
+// work they describe, so a hardware CRC is not worth an ISA gate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ldga::util {
+
+/// CRC of `bytes`, continuing from `crc` (pass 0 to start; feeding a
+/// buffer in pieces gives the same result as one call over the whole).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t crc = 0);
+
+}  // namespace ldga::util

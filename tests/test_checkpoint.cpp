@@ -137,6 +137,69 @@ TEST(Checkpoint, TruncatedFileIsRejected) {
   EXPECT_THROW(load_checkpoint(path), CheckpointError);
 }
 
+TEST(Checkpoint, TruncationIsCaughtByTheChecksumFirst) {
+  // Chop a handful of bytes off the tail — the kind of partial image a
+  // crash mid-write leaves behind. The CRC-32 trailer must reject it
+  // before any field is interpreted.
+  const std::string path = temp_path("crash_truncated.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  auto bytes = read_bytes(path);
+  bytes.resize(bytes.size() - 7);
+  write_bytes(path, bytes);
+  try {
+    load_checkpoint(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, EveryFlippedBitIsDetected) {
+  // Flip one bit at a sample of offsets across the image (header,
+  // middle, trailer): the load must never deliver silently-corrupt GA
+  // state.
+  const std::string path = temp_path("bitflip.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  const auto clean = read_bytes(path);
+  for (std::size_t offset = 0; offset < clean.size();
+       offset += clean.size() / 17 + 1) {
+    auto bytes = clean;
+    bytes[offset] ^= 0x40u;
+    write_bytes(path, bytes);
+    EXPECT_THROW(load_checkpoint(path), CheckpointError)
+        << "flip at offset " << offset;
+  }
+}
+
+TEST(Checkpoint, TinyFileIsRejectedNotMisread) {
+  const std::string path = temp_path("tiny.ckpt");
+  write_bytes(path, {0x01, 0x02});  // shorter than the CRC trailer
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+TEST(Checkpoint, SaveLeavesNoTempFileBehind) {
+  // The crash-safe write goes through path.tmp + atomic rename; after a
+  // successful save only the final name may exist.
+  const std::string path = temp_path("atomic.ckpt");
+  save_checkpoint(path, sample_checkpoint());
+  EXPECT_TRUE(checkpoint_exists(path));
+  EXPECT_FALSE(checkpoint_exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, FailedOverwriteKeepsThePreviousSnapshotIntact) {
+  // Rename is atomic: a reader must always see either the old complete
+  // snapshot or the new complete snapshot, never a mixture. Simulate
+  // the "old snapshot present" half by loading after a plain overwrite.
+  const std::string path = temp_path("previous.ckpt");
+  GaCheckpoint cp = sample_checkpoint();
+  cp.generation = 7;
+  save_checkpoint(path, cp);
+  cp.generation = 8;
+  save_checkpoint(path, cp);
+  EXPECT_EQ(load_checkpoint(path).generation, 8u);
+  EXPECT_FALSE(checkpoint_exists(path + ".tmp"));
+}
+
 TEST(Checkpoint, TrailingGarbageIsRejected) {
   const std::string path = temp_path("trailing.ckpt");
   save_checkpoint(path, sample_checkpoint());

@@ -138,11 +138,21 @@ TEST_P(BackendConformance, InvalidPolicyIsRejectedAtConstruction) {
   EXPECT_THROW(make(options), ConfigError);
 }
 
+/// The same farm, but with its slaves in forked worker processes over
+/// checksummed Unix-socket frames — the conformance contract must hold
+/// verbatim across the transport swap.
+std::shared_ptr<EvaluationBackend> make_socket_farm_backend(
+    const HaplotypeEvaluator& evaluator, BackendOptions options) {
+  options.transport = FarmTransport::kSocket;
+  return make_farm_backend(evaluator, options);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformance,
     ::testing::Values(BackendCase{"serial", &make_serial_backend},
                       BackendCase{"thread_pool", &make_thread_pool_backend},
-                      BackendCase{"farm", &make_farm_backend}),
+                      BackendCase{"farm", &make_farm_backend},
+                      BackendCase{"farm_socket", &make_socket_farm_backend}),
     [](const ::testing::TestParamInfo<BackendCase>& param_info) {
       return std::string(param_info.param.label);
     });

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
+#include "parallel/transport_error.hpp"
 #include "util/error.hpp"
 
 namespace ldga::parallel {
@@ -22,16 +25,16 @@ TEST(Mailbox, FifoWithinMatchingMessages) {
   first.payload = {1};
   Message second = make_message(1, 5);
   second.payload = {2};
-  box.deliver(std::move(first));
-  box.deliver(std::move(second));
+  ASSERT_TRUE(box.deliver(std::move(first)));
+  ASSERT_TRUE(box.deliver(std::move(second)));
   EXPECT_EQ(box.receive().payload[0], 1);
   EXPECT_EQ(box.receive().payload[0], 2);
 }
 
 TEST(Mailbox, SelectiveReceiveByTag) {
   Mailbox box;
-  box.deliver(make_message(1, 10));
-  box.deliver(make_message(1, 20));
+  ASSERT_TRUE(box.deliver(make_message(1, 10)));
+  ASSERT_TRUE(box.deliver(make_message(1, 20)));
   const Message m = box.receive(kAnySource, 20);
   EXPECT_EQ(m.tag, 20);
   EXPECT_EQ(box.pending(), 1u);
@@ -40,8 +43,8 @@ TEST(Mailbox, SelectiveReceiveByTag) {
 
 TEST(Mailbox, SelectiveReceiveBySource) {
   Mailbox box;
-  box.deliver(make_message(3, 1));
-  box.deliver(make_message(7, 1));
+  ASSERT_TRUE(box.deliver(make_message(3, 1)));
+  ASSERT_TRUE(box.deliver(make_message(7, 1)));
   EXPECT_EQ(box.receive(7).source, 7);
   EXPECT_EQ(box.receive(3).source, 3);
 }
@@ -49,7 +52,7 @@ TEST(Mailbox, SelectiveReceiveBySource) {
 TEST(Mailbox, TryReceiveDoesNotBlock) {
   Mailbox box;
   EXPECT_FALSE(box.try_receive().has_value());
-  box.deliver(make_message(1, 2));
+  ASSERT_TRUE(box.deliver(make_message(1, 2)));
   const auto m = box.try_receive(kAnySource, 2);
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->tag, 2);
@@ -58,7 +61,7 @@ TEST(Mailbox, TryReceiveDoesNotBlock) {
 
 TEST(Mailbox, TryReceiveLeavesNonMatching) {
   Mailbox box;
-  box.deliver(make_message(1, 2));
+  ASSERT_TRUE(box.deliver(make_message(1, 2)));
   EXPECT_FALSE(box.try_receive(kAnySource, 3).has_value());
   EXPECT_EQ(box.pending(), 1u);
 }
@@ -66,7 +69,7 @@ TEST(Mailbox, TryReceiveLeavesNonMatching) {
 TEST(Mailbox, ProbeSeesWithoutConsuming) {
   Mailbox box;
   EXPECT_FALSE(box.probe());
-  box.deliver(make_message(2, 9));
+  ASSERT_TRUE(box.deliver(make_message(2, 9)));
   EXPECT_TRUE(box.probe());
   EXPECT_TRUE(box.probe(2, 9));
   EXPECT_FALSE(box.probe(3));
@@ -77,7 +80,7 @@ TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
   Mailbox box;
   std::thread producer([&box] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    box.deliver(make_message(4, 44));
+    ASSERT_TRUE(box.deliver(make_message(4, 44)));
   });
   const Message m = box.receive(4, 44);
   EXPECT_EQ(m.tag, 44);
@@ -95,10 +98,12 @@ TEST(Mailbox, CloseUnblocksReceiverWithError) {
   EXPECT_TRUE(box.closed());
 }
 
-TEST(Mailbox, DeliveryAfterCloseIsDropped) {
+TEST(Mailbox, DeliveryAfterCloseIsRefused) {
+  // The false return is the sender's typed signal: the transport layer
+  // turns it into TransportClosed instead of losing the message quietly.
   Mailbox box;
   box.close();
-  box.deliver(make_message(1, 1));
+  EXPECT_FALSE(box.deliver(make_message(1, 1)));
   EXPECT_EQ(box.pending(), 0u);
 }
 
@@ -106,10 +111,104 @@ TEST(Mailbox, DrainsQueuedBeforeCloseError) {
   // receive() must fail once closed, even if the queue still matches
   // nothing; but queued matching messages are still deliverable.
   Mailbox box;
-  box.deliver(make_message(1, 1));
+  ASSERT_TRUE(box.deliver(make_message(1, 1)));
   box.close();
   EXPECT_EQ(box.receive().tag, 1);
   EXPECT_THROW(box.receive(), ParallelError);
+}
+
+// ---- close/shutdown edge cases (ISSUE 6 satellite) -------------------
+
+TEST(Mailbox, CloseWakesEveryBlockedReceiverWithTransportClosed) {
+  Mailbox box;
+  std::atomic<int> closed_errors{0};
+  std::vector<std::thread> receivers;
+  for (int i = 0; i < 4; ++i) {
+    receivers.emplace_back([&box, &closed_errors] {
+      try {
+        (void)box.receive(7, 7);  // nothing will ever match
+      } catch (const TransportClosed&) {
+        ++closed_errors;
+      }
+    });
+  }
+  // Give the receivers a moment to block, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.close();
+  for (auto& receiver : receivers) receiver.join();
+  EXPECT_EQ(closed_errors.load(), 4);
+}
+
+TEST(Mailbox, CloseIsSafeWithConcurrentSenders) {
+  // Senders racing a close must each get a definite verdict — true
+  // (queued before the close) or false (refused) — and the mailbox must
+  // end up closed with no receiver able to block forever.
+  Mailbox box;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> refused{0};
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 4; ++t) {
+    senders.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        if (box.deliver(make_message(1, i))) {
+          ++accepted;
+        } else {
+          ++refused;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  box.close();
+  for (auto& sender : senders) sender.join();
+  EXPECT_EQ(accepted.load() + refused.load(), 2000u);
+  EXPECT_EQ(box.pending(), accepted.load());
+  EXPECT_TRUE(box.closed());
+  // And a straggler arriving after everything settled is refused too.
+  EXPECT_FALSE(box.deliver(make_message(9, 9)));
+}
+
+TEST(Mailbox, TimedReceiveExpiringAgainstCloseIsAlwaysDefinite) {
+  // A receive_for whose timeout races the close must resolve one of
+  // exactly two ways — timeout (empty) or TransportClosed — never a
+  // hang, never a crash. Run several laps to give the race both
+  // outcomes a chance.
+  for (int lap = 0; lap < 20; ++lap) {
+    Mailbox box;
+    std::atomic<bool> definite{false};
+    std::thread receiver([&box, &definite] {
+      try {
+        const auto message = box.receive_for(std::chrono::milliseconds(2));
+        definite = !message.has_value();  // timeout path
+      } catch (const TransportClosed&) {
+        definite = true;  // close path
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    box.close();
+    receiver.join();
+    EXPECT_TRUE(definite.load()) << "lap " << lap;
+  }
+}
+
+TEST(Mailbox, TimedReceiveThrowsTypedErrorWhenClosedMidWait) {
+  Mailbox box;
+  std::thread closer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+  });
+  // Long timeout: the close must interrupt it, not the clock.
+  EXPECT_THROW((void)box.receive_for(std::chrono::seconds(30)),
+               TransportClosed);
+  closer.join();
+}
+
+TEST(Mailbox, CloseIsIdempotent) {
+  Mailbox box;
+  box.close();
+  box.close();
+  EXPECT_TRUE(box.closed());
+  EXPECT_THROW(box.receive(), TransportClosed);
 }
 
 }  // namespace

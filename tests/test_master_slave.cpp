@@ -6,6 +6,7 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <thread>
 
 #include "parallel/fault_injection.hpp"
 
@@ -382,6 +383,134 @@ TEST(FarmFaultTolerance, GenerousDeadlineDoesNotInterfere) {
   const auto results = farm.run(std::vector<double>{3.0, 4.0});
   EXPECT_DOUBLE_EQ(results[0], 9.0);
   EXPECT_DOUBLE_EQ(results[1], 16.0);
+}
+
+// ---- transport faults (worker loss, frame damage, degradation) ------
+
+TEST(FarmFaultTolerance, KilledWorkerIsRespawnedAndThePhaseCompletes) {
+  FaultInjector::Config faults;
+  faults.kill_on_tasks = {1};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  FarmPolicy policy;
+  policy.max_task_retries = 5;
+  policy.respawn_backoff = std::chrono::milliseconds(1);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x + 3.0; }, policy, injector);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] + 3.0);
+  }
+  EXPECT_EQ(injector->injected_kills(), 1u);
+  EXPECT_EQ(farm.stats().worker_losses, 1u);
+  EXPECT_GE(farm.stats().respawns, 1u);
+  EXPECT_EQ(farm.healthy_slave_count(), 2u);
+  // The respawned worker serves later phases normally.
+  EXPECT_DOUBLE_EQ(farm.run(std::vector<double>{10.0})[0], 13.0);
+}
+
+TEST(FarmFaultTolerance, DisconnectIsALossLikeAnyOther) {
+  FaultInjector::Config faults;
+  faults.disconnect_on_tasks = {0};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  FarmPolicy policy;
+  policy.respawn_backoff = std::chrono::milliseconds(1);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x * 5.0; }, policy, injector);
+  const auto results = farm.run(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(results[0], 5.0);
+  EXPECT_DOUBLE_EQ(results[1], 10.0);
+  EXPECT_DOUBLE_EQ(results[2], 15.0);
+  EXPECT_EQ(injector->injected_disconnects(), 1u);
+  EXPECT_EQ(farm.stats().worker_losses, 1u);
+}
+
+TEST(FarmFaultTolerance, CorruptReplyIsRetriedOnTheLivingWorker) {
+  // In-process, a corrupt frame damages one message, not the stream:
+  // the worker stays healthy, the task is retried like an error reply.
+  FaultInjector::Config faults;
+  faults.corrupt_on_tasks = {2};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x - 2.0; }, FarmPolicy{}, injector);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] - 2.0);
+  }
+  EXPECT_EQ(injector->injected_corrupts(), 1u);
+  EXPECT_EQ(farm.stats().corrupt_frames, 1u);
+  EXPECT_EQ(farm.stats().failures, 1u);
+  EXPECT_EQ(farm.stats().retries, 1u);
+  EXPECT_EQ(farm.stats().worker_losses, 0u);
+  EXPECT_EQ(farm.healthy_slave_count(), 2u);
+}
+
+TEST(FarmFaultTolerance, DroppedReplyRecoversViaTaskDeadline) {
+  // Without a deadline a dropped reply would hang the phase forever;
+  // with one, the silent worker is declared lost and the task requeued.
+  FaultInjector::Config faults;
+  faults.drop_on_tasks = {0};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  FarmPolicy policy;
+  policy.task_deadline = std::chrono::milliseconds(100);
+  policy.respawn_backoff = std::chrono::milliseconds(1);
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x / 2.0; }, policy, injector);
+  const std::vector<double> tasks{2.0, 4.0, 6.0};
+  const auto results = farm.run(tasks);
+  EXPECT_DOUBLE_EQ(results[0], 1.0);
+  EXPECT_DOUBLE_EQ(results[1], 2.0);
+  EXPECT_DOUBLE_EQ(results[2], 3.0);
+  EXPECT_EQ(injector->injected_drops(), 1u);
+  EXPECT_EQ(farm.stats().worker_losses, 1u);
+}
+
+TEST(FarmFaultTolerance, DegradesToTheMasterWhenEveryWorkerIsGone) {
+  // Both workers are killed on their first task and the policy forbids
+  // respawning; the master must finish the phase itself, serially.
+  FaultInjector::Config faults;
+  faults.kill_on_tasks = {0, 1};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  FarmPolicy policy;
+  policy.max_task_retries = 5;
+  policy.quarantine_after = 1;
+  policy.respawn_quarantined = false;
+  policy.degrade_to_master = true;
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x * x; }, policy, injector);
+  const std::vector<double> tasks{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto results = farm.run(tasks);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], tasks[i] * tasks[i]);
+  }
+  EXPECT_EQ(farm.stats().worker_losses, 2u);
+  EXPECT_EQ(farm.healthy_slave_count(), 0u);
+  EXPECT_EQ(farm.stats().master_degraded_tasks, 5u);
+  // Fully degraded, the farm keeps serving phases on the master.
+  const auto more = farm.run(std::vector<double>{6.0});
+  EXPECT_DOUBLE_EQ(more[0], 36.0);
+  EXPECT_EQ(farm.stats().master_degraded_tasks, 6u);
+}
+
+TEST(FarmFaultTolerance, NoDegradationMeansWorkerWipeoutFailsThePhase) {
+  FaultInjector::Config faults;
+  faults.kill_on_tasks = {0, 1};
+  auto injector = std::make_shared<FaultInjector>(faults);
+  FarmPolicy policy;
+  policy.max_task_retries = 5;
+  policy.quarantine_after = 1;
+  policy.respawn_quarantined = false;
+  policy.degrade_to_master = false;
+  MasterSlaveFarm<double, double> farm(
+      2, [](const double& x) { return x; }, policy, injector);
+  try {
+    farm.run(std::vector<double>{1.0, 2.0, 3.0});
+    FAIL() << "expected FarmPhaseError";
+  } catch (const FarmPhaseError& error) {
+    EXPECT_NE(std::string(error.what()).find("no healthy slaves"),
+              std::string::npos);
+  }
 }
 
 TEST(FarmFaultTolerance, ProbabilisticFaultsStillCompletePhases) {

@@ -1,0 +1,572 @@
+// The transport layer in isolation: CRC-32, sealed payloads, the frame
+// codec, the in-process transport's worker-loss machinery, the process
+// supervisor, and the socket transport (Unix and TCP) end to end.
+#include "parallel/transport.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/frame.hpp"
+#include "parallel/process_supervisor.hpp"
+#include "parallel/socket_transport.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace ldga::parallel {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::uint8_t> bytes_of(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+// ---- CRC-32 ----------------------------------------------------------
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The standard check value for CRC-32/ISO-HDLC: crc("123456789").
+  EXPECT_EQ(util::crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(util::crc32(std::vector<std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, IncrementalFeedingMatchesOneShot) {
+  const auto data = bytes_of("linkage disequilibrium");
+  const auto whole = util::crc32(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const auto first = util::crc32(
+        std::span<const std::uint8_t>(data.data(), split));
+    const auto second = util::crc32(
+        std::span<const std::uint8_t>(data.data() + split,
+                                      data.size() - split),
+        first);
+    EXPECT_EQ(second, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  auto data = bytes_of("payload");
+  const auto clean = util::crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 1u;
+    EXPECT_NE(util::crc32(data), clean) << "flip at " << i;
+    data[i] ^= 1u;
+  }
+}
+
+// ---- sealed payloads (the in-process wire) ---------------------------
+
+TEST(SealedPayload, RoundTrips) {
+  const auto payload = bytes_of("hello farm");
+  const auto sealed = seal_payload(payload);
+  EXPECT_EQ(sealed.size(), payload.size() + 5);
+  EXPECT_EQ(sealed[0], kWireProtocolVersion);
+  EXPECT_EQ(unseal_payload(sealed), payload);
+}
+
+TEST(SealedPayload, EmptyPayloadRoundTrips) {
+  EXPECT_TRUE(unseal_payload(seal_payload({})).empty());
+}
+
+TEST(SealedPayload, FlippedBitFailsTheChecksum) {
+  auto sealed = seal_payload(bytes_of("hello farm"));
+  sealed.back() ^= 0x01u;
+  EXPECT_THROW(unseal_payload(std::move(sealed)), FrameError);
+}
+
+TEST(SealedPayload, WrongVersionIsRejected) {
+  auto sealed = seal_payload(bytes_of("hello"));
+  sealed[0] = kWireProtocolVersion + 1;
+  try {
+    unseal_payload(std::move(sealed));
+    FAIL() << "expected FrameError";
+  } catch (const FrameError& error) {
+    EXPECT_NE(std::string(error.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SealedPayload, ShortBufferIsRejected) {
+  EXPECT_THROW(unseal_payload({kWireProtocolVersion, 0, 0}), FrameError);
+}
+
+// ---- frame codec (the socket wire) -----------------------------------
+
+Message sample_message(TaskId source, std::int32_t tag,
+                       const std::string& text) {
+  Message message;
+  message.source = source;
+  message.tag = tag;
+  message.payload = bytes_of(text);
+  return message;
+}
+
+TEST(FrameCodec, RoundTripsOneFrame) {
+  const auto frame = encode_frame(sample_message(7, 42, "result bytes"));
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  const auto message = decoder.next();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->source, 7);
+  EXPECT_EQ(message->tag, 42);
+  EXPECT_EQ(message->payload, bytes_of("result bytes"));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodec, DecodesByteByByte) {
+  // A stream transport may deliver any split; the decoder must not care.
+  const auto frame = encode_frame(sample_message(1, 2, "dribbled"));
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (i + 1 < frame.size()) {
+      decoder.feed(&frame[i], 1);
+      EXPECT_FALSE(decoder.next().has_value());
+    } else {
+      decoder.feed(&frame[i], 1);
+    }
+  }
+  const auto message = decoder.next();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->payload, bytes_of("dribbled"));
+}
+
+TEST(FrameCodec, DecodesBackToBackFrames) {
+  auto stream = encode_frame(sample_message(3, 1, "first"));
+  const auto second = encode_frame(sample_message(4, 2, "second"));
+  stream.insert(stream.end(), second.begin(), second.end());
+  FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  EXPECT_EQ(decoder.next()->payload, bytes_of("first"));
+  EXPECT_EQ(decoder.next()->payload, bytes_of("second"));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameCodec, CorruptPayloadThrows) {
+  auto frame = encode_frame(sample_message(1, 1, "soon to be damaged"));
+  frame.back() ^= 0x10u;
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(FrameCodec, BadMagicThrows) {
+  auto frame = encode_frame(sample_message(1, 1, "x"));
+  frame[0] ^= 0xffu;
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(FrameCodec, WrongVersionThrows) {
+  auto frame = encode_frame(sample_message(1, 1, "x"));
+  frame[4] = kWireProtocolVersion + 9;
+  FrameDecoder decoder;
+  decoder.feed(frame.data(), frame.size());
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(FrameCodec, InsaneLengthIsCorruptionNotAllocation) {
+  // A flipped bit in the length field must not drive a giant resize.
+  const auto frame = encode_frame(sample_message(1, 1, "many bytes here"));
+  FrameDecoder decoder(8);  // payload limit below the actual size
+  decoder.feed(frame.data(), frame.size());
+  try {
+    decoder.next();
+    FAIL() << "expected FrameError";
+  } catch (const FrameError& error) {
+    EXPECT_NE(std::string(error.what()).find("limit"), std::string::npos);
+  }
+}
+
+// ---- in-process transport --------------------------------------------
+
+constexpr std::int32_t kPing = 1;
+constexpr std::int32_t kPong = 2;
+constexpr std::int32_t kQuit = 3;
+
+/// Doubles every i32 it receives until told to quit. `fault` sabotages
+/// the *next* reply only.
+Transport::WorkerBody echo_body(FrameFault fault = FrameFault::kNone) {
+  return [fault](WorkerChannel& channel) mutable {
+    for (;;) {
+      Message message;
+      try {
+        message = channel.receive_from_master();
+      } catch (const TransportClosed&) {
+        return;
+      }
+      if (message.tag == kQuit) return;
+      Unpacker unpacker = message.unpacker();
+      Packer reply;
+      reply.pack(unpacker.unpack<std::int32_t>() * 2);
+      channel.send_to_master(kPong, std::move(reply), fault);
+      fault = FrameFault::kNone;
+    }
+  };
+}
+
+void send_ping(Transport& transport, TaskId worker, std::int32_t value) {
+  Packer packer;
+  packer.pack(value);
+  transport.send_to_worker(worker, kPing, std::move(packer));
+}
+
+TEST(InProcessTransport, EchoAcrossSeveralWorkers) {
+  auto transport = make_in_process_transport(echo_body());
+  EXPECT_EQ(transport->name(), "in-process");
+  std::vector<TaskId> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(transport->spawn_worker());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    send_ping(*transport, workers[i], static_cast<std::int32_t>(i) + 10);
+  }
+  int sum = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const Message reply = transport->receive();
+    EXPECT_EQ(reply.tag, kPong);
+    EXPECT_TRUE(transport->worker_alive(reply.source));
+    sum += reply.unpacker().unpack<std::int32_t>();
+  }
+  EXPECT_EQ(sum, 2 * (10 + 11 + 12));
+  for (const TaskId worker : workers) {
+    transport->send_to_worker(worker, kQuit, Packer{});
+  }
+}
+
+TEST(InProcessTransport, SendToUnknownWorkerIsATransportError) {
+  auto transport = make_in_process_transport(echo_body());
+  EXPECT_THROW(transport->send_to_worker(1234, kPing, Packer{}),
+               TransportError);
+}
+
+TEST(InProcessTransport, ReceiveForTimesOutEmpty) {
+  auto transport = make_in_process_transport(echo_body());
+  (void)transport->spawn_worker();
+  EXPECT_FALSE(transport->receive_for(30ms).has_value());
+}
+
+TEST(InProcessTransport, WorkerBodyEscapeBecomesWorkerLost) {
+  auto transport = make_in_process_transport([](WorkerChannel& channel) {
+    (void)channel.receive_from_master();
+    throw std::runtime_error("evaluator blew up");
+  });
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 1);
+  const Message lost = transport->receive();
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_EQ(lost.source, worker);
+  const std::string reason = lost.unpacker().unpack_string();
+  EXPECT_NE(reason.find("evaluator blew up"), std::string::npos);
+  EXPECT_FALSE(transport->worker_alive(worker));
+  EXPECT_THROW(transport->send_to_worker(worker, kPing, Packer{}),
+               TransportClosed);
+}
+
+TEST(InProcessTransport, DieIsAnnouncedWithItsReason) {
+  auto transport = make_in_process_transport([](WorkerChannel& channel) {
+    (void)channel.receive_from_master();
+    channel.die("injected kill");
+  });
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 1);
+  const Message lost = transport->receive();
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_NE(lost.unpacker().unpack_string().find("injected kill"),
+            std::string::npos);
+}
+
+TEST(InProcessTransport, RetiredWorkerIsSilencedNotAnnounced) {
+  auto transport = make_in_process_transport(echo_body());
+  const TaskId worker = transport->spawn_worker();
+  transport->retire_worker(worker);
+  EXPECT_FALSE(transport->worker_alive(worker));
+  EXPECT_THROW(transport->send_to_worker(worker, kPing, Packer{}),
+               TransportClosed);
+  // The worker saw its mailbox close and exited *gracefully*: no
+  // kWorkerLost may show up.
+  EXPECT_FALSE(transport->receive_for(50ms).has_value());
+}
+
+TEST(InProcessTransport, CorruptReplySurfacesAsCorruptFrame) {
+  auto transport = make_in_process_transport(echo_body(FrameFault::kCorrupt));
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 21);
+  const Message corrupt = transport->receive();
+  EXPECT_EQ(corrupt.tag, transport_tag::kCorruptFrame);
+  EXPECT_EQ(corrupt.source, worker);
+  // In-process, only the one message was damaged — the worker survives
+  // and the next exchange is clean.
+  EXPECT_TRUE(transport->worker_alive(worker));
+  send_ping(*transport, worker, 5);
+  const Message reply = transport->receive();
+  EXPECT_EQ(reply.tag, kPong);
+  EXPECT_EQ(reply.unpacker().unpack<std::int32_t>(), 10);
+  transport->send_to_worker(worker, kQuit, Packer{});
+}
+
+TEST(InProcessTransport, DroppedReplyNeverArrives) {
+  auto transport = make_in_process_transport(echo_body(FrameFault::kDrop));
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 3);
+  EXPECT_FALSE(transport->receive_for(50ms).has_value());
+  // The worker itself is fine; only the reply was lost.
+  send_ping(*transport, worker, 4);
+  EXPECT_EQ(transport->receive().unpacker().unpack<std::int32_t>(), 8);
+  transport->send_to_worker(worker, kQuit, Packer{});
+}
+
+// ---- process supervisor ----------------------------------------------
+
+TEST(ProcessSupervisor, ReapsACleanExit) {
+  ProcessSupervisor supervisor;
+  const pid_t pid = supervisor.spawn([] {});
+  const std::string description = supervisor.reap(pid, 2000ms);
+  EXPECT_EQ(description, "exited with status 0");
+  EXPECT_FALSE(supervisor.alive(pid));
+}
+
+TEST(ProcessSupervisor, ReportsTheExitStatus) {
+  ProcessSupervisor supervisor;
+  const pid_t pid = supervisor.spawn([] { ::_exit(7); });
+  EXPECT_EQ(supervisor.reap(pid, 2000ms), "exited with status 7");
+}
+
+TEST(ProcessSupervisor, KillNowReportsTheSignal) {
+  ProcessSupervisor supervisor;
+  const pid_t pid = supervisor.spawn([] {
+    for (;;) std::this_thread::sleep_for(100ms);
+  });
+  EXPECT_TRUE(supervisor.alive(pid));
+  supervisor.kill_now(pid);
+  const std::string description = supervisor.reap(pid, 2000ms);
+  EXPECT_NE(description.find("killed by signal 9"), std::string::npos);
+}
+
+TEST(ProcessSupervisor, GraceExpiryEscalatesToSigkill) {
+  ProcessSupervisor supervisor;
+  const pid_t pid = supervisor.spawn([] {
+    for (;;) std::this_thread::sleep_for(100ms);
+  });
+  const std::string description = supervisor.reap(pid, 20ms);
+  EXPECT_NE(description.find("SIGKILL"), std::string::npos);
+  EXPECT_EQ(supervisor.live_children(), 0u);
+}
+
+TEST(ProcessSupervisor, TryReapIsNonBlocking) {
+  ProcessSupervisor supervisor;
+  const pid_t pid = supervisor.spawn([] {
+    std::this_thread::sleep_for(30ms);
+  });
+  // Immediately after spawn the child is (almost certainly) running.
+  supervisor.kill_now(pid);
+  for (int i = 0; i < 200; ++i) {
+    if (auto description = supervisor.try_reap(pid)) {
+      EXPECT_FALSE(description->empty());
+      return;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  FAIL() << "child never became reapable";
+}
+
+// ---- socket transport ------------------------------------------------
+
+class SocketFamily
+    : public ::testing::TestWithParam<SocketTransportConfig::Family> {
+ protected:
+  SocketTransportConfig config() const {
+    SocketTransportConfig config;
+    config.family = GetParam();
+    return config;
+  }
+};
+
+TEST_P(SocketFamily, EchoAcrossForkedWorkers) {
+  auto transport = make_socket_transport(echo_body(), config());
+  std::vector<TaskId> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(transport->spawn_worker());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    send_ping(*transport, workers[i], static_cast<std::int32_t>(i) + 100);
+  }
+  int sum = 0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    Message reply = transport->receive();
+    while (reply.tag == transport_tag::kHeartbeat) {
+      reply = transport->receive();
+    }
+    EXPECT_EQ(reply.tag, kPong);
+    sum += reply.unpacker().unpack<std::int32_t>();
+  }
+  EXPECT_EQ(sum, 2 * (100 + 101 + 102));
+  for (const TaskId worker : workers) {
+    transport->send_to_worker(worker, kQuit, Packer{});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SocketFamily,
+                         ::testing::Values(
+                             SocketTransportConfig::Family::kUnix,
+                             SocketTransportConfig::Family::kTcp));
+
+/// Receives the next non-heartbeat message within a generous deadline.
+Message receive_signal(Transport& transport) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto message = transport.receive_for(200ms);
+    if (message && message->tag != transport_tag::kHeartbeat) {
+      return *message;
+    }
+  }
+  throw std::runtime_error("no signal within the deadline");
+}
+
+TEST(SocketTransport, NameReflectsTheFamily) {
+  EXPECT_EQ(make_socket_transport(echo_body())->name(), "socket-unix");
+  SocketTransportConfig tcp;
+  tcp.family = SocketTransportConfig::Family::kTcp;
+  EXPECT_EQ(make_socket_transport(echo_body(), tcp)->name(), "socket-tcp");
+}
+
+TEST(SocketTransport, DyingWorkerIsAnnouncedWithItsExitStatus) {
+  auto transport = make_socket_transport([](WorkerChannel& channel) {
+    (void)channel.receive_from_master();
+    channel.die("unused over sockets");
+  });
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 1);
+  const Message lost = receive_signal(*transport);
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_EQ(lost.source, worker);
+  // die() is _exit(137), observed by the master as EOF + that status.
+  EXPECT_NE(lost.unpacker().unpack_string().find("exited with status 137"),
+            std::string::npos);
+  EXPECT_FALSE(transport->worker_alive(worker));
+}
+
+TEST(SocketTransport, SigkilledWorkerIsAnnounced) {
+  auto transport = make_socket_transport([](WorkerChannel& channel) {
+    // Report our pid, then wait for work that never comes.
+    Packer packer;
+    packer.pack(static_cast<std::int64_t>(::getpid()));
+    channel.send_to_master(kPong, std::move(packer));
+    for (;;) (void)channel.receive_from_master();
+  });
+  const TaskId worker = transport->spawn_worker();
+  const Message hello = receive_signal(*transport);
+  ASSERT_EQ(hello.tag, kPong);
+  const auto pid =
+      static_cast<pid_t>(hello.unpacker().unpack<std::int64_t>());
+  ::kill(pid, SIGKILL);
+  const Message lost = receive_signal(*transport);
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_EQ(lost.source, worker);
+  EXPECT_NE(lost.unpacker().unpack_string().find("killed by signal 9"),
+            std::string::npos);
+}
+
+TEST(SocketTransport, DisconnectingWorkerIsAnnounced) {
+  auto transport = make_socket_transport([](WorkerChannel& channel) {
+    (void)channel.receive_from_master();
+    channel.disconnect();
+  });
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 1);
+  const Message lost = receive_signal(*transport);
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_EQ(lost.source, worker);
+}
+
+TEST(SocketTransport, CorruptStreamKillsTheWorker) {
+  auto transport = make_socket_transport(echo_body(FrameFault::kCorrupt));
+  const TaskId worker = transport->spawn_worker();
+  send_ping(*transport, worker, 1);
+  // A corrupt socket stream is unrecoverable: first the typed corruption
+  // report, then the loss of the (killed) worker.
+  const Message corrupt = receive_signal(*transport);
+  EXPECT_EQ(corrupt.tag, transport_tag::kCorruptFrame);
+  EXPECT_EQ(corrupt.source, worker);
+  EXPECT_FALSE(transport->worker_alive(worker));
+  const Message lost = receive_signal(*transport);
+  EXPECT_EQ(lost.tag, transport_tag::kWorkerLost);
+  EXPECT_EQ(lost.source, worker);
+}
+
+TEST(SocketTransport, IdleWorkerHeartbeats) {
+  SocketTransportConfig config;
+  config.heartbeat_interval = 20ms;
+  auto transport = make_socket_transport(echo_body(), config);
+  const TaskId worker = transport->spawn_worker();
+  const auto beat = transport->receive_for(2000ms);
+  ASSERT_TRUE(beat.has_value());
+  EXPECT_EQ(beat->tag, transport_tag::kHeartbeat);
+  EXPECT_EQ(beat->source, worker);
+  EXPECT_TRUE(transport->worker_alive(worker));
+  transport->send_to_worker(worker, kQuit, Packer{});
+}
+
+TEST(SocketTransport, RetireClosesWithoutAnnouncement) {
+  auto transport = make_socket_transport(echo_body());
+  const TaskId worker = transport->spawn_worker();
+  transport->retire_worker(worker);
+  EXPECT_FALSE(transport->worker_alive(worker));
+  EXPECT_THROW(transport->send_to_worker(worker, kPing, Packer{}),
+               TransportClosed);
+  const auto message = transport->receive_for(200ms);
+  if (message.has_value()) {
+    // Only a heartbeat sent before the shutdown may be in flight.
+    EXPECT_EQ(message->tag, transport_tag::kHeartbeat);
+  }
+}
+
+TEST(SocketTransport, RejectsBadConfig) {
+  SocketTransportConfig config;
+  config.heartbeat_interval = std::chrono::milliseconds(0);
+  EXPECT_THROW(make_socket_transport(echo_body(), config), ConfigError);
+}
+
+TEST(SocketTransport, LargePayloadsSurviveTheStream) {
+  // Bigger than one read() buffer, so reassembly is exercised.
+  auto transport = make_socket_transport([](WorkerChannel& channel) {
+    for (;;) {
+      Message message;
+      try {
+        message = channel.receive_from_master();
+      } catch (const TransportClosed&) {
+        return;
+      }
+      if (message.tag == kQuit) return;
+      auto values =
+          message.unpacker().unpack_vector<std::uint32_t>();
+      for (auto& value : values) value += 1;
+      Packer reply;
+      reply.pack_vector(values);
+      channel.send_to_master(kPong, std::move(reply));
+    }
+  });
+  const TaskId worker = transport->spawn_worker();
+  std::vector<std::uint32_t> values(200000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<std::uint32_t>(i);
+  }
+  Packer packer;
+  packer.pack_vector(values);
+  transport->send_to_worker(worker, kPing, std::move(packer));
+  const Message reply = receive_signal(*transport);
+  ASSERT_EQ(reply.tag, kPong);
+  const auto result = reply.unpacker().unpack_vector<std::uint32_t>();
+  ASSERT_EQ(result.size(), values.size());
+  EXPECT_EQ(result.front(), 1u);
+  EXPECT_EQ(result.back(), values.back() + 1);
+  transport->send_to_worker(worker, kQuit, Packer{});
+}
+
+}  // namespace
+}  // namespace ldga::parallel

@@ -4,6 +4,8 @@
 
 #include <atomic>
 
+#include "parallel/frame.hpp"
+#include "parallel/transport_error.hpp"
 #include "util/error.hpp"
 
 namespace ldga::parallel {
@@ -110,6 +112,54 @@ TEST(VirtualMachine, DestructorJoinsWithoutDeadlock) {
     }
   }
   EXPECT_EQ(released.load(), 4);
+}
+
+TEST(VirtualMachine, SendAfterHaltIsTypedTransportClosed) {
+  VirtualMachine vm;
+  const TaskId worker = vm.spawn([](TaskContext& self) {
+    try {
+      self.receive();
+    } catch (const ParallelError&) {
+    }
+  });
+  TaskContext master = vm.master_context();
+  vm.halt();
+  EXPECT_THROW(master.send(worker, 1, Packer{}), TransportClosed);
+}
+
+TEST(VirtualMachine, SendToRetiredTaskIsTypedTransportClosed) {
+  VirtualMachine vm;
+  const TaskId worker = vm.spawn([](TaskContext& self) {
+    try {
+      self.receive();
+    } catch (const ParallelError&) {
+    }
+  });
+  vm.close_mailbox(worker);
+  TaskContext master = vm.master_context();
+  EXPECT_THROW(master.send(worker, 1, Packer{}), TransportClosed);
+  vm.halt();
+}
+
+TEST(VirtualMachine, CorruptSealedPayloadIsATypedWireError) {
+  // Even in-process, every payload is version+CRC sealed; a damaged
+  // buffer must surface as WireProtocolError naming the sender.
+  VirtualMachine vm;
+  const TaskId saboteur = vm.spawn([](TaskContext& self) {
+    Packer payload;
+    payload.pack<std::int32_t>(7);
+    auto sealed = seal_payload(std::move(payload).take());
+    sealed.back() ^= 0x01u;
+    self.send_raw(kMasterTask, 5, std::move(sealed));
+  });
+  TaskContext master = vm.master_context();
+  try {
+    (void)master.receive(kAnySource, 5);
+    FAIL() << "expected WireProtocolError";
+  } catch (const WireProtocolError& error) {
+    EXPECT_EQ(error.source(), saboteur);
+    EXPECT_EQ(error.tag(), 5);
+  }
 }
 
 TEST(VirtualMachine, ProbeAndTryReceiveFromContext) {
