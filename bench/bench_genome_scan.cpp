@@ -1,0 +1,245 @@
+// Genome-scale data path, end to end: synthetic 100k-SNP packed store
+// on disk → mmap open → tiled LD prefilter over every window → windowed
+// GA on the top-ranked windows.
+//
+// Two claims are checked, matching the GenotypeStore contract:
+//   1. bounded memory — the scan works against the mmap'd store through
+//      window slices, so resident memory tracks the working window, not
+//      the panel; VmRSS is sampled at each stage and the peak (VmHWM)
+//      lands in the JSON;
+//   2. safety — the windowed GA over the mmap'd store walks a
+//      bit-for-bit identical trajectory (same champions, same fitness
+//      doubles, same evaluation counts) to the same scan over a fully
+//      in-memory packed matrix of the same panel. Any divergence aborts
+//      the benchmark: a fast wrong data path is worthless.
+// Results land in BENCH_genome_scan.json with the shared machine
+// context so CI can judge comparability.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/ld_prefilter.hpp"
+#include "bench_context.hpp"
+#include "ga/window_scan.hpp"
+#include "genomics/packed_genotype.hpp"
+#include "genomics/packed_store.hpp"
+#include "genomics/synthetic.hpp"
+#include "stats/evaluator.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace ldga;
+
+constexpr std::uint32_t kPanelSnps = 100'000;
+constexpr std::uint32_t kWindowSnps = 64;
+constexpr std::uint32_t kStrideSnps = 48;
+constexpr std::uint32_t kGaWindows = 2;
+
+/// "VmRSS" / "VmHWM" of /proc/self/status, in MiB (0 where absent).
+double proc_status_mb(const char* key) {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') {
+      continue;
+    }
+    mb = std::strtod(line + key_len + 1, nullptr) / 1024.0;  // kB → MiB
+    break;
+  }
+  std::fclose(status);
+  return mb;
+}
+
+ga::WindowScanConfig scan_config() {
+  ga::WindowScanConfig config;
+  config.ga.min_size = 2;
+  config.ga.max_size = 4;
+  config.ga.population_size = 30;
+  config.ga.min_subpopulation = 5;
+  config.ga.crossovers_per_generation = 6;
+  config.ga.mutations_per_generation = 10;
+  config.ga.stagnation_generations = 15;
+  config.ga.max_generations = 40;
+  config.ga.seed = 2004;
+  config.migrate_elites = 3;
+  return config;
+}
+
+/// Bit-for-bit scan equivalence: every per-window champion and count
+/// must match between the mmap'd and the in-memory data path.
+void gate_identical(const ga::WindowScanResult& mapped,
+                    const ga::WindowScanResult& memory) {
+  bool ok = mapped.best_fitness == memory.best_fitness &&
+            mapped.best_snps == memory.best_snps &&
+            mapped.evaluations == memory.evaluations &&
+            mapped.windows.size() == memory.windows.size();
+  for (std::size_t w = 0; ok && w < mapped.windows.size(); ++w) {
+    ok = mapped.windows[w].best_fitness == memory.windows[w].best_fitness &&
+         mapped.windows[w].best_snps == memory.windows[w].best_snps;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: mmap-store scan diverged from the in-memory "
+                 "reference (best %.17g vs %.17g)\n",
+                 mapped.best_fitness, memory.best_fitness);
+    std::exit(1);
+  }
+  std::printf("equivalence: mmap'd scan == in-memory scan bit-for-bit "
+              "(%zu windows, %llu evaluations)\n",
+              mapped.windows.size(),
+              static_cast<unsigned long long>(mapped.evaluations));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Genome-scale scan: packed store -> LD prefilter -> "
+              "windowed GA ===\n\n");
+  const std::string store_path =
+      (std::filesystem::temp_directory_path() / "ldga_bench_genome.pgs")
+          .string();
+
+  // --- Stage 1: stream the synthetic panel to disk, chunk by chunk.
+  genomics::SyntheticStoreConfig data;
+  data.cohort.snp_count = kWindowSnps;  // signal chunk = one window
+  data.cohort.affected_count = 150;
+  data.cohort.unaffected_count = 150;
+  data.cohort.unknown_count = 0;
+  data.cohort.active_snp_count = 3;
+  data.total_snps = kPanelSnps;
+  data.chunk_snps = 4096;
+  Rng rng(20040426);
+
+  Stopwatch build_watch;
+  const genomics::SyntheticStoreResult written =
+      genomics::write_synthetic_store(store_path, data, rng);
+  const double build_ms = build_watch.elapsed_ms();
+  const double store_mb =
+      static_cast<double>(std::filesystem::file_size(store_path)) /
+      (1024.0 * 1024.0);
+  const double rss_after_build = proc_status_mb("VmRSS");
+  std::printf("store: %u SNPs x %u individuals streamed to %.1f MiB in "
+              "%.0f ms (chunk %u; RSS %.0f MiB)\n",
+              written.snps_written,
+              static_cast<std::uint32_t>(written.statuses.size()), store_mb,
+              build_ms, data.chunk_snps, rss_after_build);
+
+  // --- Stage 2: mmap it back (with the full payload-CRC pass).
+  Stopwatch open_watch;
+  const genomics::PackedGenotypeStore store =
+      genomics::PackedGenotypeStore::open(store_path);
+  const double open_ms = open_watch.elapsed_ms();
+  std::printf("open: verified and mapped in %.1f ms\n", open_ms);
+
+  // --- Stage 3: tiled LD prefilter over every window of the panel.
+  const std::vector<ga::WindowSpec> all_windows =
+      ga::plan_windows(store.snp_count(), kWindowSnps, kStrideSnps);
+  Stopwatch prefilter_watch;
+  const std::vector<analysis::WindowScore> scores =
+      analysis::score_windows(store, all_windows);
+  const double prefilter_ms = prefilter_watch.elapsed_ms();
+  std::uint64_t pairs = 0;
+  for (const auto& score : scores) pairs += score.pairs;
+  const double rss_after_prefilter = proc_status_mb("VmRSS");
+  std::printf("prefilter: %zu windows, %llu pairs in %.0f ms "
+              "(%.1f Mpairs/s; RSS %.0f MiB)\n",
+              scores.size(), static_cast<unsigned long long>(pairs),
+              prefilter_ms,
+              static_cast<double>(pairs) / (prefilter_ms * 1000.0),
+              rss_after_prefilter);
+
+  const std::vector<ga::WindowSpec> top =
+      analysis::top_windows(scores, kGaWindows);
+  bool signal_in_top = false;
+  for (const auto& window : top) {
+    bool all_inside = !written.truth.snps.empty();
+    for (const auto snp : written.truth.snps) {
+      all_inside = all_inside && snp >= window.begin &&
+                   snp < window.begin + window.count;
+    }
+    signal_in_top = signal_in_top || all_inside;
+    std::printf("  selected window [%u, %u)\n", window.begin,
+                window.begin + window.count);
+  }
+  std::printf("  planted signal window %s the selection\n",
+              signal_in_top ? "survived" : "did not survive");
+
+  // --- Stage 4: windowed GA over the top windows, from the mmap'd
+  // store.
+  const ga::WindowScanConfig config = scan_config();
+  Stopwatch scan_watch;
+  const ga::WindowScanResult mapped = ga::run_window_scan(
+      store, store.panel(), store.statuses(), top, config);
+  const double scan_ms = scan_watch.elapsed_ms();
+  const double rss_after_scan = proc_status_mb("VmRSS");
+  std::printf("scan: %u windows, %llu evaluations in %.0f ms; best "
+              "fitness %.3f (RSS %.0f MiB)\n",
+              kGaWindows, static_cast<unsigned long long>(mapped.evaluations),
+              scan_ms, mapped.best_fitness, rss_after_scan);
+
+  // --- Gate: the same scan over a fully in-memory packed matrix.
+  const genomics::PackedGenotypeMatrix in_memory =
+      store.slice_loci(0, store.snp_count());
+  const ga::WindowScanResult memory = ga::run_window_scan(
+      in_memory, store.panel(), store.statuses(), top, config);
+  gate_identical(mapped, memory);
+
+  const double peak_mb = proc_status_mb("VmHWM");
+  std::printf("memory: peak RSS %.0f MiB over a %.1f MiB store\n", peak_mb,
+              store_mb);
+
+  std::FILE* json = std::fopen("BENCH_genome_scan.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open BENCH_genome_scan.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  ldga::bench::write_machine_context(json);
+  std::fprintf(
+      json,
+      "  \"workload\": \"%u-SNP synthetic panel, %u individuals; "
+      "window %u stride %u; GA over top %u windows\",\n"
+      "  \"panel_snps\": %u,\n"
+      "  \"individuals\": %u,\n"
+      "  \"store_file_mb\": %.2f,\n"
+      "  \"store_build_ms\": %.1f,\n"
+      "  \"store_open_ms\": %.2f,\n"
+      "  \"prefilter_windows\": %zu,\n"
+      "  \"prefilter_pairs\": %llu,\n"
+      "  \"prefilter_ms\": %.1f,\n"
+      "  \"prefilter_mpairs_per_s\": %.2f,\n"
+      "  \"signal_window_selected\": %s,\n"
+      "  \"ga_windows\": %u,\n"
+      "  \"ga_scan_ms\": %.1f,\n"
+      "  \"ga_evaluations\": %llu,\n"
+      "  \"best_fitness\": %.6f,\n"
+      "  \"mmap_scan_bit_identical\": true,\n"
+      "  \"rss_after_build_mb\": %.1f,\n"
+      "  \"rss_after_prefilter_mb\": %.1f,\n"
+      "  \"rss_after_scan_mb\": %.1f,\n"
+      "  \"peak_rss_mb\": %.1f\n"
+      "}\n",
+      kPanelSnps, static_cast<std::uint32_t>(written.statuses.size()),
+      kWindowSnps, kStrideSnps, kGaWindows, kPanelSnps,
+      static_cast<std::uint32_t>(written.statuses.size()), store_mb,
+      build_ms, open_ms, scores.size(),
+      static_cast<unsigned long long>(pairs), prefilter_ms,
+      static_cast<double>(pairs) / (prefilter_ms * 1000.0),
+      signal_in_top ? "true" : "false", kGaWindows, scan_ms,
+      static_cast<unsigned long long>(mapped.evaluations),
+      mapped.best_fitness, rss_after_build, rss_after_prefilter,
+      rss_after_scan, peak_mb);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_genome_scan.json\n");
+
+  std::filesystem::remove(store_path);
+  return 0;
+}

@@ -1,12 +1,18 @@
-// Bit-packed genotype kernel vs the byte path.
+// Bit-packed genotype kernel vs the byte reference.
 //
-// Two claims are checked, matching the packed kernel's contract:
+// The evaluation pipeline packs unconditionally now
+// (EvaluatorConfig::packed_kernel is a deprecated no-op; DESIGN.md
+// §"packed_kernel retirement"), so the byte implementations here —
+// byte_locus_counts and GenotypePatternTable::build — are retained
+// reference code, not a selectable production path. Two claims are
+// checked, matching the packed kernel's contract:
 //   1. speed  — per-locus genotype counting over the packed planes is
 //      at least ~2x faster than a byte load + branch per genotype, and
 //      the joint-pattern walk (the EM E-step's input) scales with
 //      words x patterns instead of individuals x loci;
-//   2. safety — the fitness produced through the packed kernel is
-//      bit-for-bit identical to the byte path, so the speedup is free.
+//   2. safety — the pattern tables the packed walk produces are
+//      bit-for-bit identical (patterns, counts, exclusions, order) to
+//      the byte reference's, so the speedup is free.
 // The equivalence check runs first and aborts the benchmark on any
 // mismatch; the timed comparison prints the measured ratio.
 #include <benchmark/benchmark.h>
@@ -105,56 +111,60 @@ void BM_PatternTablePacked(benchmark::State& state) {
 }
 BENCHMARK(BM_PatternTablePacked)->Arg(2)->Arg(4)->Arg(6);
 
-void BM_FitnessByte(benchmark::State& state) {
-  stats::EvaluatorConfig config;
-  config.packed_kernel = false;
-  const stats::HaplotypeEvaluator evaluator(big_cohort().dataset, config);
+void BM_FitnessPipeline(benchmark::State& state) {
+  // One pipeline configuration only: the packed kernel is the pipeline
+  // (packed_kernel is a deprecated no-op), so there is no byte e2e leg
+  // to race it against anymore.
+  const stats::HaplotypeEvaluator evaluator(big_cohort().dataset);
   Rng rng(7);
   const auto snps = rng.sample_without_replacement(64, 4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(evaluator.evaluate_full(snps).fitness);
   }
 }
-BENCHMARK(BM_FitnessByte);
+BENCHMARK(BM_FitnessPipeline);
 
-void BM_FitnessPacked(benchmark::State& state) {
-  stats::EvaluatorConfig config;
-  config.packed_kernel = true;
-  const stats::HaplotypeEvaluator evaluator(big_cohort().dataset, config);
-  Rng rng(7);
-  const auto snps = rng.sample_without_replacement(64, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.evaluate_full(snps).fitness);
-  }
-}
-BENCHMARK(BM_FitnessPacked);
-
-/// Bit-for-bit fitness equivalence over random candidates of every GA
-/// size. Any mismatch aborts: a fast wrong kernel is worthless.
+/// Bit-for-bit pattern-table equivalence over random candidates of
+/// every GA size: the packed DFS walk must reproduce the byte
+/// reference's patterns, counts, exclusions and ordering exactly. Any
+/// mismatch aborts: a fast wrong kernel is worthless.
 void verify_equivalence() {
-  stats::EvaluatorConfig byte_config;
-  byte_config.packed_kernel = false;
-  const stats::HaplotypeEvaluator byte_eval(big_cohort().dataset, byte_config);
-  const stats::HaplotypeEvaluator packed_eval(big_cohort().dataset);
+  const auto& matrix = big_cohort().dataset.genotypes();
+  const genomics::PackedGenotypeMatrix packed(matrix);
+  std::vector<std::uint32_t> everyone(matrix.individual_count());
+  for (std::uint32_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
   Rng rng(20040426);
   std::uint32_t checked = 0;
   for (std::uint32_t size = 2; size <= 6; ++size) {
     for (std::uint32_t trial = 0; trial < 20; ++trial) {
       const auto snps = rng.sample_without_replacement(64, size);
-      const double byte_fitness = byte_eval.fitness(snps);
-      const double packed_fitness = packed_eval.fitness(snps);
-      if (byte_fitness != packed_fitness) {
+      const auto byte_table =
+          stats::GenotypePatternTable::build(matrix, snps, everyone);
+      const auto packed_table =
+          stats::GenotypePatternTable::build_packed(packed, snps);
+      bool same =
+          byte_table.total_individuals() == packed_table.total_individuals() &&
+          byte_table.excluded_missing() == packed_table.excluded_missing() &&
+          byte_table.patterns().size() == packed_table.patterns().size();
+      for (std::size_t p = 0; same && p < byte_table.patterns().size(); ++p) {
+        const auto& expect = byte_table.patterns()[p];
+        const auto& got = packed_table.patterns()[p];
+        same = expect.hom_two_mask == got.hom_two_mask &&
+               expect.het_mask == got.het_mask &&
+               expect.missing_mask == got.missing_mask &&
+               expect.count == got.count;
+      }
+      if (!same) {
         std::fprintf(stderr,
-                     "FATAL: packed/byte fitness mismatch at size %u: "
-                     "%.17g vs %.17g\n",
-                     size, packed_fitness, byte_fitness);
+                     "FATAL: packed/byte pattern table mismatch at size %u\n",
+                     size);
         std::exit(1);
       }
       ++checked;
     }
   }
-  std::printf("equivalence: %u random candidates (sizes 2-6), packed == "
-              "byte bit-for-bit\n",
+  std::printf("equivalence: %u random candidates (sizes 2-6), packed "
+              "pattern tables == byte reference bit-for-bit\n",
               checked);
 }
 

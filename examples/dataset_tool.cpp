@@ -1,7 +1,9 @@
 // Dataset round-trip tool: generates a synthetic cohort, writes the
 // paper's three input tables (§5.1) — individuals, allele frequencies,
-// pairwise disequilibrium — reloads the individuals table, and verifies
-// the round trip. Demonstrates the genomics I/O API.
+// pairwise disequilibrium — plus the binary packed genotype store, then
+// reloads both persisted forms through the format-sniffing
+// Dataset::open and verifies the round trips. Demonstrates the
+// genomics I/O API.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,7 +11,27 @@
 #include "genomics/allele_freq.hpp"
 #include "genomics/dataset_io.hpp"
 #include "genomics/ld.hpp"
+#include "genomics/packed_store.hpp"
 #include "genomics/synthetic.hpp"
+
+namespace {
+
+bool same_dataset(const ldga::genomics::Dataset& a,
+                  const ldga::genomics::Dataset& b) {
+  if (a.snp_count() != b.snp_count() ||
+      a.individual_count() != b.individual_count()) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < a.individual_count(); ++i) {
+    if (a.status(i) != b.status(i)) return false;
+    for (std::uint32_t s = 0; s < a.snp_count(); ++s) {
+      if (a.genotypes().at(i, s) != b.genotypes().at(i, s)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ldga;
@@ -44,28 +66,26 @@ int main(int argc, char** argv) {
     genomics::write_ld_table(out, dataset.panel(), ld);
   }
 
-  // Round trip check.
-  const genomics::Dataset reloaded = genomics::load_dataset(individuals_path);
-  bool identical = reloaded.snp_count() == dataset.snp_count() &&
-                   reloaded.individual_count() == dataset.individual_count();
-  if (identical) {
-    for (std::uint32_t i = 0; identical && i < dataset.individual_count();
-         ++i) {
-      if (reloaded.status(i) != dataset.status(i)) identical = false;
-      for (std::uint32_t s = 0; identical && s < dataset.snp_count(); ++s) {
-        if (reloaded.genotypes().at(i, s) != dataset.genotypes().at(i, s)) {
-          identical = false;
-        }
-      }
-    }
-  }
+  // The binary form: a CRC-sealed, mmap-able packed genotype store —
+  // the genome-scale persistence path.
+  const std::string store_path = prefix + ".pgs";
+  genomics::write_packed_store(store_path, dataset);
 
-  std::printf("wrote %s (%u individuals), %s, %s\n", individuals_path.c_str(),
-              dataset.individual_count(), freq_path.c_str(), ld_path.c_str());
-  std::printf("round trip: %s\n", identical ? "IDENTICAL" : "MISMATCH");
+  // Round trips through the one format-sniffing entry point: the same
+  // Dataset::open call reads the text table and the packed store.
+  const bool text_ok =
+      same_dataset(genomics::Dataset::open(individuals_path), dataset);
+  const bool store_ok =
+      same_dataset(genomics::Dataset::open(store_path), dataset);
+
+  std::printf("wrote %s (%u individuals), %s, %s, %s\n",
+              individuals_path.c_str(), dataset.individual_count(),
+              freq_path.c_str(), ld_path.c_str(), store_path.c_str());
+  std::printf("round trip (text):  %s\n", text_ok ? "IDENTICAL" : "MISMATCH");
+  std::printf("round trip (store): %s\n", store_ok ? "IDENTICAL" : "MISMATCH");
   std::printf("affected %u / unaffected %u / unknown %u\n",
               dataset.count(genomics::Status::Affected),
               dataset.count(genomics::Status::Unaffected),
               dataset.count(genomics::Status::Unknown));
-  return identical ? 0 : 1;
+  return text_ok && store_ok ? 0 : 1;
 }

@@ -3,12 +3,16 @@
 // cohort. This is the binary a biologist would actually use.
 //
 //   run_ga --dataset cohort.txt --max-size 6 --runs 3 --backend farm
+//   run_ga --dataset panel.pgs        (packed genotype store, mmap'd)
 //   run_ga --ped study.ped --map study.map --qc
 //   run_ga --simulate --snps 51 --active 3 --seed 7 --save cohort.txt
 //
 // Flags (defaults in brackets):
-//   --dataset PATH      load a dataset instead of simulating
-//   --ped P --map M     load a linkage-format (PED/MAP) dataset
+//   --dataset PATH      load a dataset instead of simulating; the format
+//                       is sniffed (packed store / .ped linkage / native
+//                       text) via Dataset::open
+//   --ped P --map M     load a linkage-format dataset with an explicit
+//                       map path (Dataset::open assumes the sibling .map)
 //   --qc                run marker QC (MAF/missingness/HWE) first
 //   --simulate          generate a synthetic cohort [on unless --dataset]
 //   --snps N            simulated panel size [51]
@@ -95,7 +99,9 @@ int main(int argc, char** argv) {
     genomics::Dataset dataset;
     std::vector<genomics::SnpIndex> truth;
     if (args.has("dataset")) {
-      dataset = genomics::load_dataset(args.get("dataset", ""));
+      // Content-dispatching open: packed genotype store, linkage .ped,
+      // or the native individuals-table text all load through here.
+      dataset = genomics::Dataset::open(args.get("dataset", ""));
       std::printf("loaded %u individuals x %u SNPs\n",
                   dataset.individual_count(), dataset.snp_count());
     } else if (args.has("ped") || args.has("map")) {

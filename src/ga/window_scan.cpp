@@ -1,0 +1,156 @@
+#include "ga/window_scan.hpp"
+
+#include <algorithm>
+
+#include "genomics/dataset.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+
+using genomics::SnpIndex;
+
+std::vector<WindowSpec> plan_windows(std::uint32_t snp_count,
+                                     std::uint32_t window_snps,
+                                     std::uint32_t stride_snps) {
+  if (snp_count == 0) {
+    throw ConfigError("plan_windows: empty panel");
+  }
+  if (window_snps < 2) {
+    throw ConfigError("plan_windows: window_snps must be >= 2");
+  }
+  if (stride_snps == 0 || stride_snps > window_snps) {
+    throw ConfigError(
+        "plan_windows: stride_snps must be in [1, window_snps] — a stride "
+        "beyond the window would leave unscanned gaps");
+  }
+  std::vector<WindowSpec> windows;
+  for (std::uint32_t begin = 0;; begin += stride_snps) {
+    const std::uint32_t end = std::min(begin + window_snps, snp_count);
+    windows.push_back({begin, end - begin});
+    if (end == snp_count) break;
+  }
+  return windows;
+}
+
+void WindowScanConfig::validate() const {
+  ga.validate();
+  evaluator.validate();
+}
+
+namespace {
+
+/// Deterministic per-window seed: decorrelates windows while keeping
+/// the whole scan a pure function of the scan seed.
+std::uint64_t window_seed(std::uint64_t scan_seed, SnpIndex begin) {
+  std::uint64_t state = scan_seed ^ (0x77ca1deaULL + begin);
+  const std::uint64_t a = splitmix64(state);
+  return splitmix64(state) ^ a;
+}
+
+/// The window's champion across size classes (engines report one best
+/// individual per subpopulation).
+const HaplotypeIndividual* champion(const GaResult& result) {
+  const HaplotypeIndividual* best = nullptr;
+  for (const HaplotypeIndividual& individual : result.best_by_size) {
+    if (individual.size() == 0 || !individual.evaluated()) continue;
+    if (best == nullptr || individual.fitness() > best->fitness()) {
+      best = &individual;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
+                                 const genomics::SnpPanel& panel,
+                                 std::span<const genomics::Status> statuses,
+                                 std::span<const WindowSpec> windows,
+                                 const WindowScanConfig& config) {
+  config.validate();
+  LDGA_EXPECTS(panel.size() == store.snp_count());
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+
+  WindowScanResult scan;
+  // Elites awaiting migration, as global SNP sets with their fitness.
+  std::vector<std::pair<double, std::vector<SnpIndex>>> elites;
+
+  for (const WindowSpec& window : windows) {
+    LDGA_EXPECTS(window.begin < store.snp_count() &&
+                 window.count >= 2 &&
+                 window.count <= store.snp_count() - window.begin);
+
+    // The window's slice becomes a self-contained small Dataset — the
+    // mmap'd store only pages in these loci's plane words.
+    const genomics::Dataset window_data = genomics::materialize_window(
+        store, panel, statuses, window.begin, window.count);
+    const stats::HaplotypeEvaluator evaluator(window_data, config.evaluator);
+
+    GaConfig ga = config.ga;
+    ga.seed = window_seed(config.ga.seed, window.begin);
+    // The engine's search space is the window; clamp the size range to
+    // it (the engine needs at least one spare SNP for mutation, so a
+    // window must exceed min_size).
+    LDGA_EXPECTS(window.count > ga.min_size);
+    ga.max_size = std::min(ga.max_size, window.count - 1);
+
+    // Migrate predecessor elites that fit entirely inside this window,
+    // re-indexed to window-local coordinates.
+    ga.warm_starts.clear();
+    std::uint32_t migrants = 0;
+    std::stable_sort(elites.begin(), elites.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    for (const auto& [fitness, snps] : elites) {
+      if (migrants >= config.migrate_elites) break;
+      const bool inside = std::all_of(
+          snps.begin(), snps.end(), [&](SnpIndex s) {
+            return s >= window.begin && s < window.begin + window.count;
+          });
+      if (!inside || snps.size() < ga.min_size || snps.size() > ga.max_size) {
+        continue;
+      }
+      std::vector<SnpIndex> local(snps.size());
+      std::transform(snps.begin(), snps.end(), local.begin(),
+                     [&](SnpIndex s) { return s - window.begin; });
+      ga.warm_starts.push_back(std::move(local));
+      ++migrants;
+    }
+
+    GaEngine engine(evaluator, ga);
+    const GaResult result = engine.run();
+
+    WindowResult out;
+    out.window = window;
+    out.generations = result.generations;
+    out.evaluations = result.evaluations;
+    out.migrants_in = migrants;
+    scan.evaluations += result.evaluations;
+
+    elites.clear();
+    for (const HaplotypeIndividual& individual : result.best_by_size) {
+      if (individual.size() == 0 || !individual.evaluated()) continue;
+      std::vector<SnpIndex> global(individual.snps().size());
+      std::transform(individual.snps().begin(), individual.snps().end(),
+                     global.begin(),
+                     [&](SnpIndex s) { return window.begin + s; });
+      elites.emplace_back(individual.fitness(), std::move(global));
+    }
+    if (const HaplotypeIndividual* best = champion(result)) {
+      out.best_fitness = best->fitness();
+      out.best_snps.resize(best->snps().size());
+      std::transform(best->snps().begin(), best->snps().end(),
+                     out.best_snps.begin(),
+                     [&](SnpIndex s) { return window.begin + s; });
+      if (scan.best_snps.empty() || out.best_fitness > scan.best_fitness) {
+        scan.best_fitness = out.best_fitness;
+        scan.best_snps = out.best_snps;
+      }
+    }
+    scan.windows.push_back(std::move(out));
+  }
+  return scan;
+}
+
+}  // namespace ldga::ga

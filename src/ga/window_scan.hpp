@@ -1,0 +1,89 @@
+// Windowed GA driver for genome-scale panels.
+//
+// The paper's GA searches a 51-SNP candidate region; a 10^5–10^6-SNP
+// panel is far beyond what one haplotype search space can cover. The
+// genome-scale driver shards the panel into overlapping SNP windows,
+// runs the existing multipopulation engine inside each window against
+// a column slice of a GenotypeStore (so an mmap'd store only pages in
+// the loci under search), and migrates each window's elite haplotypes
+// into the warm starts of the next overlapping window — LD blocks that
+// straddle a window boundary get a second chance in the neighbour that
+// contains them whole, which is why overlap >= stride matters.
+//
+// Window *selection* (which windows deserve a GA at all) is not this
+// layer's job: the tiled LD prefilter in analysis/ld_prefilter.hpp
+// scores windows, and callers pass the survivors here. This file only
+// knows how to plan a tiling and run the engine across it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ga/engine.hpp"
+#include "genomics/genotype_store.hpp"
+#include "genomics/snp_panel.hpp"
+#include "genomics/types.hpp"
+#include "stats/evaluator.hpp"
+
+namespace ldga::ga {
+
+/// A contiguous locus range [begin, begin + count) of the panel.
+struct WindowSpec {
+  genomics::SnpIndex begin = 0;
+  std::uint32_t count = 0;
+};
+
+/// Tiles [0, snp_count) into windows of `window_snps` every
+/// `stride_snps` markers. stride <= window (no gaps); the last window
+/// is clamped to end exactly at snp_count (it may be partial), and a
+/// panel smaller than one window yields a single window covering it.
+std::vector<WindowSpec> plan_windows(std::uint32_t snp_count,
+                                     std::uint32_t window_snps,
+                                     std::uint32_t stride_snps);
+
+struct WindowScanConfig {
+  /// Per-window engine template. `ga.seed` is the scan seed; each
+  /// window runs with a seed mixed from it and the window's begin, so
+  /// the scan is deterministic yet windows are decorrelated.
+  GaConfig ga;
+  stats::EvaluatorConfig evaluator;
+  /// Best individuals carried from each window into the warm starts of
+  /// the next window in scan order (only those whose SNPs all fall
+  /// inside the next window survive the move). 0 disables migration.
+  std::uint32_t migrate_elites = 3;
+
+  void validate() const;
+};
+
+/// One window's outcome. SNP indices are GLOBAL panel indices.
+struct WindowResult {
+  WindowSpec window;
+  double best_fitness = 0.0;
+  std::vector<genomics::SnpIndex> best_snps;
+  std::uint32_t generations = 0;
+  std::uint64_t evaluations = 0;
+  /// Warm starts this window received from its predecessor.
+  std::uint32_t migrants_in = 0;
+};
+
+struct WindowScanResult {
+  std::vector<WindowResult> windows;  ///< in scan order
+  /// Scan-wide champion (global indices; empty only if `windows` is).
+  std::vector<genomics::SnpIndex> best_snps;
+  double best_fitness = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+/// Runs the GA over each window in order. `panel` and `statuses`
+/// describe the full store (a PackedGenotypeStore carries both; an
+/// in-memory matrix takes them from its Dataset). Windows should be
+/// passed in genomic order when elite migration is on — adjacency is
+/// positional in the `windows` span.
+WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
+                                 const genomics::SnpPanel& panel,
+                                 std::span<const genomics::Status> statuses,
+                                 std::span<const WindowSpec> windows,
+                                 const WindowScanConfig& config);
+
+}  // namespace ldga::ga

@@ -1,10 +1,15 @@
 #include "genomics/dataset_io.hpp"
 
+#include <array>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <string_view>
 
+#include "genomics/linkage_format.hpp"
+#include "genomics/packed_store.hpp"
 #include "util/error.hpp"
 
 namespace ldga::genomics {
@@ -143,6 +148,30 @@ Dataset load_dataset(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw DataError("dataset: cannot open '" + path + "'");
   return read_dataset(in);
+}
+
+Dataset Dataset::open(const std::string& path, const OpenOptions& options) {
+  // Sniff the format by content first (magic bytes), by name second.
+  std::array<char, 8> head{};
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) throw DataError("dataset: cannot open '" + path + "'");
+    probe.read(head.data(), head.size());
+  }
+  Dataset dataset;
+  if (std::string_view(head.data(), head.size()) == "LDGAPGS1") {
+    PackedGenotypeStore::OpenOptions store_options;
+    store_options.verify_checksum = options.verify_checksum;
+    dataset = PackedGenotypeStore::open(path, store_options).to_dataset();
+  } else if (std::filesystem::path(path).extension() == ".ped") {
+    const std::string map_path =
+        std::filesystem::path(path).replace_extension(".map").string();
+    dataset = load_linkage(path, map_path);
+  } else {
+    dataset = load_dataset(path);
+  }
+  if (options.validate) dataset.validate();
+  return dataset;
 }
 
 void write_frequency_table(std::ostream& out, const SnpPanel& panel,

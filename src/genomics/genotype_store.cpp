@@ -1,0 +1,123 @@
+#include "genomics/genotype_store.hpp"
+
+#include <cstring>
+
+#include "genomics/dataset.hpp"
+#include "genomics/genotype_matrix.hpp"
+#include "genomics/packed_genotype.hpp"
+#include "genomics/snp_panel.hpp"
+#include "util/error.hpp"
+#include "util/simd.hpp"
+
+namespace ldga::genomics {
+
+namespace {
+
+std::uint32_t words_for(std::uint32_t individuals) {
+  return (individuals + 63) / 64;
+}
+
+bool is_identity(std::span<const std::uint32_t> individuals,
+                 std::uint32_t individual_count) {
+  if (individuals.size() != individual_count) return false;
+  for (std::uint32_t i = 0; i < individual_count; ++i) {
+    if (individuals[i] != i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LocusCounts GenotypeStore::locus_counts(SnpIndex snp) const {
+  LDGA_EXPECTS(snp < snp_count());
+  const auto lo = low_plane(snp);
+  const auto hi = high_plane(snp);
+  std::uint64_t tallies[3];
+  util::simd().plane_counts(lo.data(), hi.data(), lo.size(), tallies);
+  LocusCounts counts;
+  counts.het = static_cast<std::uint32_t>(tallies[0]);
+  counts.hom_two = static_cast<std::uint32_t>(tallies[1]);
+  counts.missing = static_cast<std::uint32_t>(tallies[2]);
+  counts.hom_one =
+      individual_count() - counts.het - counts.hom_two - counts.missing;
+  return counts;
+}
+
+PackedGenotypeMatrix GenotypeStore::slice(
+    SnpIndex first, std::uint32_t count,
+    std::span<const std::uint32_t> individuals) const {
+  LDGA_EXPECTS(first <= snp_count() && count <= snp_count() - first);
+  const auto out_individuals = static_cast<std::uint32_t>(individuals.size());
+  const std::uint32_t out_words = words_for(out_individuals);
+  std::vector<std::uint64_t> low(static_cast<std::size_t>(count) * out_words,
+                                 0);
+  std::vector<std::uint64_t> high(static_cast<std::size_t>(count) * out_words,
+                                  0);
+  if (is_identity(individuals, individual_count())) {
+    // Full-cohort slice: the packing is identical, copy plane words.
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const auto lo = low_plane(first + s);
+      const auto hi = high_plane(first + s);
+      std::memcpy(low.data() + static_cast<std::size_t>(s) * out_words,
+                  lo.data(), out_words * sizeof(std::uint64_t));
+      std::memcpy(high.data() + static_cast<std::size_t>(s) * out_words,
+                  hi.data(), out_words * sizeof(std::uint64_t));
+    }
+  } else {
+    for (const std::uint32_t src : individuals) {
+      LDGA_EXPECTS(src < individual_count());
+    }
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const auto lo = low_plane(first + s);
+      const auto hi = high_plane(first + s);
+      std::uint64_t* out_lo = low.data() + static_cast<std::size_t>(s) * out_words;
+      std::uint64_t* out_hi = high.data() + static_cast<std::size_t>(s) * out_words;
+      for (std::uint32_t i = 0; i < out_individuals; ++i) {
+        const std::uint32_t src_word = individuals[i] / 64;
+        const std::uint32_t src_bit = individuals[i] % 64;
+        const std::uint64_t dst = std::uint64_t{1} << (i % 64);
+        if ((lo[src_word] >> src_bit) & 1u) out_lo[i / 64] |= dst;
+        if ((hi[src_word] >> src_bit) & 1u) out_hi[i / 64] |= dst;
+      }
+    }
+  }
+  return PackedGenotypeMatrix(out_individuals, count, std::move(low),
+                              std::move(high));
+}
+
+PackedGenotypeMatrix GenotypeStore::slice_loci(SnpIndex first,
+                                               std::uint32_t count) const {
+  std::vector<std::uint32_t> everyone(individual_count());
+  for (std::uint32_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  return slice(first, count, everyone);
+}
+
+GenotypeMatrix GenotypeStore::decode_loci(SnpIndex first,
+                                          std::uint32_t count) const {
+  LDGA_EXPECTS(first <= snp_count() && count <= snp_count() - first);
+  GenotypeMatrix matrix(individual_count(), count);
+  for (std::uint32_t i = 0; i < individual_count(); ++i) {
+    for (std::uint32_t s = 0; s < count; ++s) {
+      matrix.set(i, s, at(i, first + s));
+    }
+  }
+  return matrix;
+}
+
+Dataset materialize_window(const GenotypeStore& store, const SnpPanel& panel,
+                           std::span<const Status> statuses, SnpIndex first,
+                           std::uint32_t count) {
+  LDGA_EXPECTS(panel.size() == store.snp_count());
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+  LDGA_EXPECTS(first <= store.snp_count() &&
+               count <= store.snp_count() - first);
+  std::vector<SnpInfo> infos;
+  infos.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    infos.push_back(panel.info(first + s));
+  }
+  return Dataset(SnpPanel(std::move(infos)), store.decode_loci(first, count),
+                 std::vector<Status>(statuses.begin(), statuses.end()));
+}
+
+}  // namespace ldga::genomics

@@ -54,6 +54,19 @@ PackedGenotypeMatrix::PackedGenotypeMatrix(
   }
 }
 
+PackedGenotypeMatrix::PackedGenotypeMatrix(std::uint32_t individuals,
+                                           std::uint32_t snps,
+                                           std::vector<std::uint64_t> low,
+                                           std::vector<std::uint64_t> high)
+    : individuals_(individuals),
+      snps_(snps),
+      words_(words_for(individuals)),
+      low_(std::move(low)),
+      high_(std::move(high)) {
+  const std::size_t expected = static_cast<std::size_t>(snps_) * words_;
+  LDGA_EXPECTS(low_.size() == expected && high_.size() == expected);
+}
+
 Genotype PackedGenotypeMatrix::at(std::uint32_t individual,
                                   SnpIndex snp) const {
   LDGA_EXPECTS(individual < individuals_ && snp < snps_);

@@ -27,23 +27,12 @@
 #include <vector>
 
 #include "genomics/genotype_matrix.hpp"
+#include "genomics/genotype_store.hpp"
 #include "genomics/types.hpp"
 
 namespace ldga::genomics {
 
-/// Per-locus genotype tallies produced by the popcount kernel.
-struct LocusCounts {
-  std::uint32_t hom_one = 0;
-  std::uint32_t het = 0;
-  std::uint32_t hom_two = 0;
-  std::uint32_t missing = 0;
-
-  std::uint32_t typed() const { return hom_one + het + hom_two; }
-  /// Copies of Allele::Two among the typed chromosomes.
-  std::uint32_t allele_two() const { return het + 2 * hom_two; }
-};
-
-class PackedGenotypeMatrix {
+class PackedGenotypeMatrix final : public GenotypeStore {
  public:
   /// Largest joint-pattern width (masks are 32-bit).
   static constexpr std::uint32_t kMaxPatternLoci = 32;
@@ -63,7 +52,8 @@ class PackedGenotypeMatrix {
 
   PackedGenotypeMatrix() = default;
 
-  /// Packs the full matrix, individuals in dataset order.
+  /// Packs the full matrix, individuals in dataset order — the packed
+  /// adapter every byte-matrix consumer routes through.
   explicit PackedGenotypeMatrix(const GenotypeMatrix& matrix);
 
   /// Column slice: packs only the given individuals (in the given
@@ -71,19 +61,26 @@ class PackedGenotypeMatrix {
   PackedGenotypeMatrix(const GenotypeMatrix& matrix,
                        std::span<const std::uint32_t> individuals);
 
-  std::uint32_t individual_count() const { return individuals_; }
-  std::uint32_t snp_count() const { return snps_; }
-  std::uint32_t words_per_snp() const { return words_; }
+  /// Adopts ready-made plane words (GenotypeStore::slice builds these).
+  /// Each vector must hold snps × ceil(individuals / 64) words with
+  /// zero padding bits.
+  PackedGenotypeMatrix(std::uint32_t individuals, std::uint32_t snps,
+                       std::vector<std::uint64_t> low,
+                       std::vector<std::uint64_t> high);
+
+  std::uint32_t individual_count() const override { return individuals_; }
+  std::uint32_t snp_count() const override { return snps_; }
+  std::uint32_t words_per_snp() const override { return words_; }
 
   /// Random access decode (row index is the packed/slice index).
-  Genotype at(std::uint32_t individual, SnpIndex snp) const;
+  Genotype at(std::uint32_t individual, SnpIndex snp) const override;
 
   /// Raw plane words of one SNP column (padding bits are zero).
-  std::span<const std::uint64_t> low_plane(SnpIndex snp) const;
-  std::span<const std::uint64_t> high_plane(SnpIndex snp) const;
+  std::span<const std::uint64_t> low_plane(SnpIndex snp) const override;
+  std::span<const std::uint64_t> high_plane(SnpIndex snp) const override;
 
   /// Per-locus genotype tallies in one pass of popcounts.
-  LocusCounts locus_counts(SnpIndex snp) const;
+  LocusCounts locus_counts(SnpIndex snp) const override;
 
   /// Enumerates every distinct joint genotype pattern over the selected
   /// loci (at most kMaxPatternLoci) with its carrier count. Bit j of

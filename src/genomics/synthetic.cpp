@@ -1,8 +1,10 @@
 #include "genomics/synthetic.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
+#include "genomics/packed_store.hpp"
 #include "util/error.hpp"
 
 namespace ldga::genomics {
@@ -144,6 +146,91 @@ SyntheticDataset generate_synthetic(const SyntheticConfig& config, Rng& rng) {
       Dataset(std::move(panel), std::move(matrix), std::move(statuses)),
       std::move(risk)};
   if (!has_signal) result.truth = RiskHaplotype{};
+  return result;
+}
+
+void SyntheticStoreConfig::validate() const {
+  cohort.validate();
+  if (total_snps < cohort.snp_count) {
+    throw ConfigError(
+        "SyntheticStoreConfig: total_snps must cover the signal chunk (" +
+        std::to_string(cohort.snp_count) + " markers)");
+  }
+  if (chunk_snps < 2) {
+    throw ConfigError("SyntheticStoreConfig: chunk_snps must be >= 2");
+  }
+}
+
+namespace {
+
+SnpInfo global_marker(std::uint32_t index, double spacing_kb) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "snp%07u", index + 1);
+  return SnpInfo{name, spacing_kb * index};
+}
+
+/// Appends the columns of `matrix` to the writer as global markers
+/// `base`..`base + snps`.
+void append_columns(PackedStoreWriter& writer, const GenotypeMatrix& matrix,
+                    std::uint32_t base, double spacing_kb,
+                    std::vector<Genotype>& column) {
+  column.resize(matrix.individual_count());
+  for (SnpIndex s = 0; s < matrix.snp_count(); ++s) {
+    for (std::uint32_t i = 0; i < matrix.individual_count(); ++i) {
+      column[i] = matrix.at(i, s);
+    }
+    writer.add_snp(global_marker(base + s, spacing_kb), column);
+  }
+}
+
+}  // namespace
+
+SyntheticStoreResult write_synthetic_store(const std::string& path,
+                                           const SyntheticStoreConfig& config,
+                                           Rng& rng) {
+  config.validate();
+  const double spacing = config.cohort.marker_spacing_kb;
+
+  // Signal chunk: defines the cohort (statuses, planted truth). Its
+  // markers start the panel, so the truth's indices are already global.
+  SyntheticDataset signal = generate_synthetic(config.cohort, rng);
+
+  SyntheticStoreResult result;
+  result.truth = signal.truth;
+  result.statuses = signal.dataset.statuses();
+
+  PackedStoreWriter writer(path, result.statuses, config.chunk_snps);
+  std::vector<Genotype> column;
+  append_columns(writer, signal.dataset.genotypes(), 0, spacing, column);
+
+  // Null chunks: fresh haplotype blocks for the same individuals. A
+  // null block's genotypes are independent of status, so any sampled
+  // rows serve; LD is present within a chunk, absent across chunk
+  // boundaries.
+  SyntheticConfig null_chunk = config.cohort;
+  null_chunk.active_snp_count = 0;
+  null_chunk.active_snps.clear();
+  std::uint32_t written = config.cohort.snp_count;
+  while (written < config.total_snps) {
+    const std::uint32_t chunk =
+        std::min(config.chunk_snps, config.total_snps - written);
+    null_chunk.snp_count = std::max(chunk, 2u);
+    SyntheticDataset block = generate_synthetic(null_chunk, rng);
+    if (null_chunk.snp_count != chunk) {
+      // A 1-marker tail: generate the 2-marker minimum, keep column 0.
+      GenotypeMatrix tail(block.dataset.individual_count(), 1);
+      for (std::uint32_t i = 0; i < tail.individual_count(); ++i) {
+        tail.set(i, 0, block.dataset.genotypes().at(i, 0));
+      }
+      append_columns(writer, tail, written, spacing, column);
+    } else {
+      append_columns(writer, block.dataset.genotypes(), written, spacing,
+                     column);
+    }
+    written += chunk;
+  }
+  writer.finish();
+  result.snps_written = written;
   return result;
 }
 

@@ -53,4 +53,40 @@ struct SyntheticDataset {
 /// labelled Unknown.
 SyntheticDataset generate_synthetic(const SyntheticConfig& config, Rng& rng);
 
+/// Shape of a genome-scale synthetic packed store (see
+/// write_synthetic_store).
+struct SyntheticStoreConfig {
+  /// The signal chunk: the first `cohort.snp_count` markers of the
+  /// panel carry the planted risk haplotype and define the cohort
+  /// (statuses). Its active SNP indices are global indices too, since
+  /// the signal chunk starts the panel.
+  SyntheticConfig cohort;
+  /// Full panel width; markers beyond the signal chunk are null LD
+  /// blocks drawn independently per chunk.
+  std::uint32_t total_snps = 100'000;
+  /// Markers generated (and flushed to disk) per chunk — bounds RSS to
+  /// O(individuals × chunk_snps) regardless of total_snps.
+  std::uint32_t chunk_snps = 4096;
+
+  void validate() const;
+};
+
+struct SyntheticStoreResult {
+  /// Planted truth of the signal chunk (global SNP indices).
+  RiskHaplotype truth;
+  std::vector<Status> statuses;
+  std::uint32_t snps_written = 0;
+};
+
+/// Streams a synthetic cohort of `total_snps` markers into an on-disk
+/// packed store at `path` without ever materializing the full panel:
+/// the signal chunk comes from generate_synthetic, each later chunk is
+/// an independent null haplotype block for the same individuals, and
+/// every chunk is handed column-by-column to PackedStoreWriter. Marker
+/// names are globally numbered ("snp0000001"...), positions uniform at
+/// cohort.marker_spacing_kb.
+SyntheticStoreResult write_synthetic_store(const std::string& path,
+                                           const SyntheticStoreConfig& config,
+                                           Rng& rng);
+
 }  // namespace ldga::genomics

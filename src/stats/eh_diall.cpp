@@ -27,19 +27,33 @@ ContingencyTable EhDiallResult::to_contingency_table() const {
   return table;
 }
 
+namespace {
+
+/// Store rows of each association group, in store order. Unknown
+/// individuals are dropped (as in the paper).
+std::vector<std::uint32_t> rows_with(std::span<const Status> statuses,
+                                     Status wanted) {
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i] == wanted) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace
+
 EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
-                 bool packed_kernel, bool compiled_em,
-                 bool warm_start_pooled,
+                 bool /*packed_kernel: deprecated, packing is
+                        unconditional*/,
+                 bool compiled_em, bool warm_start_pooled,
                  std::shared_ptr<PatternTableCache> cache,
                  bool warm_start_parents, bool simd_kernels)
-    : dataset_(&dataset),
-      config_(config),
-      packed_kernel_(packed_kernel),
+    : config_(config),
       compiled_em_(compiled_em),
       warm_start_pooled_(warm_start_pooled),
       warm_start_parents_(warm_start_parents),
       simd_kernels_(simd_kernels && compiled_em),
-      cache_(packed_kernel && compiled_em ? std::move(cache) : nullptr) {
+      cache_(compiled_em ? std::move(cache) : nullptr) {
   config_.validate();
   affected_ = dataset.individuals_with(Status::Affected);
   unaffected_ = dataset.individuals_with(Status::Unaffected);
@@ -48,12 +62,37 @@ EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
         "EhDiall: dataset needs at least one affected and one unaffected "
         "individual");
   }
-  if (packed_kernel_) {
-    packed_affected_ =
-        genomics::PackedGenotypeMatrix(dataset.genotypes(), affected_);
-    packed_unaffected_ =
-        genomics::PackedGenotypeMatrix(dataset.genotypes(), unaffected_);
+  // The per-group packed adapter: each group's bytes are packed once
+  // into a column slice, identical bit for bit to what
+  // GenotypeStore::slice would gather from the full packed matrix.
+  packed_affected_ =
+      genomics::PackedGenotypeMatrix(dataset.genotypes(), affected_);
+  packed_unaffected_ =
+      genomics::PackedGenotypeMatrix(dataset.genotypes(), unaffected_);
+}
+
+EhDiall::EhDiall(const genomics::GenotypeStore& store,
+                 std::span<const Status> statuses, EmConfig config,
+                 bool compiled_em, bool warm_start_pooled,
+                 std::shared_ptr<PatternTableCache> cache,
+                 bool warm_start_parents, bool simd_kernels)
+    : config_(config),
+      compiled_em_(compiled_em),
+      warm_start_pooled_(warm_start_pooled),
+      warm_start_parents_(warm_start_parents),
+      simd_kernels_(simd_kernels && compiled_em),
+      cache_(compiled_em ? std::move(cache) : nullptr) {
+  config_.validate();
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+  affected_ = rows_with(statuses, Status::Affected);
+  unaffected_ = rows_with(statuses, Status::Unaffected);
+  if (affected_.empty() || unaffected_.empty()) {
+    throw DataError(
+        "EhDiall: store needs at least one affected and one unaffected "
+        "individual");
   }
+  packed_affected_ = store.slice(0, store.snp_count(), affected_);
+  packed_unaffected_ = store.slice(0, store.snp_count(), unaffected_);
 }
 
 namespace {
@@ -109,21 +148,10 @@ EhDiallResult EhDiall::analyze(std::span<const SnpIndex> snps,
   }
 
   Stopwatch watch;
-  const auto& genotypes = dataset_->genotypes();
-  const auto table_a =
-      packed_kernel_
-          ? GenotypePatternTable::build_packed(packed_affected_, snps,
-                                               config_.missing,
-                                               scratch.dfs_rows)
-          : GenotypePatternTable::build(genotypes, snps, affected_,
-                                        config_.missing);
-  const auto table_u =
-      packed_kernel_
-          ? GenotypePatternTable::build_packed(packed_unaffected_, snps,
-                                               config_.missing,
-                                               scratch.dfs_rows)
-          : GenotypePatternTable::build(genotypes, snps, unaffected_,
-                                        config_.missing);
+  const auto table_a = GenotypePatternTable::build_packed(
+      packed_affected_, snps, config_.missing, scratch.dfs_rows);
+  const auto table_u = GenotypePatternTable::build_packed(
+      packed_unaffected_, snps, config_.missing, scratch.dfs_rows);
   const auto table_pooled = GenotypePatternTable::merge(table_a, table_u);
 
   EhDiallResult result;

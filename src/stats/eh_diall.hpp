@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "genomics/dataset.hpp"
+#include "genomics/genotype_store.hpp"
 #include "stats/contingency.hpp"
 #include "stats/em_haplotype.hpp"
 #include "stats/eval_scratch.hpp"
@@ -50,10 +51,11 @@ class EhDiall {
  public:
   /// Captures the affected/unaffected individual lists of the dataset;
   /// individuals with Unknown status are ignored (as in the paper).
-  /// With `packed_kernel` (the default) each group is bit-packed once
-  /// here — a per-group column slice — and every analyze() call counts
-  /// genotype patterns with word-level popcounts; the tables, and hence
-  /// all statistics, are bit-for-bit identical to the byte path.
+  /// Each group is bit-packed once here — a per-group column slice —
+  /// and every analyze() call counts genotype patterns with word-level
+  /// popcounts. `packed_kernel` is deprecated and ignored: packing is
+  /// unconditional now that the byte-scanning path is retired (the
+  /// packed tables were always bit-for-bit identical to it).
   /// With `compiled_em` (the default) each table is compiled to a phase
   /// program (em_kernel.hpp) and EM runs over the support set only —
   /// again bit-for-bit identical to the visitor-based reference.
@@ -80,6 +82,17 @@ class EhDiall {
                    std::shared_ptr<PatternTableCache> cache = nullptr,
                    bool warm_start_parents = false,
                    bool simd_kernels = false);
+
+  /// As above, but slicing each group straight from any GenotypeStore
+  /// (in-memory packed matrix or mmap'd on-disk store) — no byte matrix
+  /// is ever materialized. `statuses` assigns store row i its group.
+  /// A slice of an mmap'd store touches only the pages of its loci, so
+  /// this is the genome-scale construction path.
+  EhDiall(const genomics::GenotypeStore& store,
+          std::span<const genomics::Status> statuses, EmConfig config = {},
+          bool compiled_em = true, bool warm_start_pooled = false,
+          std::shared_ptr<PatternTableCache> cache = nullptr,
+          bool warm_start_parents = false, bool simd_kernels = false);
 
   /// Full three-way analysis of a candidate SNP set (ascending order not
   /// required here, but indices must be distinct and in range).
@@ -111,11 +124,9 @@ class EhDiall {
       const std::shared_ptr<const CandidateTables>& parent,
       EvalScratch& scratch) const;
 
-  const genomics::Dataset* dataset_;
   EmConfig config_;
   std::vector<std::uint32_t> affected_;
   std::vector<std::uint32_t> unaffected_;
-  bool packed_kernel_ = true;
   bool compiled_em_ = true;
   bool warm_start_pooled_ = false;
   bool warm_start_parents_ = false;

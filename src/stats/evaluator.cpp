@@ -51,8 +51,7 @@ HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
     : dataset_(&dataset),
       config_(config.validated()),
       pattern_cache_(
-          config.incremental.pattern_cache && config.packed_kernel &&
-                  config.compiled_em
+          config.incremental.pattern_cache && config.compiled_em
               ? std::make_shared<PatternTableCache>(
                     config.incremental.pattern_cache_capacity,
                     config.incremental.pattern_cache_shards)

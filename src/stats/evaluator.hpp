@@ -97,9 +97,11 @@ struct EvaluatorConfig {
   /// Lock shards of the fitness cache (>= 1). More shards = less
   /// contention when many backend workers insert at once.
   std::uint32_t cache_shards = 16;
-  /// Count genotype patterns with the 2-bit packed popcount kernel
-  /// (bit-for-bit identical statistics; the byte path remains as a
-  /// reference implementation).
+  /// Deprecated, ignored: genotype patterns are always counted with the
+  /// 2-bit packed popcount kernel. The byte-scanning pipeline it used
+  /// to toggle is retired (DESIGN.md §"packed_kernel retirement"); the
+  /// packed tables were verified bit-for-bit identical to it before
+  /// removal, so flipping this flag never changed a statistic.
   bool packed_kernel = true;
   /// Run EM through the compiled phase-program kernel (em_kernel.hpp):
   /// support-set state instead of dense 2^k vectors, bit-for-bit

@@ -269,11 +269,18 @@ TEST(Evaluator, IncrementalCacheActiveByDefaultAndGated) {
   EXPECT_FALSE(without.incremental_active());
   EXPECT_EQ(without.incremental_stats().entry_reuses, 0u);
 
-  // The incremental routes are defined on the packed/compiled kernels
-  // only; asking for the cache without them silently deactivates it.
-  EvaluatorConfig byte_path;
-  byte_path.packed_kernel = false;
-  const HaplotypeEvaluator gated(synthetic.dataset, byte_path);
+  // packed_kernel is deprecated and ignored (the packed kernels are
+  // always on), so it no longer gates the cache...
+  EvaluatorConfig deprecated_flag;
+  deprecated_flag.packed_kernel = false;
+  const HaplotypeEvaluator ungated(synthetic.dataset, deprecated_flag);
+  EXPECT_TRUE(ungated.incremental_active());
+
+  // ...but the incremental routes are defined on the compiled EM
+  // programs, so turning those off still deactivates it silently.
+  EvaluatorConfig gated_config;
+  gated_config.compiled_em = false;
+  const HaplotypeEvaluator gated(synthetic.dataset, gated_config);
   EXPECT_FALSE(gated.incremental_active());
 }
 

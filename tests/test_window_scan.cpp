@@ -1,0 +1,221 @@
+#include "ga/window_scan.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/genotype_store.hpp"
+#include "genomics/packed_genotype.hpp"
+#include "genomics/packed_store.hpp"
+#include "stats/evaluator.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::ga {
+namespace {
+
+using genomics::PackedGenotypeMatrix;
+using genomics::SnpIndex;
+
+TEST(PlanWindows, PanelSmallerThanWindowYieldsOneCoveringWindow) {
+  const std::vector<WindowSpec> windows = plan_windows(3, 8, 4);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].begin, 0u);
+  EXPECT_EQ(windows[0].count, 3u);
+}
+
+TEST(PlanWindows, OverlappingTilingCoversPanelWithPartialTail) {
+  const std::vector<WindowSpec> windows = plan_windows(23, 10, 5);
+  ASSERT_EQ(windows.size(), 4u);
+  const std::vector<std::uint32_t> begins{0, 5, 10, 15};
+  const std::vector<std::uint32_t> counts{10, 10, 10, 8};
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].begin, begins[w]);
+    EXPECT_EQ(windows[w].count, counts[w]);
+  }
+  // Overlap invariant: each window starts before its predecessor ends
+  // (overlap = window - stride >= 0, here 5).
+  for (std::size_t w = 1; w < windows.size(); ++w) {
+    EXPECT_LT(windows[w].begin,
+              windows[w - 1].begin + windows[w - 1].count);
+  }
+  // The last (partial) window ends exactly at the panel edge.
+  EXPECT_EQ(windows.back().begin + windows.back().count, 23u);
+}
+
+TEST(PlanWindows, ExactMultipleEndsFlushWithNoEmptyTail) {
+  const std::vector<WindowSpec> windows = plan_windows(20, 10, 10);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].begin, 0u);
+  EXPECT_EQ(windows[1].begin, 10u);
+  EXPECT_EQ(windows[1].count, 10u);
+}
+
+TEST(PlanWindows, RejectsDegenerateShapes) {
+  EXPECT_THROW(plan_windows(0, 4, 2), ConfigError);   // empty panel
+  EXPECT_THROW(plan_windows(10, 1, 1), ConfigError);  // window < 2
+  EXPECT_THROW(plan_windows(10, 4, 0), ConfigError);  // zero stride
+  EXPECT_THROW(plan_windows(10, 4, 5), ConfigError);  // stride > window
+}
+
+/// test_engine.cpp's fast settings: small enough to run in milliseconds,
+/// big enough to exercise every operator.
+GaConfig fast_ga(std::uint64_t seed) {
+  GaConfig config;
+  config.min_size = 2;
+  config.max_size = 4;
+  config.population_size = 30;
+  config.min_subpopulation = 5;
+  config.crossovers_per_generation = 6;
+  config.mutations_per_generation = 10;
+  config.stagnation_generations = 15;
+  config.max_generations = 40;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WindowScan, WindowSliceFitnessIsBitIdenticalToFullMatrix) {
+  const genomics::Dataset dataset =
+      ldga::testing::small_synthetic(20, 2, 5).dataset;
+  const PackedGenotypeMatrix store(dataset.genotypes());
+
+  const genomics::Dataset window = genomics::materialize_window(
+      store, dataset.panel(), dataset.statuses(), 6, 8);
+  ASSERT_EQ(window.snp_count(), 8u);
+  EXPECT_EQ(window.panel().name(0), dataset.panel().name(6));
+
+  const stats::EvaluatorConfig config;
+  const stats::HaplotypeEvaluator full(dataset, config);
+  const stats::HaplotypeEvaluator sliced(window, config);
+
+  const std::vector<std::vector<SnpIndex>> global_candidates{
+      {6, 9}, {7, 10, 12}, {6, 11, 12, 13}, {8, 13}};
+  for (const auto& global : global_candidates) {
+    std::vector<SnpIndex> local(global.size());
+    std::transform(global.begin(), global.end(), local.begin(),
+                   [](SnpIndex s) { return s - 6; });
+    const auto a = full.evaluate_full(global);
+    const auto b = sliced.evaluate_full(local);
+    // Bit-identical, not merely close: the slice re-packs the same
+    // plane bits, so every pipeline stage sees identical inputs.
+    EXPECT_EQ(a.fitness, b.fitness);
+    EXPECT_EQ(a.t1.statistic, b.t1.statistic);
+    EXPECT_EQ(a.lrt, b.lrt);
+  }
+}
+
+struct ScanFixture {
+  genomics::Dataset dataset;
+  PackedGenotypeMatrix store;
+  std::vector<WindowSpec> windows;
+  WindowScanConfig config;
+
+  explicit ScanFixture(std::uint64_t seed = 42)
+      : dataset(ldga::testing::small_synthetic(18, 2, 1234).dataset),
+        store(dataset.genotypes()),
+        windows(plan_windows(18, 8, 5)) {
+    config.ga = fast_ga(seed);
+    config.migrate_elites = 2;
+  }
+
+  WindowScanResult run() const {
+    return run_window_scan(store, dataset.panel(), dataset.statuses(),
+                           windows, config);
+  }
+};
+
+TEST(WindowScan, ScansEveryWindowAndReportsGlobalChampion) {
+  const ScanFixture fixture;
+  const WindowScanResult result = fixture.run();
+  ASSERT_EQ(result.windows.size(), fixture.windows.size());
+
+  std::uint64_t evaluations = 0;
+  double best = 0.0;
+  for (std::size_t w = 0; w < result.windows.size(); ++w) {
+    const WindowResult& window = result.windows[w];
+    EXPECT_EQ(window.window.begin, fixture.windows[w].begin);
+    evaluations += window.evaluations;
+    EXPECT_GT(window.generations, 0u);
+
+    // Reported SNPs are global indices confined to the window.
+    ASSERT_FALSE(window.best_snps.empty());
+    EXPECT_GE(window.best_snps.size(), fixture.config.ga.min_size);
+    EXPECT_LE(window.best_snps.size(), fixture.config.ga.max_size);
+    for (const SnpIndex s : window.best_snps) {
+      EXPECT_GE(s, window.window.begin);
+      EXPECT_LT(s, window.window.begin + window.window.count);
+    }
+    best = std::max(best, window.best_fitness);
+    EXPECT_LE(window.migrants_in, fixture.config.migrate_elites);
+  }
+  EXPECT_EQ(result.windows.front().migrants_in, 0u);  // no predecessor
+  EXPECT_EQ(result.evaluations, evaluations);
+  EXPECT_EQ(result.best_fitness, best);
+  EXPECT_FALSE(result.best_snps.empty());
+}
+
+TEST(WindowScan, ScanIsDeterministicForAFixedSeed) {
+  const ScanFixture fixture;
+  const WindowScanResult first = fixture.run();
+  const WindowScanResult second = fixture.run();
+  EXPECT_EQ(first.best_fitness, second.best_fitness);
+  EXPECT_EQ(first.best_snps, second.best_snps);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  for (std::size_t w = 0; w < first.windows.size(); ++w) {
+    EXPECT_EQ(first.windows[w].best_fitness, second.windows[w].best_fitness);
+    EXPECT_EQ(first.windows[w].best_snps, second.windows[w].best_snps);
+  }
+}
+
+TEST(WindowScan, DifferentSeedsDecorrelateWindows) {
+  const ScanFixture a(42);
+  const ScanFixture b(43);
+  const WindowScanResult ra = a.run();
+  const WindowScanResult rb = b.run();
+  // Different scan seeds must at least change the work performed (the
+  // search paths diverge even if both find the planted signal).
+  EXPECT_TRUE(ra.evaluations != rb.evaluations ||
+              ra.best_snps != rb.best_snps ||
+              ra.best_fitness != rb.best_fitness);
+}
+
+TEST(WindowScan, MmapStoreScanMatchesInMemoryScanExactly) {
+  const ScanFixture fixture;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ldga_scan_" + std::to_string(::getpid()) + ".pgs"))
+          .string();
+  genomics::write_packed_store(path, fixture.dataset);
+
+  const WindowScanResult memory = fixture.run();
+  {
+    const genomics::PackedGenotypeStore mapped =
+        genomics::PackedGenotypeStore::open(path);
+    const WindowScanResult disk =
+        run_window_scan(mapped, mapped.panel(), mapped.statuses(),
+                        fixture.windows, fixture.config);
+    EXPECT_EQ(disk.best_fitness, memory.best_fitness);
+    EXPECT_EQ(disk.best_snps, memory.best_snps);
+    EXPECT_EQ(disk.evaluations, memory.evaluations);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WindowScan, MigrationOffStillScans) {
+  ScanFixture fixture;
+  fixture.config.migrate_elites = 0;
+  const WindowScanResult result = fixture.run();
+  for (const WindowResult& window : result.windows) {
+    EXPECT_EQ(window.migrants_in, 0u);
+  }
+  EXPECT_FALSE(result.best_snps.empty());
+}
+
+}  // namespace
+}  // namespace ldga::ga
