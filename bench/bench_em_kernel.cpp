@@ -183,8 +183,8 @@ void report_em_kernel(std::FILE* json) {
   // single shared core.
   for (const std::uint32_t size : {6u, 10u}) {
     const auto sets = candidates(20, size, 42);
-    const stats::EhDiall reference(cohort().dataset, {}, true, false);
-    const stats::EhDiall compiled(cohort().dataset, {}, true, true);
+    const stats::EhDiall reference(cohort().dataset, {}, false);
+    const stats::EhDiall compiled(cohort().dataset, {}, true);
     double ref_ms = 1e300;
     double compiled_ms = 1e300;
     for (std::uint32_t rep = 0; rep < 5; ++rep) {
@@ -214,8 +214,8 @@ void report_em_kernel(std::FILE* json) {
 
 void report_warm_start(std::FILE* json) {
   const auto sets = candidates(30, 6, 43);
-  const stats::EhDiall cold(cohort().dataset, {}, true, true, false);
-  const stats::EhDiall warm(cohort().dataset, {}, true, true, true);
+  const stats::EhDiall cold(cohort().dataset, {}, true, false);
+  const stats::EhDiall warm(cohort().dataset, {}, true, true);
   std::uint64_t cold_iterations = 0;
   std::uint64_t warm_iterations = 0;
   std::uint32_t warm_used = 0;
@@ -279,7 +279,7 @@ void report_end_to_end(std::FILE* json) {
   constexpr std::uint32_t kTrials = 300;
 
   // Baseline: visitor EM, naive per-column collapse scans, serial MC.
-  const stats::EhDiall baseline_eh(cohort().dataset, {}, true, false);
+  const stats::EhDiall baseline_eh(cohort().dataset, {}, false);
   Stopwatch baseline_watch;
   for (std::size_t i = 0; i < sets.size(); ++i) {
     const auto eh = baseline_eh.analyze(sets[i]);
@@ -291,7 +291,7 @@ void report_end_to_end(std::FILE* json) {
 
   // Optimized: compiled EM + warm-started pooled run + incremental 2×2
   // scans (+ pooled Monte-Carlo workers where the hardware has them).
-  const stats::EhDiall optimized_eh(cohort().dataset, {}, true, true, true);
+  const stats::EhDiall optimized_eh(cohort().dataset, {}, true, true);
   stats::ClumpConfig clump_config;
   clump_config.monte_carlo_trials = kTrials;
   clump_config.monte_carlo_workers = 0;  // hardware concurrency

@@ -1,7 +1,7 @@
 // Bit-packed genotype kernel vs the byte reference.
 //
-// The evaluation pipeline packs unconditionally now
-// (EvaluatorConfig::packed_kernel is a deprecated no-op; DESIGN.md
+// The evaluation pipeline packs unconditionally now (the deprecated
+// EvaluatorConfig::packed_kernel no-op is removed; DESIGN.md
 // §"packed_kernel retirement"), so the byte implementations here —
 // byte_locus_counts and GenotypePatternTable::build — are retained
 // reference code, not a selectable production path. Two claims are
@@ -113,8 +113,8 @@ BENCHMARK(BM_PatternTablePacked)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_FitnessPipeline(benchmark::State& state) {
   // One pipeline configuration only: the packed kernel is the pipeline
-  // (packed_kernel is a deprecated no-op), so there is no byte e2e leg
-  // to race it against anymore.
+  // (the packed_kernel toggle is gone), so there is no byte e2e leg to
+  // race it against anymore.
   const stats::HaplotypeEvaluator evaluator(big_cohort().dataset);
   Rng rng(7);
   const auto snps = rng.sample_without_replacement(64, 4);

@@ -9,7 +9,13 @@
 //      popcount (the kernel every pattern-table build runs per node);
 //   3. EM E-step pair  — weighted_pair_products + scale_values on a
 //      phase-fan-sized gather;
-//   4. CLUMP           — chi_columns 2×2 scan + pearson_row_terms.
+//   4. CLUMP           — chi_columns 2×2 scan + pearson_row_terms;
+//   5. batched shapes  — batch_weighted_pair_products on a short-fan ×
+//      many-lane SoA block and batch_chi_columns + batch_pearson_2xn
+//      on one replicate sub-batch: the shapes the candidate-batched
+//      evaluation actually dispatches, and the measurements the
+//      AVX-512 FP routing decision (avx512 FP → avx2 bodies) was
+//      re-checked against.
 // Equivalence is asserted inline (integer kernels bit-exact, FP within
 // 1e-9) — a fast wrong kernel aborts the bench.
 //
@@ -41,11 +47,23 @@ using namespace ldga;
 constexpr std::size_t kWords = 4096;
 constexpr std::size_t kPairs = 4096;
 constexpr std::size_t kColumns = 512;
+// Batched shapes: lanes × short fans is what the candidate grouper
+// feeds batch_weighted_pair_products (fans below kSimdMinPairs), and
+// one 64-replicate sub-batch of a 32-column table is what the batched
+// CLUMP Monte-Carlo engine feeds the replicate kernels.
+constexpr std::size_t kBatchLanes = 16;
+constexpr std::size_t kBatchFan = 8;
+constexpr std::size_t kBatchSupport = 64;
+constexpr std::size_t kBatchCols = 32;
+constexpr std::size_t kBatchReps = 64;
 
 struct Inputs {
   std::vector<std::uint64_t> parent, lo, hi, out;
   std::vector<double> freq, products, top, bottom, chi, cells, col_sums;
   std::vector<std::uint32_t> h1, h2;
+  std::vector<double> batch_freq, batch_products, batch_sums;
+  std::vector<std::uint32_t> bh1, bh2;
+  std::vector<double> rep_top, rep_bottom, rep_out, rep_col_sums, rep_pearson;
 };
 
 Inputs make_inputs() {
@@ -81,6 +99,24 @@ Inputs make_inputs() {
     in.cells[c] = 40.0 * rng.uniform();
     in.col_sums[c] = in.cells[c] + 40.0 * rng.uniform();
   }
+  in.batch_freq.resize(kBatchLanes * kBatchSupport);
+  for (double& f : in.batch_freq) f = rng.uniform() + 1e-6;
+  in.bh1.resize(kBatchFan);
+  in.bh2.resize(kBatchFan);
+  for (std::size_t t = 0; t < kBatchFan; ++t) {
+    in.bh1[t] = static_cast<std::uint32_t>(rng.below(kBatchSupport));
+    in.bh2[t] = static_cast<std::uint32_t>(rng.below(kBatchSupport));
+  }
+  in.batch_products.resize(kBatchFan * kBatchLanes);
+  in.batch_sums.resize(kBatchLanes);
+  in.rep_top.resize(kBatchReps * kBatchCols);
+  in.rep_bottom.resize(kBatchReps * kBatchCols);
+  in.rep_out.resize(kBatchReps * kBatchCols);
+  in.rep_pearson.resize(kBatchReps);
+  in.rep_col_sums.resize(kBatchCols);
+  for (double& v : in.rep_top) v = 30.0 * rng.uniform();
+  for (double& v : in.rep_bottom) v = 30.0 * rng.uniform();
+  for (double& v : in.rep_col_sums) v = 10.0 + 20.0 * rng.uniform();
   return in;
 }
 
@@ -112,6 +148,8 @@ struct LevelTimes {
   double planes_ns = 0.0;
   double em_ns = 0.0;
   double clump_ns = 0.0;
+  double batch_em_ns = 0.0;
+  double batch_clump_ns = 0.0;
 };
 
 LevelTimes run_level(const util::SimdKernels& kernels, const Inputs& in,
@@ -141,6 +179,25 @@ LevelTimes run_level(const util::SimdKernels& kernels, const Inputs& in,
                         row0, row1, mut.chi.data());
     g_sink = g_sink + kernels.pearson_row_terms(in.cells.data(), in.col_sums.data(),
                                         kColumns, row0, total);
+  });
+  const double brow0 = 40.0 * static_cast<double>(kBatchCols);
+  const double brow1 = 37.5 * static_cast<double>(kBatchCols);
+  const double btotal = row_total(in.rep_col_sums);
+  t.batch_em_ns = time_ns(4000, [&] {
+    kernels.batch_weighted_pair_products(
+        in.batch_freq.data(), kBatchSupport, in.bh1.data(), in.bh2.data(),
+        kBatchFan, 0.5, kBatchLanes, mut.batch_products.data(),
+        mut.batch_sums.data());
+    g_sink = g_sink + mut.batch_sums[0];
+  });
+  t.batch_clump_ns = time_ns(400, [&] {
+    kernels.batch_chi_columns(in.rep_top.data(), in.rep_bottom.data(),
+                              kBatchCols, kBatchReps, nullptr, nullptr, brow0,
+                              brow1, mut.rep_out.data());
+    kernels.batch_pearson_2xn(in.rep_top.data(), in.rep_bottom.data(),
+                              in.rep_col_sums.data(), kBatchCols, kBatchReps,
+                              brow0, brow1, btotal, mut.rep_pearson.data());
+    g_sink = g_sink + mut.rep_pearson[0];
   });
   return t;
 }
@@ -217,12 +274,16 @@ int main() {
   ldga::bench::write_machine_context(json);
   std::fprintf(json,
                "  \"workload\": \"%zu-word planes, %zu-pair E-step, "
-               "%zu-column CLUMP scan\",\n",
-               kWords, kPairs, kColumns);
+               "%zu-column CLUMP scan; batched: %zu lanes x %zu-pair "
+               "E-step, %zu reps x %zu-column CLUMP\",\n",
+               kWords, kPairs, kColumns, kBatchLanes, kBatchFan, kBatchReps,
+               kBatchCols);
 
   LevelTimes scalar_times;
   double best_popcount_speedup = 1.0;
   double best_planes_speedup = 1.0;
+  double best_batch_em_speedup = 1.0;
+  double best_batch_clump_speedup = 1.0;
   std::string best_level = "scalar";
   for (const util::SimdLevel level : levels) {
     const util::SimdKernels& kernels = util::simd_kernels_for(level);
@@ -238,30 +299,41 @@ int main() {
         popcount_speedup > best_popcount_speedup) {
       best_popcount_speedup = popcount_speedup;
       best_planes_speedup = planes_speedup;
+      best_batch_em_speedup = scalar_times.batch_em_ns / t.batch_em_ns;
+      best_batch_clump_speedup = scalar_times.batch_clump_ns / t.batch_clump_ns;
       best_level = name;
     }
     std::printf(
         "%-7s popcount %7.0f ns (%5.2fx)  planes %7.0f ns (%5.2fx)  "
-        "em %7.0f ns (%5.2fx)  clump %7.0f ns (%5.2fx)\n",
+        "em %7.0f ns (%5.2fx)  clump %7.0f ns (%5.2fx)\n"
+        "        batch-em %6.0f ns (%5.2fx)  batch-clump %7.0f ns (%5.2fx)\n",
         name, t.popcount_ns, popcount_speedup, t.planes_ns, planes_speedup,
         t.em_ns, scalar_times.em_ns / t.em_ns, t.clump_ns,
-        scalar_times.clump_ns / t.clump_ns);
+        scalar_times.clump_ns / t.clump_ns, t.batch_em_ns,
+        scalar_times.batch_em_ns / t.batch_em_ns, t.batch_clump_ns,
+        scalar_times.batch_clump_ns / t.batch_clump_ns);
     std::fprintf(json,
                  "  \"%s_popcount_ns\": %.1f,\n"
                  "  \"%s_planes_ns\": %.1f,\n"
                  "  \"%s_em_estep_ns\": %.1f,\n"
-                 "  \"%s_clump_ns\": %.1f,\n",
+                 "  \"%s_clump_ns\": %.1f,\n"
+                 "  \"%s_batch_em_ns\": %.1f,\n"
+                 "  \"%s_batch_clump_ns\": %.1f,\n",
                  name, t.popcount_ns, name, t.planes_ns, name, t.em_ns,
-                 name, t.clump_ns);
+                 name, t.clump_ns, name, t.batch_em_ns, name,
+                 t.batch_clump_ns);
   }
 
   std::fprintf(json,
                "  \"best_vector_level\": \"%s\",\n"
                "  \"popcount_speedup\": %.3f,\n"
-               "  \"planes_speedup\": %.3f\n"
+               "  \"planes_speedup\": %.3f,\n"
+               "  \"batch_em_speedup\": %.3f,\n"
+               "  \"batch_clump_speedup\": %.3f\n"
                "}\n",
                best_level.c_str(), best_popcount_speedup,
-               best_planes_speedup);
+               best_planes_speedup, best_batch_em_speedup,
+               best_batch_clump_speedup);
   std::fclose(json);
   std::printf("\nwrote BENCH_simd_kernels.json (best vector level: %s)\n",
               best_level.c_str());

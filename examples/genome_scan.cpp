@@ -89,7 +89,8 @@ int main() {
   for (const auto& window : result.windows) {
     std::string snps;
     for (const auto snp : window.best_snps) {
-      snps += (snps.empty() ? "" : " ") + std::to_string(snp + 1);
+      if (!snps.empty()) snps += ' ';
+      snps += std::to_string(snp + 1);
     }
     std::printf("[%6u, %6u)   %-26s %.3f%s\n", window.window.begin,
                 window.window.begin + window.window.count, snps.c_str(),

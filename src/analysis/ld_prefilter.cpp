@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/simd.hpp"
 
@@ -150,6 +152,52 @@ PairLd composite_pair_ld(const genomics::GenotypeStore& store, SnpIndex a,
                              words, joint.data(), tmp.data());
 }
 
+namespace {
+
+/// One tile's accumulators. Tiles are summed independently and reduced
+/// in fixed tile order, so the sweep's scores do not depend on which
+/// thread ran which tile — or on whether a pool ran at all.
+struct TilePartial {
+  double sum_r2 = 0.0;
+  double sum_dprime = 0.0;
+  double max_r2 = 0.0;
+  std::uint64_t pairs = 0;
+  std::uint64_t strong = 0;
+};
+
+/// A tile of the upper-triangle (a, b) index square of one window.
+struct TileSpec {
+  std::uint32_t ta = 0;
+  std::uint32_t tb = 0;
+};
+
+TilePartial sweep_tile(const util::SimdKernels& kernels,
+                       const WindowPlanes& planes, std::uint32_t count,
+                       std::uint32_t tile, const TileSpec& spec,
+                       std::size_t words, double strong_r2,
+                       std::uint64_t* joint, std::uint64_t* tmp) {
+  TilePartial partial;
+  const std::uint32_t a_end = std::min(spec.ta + tile, count);
+  const std::uint32_t b_end = std::min(spec.tb + tile, count);
+  for (std::uint32_t a = spec.ta; a < a_end; ++a) {
+    const std::uint32_t b_first = std::max(a + 1, spec.tb);
+    for (std::uint32_t b = b_first; b < b_end; ++b) {
+      const PairLd ld = pair_ld_from_planes(
+          kernels, planes.lo[a], planes.hi[a], planes.valid_of(a, words),
+          planes.lo[b], planes.hi[b], planes.valid_of(b, words), words, joint,
+          tmp);
+      ++partial.pairs;
+      partial.sum_r2 += ld.r2;
+      partial.sum_dprime += ld.d_prime;
+      partial.max_r2 = std::max(partial.max_r2, ld.r2);
+      if (ld.r2 >= strong_r2) ++partial.strong;
+    }
+  }
+  return partial;
+}
+
+}  // namespace
+
 std::vector<WindowScore> score_windows(const genomics::GenotypeStore& store,
                                        std::span<const ga::WindowSpec> windows,
                                        const LdPrefilterConfig& config) {
@@ -157,44 +205,61 @@ std::vector<WindowScore> score_windows(const genomics::GenotypeStore& store,
   const std::uint32_t words = store.words_per_snp();
   const std::vector<std::uint64_t> everyone =
       everyone_mask(store.individual_count(), words);
-  std::vector<std::uint64_t> joint(words);
-  std::vector<std::uint64_t> tmp(words);
   const util::SimdKernels& kernels = util::simd();
+
+  const std::uint32_t n_workers =
+      config.workers > 0 ? config.workers : parallel::default_thread_count();
+  std::optional<parallel::ThreadPool> pool;
+  if (n_workers > 1) pool.emplace(n_workers);
+  /// One {joint, tmp} scratch pair per parallel_for chunk (threads +
+  /// the calling thread); index 0 doubles as the serial scratch.
+  std::vector<std::vector<std::uint64_t>> joints(
+      pool ? pool->thread_count() + 1 : 1,
+      std::vector<std::uint64_t>(words));
+  std::vector<std::vector<std::uint64_t>> tmps(joints.size(),
+                                               std::vector<std::uint64_t>(words));
 
   std::vector<WindowScore> scores;
   scores.reserve(windows.size());
+  std::vector<TileSpec> tiles;
+  std::vector<TilePartial> partials;
   for (const ga::WindowSpec& window : windows) {
     LDGA_EXPECTS(window.begin < store.snp_count() &&
                  window.count <= store.snp_count() - window.begin);
     const WindowPlanes planes(store, window, everyone);
 
-    WindowScore score;
-    score.window = window;
-    double sum_r2 = 0.0;
-    double sum_dprime = 0.0;
     // Blocked pair sweep: tiles of the (a, b) index square, upper
     // triangle only, so both tiles' plane words stay cache-hot across
     // the inner loops.
     const std::uint32_t tile = config.tile_snps;
+    tiles.clear();
     for (std::uint32_t ta = 0; ta < window.count; ta += tile) {
-      const std::uint32_t a_end = std::min(ta + tile, window.count);
       for (std::uint32_t tb = ta; tb < window.count; tb += tile) {
-        const std::uint32_t b_end = std::min(tb + tile, window.count);
-        for (std::uint32_t a = ta; a < a_end; ++a) {
-          const std::uint32_t b_first = std::max(a + 1, tb);
-          for (std::uint32_t b = b_first; b < b_end; ++b) {
-            const PairLd ld = pair_ld_from_planes(
-                kernels, planes.lo[a], planes.hi[a],
-                planes.valid_of(a, words), planes.lo[b], planes.hi[b],
-                planes.valid_of(b, words), words, joint.data(), tmp.data());
-            ++score.pairs;
-            sum_r2 += ld.r2;
-            sum_dprime += ld.d_prime;
-            score.max_r2 = std::max(score.max_r2, ld.r2);
-            if (ld.r2 >= config.strong_r2) ++score.strong_pairs;
-          }
-        }
+        tiles.push_back({ta, tb});
       }
+    }
+    partials.assign(tiles.size(), TilePartial{});
+    const auto run_tile = [&](std::size_t chunk, std::size_t t) {
+      partials[t] = sweep_tile(kernels, planes, window.count, tile, tiles[t],
+                               words, config.strong_r2, joints[chunk].data(),
+                               tmps[chunk].data());
+    };
+    if (pool && tiles.size() > 1) {
+      pool->parallel_for_chunked(0, tiles.size(), run_tile);
+    } else {
+      for (std::size_t t = 0; t < tiles.size(); ++t) run_tile(0, t);
+    }
+
+    WindowScore score;
+    score.window = window;
+    double sum_r2 = 0.0;
+    double sum_dprime = 0.0;
+    for (const TilePartial& partial : partials) {
+      score.pairs += partial.pairs;
+      score.strong_pairs += partial.strong;
+      sum_r2 += partial.sum_r2;
+      sum_dprime += partial.sum_dprime;
+      score.max_r2 = std::max(score.max_r2, partial.max_r2);
     }
     if (score.pairs > 0) {
       score.mean_r2 = sum_r2 / static_cast<double>(score.pairs);

@@ -47,6 +47,12 @@ struct LdPrefilterConfig {
   /// A pair with r² at or above this counts as a "strong" pair in
   /// WindowScore::strong_pairs (block-structure evidence).
   double strong_r2 = 0.2;
+  /// Worker threads for the tile sweep (tiles are independent): 1 runs
+  /// inline on the caller, 0 means hardware concurrency. Every tile
+  /// accumulates into its own partial and partials are reduced in
+  /// fixed tile order — the serial path folds the same partials — so
+  /// scores are bit-for-bit identical at any worker count.
+  std::uint32_t workers = 1;
 
   void validate() const;
 };

@@ -280,6 +280,8 @@ GaResult GaEngine::run() {
   // evaluator's counters are cumulative and may carry earlier traffic).
   stats::FitnessCacheStats prev_cache = evaluator_->cache_stats();
   stats::PatternCacheStats prev_pattern = evaluator_->incremental_stats();
+  std::uint64_t prev_em_batch_runs = evaluator_->em_batch_runs();
+  std::uint64_t prev_em_batch_lanes = evaluator_->em_batch_lanes();
 
   for (std::uint32_t generation = start_generation;
        generation <= config_.max_generations; ++generation) {
@@ -558,6 +560,9 @@ GaResult GaEngine::run() {
       info.pattern_cache = pattern;
       info.mc_replicates_run = evaluator_->mc_replicates_run();
       info.mc_replicates_saved = evaluator_->mc_replicates_saved();
+      info.em_batch_runs = evaluator_->em_batch_runs();
+      info.em_batch_lanes = evaluator_->em_batch_lanes();
+      info.mc_batched_replicates = evaluator_->mc_batched_replicates();
       info.gen_cache_hits = cache.hits - prev_cache.hits;
       info.gen_cache_misses = cache.misses - prev_cache.misses;
       info.gen_pattern_entry_reuses = pattern.entry_reuses - prev_pattern.entry_reuses;
@@ -565,6 +570,10 @@ GaResult GaEngine::run() {
       info.gen_warm_starts = pattern.warm_starts - prev_pattern.warm_starts;
       info.gen_warm_fallbacks =
           pattern.warm_fallbacks - prev_pattern.warm_fallbacks;
+      info.gen_em_batch_runs = info.em_batch_runs - prev_em_batch_runs;
+      info.gen_em_batch_lanes = info.em_batch_lanes - prev_em_batch_lanes;
+      prev_em_batch_runs = info.em_batch_runs;
+      prev_em_batch_lanes = info.em_batch_lanes;
       prev_cache = cache;
       prev_pattern = pattern;
       if (callback_) callback_(info);
@@ -616,6 +625,9 @@ GaResult GaEngine::run() {
   result.pattern_cache = evaluator_->incremental_stats();
   result.mc_replicates_run = evaluator_->mc_replicates_run();
   result.mc_replicates_saved = evaluator_->mc_replicates_saved();
+  result.em_batch_runs = evaluator_->em_batch_runs();
+  result.em_batch_lanes = evaluator_->em_batch_lanes();
+  result.mc_batched_replicates = evaluator_->mc_batched_replicates();
   return result;
 }
 

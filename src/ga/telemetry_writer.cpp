@@ -23,7 +23,9 @@ void TelemetryCsvWriter::write_header(const GenerationInfo& info) {
            "cache_evictions,pattern_build_seconds,em_seconds,"
            "clump_seconds,cache_hit_ratio,pattern_entry_reuses,pattern_entry_builds,"
            "pattern_entry_reuse_ratio,warm_starts,warm_fallbacks,warm_hit_ratio,"
-           "mc_replicates_run,mc_replicates_saved\n";
+           "mc_replicates_run,mc_replicates_saved,"
+           "em_batch_runs,em_batch_lanes,em_batch_mean_lanes,"
+           "mc_batched_replicates\n";
   header_written_ = true;
 }
 
@@ -55,7 +57,15 @@ void TelemetryCsvWriter::record(const GenerationInfo& info) {
         << ratio(info.gen_pattern_entry_reuses, info.gen_pattern_entry_builds) << ','
         << info.gen_warm_starts << ',' << info.gen_warm_fallbacks << ','
         << ratio(info.gen_warm_starts, info.gen_warm_fallbacks) << ','
-        << info.mc_replicates_run << ',' << info.mc_replicates_saved << '\n';
+        << info.mc_replicates_run << ',' << info.mc_replicates_saved << ','
+        << info.em_batch_runs << ',' << info.em_batch_lanes << ','
+        // Mean lanes per batched EM run this generation: the batch-size
+        // telemetry the default-on decision was made on.
+        << (info.gen_em_batch_runs == 0
+                ? 0.0
+                : static_cast<double>(info.gen_em_batch_lanes) /
+                      static_cast<double>(info.gen_em_batch_runs))
+        << ',' << info.mc_batched_replicates << '\n';
   ++rows_;
   if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
 }

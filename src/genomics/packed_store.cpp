@@ -124,7 +124,9 @@ void write_all(int fd, const void* data, std::size_t bytes,
 
 void sync_parent_directory(const std::string& path) {
   std::string directory = std::filesystem::path(path).parent_path().string();
-  if (directory.empty()) directory = ".";
+  // push_back, not = "." — the assign path trips a GCC 12 -Wrestrict
+  // false positive when inlined under the sanitizer presets.
+  if (directory.empty()) directory.push_back('.');
   const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;  // best effort: the file itself is already synced
   ::fsync(fd);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <span>
 
 #include "stats/special.hpp"
 #include "util/error.hpp"
@@ -210,6 +212,310 @@ std::pair<double, std::vector<std::uint32_t>> best_column_group(
   return {best, group};
 }
 
+/// Sub-batch width of the batched Monte-Carlo engine: enough replicates
+/// per slab to amortize the scratch setup, small enough that the slabs
+/// stay cache-resident and the thread pool has work items to balance.
+constexpr std::uint32_t kRepBatch = 64;
+
+/// Everything about a Monte-Carlo replicate that does NOT depend on the
+/// trial's shuffle, hoisted out of the trial loop. sample_null rounds
+/// the observed marginals identically every call, so the rounded
+/// quotas, the column-label template, the dealt row totals (quotas
+/// clamped by the label count when the rounding fix truncated a
+/// column), the zero-statistic flags of the degenerate cases and T2's
+/// clump set (expected counts under the null depend on marginals only)
+/// are all pure functions of the observed table.
+struct NullReplicateInvariants {
+  std::uint32_t cols = 0;
+  std::int64_t row_quota[2] = {0, 0};
+  /// One label per observation (its column), column-ascending — the
+  /// exact layout sample_null builds before shuffling.
+  std::vector<std::uint32_t> labels;
+  /// Column totals of every replicate (the quotas, as doubles).
+  std::vector<double> col_sums;
+  double row0 = 0.0;
+  double row1 = 0.0;
+  double total = 0.0;
+  /// pearson_chi_square's degenerate-case early-outs, decided from the
+  /// null marginals (identical for every replicate).
+  bool t1_zero = true;
+  bool t2_zero = true;
+  /// clump_rare's kept set on a null replicate (column-ascending) and
+  /// the clumped table's column totals (kept quotas + rest).
+  std::vector<std::uint32_t> kept;
+  std::vector<std::uint8_t> is_kept;
+  std::vector<double> t2_col_sums;
+};
+
+NullReplicateInvariants build_null_invariants(const ContingencyTable& table,
+                                              double rare_threshold) {
+  NullReplicateInvariants inv;
+  inv.cols = table.cols();
+
+  // Marginal rounding — the same arithmetic as sample_null, which
+  // repeats it per trial with identical results.
+  std::vector<std::int64_t> col_quota(inv.cols);
+  std::int64_t row_sum_total = 0, col_sum_total = 0;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    inv.row_quota[r] = std::llround(table.row_total(r));
+    row_sum_total += inv.row_quota[r];
+  }
+  for (std::uint32_t c = 0; c < inv.cols; ++c) {
+    col_quota[c] = std::llround(table.col_total(c));
+    col_sum_total += col_quota[c];
+  }
+  if (col_sum_total != row_sum_total && inv.cols > 0) {
+    const auto biggest = static_cast<std::uint32_t>(
+        std::max_element(col_quota.begin(), col_quota.end()) -
+        col_quota.begin());
+    col_quota[biggest] += row_sum_total - col_sum_total;
+    if (col_quota[biggest] < 0) col_quota[biggest] = 0;
+  }
+
+  inv.labels.reserve(static_cast<std::size_t>(
+      std::max<std::int64_t>(row_sum_total, 0)));
+  inv.col_sums.resize(inv.cols);
+  std::uint32_t live_cols = 0;
+  for (std::uint32_t c = 0; c < inv.cols; ++c) {
+    for (std::int64_t i = 0; i < col_quota[c]; ++i) inv.labels.push_back(c);
+    inv.col_sums[c] = static_cast<double>(col_quota[c]);
+    if (inv.col_sums[c] > 0.0) ++live_cols;
+  }
+
+  // Dealt row totals: the deal consumes quotas in row order but stops
+  // at the label count (shorter when the rounding fix clamped a column
+  // negative), so the Kahan row sums every replicate's
+  // pearson_chi_square computes are these exact integers.
+  const auto n_labels = static_cast<std::int64_t>(inv.labels.size());
+  const std::int64_t row0 = std::min(inv.row_quota[0], n_labels);
+  const std::int64_t row1 = std::min(inv.row_quota[1], n_labels - row0);
+  inv.row0 = static_cast<double>(row0);
+  inv.row1 = static_cast<double>(row1);
+  inv.total = inv.row0 + inv.row1;
+  const std::uint32_t live_rows =
+      (inv.row0 > 0.0 ? 1u : 0u) + (inv.row1 > 0.0 ? 1u : 0u);
+  inv.t1_zero = inv.total <= 0.0 || live_rows < 2 || live_cols < 2;
+
+  // T2's clump set on a null replicate: expected counts depend on the
+  // (invariant) marginals only, via the exact expression
+  // ContingencyTable::expected evaluates.
+  inv.is_kept.assign(inv.cols, 0);
+  for (std::uint32_t c = 0; c < inv.cols; ++c) {
+    bool common = true;
+    for (const double row : {inv.row0, inv.row1}) {
+      const double e =
+          inv.total <= 0.0 ? 0.0 : row * inv.col_sums[c] / inv.total;
+      if (e < rare_threshold) {
+        common = false;
+        break;
+      }
+    }
+    if (common) {
+      inv.kept.push_back(c);
+      inv.is_kept[c] = 1;
+    }
+  }
+  inv.t2_col_sums.resize(inv.kept.size() + 1);
+  std::int64_t rest = 0;
+  std::uint32_t t2_live_cols = 0;
+  for (std::uint32_t i = 0; i < inv.kept.size(); ++i) {
+    inv.t2_col_sums[i] = inv.col_sums[inv.kept[i]];
+    if (inv.t2_col_sums[i] > 0.0) ++t2_live_cols;
+  }
+  for (std::uint32_t c = 0; c < inv.cols; ++c) {
+    if (inv.is_kept[c] == 0) rest += col_quota[c];
+  }
+  inv.t2_col_sums.back() = static_cast<double>(rest);
+  if (inv.t2_col_sums.back() > 0.0) ++t2_live_cols;
+  inv.t2_zero = inv.total <= 0.0 || live_rows < 2 || t2_live_cols < 2;
+  return inv;
+}
+
+/// Slab buffers of one batched sub-batch; thread_local in the runner so
+/// each pool worker reuses its high-water-mark allocations.
+struct NullBatchScratch {
+  std::vector<std::uint32_t> labels;
+  std::vector<double> top, bottom;        ///< reps × cols replicate slabs
+  std::vector<double> t2_top, t2_bottom;  ///< reps × (kept + 1) clumped slabs
+  std::vector<double> stat;               ///< per-replicate statistic
+  std::vector<double> chi;                ///< reps × cols column scans
+  std::vector<double> chi_round;          ///< one round of a T4 continuation
+  std::vector<double> add_top, add_bottom;
+  std::vector<double> t3_stat;
+  std::vector<std::uint32_t> t3_col;
+  std::vector<std::uint8_t> used;
+};
+
+/// Runs trials [begin, end) of the pre-drawn seed sequence through the
+/// batched engine, writing the same outcome bits the per-trial
+/// run_trial produces (bit-identical statistics at the same dispatch
+/// level — see the kernel contracts in util/simd.hpp).
+void run_trials_batched(const NullReplicateInvariants& inv,
+                        const ClumpResult& observed,
+                        std::span<const std::uint64_t> seeds,
+                        std::uint32_t begin, std::uint32_t end,
+                        std::uint8_t* outcomes) {
+  thread_local NullBatchScratch s;
+  const std::uint32_t reps = end - begin;
+  const std::uint32_t cols = inv.cols;
+  const auto t2_cols = static_cast<std::uint32_t>(inv.kept.size() + 1);
+  const util::SimdKernels& kernels = util::simd();
+
+  // Deal every replicate into the slabs: per trial one label-template
+  // copy, one shuffle (the trial stream's only consumption, exactly as
+  // sample_null), one row-quota deal.
+  s.top.assign(std::size_t{reps} * cols, 0.0);
+  s.bottom.assign(std::size_t{reps} * cols, 0.0);
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    s.labels = inv.labels;
+    Rng trial_rng(seeds[begin + r]);
+    trial_rng.shuffle(std::span<std::uint32_t>(s.labels));
+    double* top = s.top.data() + std::size_t{r} * cols;
+    double* bottom = s.bottom.data() + std::size_t{r} * cols;
+    std::size_t next = 0;
+    for (std::int64_t i = 0;
+         i < inv.row_quota[0] && next < s.labels.size(); ++i) {
+      top[s.labels[next++]] += 1.0;
+    }
+    for (std::int64_t i = 0;
+         i < inv.row_quota[1] && next < s.labels.size(); ++i) {
+      bottom[s.labels[next++]] += 1.0;
+    }
+  }
+
+  // T1: Pearson over every replicate with the hoisted marginals.
+  s.stat.resize(reps);
+  if (inv.t1_zero) {
+    std::fill(s.stat.begin(), s.stat.end(), 0.0);
+  } else {
+    kernels.batch_pearson_2xn(s.top.data(), s.bottom.data(),
+                              inv.col_sums.data(), cols, reps, inv.row0,
+                              inv.row1, inv.total, s.stat.data());
+  }
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    if (s.stat[r] >= observed.t1.statistic) outcomes[begin + r] |= 1u;
+  }
+
+  // T2: clump with the invariant kept set, then Pearson on the clumped
+  // slabs. Cells are integer-valued, so the rest-column adds are exact
+  // in any order.
+  if (inv.t2_zero) {
+    std::fill(s.stat.begin(), s.stat.end(), 0.0);
+  } else {
+    s.t2_top.assign(std::size_t{reps} * t2_cols, 0.0);
+    s.t2_bottom.assign(std::size_t{reps} * t2_cols, 0.0);
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      const double* top = s.top.data() + std::size_t{r} * cols;
+      const double* bottom = s.bottom.data() + std::size_t{r} * cols;
+      double* t2_top = s.t2_top.data() + std::size_t{r} * t2_cols;
+      double* t2_bottom = s.t2_bottom.data() + std::size_t{r} * t2_cols;
+      for (std::uint32_t i = 0; i < inv.kept.size(); ++i) {
+        t2_top[i] = top[inv.kept[i]];
+        t2_bottom[i] = bottom[inv.kept[i]];
+      }
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        if (inv.is_kept[c] != 0) continue;
+        t2_top[t2_cols - 1] += top[c];
+        t2_bottom[t2_cols - 1] += bottom[c];
+      }
+    }
+    kernels.batch_pearson_2xn(s.t2_top.data(), s.t2_bottom.data(),
+                              inv.t2_col_sums.data(), t2_cols, reps,
+                              inv.row0, inv.row1, inv.total, s.stat.data());
+  }
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    if (s.stat[r] >= observed.t2.statistic) outcomes[begin + r] |= 2u;
+  }
+
+  // T3: one column scan across the whole slab, scalar first-max argmax
+  // per replicate (the tie-breaking best_single_column uses).
+  s.chi.resize(std::size_t{reps} * cols);
+  s.t3_stat.resize(reps);
+  s.t3_col.resize(reps);
+  kernels.batch_chi_columns(s.top.data(), s.bottom.data(), cols, reps,
+                            nullptr, nullptr, inv.row0, inv.row1,
+                            s.chi.data());
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    const double* chi = s.chi.data() + std::size_t{r} * cols;
+    double best = 0.0;
+    std::uint32_t best_col = 0;
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (chi[c] > best) {
+        best = chi[c];
+        best_col = c;
+      }
+    }
+    s.t3_stat[r] = best;
+    s.t3_col[r] = best_col;
+    if (best >= observed.t3.statistic) outcomes[begin + r] |= 4u;
+  }
+
+  // T4: the greedy growth seeds from T3's winner (best_column_group
+  // recomputes the identical scan). Round 1 is uniform across
+  // replicates — every group is one seed column — so it runs lockstep
+  // through the per-replicate shift pairs; later rounds diverge and
+  // continue per replicate on this level's chi_columns.
+  const bool t4_rounds = cols > 2;  // group.size() + 1 < cols at size 1
+  if (t4_rounds) {
+    s.add_top.resize(reps);
+    s.add_bottom.resize(reps);
+    for (std::uint32_t r = 0; r < reps; ++r) {
+      s.add_top[r] = s.top[std::size_t{r} * cols + s.t3_col[r]];
+      s.add_bottom[r] = s.bottom[std::size_t{r} * cols + s.t3_col[r]];
+    }
+    kernels.batch_chi_columns(s.top.data(), s.bottom.data(), cols, reps,
+                              s.add_top.data(), s.add_bottom.data(),
+                              inv.row0, inv.row1, s.chi.data());
+  }
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    double best = s.t3_stat[r];
+    if (t4_rounds) {
+      const double* top = s.top.data() + std::size_t{r} * cols;
+      const double* bottom = s.bottom.data() + std::size_t{r} * cols;
+      const double* chi = s.chi.data() + std::size_t{r} * cols;
+      const std::uint32_t seed = s.t3_col[r];
+      s.used.assign(cols, 0);
+      s.used[seed] = 1;
+      double group_top = top[seed];
+      double group_bottom = bottom[seed];
+      std::uint32_t group_size = 1;
+      bool improved = false;
+      double round_best = best;
+      std::uint32_t round_col = 0;
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        if (s.used[c] != 0) continue;
+        if (chi[c] > round_best) {
+          round_best = chi[c];
+          round_col = c;
+          improved = true;
+        }
+      }
+      while (improved) {
+        best = round_best;
+        s.used[round_col] = 1;
+        ++group_size;
+        group_top += top[round_col];
+        group_bottom += bottom[round_col];
+        if (group_size + 1 >= cols) break;
+        s.chi_round.resize(cols);
+        kernels.chi_columns(top, bottom, cols, group_top, group_bottom,
+                            inv.row0, inv.row1, s.chi_round.data());
+        improved = false;
+        round_best = best;
+        for (std::uint32_t c = 0; c < cols; ++c) {
+          if (s.used[c] != 0) continue;
+          if (s.chi_round[c] > round_best) {
+            round_best = s.chi_round[c];
+            round_col = c;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (best >= observed.t4.statistic) outcomes[begin + r] |= 8u;
+  }
+}
+
 }  // namespace
 
 ChiSquare Clump::t1(const ContingencyTable& table) const {
@@ -289,8 +595,43 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
       outcomes[trial] = hits;
     };
 
+    // Batched engine: hoist the trial-invariant null structure once,
+    // then deal/score replicates in sub-batches through the batch
+    // kernels. Gated on simd_kernels because the batch kernels are the
+    // vector path (each lane bit-identical to the per-trial path at
+    // the same dispatch level); without it the per-trial scalar
+    // reference runs.
+    const bool batched = config_.batch_replicates && simd;
+    NullReplicateInvariants invariants;
+    if (batched) {
+      invariants =
+          build_null_invariants(table, config_.rare_expected_threshold);
+    }
+    const auto run_batched_range = [&](std::uint32_t begin,
+                                       std::uint32_t end) {
+      const std::uint32_t n_chunks =
+          (end - begin + kRepBatch - 1) / kRepBatch;
+      const auto run_chunk = [&](std::size_t chunk) {
+        const auto chunk_begin = static_cast<std::uint32_t>(
+            begin + chunk * std::uint64_t{kRepBatch});
+        const std::uint32_t chunk_end =
+            std::min(chunk_begin + kRepBatch, end);
+        run_trials_batched(invariants, result, seeds, chunk_begin,
+                           chunk_end, outcomes.data());
+      };
+      if (pool_ != nullptr && n_chunks > 1) {
+        pool_->parallel_for(0, n_chunks, run_chunk);
+      } else {
+        for (std::uint32_t chunk = 0; chunk < n_chunks; ++chunk) {
+          run_chunk(chunk);
+        }
+      }
+    };
+
     const auto run_range = [&](std::uint32_t begin, std::uint32_t end) {
-      if (pool_ != nullptr) {
+      if (batched) {
+        run_batched_range(begin, end);
+      } else if (pool_ != nullptr) {
         pool_->parallel_for(begin, end, run_trial);
       } else {
         for (std::uint32_t trial = begin; trial < end; ++trial) {
@@ -350,6 +691,7 @@ ClumpResult Clump::analyze(const ContingencyTable& raw, Rng& rng) const {
       }
     }
     result.mc_replicates_run = run;
+    result.mc_batched_replicates = batched ? run : 0;
 
     std::uint32_t ge1 = 0, ge2 = 0, ge3 = 0, ge4 = 0;
     for (std::uint32_t t = 0; t < run; ++t) {

@@ -68,6 +68,20 @@ struct ClumpConfig {
   /// path is the bit-exact reference. EvaluatorConfig::simd_kernels
   /// switches this on together with the EM kernels.
   bool simd_kernels = false;
+  /// Run Monte-Carlo replicates through the candidate-batched engine:
+  /// the null-table structure that is invariant across trials (rounded
+  /// marginals, label template, T2's clump set, zero-statistic flags)
+  /// is hoisted out of the trial loop, replicates are dealt into
+  /// replicate-major slabs in sub-batches, and the four statistics run
+  /// through the batch kernels (util/simd.hpp: batch_pearson_2xn,
+  /// batch_chi_columns). Per-trial outcome bits compare raw statistics
+  /// only, so the analytic survival function is never evaluated inside
+  /// the loop. Effective only together with simd_kernels (the batch
+  /// kernels are the vector path); every trial's outcome bits are
+  /// bit-identical to the per-trial path at the same dispatch level,
+  /// and the seed pre-draw keeps results worker-count-invariant and
+  /// composable with mc_early_stop.
+  bool batch_replicates = true;
 
   void validate() const;
 };
@@ -97,6 +111,9 @@ struct ClumpResult {
   /// True when the early stopper decided all four calls before the
   /// replicate ceiling.
   bool mc_early_stopped = false;
+  /// Replicates executed through the batched engine (== mc_replicates_run
+  /// when batch_replicates was effective, 0 otherwise).
+  std::uint32_t mc_batched_replicates = 0;
 };
 
 class Clump {

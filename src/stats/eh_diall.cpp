@@ -43,8 +43,6 @@ std::vector<std::uint32_t> rows_with(std::span<const Status> statuses,
 }  // namespace
 
 EhDiall::EhDiall(const genomics::Dataset& dataset, EmConfig config,
-                 bool /*packed_kernel: deprecated, packing is
-                        unconditional*/,
                  bool compiled_em, bool warm_start_pooled,
                  std::shared_ptr<PatternTableCache> cache,
                  bool warm_start_parents, bool simd_kernels)
@@ -478,6 +476,188 @@ EhDiallResult EhDiall::analyze_incremental(std::span<const SnpIndex> snps,
                             result.pooled.log_likelihood);
   result.lrt = std::max(lrt, 0.0);
   return result;
+}
+
+void EhDiall::analyze_batch(std::span<const std::vector<SnpIndex>> snps,
+                            EvalScratch& scratch,
+                            std::span<EhDiallResult> results,
+                            std::span<std::string> errors,
+                            EhDiallBatchStats* stats) const {
+  LDGA_EXPECTS(results.size() == snps.size() &&
+               errors.size() == snps.size());
+
+  // Batching needs every EM solve cold (warm starts pick per-candidate
+  // start vectors, and a warm solve is not bit-identical to a cold
+  // one), the compiled simd path (batch lanes reproduce the solo simd
+  // run), and the incremental cache (the published entries ARE the
+  // batch's output channel).
+  const bool batchable = compiled_em_ && simd_kernels_ &&
+                         !warm_start_pooled_ && !warm_start_parents_ &&
+                         cache_ != nullptr;
+
+  const auto solo = [&](std::size_t i) {
+    try {
+      results[i] = analyze(snps[i], scratch);
+    } catch (const std::exception& error) {
+      errors[i] = error.what();
+    }
+  };
+  if (!batchable) {
+    for (std::size_t i = 0; i < snps.size(); ++i) solo(i);
+    return;
+  }
+
+  const auto finish = [](EhDiallResult& result) {
+    const double lrt = 2.0 * (result.affected.log_likelihood +
+                              result.unaffected.log_likelihood -
+                              result.pooled.log_likelihood);
+    result.lrt = std::max(lrt, 0.0);
+  };
+
+  // Phase A: route every candidate. Cache hits finish immediately;
+  // misses resolve a parent against the pre-batch cache (deferred
+  // insertion — with cold solves the build route never changes a
+  // value) and compile their three programs.
+  struct Pending {
+    std::size_t index = 0;
+    std::shared_ptr<CandidateTables> entry;
+    double pattern_build_seconds = 0.0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(snps.size());
+  for (std::size_t i = 0; i < snps.size(); ++i) {
+    const std::vector<SnpIndex>& key = snps[i];
+    if (key.empty() || !std::is_sorted(key.begin(), key.end()) ||
+        std::adjacent_find(key.begin(), key.end()) != key.end()) {
+      solo(i);  // analyze() handles (or rejects) non-canonical sets
+      continue;
+    }
+    try {
+      Stopwatch watch;
+      if (const std::shared_ptr<const CandidateTables> cached =
+              cache_->find(key)) {
+        EhDiallResult& result = results[i];
+        result.locus_count = static_cast<std::uint32_t>(key.size());
+        result.affected_individuals =
+            cached->affected.table.total_individuals();
+        result.unaffected_individuals =
+            cached->unaffected.table.total_individuals();
+        result.pattern_build_seconds = watch.elapsed_seconds();
+        Stopwatch em_watch;
+        result.pooled_warm_started = cached->pooled_warm_started;
+        result.affected =
+            expand_em_result(cached->prog_affected, cached->sol_affected);
+        result.unaffected = expand_em_result(cached->prog_unaffected,
+                                             cached->sol_unaffected);
+        result.pooled =
+            expand_em_result(cached->prog_pooled, cached->sol_pooled);
+        result.em_seconds = em_watch.elapsed_seconds();
+        finish(result);
+        continue;
+      }
+      std::shared_ptr<const CandidateTables> parent;
+      const std::vector<SnpIndex> hint = cache_->hint_for(key);
+      if (!hint.empty()) parent = cache_->peek(hint);
+      if (parent == nullptr && key.size() >= 2) {
+        std::vector<SnpIndex> sub(key.size() - 1);
+        for (std::size_t drop = 0;
+             drop < key.size() && parent == nullptr; ++drop) {
+          std::size_t w = 0;
+          for (std::size_t j = 0; j < key.size(); ++j) {
+            if (j != drop) sub[w++] = key[j];
+          }
+          parent = cache_->peek(sub);
+        }
+      }
+      Pending p;
+      p.index = i;
+      p.entry = build_tables(key, parent, scratch);
+      p.pattern_build_seconds = watch.elapsed_seconds();
+      pending.push_back(std::move(p));
+    } catch (const std::exception& error) {
+      errors[i] = error.what();
+    }
+  }
+
+  // Phase B: pool the pending candidates' cold solves, group them by
+  // phase-program shape, and run each group of >= 2 in SoA lockstep.
+  // Programs with no data never group (same-shape requires data) and
+  // run solo, which handles them trivially.
+  struct Job {
+    const EmProgram* program;
+    EmSupportResult* solution;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(pending.size() * 3);
+  for (const Pending& p : pending) {
+    jobs.push_back({&p.entry->prog_affected, &p.entry->sol_affected});
+    jobs.push_back({&p.entry->prog_unaffected, &p.entry->sol_unaffected});
+    jobs.push_back({&p.entry->prog_pooled, &p.entry->sol_pooled});
+  }
+  Stopwatch em_watch;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    bool placed = false;
+    for (auto& group : groups) {
+      if (em_programs_same_shape(*jobs[group.front()].program,
+                                 *jobs[j].program)) {
+        group.push_back(j);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({j});
+  }
+  std::vector<const EmProgram*> programs;
+  std::vector<EmSupportResult> solutions;
+  for (const auto& group : groups) {
+    if (group.size() >= 2) {
+      programs.clear();
+      for (const std::size_t j : group) {
+        programs.push_back(jobs[j].program);
+      }
+      solutions.resize(group.size());
+      run_em_program_batch(programs, config_, scratch.em_batch, solutions);
+      for (std::size_t b = 0; b < group.size(); ++b) {
+        *jobs[group[b]].solution = std::move(solutions[b]);
+      }
+      if (stats != nullptr) {
+        ++stats->batch_runs;
+        stats->batch_lanes += group.size();
+      }
+    } else {
+      const Job& job = jobs[group.front()];
+      *job.solution =
+          run_em_program(*job.program, config_, scratch.em, {}, simd_kernels_);
+    }
+  }
+  // The lockstep runs interleave candidates, so per-candidate EM time
+  // is attributed as an even share — a cost profile, not a clock.
+  const double em_share =
+      pending.empty() ? 0.0 : em_watch.elapsed_seconds() /
+                                  static_cast<double>(pending.size());
+
+  // Phase C: expand, derive the LRT, and publish the completed entries.
+  for (const Pending& p : pending) {
+    EhDiallResult& result = results[p.index];
+    result.locus_count = static_cast<std::uint32_t>(p.entry->key.size());
+    result.affected_individuals =
+        p.entry->affected.table.total_individuals();
+    result.unaffected_individuals =
+        p.entry->unaffected.table.total_individuals();
+    result.pattern_build_seconds = p.pattern_build_seconds;
+    result.em_seconds = em_share;
+    p.entry->pooled_warm_started = false;
+    result.pooled_warm_started = false;
+    result.affected =
+        expand_em_result(p.entry->prog_affected, p.entry->sol_affected);
+    result.unaffected =
+        expand_em_result(p.entry->prog_unaffected, p.entry->sol_unaffected);
+    result.pooled =
+        expand_em_result(p.entry->prog_pooled, p.entry->sol_pooled);
+    finish(result);
+    cache_->insert(p.entry);
+  }
 }
 
 }  // namespace ldga::stats

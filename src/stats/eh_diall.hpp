@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "genomics/dataset.hpp"
@@ -22,6 +23,14 @@
 #include "stats/pattern_cache.hpp"
 
 namespace ldga::stats {
+
+/// Batched-EM effectiveness counters of one analyze_batch call.
+struct EhDiallBatchStats {
+  /// run_em_program_batch invocations (same-shape groups of >= 2).
+  std::uint64_t batch_runs = 0;
+  /// EM solves executed inside those batched invocations.
+  std::uint64_t batch_lanes = 0;
+};
 
 struct EhDiallResult {
   EmResult affected;
@@ -53,9 +62,7 @@ class EhDiall {
   /// individuals with Unknown status are ignored (as in the paper).
   /// Each group is bit-packed once here — a per-group column slice —
   /// and every analyze() call counts genotype patterns with word-level
-  /// popcounts. `packed_kernel` is deprecated and ignored: packing is
-  /// unconditional now that the byte-scanning path is retired (the
-  /// packed tables were always bit-for-bit identical to it).
+  /// popcounts.
   /// With `compiled_em` (the default) each table is compiled to a phase
   /// program (em_kernel.hpp) and EM runs over the support set only —
   /// again bit-for-bit identical to the visitor-based reference.
@@ -77,8 +84,7 @@ class EhDiall {
   /// dispatch level, equal to the scalar reference to ~1e-9 but not
   /// bit-for-bit, which is why it defaults off.
   explicit EhDiall(const genomics::Dataset& dataset, EmConfig config = {},
-                   bool packed_kernel = true, bool compiled_em = true,
-                   bool warm_start_pooled = false,
+                   bool compiled_em = true, bool warm_start_pooled = false,
                    std::shared_ptr<PatternTableCache> cache = nullptr,
                    bool warm_start_parents = false,
                    bool simd_kernels = false);
@@ -103,6 +109,28 @@ class EhDiall {
   /// arena must not be shared across threads.
   EhDiallResult analyze(std::span<const genomics::SnpIndex> snps,
                         EvalScratch& scratch) const;
+
+  /// Analyzes a whole batch of candidates, grouping their cold EM
+  /// solves by phase-program shape and running each group through
+  /// run_em_program_batch (em_kernel.hpp) — every statistic
+  /// bit-identical to calling analyze() per candidate, at any batch
+  /// size, because cold EM solves are route-independent and each batch
+  /// lane reproduces its solo simd run exactly. Batching applies only
+  /// when every solve is cold (compiled path, simd kernels on, no warm
+  /// starts) with the incremental cache active and sorted duplicate-free
+  /// candidates; anything else falls back to per-candidate analyze() —
+  /// same results, lane counters stay zero. Cache insertions are
+  /// deferred until a candidate's solutions are complete, so
+  /// within-batch subset parents are not visible to later candidates
+  /// (with warm starts off this never changes a value, only the build
+  /// route). A candidate whose pipeline throws reports the message in
+  /// errors[i] (results[i] stays default); others are unaffected.
+  /// `stats`, when non-null, accumulates batching counters.
+  void analyze_batch(std::span<const std::vector<genomics::SnpIndex>> snps,
+                     EvalScratch& scratch,
+                     std::span<EhDiallResult> results,
+                     std::span<std::string> errors,
+                     EhDiallBatchStats* stats = nullptr) const;
 
   std::uint32_t affected_count() const {
     return static_cast<std::uint32_t>(affected_.size());

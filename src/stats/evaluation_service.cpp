@@ -1,5 +1,6 @@
 #include "stats/evaluation_service.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -71,6 +72,33 @@ std::vector<double> EvaluationService::evaluate(
     unique.push_back(batch[i]);
   }
 
+  if (unique.size() > 1) {
+    // Dispatch the misses ordered by locus-set size (stable, so ties
+    // keep batch order — deterministic): same-size candidates sit in
+    // contiguous runs, which is what lets the batched backends group
+    // same-shape EM solves, and subsets precede the supersets that can
+    // reuse their cached tables. Task order of the results is restored
+    // by the slot remap, so fitnesses are unaffected.
+    std::vector<std::size_t> order(unique.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return unique[a].size() < unique[b].size();
+                     });
+    std::vector<std::size_t> inverse(order.size());
+    std::vector<Candidate> sorted;
+    sorted.reserve(unique.size());
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      inverse[order[pos]] = pos;
+      sorted.push_back(std::move(unique[order[pos]]));
+    }
+    unique = std::move(sorted);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (dispatch_slot[i] != kUnresolved) {
+        dispatch_slot[i] = inverse[dispatch_slot[i]];
+      }
+    }
+  }
   if (!unique.empty()) {
     stats_.dispatched += unique.size();
     if (!parents.empty()) {

@@ -38,9 +38,12 @@ EvaluatorConfig EvaluatorConfig::validated() const {
 namespace {
 
 /// EvaluatorConfig::simd_kernels switches the CLUMP kernels on together
-/// with the EM ones.
-ClumpConfig clump_config_with_simd(ClumpConfig clump, bool simd_kernels) {
+/// with the EM ones; batch_kernels gates the replicate-batched
+/// Monte-Carlo engine the same way.
+ClumpConfig clump_config_with_simd(ClumpConfig clump, bool simd_kernels,
+                                   bool batch_kernels) {
   clump.simd_kernels = clump.simd_kernels || simd_kernels;
+  clump.batch_replicates = clump.batch_replicates && batch_kernels;
   return clump;
 }
 
@@ -56,10 +59,11 @@ HaplotypeEvaluator::HaplotypeEvaluator(const genomics::Dataset& dataset,
                     config.incremental.pattern_cache_capacity,
                     config.incremental.pattern_cache_shards)
               : nullptr),
-      eh_diall_(dataset, config.em, config.packed_kernel, config.compiled_em,
+      eh_diall_(dataset, config.em, config.compiled_em,
                 config.warm_start_pooled, pattern_cache_,
                 config.incremental.warm_start_parents, config.simd_kernels),
-      clump_(clump_config_with_simd(config.clump, config.simd_kernels)),
+      clump_(clump_config_with_simd(config.clump, config.simd_kernels,
+                                    config.batch_kernels)),
       cache_(config.cache_capacity, config.cache_shards) {}
 
 EvaluationResult HaplotypeEvaluator::evaluate_full(
@@ -74,6 +78,11 @@ EvaluationResult HaplotypeEvaluator::evaluate_full(
   LDGA_EXPECTS(snps.size() <= config_.max_loci);
 
   const EhDiallResult eh = eh_diall_.analyze(snps, scratch);
+  return finish_evaluation(snps, eh);
+}
+
+EvaluationResult HaplotypeEvaluator::finish_evaluation(
+    std::span<const SnpIndex> snps, const EhDiallResult& eh) const {
   const ContingencyTable table =
       eh.to_contingency_table().drop_empty_columns();
 
@@ -144,6 +153,8 @@ void HaplotypeEvaluator::account_monte_carlo(const ClumpResult& clump) const {
   mc_replicates_saved_.fetch_add(
       config_.clump.monte_carlo_trials - clump.mc_replicates_run,
       std::memory_order_relaxed);
+  mc_batched_replicates_.fetch_add(clump.mc_batched_replicates,
+                                   std::memory_order_relaxed);
 }
 
 double HaplotypeEvaluator::compute_fitness(std::span<const SnpIndex> snps,
@@ -169,11 +180,17 @@ double HaplotypeEvaluator::compute_fitness(std::span<const SnpIndex> snps,
     reason = EvaluationError::Reason::kPipeline;
     detail = error.what();
   }
+  return note_failure(snps, reason, detail);
+}
 
+double HaplotypeEvaluator::note_failure(std::span<const SnpIndex> snps,
+                                        EvaluationError::Reason reason,
+                                        const std::string& detail) const {
   failed_evaluations_.fetch_add(1, std::memory_order_relaxed);
   std::string what = "evaluation failed for {";
   for (std::size_t i = 0; i < snps.size(); ++i) {
-    what += (i ? " " : "") + std::to_string(snps[i] + 1);
+    if (i) what += ' ';
+    what += std::to_string(snps[i] + 1);
   }
   what += "}: " + detail;
   {
@@ -222,6 +239,63 @@ double HaplotypeEvaluator::fitness(std::span<const SnpIndex> snps) const {
   return fitness_and_cache(snps);
 }
 
+void HaplotypeEvaluator::fitness_and_cache_batch(
+    std::span<const std::vector<SnpIndex>> candidates, EvalScratch& scratch,
+    std::span<double> out) const {
+  LDGA_EXPECTS(out.size() == candidates.size());
+  if (!batch_dispatch_eligible() || candidates.size() <= 1) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = fitness_and_cache(candidates[i], scratch);
+    }
+    return;
+  }
+  // Same contracts as the per-candidate path (fitness_and_cache +
+  // evaluate_full), checked up front for the whole batch.
+  for (const std::vector<SnpIndex>& snps : candidates) {
+    LDGA_EXPECTS(!snps.empty());
+    LDGA_EXPECTS(snps.size() <= config_.max_loci);
+    LDGA_EXPECTS(std::is_sorted(snps.begin(), snps.end()));
+  }
+
+  std::vector<EhDiallResult> analyses(candidates.size());
+  std::vector<std::string> errors(candidates.size());
+  EhDiallBatchStats stats;
+  eh_diall_.analyze_batch(candidates, scratch, analyses, errors, &stats);
+  em_batch_runs_.fetch_add(stats.batch_runs, std::memory_order_relaxed);
+  em_batch_lanes_.fetch_add(stats.batch_lanes, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::vector<SnpIndex>& snps = candidates[i];
+    double value;
+    // Mirrors compute_fitness(): eligibility pinned the penalizing
+    // policy, so note_failure() never throws here and a failed batch
+    // member cannot abort its siblings.
+    if (!errors[i].empty()) {
+      value = note_failure(snps, EvaluationError::Reason::kPipeline,
+                           errors[i]);
+    } else {
+      try {
+        const EvaluationResult result = finish_evaluation(snps, analyses[i]);
+        if (config_.require_em_convergence && !result.em_converged) {
+          value = note_failure(snps, EvaluationError::Reason::kEmNotConverged,
+                               "EM did not converge");
+        } else if (!std::isfinite(result.fitness)) {
+          value = note_failure(snps, EvaluationError::Reason::kNonFinite,
+                               "non-finite statistic");
+        } else {
+          value = result.fitness;
+        }
+      } catch (const Error& error) {
+        value = note_failure(snps, EvaluationError::Reason::kPipeline,
+                             error.what());
+      }
+    }
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    cache_.insert(snps, value);
+    out[i] = value;
+  }
+}
+
 void HaplotypeEvaluator::accumulate_timings(
     const StageTimings& timings) const {
   const auto to_ns = [](double seconds) {
@@ -255,6 +329,9 @@ void HaplotypeEvaluator::reset_counters() const {
   clump_ns_.store(0, std::memory_order_relaxed);
   mc_replicates_run_.store(0, std::memory_order_relaxed);
   mc_replicates_saved_.store(0, std::memory_order_relaxed);
+  em_batch_runs_.store(0, std::memory_order_relaxed);
+  em_batch_lanes_.store(0, std::memory_order_relaxed);
+  mc_batched_replicates_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ldga::stats

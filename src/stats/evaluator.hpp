@@ -97,12 +97,6 @@ struct EvaluatorConfig {
   /// Lock shards of the fitness cache (>= 1). More shards = less
   /// contention when many backend workers insert at once.
   std::uint32_t cache_shards = 16;
-  /// Deprecated, ignored: genotype patterns are always counted with the
-  /// 2-bit packed popcount kernel. The byte-scanning pipeline it used
-  /// to toggle is retired (DESIGN.md §"packed_kernel retirement"); the
-  /// packed tables were verified bit-for-bit identical to it before
-  /// removal, so flipping this flag never changed a statistic.
-  bool packed_kernel = true;
   /// Run EM through the compiled phase-program kernel (em_kernel.hpp):
   /// support-set state instead of dense 2^k vectors, bit-for-bit
   /// identical statistics; the visitor-based path remains as a
@@ -120,11 +114,23 @@ struct EvaluatorConfig {
   /// kernels (util/simd.hpp). Deterministic for a fixed dispatch level
   /// — pin one with LDGA_SIMD=scalar|avx2|... — and equal to the scalar
   /// reference to ~1e-9, but not bit-for-bit (fixed-lane-order sums
-  /// instead of the reference order), so it is off by default. The
-  /// integer pattern kernels are dispatched unconditionally; they are
-  /// bit-exact at every level and need no flag. EM vectorization
-  /// applies to the compiled path only.
-  bool simd_kernels = false;
+  /// instead of the reference order). On by default since the
+  /// candidate-batched evaluation made the vector path pay end to end
+  /// (BENCH_ga_e2e.json); turn it off to reproduce the scalar reference
+  /// bit for bit. The integer pattern kernels are dispatched
+  /// unconditionally; they are bit-exact at every level and need no
+  /// flag. EM vectorization applies to the compiled path only.
+  bool simd_kernels = true;
+  /// Batch the floating-point work across candidates and Monte-Carlo
+  /// replicates: same-shape cold EM solves run in SoA lockstep
+  /// (EhDiall::analyze_batch) and CLUMP's null replicates go through
+  /// the replicate-batched engine (ClumpConfig::batch_replicates).
+  /// Effective only together with simd_kernels; results are
+  /// bit-identical to the per-candidate path at the same dispatch
+  /// level, which remains the conformance reference. Batched dispatch
+  /// additionally requires the default cold-start/penalize pipeline —
+  /// see batch_dispatch_eligible().
+  bool batch_kernels = true;
   /// Incremental evaluation pipeline (pattern_cache.hpp): subset-reuse
   /// pattern/program cache and EM warm-starts from parent candidates.
   IncrementalConfig incremental;
@@ -197,6 +203,30 @@ class HaplotypeEvaluator {
   double fitness_and_cache(std::span<const genomics::SnpIndex> snps,
                            EvalScratch& scratch) const;
 
+  /// True when fitness_and_cache_batch() may take the candidate-batched
+  /// path: batch + simd kernels on, compiled EM, no warm starts (their
+  /// results depend on evaluation order) and the penalizing failure
+  /// policy (a batch member's failure must not abort its siblings).
+  /// The default EvaluatorConfig is eligible.
+  bool batch_dispatch_eligible() const {
+    return config_.batch_kernels && config_.simd_kernels &&
+           config_.compiled_em && !config_.warm_start_pooled &&
+           !config_.incremental.warm_start_parents &&
+           config_.failure_policy == EvaluationFailurePolicy::kPenalize;
+  }
+
+  /// fitness_and_cache() over a whole span of sorted candidates: the
+  /// deduplicated misses of one generation are analyzed together so
+  /// same-shape EM solves run through the SoA batch kernels. Bit-
+  /// identical to calling fitness_and_cache() per candidate, in order —
+  /// that path remains the conformance reference — and falls back to it
+  /// when batch dispatch is ineligible. Counts one evaluation per
+  /// candidate; failures are penalized and recorded exactly like the
+  /// per-candidate path.
+  void fitness_and_cache_batch(
+      std::span<const std::vector<genomics::SnpIndex>> candidates,
+      EvalScratch& scratch, std::span<double> out) const;
+
   /// Pipeline executions performed (cache misses). This is the paper's
   /// "# of evaluations" column.
   std::uint64_t evaluation_count() const {
@@ -251,6 +281,21 @@ class HaplotypeEvaluator {
     return mc_replicates_saved_.load(std::memory_order_relaxed);
   }
 
+  /// Batched-kernel effectiveness counters, cumulative since
+  /// construction (or reset_counters()): same-shape EM group solves
+  /// executed / EM lanes inside them (3 solves per candidate, so lanes
+  /// / 3 candidates rode a batch), and Monte-Carlo replicates that ran
+  /// through the replicate-batched CLUMP engine.
+  std::uint64_t em_batch_runs() const {
+    return em_batch_runs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t em_batch_lanes() const {
+    return em_batch_lanes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mc_batched_replicates() const {
+    return mc_batched_replicates_.load(std::memory_order_relaxed);
+  }
+
   const genomics::Dataset& dataset() const { return *dataset_; }
   const EvaluatorConfig& config() const { return config_; }
 
@@ -259,6 +304,17 @@ class HaplotypeEvaluator {
                       const ClumpResult& clump) const;
   double compute_fitness(std::span<const genomics::SnpIndex> snps,
                          EvalScratch& scratch) const;
+  /// Shared tail of evaluate_full()/fitness_and_cache_batch(): turns a
+  /// completed EH-DIALL analysis into the fitness-bearing result
+  /// (CLUMP, fitness statistic, clump-stage timing accumulation).
+  EvaluationResult finish_evaluation(std::span<const genomics::SnpIndex> snps,
+                                     const EhDiallResult& eh) const;
+  /// Failure tail of compute_fitness(), shared with the batched path:
+  /// counts the failure, records last_failure(), then penalizes or
+  /// throws per the policy.
+  double note_failure(std::span<const genomics::SnpIndex> snps,
+                      EvaluationError::Reason reason,
+                      const std::string& detail) const;
   void accumulate_timings(const StageTimings& timings) const;
   void account_monte_carlo(const ClumpResult& clump) const;
 
@@ -282,6 +338,9 @@ class HaplotypeEvaluator {
   mutable std::atomic<std::uint64_t> clump_ns_{0};
   mutable std::atomic<std::uint64_t> mc_replicates_run_{0};
   mutable std::atomic<std::uint64_t> mc_replicates_saved_{0};
+  mutable std::atomic<std::uint64_t> em_batch_runs_{0};
+  mutable std::atomic<std::uint64_t> em_batch_lanes_{0};
+  mutable std::atomic<std::uint64_t> mc_batched_replicates_{0};
   mutable std::mutex failure_mutex_;
   mutable std::string last_failure_;
 };

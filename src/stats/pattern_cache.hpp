@@ -98,7 +98,7 @@ struct CandidateTables {
 struct IncrementalConfig {
   /// Subset-reuse pattern/program cache. Bit-exact (every construction
   /// route reproduces the fresh tables identically), so it is on by
-  /// default. Requires packed_kernel + compiled_em; silently inactive
+  /// default. Requires compiled_em; silently inactive
   /// otherwise.
   bool pattern_cache = true;
   /// Bound on cached locus sets (entries, not bytes). An entry holds

@@ -126,6 +126,58 @@ double pearson_row_terms_scalar(const double* cells, const double* col_sums,
   return sum;
 }
 
+void batch_weighted_pair_products_scalar(
+    const double* freq, std::size_t freq_stride, const std::uint32_t* h1,
+    const std::uint32_t* h2, std::size_t n, double mult, std::size_t batch,
+    double* products, double* sums) {
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* lane = freq + b * freq_stride;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double product = mult * lane[h1[t]] * lane[h2[t]];
+      products[t * batch + b] = product;
+      sum += product;
+    }
+    sums[b] = sum;
+  }
+}
+
+void batch_chi_columns_scalar(const double* top, const double* bottom,
+                              std::size_t cols, std::size_t reps,
+                              const double* add_top, const double* add_bottom,
+                              double row0, double row1, double* out) {
+  if (add_top == nullptr && add_bottom == nullptr) {
+    // Zero shifts make every column independent of its replicate, so
+    // the whole slab is one flat column sweep.
+    chi_columns_scalar(top, bottom, cols * reps, 0.0, 0.0, row0, row1, out);
+    return;
+  }
+  for (std::size_t r = 0; r < reps; ++r) {
+    chi_columns_scalar(top + r * cols, bottom + r * cols, cols,
+                       add_top != nullptr ? add_top[r] : 0.0,
+                       add_bottom != nullptr ? add_bottom[r] : 0.0, row0,
+                       row1, out + r * cols);
+  }
+}
+
+void batch_pearson_2xn_scalar(const double* top, const double* bottom,
+                              const double* col_sums, std::size_t cols,
+                              std::size_t reps, double row0_sum,
+                              double row1_sum, double total, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    double statistic = 0.0;
+    if (row0_sum > 0.0) {
+      statistic += pearson_row_terms_scalar(top + r * cols, col_sums, cols,
+                                            row0_sum, total);
+    }
+    if (row1_sum > 0.0) {
+      statistic += pearson_row_terms_scalar(bottom + r * cols, col_sums,
+                                            cols, row1_sum, total);
+    }
+    out[r] = statistic;
+  }
+}
+
 }  // namespace
 
 const SimdKernels& scalar_kernels() {
@@ -135,6 +187,9 @@ const SimdKernels& scalar_kernels() {
       &weighted_pair_products_scalar,
       &scale_values_scalar,         &chi_columns_scalar,
       &pearson_row_terms_scalar,
+      &batch_weighted_pair_products_scalar,
+      &batch_chi_columns_scalar,
+      &batch_pearson_2xn_scalar,
   };
   return kTable;
 }
@@ -182,7 +237,14 @@ bool cpu_has(SimdLevel level) {
 /// bursts between scalar code, and heavy 512-bit FP instructions move
 /// Skylake-class cores into a lower frequency license that slows all
 /// the surrounding scalar work — measured as a net e2e regression,
-/// while the 256-bit path is a net win.
+/// while the 256-bit path is a net win. The batch kernels were
+/// re-measured on batched SoA shapes (bench_simd_kernels, DESIGN.md):
+/// even with the longer slab sweeps the 512-bit FP variants did not
+/// recover the license cost on the end-to-end GA, so the whole FP
+/// family — per-candidate and batch — stays on the 256-bit variants.
+/// Routing them together is also what keeps batch_pearson_2xn's
+/// per-replicate delegation bit-identical to the dispatched
+/// pearson_row_terms at this level.
 const SimdKernels& avx512_dispatch_kernels() {
   static const SimdKernels table = [] {
     SimdKernels merged = detail::avx512_kernels();
@@ -192,6 +254,9 @@ const SimdKernels& avx512_dispatch_kernels() {
     merged.scale_values = fp.scale_values;
     merged.chi_columns = fp.chi_columns;
     merged.pearson_row_terms = fp.pearson_row_terms;
+    merged.batch_weighted_pair_products = fp.batch_weighted_pair_products;
+    merged.batch_chi_columns = fp.batch_chi_columns;
+    merged.batch_pearson_2xn = fp.batch_pearson_2xn;
 #endif
     return merged;
   }();

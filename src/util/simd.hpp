@@ -15,9 +15,14 @@
 //     chi_columns, pearson_row_terms) use a fixed lane order, so for a
 //     fixed dispatch level the result is deterministic run-to-run and
 //     across worker counts — but the last-ulp rounding differs from
-//     the scalar reference. Callers therefore gate them behind
-//     EvaluatorConfig::simd_kernels (default off) and keep the scalar
-//     path as the bit-exact reference.
+//     the scalar reference. Callers gate them behind
+//     EvaluatorConfig::simd_kernels and keep the scalar path as the
+//     bit-exact reference (pin LDGA_SIMD=scalar to reproduce it).
+//   * Batch kernels (batch_weighted_pair_products, batch_chi_columns,
+//     batch_pearson_2xn) vectorize across independent candidates or
+//     Monte-Carlo replicates instead of along one short fan; each lane
+//     is bit-identical to the per-candidate kernel path at the same
+//     level, so batching is purely a throughput decision.
 #pragma once
 
 #include <cstddef>
@@ -99,6 +104,60 @@ struct SimdKernels {
   /// in fixed lane order. Caller guarantees row_sum > 0 and total > 0.
   double (*pearson_row_terms)(const double* cells, const double* col_sums,
                               std::size_t n, double row_sum, double total);
+
+  // -----------------------------------------------------------------
+  // Candidate-batched (SoA) kernels. The per-candidate FP kernels
+  // above vectorize along a fan that is often shorter than one vector
+  // register; these variants move the vector dimension to a batch of
+  // independent problems instead. Contract: every lane/replicate b is
+  // bit-identical to what the corresponding per-candidate code path
+  // produces for b alone at the same dispatch level, so batching is a
+  // pure scheduling decision — grouping never changes a statistic.
+  // -----------------------------------------------------------------
+
+  /// Batched EM E-step products for `batch` same-shape candidates whose
+  /// frequency vectors are laid out SoA: lane b reads
+  /// freq[b * freq_stride + i]. For every pair t and lane b:
+  ///   products[t * batch + b] = mult * freq_b[h1[t]] * freq_b[h2[t]]
+  /// (t-major so a vector of lanes stores contiguously), and
+  ///   sums[b] = Σ_t products over ascending t,
+  /// which is exactly the per-candidate short-fan accumulation order —
+  /// so every lane matches the unbatched E-step bit for bit at every
+  /// level. Vector variants vectorize across b with a sequential t
+  /// loop; fans long enough for weighted_pair_products should keep
+  /// using that kernel per lane instead.
+  void (*batch_weighted_pair_products)(const double* freq,
+                                       std::size_t freq_stride,
+                                       const std::uint32_t* h1,
+                                       const std::uint32_t* h2, std::size_t n,
+                                       double mult, std::size_t batch,
+                                       double* products, double* sums);
+
+  /// chi_columns over a replicate-major slab of `reps` Monte-Carlo
+  /// tables: replicate r reads top/bottom [r*cols, (r+1)*cols) and
+  /// writes out over the same range. add_top / add_bottom give one
+  /// shift pair per replicate; nullptr means all-zero shifts, which
+  /// the scalar variant exploits by fusing the slab into one flat
+  /// reps*cols sweep (uniform per-column math, so fusing is exact).
+  /// Vector variants keep per-replicate sweeps: a column must land in
+  /// the same vector-body or scalar-tail position as in a standalone
+  /// chi_columns call for the replicate to stay bit-identical to the
+  /// per-candidate scan.
+  void (*batch_chi_columns)(const double* top, const double* bottom,
+                            std::size_t cols, std::size_t reps,
+                            const double* add_top, const double* add_bottom,
+                            double row0, double row1, double* out);
+
+  /// Pearson statistic of every replicate of a 2×cols slab pair with
+  /// shared (hoisted) marginals: out[r] = the top replicate's row terms
+  /// (skipped when row0_sum <= 0) plus the bottom replicate's (skipped
+  /// when row1_sum <= 0), each accumulated by this level's
+  /// pearson_row_terms — bit-identical per replicate to
+  /// ContingencyTable::pearson_chi_square's kernel loop.
+  void (*batch_pearson_2xn)(const double* top, const double* bottom,
+                            const double* col_sums, std::size_t cols,
+                            std::size_t reps, double row0_sum,
+                            double row1_sum, double total, double* out);
 };
 
 /// Best level this binary supports on this CPU (build-time variant

@@ -274,6 +274,77 @@ double pearson_row_terms_avx2(const double* cells, const double* col_sums,
   return sum;
 }
 
+void batch_weighted_pair_products_avx2(
+    const double* freq, std::size_t freq_stride, const std::uint32_t* h1,
+    const std::uint32_t* h2, std::size_t n, double mult, std::size_t batch,
+    double* products, double* sums) {
+  const __m256d vmult = _mm256_set1_pd(mult);
+  std::size_t b = 0;
+  for (; b + 4 <= batch; b += 4) {
+    // Four lanes of the batch at once: gather the same haplotype pair
+    // from four SoA frequency blocks. Lane sums accumulate one product
+    // per t, so each stays the exact ascending-t sequence the scalar
+    // lane (and the per-candidate short-fan loop) computes.
+    const int stride = static_cast<int>(freq_stride);
+    const int base = static_cast<int>(b) * stride;
+    const __m128i vbase = _mm_setr_epi32(base, base + stride,
+                                         base + 2 * stride, base + 3 * stride);
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m128i i1 =
+          _mm_add_epi32(vbase, _mm_set1_epi32(static_cast<int>(h1[t])));
+      const __m128i i2 =
+          _mm_add_epi32(vbase, _mm_set1_epi32(static_cast<int>(h2[t])));
+      const __m256d f1 = _mm256_i32gather_pd(freq, i1, 8);
+      const __m256d f2 = _mm256_i32gather_pd(freq, i2, 8);
+      const __m256d product = _mm256_mul_pd(_mm256_mul_pd(vmult, f1), f2);
+      _mm256_storeu_pd(products + t * batch + b, product);
+      acc = _mm256_add_pd(acc, product);
+    }
+    _mm256_storeu_pd(sums + b, acc);
+  }
+  for (; b < batch; ++b) {
+    const double* lane = freq + b * freq_stride;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double product = mult * lane[h1[t]] * lane[h2[t]];
+      products[t * batch + b] = product;
+      sum += product;
+    }
+    sums[b] = sum;
+  }
+}
+
+void batch_chi_columns_avx2(const double* top, const double* bottom,
+                            std::size_t cols, std::size_t reps,
+                            const double* add_top, const double* add_bottom,
+                            double row0, double row1, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    chi_columns_avx2(top + r * cols, bottom + r * cols, cols,
+                     add_top != nullptr ? add_top[r] : 0.0,
+                     add_bottom != nullptr ? add_bottom[r] : 0.0, row0, row1,
+                     out + r * cols);
+  }
+}
+
+void batch_pearson_2xn_avx2(const double* top, const double* bottom,
+                            const double* col_sums, std::size_t cols,
+                            std::size_t reps, double row0_sum,
+                            double row1_sum, double total, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    double statistic = 0.0;
+    if (row0_sum > 0.0) {
+      statistic += pearson_row_terms_avx2(top + r * cols, col_sums, cols,
+                                          row0_sum, total);
+    }
+    if (row1_sum > 0.0) {
+      statistic += pearson_row_terms_avx2(bottom + r * cols, col_sums, cols,
+                                          row1_sum, total);
+    }
+    out[r] = statistic;
+  }
+}
+
 }  // namespace
 
 const SimdKernels& avx2_kernels() {
@@ -283,6 +354,9 @@ const SimdKernels& avx2_kernels() {
       &weighted_pair_products_avx2,
       &scale_values_avx2,         &chi_columns_avx2,
       &pearson_row_terms_avx2,
+      &batch_weighted_pair_products_avx2,
+      &batch_chi_columns_avx2,
+      &batch_pearson_2xn_avx2,
   };
   return kTable;
 }

@@ -258,6 +258,80 @@ double pearson_row_terms_avx512(const double* cells, const double* col_sums,
   return sum;
 }
 
+void batch_weighted_pair_products_avx512(
+    const double* freq, std::size_t freq_stride, const std::uint32_t* h1,
+    const std::uint32_t* h2, std::size_t n, double mult, std::size_t batch,
+    double* products, double* sums) {
+  const __m512d vmult = _mm512_set1_pd(mult);
+  std::size_t b = 0;
+  for (; b + 8 <= batch; b += 8) {
+    // Eight batch lanes at once; each lane's sum accumulates one
+    // product per t, matching the per-candidate ascending-t order.
+    const int stride = static_cast<int>(freq_stride);
+    const int base = static_cast<int>(b) * stride;
+    const __m256i vbase = _mm256_setr_epi32(
+        base, base + stride, base + 2 * stride, base + 3 * stride,
+        base + 4 * stride, base + 5 * stride, base + 6 * stride,
+        base + 7 * stride);
+    __m512d acc = _mm512_setzero_pd();
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m256i i1 = _mm256_add_epi32(
+          vbase, _mm256_set1_epi32(static_cast<int>(h1[t])));
+      const __m256i i2 = _mm256_add_epi32(
+          vbase, _mm256_set1_epi32(static_cast<int>(h2[t])));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wsign-conversion"
+      const __m512d f1 = _mm512_i32gather_pd(i1, freq, 8);
+      const __m512d f2 = _mm512_i32gather_pd(i2, freq, 8);
+#pragma GCC diagnostic pop
+      const __m512d product = _mm512_mul_pd(_mm512_mul_pd(vmult, f1), f2);
+      _mm512_storeu_pd(products + t * batch + b, product);
+      acc = _mm512_add_pd(acc, product);
+    }
+    _mm512_storeu_pd(sums + b, acc);
+  }
+  for (; b < batch; ++b) {
+    const double* lane = freq + b * freq_stride;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double product = mult * lane[h1[t]] * lane[h2[t]];
+      products[t * batch + b] = product;
+      sum += product;
+    }
+    sums[b] = sum;
+  }
+}
+
+void batch_chi_columns_avx512(const double* top, const double* bottom,
+                              std::size_t cols, std::size_t reps,
+                              const double* add_top, const double* add_bottom,
+                              double row0, double row1, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    chi_columns_avx512(top + r * cols, bottom + r * cols, cols,
+                       add_top != nullptr ? add_top[r] : 0.0,
+                       add_bottom != nullptr ? add_bottom[r] : 0.0, row0,
+                       row1, out + r * cols);
+  }
+}
+
+void batch_pearson_2xn_avx512(const double* top, const double* bottom,
+                              const double* col_sums, std::size_t cols,
+                              std::size_t reps, double row0_sum,
+                              double row1_sum, double total, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    double statistic = 0.0;
+    if (row0_sum > 0.0) {
+      statistic += pearson_row_terms_avx512(top + r * cols, col_sums, cols,
+                                            row0_sum, total);
+    }
+    if (row1_sum > 0.0) {
+      statistic += pearson_row_terms_avx512(bottom + r * cols, col_sums,
+                                            cols, row1_sum, total);
+    }
+    out[r] = statistic;
+  }
+}
+
 }  // namespace
 
 const SimdKernels& avx512_kernels() {
@@ -267,6 +341,9 @@ const SimdKernels& avx512_kernels() {
       &weighted_pair_products_avx512,
       &scale_values_avx512,         &chi_columns_avx512,
       &pearson_row_terms_avx512,
+      &batch_weighted_pair_products_avx512,
+      &batch_chi_columns_avx512,
+      &batch_pearson_2xn_avx512,
   };
   return kTable;
 }

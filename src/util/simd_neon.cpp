@@ -230,6 +230,71 @@ double pearson_row_terms_neon(const double* cells, const double* col_sums,
   return sum;
 }
 
+void batch_weighted_pair_products_neon(
+    const double* freq, std::size_t freq_stride, const std::uint32_t* h1,
+    const std::uint32_t* h2, std::size_t n, double mult, std::size_t batch,
+    double* products, double* sums) {
+  const float64x2_t vmult = vdupq_n_f64(mult);
+  std::size_t b = 0;
+  for (; b + 2 <= batch; b += 2) {
+    // Two batch lanes at once (scalar gathers, as in the per-candidate
+    // kernel); each lane's sum accumulates one product per t, matching
+    // the per-candidate ascending-t order.
+    const double* lane0 = freq + b * freq_stride;
+    const double* lane1 = lane0 + freq_stride;
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double f1[2] = {lane0[h1[t]], lane1[h1[t]]};
+      const double f2[2] = {lane0[h2[t]], lane1[h2[t]]};
+      const float64x2_t product =
+          vmulq_f64(vmulq_f64(vmult, vld1q_f64(f1)), vld1q_f64(f2));
+      vst1q_f64(products + t * batch + b, product);
+      acc = vaddq_f64(acc, product);
+    }
+    vst1q_f64(sums + b, acc);
+  }
+  for (; b < batch; ++b) {
+    const double* lane = freq + b * freq_stride;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double product = mult * lane[h1[t]] * lane[h2[t]];
+      products[t * batch + b] = product;
+      sum += product;
+    }
+    sums[b] = sum;
+  }
+}
+
+void batch_chi_columns_neon(const double* top, const double* bottom,
+                            std::size_t cols, std::size_t reps,
+                            const double* add_top, const double* add_bottom,
+                            double row0, double row1, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    chi_columns_neon(top + r * cols, bottom + r * cols, cols,
+                     add_top != nullptr ? add_top[r] : 0.0,
+                     add_bottom != nullptr ? add_bottom[r] : 0.0, row0, row1,
+                     out + r * cols);
+  }
+}
+
+void batch_pearson_2xn_neon(const double* top, const double* bottom,
+                            const double* col_sums, std::size_t cols,
+                            std::size_t reps, double row0_sum,
+                            double row1_sum, double total, double* out) {
+  for (std::size_t r = 0; r < reps; ++r) {
+    double statistic = 0.0;
+    if (row0_sum > 0.0) {
+      statistic += pearson_row_terms_neon(top + r * cols, col_sums, cols,
+                                          row0_sum, total);
+    }
+    if (row1_sum > 0.0) {
+      statistic += pearson_row_terms_neon(bottom + r * cols, col_sums, cols,
+                                          row1_sum, total);
+    }
+    out[r] = statistic;
+  }
+}
+
 }  // namespace
 
 const SimdKernels& neon_kernels() {
@@ -239,6 +304,9 @@ const SimdKernels& neon_kernels() {
       &plane_counts_neon,         &weighted_pair_products_neon,
       &scale_values_neon,         &chi_columns_neon,
       &pearson_row_terms_neon,
+      &batch_weighted_pair_products_neon,
+      &batch_chi_columns_neon,
+      &batch_pearson_2xn_neon,
   };
   return kTable;
 }

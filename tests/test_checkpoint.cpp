@@ -144,7 +144,10 @@ TEST(Checkpoint, TruncationIsCaughtByTheChecksumFirst) {
   const std::string path = temp_path("crash_truncated.ckpt");
   save_checkpoint(path, sample_checkpoint());
   auto bytes = read_bytes(path);
-  bytes.resize(bytes.size() - 7);
+  ASSERT_GT(bytes.size(), 7u);
+  // Shrink-only (resize's grow path trips GCC 12 -Wstringop-overflow
+  // under the sanitizer presets).
+  for (int i = 0; i < 7; ++i) bytes.pop_back();
   write_bytes(path, bytes);
   try {
     load_checkpoint(path);

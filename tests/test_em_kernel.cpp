@@ -173,8 +173,8 @@ TEST(EmKernel, SupportSetIsSparseOnStructuredData) {
 
 TEST(EmKernel, CompiledEhDiallMatchesReferencePath) {
   const auto synthetic = ldga::testing::small_synthetic(10, 2, 424242);
-  const EhDiall reference(synthetic.dataset, {}, true, false);
-  const EhDiall compiled(synthetic.dataset, {}, true, true);
+  const EhDiall reference(synthetic.dataset, {}, false);
+  const EhDiall compiled(synthetic.dataset, {}, true);
   for (const std::vector<SnpIndex>& snps :
        {std::vector<SnpIndex>{0, 1}, {2, 5, 7}, {0, 3, 4, 8}}) {
     const auto ref = reference.analyze(snps);
@@ -188,8 +188,8 @@ TEST(EmKernel, CompiledEhDiallMatchesReferencePath) {
 
 TEST(EmKernel, WarmStartedPooledAgreesWithColdSolution) {
   const auto synthetic = ldga::testing::small_synthetic(10, 2, 99);
-  const EhDiall cold(synthetic.dataset, {}, true, true, false);
-  const EhDiall warm(synthetic.dataset, {}, true, true, true);
+  const EhDiall cold(synthetic.dataset, {}, true, false);
+  const EhDiall warm(synthetic.dataset, {}, true, true);
   for (const std::vector<SnpIndex>& snps :
        {std::vector<SnpIndex>{0, 1}, {1, 4, 6}, {2, 3, 5, 9}}) {
     const auto c = cold.analyze(snps);
@@ -218,8 +218,8 @@ TEST(EmKernel, WarmStartFallbackReproducesColdResultExactly) {
   const auto synthetic = ldga::testing::small_synthetic(10, 2, 7);
   EmConfig config;
   config.max_iterations = 1;
-  const EhDiall cold(synthetic.dataset, config, true, true, false);
-  const EhDiall warm(synthetic.dataset, config, true, true, true);
+  const EhDiall cold(synthetic.dataset, config, true, false);
+  const EhDiall warm(synthetic.dataset, config, true, true);
   const std::vector<SnpIndex> snps{0, 1, 2};
   const auto c = cold.analyze(snps);
   const auto w = warm.analyze(snps);

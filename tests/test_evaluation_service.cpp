@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "parallel/fault_injection.hpp"
 #include "stats/evaluation_backend.hpp"
 #include "stats/evaluator.hpp"
 #include "test_support.hpp"
@@ -161,6 +163,69 @@ TEST_F(EvaluationServiceTest, ProvenanceOverloadDegradesToPlainEvaluate) {
   const auto hinted = withParents.evaluate(batch, parents);
   EXPECT_EQ(hinted, plain);
   EXPECT_EQ(withParents.stats().hints, 3u);
+}
+
+TEST_F(EvaluationServiceTest, BatchedDispatchIsBitIdenticalAcrossBackends) {
+  // Mixed sizes with duplicates: the service dedups, size-sorts, and —
+  // with the default config — routes the misses through
+  // fitness_and_cache_batch (grouped SoA EM, batched CLUMP
+  // replicates). With batch_kernels off the same service runs the
+  // historical per-candidate loop. Batching is a scheduling decision,
+  // never arithmetic: both routes must agree bit for bit on every
+  // backend, including when a FaultInjector forces the retry ladder
+  // through first-attempt failures.
+  const std::vector<Candidate> batch = {
+      {0, 1}, {4, 5, 6}, {2, 3},    {0, 1},    {1, 2, 3, 4}, {9, 10},
+      {7, 8}, {2, 3},    {5, 7, 9}, {0, 2, 4}, {3, 11},      {1, 6, 8, 11}};
+
+  EvaluatorConfig unbatched_config;
+  unbatched_config.batch_kernels = false;
+  const HaplotypeEvaluator reference(synthetic_.dataset, unbatched_config);
+  std::vector<double> expected;
+  for (const auto& snps : batch) expected.push_back(reference.fitness(snps));
+
+  using Factory = std::shared_ptr<EvaluationBackend> (*)(
+      const HaplotypeEvaluator&, BackendOptions);
+  struct BackendCase {
+    const char* label;
+    Factory make;
+    bool batches;  // farm workers evaluate per task — no batched runs
+  };
+  const BackendCase cases[] = {
+      {"serial", &make_serial_backend, true},
+      {"thread_pool", &make_thread_pool_backend, true},
+      {"farm", &make_farm_backend, false}};
+  for (const auto& test_case : cases) {
+    for (const bool faulted : {false, true}) {
+      HaplotypeEvaluator evaluator(synthetic_.dataset);  // batched default
+      ASSERT_TRUE(evaluator.batch_dispatch_eligible());
+      BackendOptions options;
+      options.workers = 3;
+      if (faulted) {
+        parallel::FaultInjector::Config fault_config;
+        fault_config.throw_on_tasks = {0, 2, 4};
+        options.fault_injector =
+            std::make_shared<parallel::FaultInjector>(fault_config);
+        options.farm_policy.max_task_retries = 2;
+      }
+      EvaluationService service(evaluator, test_case.make(evaluator, options));
+      const auto results = service.evaluate(batch);
+      ASSERT_EQ(results.size(), batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(results[i], expected[i])
+            << test_case.label << (faulted ? " faulted" : "") << " task " << i;
+      }
+      if (test_case.batches) {
+        // The batched path really ran: grouped EM lanes were recorded.
+        EXPECT_GT(evaluator.em_batch_lanes(), 0u) << test_case.label;
+        EXPECT_GE(evaluator.em_batch_lanes(), evaluator.em_batch_runs());
+      }
+      if (faulted) {
+        EXPECT_EQ(options.fault_injector->injected_throws(), 3u)
+            << test_case.label;
+      }
+    }
+  }
 }
 
 TEST_F(EvaluationServiceTest, MismatchedProvenanceLengthIsAPrecondition) {

@@ -269,15 +269,8 @@ TEST(Evaluator, IncrementalCacheActiveByDefaultAndGated) {
   EXPECT_FALSE(without.incremental_active());
   EXPECT_EQ(without.incremental_stats().entry_reuses, 0u);
 
-  // packed_kernel is deprecated and ignored (the packed kernels are
-  // always on), so it no longer gates the cache...
-  EvaluatorConfig deprecated_flag;
-  deprecated_flag.packed_kernel = false;
-  const HaplotypeEvaluator ungated(synthetic.dataset, deprecated_flag);
-  EXPECT_TRUE(ungated.incremental_active());
-
-  // ...but the incremental routes are defined on the compiled EM
-  // programs, so turning those off still deactivates it silently.
+  // The incremental routes are defined on the compiled EM programs,
+  // so turning those off deactivates it silently.
   EvaluatorConfig gated_config;
   gated_config.compiled_em = false;
   const HaplotypeEvaluator gated(synthetic.dataset, gated_config);

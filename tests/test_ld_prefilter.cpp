@@ -145,6 +145,35 @@ TEST(LdPrefilter, TileSizeDoesNotChangeScores) {
   }
 }
 
+TEST(LdPrefilter, ThreadCountDoesNotChangeScores) {
+  // Unlike tile size (which reorders the pair sums), the worker count
+  // must not move a single bit: every tile folds into its own partial
+  // and the partials reduce in fixed tile order on the caller, whether
+  // a pool ran or not.
+  const genomics::Dataset dataset =
+      ldga::testing::small_synthetic(30, 2, 7).dataset;
+  const PackedGenotypeMatrix store(dataset.genotypes());
+  const std::vector<ga::WindowSpec> windows = ga::plan_windows(30, 12, 6);
+
+  LdPrefilterConfig serial;
+  serial.tile_snps = 5;  // several tiles per window, so the pool engages
+  const auto reference = score_windows(store, windows, serial);
+  for (const std::uint32_t workers : {2u, 3u, 7u}) {
+    LdPrefilterConfig parallel = serial;
+    parallel.workers = workers;
+    const auto scored = score_windows(store, windows, parallel);
+    ASSERT_EQ(scored.size(), reference.size());
+    for (std::size_t w = 0; w < reference.size(); ++w) {
+      EXPECT_EQ(scored[w].pairs, reference[w].pairs);
+      EXPECT_EQ(scored[w].strong_pairs, reference[w].strong_pairs);
+      EXPECT_EQ(scored[w].max_r2, reference[w].max_r2);
+      EXPECT_EQ(scored[w].mean_r2, reference[w].mean_r2);
+      EXPECT_EQ(scored[w].mean_abs_d_prime, reference[w].mean_abs_d_prime);
+      EXPECT_EQ(scored[w].score, reference[w].score);
+    }
+  }
+}
+
 TEST(LdPrefilter, RanksLdBlockAboveNoiseWindow) {
   // Window [0, 4): four copies of one column — a perfect LD block.
   // Window [4, 8): shuffles with little mutual correlation.

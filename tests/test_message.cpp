@@ -100,7 +100,10 @@ TEST(Message, TruncatedPayloadThrows) {
   Packer packer;
   packer.pack(2.5);
   auto bytes = std::move(packer).take();
-  bytes.resize(bytes.size() - 3);  // cut into the scalar bytes
+  ASSERT_GT(bytes.size(), 3u);
+  bytes.pop_back();  // cut into the scalar bytes (shrink-only: resize's
+  bytes.pop_back();  // grow path trips GCC 12 -Wstringop-overflow under
+  bytes.pop_back();  // the sanitizer presets)
   Unpacker unpacker((std::span<const std::uint8_t>(bytes)));
   EXPECT_THROW(unpacker.unpack<double>(), ParallelError);
 }

@@ -201,12 +201,16 @@ TEST(PackedGenotype, PatternTableMatchesBytePathOnRandomDatasets) {
   }
 }
 
-// End-to-end: the packed kernel must leave every statistic bit-for-bit
-// unchanged, which is what lets the evaluator default to it.
+// End-to-end: the compiled pipeline over the packed tables must leave
+// every statistic bit-for-bit identical to the visitor-based reference,
+// which is what lets the evaluator default to it. (The byte-scanning
+// pipeline and its EvaluatorConfig::packed_kernel toggle are retired;
+// the visitor path is the remaining independent oracle.)
 TEST(PackedGenotype, EhDiallStatisticsAreBitForBitIdentical) {
   const auto synthetic = ldga::testing::small_synthetic(14, 3, 555);
-  const stats::EhDiall packed(synthetic.dataset, {}, /*packed_kernel=*/true);
-  const stats::EhDiall byte(synthetic.dataset, {}, /*packed_kernel=*/false);
+  const stats::EhDiall compiled(synthetic.dataset, {}, /*compiled_em=*/true);
+  const stats::EhDiall reference(synthetic.dataset, {},
+                                 /*compiled_em=*/false);
 
   const std::array<std::vector<SnpIndex>, 4> candidates = {
       std::vector<SnpIndex>{0, 1},
@@ -214,8 +218,8 @@ TEST(PackedGenotype, EhDiallStatisticsAreBitForBitIdentical) {
       std::vector<SnpIndex>{1, 6, 7, 13},
       std::vector<SnpIndex>{3, 4, 8, 10, 12}};
   for (const auto& snps : candidates) {
-    const auto a = packed.analyze(snps);
-    const auto b = byte.analyze(snps);
+    const auto a = compiled.analyze(snps);
+    const auto b = reference.analyze(snps);
     EXPECT_EQ(a.lrt, b.lrt);
     EXPECT_EQ(a.affected.log_likelihood, b.affected.log_likelihood);
     EXPECT_EQ(a.unaffected.log_likelihood, b.unaffected.log_likelihood);

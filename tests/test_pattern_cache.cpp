@@ -334,7 +334,7 @@ TEST(IncrementalPipeline, BitExactAcrossSizesAndPolicies) {
     em.max_iterations = 60;
     const EhDiall reference(sim.dataset, em);
     const auto cache = std::make_shared<PatternTableCache>(256, 4);
-    const EhDiall incremental(sim.dataset, em, true, true, false, cache);
+    const EhDiall incremental(sim.dataset, em, true, false, cache);
     ASSERT_EQ(incremental.pattern_cache(), cache);
 
     Rng rng(1000 + static_cast<std::uint64_t>(policy));
@@ -393,7 +393,7 @@ TEST(IncrementalPipeline, ParentWarmStartsStayCloseAndCount) {
   EmConfig em;
   const EhDiall reference(sim.dataset, em);
   const auto cache = std::make_shared<PatternTableCache>(64, 2);
-  const EhDiall warm(sim.dataset, em, true, true, false, cache,
+  const EhDiall warm(sim.dataset, em, true, false, cache,
                      /*warm_start_parents=*/true);
 
   const std::vector<SnpIndex> parent{2, 5, 9};

@@ -258,6 +258,144 @@ TEST(SimdKernelsTest, FloatKernelsMatchScalarTo1e9) {
   }
 }
 
+TEST(SimdKernelsTest, BatchKernelsMatchPerCandidatePathBitForBit) {
+  // The batch kernels carry a stronger contract than the 1e-9 envelope
+  // of the per-candidate FP kernels: every lane/replicate must
+  // reproduce the per-candidate code path bit for bit at the same
+  // dispatch level, so grouping candidates is a pure scheduling
+  // decision. batch_weighted_pair_products lanes replay the scalar
+  // ascending-t short-fan order (that is the per-candidate path for
+  // fans below kSimdMinPairs at every level); batch_chi_columns and
+  // batch_pearson_2xn replicates replay this level's own chi_columns /
+  // pearson_row_terms. Sweep every batch/replicate count 1–33 against
+  // every fan/column count 0–67: the cross covers empty shapes, both
+  // vector widths' body/tail boundaries, and odd remainders on both
+  // axes. Mismatches are counted with plain compares (tens of millions
+  // of lanes) and only reported through ADD_FAILURE, capped per level.
+  const SimdKernels& scalar = simd_kernels_for(SimdLevel::kScalar);
+  for (const SimdLevel level : levels()) {
+    const SimdKernels& kernels = simd_kernels_for(level);
+    int failures = 0;
+    const auto expect_bits = [&](double got, double want, const char* kernel,
+                                 std::size_t batch, std::size_t n,
+                                 std::size_t lane, std::size_t t) {
+      if (got == want) return true;
+      if (++failures <= 8) {
+        ADD_FAILURE() << simd_level_name(level) << ' ' << kernel
+                      << " batch=" << batch << " n=" << n << " lane=" << lane
+                      << " t=" << t << ": got " << got << " want " << want;
+      }
+      return false;
+    };
+    for (std::size_t batch = 1; batch <= 33 && failures <= 8; ++batch) {
+      for (std::size_t n = 0; n <= 67; ++n) {
+        Rng rng(1000003 * batch + n);
+
+        // batch_weighted_pair_products: SoA freq lanes (deliberately
+        // padded stride), t-major products, per-lane ascending-t sums.
+        const std::size_t support = 19;
+        const std::size_t stride = support + batch % 3;
+        std::vector<double> freq(batch * stride);
+        for (auto& f : freq) f = rng.uniform() + 1e-6;
+        std::vector<std::uint32_t> h1(n), h2(n);
+        for (std::size_t t = 0; t < n; ++t) {
+          h1[t] = static_cast<std::uint32_t>(rng.below(support));
+          h2[t] = static_cast<std::uint32_t>(rng.below(support));
+        }
+        std::vector<double> products(n * batch, -1.0), sums(batch, -1.0);
+        kernels.batch_weighted_pair_products(freq.data(), stride, h1.data(),
+                                             h2.data(), n, 0.75, batch,
+                                             products.data(), sums.data());
+        std::vector<double> lane_products(n);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const double lane_sum = scalar.weighted_pair_products(
+              freq.data() + b * stride, h1.data(), h2.data(), n, 0.75,
+              lane_products.data());
+          expect_bits(sums[b], lane_sum, "batch_weighted sum", batch, n, b, 0);
+          for (std::size_t t = 0; t < n; ++t) {
+            expect_bits(products[t * batch + b], lane_products[t],
+                        "batch_weighted product", batch, n, b, t);
+          }
+        }
+
+        // batch_chi_columns: replicate-major slab, each replicate
+        // bit-identical to a standalone chi_columns call at this level
+        // — through both the nullptr (all-zero, scalar fuses the slab)
+        // and the per-replicate shift paths.
+        const std::size_t reps = batch;
+        std::vector<double> top(reps * n), bottom(reps * n);
+        for (auto& v : top) v = 30.0 * rng.uniform();
+        for (auto& v : bottom) v = 30.0 * rng.uniform();
+        const double row0 = 40.0 * static_cast<double>(n + 2);
+        const double row1 = 37.5 * static_cast<double>(n + 2);
+        std::vector<double> add_top(reps), add_bottom(reps);
+        for (std::size_t r = 0; r < reps; ++r) {
+          add_top[r] = rng.uniform();
+          add_bottom[r] = rng.uniform();
+        }
+        std::vector<double> out(reps * n, -1.0), ref(n, -1.0);
+        kernels.batch_chi_columns(top.data(), bottom.data(), n, reps, nullptr,
+                                  nullptr, row0, row1, out.data());
+        for (std::size_t r = 0; r < reps; ++r) {
+          kernels.chi_columns(top.data() + r * n, bottom.data() + r * n, n,
+                              0.0, 0.0, row0, row1, ref.data());
+          for (std::size_t c = 0; c < n; ++c) {
+            expect_bits(out[r * n + c], ref[c], "batch_chi zero-shift", batch,
+                        n, r, c);
+          }
+        }
+        kernels.batch_chi_columns(top.data(), bottom.data(), n, reps,
+                                  add_top.data(), add_bottom.data(), row0,
+                                  row1, out.data());
+        for (std::size_t r = 0; r < reps; ++r) {
+          kernels.chi_columns(top.data() + r * n, bottom.data() + r * n, n,
+                              add_top[r], add_bottom[r], row0, row1,
+                              ref.data());
+          for (std::size_t c = 0; c < n; ++c) {
+            expect_bits(out[r * n + c], ref[c], "batch_chi shifted", batch, n,
+                        r, c);
+          }
+        }
+
+        // batch_pearson_2xn: shared hoisted marginals (with zero-sum
+        // skip columns), both rows' terms per replicate — and each
+        // row's contribution dropped when its row sum is non-positive.
+        std::vector<double> col_sums(n);
+        double total = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+          col_sums[c] = (c % 7 == 5) ? 0.0 : 10.0 + 10.0 * rng.uniform();
+          total += col_sums[c];
+        }
+        if (total <= 0.0) total = 1.0;
+        const double row0_sum = 12.5, row1_sum = 9.75;
+        std::vector<double> pear(reps, -1.0);
+        const auto row_terms = [&](const double* cells, double row_sum) {
+          return row_sum > 0.0 ? kernels.pearson_row_terms(
+                                     cells, col_sums.data(), n, row_sum, total)
+                               : 0.0;
+        };
+        // Both rows live, then each row dead in turn.
+        const double guards[3][2] = {
+            {row0_sum, row1_sum}, {0.0, row1_sum}, {row0_sum, 0.0}};
+        for (int guard = 0; guard < 3; ++guard) {
+          const double r0 = guards[guard][0];
+          const double r1 = guards[guard][1];
+          kernels.batch_pearson_2xn(top.data(), bottom.data(),
+                                    col_sums.data(), n, reps, r0, r1, total,
+                                    pear.data());
+          for (std::size_t r = 0; r < reps; ++r) {
+            const double want = row_terms(top.data() + r * n, r0) +
+                                row_terms(bottom.data() + r * n, r1);
+            expect_bits(pear[r], want, "batch_pearson", batch, n, r,
+                        static_cast<std::size_t>(guard));
+          }
+        }
+      }
+    }
+    EXPECT_EQ(failures, 0) << simd_level_name(level);
+  }
+}
+
 // ---------------------------------------------------------------------
 // End-to-end dispatch equivalence on the evaluation pipeline itself.
 // ---------------------------------------------------------------------
@@ -301,14 +439,18 @@ TEST_F(SimdPipeline, PatternTablesBitExactAcrossLevels) {
 }
 
 TEST_F(SimdPipeline, EvaluatorFlagOffIsBitExactAcrossLevels) {
-  // With simd_kernels off (the default), fitness must be bit-for-bit
-  // identical at every dispatch level: only integer kernels differ.
+  // With simd_kernels forced off (the scalar reference configuration —
+  // the flag defaults on since the candidate-batched path landed),
+  // fitness must be bit-for-bit identical at every dispatch level:
+  // only integer kernels differ.
   const auto synthetic = ldga::testing::small_synthetic();
   const std::vector<genomics::SnpIndex> snps{1, 3, 4};
+  stats::EvaluatorConfig config;
+  config.simd_kernels = false;
   std::vector<double> fitness;
   for (const SimdLevel level : levels()) {
     simd_force_level(level);
-    stats::HaplotypeEvaluator evaluator(synthetic.dataset);
+    stats::HaplotypeEvaluator evaluator(synthetic.dataset, config);
     fitness.push_back(evaluator.fitness(snps));
   }
   for (std::size_t i = 1; i < fitness.size(); ++i) {
@@ -321,6 +463,7 @@ TEST_F(SimdPipeline, EvaluatorFlagOnMatchesScalarTo1e9) {
   const auto synthetic = ldga::testing::small_synthetic();
   const std::vector<genomics::SnpIndex> snps{0, 1, 4};
   stats::EvaluatorConfig reference_config;
+  reference_config.simd_kernels = false;  // the scalar reference path
   stats::HaplotypeEvaluator reference(synthetic.dataset, reference_config);
   const double expected = reference.fitness(snps);
 

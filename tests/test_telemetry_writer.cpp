@@ -32,6 +32,11 @@ GenerationInfo sample_info(std::uint32_t generation) {
   info.gen_warm_fallbacks = 0;
   info.mc_replicates_run = 100 * generation;
   info.mc_replicates_saved = 50 * generation;
+  info.em_batch_runs = 2 * generation;
+  info.em_batch_lanes = 12 * generation;
+  info.gen_em_batch_runs = 2;
+  info.gen_em_batch_lanes = 12;
+  info.mc_batched_replicates = 100 * generation;
   return info;
 }
 
@@ -49,7 +54,8 @@ TEST(TelemetryWriter, HeaderMatchesShape) {
                       "cache_hit_ratio,pattern_entry_reuses,pattern_entry_builds,"
                       "pattern_entry_reuse_ratio,warm_starts,warm_fallbacks,"
                       "warm_hit_ratio,mc_replicates_run,"
-                      "mc_replicates_saved"),
+                      "mc_replicates_saved,em_batch_runs,em_batch_lanes,"
+                      "em_batch_mean_lanes,mc_batched_replicates"),
             std::string::npos);
 }
 
@@ -70,12 +76,12 @@ TEST(TelemetryWriter, RowValuesRoundTrip) {
   const std::string text = out.str();
   EXPECT_NE(
       text.find("3,1.5,2.5,0.5,0.2,0.2,0.6,0.3,300,0,30,3,0,0.125,0.25,0.5,"
-                "0.75,8,8,0.5,4,0,1,300,150"),
+                "0.75,8,8,0.5,4,0,1,300,150,6,36,6,300"),
       std::string::npos);
   writer.record(sample_info(4));
   EXPECT_NE(out.str().find(
                 "4,1.5,2.5,0.5,0.2,0.2,0.6,0.3,400,1,40,4,0,0.125,0.25,0.5,"
-                "0.75,8,8,0.5,4,0,1,400,200"),
+                "0.75,8,8,0.5,4,0,1,400,200,8,48,6,400"),
             std::string::npos);
 }
 
@@ -92,10 +98,15 @@ TEST(TelemetryWriter, ZeroTrafficRatiosAreZeroNotNan) {
   info.gen_warm_fallbacks = 0;
   info.mc_replicates_run = 0;
   info.mc_replicates_saved = 0;
+  info.em_batch_runs = 0;
+  info.em_batch_lanes = 0;
+  info.gen_em_batch_runs = 0;
+  info.gen_em_batch_lanes = 0;
+  info.mc_batched_replicates = 0;
   std::ostringstream out;
   TelemetryCsvWriter writer(out);
   writer.record(info);
-  EXPECT_NE(out.str().find("0.125,0.25,0.5,0,0,0,0,0,0,0,0,0\n"),
+  EXPECT_NE(out.str().find("0.125,0.25,0.5,0,0,0,0,0,0,0,0,0,0,0,0,0\n"),
             std::string::npos);
   EXPECT_EQ(out.str().find("nan"), std::string::npos);
 }
