@@ -8,9 +8,11 @@
 #   scripts/check.sh all            # plain, then address, then thread
 #
 # Add --transport=socket (any position) to soak the cross-process
-# transport layer instead of the whole suite: the socket/chaos tests run
-# with LDGA_CHAOS_SOAK=1, which multiplies the chaos-GA repetitions so
-# respawn, requeue, and frame-corruption recovery get exercised hard.
+# transport layer and the asynchronous island engine instead of the
+# whole suite: the socket/chaos/island tests run with LDGA_CHAOS_SOAK=1,
+# which multiplies the chaos-GA repetitions so respawn, requeue,
+# frame-corruption recovery, and straggler-chaos convergence to the
+# planted haplotype get exercised hard.
 #
 #   scripts/check.sh --transport=socket          # plain chaos soak
 #   scripts/check.sh thread --transport=socket   # chaos soak under TSan
@@ -54,7 +56,7 @@ run_mode() {
     echo "== ${mode}: chaos-soaking the socket transport"
     LDGA_CHAOS_SOAK=1 ctest --test-dir "${dir}" --output-on-failure \
       -j "$(nproc)" \
-      -R 'Transport|Chaos|MasterSlave|FarmFaultTolerance|BackendConformance|Mailbox|ProcessSupervisor|Socket|Crc32|SealedPayload|FrameCodec'
+      -R 'Transport|Chaos|MasterSlave|FarmFaultTolerance|BackendConformance|Mailbox|ProcessSupervisor|Socket|Crc32|SealedPayload|FrameCodec|Island|EvaluationStream|Straggler'
   else
     echo "== ${mode}: testing"
     ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"

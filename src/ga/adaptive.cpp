@@ -89,6 +89,154 @@ std::uint64_t AdaptiveRateController::applications(std::uint32_t op) const {
   return lifetime_count_[op];
 }
 
+std::uint32_t RateSnapshot::sample(double uniform01) const {
+  double total = 0.0;
+  for (const double rate : rates) total += rate;
+  double target = uniform01 * total;
+  for (std::uint32_t op = 0; op < rates.size(); ++op) {
+    target -= rates[op];
+    if (target < 0.0) return op;
+  }
+  return static_cast<std::uint32_t>(rates.size() - 1);
+}
+
+SharedRateController::SharedRateController(std::vector<std::string> names,
+                                           double global_rate,
+                                           double min_rate,
+                                           std::uint32_t sources)
+    : names_(std::move(names)),
+      global_rate_(global_rate),
+      min_rate_(min_rate) {
+  const auto m = static_cast<double>(names_.size());
+  if (names_.empty()) {
+    throw ConfigError("SharedRateController: need at least one operator");
+  }
+  if (sources == 0) {
+    throw ConfigError("SharedRateController: need at least one source");
+  }
+  if (global_rate <= 0.0 || global_rate > 1.0) {
+    throw ConfigError("SharedRateController: global rate must be in (0,1]");
+  }
+  if (min_rate < 0.0 || m * min_rate > global_rate) {
+    throw ConfigError(
+        "SharedRateController: need 0 <= m*min_rate <= global_rate");
+  }
+  lanes_.resize(sources);
+  for (Lane& lane : lanes_) {
+    lane.progress_sum.assign(names_.size(), 0.0);
+    lane.count.assign(names_.size(), 0);
+  }
+  rates_.assign(names_.size(), global_rate_ / m);
+}
+
+void SharedRateController::freeze() {
+  std::lock_guard lock(mutex_);
+  frozen_ = true;
+  rates_.assign(names_.size(),
+                global_rate_ / static_cast<double>(names_.size()));
+}
+
+void SharedRateController::merge(std::uint32_t source,
+                                 const RateDelta& delta) {
+  LDGA_EXPECTS(source < lanes_.size());
+  LDGA_EXPECTS(delta.progress_sum.size() == names_.size() &&
+               delta.count.size() == names_.size());
+  std::lock_guard lock(mutex_);
+  Lane& lane = lanes_[source];
+  for (std::size_t op = 0; op < names_.size(); ++op) {
+    lane.progress_sum[op] += delta.progress_sum[op];
+    lane.count[op] += delta.count[op];
+  }
+  ++version_;
+  recompute_locked();
+}
+
+void SharedRateController::recompute_locked() {
+  if (frozen_) return;
+  // Reduce the lanes in fixed source order: the totals — and therefore
+  // the rates — are a pure function of each lane's content, independent
+  // of the merge interleaving that produced it.
+  std::vector<double> mean(names_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t op = 0; op < names_.size(); ++op) {
+    double progress = 0.0;
+    std::uint64_t count = 0;
+    for (const Lane& lane : lanes_) {
+      progress += lane.progress_sum[op];
+      count += lane.count[op];
+    }
+    if (count > 0) mean[op] = progress / static_cast<double>(count);
+    total += mean[op];
+  }
+  if (total > 0.0) {
+    const auto m = static_cast<double>(names_.size());
+    const double spread = global_rate_ - m * min_rate_;
+    for (std::size_t op = 0; op < rates_.size(); ++op) {
+      rates_[op] = (mean[op] / total) * spread + min_rate_;
+    }
+  }
+  // total == 0: keep G/m — no progress recorded anywhere yet.
+}
+
+RateSnapshot SharedRateController::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return RateSnapshot{version_, rates_};
+}
+
+std::uint64_t SharedRateController::version() const {
+  std::lock_guard lock(mutex_);
+  return version_;
+}
+
+std::vector<std::vector<double>> SharedRateController::lane_progress()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::vector<double>> out;
+  out.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) out.push_back(lane.progress_sum);
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> SharedRateController::lane_counts()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) out.push_back(lane.count);
+  return out;
+}
+
+void SharedRateController::restore(
+    const std::vector<std::vector<double>>& lane_progress,
+    const std::vector<std::vector<std::uint64_t>>& lane_counts) {
+  std::lock_guard lock(mutex_);
+  if (lane_progress.size() != lanes_.size() ||
+      lane_counts.size() != lanes_.size()) {
+    throw ConfigError("SharedRateController: restore with mismatched "
+                      "source count");
+  }
+  for (std::size_t s = 0; s < lanes_.size(); ++s) {
+    if (lane_progress[s].size() != names_.size() ||
+        lane_counts[s].size() != names_.size()) {
+      throw ConfigError("SharedRateController: restore with mismatched "
+                        "operator count");
+    }
+    lanes_[s].progress_sum = lane_progress[s];
+    lanes_[s].count = lane_counts[s];
+  }
+  ++version_;
+  recompute_locked();
+}
+
+std::uint64_t SharedRateController::total_applications() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) {
+    for (const std::uint64_t c : lane.count) total += c;
+  }
+  return total;
+}
+
 void AdaptiveRateController::restore(
     const std::vector<double>& rates,
     const std::vector<std::uint64_t>& lifetime_counts) {

@@ -14,7 +14,9 @@
 // previous rates (no information, no change).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,112 @@ class AdaptiveRateController {
   std::vector<double> progress_sum_;
   std::vector<std::uint64_t> count_;
   std::vector<std::uint64_t> lifetime_count_;
+};
+
+/// One island's locally accumulated progress records, published to a
+/// SharedRateController in batches. Accumulation is local (no locks on
+/// the hot path); merging adds per-operator sums — addition commutes,
+/// so the merged totals do not depend on which island published first.
+struct RateDelta {
+  std::vector<double> progress_sum;
+  std::vector<std::uint64_t> count;
+
+  explicit RateDelta(std::uint32_t operators = 0)
+      : progress_sum(operators, 0.0), count(operators, 0) {}
+
+  void record(std::uint32_t op, double progress) {
+    progress_sum[op] += progress > 0.0 ? progress : 0.0;
+    ++count[op];
+  }
+  bool empty() const {
+    for (const std::uint64_t c : count) {
+      if (c > 0) return false;
+    }
+    return true;
+  }
+  void clear() {
+    std::fill(progress_sum.begin(), progress_sum.end(), 0.0);
+    std::fill(count.begin(), count.end(), 0);
+  }
+};
+
+/// A versioned view of the merged rates: islands cache one and only
+/// re-read when the version moves, so sampling never takes the
+/// controller lock per draw.
+struct RateSnapshot {
+  std::uint64_t version = 0;
+  std::vector<double> rates;
+
+  /// Draws an operator index with probability rate_i / Σ rates (the
+  /// same inverse-CDF walk AdaptiveRateController::sample uses).
+  std::uint32_t sample(double uniform01) const;
+};
+
+/// The asynchronous engine's adaptive-rate bookkeeping (§4.3.1 made
+/// merge-safe). Unlike AdaptiveRateController — whose rates depend on
+/// *when* end_generation() cuts the record stream into generations —
+/// this controller derives rates as a pure function of cumulative
+/// per-operator totals:
+///   mean_i   = Σ progress_i / N_i          (lifetime mean progress)
+///   profit_i = mean_i / Σ_m mean_m
+///   rate_i   = profit_i · (G − m·δ) + δ
+/// Records are kept in one accumulator lane per source island and
+/// totals are reduced in fixed source order, so the resulting rates are
+/// bit-identical for ANY interleaving of island merges — out-of-order
+/// result arrival cannot perturb the totals (the property test in
+/// tests/test_adaptive.cpp holds it to this).
+class SharedRateController {
+ public:
+  SharedRateController(std::vector<std::string> names, double global_rate,
+                       double min_rate, std::uint32_t sources);
+
+  /// Frozen: rates stay at G/m forever (non-adaptive ablation arms).
+  void freeze();
+
+  std::uint32_t operator_count() const {
+    return static_cast<std::uint32_t>(names_.size());
+  }
+  std::uint32_t source_count() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+  double global_rate() const { return global_rate_; }
+
+  /// Folds one island's local accumulator into its lane and bumps the
+  /// version. Thread-safe; commutative across sources by construction.
+  void merge(std::uint32_t source, const RateDelta& delta);
+
+  /// Current rates with the version they were computed at.
+  RateSnapshot snapshot() const;
+  std::uint64_t version() const;
+
+  /// Per-source accumulator lanes, for island-consistent checkpoints
+  /// (persisting the lanes — not the reduced totals — preserves the
+  /// fixed-order reduction exactly across save/resume).
+  std::vector<std::vector<double>> lane_progress() const;
+  std::vector<std::vector<std::uint64_t>> lane_counts() const;
+  void restore(const std::vector<std::vector<double>>& lane_progress,
+               const std::vector<std::vector<std::uint64_t>>& lane_counts);
+
+  /// Total applications across all lanes (telemetry).
+  std::uint64_t total_applications() const;
+
+ private:
+  struct Lane {
+    std::vector<double> progress_sum;
+    std::vector<std::uint64_t> count;
+  };
+
+  void recompute_locked();
+
+  std::vector<std::string> names_;
+  double global_rate_;
+  double min_rate_;
+  bool frozen_ = false;
+
+  mutable std::mutex mutex_;
+  std::vector<Lane> lanes_;
+  std::vector<double> rates_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace ldga::ga

@@ -23,6 +23,10 @@ using parallel::Unpacker;
 
 /// "LDGACKP" + format generation, as a little-endian magic word.
 constexpr std::uint64_t kMagic = 0x4c444741434b5031ULL;
+/// The island-consistent format ("LDGAISL" + generation): a distinct
+/// magic so a sync checkpoint can never be resumed as an async one (or
+/// vice versa) with a confusing downstream error.
+constexpr std::uint64_t kIslandMagic = 0x4c44474149534c31ULL;
 
 std::uint64_t mix(std::uint64_t& state, std::uint64_t value) {
   state ^= value + 0x9e3779b97f4a7c15ULL;
@@ -68,11 +72,140 @@ void write_file_durably(const std::string& tmp,
 void sync_parent_directory(const std::string& path) {
   std::string directory =
       std::filesystem::path(path).parent_path().string();
-  if (directory.empty()) directory = ".";
+  // push_back, not = "." — the assign path trips a GCC 12 -Wrestrict
+  // false positive when this function is inlined into publish_image.
+  if (directory.empty()) directory.push_back('.');
   const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return;  // best effort: the file itself is already synced
   ::fsync(fd);
   ::close(fd);
+}
+
+/// Appends the CRC-32 trailer and publishes `bytes` at `path` with the
+/// crash-safe tmp + fsync + rename + directory-fsync sequence.
+void publish_image(const std::string& path, std::vector<std::uint8_t> bytes) {
+  // CRC-32 trailer over the whole image, little-endian. Checked before
+  // any field is unpacked, so truncation (a crash mid-write on a
+  // filesystem without ordered metadata) or bit rot is detected even
+  // when the damage lands inside a value rather than the structure.
+  const std::uint32_t checksum = util::crc32(bytes);
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes.push_back(static_cast<std::uint8_t>(checksum >> shift));
+  }
+
+  const std::string tmp = path + ".tmp";
+  try {
+    write_file_durably(tmp, bytes);
+  } catch (const CheckpointError&) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: cannot rename " + tmp + " to " +
+                          path + ": " + ec.message());
+  }
+  sync_parent_directory(path);
+}
+
+/// Reads `path`, identifies it against `magic`/`version`, verifies the
+/// CRC trailer and returns the payload with the trailer stripped.
+std::vector<std::uint8_t> read_image(const std::string& path,
+                                     std::uint64_t magic,
+                                     std::uint32_t version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  if (bytes.size() < 4) {
+    throw CheckpointError("checkpoint: " + path +
+                          " is too short to be a checkpoint file");
+  }
+  // Identify the file before verifying it: magic and version live at
+  // fixed offsets, and a future format may checksum differently, so a
+  // wrong-magic or wrong-version file gets its specific error rather
+  // than a generic checksum complaint.
+  // The Packer stores a 1-byte wire tag before each scalar, so the
+  // magic's 8 bytes start at offset 1 and the version's 4 at offset 10.
+  constexpr std::size_t kMagicOffset = 1;
+  constexpr std::size_t kVersionOffset =
+      kMagicOffset + sizeof(std::uint64_t) + 1;
+  if (bytes.size() >= kMagicOffset + sizeof(std::uint64_t)) {
+    std::uint64_t stored_magic = 0;
+    std::memcpy(&stored_magic, bytes.data() + kMagicOffset,
+                sizeof(stored_magic));
+    if (stored_magic != magic) {
+      throw CheckpointError(path +
+                            " is not a ldga checkpoint file of this kind");
+    }
+  }
+  if (bytes.size() >= kVersionOffset + sizeof(std::uint32_t)) {
+    std::uint32_t stored_version = 0;
+    std::memcpy(&stored_version, bytes.data() + kVersionOffset,
+                sizeof(stored_version));
+    if (stored_version != version) {
+      throw CheckpointError("checkpoint format v" +
+                            std::to_string(stored_version) +
+                            " is not supported (expected v" +
+                            std::to_string(version) + ")");
+    }
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
+              << (8 * i);
+  }
+  bytes.resize(bytes.size() - 4);
+  if (util::crc32(bytes) != stored) {
+    throw CheckpointError("checkpoint: " + path +
+                          " failed its checksum (truncated or corrupt); "
+                          "refusing to resume from it");
+  }
+  return bytes;
+}
+
+void pack_members(Packer& packer,
+                  const std::vector<HaplotypeIndividual>& members) {
+  packer.pack(static_cast<std::uint32_t>(members.size()));
+  for (const auto& member : members) {
+    packer.pack_vector(member.snps());
+    packer.pack(member.fitness());
+  }
+}
+
+std::vector<HaplotypeIndividual> unpack_members(Unpacker& unpacker) {
+  const auto count = unpacker.unpack<std::uint32_t>();
+  std::vector<HaplotypeIndividual> members;
+  members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    HaplotypeIndividual member{unpacker.unpack_vector<genomics::SnpIndex>()};
+    member.set_fitness(unpacker.unpack<double>());
+    members.push_back(std::move(member));
+  }
+  return members;
+}
+
+void pack_lanes(Packer& packer,
+                const std::vector<std::vector<double>>& progress,
+                const std::vector<std::vector<std::uint64_t>>& counts) {
+  packer.pack(static_cast<std::uint32_t>(progress.size()));
+  for (const auto& lane : progress) packer.pack_vector(lane);
+  packer.pack(static_cast<std::uint32_t>(counts.size()));
+  for (const auto& lane : counts) packer.pack_vector(lane);
+}
+
+void unpack_lanes(Unpacker& unpacker,
+                  std::vector<std::vector<double>>& progress,
+                  std::vector<std::vector<std::uint64_t>>& counts) {
+  progress.resize(unpacker.unpack<std::uint32_t>());
+  for (auto& lane : progress) lane = unpacker.unpack_vector<double>();
+  counts.resize(unpacker.unpack<std::uint32_t>());
+  for (auto& lane : counts) lane = unpacker.unpack_vector<std::uint64_t>();
 }
 
 }  // namespace
@@ -132,89 +265,14 @@ void save_checkpoint(const std::string& path,
              checkpoint.crossover_applications);
   packer.pack(static_cast<std::uint32_t>(checkpoint.members.size()));
   for (const auto& subpopulation : checkpoint.members) {
-    packer.pack(static_cast<std::uint32_t>(subpopulation.size()));
-    for (const auto& member : subpopulation) {
-      packer.pack_vector(member.snps());
-      packer.pack(member.fitness());
-    }
+    pack_members(packer, subpopulation);
   }
-  std::vector<std::uint8_t> bytes = std::move(packer).take();
-
-  // CRC-32 trailer over the whole image, little-endian. Checked before
-  // any field is unpacked, so truncation (a crash mid-write on a
-  // filesystem without ordered metadata) or bit rot is detected even
-  // when the damage lands inside a value rather than the structure.
-  const std::uint32_t checksum = util::crc32(bytes);
-  for (int shift = 0; shift < 32; shift += 8) {
-    bytes.push_back(static_cast<std::uint8_t>(checksum >> shift));
-  }
-
-  const std::string tmp = path + ".tmp";
-  try {
-    write_file_durably(tmp, bytes);
-  } catch (const CheckpointError&) {
-    std::remove(tmp.c_str());
-    throw;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
-    throw CheckpointError("checkpoint: cannot rename " + tmp + " to " +
-                          path + ": " + ec.message());
-  }
-  sync_parent_directory(path);
+  publish_image(path, std::move(packer).take());
 }
 
 GaCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw CheckpointError("checkpoint: cannot open " + path);
-  }
-  std::vector<std::uint8_t> bytes(
-      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-
-  if (bytes.size() < 4) {
-    throw CheckpointError("checkpoint: " + path +
-                          " is too short to be a checkpoint file");
-  }
-  // Identify the file before verifying it: magic and version live at
-  // fixed offsets, and a future format may checksum differently, so a
-  // wrong-magic or wrong-version file gets its specific error rather
-  // than a generic checksum complaint.
-  // The Packer stores a 1-byte wire tag before each scalar, so the
-  // magic's 8 bytes start at offset 1 and the version's 4 at offset 10.
-  constexpr std::size_t kMagicOffset = 1;
-  constexpr std::size_t kVersionOffset =
-      kMagicOffset + sizeof(std::uint64_t) + 1;
-  if (bytes.size() >= kMagicOffset + sizeof(std::uint64_t)) {
-    std::uint64_t magic = 0;
-    std::memcpy(&magic, bytes.data() + kMagicOffset, sizeof(magic));
-    if (magic != kMagic) {
-      throw CheckpointError(path + " is not a ldga checkpoint file");
-    }
-  }
-  if (bytes.size() >= kVersionOffset + sizeof(std::uint32_t)) {
-    std::uint32_t version = 0;
-    std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
-    if (version != GaCheckpoint::kVersion) {
-      throw CheckpointError("checkpoint format v" + std::to_string(version) +
-                            " is not supported (expected v" +
-                            std::to_string(GaCheckpoint::kVersion) + ")");
-    }
-  }
-  std::uint32_t stored = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
-              << (8 * i);
-  }
-  bytes.resize(bytes.size() - 4);
-  if (util::crc32(bytes) != stored) {
-    throw CheckpointError("checkpoint: " + path +
-                          " failed its checksum (truncated or corrupt); "
-                          "refusing to resume from it");
-  }
-
+  const std::vector<std::uint8_t> bytes =
+      read_image(path, kMagic, GaCheckpoint::kVersion);
   try {
     Unpacker unpacker{bytes};
     if (unpacker.unpack<std::uint64_t>() != kMagic) {
@@ -247,14 +305,7 @@ GaCheckpoint load_checkpoint(const std::string& path) {
     const auto subpopulations = unpacker.unpack<std::uint32_t>();
     checkpoint.members.resize(subpopulations);
     for (auto& subpopulation : checkpoint.members) {
-      const auto count = unpacker.unpack<std::uint32_t>();
-      subpopulation.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        HaplotypeIndividual member{
-            unpacker.unpack_vector<genomics::SnpIndex>()};
-        member.set_fitness(unpacker.unpack<double>());
-        subpopulation.push_back(std::move(member));
-      }
+      subpopulation = unpack_members(unpacker);
     }
     if (!unpacker.exhausted()) {
       throw CheckpointError("checkpoint: trailing bytes in " + path);
@@ -262,6 +313,74 @@ GaCheckpoint load_checkpoint(const std::string& path) {
     return checkpoint;
   } catch (const ParallelError& error) {
     // Wire-format violations (truncation, corruption) surface here.
+    throw CheckpointError("checkpoint: corrupt file " + path + ": " +
+                          error.what());
+  }
+}
+
+void save_island_checkpoint(const std::string& path,
+                            const IslandCheckpoint& checkpoint) {
+  Packer packer;
+  packer.pack(kIslandMagic);
+  packer.pack(IslandCheckpoint::kVersion);
+  packer.pack(checkpoint.fingerprint);
+  packer.pack(checkpoint.total_steps);
+  packer.pack(checkpoint.evaluations);
+  packer.pack(checkpoint.last_improvement_step);
+  packer.pack(checkpoint.immigrant_events);
+  pack_lanes(packer, checkpoint.mutation_lane_progress,
+             checkpoint.mutation_lane_counts);
+  pack_lanes(packer, checkpoint.crossover_lane_progress,
+             checkpoint.crossover_lane_counts);
+  packer.pack(static_cast<std::uint32_t>(checkpoint.islands.size()));
+  for (const auto& island : checkpoint.islands) {
+    packer.pack(island.steps);
+    packer.pack(island.immigrant_mark);
+    for (const std::uint64_t word : island.rng_state) packer.pack(word);
+    pack_members(packer, island.members);
+  }
+  publish_image(path, std::move(packer).take());
+}
+
+IslandCheckpoint load_island_checkpoint(const std::string& path) {
+  const std::vector<std::uint8_t> bytes =
+      read_image(path, kIslandMagic, IslandCheckpoint::kVersion);
+  try {
+    Unpacker unpacker{bytes};
+    if (unpacker.unpack<std::uint64_t>() != kIslandMagic) {
+      throw CheckpointError(path + " is not a ldga island checkpoint file");
+    }
+    const auto version = unpacker.unpack<std::uint32_t>();
+    if (version != IslandCheckpoint::kVersion) {
+      throw CheckpointError("checkpoint format v" + std::to_string(version) +
+                            " is not supported (expected v" +
+                            std::to_string(IslandCheckpoint::kVersion) + ")");
+    }
+
+    IslandCheckpoint checkpoint;
+    checkpoint.fingerprint = unpacker.unpack<std::uint64_t>();
+    checkpoint.total_steps = unpacker.unpack<std::uint64_t>();
+    checkpoint.evaluations = unpacker.unpack<std::uint64_t>();
+    checkpoint.last_improvement_step = unpacker.unpack<std::uint64_t>();
+    checkpoint.immigrant_events = unpacker.unpack<std::uint32_t>();
+    unpack_lanes(unpacker, checkpoint.mutation_lane_progress,
+                 checkpoint.mutation_lane_counts);
+    unpack_lanes(unpacker, checkpoint.crossover_lane_progress,
+                 checkpoint.crossover_lane_counts);
+    checkpoint.islands.resize(unpacker.unpack<std::uint32_t>());
+    for (auto& island : checkpoint.islands) {
+      island.steps = unpacker.unpack<std::uint64_t>();
+      island.immigrant_mark = unpacker.unpack<std::uint64_t>();
+      for (std::uint64_t& word : island.rng_state) {
+        word = unpacker.unpack<std::uint64_t>();
+      }
+      island.members = unpack_members(unpacker);
+    }
+    if (!unpacker.exhausted()) {
+      throw CheckpointError("checkpoint: trailing bytes in " + path);
+    }
+    return checkpoint;
+  } catch (const ParallelError& error) {
     throw CheckpointError("checkpoint: corrupt file " + path + ": " +
                           error.what());
   }

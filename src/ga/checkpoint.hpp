@@ -76,6 +76,54 @@ struct GaCheckpoint {
 std::uint64_t checkpoint_fingerprint(const GaConfig& config,
                                      std::uint32_t snp_count);
 
+/// Island-consistent snapshot of an asynchronous IslandEngine run.
+///
+/// The async engine has no generation boundary to snapshot at, so the
+/// coordinator briefly pauses every island at its own loop boundary (a
+/// rendezvous, not a barrier in steady state): each island folds its
+/// local rate deltas into the shared controller and drains its
+/// migration mailbox before acking. The snapshot is a *consistent cut*
+/// — memberships are valid, the rate lanes hold exactly the progress of
+/// every integrated offspring, and the per-island RNG streams resume
+/// bit-identically — but offspring still in evaluation flight and
+/// migrants queued after the cut are dropped on resume (they are
+/// optimization state, not correctness state; the resumed run breeds
+/// replacements). Unlike the synchronous GaCheckpoint, resuming does
+/// not replay a bit-identical trajectory: the async engine's
+/// trajectory is schedule-dependent by design.
+struct IslandCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t fingerprint = 0;  ///< same stamp as the sync format
+  std::uint64_t total_steps = 0;  ///< integrated applications, all islands
+  std::uint64_t evaluations = 0;
+  std::uint64_t last_improvement_step = 0;
+  std::uint32_t immigrant_events = 0;
+  /// SharedRateController accumulator lanes, one per island. Persisting
+  /// the lanes (not the reduced rates) keeps the fixed-order reduction
+  /// exact across save/resume.
+  std::vector<std::vector<double>> mutation_lane_progress;
+  std::vector<std::vector<std::uint64_t>> mutation_lane_counts;
+  std::vector<std::vector<double>> crossover_lane_progress;
+  std::vector<std::vector<std::uint64_t>> crossover_lane_counts;
+
+  struct IslandState {
+    std::uint64_t steps = 0;          ///< island-local integrated applications
+    std::uint64_t immigrant_mark = 0; ///< global step of the last wave
+    std::array<std::uint64_t, 4> rng_state{};
+    std::vector<HaplotypeIndividual> members;  ///< exact order
+  };
+  /// One entry per island, ascending haplotype size.
+  std::vector<IslandState> islands;
+};
+
+/// Same crash-safety discipline as save_checkpoint (tmp + fsync +
+/// atomic rename + directory fsync, CRC-32 trailer), distinct magic —
+/// the two formats cannot be confused for one another.
+void save_island_checkpoint(const std::string& path,
+                            const IslandCheckpoint& checkpoint);
+IslandCheckpoint load_island_checkpoint(const std::string& path);
+
 /// Crash-safely writes `checkpoint` to `path` (tmp + fsync + atomic
 /// rename + directory fsync), with a CRC-32 trailer over the image.
 void save_checkpoint(const std::string& path,

@@ -196,11 +196,14 @@ class GaEngine {
   const GaConfig& config() const { return config_; }
   const stats::EvaluationBackend& backend() const { return *backend_; }
 
- private:
-  struct Pending;  // offspring awaiting evaluation (defined in .cpp)
-
+  /// Validates `config` against the evaluator (size range vs max_loci
+  /// and panel width). Shared with the asynchronous IslandEngine, which
+  /// runs under the same compatibility rules.
   static void check_compatible(const stats::HaplotypeEvaluator& evaluator,
                                const GaConfig& config);
+
+ private:
+  struct Pending;  // offspring awaiting evaluation (defined in .cpp)
 
   const stats::HaplotypeEvaluator* evaluator_;
   GaConfig config_;

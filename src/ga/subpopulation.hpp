@@ -71,6 +71,7 @@ class Subpopulation {
   std::uint32_t best_index() const;
   std::uint32_t worst_index() const;
   const HaplotypeIndividual& best() const { return members_[best_index()]; }
+  const HaplotypeIndividual& worst() const { return members_[worst_index()]; }
 
   double mean_fitness() const;
   FitnessRange fitness_range() const;

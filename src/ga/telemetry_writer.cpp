@@ -70,4 +70,21 @@ void TelemetryCsvWriter::record(const GenerationInfo& info) {
   if (!*out_) throw DataError("TelemetryCsvWriter: stream write failed");
 }
 
+IslandEventCsvWriter::IslandEventCsvWriter(std::ostream& out) : out_(&out) {}
+
+void IslandEventCsvWriter::record(const IslandEvent& event) {
+  if (!header_written_) {
+    *out_ << "wall_seconds,event,island,haplotype_size,step,best_fitness,"
+             "worst_fitness,in_flight,rate_version,evaluations\n";
+    header_written_ = true;
+  }
+  *out_ << event.wall_seconds << ',' << to_string(event.kind) << ','
+        << event.island << ',' << event.haplotype_size << ',' << event.step
+        << ',' << event.best_fitness << ',' << event.worst_fitness << ','
+        << event.in_flight << ',' << event.rate_version << ','
+        << event.evaluations << '\n';
+  ++rows_;
+  if (!*out_) throw DataError("IslandEventCsvWriter: stream write failed");
+}
+
 }  // namespace ldga::ga

@@ -1,6 +1,7 @@
 #include "parallel/fault_injection.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "util/error.hpp"
@@ -46,6 +47,33 @@ void FaultInjector::Config::validate() const {
   if (delay.count() < 0) {
     throw ConfigError("FaultInjector: delay must be >= 0");
   }
+  if (straggler_probability < 0.0 || straggler_probability > 1.0) {
+    throw ConfigError(
+        "FaultInjector: straggler_probability must be in [0, 1]");
+  }
+  if (straggler_probability > 0.0) {
+    if (straggler_shape <= 0.0) {
+      throw ConfigError("FaultInjector: straggler_shape must be > 0");
+    }
+    if (straggler_scale.count() < 0 || straggler_cap.count() < 0 ||
+        straggler_cap < straggler_scale) {
+      throw ConfigError(
+          "FaultInjector: need 0 <= straggler_scale <= straggler_cap");
+    }
+  }
+}
+
+FaultInjector::Config FaultInjector::straggler_preset(
+    std::uint64_t seed, double probability,
+    std::chrono::milliseconds scale) {
+  Config config;
+  config.seed = seed;
+  config.straggler_probability = probability;
+  config.straggler_scale = scale;
+  config.straggler_shape = 1.1;  // heavy tail: E[delay] barely finite
+  config.straggler_cap = scale * 50;
+  config.validate();
+  return config;
 }
 
 FaultInjector::FaultInjector(Config config) : config_(std::move(config)) {
@@ -85,6 +113,22 @@ FaultDecision FaultInjector::decide(std::uint64_t phase,
     } else if (draw(state) < config_.delay_probability) {
       decision.kind = FaultDecision::Kind::kDelay;
       decision.delay = config_.delay;
+    } else if (draw(state) < config_.straggler_probability) {
+      // Pareto(shape α, scale s): s · u^(-1/α) for u uniform in (0, 1].
+      // The same (seed, phase, index, attempt) coordinates always draw
+      // the same u, so the straggler schedule is reproducible.
+      const double u = 1.0 - draw(state);  // (0, 1]
+      const double factor =
+          std::pow(u, -1.0 / config_.straggler_shape);
+      const double scaled =
+          static_cast<double>(config_.straggler_scale.count()) * factor;
+      const auto capped = static_cast<std::int64_t>(
+          std::min(scaled,
+                   static_cast<double>(config_.straggler_cap.count())));
+      decision.kind = FaultDecision::Kind::kDelay;
+      decision.delay = std::chrono::milliseconds(capped);
+      stragglers_.fetch_add(1);
+      straggler_ms_.fetch_add(static_cast<std::uint64_t>(capped));
     }
   }
 

@@ -75,8 +75,27 @@ class FaultInjector {
     std::vector<std::uint64_t> disconnect_on_tasks;
     std::vector<std::uint64_t> kill_on_tasks;
 
+    /// Heavy-tailed "straggler" delays: with this probability an
+    /// attempt sleeps for straggler_scale · u^(-1/straggler_shape)
+    /// (a Pareto draw — most stragglers are mild, a few are extreme,
+    /// the regime where a generation barrier hurts most), clamped to
+    /// straggler_cap. Decided deterministically from (seed, phase,
+    /// index, attempt) like every other fault, so a straggler schedule
+    /// reproduces exactly across runs and backends.
+    double straggler_probability = 0.0;
+    std::chrono::milliseconds straggler_scale{2};
+    double straggler_shape = 1.2;
+    std::chrono::milliseconds straggler_cap{250};
+
     void validate() const;
   };
+
+  /// The reproducible barrier-vs-async comparison preset: ~`probability`
+  /// of attempts straggle with a Pareto(shape 1.1) tail scaled to
+  /// `scale` and capped at 50·scale. Used by bench_parallel_speedup and
+  /// the chaos tests so both always measure the same delay population.
+  static Config straggler_preset(std::uint64_t seed, double probability,
+                                 std::chrono::milliseconds scale);
 
   explicit FaultInjector(Config config);
 
@@ -105,6 +124,12 @@ class FaultInjector {
 
   std::uint64_t injected_throws() const { return throws_.load(); }
   std::uint64_t injected_delays() const { return delays_.load(); }
+  std::uint64_t injected_stragglers() const { return stragglers_.load(); }
+  /// Total wall time injected as straggler sleep (telemetry for the
+  /// speedup bench: how much delay the schedule actually dealt).
+  std::chrono::milliseconds injected_straggler_time() const {
+    return std::chrono::milliseconds(straggler_ms_.load());
+  }
   std::uint64_t injected_stales() const { return stales_.load(); }
   std::uint64_t injected_drops() const { return drops_.load(); }
   std::uint64_t injected_corrupts() const { return corrupts_.load(); }
@@ -119,6 +144,8 @@ class FaultInjector {
   std::atomic<std::uint64_t> calls_{0};
   std::atomic<std::uint64_t> throws_{0};
   std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> stragglers_{0};
+  std::atomic<std::uint64_t> straggler_ms_{0};
   std::atomic<std::uint64_t> stales_{0};
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> corrupts_{0};

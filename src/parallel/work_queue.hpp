@@ -1,0 +1,131 @@
+// A coalescing multi-producer multi-consumer work queue — the
+// straggler-tolerant scheduling primitive under the asynchronous
+// evaluation stream.
+//
+// Consumers pop *batches*: whatever is queued right now, up to a cap.
+// With several consumer threads, a slow item (a straggling evaluation)
+// delays only the batch its consumer claimed; the other consumers keep
+// draining, so queue latency degrades gracefully under heavy-tailed
+// service times instead of collapsing behind one barrier. Producers
+// never block (the queue is unbounded; callers bound their own
+// in-flight counts, as the island engine does per island).
+//
+// Close semantics mirror Mailbox: after close() producers get false and
+// consumers drain what remains, then receive empty batches — so a
+// consumer loop terminates exactly when the queue is both closed and
+// empty, never dropping accepted work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ldga::parallel {
+
+template <typename T>
+class CoalescingQueue {
+ public:
+  /// Enqueues one item; wakes one waiting consumer. Returns false —
+  /// without queueing — when the queue is closed.
+  [[nodiscard]] bool push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(item));
+    }
+    arrived_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue closes),
+  /// then takes up to `max_items` in FIFO order. An empty result means
+  /// closed-and-drained: the consumer should exit.
+  std::vector<T> pop_batch(std::size_t max_items) {
+    std::unique_lock lock(mutex_);
+    arrived_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    return take_locked(max_items);
+  }
+
+  /// pop_batch with a deadline; an empty result after timeout means "no
+  /// work yet", distinguishable from shutdown via closed().
+  std::vector<T> pop_batch_for(std::size_t max_items,
+                               std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    arrived_.wait_for(lock, timeout,
+                      [&] { return !queue_.empty() || closed_; });
+    return take_locked(max_items);
+  }
+
+  /// Blocks like pop_batch, then claims the oldest item plus up to
+  /// `max_items - 1` more items with the same grouping key, searched
+  /// across the whole queue. Downstream batch processors that group
+  /// same-shaped work (the SoA evaluation kernels) get full-width
+  /// batches this way even when producers interleave shapes. No key
+  /// starves: the overall front of the queue anchors every claim, and
+  /// items the claim skips keep their relative order.
+  template <typename KeyFn>
+  std::vector<T> pop_batch_grouped(std::size_t max_items, KeyFn&& key) {
+    std::unique_lock lock(mutex_);
+    arrived_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    std::vector<T> batch;
+    if (queue_.empty() || max_items == 0) return batch;
+    batch.reserve(max_items);
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const auto want = key(batch.front());
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < max_items;) {
+      if (key(*it) == want) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return batch;
+  }
+
+  /// Stops accepting items and wakes every waiting consumer. Queued
+  /// items remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    arrived_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::vector<T> take_locked(std::size_t max_items) {
+    std::vector<T> batch;
+    const std::size_t take = queue_.size() < max_items ? queue_.size()
+                                                       : max_items;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ldga::parallel

@@ -130,4 +130,235 @@ std::vector<double> EvaluationService::evaluate(
   return results;
 }
 
+// --- EvaluationStream -------------------------------------------------
+
+void EvaluationStreamConfig::validate() const {
+  if (lanes < 1) {
+    throw ConfigError("EvaluationStreamConfig: need at least one lane");
+  }
+  if (max_coalesce < 1) {
+    throw ConfigError("EvaluationStreamConfig: max_coalesce must be >= 1");
+  }
+  backend.farm_policy.validate();
+}
+
+/// One dispatcher lane: a private serial backend (own scratch arena,
+/// own retry ladder and fault-injection phase counter) wrapped in a
+/// private EvaluationService, so every lane keeps the probe-once /
+/// compute-once accounting and the SoA batched dispatch of the
+/// synchronous path.
+struct EvaluationStream::Lane {
+  explicit Lane(const HaplotypeEvaluator& evaluator,
+                const EvaluationStreamConfig& config)
+      : backend(make_serial_backend(evaluator, lane_options(config))),
+        service(evaluator, backend) {}
+
+  static BackendOptions lane_options(const EvaluationStreamConfig& config) {
+    BackendOptions options = config.backend;
+    options.workers = 1;
+    options.transport = FarmTransport::kInProcess;
+    return options;
+  }
+
+  std::shared_ptr<EvaluationBackend> backend;
+  EvaluationService service;
+};
+
+struct EvaluationStream::InflightMap {
+  std::unordered_map<Candidate, std::vector<Waiter>, CandidateHash> map;
+};
+
+EvaluationStream::EvaluationStream(const HaplotypeEvaluator& evaluator,
+                                   std::uint32_t queue_count,
+                                   EvaluationStreamConfig config)
+    : evaluator_(&evaluator),
+      config_(std::move(config)),
+      inflight_(std::make_unique<InflightMap>()) {
+  config_.validate();
+  LDGA_EXPECTS(queue_count >= 1);
+  completions_.reserve(queue_count);
+  for (std::uint32_t q = 0; q < queue_count; ++q) {
+    completions_.push_back(std::make_unique<CompletionQueue>());
+  }
+  lanes_.reserve(config_.lanes);
+  threads_.reserve(config_.lanes);
+  for (std::uint32_t l = 0; l < config_.lanes; ++l) {
+    lanes_.push_back(std::make_unique<Lane>(evaluator, config_));
+  }
+  for (std::uint32_t l = 0; l < config_.lanes; ++l) {
+    threads_.emplace_back([this, l] { lane_loop(*lanes_[l]); });
+  }
+}
+
+EvaluationStream::~EvaluationStream() { close(); }
+
+bool EvaluationStream::submit(std::uint32_t queue, std::uint64_t ticket,
+                              Candidate candidate, Candidate parent) {
+  LDGA_EXPECTS(queue < completions_.size());
+  Submission submission{queue, ticket, std::move(candidate),
+                        std::move(parent)};
+  // Count before the push: a lane may claim, evaluate and deliver the
+  // submission before this thread runs another instruction, and
+  // in_flight() (submitted - delivered, unsigned) must never observe
+  // delivered ahead of submitted.
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(std::move(submission))) {
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void EvaluationStream::deliver(const Waiter& waiter, double fitness,
+                               bool failed) {
+  CompletionQueue& completion = *completions_[waiter.queue];
+  // Count before the result becomes poppable: a consumer that has
+  // drained its queue may immediately read in_flight()/stats(), and
+  // the counters must already cover everything it received (the
+  // completion mutex orders these relaxed increments for it).
+  if (failed) failed_.fetch_add(1, std::memory_order_relaxed);
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(completion.mutex);
+    completion.results.push_back({waiter.ticket, fitness, failed});
+  }
+  completion.ready.notify_all();
+}
+
+void EvaluationStream::lane_loop(Lane& lane) {
+  for (;;) {
+    // Claim same-size submissions from anywhere in the queue: the SoA
+    // EM kernels batch same-shape candidates, and islands of different
+    // sizes interleave their offspring, so a plain FIFO claim would
+    // hand the kernels batches with ~1-wide shape groups.
+    std::vector<Submission> batch = queue_.pop_batch_grouped(
+        config_.max_coalesce,
+        [](const Submission& s) { return s.candidate.size(); });
+    if (batch.empty()) return;  // closed and drained
+    dispatch_rounds_.fetch_add(1, std::memory_order_relaxed);
+
+    // Claim pass: this lane computes a candidate only if no other lane
+    // is already computing it; otherwise the submission latches onto
+    // the in-flight computation and is delivered by whichever lane
+    // finishes it.
+    std::vector<Candidate> claimed;
+    std::vector<Candidate> parents;
+    claimed.reserve(batch.size());
+    parents.reserve(batch.size());
+    {
+      std::lock_guard lock(inflight_mutex_);
+      for (Submission& submission : batch) {
+        auto [entry, fresh] = inflight_->map.try_emplace(
+            submission.candidate,
+            std::vector<Waiter>{{submission.queue, submission.ticket}});
+        if (!fresh) {
+          entry->second.push_back({submission.queue, submission.ticket});
+          inflight_merges_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        claimed.push_back(std::move(submission.candidate));
+        parents.push_back(std::move(submission.parent));
+      }
+    }
+    if (claimed.empty()) continue;
+
+    std::vector<double> scores;
+    std::vector<bool> failures(claimed.size(), false);
+    try {
+      scores = lane.service.evaluate(claimed, parents);
+    } catch (const std::exception&) {
+      // A batch member exhausted its retry ladder. Re-run one by one so
+      // its siblings still get real scores; the exhausted candidate is
+      // delivered failed with the penalty fitness instead of tearing
+      // down the whole stream the way a synchronous phase would.
+      scores.assign(claimed.size(), evaluator_->config().penalty_fitness);
+      for (std::size_t i = 0; i < claimed.size(); ++i) {
+        try {
+          scores[i] = lane.service.evaluate(
+              std::span<const Candidate>(&claimed[i], 1),
+              std::span<const Candidate>(&parents[i], 1))[0];
+        } catch (const std::exception&) {
+          failures[i] = true;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < claimed.size(); ++i) {
+      std::vector<Waiter> waiters;
+      {
+        std::lock_guard lock(inflight_mutex_);
+        auto entry = inflight_->map.find(claimed[i]);
+        LDGA_EXPECTS(entry != inflight_->map.end());
+        waiters = std::move(entry->second);
+        inflight_->map.erase(entry);
+      }
+      for (const Waiter& waiter : waiters) {
+        deliver(waiter, scores[i], failures[i]);
+      }
+    }
+  }
+}
+
+std::vector<StreamResult> EvaluationStream::poll(std::uint32_t queue) {
+  LDGA_EXPECTS(queue < completions_.size());
+  CompletionQueue& completion = *completions_[queue];
+  std::lock_guard lock(completion.mutex);
+  return std::exchange(completion.results, {});
+}
+
+std::vector<StreamResult> EvaluationStream::wait(
+    std::uint32_t queue, std::chrono::milliseconds timeout) {
+  LDGA_EXPECTS(queue < completions_.size());
+  CompletionQueue& completion = *completions_[queue];
+  std::unique_lock lock(completion.mutex);
+  completion.ready.wait_for(lock, timeout, [&] {
+    return !completion.results.empty() ||
+           drained_.load(std::memory_order_acquire);
+  });
+  return std::exchange(completion.results, {});
+}
+
+void EvaluationStream::close() {
+  {
+    std::lock_guard lock(close_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_.close();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const auto& lane : lanes_) {
+    const EvaluationServiceStats& s = lane->service.stats();
+    final_service_stats_.batches += s.batches;
+    final_service_stats_.candidates += s.candidates;
+    final_service_stats_.cache_hits += s.cache_hits;
+    final_service_stats_.duplicates += s.duplicates;
+    final_service_stats_.dispatched += s.dispatched;
+    final_service_stats_.hints += s.hints;
+    final_service_stats_.batch_seconds += s.batch_seconds;
+  }
+  // Results are final now: wake any consumer still blocked in wait(),
+  // and make later wait() calls return empty immediately instead of
+  // sleeping out their timeout (shutdown, not timeout).
+  drained_.store(true, std::memory_order_release);
+  for (const auto& completion : completions_) {
+    completion->ready.notify_all();
+  }
+}
+
+EvaluationStreamStats EvaluationStream::stats() const {
+  EvaluationStreamStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = delivered_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.inflight_merges = inflight_merges_.load(std::memory_order_relaxed);
+  stats.dispatch_rounds = dispatch_rounds_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(close_mutex_);
+    if (closed_) stats.service = final_service_stats_;
+  }
+  return stats;
+}
+
 }  // namespace ldga::stats

@@ -11,11 +11,17 @@
 // holds across serial, thread-pool, and farm execution alike.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
+#include "parallel/work_queue.hpp"
 #include "stats/evaluation_backend.hpp"
 
 namespace ldga::stats {
@@ -63,6 +69,166 @@ class EvaluationService {
   const HaplotypeEvaluator* evaluator_;
   std::shared_ptr<EvaluationBackend> backend_;
   EvaluationServiceStats stats_;
+};
+
+// ---------------------------------------------------------------------
+// Streaming completion API — the asynchronous islands' front door.
+//
+// Where EvaluationService::evaluate is a synchronous barrier (the
+// caller blocks until the whole batch is scored), EvaluationStream
+// decouples submission from completion: islands submit!(ticket,
+// candidate) and pull finished results from their own completion queue
+// whenever they like. Between the two sides sits a small pool of
+// dispatcher lanes that
+//   - coalesce submissions across ALL islands into one service batch,
+//     claiming same-size candidates from anywhere in the queue (so
+//     PR 8's SoA same-shape batching keeps paying full-width even
+//     though no single island batches a generation any more),
+//   - deduplicate against computations already in flight on another
+//     lane (late submitters latch onto the running computation instead
+//     of recomputing),
+//   - and absorb stragglers: a heavy-tailed evaluation delays only the
+//     lane that claimed it — the other lanes keep draining the queue,
+//     which is exactly the failure mode the generation barrier cannot
+//     absorb.
+
+/// One finished evaluation, delivered to the submitting queue.
+struct StreamResult {
+  std::uint64_t ticket = 0;
+  double fitness = 0.0;
+  /// True when the evaluation exhausted its retry ladder (injected or
+  /// real faults). The fitness is then the evaluator's penalty value;
+  /// callers typically drop the offspring. The synchronous engine
+  /// aborts the run here instead — a steady-state island just breeds
+  /// on.
+  bool failed = false;
+};
+
+struct EvaluationStreamConfig {
+  /// Dispatcher lanes. More lanes = more straggler tolerance and more
+  /// pipeline parallelism; each lane evaluates its claimed batch
+  /// serially with a private scratch arena.
+  std::uint32_t lanes = 2;
+  /// Max submissions one lane claims per dispatch round. Claims are
+  /// grouped by candidate size (the oldest submission anchors, same
+  /// sizes are gathered from across the queue) so the SoA kernels see
+  /// full-width shape groups; keep it small enough that one slow batch
+  /// member cannot hold many results hostage.
+  std::uint32_t max_coalesce = 16;
+  /// Retry ladder and (optional) fault injection, applied per attempt
+  /// at (lane-local phase, submission index) coordinates exactly like
+  /// the synchronous backends. `workers` and `transport` are ignored —
+  /// the lane pool replaces them.
+  BackendOptions backend;
+
+  void validate() const;
+};
+
+/// Aggregate counters. The atomic half (submitted/completed/...) is
+/// readable at any time; `service` sums the per-lane batching stats and
+/// is populated by close() — read it after the stream is closed.
+struct EvaluationStreamStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Submissions that latched onto an in-flight computation of the
+  /// same candidate on another lane (cross-island coalescing).
+  std::uint64_t inflight_merges = 0;
+  std::uint64_t dispatch_rounds = 0;
+  EvaluationServiceStats service;
+};
+
+class EvaluationStream {
+ public:
+  /// `queue_count` independent completion queues (one per island). The
+  /// evaluator must outlive the stream. Lanes start immediately.
+  EvaluationStream(const HaplotypeEvaluator& evaluator,
+                   std::uint32_t queue_count, EvaluationStreamConfig config);
+  ~EvaluationStream();
+
+  EvaluationStream(const EvaluationStream&) = delete;
+  EvaluationStream& operator=(const EvaluationStream&) = delete;
+
+  /// Enqueues one candidate; its result will appear on `queue` tagged
+  /// with `ticket`. `parent` is the provenance hint (may be empty).
+  /// Returns false when the stream is closed (the submission is
+  /// dropped).
+  [[nodiscard]] bool submit(std::uint32_t queue, std::uint64_t ticket,
+                            Candidate candidate, Candidate parent = {});
+
+  /// All results currently ready on `queue` (possibly none).
+  std::vector<StreamResult> poll(std::uint32_t queue);
+
+  /// Blocks up to `timeout` for at least one result on `queue`. An
+  /// empty return after a close() means shutdown, not timeout.
+  std::vector<StreamResult> wait(std::uint32_t queue,
+                                 std::chrono::milliseconds timeout);
+
+  /// Stops accepting submissions, drains in-flight work and joins the
+  /// lanes. Idempotent; the destructor calls it.
+  void close();
+
+  /// Submitted but not yet delivered, across all queues.
+  std::uint64_t in_flight() const {
+    return submitted_.load(std::memory_order_relaxed) -
+           delivered_.load(std::memory_order_relaxed);
+  }
+
+  std::uint32_t queue_count() const {
+    return static_cast<std::uint32_t>(completions_.size());
+  }
+  std::uint32_t lane_count() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+  EvaluationStreamStats stats() const;
+
+ private:
+  struct Submission {
+    std::uint32_t queue = 0;
+    std::uint64_t ticket = 0;
+    Candidate candidate;
+    Candidate parent;
+  };
+  struct Waiter {
+    std::uint32_t queue = 0;
+    std::uint64_t ticket = 0;
+  };
+  struct CompletionQueue {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::vector<StreamResult> results;
+  };
+  struct Lane;
+
+  void lane_loop(Lane& lane);
+  void deliver(const Waiter& waiter, double fitness, bool failed);
+
+  const HaplotypeEvaluator* evaluator_;
+  EvaluationStreamConfig config_;
+  parallel::CoalescingQueue<Submission> queue_;
+  std::vector<std::unique_ptr<CompletionQueue>> completions_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+
+  /// Candidate → submitters waiting on the in-flight computation.
+  std::mutex inflight_mutex_;
+  struct InflightMap;
+  std::unique_ptr<InflightMap> inflight_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> inflight_merges_{0};
+  std::atomic<std::uint64_t> dispatch_rounds_{0};
+
+  mutable std::mutex close_mutex_;
+  bool closed_ = false;
+  /// Set by close() after the lanes drained and joined: every result
+  /// that will ever exist has been delivered, so wait() returns
+  /// without sleeping.
+  std::atomic<bool> drained_{false};
+  EvaluationServiceStats final_service_stats_;
 };
 
 }  // namespace ldga::stats

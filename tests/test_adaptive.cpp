@@ -137,6 +137,178 @@ TEST(AdaptiveRates, SampleBoundaryInput) {
   EXPECT_EQ(ctrl.sample(0.999999), 2u);
 }
 
+SharedRateController paper_shared_controller(std::uint32_t sources) {
+  return SharedRateController({"snp", "reduction", "augmentation"}, 0.9,
+                              0.01, sources);
+}
+
+TEST(SharedRates, StartsAtEqualSharesAndKeepsTheSumInvariant) {
+  auto ctrl = paper_shared_controller(3);
+  auto snap = ctrl.snapshot();
+  ASSERT_EQ(snap.rates.size(), 3u);
+  for (const double rate : snap.rates) EXPECT_NEAR(rate, 0.3, 1e-12);
+
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    RateDelta delta(3);
+    const int records = static_cast<int>(rng.below(8));
+    for (int r = 0; r < records; ++r) {
+      delta.record(static_cast<std::uint32_t>(rng.below(3)),
+                   rng.uniform(-0.5, 1.0));
+    }
+    ctrl.merge(static_cast<std::uint32_t>(rng.below(3)), delta);
+    snap = ctrl.snapshot();
+    const double sum =
+        std::accumulate(snap.rates.begin(), snap.rates.end(), 0.0);
+    EXPECT_NEAR(sum, 0.9, 1e-9) << "round " << round;
+    for (const double rate : snap.rates) EXPECT_GE(rate, 0.01 - 1e-12);
+  }
+}
+
+TEST(SharedRates, MergeOrderCannotPerturbTheRates) {
+  // The async engine's merge-safety contract: rates are a pure function
+  // of per-source cumulative totals, reduced in fixed source order —
+  // so ANY interleaving of island publications yields bit-identical
+  // rates (EXPECT_EQ on doubles, not EXPECT_NEAR). Each island's own
+  // deltas stay in program order (that is what the engine guarantees);
+  // the interleaving across islands is adversarially shuffled.
+  constexpr std::uint32_t kSources = 4;
+  constexpr std::uint32_t kDeltasPerSource = 6;
+
+  // One fixed per-source publication schedule, generated once.
+  std::vector<std::vector<RateDelta>> schedule(kSources);
+  Rng gen(424242);
+  for (auto& deltas : schedule) {
+    for (std::uint32_t d = 0; d < kDeltasPerSource; ++d) {
+      RateDelta delta(3);
+      const int records = 1 + static_cast<int>(gen.below(5));
+      for (int r = 0; r < records; ++r) {
+        delta.record(static_cast<std::uint32_t>(gen.below(3)),
+                     gen.uniform(0.0, 1.0));
+      }
+      deltas.push_back(delta);
+    }
+  }
+
+  auto run_interleaving = [&](Rng& rng) {
+    auto ctrl = paper_shared_controller(kSources);
+    std::vector<std::uint32_t> next(kSources, 0);
+    std::uint32_t remaining = kSources * kDeltasPerSource;
+    while (remaining > 0) {
+      const auto source = static_cast<std::uint32_t>(rng.below(kSources));
+      if (next[source] == kDeltasPerSource) continue;
+      ctrl.merge(source, schedule[source][next[source]++]);
+      --remaining;
+    }
+    return ctrl.snapshot().rates;
+  };
+
+  Rng rng(1);
+  const std::vector<double> reference = run_interleaving(rng);
+  ASSERT_EQ(reference.size(), 3u);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> rates = run_interleaving(rng);
+    for (std::size_t op = 0; op < 3; ++op) {
+      EXPECT_EQ(rates[op], reference[op])
+          << "trial " << trial << " op " << op
+          << ": merge interleaving perturbed the rates";
+    }
+  }
+}
+
+TEST(SharedRates, SplitAndBatchedDeltasAgree) {
+  // Publishing one big delta or the same records split across two
+  // deltas lands on the same totals up to floating-point regrouping
+  // (the bit-exactness guarantee is about cross-source interleavings —
+  // see MergeOrderCannotPerturbTheRates — not about how one source
+  // batches its own records).
+  auto big = paper_shared_controller(2);
+  auto split = paper_shared_controller(2);
+
+  RateDelta all(3);
+  RateDelta first(3), second(3);
+  Rng rng(99);
+  for (int r = 0; r < 40; ++r) {
+    const auto op = static_cast<std::uint32_t>(rng.below(3));
+    const double progress = rng.uniform(0.0, 2.0);
+    all.record(op, progress);
+    (r % 2 == 0 ? first : second).record(op, progress);
+  }
+  big.merge(0, all);
+  split.merge(0, first);
+  split.merge(0, second);
+
+  const auto a = big.snapshot().rates;
+  const auto b = split.snapshot().rates;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t op = 0; op < a.size(); ++op) {
+    EXPECT_NEAR(a[op], b[op], 1e-12);
+  }
+}
+
+TEST(SharedRates, FrozenControllerNeverMoves) {
+  auto ctrl = paper_shared_controller(2);
+  ctrl.freeze();
+  RateDelta delta(3);
+  delta.record(0, 5.0);
+  ctrl.merge(0, delta);
+  for (const double rate : ctrl.snapshot().rates) {
+    EXPECT_NEAR(rate, 0.3, 1e-12);
+  }
+}
+
+TEST(SharedRates, VersionMovesOnlyOnRealMerges) {
+  auto ctrl = paper_shared_controller(2);
+  const std::uint64_t v0 = ctrl.version();
+  RateDelta delta(3);
+  delta.record(1, 0.4);
+  ctrl.merge(0, delta);
+  EXPECT_GT(ctrl.version(), v0);
+}
+
+TEST(SharedRates, LaneRestoreRoundTripsExactly) {
+  // Island-consistent checkpoints persist the per-source lanes, not the
+  // reduced rates — restore must reproduce the rates bit-exactly.
+  auto ctrl = paper_shared_controller(3);
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    RateDelta delta(3);
+    delta.record(static_cast<std::uint32_t>(rng.below(3)),
+                 rng.uniform(0.0, 1.0));
+    ctrl.merge(static_cast<std::uint32_t>(rng.below(3)), delta);
+  }
+
+  auto restored = paper_shared_controller(3);
+  restored.restore(ctrl.lane_progress(), ctrl.lane_counts());
+  const auto a = ctrl.snapshot().rates;
+  const auto b = restored.snapshot().rates;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t op = 0; op < a.size(); ++op) EXPECT_EQ(a[op], b[op]);
+  EXPECT_EQ(restored.total_applications(), ctrl.total_applications());
+}
+
+TEST(SharedRates, RestoreRejectsShapeMismatches) {
+  auto ctrl = paper_shared_controller(2);
+  EXPECT_THROW(ctrl.restore({{0.0, 0.0, 0.0}}, {{0, 0, 0}}), ConfigError);
+}
+
+TEST(RateSnapshotSampling, FollowsTheMergedRates) {
+  auto ctrl = paper_shared_controller(1);
+  RateDelta delta(3);
+  delta.record(0, 1.0);  // op 0 takes nearly everything
+  ctrl.merge(0, delta);
+  const RateSnapshot snap = ctrl.snapshot();
+  Rng rng(7);
+  int picked0 = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (snap.sample(rng.uniform()) == 0) ++picked0;
+  }
+  EXPECT_NEAR(picked0 / static_cast<double>(n), snap.rates[0] / 0.9, 0.02);
+  EXPECT_EQ(snap.sample(0.0), 0u);
+  EXPECT_EQ(snap.sample(0.999999), 2u);
+}
+
 TEST(AdaptiveRates, LifetimeApplicationCounts) {
   auto ctrl = paper_mutation_controller();
   ctrl.record(0, 0.1);

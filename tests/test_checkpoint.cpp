@@ -260,5 +260,103 @@ TEST(Checkpoint, FingerprintSeparatesTrajectoryShapingSettings) {
   // the fingerprint — is backend-independent by construction.
 }
 
+IslandCheckpoint sample_island_checkpoint() {
+  IslandCheckpoint cp;
+  cp.fingerprint = 0xbeefULL;
+  cp.total_steps = 640;
+  cp.evaluations = 512;
+  cp.last_improvement_step = 600;
+  cp.immigrant_events = 2;
+  cp.mutation_lane_progress = {{0.5, 0.25, 0.0}, {1.0, 0.0, 0.125}};
+  cp.mutation_lane_counts = {{4, 2, 0}, {8, 0, 1}};
+  cp.crossover_lane_progress = {{0.75, 0.5}, {0.0, 0.25}};
+  cp.crossover_lane_counts = {{3, 2}, {0, 1}};
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    IslandCheckpoint::IslandState island;
+    island.steps = 300 + s;
+    island.immigrant_mark = 200 + s;
+    island.rng_state = {s + 1, s + 2, s + 3, s + 4};
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      HaplotypeIndividual member{
+          std::vector<SnpIndex>{i, static_cast<SnpIndex>(i + s + 1)}};
+      member.set_fitness(0.5 * i + s);
+      island.members.push_back(std::move(member));
+    }
+    cp.islands.push_back(std::move(island));
+  }
+  return cp;
+}
+
+TEST(IslandCheckpoint, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("island_roundtrip.ckpt");
+  const IslandCheckpoint original = sample_island_checkpoint();
+  save_island_checkpoint(path, original);
+  ASSERT_TRUE(checkpoint_exists(path));
+
+  const IslandCheckpoint loaded = load_island_checkpoint(path);
+  EXPECT_EQ(loaded.fingerprint, original.fingerprint);
+  EXPECT_EQ(loaded.total_steps, original.total_steps);
+  EXPECT_EQ(loaded.evaluations, original.evaluations);
+  EXPECT_EQ(loaded.last_improvement_step, original.last_improvement_step);
+  EXPECT_EQ(loaded.immigrant_events, original.immigrant_events);
+  EXPECT_EQ(loaded.mutation_lane_progress, original.mutation_lane_progress);
+  EXPECT_EQ(loaded.mutation_lane_counts, original.mutation_lane_counts);
+  EXPECT_EQ(loaded.crossover_lane_progress,
+            original.crossover_lane_progress);
+  EXPECT_EQ(loaded.crossover_lane_counts, original.crossover_lane_counts);
+  ASSERT_EQ(loaded.islands.size(), original.islands.size());
+  for (std::size_t s = 0; s < original.islands.size(); ++s) {
+    const auto& a = loaded.islands[s];
+    const auto& b = original.islands[s];
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.immigrant_mark, b.immigrant_mark);
+    EXPECT_EQ(a.rng_state, b.rng_state);
+    ASSERT_EQ(a.members.size(), b.members.size());
+    for (std::size_t i = 0; i < b.members.size(); ++i) {
+      EXPECT_TRUE(a.members[i].same_snps(b.members[i]));
+      EXPECT_DOUBLE_EQ(a.members[i].fitness(), b.members[i].fitness());
+    }
+  }
+}
+
+TEST(IslandCheckpoint, TheTwoFormatsCannotBeConfused) {
+  // Distinct magic words: a sync loader refuses an island snapshot and
+  // vice versa, instead of misreading fields.
+  const std::string sync_path = temp_path("confusion_sync.ckpt");
+  const std::string island_path = temp_path("confusion_island.ckpt");
+  save_checkpoint(sync_path, sample_checkpoint());
+  save_island_checkpoint(island_path, sample_island_checkpoint());
+  EXPECT_THROW(load_island_checkpoint(sync_path), CheckpointError);
+  EXPECT_THROW(load_checkpoint(island_path), CheckpointError);
+}
+
+TEST(IslandCheckpoint, CorruptionAndTruncationAreRejected) {
+  const std::string path = temp_path("island_corrupt.ckpt");
+  save_island_checkpoint(path, sample_island_checkpoint());
+  auto bytes = read_bytes(path);
+  bytes[bytes.size() / 2] ^= 0x10u;
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_island_checkpoint(path), CheckpointError);
+
+  save_island_checkpoint(path, sample_island_checkpoint());
+  bytes = read_bytes(path);
+  for (int i = 0; i < 5; ++i) bytes.pop_back();
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_island_checkpoint(path), CheckpointError);
+
+  EXPECT_THROW(load_island_checkpoint(temp_path("island_nope.ckpt")),
+               CheckpointError);
+}
+
+TEST(IslandCheckpoint, OverwriteKeepsLatestSnapshot) {
+  const std::string path = temp_path("island_overwrite.ckpt");
+  IslandCheckpoint cp = sample_island_checkpoint();
+  save_island_checkpoint(path, cp);
+  cp.total_steps = 999;
+  save_island_checkpoint(path, cp);
+  EXPECT_EQ(load_island_checkpoint(path).total_steps, 999u);
+  EXPECT_FALSE(checkpoint_exists(path + ".tmp"));
+}
+
 }  // namespace
 }  // namespace ldga::ga

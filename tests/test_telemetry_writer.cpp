@@ -132,5 +132,53 @@ TEST(TelemetryWriter, IntegratesWithEngine) {
   EXPECT_EQ(writer.rows_written(), result.generations);
 }
 
+IslandEvent sample_event(IslandEvent::Kind kind) {
+  IslandEvent event;
+  event.kind = kind;
+  event.island = 1;
+  event.haplotype_size = 3;
+  event.step = 42;
+  event.wall_seconds = 0.5;
+  event.best_fitness = 2.5;
+  event.worst_fitness = 0.25;
+  event.in_flight = 4;
+  event.rate_version = 7;
+  event.evaluations = 120;
+  return event;
+}
+
+TEST(IslandEventWriter, HeaderAndRowsRoundTrip) {
+  std::ostringstream out;
+  IslandEventCsvWriter writer(out);
+  writer.record(sample_event(IslandEvent::Kind::kImprovement));
+  writer.record(sample_event(IslandEvent::Kind::kMigrationOut));
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("wall_seconds,event,island,haplotype_size,step,"
+                      "best_fitness,worst_fitness,in_flight,rate_version,"
+                      "evaluations"),
+            std::string::npos);
+  EXPECT_NE(text.find("0.5,improvement,1,3,42,2.5,0.25,4,7,120"),
+            std::string::npos);
+  EXPECT_NE(text.find("0.5,migration_out,1,3,42,2.5,0.25,4,7,120"),
+            std::string::npos);
+  // header + 2 rows
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(IslandEventWriter, EveryKindHasAStableName) {
+  using Kind = IslandEvent::Kind;
+  for (const Kind kind :
+       {Kind::kInitialized, Kind::kImprovement, Kind::kMigrationOut,
+        Kind::kMigrationIn, Kind::kImmigrants, Kind::kCheckpoint}) {
+    EXPECT_STRNE(to_string(kind), "unknown");
+  }
+  std::ostringstream out;
+  IslandEventCsvWriter writer(out);
+  writer.record(sample_event(Kind::kCheckpoint));
+  EXPECT_NE(out.str().find(",checkpoint,"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ldga::ga
