@@ -1,19 +1,35 @@
 // Genome-scale data path, end to end: synthetic 100k-SNP packed store
-// on disk → mmap open → tiled LD prefilter over every window → windowed
-// GA on the top-ranked windows.
+// on disk → mmap open → LD prefilter over every window → windowed GA on
+// the top-ranked windows — run twice, as the serial stage chain and as
+// the overlapped pipeline, with the legs interleaved so OS cache state
+// and clock drift hit both equally.
 //
-// Two claims are checked, matching the GenotypeStore contract:
+// Three claims are checked, matching the GenotypeStore and pipeline
+// contracts:
 //   1. bounded memory — the scan works against the mmap'd store through
 //      window slices, so resident memory tracks the working window, not
 //      the panel; VmRSS is sampled at each stage and the peak (VmHWM)
 //      lands in the JSON;
-//   2. safety — the windowed GA over the mmap'd store walks a
-//      bit-for-bit identical trajectory (same champions, same fitness
+//   2. safety — the sequential windowed GA over the mmap'd store walks
+//      a bit-for-bit identical trajectory (same champions, same fitness
 //      doubles, same evaluation counts) to the same scan over a fully
 //      in-memory packed matrix of the same panel. Any divergence aborts
 //      the benchmark: a fast wrong data path is worthless.
+//   3. selection equivalence — the pipelined leg's streaming top-K
+//      admission selects exactly the windows the full ranking selects.
+//      Champion bits are NOT gated between the legs: overlapping
+//      windows migrate elites, and the pipelined scheduler legitimately
+//      sees a different (recorded) completion order.
+// The speedup ratio is recorded, not enforced, here: on a single
+// hardware thread the pipeline has nothing to overlap with, so the
+// >= 1x expectation is CI's call, conditional on "cores" >= 2 in the
+// machine context — the same refusal pattern as cross-ISA ratios.
+//
+// Flags: --engine sync|async, --concurrent-windows N,
+// --prefilter-workers M (0 = hardware), --reps R.
 // Results land in BENCH_genome_scan.json with the shared machine
 // context so CI can judge comparability.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,14 +37,17 @@
 #include <string>
 #include <vector>
 
+#include "analysis/genome_pipeline.hpp"
 #include "analysis/ld_prefilter.hpp"
 #include "bench_context.hpp"
 #include "ga/window_scan.hpp"
-#include "parallel/thread_pool.hpp"
 #include "genomics/packed_genotype.hpp"
 #include "genomics/packed_store.hpp"
 #include "genomics/synthetic.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/evaluator.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -99,11 +118,48 @@ void gate_identical(const ga::WindowScanResult& mapped,
               static_cast<unsigned long long>(mapped.evaluations));
 }
 
+/// Both legs must pick the same windows — streaming admission is
+/// provably the full ranking, so any difference is a bug, not noise.
+void gate_same_selection(const std::vector<ga::WindowSpec>& sequential,
+                         const std::vector<ga::WindowSpec>& pipelined) {
+  auto begins = [](std::vector<ga::WindowSpec> windows) {
+    std::sort(windows.begin(), windows.end(),
+              [](const ga::WindowSpec& a, const ga::WindowSpec& b) {
+                return a.begin < b.begin;
+              });
+    std::vector<std::uint32_t> out;
+    out.reserve(windows.size());
+    for (const auto& w : windows) out.push_back(w.begin);
+    return out;
+  };
+  if (begins(sequential) != begins(pipelined)) {
+    std::fprintf(stderr,
+                 "FATAL: pipelined streaming admission selected different "
+                 "windows than the full ranking\n");
+    std::exit(1);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  const CliArgs args(argc, argv);
+  const std::string engine_name = args.get("engine", "sync");
+  if (engine_name != "sync" && engine_name != "async") {
+    throw ConfigError("--engine must be sync or async");
+  }
+  const auto concurrent_windows =
+      static_cast<std::uint32_t>(args.get_int("concurrent-windows", 2));
+  const auto prefilter_workers =
+      static_cast<std::uint32_t>(args.get_int("prefilter-workers", 0));
+  const auto reps = static_cast<std::uint32_t>(args.get_int("reps", 2));
+  const std::uint32_t resolved_prefilter_workers =
+      prefilter_workers > 0
+          ? prefilter_workers
+          : static_cast<std::uint32_t>(parallel::default_thread_count());
+
   std::printf("=== Genome-scale scan: packed store -> LD prefilter -> "
-              "windowed GA ===\n\n");
+              "windowed GA, sequential vs pipelined ===\n\n");
   const std::string store_path =
       (std::filesystem::temp_directory_path() / "ldga_bench_genome.pgs")
           .string();
@@ -140,33 +196,79 @@ int main() {
   const double open_ms = open_watch.elapsed_ms();
   std::printf("open: verified and mapped in %.1f ms\n", open_ms);
 
-  // --- Stage 3: tiled LD prefilter over every window of the panel,
-  // tiles fanned across the hardware threads (scores are bit-for-bit
-  // identical at any worker count — fixed-order partial reduction).
+  // --- Stage 3: the two legs, interleaved. The sequential leg is the
+  // PR 7 stage chain (score everything, rank, then scan serially); the
+  // pipelined leg streams window scores into the top-K admission and
+  // keeps up to --concurrent-windows GAs in flight while the sweep is
+  // still running.
   const std::vector<ga::WindowSpec> all_windows =
       ga::plan_windows(store.snp_count(), kWindowSnps, kStrideSnps);
-  analysis::LdPrefilterConfig prefilter_config;
-  prefilter_config.workers = 0;  // hardware concurrency
-  const std::uint32_t prefilter_workers =
-      static_cast<std::uint32_t>(parallel::default_thread_count());
-  Stopwatch prefilter_watch;
-  const std::vector<analysis::WindowScore> scores =
-      analysis::score_windows(store, all_windows, prefilter_config);
-  const double prefilter_ms = prefilter_watch.elapsed_ms();
-  std::uint64_t pairs = 0;
-  for (const auto& score : scores) pairs += score.pairs;
-  const double rss_after_prefilter = proc_status_mb("VmRSS");
-  std::printf("prefilter: %zu windows, %llu pairs in %.0f ms "
-              "(%.1f Mpairs/s on %u workers; RSS %.0f MiB)\n",
-              scores.size(), static_cast<unsigned long long>(pairs),
-              prefilter_ms,
-              static_cast<double>(pairs) / (prefilter_ms * 1000.0),
-              prefilter_workers, rss_after_prefilter);
 
-  const std::vector<ga::WindowSpec> top =
-      analysis::top_windows(scores, kGaWindows);
+  analysis::GenomePipelineConfig sequential_config;
+  sequential_config.prefilter.workers = prefilter_workers;
+  sequential_config.keep_windows = kGaWindows;
+  sequential_config.scan = scan_config();
+  sequential_config.mode = analysis::PipelineMode::kSequential;
+
+  analysis::GenomePipelineConfig pipelined_config = sequential_config;
+  pipelined_config.mode = analysis::PipelineMode::kPipelined;
+  pipelined_config.scan.engine = engine_name == "async"
+                                     ? ga::ScanEngine::kAsync
+                                     : ga::ScanEngine::kSync;
+  pipelined_config.scan.concurrent_windows = concurrent_windows;
+
+  analysis::GenomePipelineResult sequential;
+  analysis::GenomePipelineResult pipelined;
+  double sequential_ms = 0.0;
+  double pipelined_ms = 0.0;
+  double sequential_prefilter_ms = 0.0;
+  double pipelined_prefilter_ms = 0.0;
+  double sequential_scan_ms = 0.0;
+  double pipelined_scan_tail_ms = 0.0;
+  for (std::uint32_t rep = 0; rep < std::max(reps, 1u); ++rep) {
+    analysis::GenomePipelineResult seq_rep = analysis::run_genome_pipeline(
+        store, store.panel(), store.statuses(), all_windows,
+        sequential_config);
+    analysis::GenomePipelineResult pipe_rep = analysis::run_genome_pipeline(
+        store, store.panel(), store.statuses(), all_windows,
+        pipelined_config);
+    std::printf("rep %u: sequential %.0f ms (prefilter %.0f + scan %.0f), "
+                "pipelined %.0f ms (sweep %.0f, tail %.0f)\n",
+                rep, seq_rep.total_seconds * 1000.0,
+                seq_rep.prefilter_seconds * 1000.0,
+                seq_rep.scan_tail_seconds * 1000.0,
+                pipe_rep.total_seconds * 1000.0,
+                pipe_rep.prefilter_seconds * 1000.0,
+                pipe_rep.scan_tail_seconds * 1000.0);
+    if (rep == 0 || seq_rep.total_seconds * 1000.0 < sequential_ms) {
+      sequential_ms = seq_rep.total_seconds * 1000.0;
+      sequential_prefilter_ms = seq_rep.prefilter_seconds * 1000.0;
+      sequential_scan_ms = seq_rep.scan_tail_seconds * 1000.0;
+    }
+    if (rep == 0 || pipe_rep.total_seconds * 1000.0 < pipelined_ms) {
+      pipelined_ms = pipe_rep.total_seconds * 1000.0;
+      pipelined_prefilter_ms = pipe_rep.prefilter_seconds * 1000.0;
+      pipelined_scan_tail_ms = pipe_rep.scan_tail_seconds * 1000.0;
+    }
+    if (rep == 0) {
+      sequential = std::move(seq_rep);
+      pipelined = std::move(pipe_rep);
+    }
+  }
+  const double speedup = pipelined_ms > 0.0 ? sequential_ms / pipelined_ms : 0.0;
+  const double rss_after_legs = proc_status_mb("VmRSS");
+
+  std::uint64_t pairs = 0;
+  for (const auto& score : sequential.scores) pairs += score.pairs;
+  std::printf("prefilter: %zu windows, %llu pairs in %.0f ms "
+              "(%.1f Mpairs/s on %u workers)\n",
+              sequential.scores.size(),
+              static_cast<unsigned long long>(pairs), sequential_prefilter_ms,
+              static_cast<double>(pairs) / (sequential_prefilter_ms * 1000.0),
+              resolved_prefilter_workers);
+
   bool signal_in_top = false;
-  for (const auto& window : top) {
+  for (const auto& window : sequential.selected) {
     bool all_inside = !written.truth.snps.empty();
     for (const auto snp : written.truth.snps) {
       all_inside = all_inside && snp >= window.begin &&
@@ -179,25 +281,26 @@ int main() {
   std::printf("  planted signal window %s the selection\n",
               signal_in_top ? "survived" : "did not survive");
 
-  // --- Stage 4: windowed GA over the top windows, from the mmap'd
-  // store.
-  const ga::WindowScanConfig config = scan_config();
-  Stopwatch scan_watch;
-  const ga::WindowScanResult mapped = ga::run_window_scan(
-      store, store.panel(), store.statuses(), top, config);
-  const double scan_ms = scan_watch.elapsed_ms();
-  const double rss_after_scan = proc_status_mb("VmRSS");
-  std::printf("scan: %u windows, %llu evaluations in %.0f ms; best "
-              "fitness %.3f (RSS %.0f MiB)\n",
-              kGaWindows, static_cast<unsigned long long>(mapped.evaluations),
-              scan_ms, mapped.best_fitness, rss_after_scan);
-
-  // --- Gate: the same scan over a fully in-memory packed matrix.
+  // --- Gates. Selection must match between legs; the sequential scan
+  // must match the in-memory data path bit-for-bit.
+  gate_same_selection(sequential.selected, pipelined.selected);
   const genomics::PackedGenotypeMatrix in_memory =
       store.slice_loci(0, store.snp_count());
   const ga::WindowScanResult memory = ga::run_window_scan(
-      in_memory, store.panel(), store.statuses(), top, config);
-  gate_identical(mapped, memory);
+      in_memory, store.panel(), store.statuses(), sequential.selected,
+      sequential_config.scan);
+  gate_identical(sequential.scan, memory);
+
+  const std::uint32_t hardware_threads =
+      static_cast<std::uint32_t>(parallel::default_thread_count());
+  std::printf("pipeline: sequential %.0f ms vs pipelined %.0f ms -> "
+              "%.2fx (%s, %u concurrent windows)\n",
+              sequential_ms, pipelined_ms, speedup, engine_name.c_str(),
+              concurrent_windows);
+  if (hardware_threads < 2) {
+    std::printf("SKIP: single hardware thread — no overlap to measure, "
+                "speedup ratio is informational only\n");
+  }
 
   const double peak_mb = proc_status_mb("VmHWM");
   std::printf("memory: peak RSS %.0f MiB over a %.1f MiB store\n", peak_mb,
@@ -210,6 +313,16 @@ int main() {
   }
   std::fprintf(json, "{\n");
   ldga::bench::write_machine_context(json);
+  std::fprintf(
+      json,
+      "  \"pipeline\": {\n"
+      "    \"engine\": \"%s\",\n"
+      "    \"concurrent_windows\": %u,\n"
+      "    \"prefilter_workers\": %u,\n"
+      "    \"reps\": %u\n"
+      "  },\n",
+      engine_name.c_str(), concurrent_windows, resolved_prefilter_workers,
+      std::max(reps, 1u));
   std::fprintf(
       json,
       "  \"workload\": \"%u-SNP synthetic panel, %u individuals; "
@@ -229,25 +342,38 @@ int main() {
       "  \"ga_scan_ms\": %.1f,\n"
       "  \"ga_evaluations\": %llu,\n"
       "  \"best_fitness\": %.6f,\n"
+      "  \"sequential_total_ms\": %.1f,\n"
+      "  \"pipelined_total_ms\": %.1f,\n"
+      "  \"pipelined_prefilter_ms\": %.1f,\n"
+      "  \"pipelined_scan_tail_ms\": %.1f,\n"
+      "  \"pipelined_evaluations\": %llu,\n"
+      "  \"pipelined_best_fitness\": %.6f,\n"
+      "  \"pipelined_speedup\": %.3f,\n"
+      "  \"selection_identical\": true,\n"
       "  \"mmap_scan_bit_identical\": true,\n"
       "  \"rss_after_build_mb\": %.1f,\n"
-      "  \"rss_after_prefilter_mb\": %.1f,\n"
-      "  \"rss_after_scan_mb\": %.1f,\n"
+      "  \"rss_after_legs_mb\": %.1f,\n"
       "  \"peak_rss_mb\": %.1f\n"
       "}\n",
       kPanelSnps, static_cast<std::uint32_t>(written.statuses.size()),
       kWindowSnps, kStrideSnps, kGaWindows, kPanelSnps,
       static_cast<std::uint32_t>(written.statuses.size()), store_mb,
-      build_ms, open_ms, scores.size(), prefilter_workers,
-      static_cast<unsigned long long>(pairs), prefilter_ms,
-      static_cast<double>(pairs) / (prefilter_ms * 1000.0),
-      signal_in_top ? "true" : "false", kGaWindows, scan_ms,
-      static_cast<unsigned long long>(mapped.evaluations),
-      mapped.best_fitness, rss_after_build, rss_after_prefilter,
-      rss_after_scan, peak_mb);
+      build_ms, open_ms, sequential.scores.size(), resolved_prefilter_workers,
+      static_cast<unsigned long long>(pairs), sequential_prefilter_ms,
+      static_cast<double>(pairs) / (sequential_prefilter_ms * 1000.0),
+      signal_in_top ? "true" : "false", kGaWindows, sequential_scan_ms,
+      static_cast<unsigned long long>(sequential.scan.evaluations),
+      sequential.scan.best_fitness, sequential_ms, pipelined_ms,
+      pipelined_prefilter_ms, pipelined_scan_tail_ms,
+      static_cast<unsigned long long>(pipelined.scan.evaluations),
+      pipelined.scan.best_fitness, speedup, rss_after_build, rss_after_legs,
+      peak_mb);
   std::fclose(json);
   std::printf("\nwrote BENCH_genome_scan.json\n");
 
   std::filesystem::remove(store_path);
   return 0;
+} catch (const ldga::Error& error) {
+  std::fprintf(stderr, "FATAL: %s\n", error.what());
+  return 1;
 }

@@ -4,104 +4,150 @@
 // back, swept by the tiled composite-LD prefilter, and the top-ranked
 // windows are searched by the windowed GA driver — the multipopulation
 // engine runs inside each window against a column slice of the store,
-// migrating elite haplotypes into the next overlapping window.
+// migrating elite haplotypes into overlapping windows' warm starts.
+//
+// Flags (defaults in brackets):
+//   --engine sync|async       per-window engine [sync]: async runs each
+//                             window's size classes as steady-state
+//                             islands over a shared evaluation stream
+//   --concurrent-windows N    window GAs in flight at once [1]; with
+//                             sync + 1 the scan is the sequential
+//                             bit-exact reference, anything else runs
+//                             the pipelined scheduler and overlaps the
+//                             prefilter with the GA stage
+//   --prefilter-workers N     LD-sweep worker threads [1; 0 = hardware]
+//   --keep N                  windows that get a GA run [4]
+//   --snps N                  synthetic panel width [20000]
+//   --seed S                  scan seed [3]
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
 
-#include "analysis/ld_prefilter.hpp"
-#include "ga/window_scan.hpp"
+#include "analysis/genome_pipeline.hpp"
 #include "genomics/packed_store.hpp"
 #include "genomics/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ldga;
-
-  const std::string store_path =
-      (std::filesystem::temp_directory_path() / "ldga_genome_scan.pgs")
-          .string();
-
-  // --- 1. Stream a synthetic panel to disk. The first 64 markers are
-  // the signal chunk carrying a planted 3-SNP risk haplotype; the rest
-  // are independent null LD blocks, written chunk by chunk so memory
-  // stays O(chunk) however wide the panel.
-  genomics::SyntheticStoreConfig data;
-  data.cohort.snp_count = 64;
-  data.cohort.affected_count = 100;
-  data.cohort.unaffected_count = 100;
-  data.cohort.unknown_count = 0;
-  data.cohort.active_snp_count = 3;
-  data.total_snps = 20'000;
-  data.chunk_snps = 2048;
-  Rng rng(11);
-
-  Stopwatch build_watch;
-  const auto written = genomics::write_synthetic_store(store_path, data, rng);
-  std::printf("store: %u SNPs x %zu individuals -> %s (%.0f ms)\n",
-              written.snps_written, written.statuses.size(),
-              store_path.c_str(), build_watch.elapsed_ms());
-  std::printf("planted SNPs (1-based):");
-  for (const auto snp : written.truth.snps) std::printf(" %u", snp + 1);
-  std::printf("\n\n");
-
-  // --- 2. Map it back. The header seal and payload CRC are verified;
-  // plane words are paged in on demand from here on.
-  const auto store = genomics::PackedGenotypeStore::open(store_path);
-
-  // --- 3. Tiled LD prefilter: score every window by mean pairwise
-  // composite r² and keep the most block-structured ones.
-  const std::vector<ga::WindowSpec> tiling =
-      ga::plan_windows(store.snp_count(), 64, 48);
-  Stopwatch prefilter_watch;
-  const auto scores = analysis::score_windows(store, tiling);
-  const auto top = analysis::top_windows(scores, 4);
-  std::printf("prefilter: %zu windows scored in %.0f ms; GA budget goes "
-              "to:\n",
-              scores.size(), prefilter_watch.elapsed_ms());
-  for (const auto& window : top) {
-    std::printf("  [%6u, %6u)\n", window.begin, window.begin + window.count);
-  }
-  std::printf("\n");
-
-  // --- 4. Windowed GA over the survivors. Each window's engine sees a
-  // self-contained slice; elites migrate into the next overlapping
-  // window's warm starts.
-  ga::WindowScanConfig config;
-  config.ga.min_size = 2;
-  config.ga.max_size = 4;
-  config.ga.population_size = 60;
-  config.ga.min_subpopulation = 10;
-  config.ga.stagnation_generations = 30;
-  config.ga.max_generations = 120;
-  config.ga.seed = 3;
-
-  Stopwatch scan_watch;
-  const ga::WindowScanResult result = ga::run_window_scan(
-      store, store.panel(), store.statuses(), top, config);
-  std::printf("scan: %llu evaluations in %.1f s\n",
-              static_cast<unsigned long long>(result.evaluations),
-              scan_watch.elapsed_seconds());
-  std::printf("%-18s %-26s %s\n", "window", "best haplotype (1-based)",
-              "fitness");
-  for (const auto& window : result.windows) {
-    std::string snps;
-    for (const auto snp : window.best_snps) {
-      if (!snps.empty()) snps += ' ';
-      snps += std::to_string(snp + 1);
+  try {
+    const CliArgs args(argc, argv);
+    const std::string engine_name = args.get("engine", "sync");
+    if (engine_name != "sync" && engine_name != "async") {
+      throw ConfigError("--engine must be sync|async, got '" + engine_name +
+                        "'");
     }
-    std::printf("[%6u, %6u)   %-26s %.3f%s\n", window.window.begin,
-                window.window.begin + window.window.count, snps.c_str(),
-                window.best_fitness,
-                window.migrants_in > 0 ? "  (warm-started)" : "");
+
+    const std::string store_path =
+        (std::filesystem::temp_directory_path() / "ldga_genome_scan.pgs")
+            .string();
+
+    // --- 1. Stream a synthetic panel to disk. The first 64 markers are
+    // the signal chunk carrying a planted 3-SNP risk haplotype; the rest
+    // are independent null LD blocks, written chunk by chunk so memory
+    // stays O(chunk) however wide the panel.
+    genomics::SyntheticStoreConfig data;
+    data.cohort.snp_count = 64;
+    data.cohort.affected_count = 100;
+    data.cohort.unaffected_count = 100;
+    data.cohort.unknown_count = 0;
+    data.cohort.active_snp_count = 3;
+    data.total_snps = static_cast<std::uint32_t>(args.get_int("snps", 20'000));
+    data.chunk_snps = 2048;
+    Rng rng(11);
+
+    Stopwatch build_watch;
+    const auto written =
+        genomics::write_synthetic_store(store_path, data, rng);
+    std::printf("store: %u SNPs x %zu individuals -> %s (%.0f ms)\n",
+                written.snps_written, written.statuses.size(),
+                store_path.c_str(), build_watch.elapsed_ms());
+    std::printf("planted SNPs (1-based):");
+    for (const auto snp : written.truth.snps) std::printf(" %u", snp + 1);
+    std::printf("\n\n");
+
+    // --- 2. Map it back. The header seal and payload CRC are verified;
+    // plane words are paged in on demand from here on.
+    const auto store = genomics::PackedGenotypeStore::open(store_path);
+
+    // --- 3+4. Prefilter + windowed GA through the pipeline driver.
+    // Sequential when nothing is concurrent (the reference chain);
+    // otherwise the LD sweep feeds streaming admissions to GA workers
+    // already in flight.
+    analysis::GenomePipelineConfig pipeline;
+    pipeline.prefilter.workers =
+        static_cast<std::uint32_t>(args.get_int("prefilter-workers", 1));
+    pipeline.keep_windows =
+        static_cast<std::uint32_t>(args.get_int("keep", 4));
+    pipeline.scan.engine = engine_name == "async" ? ga::ScanEngine::kAsync
+                                                  : ga::ScanEngine::kSync;
+    pipeline.scan.concurrent_windows =
+        static_cast<std::uint32_t>(args.get_int("concurrent-windows", 1));
+    pipeline.mode = pipeline.scan.engine == ga::ScanEngine::kSync &&
+                            pipeline.scan.concurrent_windows == 1
+                        ? analysis::PipelineMode::kSequential
+                        : analysis::PipelineMode::kPipelined;
+    pipeline.scan.ga.min_size = 2;
+    pipeline.scan.ga.max_size = 4;
+    pipeline.scan.ga.population_size = 60;
+    pipeline.scan.ga.min_subpopulation = 10;
+    pipeline.scan.ga.stagnation_generations = 30;
+    pipeline.scan.ga.max_generations = 120;
+    pipeline.scan.ga.seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+    for (const auto& unknown : args.unused()) {
+      std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
+                   unknown.c_str());
+    }
+
+    const std::vector<ga::WindowSpec> tiling =
+        ga::plan_windows(store.snp_count(), 64, 48);
+    const analysis::GenomePipelineResult result = analysis::run_genome_pipeline(
+        store, store.panel(), store.statuses(), tiling, pipeline);
+
+    std::printf("prefilter: %zu windows scored in %.0f ms%s; GA budget "
+                "went to:\n",
+                result.scores.size(), result.prefilter_seconds * 1e3,
+                pipeline.mode == analysis::PipelineMode::kPipelined
+                    ? " (GA windows in flight meanwhile)"
+                    : "");
+    for (const auto& window : result.selected) {
+      std::printf("  [%6u, %6u)\n", window.begin,
+                  window.begin + window.count);
+    }
+    std::printf("\n");
+
+    std::printf("scan: %llu evaluations, %.1f s total (%.1f s after the "
+                "sweep)\n",
+                static_cast<unsigned long long>(result.scan.evaluations),
+                result.total_seconds, result.scan_tail_seconds);
+    std::printf("%-18s %-26s %s\n", "window", "best haplotype (1-based)",
+                "fitness");
+    for (const auto& window : result.scan.windows) {
+      std::string snps;
+      for (const auto snp : window.best_snps) {
+        if (!snps.empty()) snps += ' ';
+        snps += std::to_string(snp + 1);
+      }
+      std::printf("[%6u, %6u)   %-26s %.3f%s\n", window.window.begin,
+                  window.window.begin + window.window.count, snps.c_str(),
+                  window.best_fitness,
+                  window.migrants_in > 0 ? "  (warm-started)" : "");
+    }
+
+    std::printf("\nscan champion (1-based):");
+    for (const auto snp : result.scan.best_snps) std::printf(" %u", snp + 1);
+    std::printf("  fitness %.3f\n", result.scan.best_fitness);
+
+    std::filesystem::remove(store_path);
+    return 0;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
   }
-
-  std::printf("\nscan champion (1-based):");
-  for (const auto snp : result.best_snps) std::printf(" %u", snp + 1);
-  std::printf("  fitness %.3f\n", result.best_fitness);
-
-  std::filesystem::remove(store_path);
-  return 0;
 }

@@ -23,7 +23,11 @@
 //   --population N      total population size [150]
 //   --stagnation G      termination stagnation [100]
 //   --immigrants G      random-immigrant stagnation [20]
-//   --backend serial|pool|farm   evaluation backend [pool]
+//   --engine sync|async selection model [sync]: sync is the paper's
+//                       generational engine, async runs each size class
+//                       as a steady-state island over evaluation lanes
+//                       (--workers then sets the lane count)
+//   --backend serial|pool|farm   evaluation backend [pool; sync only]
 //   --transport in-process|socket-unix|socket-tcp   farm message layer
 //                       [in-process]; socket-* forks worker processes
 //                       supervised with heartbeats + respawn
@@ -33,8 +37,10 @@
 //   --trace             print per-generation telemetry CSV to stderr
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "ga/engine.hpp"
+#include "ga/island_engine.hpp"
 #include "genomics/dataset_io.hpp"
 #include "genomics/linkage_format.hpp"
 #include "genomics/qc.hpp"
@@ -161,11 +167,22 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(args.get_int("stagnation", 100));
     config.random_immigrant_stagnation =
         static_cast<std::uint32_t>(args.get_int("immigrants", 20));
+    const std::string engine_name = args.get("engine", "sync");
+    if (engine_name != "sync" && engine_name != "async") {
+      throw ConfigError("--engine must be sync|async, got '" + engine_name +
+                        "'");
+    }
+    const auto workers =
+        static_cast<std::uint32_t>(args.get_int("workers", 0));
     // One backend for all runs: pool threads / farm slaves spawn once
-    // and the evaluator's cache is shared across the whole series.
-    const auto backend = make_backend(
-        args.get("backend", "pool"), args.get("transport", "in-process"),
-        evaluator, static_cast<std::uint32_t>(args.get_int("workers", 0)));
+    // and the evaluator's cache is shared across the whole series. The
+    // async engine owns its evaluation lanes instead.
+    std::shared_ptr<stats::EvaluationBackend> backend;
+    if (engine_name == "sync") {
+      backend = make_backend(args.get("backend", "pool"),
+                             args.get("transport", "in-process"), evaluator,
+                             workers);
+    }
     const bool trace = args.get_bool("trace");
     const auto runs = static_cast<std::uint32_t>(args.get_int("runs", 1));
     const auto base_seed =
@@ -181,28 +198,56 @@ int main(int argc, char** argv) {
     // --- runs ------------------------------------------------------------
     for (std::uint32_t run = 0; run < runs; ++run) {
       config.seed = base_seed + run;
-      ga::GaEngine engine(evaluator, config, backend);
-      if (trace) {
-        engine.set_generation_callback([](const ga::GenerationInfo& info) {
-          std::fprintf(stderr, "%u", info.generation);
-          for (const double b : info.best_by_size) {
-            std::fprintf(stderr, ",%.3f", b);
-          }
-          std::fprintf(stderr, ",%llu\n",
-                       static_cast<unsigned long long>(info.evaluations));
-        });
+      std::vector<ga::HaplotypeIndividual> best_by_size;
+      if (engine_name == "async") {
+        ga::IslandConfig island_config;
+        island_config.ga = config;
+        if (workers > 0) island_config.lanes = workers;
+        ga::IslandEngine engine(evaluator, island_config);
+        if (trace) {
+          engine.set_event_callback([](const ga::IslandEvent& event) {
+            std::fprintf(stderr, "%s,%u,%llu,%.3f,%llu\n",
+                         ga::to_string(event.kind), event.island,
+                         static_cast<unsigned long long>(event.step),
+                         event.best_fitness,
+                         static_cast<unsigned long long>(event.evaluations));
+          });
+        }
+        const ga::IslandRunResult result = engine.run();
+        std::printf("\nrun %u: %llu island steps, %llu evaluations, "
+                    "%u immigrant waves%s\n",
+                    run + 1,
+                    static_cast<unsigned long long>(result.total_steps),
+                    static_cast<unsigned long long>(result.evaluations),
+                    result.immigrant_events,
+                    result.terminated_by_stagnation ? " (stagnation stop)"
+                                                    : "");
+        best_by_size = result.best_by_size;
+      } else {
+        ga::GaEngine engine(evaluator, config, backend);
+        if (trace) {
+          engine.set_generation_callback([](const ga::GenerationInfo& info) {
+            std::fprintf(stderr, "%u", info.generation);
+            for (const double b : info.best_by_size) {
+              std::fprintf(stderr, ",%.3f", b);
+            }
+            std::fprintf(stderr, ",%llu\n",
+                         static_cast<unsigned long long>(info.evaluations));
+          });
+        }
+        const ga::GaResult result = engine.run();
+        std::printf("\nrun %u: %u generations, %llu evaluations, "
+                    "%u immigrant waves%s\n",
+                    run + 1, result.generations,
+                    static_cast<unsigned long long>(result.evaluations),
+                    result.immigrant_events,
+                    result.terminated_by_stagnation ? " (stagnation stop)"
+                                                    : "");
+        best_by_size = result.best_by_size;
       }
-      const ga::GaResult result = engine.run();
-      std::printf("\nrun %u: %u generations, %llu evaluations, "
-                  "%u immigrant waves%s\n",
-                  run + 1, result.generations,
-                  static_cast<unsigned long long>(result.evaluations),
-                  result.immigrant_events,
-                  result.terminated_by_stagnation ? " (stagnation stop)"
-                                                  : "");
       std::printf("%-6s %-30s %s\n", "size", "best haplotype (1-based)",
                   "fitness");
-      for (const auto& best : result.best_by_size) {
+      for (const auto& best : best_by_size) {
         std::printf("%-6u %-30s %.3f", best.size(), best.to_string().c_str(),
                     best.fitness());
         if (permutations > 0) {

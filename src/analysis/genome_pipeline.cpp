@@ -1,0 +1,104 @@
+#include "analysis/genome_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+
+void GenomePipelineConfig::validate() const {
+  prefilter.validate();
+  scan.validate();
+  if (keep_windows == 0) {
+    throw ConfigError("GenomePipelineConfig: keep_windows must be >= 1");
+  }
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+GenomePipelineResult run_sequential(const genomics::GenotypeStore& store,
+                                    const genomics::SnpPanel& panel,
+                                    std::span<const genomics::Status> statuses,
+                                    std::span<const ga::WindowSpec> windows,
+                                    const GenomePipelineConfig& config) {
+  GenomePipelineResult result;
+  const Clock::time_point start = Clock::now();
+  result.scores = score_windows(store, windows, config.prefilter);
+  result.selected = top_windows(result.scores, config.keep_windows);
+  const Clock::time_point scored = Clock::now();
+  result.scan = ga::run_window_scan(store, panel, statuses, result.selected,
+                                    config.scan);
+  const Clock::time_point done = Clock::now();
+  result.prefilter_seconds = seconds_between(start, scored);
+  result.scan_tail_seconds = seconds_between(scored, done);
+  result.total_seconds = seconds_between(start, done);
+  return result;
+}
+
+GenomePipelineResult run_pipelined(const genomics::GenotypeStore& store,
+                                   const genomics::SnpPanel& panel,
+                                   std::span<const genomics::Status> statuses,
+                                   std::span<const ga::WindowSpec> windows,
+                                   const GenomePipelineConfig& config) {
+  GenomePipelineResult result;
+  result.scores.reserve(windows.size());
+
+  const Clock::time_point start = Clock::now();
+  ga::WindowScanScheduler scheduler(store, panel, statuses, config.scan,
+                                    config.keep_windows);
+  StreamingTopK admission(static_cast<std::uint32_t>(windows.size()),
+                          config.keep_windows);
+  // The sweep runs on this thread; every admission the running score
+  // proves final goes straight to the scheduler, whose workers are
+  // evolving earlier admissions while later windows are still being
+  // scored — prefilter and GA overlap here.
+  score_windows_streaming(
+      store, windows, config.prefilter, [&](const WindowScore& score) {
+        result.scores.push_back(score);
+        for (const WindowScore& admitted : admission.offer(score)) {
+          // Hint the store before the GA stage faults on the pages.
+          store.prefetch_loci(admitted.window.begin, admitted.window.count);
+          result.selected.push_back(admitted.window);
+          scheduler.enqueue(admitted.window);
+        }
+      });
+  const Clock::time_point scored = Clock::now();
+  result.scan = scheduler.finish();
+  const Clock::time_point done = Clock::now();
+
+  // Admission order fed the scheduler; report the selection itself in
+  // genomic order, matching the sequential leg's top_windows output.
+  std::sort(result.selected.begin(), result.selected.end(),
+            [](const ga::WindowSpec& a, const ga::WindowSpec& b) {
+              return a.begin < b.begin;
+            });
+  result.prefilter_seconds = seconds_between(start, scored);
+  result.scan_tail_seconds = seconds_between(scored, done);
+  result.total_seconds = seconds_between(start, done);
+  return result;
+}
+
+}  // namespace
+
+GenomePipelineResult run_genome_pipeline(
+    const genomics::GenotypeStore& store, const genomics::SnpPanel& panel,
+    std::span<const genomics::Status> statuses,
+    std::span<const ga::WindowSpec> windows,
+    const GenomePipelineConfig& config) {
+  config.validate();
+  LDGA_EXPECTS(panel.size() == store.snp_count());
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+  if (config.mode == PipelineMode::kSequential) {
+    return run_sequential(store, panel, statuses, windows, config);
+  }
+  return run_pipelined(store, panel, statuses, windows, config);
+}
+
+}  // namespace ldga::analysis

@@ -201,6 +201,19 @@ TilePartial sweep_tile(const util::SimdKernels& kernels,
 std::vector<WindowScore> score_windows(const genomics::GenotypeStore& store,
                                        std::span<const ga::WindowSpec> windows,
                                        const LdPrefilterConfig& config) {
+  std::vector<WindowScore> scores;
+  scores.reserve(windows.size());
+  score_windows_streaming(store, windows, config,
+                          [&](const WindowScore& score) {
+                            scores.push_back(score);
+                          });
+  return scores;
+}
+
+void score_windows_streaming(
+    const genomics::GenotypeStore& store,
+    std::span<const ga::WindowSpec> windows, const LdPrefilterConfig& config,
+    const std::function<void(const WindowScore&)>& sink) {
   config.validate();
   const std::uint32_t words = store.words_per_snp();
   const std::vector<std::uint64_t> everyone =
@@ -219,8 +232,6 @@ std::vector<WindowScore> score_windows(const genomics::GenotypeStore& store,
   std::vector<std::vector<std::uint64_t>> tmps(joints.size(),
                                                std::vector<std::uint64_t>(words));
 
-  std::vector<WindowScore> scores;
-  scores.reserve(windows.size());
   std::vector<TileSpec> tiles;
   std::vector<TilePartial> partials;
   for (const ga::WindowSpec& window : windows) {
@@ -266,9 +277,8 @@ std::vector<WindowScore> score_windows(const genomics::GenotypeStore& store,
       score.mean_abs_d_prime = sum_dprime / static_cast<double>(score.pairs);
     }
     score.score = score.mean_r2;
-    scores.push_back(score);
+    sink(score);
   }
-  return scores;
 }
 
 std::vector<ga::WindowSpec> top_windows(std::span<const WindowScore> scores,
@@ -288,6 +298,63 @@ std::vector<ga::WindowSpec> top_windows(std::span<const WindowScore> scores,
   kept.reserve(order.size());
   for (const std::uint32_t i : order) kept.push_back(scores[i].window);
   return kept;
+}
+
+StreamingTopK::StreamingTopK(std::uint32_t total, std::uint32_t keep,
+                             double max_score)
+    : total_(total), keep_(keep), max_score_(max_score) {
+  if (!(max_score >= 0.0)) {
+    throw ConfigError("StreamingTopK: max_score must be a bound, >= 0");
+  }
+  scored_.reserve(total);
+}
+
+std::uint32_t StreamingTopK::rivals_above(const WindowScore& score) const {
+  std::uint32_t above = 0;
+  for (const auto& [rival_score, rival_begin] : scored_) {
+    if (rival_score > score.score ||
+        (rival_score == score.score && rival_begin < score.window.begin)) {
+      ++above;
+    }
+  }
+  return above;
+}
+
+std::vector<WindowScore> StreamingTopK::offer(const WindowScore& score) {
+  LDGA_EXPECTS(offered_ < total_);
+  LDGA_EXPECTS(score.score <= max_score_);
+  ++offered_;
+  scored_.emplace_back(score.score, score.window.begin);
+  pending_.push_back(score);
+
+  // Resolve what this observation settled. Every unscored window could
+  // still score the ceiling with an earlier begin, so it counts as a
+  // potential rival of everyone; scored rivals are exact. Both counts
+  // are monotone in offers, so a decision made here is final.
+  const std::uint32_t unscored = total_ - offered_;
+  std::vector<WindowScore> released;
+  for (std::size_t i = 0; i < pending_.size();) {
+    const std::uint32_t definite = rivals_above(pending_[i]);
+    if (definite >= keep_) {
+      // keep_ windows already rank above it — provably rejected.
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    // Even a ceiling-scoring window cannot shed the unscored rivals:
+    // a tie at max_score could still fall to an earlier begin.
+    if (definite + unscored < keep_) {
+      released.push_back(pending_[i]);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++admitted_;
+      continue;
+    }
+    ++i;
+  }
+  std::sort(released.begin(), released.end(),
+            [](const WindowScore& a, const WindowScore& b) {
+              return a.window.begin < b.window.begin;
+            });
+  return released;
 }
 
 }  // namespace ldga::analysis

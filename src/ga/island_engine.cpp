@@ -148,6 +148,9 @@ struct IslandEngine::Shared {
   const VariationOperators* operators = nullptr;
   const Selector* selector = nullptr;
   stats::EvaluationStream* stream = nullptr;
+  /// First completion queue of this engine's block: 0 with a private
+  /// stream, the open_queues() base when attached to a shared one.
+  std::uint32_t queue_base = 0;
   MigrationRouter* router = nullptr;
   SharedRateController* mutation_rates = nullptr;
   SharedRateController* crossover_rates = nullptr;
@@ -174,6 +177,15 @@ struct IslandEngine::Shared {
   /// progress signal, never correctness.
   mutable std::mutex range_mutex;
   std::vector<FitnessRange> ranges;
+
+  /// Coordinator wakeup: islands signal after every integrated step
+  /// (and on stop) so termination checks run event-driven instead of on
+  /// a polling cadence. The coordinator still wakes on a coarse
+  /// fallback timeout for liveness, so a lost notify costs latency,
+  /// never a hang — which is why notifying without holding the mutex
+  /// is fine here.
+  std::mutex coord_mutex;
+  std::condition_variable coord_cv;
 
   /// Checkpoint rendezvous. `pause_flag` is the cheap loop-top check;
   /// the mutex/cv pair implements the rendezvous itself.
@@ -242,12 +254,13 @@ void record_error(Shared& shared, std::exception_ptr error) {
     if (!shared.error) shared.error = std::move(error);
   }
   shared.stop.store(true, std::memory_order_relaxed);
+  shared.coord_cv.notify_one();
 }
 
 bool submit(Island& island, Shared& shared, PendingRecord record,
             const std::vector<genomics::SnpIndex>& parent_snps) {
   const std::uint64_t ticket = island.next_ticket++;
-  if (!shared.stream->submit(island.index, ticket,
+  if (!shared.stream->submit(shared.queue_base + island.index, ticket,
                              record.individual.snps(), parent_snps)) {
     return false;  // stream closed: shutting down
   }
@@ -260,6 +273,7 @@ void step_completed(Island& island, Shared& shared) {
   ++island.steps_since_sync;
   ++island.steps_since_migration;
   shared.total_steps.fetch_add(1, std::memory_order_relaxed);
+  shared.coord_cv.notify_one();
 }
 
 void publish_rates(Island& island, Shared& shared) {
@@ -432,6 +446,7 @@ void integrate(const LoopContext& ctx, Island& island, Shared& shared,
               shared.total_steps.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
         }
+        shared.coord_cv.notify_one();
         emit(ctx, island, shared, IslandEvent::Kind::kInitialized);
       }
       break;
@@ -765,12 +780,13 @@ void IslandEngine::island_loop(Island& island, Shared& shared) {
       // nothing else to do: results outstanding and the breeding window
       // full (or the island still initializing).
       std::vector<stats::StreamResult> results =
-          shared.stream->poll(island.index);
+          shared.stream->poll(shared.queue_base + island.index);
       const bool window_full =
           island.inflight_applications >= config_.max_pending;
       if (results.empty() && !island.pending.empty() &&
           (window_full || !island.initialized)) {
-        results = shared.stream->wait(island.index, config_.poll_timeout);
+        results = shared.stream->wait(shared.queue_base + island.index,
+                                      config_.poll_timeout);
       }
       for (const auto& result : results) {
         integrate(ctx, island, shared, result);
@@ -841,13 +857,24 @@ IslandRunResult IslandEngine::run() {
   stream_config.max_coalesce = config_.max_coalesce;
   stream_config.backend.farm_policy = config_.farm_policy;
   stream_config.backend.fault_injector = config_.fault_injector;
-  stats::EvaluationStream stream(*evaluator_, island_count, stream_config);
+  // Private lane pool unless a shared multi-tenant stream was attached
+  // (pipelined scan): then this run borrows its block of completion
+  // queues and retires them at the end.
+  std::optional<stats::EvaluationStream> own_stream;
+  stats::EvaluationStream* stream = external_stream_;
+  const std::uint32_t queue_base =
+      stream != nullptr ? external_queue_base_ : 0;
+  if (stream == nullptr) {
+    own_stream.emplace(*evaluator_, island_count, stream_config);
+    stream = &*own_stream;
+  }
   MigrationRouter router(island_count);
 
   Shared shared;
   shared.operators = &operators;
   shared.selector = &selector;
-  shared.stream = &stream;
+  shared.stream = stream;
+  shared.queue_base = queue_base;
   shared.router = &router;
   shared.mutation_rates = &mutation_rates;
   shared.crossover_rates = &crossover_rates;
@@ -985,13 +1012,26 @@ IslandRunResult IslandEngine::run() {
           ? (result.resumed_steps / checkpoint_every + 1) * checkpoint_every
           : 0;
 
-  // 2 ms keeps termination latency negligible against evaluation cost
-  // while the coordinator stays off the scheduler — at sub-millisecond
-  // cadences its wakeups measurably preempt lane threads on small hosts.
+  // Event-driven coordination: islands signal coord_cv after every
+  // integrated step, so termination checks run right when progress
+  // happens instead of on a polling cadence that preempts lane threads
+  // on small hosts. The coarse fallback timeout keeps the loop live
+  // (evaluation-budget and hard-cap checks, and recovery from a lost
+  // notify) even when no island advances.
+  constexpr std::chrono::milliseconds kCoordinatorFallback{50};
+  std::uint64_t observed_steps = ~std::uint64_t{0};
   while (!shared.stop.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      std::unique_lock<std::mutex> lock(shared.coord_mutex);
+      shared.coord_cv.wait_for(lock, kCoordinatorFallback, [&] {
+        return shared.stop.load(std::memory_order_relaxed) ||
+               shared.total_steps.load(std::memory_order_relaxed) !=
+                   observed_steps;
+      });
+    }
     const std::uint64_t total =
         shared.total_steps.load(std::memory_order_relaxed);
+    observed_steps = total;
     if (shared.initialized_islands.load(std::memory_order_relaxed) ==
         island_count) {
       const std::uint64_t reference =
@@ -1075,7 +1115,15 @@ IslandRunResult IslandEngine::run() {
   }
   shared.pause_cv.notify_all();
   for (auto& thread : threads) thread.join();
-  stream.close();
+  // Private stream: close() drains the lanes and joins them. Shared
+  // stream: retire this run's queue block — blocks until everything
+  // this engine submitted is delivered, so the evaluator can be
+  // destroyed right after run() returns even on the error path.
+  if (own_stream) {
+    own_stream->close();
+  } else {
+    stream->retire_queues(queue_base, island_count);
+  }
   router.close();
 
   {
@@ -1083,14 +1131,15 @@ IslandRunResult IslandEngine::run() {
     if (shared.error) std::rethrow_exception(shared.error);
   }
 
-  // close() flushed the lanes, so results that raced the shutdown are
-  // sitting in the completion queues: integrate them single-threaded so
-  // no paid-for evaluation is wasted (and a stop during initialization
-  // still yields populated islands).
+  // close()/retire_queues() flushed this run's work, so results that
+  // raced the shutdown are sitting in the completion queues: integrate
+  // them single-threaded so no paid-for evaluation is wasted (and a
+  // stop during initialization still yields populated islands).
   {
     const LoopContext ctx{this, &config_, filter_, &callback_};
     for (auto& island : islands) {
-      for (const auto& result_entry : stream.poll(island->index)) {
+      for (const auto& result_entry :
+           stream->poll(queue_base + island->index)) {
         integrate(ctx, *island, shared, result_entry);
       }
     }
@@ -1110,7 +1159,7 @@ IslandRunResult IslandEngine::run() {
   result.failed_offspring =
       shared.failed_offspring.load(std::memory_order_relaxed);
   result.wall_seconds = shared.wall_seconds();
-  result.stream_stats = stream.stats();
+  result.stream_stats = stream->stats();
   result.cache_stats = evaluator_->cache_stats();
   result.stage_timings = evaluator_->stage_timings();
   return result;

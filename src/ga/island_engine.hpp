@@ -154,6 +154,24 @@ class IslandEngine {
   /// run-to-run results may differ in path, not in destination.
   IslandRunResult run();
 
+  /// Runs the islands against an externally owned multi-tenant
+  /// EvaluationStream instead of constructing a private one — how the
+  /// pipelined genome scan amortizes one lane pool across many
+  /// short-lived window engines. `queue_base` is what
+  /// stream.open_queues(evaluator, island_count) returned, where
+  /// island_count == ga.max_size - ga.min_size + 1 and the evaluator is
+  /// the one this engine was built over. run() retires the queue block
+  /// when it finishes (so the caller opens, the engine closes), and the
+  /// stream's own lane configuration governs — `lanes`/`max_coalesce`/
+  /// `farm_policy`/`fault_injector` of IslandConfig are ignored. The
+  /// reported stream_stats are then stream-wide aggregates, not
+  /// per-engine.
+  void attach_stream(stats::EvaluationStream& stream,
+                     std::uint32_t queue_base) {
+    external_stream_ = &stream;
+    external_queue_base_ = queue_base;
+  }
+
   /// Observer for telemetry events. Called from island threads but
   /// never concurrently (the engine serializes invocations); the
   /// callback must not block for long — islands wait on it.
@@ -176,6 +194,8 @@ class IslandEngine {
   FeasibilityFilter own_filter_;
   const FeasibilityFilter* filter_;
   std::function<void(const IslandEvent&)> callback_;
+  stats::EvaluationStream* external_stream_ = nullptr;
+  std::uint32_t external_queue_base_ = 0;
 };
 
 }  // namespace ldga::ga

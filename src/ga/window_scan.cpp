@@ -1,8 +1,20 @@
 #include "ga/window_scan.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
 
+#include "ga/island_engine.hpp"
 #include "genomics/dataset.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stats/evaluation_backend.hpp"
+#include "stats/evaluation_service.hpp"
 #include "util/error.hpp"
 
 namespace ldga::ga {
@@ -35,6 +47,12 @@ std::vector<WindowSpec> plan_windows(std::uint32_t snp_count,
 void WindowScanConfig::validate() const {
   ga.validate();
   evaluator.validate();
+  if (concurrent_windows == 0) {
+    throw ConfigError("WindowScanConfig: concurrent_windows must be >= 1");
+  }
+  if (engine == ScanEngine::kAsync && stream_lanes == 0) {
+    throw ConfigError("WindowScanConfig: stream_lanes must be >= 1");
+  }
 }
 
 namespace {
@@ -49,9 +67,10 @@ std::uint64_t window_seed(std::uint64_t scan_seed, SnpIndex begin) {
 
 /// The window's champion across size classes (engines report one best
 /// individual per subpopulation).
-const HaplotypeIndividual* champion(const GaResult& result) {
+const HaplotypeIndividual* champion(
+    const std::vector<HaplotypeIndividual>& best_by_size) {
   const HaplotypeIndividual* best = nullptr;
-  for (const HaplotypeIndividual& individual : result.best_by_size) {
+  for (const HaplotypeIndividual& individual : best_by_size) {
     if (individual.size() == 0 || !individual.evaluated()) continue;
     if (best == nullptr || individual.fitness() > best->fitness()) {
       best = &individual;
@@ -60,21 +79,101 @@ const HaplotypeIndividual* champion(const GaResult& result) {
   return best;
 }
 
-}  // namespace
+bool windows_overlap(const WindowSpec& a, const WindowSpec& b) {
+  return a.begin < b.begin + b.count && b.begin < a.begin + a.count;
+}
 
-WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
-                                 const genomics::SnpPanel& panel,
-                                 std::span<const genomics::Status> statuses,
-                                 std::span<const WindowSpec> windows,
-                                 const WindowScanConfig& config) {
-  config.validate();
-  LDGA_EXPECTS(panel.size() == store.snp_count());
-  LDGA_EXPECTS(statuses.size() == store.individual_count());
+/// An elite awaiting migration: global SNP set, its fitness, and the
+/// scan position of the window that produced it.
+struct EliteRecord {
+  double fitness = 0.0;
+  std::vector<SnpIndex> snps;
+  std::uint32_t source = 0;
+};
 
+/// Fills `ga.warm_starts` from the donor pool: best-first (stable, so
+/// ties keep the pool's order), only elites that fall entirely inside
+/// the window and within the clamped size range, re-indexed to
+/// window-local coordinates. Returns how many were accepted and
+/// records the distinct contributing scan positions.
+std::uint32_t migrate_into(GaConfig& ga, const WindowSpec& window,
+                           std::vector<EliteRecord> donors,
+                           std::uint32_t migrate_elites,
+                           std::vector<std::uint32_t>& donor_windows) {
+  ga.warm_starts.clear();
+  std::uint32_t migrants = 0;
+  std::stable_sort(donors.begin(), donors.end(),
+                   [](const EliteRecord& a, const EliteRecord& b) {
+                     return a.fitness > b.fitness;
+                   });
+  for (const EliteRecord& elite : donors) {
+    if (migrants >= migrate_elites) break;
+    const bool inside = std::all_of(
+        elite.snps.begin(), elite.snps.end(), [&](SnpIndex s) {
+          return s >= window.begin && s < window.begin + window.count;
+        });
+    if (!inside || elite.snps.size() < ga.min_size ||
+        elite.snps.size() > ga.max_size) {
+      continue;
+    }
+    std::vector<SnpIndex> local(elite.snps.size());
+    std::transform(elite.snps.begin(), elite.snps.end(), local.begin(),
+                   [&](SnpIndex s) { return s - window.begin; });
+    ga.warm_starts.push_back(std::move(local));
+    ++migrants;
+    if (std::find(donor_windows.begin(), donor_windows.end(), elite.source) ==
+        donor_windows.end()) {
+      donor_windows.push_back(elite.source);
+    }
+  }
+  std::sort(donor_windows.begin(), donor_windows.end());
+  return migrants;
+}
+
+std::vector<EliteRecord> harvest_elites(
+    const std::vector<HaplotypeIndividual>& best_by_size,
+    const WindowSpec& window, std::uint32_t source) {
+  std::vector<EliteRecord> elites;
+  for (const HaplotypeIndividual& individual : best_by_size) {
+    if (individual.size() == 0 || !individual.evaluated()) continue;
+    std::vector<SnpIndex> global(individual.snps().size());
+    std::transform(individual.snps().begin(), individual.snps().end(),
+                   global.begin(),
+                   [&](SnpIndex s) { return window.begin + s; });
+    elites.push_back({individual.fitness(), std::move(global), source});
+  }
+  return elites;
+}
+
+/// The scan-wide evaluation thread pool for sync-engine windows, or
+/// nullptr when per-window serial backends are cheaper (eval_workers
+/// <= 1). Hoisted to once per scan so no window pays pool setup.
+std::shared_ptr<parallel::ThreadPool> make_scan_pool(
+    const WindowScanConfig& config) {
+  if (config.engine != ScanEngine::kSync) return nullptr;
+  const std::uint32_t workers = config.eval_workers == 0
+                                    ? parallel::default_thread_count()
+                                    : config.eval_workers;
+  if (workers <= 1) return nullptr;
+  return std::make_shared<parallel::ThreadPool>(workers);
+}
+
+/// The original serial chain — window i's warm starts come from window
+/// i-1's elites and nothing runs concurrently. Kept as its own loop
+/// (rather than the scheduler with one worker) so the reference stays
+/// bit-exact: identical iteration order, identical donor rule,
+/// identical champion updates.
+WindowScanResult run_sequential_scan(const genomics::GenotypeStore& store,
+                                     const genomics::SnpPanel& panel,
+                                     std::span<const genomics::Status> statuses,
+                                     std::span<const WindowSpec> windows,
+                                     const WindowScanConfig& config) {
   WindowScanResult scan;
-  // Elites awaiting migration, as global SNP sets with their fitness.
-  std::vector<std::pair<double, std::vector<SnpIndex>>> elites;
+  const std::shared_ptr<parallel::ThreadPool> pool = make_scan_pool(config);
+  // Elites awaiting migration — always the previous window's crop.
+  std::vector<EliteRecord> elites;
 
+  std::uint32_t index = 0;
   for (const WindowSpec& window : windows) {
     LDGA_EXPECTS(window.begin < store.snp_count() &&
                  window.count >= 2 &&
@@ -94,50 +193,28 @@ WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
     LDGA_EXPECTS(window.count > ga.min_size);
     ga.max_size = std::min(ga.max_size, window.count - 1);
 
-    // Migrate predecessor elites that fit entirely inside this window,
-    // re-indexed to window-local coordinates.
-    ga.warm_starts.clear();
-    std::uint32_t migrants = 0;
-    std::stable_sort(elites.begin(), elites.end(),
-                     [](const auto& a, const auto& b) {
-                       return a.first > b.first;
-                     });
-    for (const auto& [fitness, snps] : elites) {
-      if (migrants >= config.migrate_elites) break;
-      const bool inside = std::all_of(
-          snps.begin(), snps.end(), [&](SnpIndex s) {
-            return s >= window.begin && s < window.begin + window.count;
-          });
-      if (!inside || snps.size() < ga.min_size || snps.size() > ga.max_size) {
-        continue;
-      }
-      std::vector<SnpIndex> local(snps.size());
-      std::transform(snps.begin(), snps.end(), local.begin(),
-                     [&](SnpIndex s) { return s - window.begin; });
-      ga.warm_starts.push_back(std::move(local));
-      ++migrants;
-    }
-
-    GaEngine engine(evaluator, ga);
-    const GaResult result = engine.run();
-
     WindowResult out;
     out.window = window;
+    out.completion_rank = index;
+    out.migrants_in =
+        migrate_into(ga, window, elites, config.migrate_elites,
+                     out.donor_windows);
+
+    std::shared_ptr<stats::EvaluationBackend> backend;
+    if (pool != nullptr) {
+      stats::BackendOptions options;
+      options.pool = pool;
+      backend = stats::make_thread_pool_backend(evaluator, options);
+    }
+    GaEngine engine(evaluator, ga, std::move(backend));
+    const GaResult result = engine.run();
+
     out.generations = result.generations;
     out.evaluations = result.evaluations;
-    out.migrants_in = migrants;
     scan.evaluations += result.evaluations;
 
-    elites.clear();
-    for (const HaplotypeIndividual& individual : result.best_by_size) {
-      if (individual.size() == 0 || !individual.evaluated()) continue;
-      std::vector<SnpIndex> global(individual.snps().size());
-      std::transform(individual.snps().begin(), individual.snps().end(),
-                     global.begin(),
-                     [&](SnpIndex s) { return window.begin + s; });
-      elites.emplace_back(individual.fitness(), std::move(global));
-    }
-    if (const HaplotypeIndividual* best = champion(result)) {
+    elites = harvest_elites(result.best_by_size, window, index);
+    if (const HaplotypeIndividual* best = champion(result.best_by_size)) {
       out.best_fitness = best->fitness();
       out.best_snps.resize(best->snps().size());
       std::transform(best->snps().begin(), best->snps().end(),
@@ -149,8 +226,279 @@ WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
       }
     }
     scan.windows.push_back(std::move(out));
+    ++index;
   }
   return scan;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Pipelined scheduler.
+
+struct WindowScanScheduler::Impl {
+  struct Task {
+    WindowSpec window;
+    std::uint32_t index = 0;  ///< scan (enqueue) position
+  };
+
+  /// A finished window's contribution to later arrivals.
+  struct Done {
+    WindowSpec window;
+    std::vector<EliteRecord> elites;
+  };
+
+  Impl(const genomics::GenotypeStore& scan_store,
+       const genomics::SnpPanel& scan_panel,
+       std::span<const genomics::Status> scan_statuses,
+       const WindowScanConfig& scan_config, std::uint32_t window_limit)
+      : store(scan_store),
+        panel(scan_panel),
+        statuses(scan_statuses),
+        config(scan_config),
+        max_windows(window_limit),
+        pool(make_scan_pool(config)) {
+    if (config.engine == ScanEngine::kAsync) {
+      // Every async window opens one completion queue per island; the
+      // clamp can only shrink a window's island count, so the
+      // unclamped count bounds the whole scan.
+      const std::uint32_t islands_per_window =
+          config.ga.max_size - config.ga.min_size + 1;
+      stats::EvaluationStreamConfig stream_config;
+      stream_config.lanes = config.stream_lanes;
+      stream.emplace(max_windows * islands_per_window,
+                     std::move(stream_config));
+    }
+    const std::uint32_t workers =
+        std::min(config.concurrent_windows, std::max(max_windows, 1u));
+    threads.reserve(workers);
+    for (std::uint32_t i = 0; i < workers; ++i) {
+      threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void enqueue(const WindowSpec& window) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      LDGA_EXPECTS(!closed);
+      LDGA_EXPECTS(results.size() < max_windows);
+      LDGA_EXPECTS(window.begin < store.snp_count() &&
+                   window.count >= 2 &&
+                   window.count <= store.snp_count() - window.begin);
+      LDGA_EXPECTS(window.count > config.ga.min_size);
+      queue.push_back({window, static_cast<std::uint32_t>(results.size())});
+      results.emplace_back();
+    }
+    work_cv.notify_one();
+  }
+
+  WindowScanResult finish() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& thread : threads) thread.join();
+    threads.clear();
+    if (error != nullptr) std::rethrow_exception(error);
+
+    WindowScanResult scan;
+    scan.windows.reserve(results.size());
+    // Champion chosen by walking scan order — the same comparison as
+    // the sequential reference, so the pick cannot depend on which
+    // window happened to finish first.
+    for (std::optional<WindowResult>& result : results) {
+      LDGA_EXPECTS(result.has_value());
+      scan.evaluations += result->evaluations;
+      if (!result->best_snps.empty() &&
+          (scan.best_snps.empty() ||
+           result->best_fitness > scan.best_fitness)) {
+        scan.best_fitness = result->best_fitness;
+        scan.best_snps = result->best_snps;
+      }
+      scan.windows.push_back(std::move(*result));
+    }
+    return scan;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      std::vector<EliteRecord> donors;
+      std::vector<WindowSpec> readahead;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] {
+          return aborted || closed || !queue.empty();
+        });
+        if (aborted || queue.empty()) return;  // closed && empty, or error
+        task = queue.front();
+        queue.pop_front();
+        // Donors: every overlapping window already finished at claim
+        // time, in completion order (which migrate_into's stable sort
+        // preserves across equal fitness) — the record that makes the
+        // pipelined migration deterministic given completion order.
+        for (const Done& done : finished) {
+          if (!windows_overlap(done.window, task.window)) continue;
+          donors.insert(donors.end(), done.elites.begin(),
+                        done.elites.end());
+        }
+        const std::uint32_t ahead = static_cast<std::uint32_t>(
+            std::min<std::size_t>(config.readahead_windows, queue.size()));
+        for (std::uint32_t i = 0; i < ahead; ++i) {
+          readahead.push_back(queue[i].window);
+        }
+      }
+      // Page the claimed window in first, then hint the queue's head so
+      // an mmap'd store streams upcoming windows off the critical path.
+      store.prefetch_loci(task.window.begin, task.window.count);
+      for (const WindowSpec& upcoming : readahead) {
+        store.prefetch_loci(upcoming.begin, upcoming.count);
+      }
+      try {
+        run_window(task, std::move(donors));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error == nullptr) error = std::current_exception();
+        aborted = true;
+        queue.clear();
+        work_cv.notify_all();
+        return;
+      }
+    }
+  }
+
+  void run_window(const Task& task, std::vector<EliteRecord> donors) {
+    const WindowSpec& window = task.window;
+    const genomics::Dataset window_data = genomics::materialize_window(
+        store, panel, statuses, window.begin, window.count);
+    const stats::HaplotypeEvaluator evaluator(window_data, config.evaluator);
+
+    GaConfig ga = config.ga;
+    ga.seed = window_seed(config.ga.seed, window.begin);
+    ga.max_size = std::min(ga.max_size, window.count - 1);
+
+    WindowResult out;
+    out.window = window;
+    out.migrants_in = migrate_into(ga, window, std::move(donors),
+                                   config.migrate_elites, out.donor_windows);
+
+    std::vector<HaplotypeIndividual> best_by_size;
+    if (config.engine == ScanEngine::kSync) {
+      std::shared_ptr<stats::EvaluationBackend> backend;
+      if (pool != nullptr) {
+        stats::BackendOptions options;
+        options.pool = pool;
+        backend = stats::make_thread_pool_backend(evaluator, options);
+      }
+      GaEngine engine(evaluator, ga, std::move(backend));
+      GaResult result = engine.run();
+      out.generations = result.generations;
+      out.evaluations = result.evaluations;
+      best_by_size = std::move(result.best_by_size);
+    } else {
+      IslandConfig island_config;
+      island_config.ga = ga;
+      island_config.lanes = config.stream_lanes;
+      const std::uint32_t islands = ga.max_size - ga.min_size + 1;
+      IslandEngine engine(evaluator, island_config);
+      // The engine retires this queue block at the end of its run, so
+      // the shared stream never outlives a window's evaluator.
+      engine.attach_stream(*stream, stream->open_queues(evaluator, islands));
+      IslandRunResult result = engine.run();
+      out.evaluations = result.evaluations;
+      out.generations = static_cast<std::uint32_t>(
+          result.total_steps / island_config.applications_per_generation());
+      best_by_size = std::move(result.best_by_size);
+    }
+
+    if (const HaplotypeIndividual* best = champion(best_by_size)) {
+      out.best_fitness = best->fitness();
+      out.best_snps.resize(best->snps().size());
+      std::transform(best->snps().begin(), best->snps().end(),
+                     out.best_snps.begin(),
+                     [&](SnpIndex s) { return window.begin + s; });
+    }
+
+    std::vector<EliteRecord> elites =
+        harvest_elites(best_by_size, window, task.index);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      out.completion_rank = completions++;
+      finished.push_back({window, std::move(elites)});
+      results[task.index] = std::move(out);
+    }
+  }
+
+  const genomics::GenotypeStore& store;
+  const genomics::SnpPanel& panel;
+  std::span<const genomics::Status> statuses;
+  const WindowScanConfig config;
+  const std::uint32_t max_windows;
+  std::shared_ptr<parallel::ThreadPool> pool;
+  std::optional<stats::EvaluationStream> stream;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<Task> queue;
+  std::vector<Done> finished;               ///< completion order
+  std::vector<std::optional<WindowResult>> results;  ///< enqueue order
+  std::uint32_t completions = 0;
+  bool closed = false;
+  bool aborted = false;
+  std::exception_ptr error;
+  std::vector<std::thread> threads;
+};
+
+WindowScanScheduler::WindowScanScheduler(
+    const genomics::GenotypeStore& store, const genomics::SnpPanel& panel,
+    std::span<const genomics::Status> statuses, const WindowScanConfig& config,
+    std::uint32_t max_windows) {
+  config.validate();
+  LDGA_EXPECTS(panel.size() == store.snp_count());
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+  impl_ = std::make_unique<Impl>(store, panel, statuses, config, max_windows);
+}
+
+WindowScanScheduler::~WindowScanScheduler() {
+  if (impl_ == nullptr) return;
+  // finish() never ran — drop queued work and let the workers drain.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->closed = true;
+    impl_->aborted = true;
+    impl_->queue.clear();
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& thread : impl_->threads) thread.join();
+}
+
+void WindowScanScheduler::enqueue(const WindowSpec& window) {
+  impl_->enqueue(window);
+}
+
+WindowScanResult WindowScanScheduler::finish() {
+  WindowScanResult result = impl_->finish();
+  impl_.reset();
+  return result;
+}
+
+WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
+                                 const genomics::SnpPanel& panel,
+                                 std::span<const genomics::Status> statuses,
+                                 std::span<const WindowSpec> windows,
+                                 const WindowScanConfig& config) {
+  config.validate();
+  LDGA_EXPECTS(panel.size() == store.snp_count());
+  LDGA_EXPECTS(statuses.size() == store.individual_count());
+
+  if (config.engine == ScanEngine::kSync && config.concurrent_windows == 1) {
+    return run_sequential_scan(store, panel, statuses, windows, config);
+  }
+  WindowScanScheduler scheduler(store, panel, statuses, config,
+                                static_cast<std::uint32_t>(windows.size()));
+  for (const WindowSpec& window : windows) scheduler.enqueue(window);
+  return scheduler.finish();
 }
 
 }  // namespace ldga::ga

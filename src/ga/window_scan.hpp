@@ -6,17 +6,38 @@
 // runs the existing multipopulation engine inside each window against
 // a column slice of a GenotypeStore (so an mmap'd store only pages in
 // the loci under search), and migrates each window's elite haplotypes
-// into the warm starts of the next overlapping window — LD blocks that
+// into the warm starts of overlapping neighbours — LD blocks that
 // straddle a window boundary get a second chance in the neighbour that
 // contains them whole, which is why overlap >= stride matters.
 //
+// Two execution modes share one result shape:
+//
+//   * sequential reference — engine = kSync, concurrent_windows = 1:
+//     windows run one after another and window i's warm starts come
+//     from window i-1's elites, exactly the original serial chain.
+//     This mode is the bit-exact reference: for a fixed config it
+//     reproduces the same champions, fitness doubles and evaluation
+//     counts on every run (and the evaluation backend never changes a
+//     GA trajectory, so eval_workers may still be > 1).
+//   * pipelined — anything else: a scheduler keeps up to
+//     concurrent_windows window GAs in flight at once over shared
+//     evaluation infrastructure (one thread pool for sync engines, one
+//     multi-tenant EvaluationStream for async islands). Windows finish
+//     out of order, so a window's immigrants come from whichever
+//     overlapping predecessors have already finished — dependency-
+//     tracked and deterministic given the completion order recorded in
+//     the telemetry (WindowResult::completion_rank / donor_windows).
+//
 // Window *selection* (which windows deserve a GA at all) is not this
 // layer's job: the tiled LD prefilter in analysis/ld_prefilter.hpp
-// scores windows, and callers pass the survivors here. This file only
-// knows how to plan a tiling and run the engine across it.
+// scores windows, and callers pass the survivors here — either as a
+// batch (run_window_scan) or incrementally (WindowScanScheduler, which
+// is how analysis/genome_pipeline.hpp overlaps the prefilter with the
+// GA stage).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -42,16 +63,45 @@ std::vector<WindowSpec> plan_windows(std::uint32_t snp_count,
                                      std::uint32_t window_snps,
                                      std::uint32_t stride_snps);
 
+/// Which engine runs inside each window.
+enum class ScanEngine : std::uint8_t {
+  kSync,   ///< synchronous GaEngine — deterministic per window
+  kAsync,  ///< asynchronous IslandEngine over the shared stream
+};
+
 struct WindowScanConfig {
   /// Per-window engine template. `ga.seed` is the scan seed; each
   /// window runs with a seed mixed from it and the window's begin, so
   /// the scan is deterministic yet windows are decorrelated.
   GaConfig ga;
   stats::EvaluatorConfig evaluator;
-  /// Best individuals carried from each window into the warm starts of
-  /// the next window in scan order (only those whose SNPs all fall
-  /// inside the next window survive the move). 0 disables migration.
+  /// Best individuals carried from finished windows into the warm
+  /// starts of an overlapping window (only those whose SNPs all fall
+  /// inside the receiving window survive the move). 0 disables
+  /// migration. The sequential reference takes donors only from the
+  /// immediately preceding window, in scan order.
   std::uint32_t migrate_elites = 3;
+  /// Engine per window. kSync with concurrent_windows = 1 is the
+  /// sequential bit-exact reference; every other combination runs the
+  /// pipelined scheduler.
+  ScanEngine engine = ScanEngine::kSync;
+  /// Window GAs in flight at once (scheduler worker threads).
+  std::uint32_t concurrent_windows = 1;
+  /// Workers of the scan-wide evaluation thread pool serving
+  /// sync-engine windows: the pool spins up once per scan and is
+  /// injected into every window's backend, so windows stop paying
+  /// pool setup each. <= 1 keeps the per-window serial backend
+  /// (cheapest when windows themselves run concurrently); 0 means
+  /// hardware concurrency. Fitness results are backend-invariant
+  /// either way.
+  std::uint32_t eval_workers = 1;
+  /// Dispatcher lanes of the scan-wide multi-tenant EvaluationStream
+  /// serving async-engine windows.
+  std::uint32_t stream_lanes = 2;
+  /// Queued windows ahead of a dispatch to issue store readahead for
+  /// (GenotypeStore::prefetch_loci), so an mmap'd store pages upcoming
+  /// windows in off the GA's critical path. 0 disables.
+  std::uint32_t readahead_windows = 1;
 
   void validate() const;
 };
@@ -63,27 +113,65 @@ struct WindowResult {
   std::vector<genomics::SnpIndex> best_snps;
   std::uint32_t generations = 0;
   std::uint64_t evaluations = 0;
-  /// Warm starts this window received from its predecessor.
+  /// Warm starts this window received from finished predecessors.
   std::uint32_t migrants_in = 0;
+  /// 0-based position in the order windows *finished* — the record
+  /// that makes a pipelined scan's migration deterministic after the
+  /// fact (sequential mode: equals the scan position).
+  std::uint32_t completion_rank = 0;
+  /// Scan positions of the overlapping windows that had finished when
+  /// this one started and therefore donated elites to its warm starts.
+  std::vector<std::uint32_t> donor_windows;
 };
 
 struct WindowScanResult {
-  std::vector<WindowResult> windows;  ///< in scan order
+  std::vector<WindowResult> windows;  ///< in scan (enqueue) order
   /// Scan-wide champion (global indices; empty only if `windows` is).
+  /// Chosen by walking windows in scan order, so the pick does not
+  /// depend on completion order.
   std::vector<genomics::SnpIndex> best_snps;
   double best_fitness = 0.0;
   std::uint64_t evaluations = 0;
 };
 
-/// Runs the GA over each window in order. `panel` and `statuses`
-/// describe the full store (a PackedGenotypeStore carries both; an
-/// in-memory matrix takes them from its Dataset). Windows should be
-/// passed in genomic order when elite migration is on — adjacency is
-/// positional in the `windows` span.
+/// Runs the GA over each window. `panel` and `statuses` describe the
+/// full store (a PackedGenotypeStore carries both; an in-memory matrix
+/// takes them from its Dataset). Windows should be passed in genomic
+/// order when elite migration is on — overlap relations are computed
+/// from the spans, but the sequential reference donates strictly from
+/// the previous list position.
 WindowScanResult run_window_scan(const genomics::GenotypeStore& store,
                                  const genomics::SnpPanel& panel,
                                  std::span<const genomics::Status> statuses,
                                  std::span<const WindowSpec> windows,
                                  const WindowScanConfig& config);
+
+/// The pipelined scan's front half, exposed so a caller can feed
+/// windows as another stage discovers them (streaming prefilter
+/// admission) instead of batching the whole list first. Construction
+/// starts `concurrent_windows` workers and the shared evaluation
+/// infrastructure; enqueue() hands over one window (thread-safe);
+/// finish() waits for everything and returns results in enqueue order.
+/// At most `max_windows` may ever be enqueued (the bound preallocates
+/// the shared stream's completion queues).
+class WindowScanScheduler {
+ public:
+  WindowScanScheduler(const genomics::GenotypeStore& store,
+                      const genomics::SnpPanel& panel,
+                      std::span<const genomics::Status> statuses,
+                      const WindowScanConfig& config,
+                      std::uint32_t max_windows);
+  ~WindowScanScheduler();
+
+  WindowScanScheduler(const WindowScanScheduler&) = delete;
+  WindowScanScheduler& operator=(const WindowScanScheduler&) = delete;
+
+  void enqueue(const WindowSpec& window);
+  WindowScanResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace ldga::ga

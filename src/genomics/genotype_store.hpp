@@ -70,6 +70,17 @@ class GenotypeStore {
   /// Per-locus genotype tallies in one pass of popcounts.
   virtual LocusCounts locus_counts(SnpIndex snp) const;
 
+  /// Readahead hint: loci [first, first + count) will be read soon.
+  /// Purely advisory — correctness never depends on it. The default is
+  /// a no-op (in-memory stores are always resident); the mmap'd store
+  /// issues madvise(WILLNEED) so the kernel pages the window in ahead
+  /// of the faulting reader. The pipelined genome scan calls this for
+  /// upcoming windows, keeping page faults off the GA's critical path.
+  virtual void prefetch_loci(SnpIndex first, std::uint32_t count) const {
+    (void)first;
+    (void)count;
+  }
+
   /// Column slice: loci [first, first + count) × the given individuals
   /// (in the given order), re-packed contiguously with both axes
   /// re-indexed from 0. This is how per-group evaluation kernels

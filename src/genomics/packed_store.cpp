@@ -345,6 +345,27 @@ std::span<const std::uint64_t> PackedGenotypeStore::high_plane(
   return {snp_words(snp) + words_, words_};
 }
 
+void PackedGenotypeStore::prefetch_loci(SnpIndex first,
+                                        std::uint32_t count) const {
+  if (count == 0 || first >= snps_) return;
+  count = std::min(count, snps_ - first);
+  // Both planes of a SNP are contiguous (lo then hi), so the whole
+  // window is one byte range; round it out to page boundaries —
+  // madvise requires a page-aligned start.
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t bytes_per_snp =
+      static_cast<std::uint64_t>(words_) * 2 * sizeof(std::uint64_t);
+  const std::uint64_t begin = planes_offset_ + first * bytes_per_snp;
+  const std::uint64_t end = begin + count * bytes_per_snp;
+  const std::uint64_t aligned = begin / page * page;
+  const std::uint64_t length =
+      std::min<std::uint64_t>(end, map_bytes_) - aligned;
+  // Advisory only: on failure readers just fault the pages themselves.
+  (void)::posix_madvise(static_cast<std::uint8_t*>(map_) + aligned,
+                        static_cast<std::size_t>(length),
+                        POSIX_MADV_WILLNEED);
+}
+
 Dataset PackedGenotypeStore::to_dataset() const {
   return Dataset(panel_, decode_loci(0, snps_), statuses_);
 }

@@ -82,6 +82,11 @@ class PackedGenotypeStore final : public GenotypeStore {
   std::span<const std::uint64_t> low_plane(SnpIndex snp) const override;
   std::span<const std::uint64_t> high_plane(SnpIndex snp) const override;
 
+  /// madvise(WILLNEED) over the page range holding loci [first,
+  /// first + count)'s plane words, so an upcoming window's pages stream
+  /// in before the first plane read faults on them.
+  void prefetch_loci(SnpIndex first, std::uint32_t count) const override;
+
   /// Marker metadata and per-individual statuses, decoded at open.
   const SnpPanel& panel() const { return panel_; }
   const std::vector<Status>& statuses() const { return statuses_; }

@@ -154,8 +154,11 @@ class ThreadPoolBackend final : public InProcessBackend {
   ThreadPoolBackend(const HaplotypeEvaluator& evaluator,
                     BackendOptions options)
       : InProcessBackend(evaluator, options),
-        pool_(resolve_workers(options.workers)),
-        scratches_(pool_.thread_count() + 1) {}
+        pool_(options.pool != nullptr
+                  ? options.pool
+                  : std::make_shared<parallel::ThreadPool>(
+                        resolve_workers(options.workers))),
+        scratches_(pool_->thread_count() + 1) {}
 
   std::vector<double> evaluate_batch(
       std::span<const Candidate> batch) override {
@@ -170,7 +173,7 @@ class ThreadPoolBackend final : public InProcessBackend {
       const std::size_t n_slices =
           std::min<std::size_t>(batch.size(), worker_count());
       const std::span<double> out(results);
-      pool_.parallel_for_chunked(
+      pool_->parallel_for_chunked(
           0, n_slices, [&](std::size_t chunk, std::size_t s) {
             const std::size_t begin = s * batch.size() / n_slices;
             const std::size_t end = (s + 1) * batch.size() / n_slices;
@@ -185,7 +188,7 @@ class ThreadPoolBackend final : public InProcessBackend {
       // parallel_for_chunked runs each chunk on exactly one thread
       // (chunk 0 on the caller), so indexing the arenas by chunk gives
       // every worker a private scratch with no locking.
-      pool_.parallel_for_chunked(
+      pool_->parallel_for_chunked(
           0, batch.size(), [&](std::size_t chunk, std::size_t i) {
             results[i] =
                 evaluate_with_retry(batch[i], phase, i, scratches_[chunk]);
@@ -197,11 +200,12 @@ class ThreadPoolBackend final : public InProcessBackend {
 
   std::string_view name() const override { return "thread_pool"; }
   std::uint32_t worker_count() const override {
-    return pool_.thread_count();
+    return pool_->thread_count();
   }
 
  private:
-  parallel::ThreadPool pool_;
+  /// Injected (shared, long-lived) or private, per BackendOptions.
+  std::shared_ptr<parallel::ThreadPool> pool_;
   /// One arena per parallel_for chunk (threads + the calling thread).
   std::vector<EvalScratch> scratches_;
 };

@@ -30,6 +30,7 @@
 #include "parallel/farm_policy.hpp"
 #include "parallel/fault_injection.hpp"
 #include "parallel/socket_transport.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/evaluator.hpp"
 
 namespace ldga::stats {
@@ -48,6 +49,14 @@ struct BackendOptions {
   /// Worker threads / farm slaves; 0 → hardware concurrency. Ignored by
   /// the serial backend.
   std::uint32_t workers = 0;
+  /// Thread-pool backend only: run on this long-lived pool instead of
+  /// spinning up a private one (`workers` is then ignored — the pool's
+  /// size rules). The windowed genome scan builds many short-lived
+  /// backends over per-window evaluators; sharing one pool turns
+  /// per-window thread spin-up into a pointer copy. Fitness results
+  /// are identical either way — the backend contract is worker-count
+  /// invariant.
+  std::shared_ptr<parallel::ThreadPool> pool;
   /// Retry/quarantine ladder. The serial and thread-pool backends honor
   /// max_task_retries (the quarantine fields only make sense for slaves
   /// and are ignored there).

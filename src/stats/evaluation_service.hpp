@@ -144,15 +144,42 @@ class EvaluationStream {
   /// evaluator must outlive the stream. Lanes start immediately.
   EvaluationStream(const HaplotypeEvaluator& evaluator,
                    std::uint32_t queue_count, EvaluationStreamConfig config);
+
+  /// Multi-tenant stream: `queue_capacity` completion queues are
+  /// allocated up front but none is bound to an evaluator yet — tenants
+  /// (e.g. the island engines of concurrently scanned windows) attach a
+  /// block of queues with open_queues() and release it with
+  /// retire_queues(), so one long-lived lane pool serves many
+  /// short-lived engines instead of each spinning up its own. Lanes
+  /// never mix tenants within a dispatch batch (the coalescing key is
+  /// (tenant, size)), and each lane keeps one serial service per tenant,
+  /// so the probe-once / compute-once accounting holds per evaluator.
+  EvaluationStream(std::uint32_t queue_capacity,
+                   EvaluationStreamConfig config);
   ~EvaluationStream();
 
   EvaluationStream(const EvaluationStream&) = delete;
   EvaluationStream& operator=(const EvaluationStream&) = delete;
 
+  /// Binds `count` consecutive completion queues to `evaluator` and
+  /// returns the first queue index. The evaluator must outlive the
+  /// tenancy (i.e. stay alive until retire_queues() returns). Throws
+  /// when the preallocated capacity is exhausted. Thread-safe.
+  std::uint32_t open_queues(const HaplotypeEvaluator& evaluator,
+                            std::uint32_t count);
+
+  /// Closes the tenant that open_queues() returned `base` for (`count`
+  /// must match): further submissions to its queues are rejected, and
+  /// the call blocks until everything it already accepted has been
+  /// delivered to the completion queues — after it returns, one final
+  /// poll() per queue observes every result and the tenant's evaluator
+  /// may be destroyed.
+  void retire_queues(std::uint32_t base, std::uint32_t count);
+
   /// Enqueues one candidate; its result will appear on `queue` tagged
   /// with `ticket`. `parent` is the provenance hint (may be empty).
-  /// Returns false when the stream is closed (the submission is
-  /// dropped).
+  /// Returns false when the stream is closed or the queue's tenant is
+  /// retired (the submission is dropped).
   [[nodiscard]] bool submit(std::uint32_t queue, std::uint64_t ticket,
                             Candidate candidate, Candidate parent = {});
 
@@ -186,6 +213,7 @@ class EvaluationStream {
  private:
   struct Submission {
     std::uint32_t queue = 0;
+    std::uint32_t slot = 0;  ///< owning tenant (fixed at submit)
     std::uint64_t ticket = 0;
     Candidate candidate;
     Candidate parent;
@@ -200,21 +228,36 @@ class EvaluationStream {
     std::vector<StreamResult> results;
   };
   struct Lane;
+  struct Tenant;
+
+  static constexpr std::uint32_t kUnboundQueue =
+      static_cast<std::uint32_t>(-1);
 
   void lane_loop(Lane& lane);
   void deliver(const Waiter& waiter, double fitness, bool failed);
 
-  const HaplotypeEvaluator* evaluator_;
   EvaluationStreamConfig config_;
   parallel::CoalescingQueue<Submission> queue_;
   std::vector<std::unique_ptr<CompletionQueue>> completions_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::thread> threads_;
 
-  /// Candidate → submitters waiting on the in-flight computation.
+  /// Tenant registry. Slots and completion queues are preallocated at
+  /// construction (no vector ever reallocates under a running lane);
+  /// open_queues() fills the next free slot under `registry_mutex_`.
+  /// `queue_slots_[q]` maps a queue to its owning slot and is written
+  /// before the queue index is handed to the tenant, so readers that
+  /// learned `q` from open_queues() race with nothing.
+  std::mutex registry_mutex_;
+  std::condition_variable retire_cv_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::uint32_t> queue_slots_;
+  std::uint32_t open_slots_ = 0;
+  std::uint32_t bound_queues_ = 0;
+
+  /// Guards every tenant's in-flight map (candidate → submitters
+  /// waiting on the one running computation of it).
   std::mutex inflight_mutex_;
-  struct InflightMap;
-  std::unique_ptr<InflightMap> inflight_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> delivered_{0};

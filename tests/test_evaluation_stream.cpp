@@ -206,6 +206,84 @@ TEST(EvaluationStream, StragglersDelayButNeverCorrupt) {
 }
 
 
+TEST(EvaluationStream, MultiTenantQueuesScoreAgainstTheirOwnEvaluator) {
+  // Two evaluators over DIFFERENT datasets share one stream — the
+  // pipelined genome scan's shape, where every in-flight window engine
+  // rents a queue block from the scan-wide lane pool. Each result must
+  // come from the submitting tenant's evaluator, even though one lane
+  // serves both.
+  const HaplotypeEvaluator first(shared_dataset());
+  const auto other_synthetic = ldga::testing::small_synthetic(10, 2, 77);
+  const HaplotypeEvaluator second(other_synthetic.dataset);
+
+  EvaluationStreamConfig config;
+  config.lanes = 2;
+  config.max_coalesce = 4;
+  EvaluationStream stream(3, config);
+  const std::uint32_t first_base = stream.open_queues(first, 2);
+  const std::uint32_t second_base = stream.open_queues(second, 1);
+  ASSERT_NE(first_base, second_base);
+
+  std::map<std::uint64_t, Candidate> sent;
+  std::uint64_t ticket = 0;
+  for (SnpIndex a = 0; a < 6; ++a) {
+    const Candidate candidate{a, static_cast<SnpIndex>(a + 2)};
+    // The same candidate indices go to BOTH tenants: identical keys,
+    // different datasets, so mixing tenants in a batch would be
+    // observable as the wrong fitness.
+    ASSERT_TRUE(stream.submit(first_base + (a % 2), ticket, candidate));
+    sent.emplace(ticket++, candidate);
+    ASSERT_TRUE(stream.submit(second_base, ticket, candidate));
+    sent.emplace(ticket++, candidate);
+  }
+
+  const auto q0 = drain(stream, first_base, 3);
+  const auto q1 = drain(stream, first_base + 1, 3);
+  for (const auto& result : q0) {
+    EXPECT_DOUBLE_EQ(result.fitness,
+                     first.evaluate_full(sent.at(result.ticket)).fitness);
+  }
+  for (const auto& result : q1) {
+    EXPECT_DOUBLE_EQ(result.fitness,
+                     first.evaluate_full(sent.at(result.ticket)).fitness);
+  }
+  const auto other = drain(stream, second_base, 6);
+  ASSERT_EQ(other.size(), 6u);
+  for (const auto& result : other) {
+    EXPECT_DOUBLE_EQ(result.fitness,
+                     second.evaluate_full(sent.at(result.ticket)).fitness);
+  }
+}
+
+TEST(EvaluationStream, RetireQueuesDrainsOutstandingWorkFirst) {
+  const HaplotypeEvaluator evaluator(shared_dataset());
+  EvaluationStreamConfig config;
+  config.lanes = 2;
+  EvaluationStream stream(2, config);
+  const std::uint32_t base = stream.open_queues(evaluator, 2);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(stream.submit(base + static_cast<std::uint32_t>(i % 2), i,
+                              Candidate{static_cast<SnpIndex>(i % 4),
+                                        static_cast<SnpIndex>(i % 4 + 5)}));
+  }
+  // retire_queues blocks until every submission of this tenant has a
+  // delivered result — the guarantee that lets a window engine destroy
+  // its evaluator right after.
+  stream.retire_queues(base, 2);
+  EXPECT_EQ(stream.poll(base).size() + stream.poll(base + 1).size(), 8u);
+  // A retired tenant takes no further work.
+  EXPECT_FALSE(stream.submit(base, 99, Candidate{0, 1}));
+}
+
+TEST(EvaluationStream, OpenQueuesBeyondCapacityThrows) {
+  const HaplotypeEvaluator evaluator(shared_dataset());
+  EvaluationStream stream(2, {});
+  (void)stream.open_queues(evaluator, 1);
+  (void)stream.open_queues(evaluator, 1);
+  EXPECT_THROW(stream.open_queues(evaluator, 1), ConfigError);
+}
+
 TEST(CoalescingQueue, GroupedClaimGathersTheAnchorsKeyAcrossTheQueue) {
   parallel::CoalescingQueue<int> queue;
   for (const int v : {2, 3, 2, 4, 2, 3, 2}) ASSERT_TRUE(queue.push(v));

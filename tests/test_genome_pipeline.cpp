@@ -1,0 +1,119 @@
+// The prefilter → selection → windowed-GA pipeline driver: the
+// pipelined composition must select exactly the windows the sequential
+// reference selects, and on dependency-free window sets reproduce its
+// champions bit-for-bit.
+#include "analysis/genome_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "genomics/dataset.hpp"
+#include "genomics/packed_genotype.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace ldga::analysis {
+namespace {
+
+using genomics::PackedGenotypeMatrix;
+
+struct PipelineFixture {
+  genomics::Dataset dataset;
+  PackedGenotypeMatrix store;
+  std::vector<ga::WindowSpec> windows;
+  GenomePipelineConfig config;
+
+  PipelineFixture()
+      : dataset(ldga::testing::small_synthetic(24, 2, 1234).dataset),
+        store(dataset.genotypes()),
+        // Stride == window: disjoint windows, so no elite migrates and
+        // every window's GA is a pure function of the scan seed —
+        // execution order cannot change a result bit.
+        windows(ga::plan_windows(24, 6, 6)) {
+    config.keep_windows = 2;
+    config.scan.ga.min_size = 2;
+    config.scan.ga.max_size = 4;
+    config.scan.ga.population_size = 30;
+    config.scan.ga.min_subpopulation = 5;
+    config.scan.ga.crossovers_per_generation = 6;
+    config.scan.ga.mutations_per_generation = 10;
+    config.scan.ga.stagnation_generations = 15;
+    config.scan.ga.max_generations = 40;
+    config.scan.ga.seed = 99;
+  }
+
+  GenomePipelineResult run() const {
+    return run_genome_pipeline(store, dataset.panel(), dataset.statuses(),
+                               windows, config);
+  }
+};
+
+TEST(GenomePipeline, SequentialModeReportsAllStages) {
+  const PipelineFixture fixture;
+  const GenomePipelineResult result = fixture.run();
+  EXPECT_EQ(result.scores.size(), fixture.windows.size());
+  EXPECT_EQ(result.selected.size(), fixture.config.keep_windows);
+  EXPECT_EQ(result.scan.windows.size(), fixture.config.keep_windows);
+  EXPECT_GT(result.scan.evaluations, 0u);
+  EXPECT_FALSE(result.scan.best_snps.empty());
+  EXPECT_GE(result.total_seconds,
+            result.prefilter_seconds * 0.5);  // sanity, not a benchmark
+  // Selection equals the standalone ranking.
+  const auto expected = top_windows(result.scores, fixture.config.keep_windows);
+  ASSERT_EQ(result.selected.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.selected[i].begin, expected[i].begin);
+  }
+}
+
+TEST(GenomePipeline, PipelinedModeSelectsAndScoresIdentically) {
+  const PipelineFixture fixture;
+  const GenomePipelineResult sequential = fixture.run();
+
+  for (const std::uint32_t concurrency : {1u, 2u, 4u}) {
+    PipelineFixture pipelined;
+    pipelined.config.mode = PipelineMode::kPipelined;
+    pipelined.config.scan.concurrent_windows = concurrency;
+    const GenomePipelineResult result = pipelined.run();
+
+    // Same LD scores, same selected windows (streaming admission is
+    // provably the full ranking), same champion — bit-for-bit, since
+    // the disjoint windows leave nothing order-dependent.
+    ASSERT_EQ(result.scores.size(), sequential.scores.size());
+    for (std::size_t w = 0; w < result.scores.size(); ++w) {
+      EXPECT_EQ(result.scores[w].score, sequential.scores[w].score);
+    }
+    ASSERT_EQ(result.selected.size(), sequential.selected.size());
+    for (std::size_t i = 0; i < result.selected.size(); ++i) {
+      EXPECT_EQ(result.selected[i].begin, sequential.selected[i].begin);
+      EXPECT_EQ(result.selected[i].count, sequential.selected[i].count);
+    }
+    EXPECT_EQ(result.scan.best_fitness, sequential.scan.best_fitness);
+    EXPECT_EQ(result.scan.best_snps, sequential.scan.best_snps);
+    EXPECT_EQ(result.scan.evaluations, sequential.scan.evaluations);
+
+    // Execution order may differ; per-window outcomes may not.
+    for (const auto& window : result.scan.windows) {
+      const auto match = std::find_if(
+          sequential.scan.windows.begin(), sequential.scan.windows.end(),
+          [&](const ga::WindowResult& w) {
+            return w.window.begin == window.window.begin;
+          });
+      ASSERT_NE(match, sequential.scan.windows.end());
+      EXPECT_EQ(window.best_snps, match->best_snps);
+      EXPECT_EQ(window.best_fitness, match->best_fitness);
+    }
+  }
+}
+
+TEST(GenomePipeline, ConfigRejectsZeroBudget) {
+  PipelineFixture fixture;
+  fixture.config.keep_windows = 0;
+  EXPECT_THROW(fixture.run(), ConfigError);
+}
+
+}  // namespace
+}  // namespace ldga::analysis

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
+#include <span>
 #include <vector>
 
 #include "ga/window_scan.hpp"
@@ -214,6 +217,118 @@ TEST(LdPrefilter, TopWindowsResortGenomicallyAndBreakTiesEarly) {
   ASSERT_EQ(all.size(), 3u);
   EXPECT_EQ(all[0].begin, 0u);
   EXPECT_EQ(all[2].begin, 20u);
+}
+
+TEST(LdPrefilter, StreamingSweepEmitsBatchScoresInOrder) {
+  const genomics::Dataset dataset =
+      ldga::testing::small_synthetic(30, 2, 7).dataset;
+  const PackedGenotypeMatrix store(dataset.genotypes());
+  const std::vector<ga::WindowSpec> windows = ga::plan_windows(30, 12, 6);
+
+  LdPrefilterConfig config;
+  config.tile_snps = 5;
+  config.workers = 3;  // the shared pool must not change a bit either
+  const auto batch = score_windows(store, windows, config);
+  std::vector<WindowScore> streamed;
+  score_windows_streaming(store, windows, config,
+                          [&](const WindowScore& score) {
+                            streamed.push_back(score);
+                          });
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    EXPECT_EQ(streamed[w].window.begin, batch[w].window.begin);
+    EXPECT_EQ(streamed[w].score, batch[w].score);
+    EXPECT_EQ(streamed[w].pairs, batch[w].pairs);
+    EXPECT_EQ(streamed[w].max_r2, batch[w].max_r2);
+  }
+}
+
+/// Synthetic rankings for the admission logic: scores only, no store.
+std::vector<WindowScore> ranking_fixture() {
+  // Includes ties (0.5 twice) and a ceiling score to stress the
+  // tie-break and bound reasoning.
+  const std::vector<double> values{0.1, 0.5, 0.9, 0.5,  1.0, 0.0,
+                                   0.3, 0.7, 0.2, 0.45, 0.5, 0.65};
+  std::vector<WindowScore> scores(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scores[i].window = {static_cast<genomics::SnpIndex>(i * 10), 10};
+    scores[i].score = values[i];
+  }
+  return scores;
+}
+
+std::vector<std::uint32_t> begins_of(std::span<const ga::WindowSpec> specs) {
+  std::vector<std::uint32_t> begins;
+  for (const auto& spec : specs) begins.push_back(spec.begin);
+  return begins;
+}
+
+TEST(LdPrefilter, StreamingAdmissionEqualsFullRankingEveryOrder) {
+  const std::vector<WindowScore> scores = ranking_fixture();
+  // Offer orders: genomic, reversed, and an interleaved shuffle.
+  std::vector<std::vector<std::size_t>> orders;
+  std::vector<std::size_t> forward(scores.size());
+  std::iota(forward.begin(), forward.end(), 0u);
+  orders.push_back(forward);
+  orders.emplace_back(forward.rbegin(), forward.rend());
+  orders.push_back({5, 2, 9, 0, 11, 7, 4, 1, 8, 3, 10, 6});
+
+  for (const std::uint32_t keep : {1u, 3u, 5u, 12u, 99u}) {
+    const auto expected = begins_of(top_windows(scores, keep));
+    for (const auto& order : orders) {
+      StreamingTopK admission(static_cast<std::uint32_t>(scores.size()),
+                              keep);
+      std::vector<std::uint32_t> admitted;
+      for (const std::size_t i : order) {
+        for (const WindowScore& released : admission.offer(scores[i])) {
+          admitted.push_back(released.window.begin);
+        }
+      }
+      EXPECT_TRUE(admission.complete());
+      EXPECT_EQ(admission.admitted(), expected.size());
+      std::sort(admitted.begin(), admitted.end());
+      // The admitted set EQUALS the full ranking's output — streaming
+      // may only change when windows are released, never which.
+      EXPECT_EQ(admitted, expected) << "keep=" << keep;
+    }
+  }
+}
+
+TEST(LdPrefilter, StreamingAdmissionNeverAdmitsARankingReject) {
+  // The satellite property, checked at every prefix: a window released
+  // mid-stream must be in the top set of the FINAL full ranking — no
+  // admission may later be proven wrong.
+  const std::vector<WindowScore> scores = ranking_fixture();
+  const std::uint32_t keep = 4;
+  const auto final_top = begins_of(top_windows(scores, keep));
+
+  StreamingTopK admission(static_cast<std::uint32_t>(scores.size()), keep);
+  std::size_t released_total = 0;
+  for (const WindowScore& score : scores) {
+    for (const WindowScore& released : admission.offer(score)) {
+      ++released_total;
+      EXPECT_NE(std::find(final_top.begin(), final_top.end(),
+                          released.window.begin),
+                final_top.end())
+          << "admitted window " << released.window.begin
+          << " is not in the final top-" << keep;
+    }
+    EXPECT_LE(admission.admitted(), keep);
+  }
+  EXPECT_EQ(released_total, final_top.size());
+}
+
+TEST(LdPrefilter, StreamingAdmissionReleasesEarlyWhenProvable) {
+  // keep >= total: every window is provably in the moment it is
+  // scored — admissions must not wait for the sweep to end.
+  const std::vector<WindowScore> scores = ranking_fixture();
+  StreamingTopK admission(static_cast<std::uint32_t>(scores.size()),
+                          static_cast<std::uint32_t>(scores.size()));
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const auto released = admission.offer(scores[i]);
+    ASSERT_EQ(released.size(), 1u) << "offer " << i;
+    EXPECT_EQ(released[0].window.begin, scores[i].window.begin);
+  }
 }
 
 TEST(LdPrefilter, ConfigRejectsBadKnobs) {

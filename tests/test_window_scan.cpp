@@ -207,6 +207,171 @@ TEST(WindowScan, MmapStoreScanMatchesInMemoryScanExactly) {
   std::remove(path.c_str());
 }
 
+TEST(WindowScan, ConfigRejectsDegenerateConcurrency) {
+  WindowScanConfig config;
+  config.ga = fast_ga(1);
+  config.concurrent_windows = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.concurrent_windows = 1;
+  config.engine = ScanEngine::kAsync;
+  config.stream_lanes = 0;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(WindowScan, SequentialScanUnchangedBySharedEvalPool) {
+  // eval_workers only changes which backend scores a generation, and
+  // backends are result-invariant by contract — the sequential
+  // reference must stay bit-exact with the pool hoisted in.
+  const ScanFixture serial;
+  ScanFixture pooled;
+  pooled.config.eval_workers = 3;
+  const WindowScanResult a = serial.run();
+  const WindowScanResult b = pooled.run();
+  EXPECT_EQ(a.best_fitness, b.best_fitness);
+  EXPECT_EQ(a.best_snps, b.best_snps);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  for (std::size_t w = 0; w < a.windows.size(); ++w) {
+    EXPECT_EQ(a.windows[w].best_snps, b.windows[w].best_snps);
+    EXPECT_EQ(a.windows[w].migrants_in, b.windows[w].migrants_in);
+  }
+}
+
+TEST(WindowScan, SequentialTelemetryRecordsScanOrderAndDonor) {
+  const ScanFixture fixture;
+  const WindowScanResult result = fixture.run();
+  for (std::size_t w = 0; w < result.windows.size(); ++w) {
+    EXPECT_EQ(result.windows[w].completion_rank, w);
+    if (result.windows[w].migrants_in > 0) {
+      // The reference donates strictly from the previous window.
+      ASSERT_EQ(result.windows[w].donor_windows.size(), 1u);
+      EXPECT_EQ(result.windows[w].donor_windows[0], w - 1);
+    } else {
+      EXPECT_TRUE(result.windows[w].donor_windows.empty());
+    }
+  }
+}
+
+/// Disjoint windows have no donors in any mode, so every window's GA
+/// is a pure function of the scan seed — concurrency cannot move a
+/// bit, which pins the scheduler against the sequential reference.
+std::vector<WindowSpec> disjoint_windows() { return {{0, 6}, {6, 6}, {12, 6}}; }
+
+TEST(WindowScan, PipelinedScanMatchesSequentialOnDisjointWindows) {
+  const ScanFixture fixture;
+  const std::vector<WindowSpec> windows = disjoint_windows();
+  WindowScanConfig reference = fixture.config;
+  const WindowScanResult sequential =
+      run_window_scan(fixture.store, fixture.dataset.panel(),
+                      fixture.dataset.statuses(), windows, reference);
+
+  for (const std::uint32_t concurrency : {2u, 4u}) {
+    WindowScanConfig pipelined = fixture.config;
+    pipelined.concurrent_windows = concurrency;
+    const WindowScanResult result =
+        run_window_scan(fixture.store, fixture.dataset.panel(),
+                        fixture.dataset.statuses(), windows, pipelined);
+    ASSERT_EQ(result.windows.size(), sequential.windows.size());
+    EXPECT_EQ(result.best_fitness, sequential.best_fitness);
+    EXPECT_EQ(result.best_snps, sequential.best_snps);
+    EXPECT_EQ(result.evaluations, sequential.evaluations);
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+      EXPECT_EQ(result.windows[w].best_snps, sequential.windows[w].best_snps);
+      EXPECT_EQ(result.windows[w].best_fitness,
+                sequential.windows[w].best_fitness);
+      EXPECT_EQ(result.windows[w].evaluations,
+                sequential.windows[w].evaluations);
+      EXPECT_EQ(result.windows[w].migrants_in, 0u);
+    }
+  }
+}
+
+TEST(WindowScan, PipelinedScanTracksOverlapDependencies) {
+  const ScanFixture fixture;
+  WindowScanConfig config = fixture.config;
+  config.concurrent_windows = 2;
+  const WindowScanResult result =
+      run_window_scan(fixture.store, fixture.dataset.panel(),
+                      fixture.dataset.statuses(), fixture.windows, config);
+  ASSERT_EQ(result.windows.size(), fixture.windows.size());
+
+  // Completion ranks are a permutation of the scan positions.
+  std::vector<bool> seen(result.windows.size(), false);
+  for (const WindowResult& window : result.windows) {
+    ASSERT_LT(window.completion_rank, result.windows.size());
+    EXPECT_FALSE(seen[window.completion_rank]);
+    seen[window.completion_rank] = true;
+
+    // A donor must be an overlapping window that finished earlier.
+    for (const std::uint32_t donor : window.donor_windows) {
+      ASSERT_LT(donor, result.windows.size());
+      const WindowResult& source = result.windows[donor];
+      EXPECT_LT(source.completion_rank, window.completion_rank);
+      EXPECT_LT(source.window.begin,
+                window.window.begin + window.window.count);
+      EXPECT_LT(window.window.begin,
+                source.window.begin + source.window.count);
+    }
+    EXPECT_LE(window.migrants_in, config.migrate_elites);
+    ASSERT_FALSE(window.best_snps.empty());
+    for (const SnpIndex s : window.best_snps) {
+      EXPECT_GE(s, window.window.begin);
+      EXPECT_LT(s, window.window.begin + window.window.count);
+    }
+  }
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_FALSE(result.best_snps.empty());
+}
+
+TEST(WindowScan, AsyncEngineScansOverSharedStream) {
+  const ScanFixture fixture;
+  WindowScanConfig config = fixture.config;
+  config.engine = ScanEngine::kAsync;
+  config.concurrent_windows = 2;
+  config.stream_lanes = 2;
+  const WindowScanResult result =
+      run_window_scan(fixture.store, fixture.dataset.panel(),
+                      fixture.dataset.statuses(), fixture.windows, config);
+  ASSERT_EQ(result.windows.size(), fixture.windows.size());
+  for (const WindowResult& window : result.windows) {
+    ASSERT_FALSE(window.best_snps.empty());
+    EXPECT_GE(window.best_snps.size(), config.ga.min_size);
+    EXPECT_LE(window.best_snps.size(), config.ga.max_size);
+    for (const SnpIndex s : window.best_snps) {
+      EXPECT_GE(s, window.window.begin);
+      EXPECT_LT(s, window.window.begin + window.window.count);
+    }
+    EXPECT_GT(window.evaluations, 0u);
+  }
+  EXPECT_FALSE(result.best_snps.empty());
+  EXPECT_GT(result.best_fitness, 0.0);
+}
+
+TEST(WindowScan, SchedulerIncrementalEnqueueMatchesBatch) {
+  // The pipeline driver feeds windows one at a time as admissions
+  // arrive; the result must match handing the same list over at once.
+  const ScanFixture fixture;
+  const std::vector<WindowSpec> windows = disjoint_windows();
+  WindowScanConfig config = fixture.config;
+  config.concurrent_windows = 2;
+  const WindowScanResult batch =
+      run_window_scan(fixture.store, fixture.dataset.panel(),
+                      fixture.dataset.statuses(), windows, config);
+
+  WindowScanScheduler scheduler(fixture.store, fixture.dataset.panel(),
+                                fixture.dataset.statuses(), config,
+                                static_cast<std::uint32_t>(windows.size()));
+  for (const WindowSpec& window : windows) scheduler.enqueue(window);
+  const WindowScanResult incremental = scheduler.finish();
+
+  EXPECT_EQ(incremental.best_fitness, batch.best_fitness);
+  EXPECT_EQ(incremental.best_snps, batch.best_snps);
+  EXPECT_EQ(incremental.evaluations, batch.evaluations);
+  ASSERT_EQ(incremental.windows.size(), batch.windows.size());
+  for (std::size_t w = 0; w < batch.windows.size(); ++w) {
+    EXPECT_EQ(incremental.windows[w].best_snps, batch.windows[w].best_snps);
+  }
+}
+
 TEST(WindowScan, MigrationOffStillScans) {
   ScanFixture fixture;
   fixture.config.migrate_elites = 0;
